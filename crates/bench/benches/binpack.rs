@@ -1,0 +1,36 @@
+//! Criterion microbenches for the bin-packing substrate: the packers are
+//! inner loops of every schema construction, so their scaling matters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrassign_binpack::{exact::pack_exact, pack, FitPolicy};
+use mrassign_workloads::SizeDistribution;
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binpack/policies");
+    for &n in &[1_000usize, 10_000] {
+        let weights = SizeDistribution::Uniform { lo: 10, hi: 100 }.sample_many(n, 7);
+        for policy in FitPolicy::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(policy.name(), n),
+                &weights,
+                |b, weights| b.iter(|| pack(black_box(weights), 100, policy).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binpack/exact");
+    for &n in &[10usize, 14, 18] {
+        let weights: Vec<u64> = (0..n as u64).map(|i| 5 + (i * 3) % 6).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &weights, |b, weights| {
+            b.iter(|| pack_exact(black_box(weights), 13, 10_000_000).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_exact);
+criterion_main!(benches);

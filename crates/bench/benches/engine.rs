@@ -1,0 +1,67 @@
+//! Criterion microbenches for the simulated MapReduce engine: schema
+//! execution end-to-end (map, shuffle, capacity accounting, reduce,
+//! scheduling), which bounds how large the figure sweeps can go.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrassign_bench::common::execute_a2a_schema;
+use mrassign_core::{a2a, InputSet};
+use mrassign_simmr::ClusterConfig;
+use mrassign_workloads::SizeDistribution;
+use std::hint::black_box;
+
+fn bench_schema_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/execute_a2a_schema");
+    for &m in &[100usize, 400] {
+        let weights = SizeDistribution::Uniform { lo: 10, hi: 100 }.sample_many(m, 13);
+        let inputs = InputSet::from_weights(weights.clone());
+        let q = 500;
+        let schema = a2a::solve(&inputs, q, a2a::A2aAlgorithm::Auto).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(m),
+            &(weights, schema),
+            |b, (weights, schema)| {
+                b.iter(|| {
+                    execute_a2a_schema(
+                        black_box(weights),
+                        black_box(schema),
+                        q,
+                        ClusterConfig::default(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_parallel_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/map_threads");
+    let m = 400usize;
+    let weights = SizeDistribution::Uniform { lo: 10, hi: 100 }.sample_many(m, 14);
+    let inputs = InputSet::from_weights(weights.clone());
+    let q = 500;
+    let schema = a2a::solve(&inputs, q, a2a::A2aAlgorithm::Auto).unwrap();
+    for &threads in &[1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &(weights.clone(), schema.clone()),
+            |b, (weights, schema)| {
+                b.iter(|| {
+                    execute_a2a_schema(
+                        black_box(weights),
+                        black_box(schema),
+                        q,
+                        ClusterConfig {
+                            map_threads: threads,
+                            ..ClusterConfig::default()
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schema_execution, bench_parallel_map);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion microbenches for the exact solvers: the exponential wall of
+//! Table 2, measured precisely, plus the pseudo-polynomial 2-reducer DP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrassign_core::{exact, InputSet, X2yInstance};
+use std::hint::black_box;
+
+fn bench_a2a_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact/a2a");
+    group.sample_size(10);
+    for &m in &[5usize, 6, 7, 8] {
+        let weights: Vec<u64> = (0..m as u64).map(|i| 5 + (i * 3) % 6).collect();
+        let inputs = InputSet::from_weights(weights);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &inputs, |b, inputs| {
+            b.iter(|| exact::a2a_exact(black_box(inputs), 21, 50_000_000).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_two_reducer_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact/x2y_two_reducer_dp");
+    for &n in &[50usize, 200, 800] {
+        let weights: Vec<u64> = (1..=n as u64).collect();
+        let sum: u64 = weights.iter().sum();
+        let inst = X2yInstance::from_weights(weights, vec![4]);
+        let q = sum / 2 + 10;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| exact::x2y_two_reducers(black_box(inst), q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_a2a_exact, bench_two_reducer_dp);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion microbenches for the end-to-end joins: what a user of the
+//! library actually pays per query, planner plus simulated execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrassign_binpack::FitPolicy;
+use mrassign_core::a2a::A2aAlgorithm;
+use mrassign_joins::{
+    run_similarity_join, run_skew_join, SimJoinConfig, SimJoinStrategy, SkewJoinConfig,
+    SkewJoinStrategy,
+};
+use mrassign_simmr::ClusterConfig;
+use mrassign_workloads::{
+    generate_documents, generate_relation_pair, DocumentSpec, RelationSpec, SizeDistribution,
+};
+use std::hint::black_box;
+
+fn bench_similarity_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("joins/similarity");
+    group.sample_size(20);
+    for &n in &[50usize, 120] {
+        let docs = generate_documents(
+            &DocumentSpec {
+                n_docs: n,
+                vocab: 250,
+                token_skew: 1.0,
+                length: SizeDistribution::Uniform { lo: 10, hi: 60 },
+            },
+            3,
+        );
+        let config = SimJoinConfig {
+            capacity: 2_000,
+            threshold: 0.3,
+            strategy: SimJoinStrategy::Schema(A2aAlgorithm::Auto),
+            cluster: ClusterConfig::default(),
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &docs, |b, docs| {
+            b.iter(|| run_similarity_join(black_box(docs), &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_skew_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("joins/skew");
+    group.sample_size(10);
+    let pair = generate_relation_pair(
+        &RelationSpec {
+            x_tuples: 2_000,
+            y_tuples: 2_000,
+            n_keys: 100,
+            skew: 1.1,
+            payload: SizeDistribution::Uniform { lo: 16, hi: 64 },
+        },
+        4,
+    );
+    let strategies: [(&str, SkewJoinStrategy); 3] = [
+        (
+            "skew_aware",
+            SkewJoinStrategy::SkewAware {
+                policy: FitPolicy::FirstFitDecreasing,
+            },
+        ),
+        ("naive_hash", SkewJoinStrategy::NaiveHash { reducers: 32 }),
+        ("broadcast_y", SkewJoinStrategy::BroadcastY { reducers: 32 }),
+    ];
+    for (name, strategy) in strategies {
+        let config = SkewJoinConfig {
+            capacity: 8_192,
+            strategy,
+            cluster: ClusterConfig {
+                task_overhead: 0.001,
+                ..ClusterConfig::default()
+            },
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &pair, |b, pair| {
+            b.iter(|| run_skew_join(black_box(pair), &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity_join, bench_skew_join);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion microbenches for schema construction: the planner cost a
+//! deployment pays per (job, capacity) choice. Covers every A2A regime and
+//! the X2Y grid variants across instance sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrassign_binpack::FitPolicy;
+use mrassign_core::{a2a, x2y, InputSet, X2yInstance};
+use mrassign_workloads::SizeDistribution;
+use std::hint::black_box;
+
+fn bench_a2a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2a/solve");
+    for &m in &[100usize, 1_000, 5_000] {
+        let equal = InputSet::from_weights(vec![20; m]);
+        group.bench_with_input(BenchmarkId::new("grouping", m), &equal, |b, inputs| {
+            b.iter(|| a2a::solve(black_box(inputs), 200, a2a::A2aAlgorithm::GroupingEqual).unwrap())
+        });
+
+        let mixed = InputSet::from_weights(
+            SizeDistribution::Uniform { lo: 10, hi: 100 }.sample_many(m, 5),
+        );
+        group.bench_with_input(BenchmarkId::new("ffd_pairing", m), &mixed, |b, inputs| {
+            b.iter(|| {
+                a2a::solve(
+                    black_box(inputs),
+                    200,
+                    a2a::A2aAlgorithm::BinPackPairing(FitPolicy::FirstFitDecreasing),
+                )
+                .unwrap()
+            })
+        });
+
+        let mut with_big =
+            SizeDistribution::Uniform { lo: 5, hi: 30 }.sample_many(m - 1, 6);
+        with_big.push(140);
+        let with_big = InputSet::from_weights(with_big);
+        group.bench_with_input(BenchmarkId::new("big_small", m), &with_big, |b, inputs| {
+            b.iter(|| {
+                a2a::solve(
+                    black_box(inputs),
+                    200,
+                    a2a::A2aAlgorithm::BigSmall {
+                        policy: FitPolicy::FirstFitDecreasing,
+                        shared_bins: false,
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_x2y(c: &mut Criterion) {
+    let mut group = c.benchmark_group("x2y/solve");
+    for &m in &[100usize, 1_000] {
+        let inst = X2yInstance::from_weights(
+            SizeDistribution::Uniform { lo: 10, hi: 100 }.sample_many(m, 8),
+            SizeDistribution::Uniform { lo: 10, hi: 100 }.sample_many(m, 9),
+        );
+        group.bench_with_input(BenchmarkId::new("grid", m), &inst, |b, inst| {
+            b.iter(|| {
+                x2y::solve(
+                    black_box(inst),
+                    200,
+                    x2y::X2yAlgorithm::Grid(FitPolicy::FirstFitDecreasing),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("grid_optimized", m), &inst, |b, inst| {
+            b.iter(|| {
+                x2y::solve(
+                    black_box(inst),
+                    200,
+                    x2y::X2yAlgorithm::GridOptimized(FitPolicy::FirstFitDecreasing),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schema/validate");
+    for &m in &[500usize, 2_000] {
+        let inputs = InputSet::from_weights(
+            SizeDistribution::Uniform { lo: 10, hi: 100 }.sample_many(m, 10),
+        );
+        let schema = a2a::solve(&inputs, 400, a2a::A2aAlgorithm::Auto).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(m),
+            &(schema, inputs),
+            |b, (schema, inputs)| {
+                b.iter(|| black_box(schema).validate_a2a(black_box(inputs), 400).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_a2a, bench_x2y, bench_validation);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Regenerates `results/fig2.csv`. Pass `--smoke` for a fast tiny run.
+
+use mrassign_bench::common::finish;
+use mrassign_bench::{fig2_comm_vs_q, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Full
+    };
+    let table = fig2_comm_vs_q::run(scale);
+    finish(&table, "fig2");
+}

@@ -1,0 +1,14 @@
+//! Regenerates `results/fig4.csv`. Pass `--smoke` for a fast tiny run.
+
+use mrassign_bench::common::finish;
+use mrassign_bench::{fig4_skewjoin, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Full
+    };
+    let table = fig4_skewjoin::run(scale);
+    finish(&table, "fig4");
+}

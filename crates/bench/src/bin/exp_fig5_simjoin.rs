@@ -1,0 +1,14 @@
+//! Regenerates `results/fig5.csv`. Pass `--smoke` for a fast tiny run.
+
+use mrassign_bench::common::finish;
+use mrassign_bench::{fig5_simjoin, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Full
+    };
+    let table = fig5_simjoin::run(scale);
+    finish(&table, "fig5");
+}

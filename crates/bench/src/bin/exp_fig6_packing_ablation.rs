@@ -1,0 +1,14 @@
+//! Regenerates `results/fig6.csv`. Pass `--smoke` for a fast tiny run.
+
+use mrassign_bench::common::finish;
+use mrassign_bench::{fig6_packing_ablation, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Full
+    };
+    let table = fig6_packing_ablation::run(scale);
+    finish(&table, "fig6");
+}

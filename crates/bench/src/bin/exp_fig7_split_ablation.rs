@@ -1,0 +1,17 @@
+//! Regenerates `results/fig7a.csv` and `results/fig7b.csv`. Pass
+//! `--smoke` for a fast tiny run.
+
+use mrassign_bench::common::finish;
+use mrassign_bench::{fig7_split_ablation, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Full
+    };
+    let table_a = fig7_split_ablation::run(scale);
+    finish(&table_a, "fig7a");
+    let table_b = fig7_split_ablation::run_b(scale);
+    finish(&table_b, "fig7b");
+}

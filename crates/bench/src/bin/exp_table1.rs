@@ -1,0 +1,14 @@
+//! Regenerates `results/table1.csv`. Pass `--smoke` for a fast tiny run.
+
+use mrassign_bench::common::finish;
+use mrassign_bench::{table1_summary, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Full
+    };
+    let table = table1_summary::run(scale);
+    finish(&table, "table1");
+}

@@ -1,0 +1,17 @@
+//! Regenerates `results/table2.csv` and `results/table2b.csv`. Pass
+//! `--smoke` for a fast tiny run.
+
+use mrassign_bench::common::finish;
+use mrassign_bench::{table2_hardness, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Full
+    };
+    let table = table2_hardness::run(scale);
+    finish(&table, "table2");
+    let table_b = table2_hardness::run_two_reducer(scale);
+    finish(&table_b, "table2b");
+}

@@ -1,0 +1,45 @@
+//! Runs every experiment in `DESIGN.md`'s index and writes all CSVs under
+//! `results/`. Pass `--smoke` for a fast tiny run of everything.
+//!
+//! `cargo run --release -p mrassign-bench --bin run_all_experiments`
+
+use std::time::Instant;
+
+use mrassign_bench::common::finish;
+use mrassign_bench::*;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Full
+    };
+
+    type Experiment = (&'static str, Box<dyn Fn(Scale) -> Table>);
+    let experiments: Vec<Experiment> = vec![
+        ("table1", Box::new(table1_summary::run)),
+        ("table2", Box::new(table2_hardness::run)),
+        ("table2b", Box::new(table2_hardness::run_two_reducer)),
+        ("table3", Box::new(table3_gap::run)),
+        ("fig1", Box::new(fig1_reducers_vs_q::run)),
+        ("fig2", Box::new(fig2_comm_vs_q::run)),
+        ("fig3", Box::new(fig3_parallelism_vs_q::run)),
+        ("fig4", Box::new(fig4_skewjoin::run)),
+        ("fig5", Box::new(fig5_simjoin::run)),
+        ("fig6", Box::new(fig6_packing_ablation::run)),
+        ("fig7a", Box::new(fig7_split_ablation::run)),
+        ("fig7b", Box::new(fig7_split_ablation::run_b)),
+    ];
+
+    let overall = Instant::now();
+    for (name, exp) in experiments {
+        let t0 = Instant::now();
+        let table = exp(scale);
+        finish(&table, name);
+        println!("[{name}] finished in {:.2}s\n", t0.elapsed().as_secs_f64());
+    }
+    println!(
+        "all experiments finished in {:.1}s",
+        overall.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,314 @@
+//! Shared experiment infrastructure: result tables, CSV output, and the
+//! generic "execute an A2A schema on the engine" job used by several
+//! figures.
+
+use std::fmt::Display;
+use std::path::{Path, PathBuf};
+
+use mrassign_core::MappingSchema;
+use mrassign_simmr::{
+    ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, Job, JobMetrics, Mapper,
+    Reducer,
+};
+
+/// Experiment scale: `Smoke` keeps tests fast; `Full` produces the numbers
+/// recorded in `EXPERIMENTS.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny parameters for CI smoke tests.
+    Smoke,
+    /// The recorded configuration.
+    Full,
+}
+
+impl Scale {
+    /// Picks `smoke` or `full` by scale.
+    pub fn pick<T>(self, smoke: T, full: T) -> T {
+        match self {
+            Scale::Smoke => smoke,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// A rectangular result table with aligned stdout printing and CSV export.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column names.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifying each cell).
+    pub fn push_row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows
+            .push(cells.iter().map(|c| format!("{c}")).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = format!("## {}\n", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table as CSV to `results/<name>.csv` (relative to the
+    /// workspace root) and returns the path.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut content = self.header.join(",");
+        content.push('\n');
+        for row in &self.rows {
+            content.push_str(&row.join(","));
+            content.push('\n');
+        }
+        std::fs::write(&path, content)?;
+        Ok(path)
+    }
+}
+
+/// The workspace `results/` directory (next to the top-level `Cargo.toml`).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels under the workspace root")
+        .join("results")
+}
+
+/// Prints a table and persists its CSV — the tail of every experiment
+/// binary.
+pub fn finish(table: &Table, csv_name: &str) {
+    print!("{}", table.render());
+    match table.write_csv(csv_name) {
+        Ok(path) => println!("\n[written] {}", path.display()),
+        Err(e) => eprintln!("failed to write CSV: {e}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schema execution on the simulated engine
+// ---------------------------------------------------------------------------
+
+/// A sized, routed input blob; the payload is simulated (only its size
+/// travels), which is exactly what byte accounting needs.
+#[derive(Clone)]
+pub struct Blob {
+    /// Input id.
+    pub id: u32,
+    /// Input size in bytes.
+    pub bytes: u64,
+    /// Reducer targets from the compiled schema.
+    pub targets: Vec<usize>,
+}
+
+impl ByteSized for Blob {
+    fn size_bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// Shuffled value: input id plus simulated payload size.
+#[derive(Clone)]
+pub struct BlobPayload {
+    /// Originating input id.
+    pub id: u32,
+    /// Simulated payload bytes.
+    pub bytes: u64,
+}
+
+impl ByteSized for BlobPayload {
+    fn size_bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+struct ReplicateBlobs;
+
+impl Mapper for ReplicateBlobs {
+    type In = Blob;
+    type Key = u64;
+    type Value = BlobPayload;
+    fn map(&self, input: &Blob, emit: &mut Emitter<u64, BlobPayload>) {
+        for &t in &input.targets {
+            emit.emit(
+                t as u64,
+                BlobPayload {
+                    id: input.id,
+                    bytes: input.bytes,
+                },
+            );
+        }
+    }
+}
+
+/// Pairwise work proportional to the co-resident byte volume — a stand-in
+/// for any all-pairs computation at a reducer.
+struct PairwiseWork;
+
+impl Reducer for PairwiseWork {
+    type Key = u64;
+    type Value = BlobPayload;
+    type Out = u64;
+    fn reduce(&self, _key: &u64, values: &[BlobPayload], out: &mut Vec<u64>) {
+        out.push(values.len() as u64 * values.len().saturating_sub(1) as u64 / 2);
+    }
+}
+
+/// Executes an A2A mapping schema on the simulated engine and returns the
+/// job metrics. Capacity is enforced: a valid schema cannot trip it.
+pub fn execute_a2a_schema(
+    weights: &[u64],
+    schema: &MappingSchema,
+    q: u64,
+    cluster: ClusterConfig,
+) -> JobMetrics {
+    if schema.reducer_count() == 0 {
+        return JobMetrics::default();
+    }
+    let mut routes: Vec<Vec<usize>> = vec![Vec::new(); weights.len()];
+    for (rid, r) in schema.reducers().iter().enumerate() {
+        for &id in r {
+            routes[id as usize].push(rid);
+        }
+    }
+    let blobs: Vec<Blob> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| Blob {
+            id: i as u32,
+            bytes: w,
+            targets: routes[i].clone(),
+        })
+        .collect();
+    let job = Job::new(
+        ReplicateBlobs,
+        PairwiseWork,
+        DirectRouter,
+        schema.reducer_count(),
+        cluster,
+    )
+    .capacity(CapacityPolicy::Enforce(q));
+    job.run(&blobs)
+        .expect("valid schema execution cannot violate capacity")
+        .metrics
+}
+
+/// Formats a ratio with three decimals, tolerating a zero denominator.
+pub fn ratio(num: u128, den: u128) -> String {
+    if den == 0 {
+        "inf".to_string()
+    } else {
+        format!("{:.3}", num as f64 / den as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrassign_core::{a2a, InputSet};
+
+    #[test]
+    fn table_render_aligns_and_counts() {
+        let mut t = Table::new("demo", &["a", "long_header", "c"]);
+        t.push_row(&[&1, &"xy", &3.5]);
+        t.push_row(&[&22, &"z", &0.25]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let rendered = t.render();
+        assert!(rendered.contains("## demo"));
+        assert!(rendered.contains("long_header"));
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Header and rows share the same width.
+        assert_eq!(lines[1].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn row_arity_is_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(&[&1]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.push_row(&[&1, &2]);
+        let path = t.write_csv("smoke_common_csv").unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "x,y\n1,2\n");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn execute_schema_agrees_with_schema_loads() {
+        let weights: Vec<u64> = (0..60).map(|i| 5 + i % 20).collect();
+        let inputs = InputSet::from_weights(weights.clone());
+        let q = 60;
+        let schema = a2a::solve(&inputs, q, a2a::A2aAlgorithm::Auto).unwrap();
+        let metrics = execute_a2a_schema(&weights, &schema, q, ClusterConfig::default());
+        assert_eq!(metrics.reducer_value_bytes, schema.loads(&inputs));
+        assert!(metrics.max_reducer_load() <= q);
+    }
+
+    #[test]
+    fn ratio_formats() {
+        assert_eq!(ratio(3, 2), "1.500");
+        assert_eq!(ratio(1, 0), "inf");
+    }
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Smoke.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+}

@@ -1,0 +1,108 @@
+//! **Figure 1 — tradeoff (i): reducer capacity vs number of reducers.**
+//! For fixed workloads, sweep `q` and plot the reducers used by each
+//! algorithm against the lower bound. Expected shape: `z ~ q⁻²` with the
+//! heuristic/LB ratio roughly constant across the sweep.
+
+use mrassign_binpack::FitPolicy;
+use mrassign_core::{a2a, bounds, x2y, InputSet, X2yInstance};
+use mrassign_workloads::{geometric_steps, SizeDistribution};
+
+use crate::common::{ratio, Scale, Table};
+
+/// Runs the experiment at the given scale.
+pub fn run(scale: Scale) -> Table {
+    let m = scale.pick(80, 800);
+    let steps = scale.pick(4, 14);
+    let seed = 1u64;
+
+    let mut table = Table::new(
+        "Figure 1 — reducers vs capacity (z ~ q^-2)",
+        &[
+            "q",
+            "a2a_equal_z",
+            "a2a_equal_lb",
+            "a2a_mixed_z",
+            "a2a_mixed_lb",
+            "a2a_mixed_ratio",
+            "x2y_z",
+            "x2y_lb",
+            "x2y_ratio",
+        ],
+    );
+
+    let equal = InputSet::from_weights(vec![20; m]);
+    let mixed = InputSet::from_weights(
+        SizeDistribution::Uniform { lo: 10, hi: 100 }.sample_many(m, seed),
+    );
+    let inst = X2yInstance::from_weights(
+        SizeDistribution::Uniform { lo: 10, hi: 100 }.sample_many(m, seed + 1),
+        SizeDistribution::Uniform { lo: 10, hi: 100 }.sample_many(m, seed + 2),
+    );
+
+    // q from "barely feasible" (two largest inputs) to "a few reducers".
+    let q_lo = 220u64;
+    let q_hi = scale.pick(2_000, 20_000);
+    for q in geometric_steps(q_lo, q_hi, steps) {
+        let eq_schema = a2a::solve(&equal, q, a2a::A2aAlgorithm::GroupingEqual).unwrap();
+        let eq_lb = bounds::a2a_reducer_lb_equal(m, 20, q).expect("feasible");
+
+        let mixed_schema = a2a::solve(&mixed, q, a2a::A2aAlgorithm::Auto).unwrap();
+        let mixed_lb = bounds::a2a_reducer_lb(&mixed, q);
+
+        let x2y_schema = x2y::solve(
+            &inst,
+            q,
+            x2y::X2yAlgorithm::Grid(FitPolicy::FirstFitDecreasing),
+        )
+        .unwrap();
+        let x2y_lb = bounds::x2y_reducer_lb(&inst, q);
+
+        table.push_row(&[
+            &q,
+            &eq_schema.reducer_count(),
+            &eq_lb,
+            &mixed_schema.reducer_count(),
+            &mixed_lb,
+            &ratio(mixed_schema.reducer_count() as u128, mixed_lb as u128),
+            &x2y_schema.reducer_count(),
+            &x2y_lb,
+            &ratio(x2y_schema.reducer_count() as u128, x2y_lb as u128),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn column(table: &Table, idx: usize) -> Vec<f64> {
+        table
+            .render()
+            .lines()
+            .skip(2)
+            .map(|l| l.split_whitespace().nth(idx).unwrap().parse().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn z_decreases_as_q_grows() {
+        let table = run(Scale::Smoke);
+        for idx in [1usize, 3, 6] {
+            let zs = column(&table, idx);
+            assert!(
+                zs.windows(2).all(|w| w[0] >= w[1]),
+                "column {idx} not non-increasing: {zs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn achieved_always_at_least_lower_bound() {
+        let table = run(Scale::Smoke);
+        let (z, lb) = (column(&table, 3), column(&table, 4));
+        for (a, b) in z.iter().zip(&lb) {
+            assert!(a >= b);
+        }
+    }
+}

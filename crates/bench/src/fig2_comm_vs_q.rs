@@ -1,0 +1,80 @@
+//! **Figure 2 — tradeoff (iii): reducer capacity vs communication cost.**
+//! Same sweep as Figure 1, measuring total communication and the mean
+//! replication rate against their lower bounds. Expected shape:
+//! `comm ~ q⁻¹`, replication rate falling toward 1 as `q → W`.
+
+use mrassign_core::{a2a, bounds, stats::SchemaStats, InputSet};
+use mrassign_workloads::{geometric_steps, SizeDistribution};
+
+use crate::common::{ratio, Scale, Table};
+
+/// Runs the experiment at the given scale.
+pub fn run(scale: Scale) -> Table {
+    let m = scale.pick(80, 800);
+    let steps = scale.pick(4, 14);
+
+    let mut table = Table::new(
+        "Figure 2 — communication vs capacity (comm ~ q^-1)",
+        &[
+            "q",
+            "comm",
+            "comm_lb",
+            "comm_ratio",
+            "rep_rate",
+            "rep_lb_mean",
+            "max_load_frac",
+        ],
+    );
+
+    let weights = SizeDistribution::Uniform { lo: 10, hi: 100 }.sample_many(m, 3);
+    let inputs = InputSet::from_weights(weights);
+
+    for q in geometric_steps(220, scale.pick(2_000, 20_000), steps) {
+        let schema = a2a::solve(&inputs, q, a2a::A2aAlgorithm::Auto).unwrap();
+        let stats = SchemaStats::for_a2a(&schema, &inputs, q);
+        let comm_lb = bounds::a2a_comm_lb(&inputs, q);
+        // Mean replication lower bound, weighted evenly per input.
+        let rep_lb_mean: f64 = (0..inputs.len())
+            .map(|i| bounds::a2a_replication_lb(&inputs, q, i as u32) as f64)
+            .sum::<f64>()
+            / inputs.len() as f64;
+        table.push_row(&[
+            &q,
+            &stats.communication,
+            &comm_lb,
+            &ratio(stats.communication, comm_lb),
+            &format!("{:.3}", stats.replication_rate()),
+            &format!("{rep_lb_mean:.3}"),
+            &format!("{:.3}", stats.max_load as f64 / q as f64),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn communication_decreases_with_q() {
+        let table = run(Scale::Smoke);
+        let comm: Vec<f64> = table
+            .render()
+            .lines()
+            .skip(2)
+            .map(|l| l.split_whitespace().nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert!(comm.windows(2).all(|w| w[0] >= w[1]), "{comm:?}");
+    }
+
+    #[test]
+    fn communication_at_least_lower_bound() {
+        let table = run(Scale::Smoke);
+        for line in table.render().lines().skip(2) {
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            let comm: f64 = cols[1].parse().unwrap();
+            let lb: f64 = cols[2].parse().unwrap();
+            assert!(comm >= lb);
+        }
+    }
+}

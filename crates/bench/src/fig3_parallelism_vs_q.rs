@@ -1,0 +1,109 @@
+//! **Figure 3 — tradeoff (ii): reducer capacity vs parallelism.** The
+//! schemas from the `q` sweep are *executed* on the simulated cluster with
+//! a reduce-dominated cost model, exposing the U-shape the paper argues:
+//!
+//! * tiny `q` → many reducers → high parallelism but the replicated bytes
+//!   (communication ~ q⁻¹) swamp the workers;
+//! * huge `q` → few reducers → minimal communication but the reduce phase
+//!   degenerates to a handful of serial tasks.
+//!
+//! The minimum sits where per-reducer work balances against replication.
+
+use mrassign_core::{a2a, InputSet};
+use mrassign_simmr::ClusterConfig;
+use mrassign_workloads::{geometric_steps, SizeDistribution};
+
+use crate::common::{execute_a2a_schema, Scale, Table};
+
+/// Runs the experiment at the given scale.
+pub fn run(scale: Scale) -> Table {
+    let m = scale.pick(60, 300);
+    let steps = scale.pick(4, 12);
+    let worker_counts: &[usize] = scale.pick(&[8][..], &[8, 32][..]);
+
+    let mut table = Table::new(
+        "Figure 3 — parallelism vs capacity (U-shaped makespan)",
+        &[
+            "workers",
+            "q",
+            "reducers",
+            "comm_bytes",
+            "map_s",
+            "shuffle_s",
+            "reduce_s",
+            "total_s",
+            "speedup",
+        ],
+    );
+
+    // Few hundred multi-kilobyte inputs; reduce-dominated cluster.
+    let weights = SizeDistribution::Uniform {
+        lo: 2_000,
+        hi: 12_000,
+    }
+    .sample_many(m, 5);
+    let inputs = InputSet::from_weights(weights.clone());
+    let total: u64 = weights.iter().sum();
+
+    for &workers in worker_counts {
+        let cluster = ClusterConfig {
+            workers,
+            map_rate: 512.0 * 1024.0 * 1024.0,
+            reduce_rate: 1.0 * 1024.0 * 1024.0, // 1 MiB/s: reduce dominates
+            network_bandwidth: 512.0 * 1024.0 * 1024.0,
+            task_overhead: 0.001,
+            map_threads: 1,
+        };
+        for q in geometric_steps(26_000, (total + total / 10).max(27_000), steps) {
+            let schema = a2a::solve(&inputs, q, a2a::A2aAlgorithm::Auto).unwrap();
+            let metrics = execute_a2a_schema(&weights, &schema, q, cluster.clone());
+            table.push_row(&[
+                &workers,
+                &q,
+                &schema.reducer_count(),
+                &metrics.bytes_shuffled,
+                &format!("{:.3}", metrics.map_makespan),
+                &format!("{:.3}", metrics.shuffle_seconds),
+                &format!("{:.3}", metrics.reduce_makespan),
+                &format!("{:.3}", metrics.total_seconds()),
+                &format!("{:.2}", metrics.speedup()),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_produces_rows_with_positive_times() {
+        let table = run(Scale::Smoke);
+        assert!(table.len() >= 3);
+        for line in table.render().lines().skip(2) {
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            let total: f64 = cols[7].parse().unwrap();
+            assert!(total > 0.0);
+        }
+    }
+
+    #[test]
+    fn extremes_are_slower_than_the_interior() {
+        // The U-shape: the best total time is strictly inside the sweep
+        // (neither the smallest nor the largest q).
+        let table = run(Scale::Smoke);
+        let totals: Vec<f64> = table
+            .render()
+            .lines()
+            .skip(2)
+            .map(|l| l.split_whitespace().nth(7).unwrap().parse().unwrap())
+            .collect();
+        let best = totals.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(totals[0] > best, "smallest q should not be optimal");
+        assert!(
+            *totals.last().unwrap() > best,
+            "largest q should not be optimal"
+        );
+    }
+}

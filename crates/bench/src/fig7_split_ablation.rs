@@ -1,0 +1,146 @@
+//! **Figure 7 — ablations on the two design choices DESIGN.md calls out.**
+//!
+//! * **7a** — X2Y capacity split: balanced (`c = q/2`) vs swept-optimal.
+//!   When one side is much heavier, the balanced split wastes bins on the
+//!   light side's granularity; the sweep reclaims the difference.
+//! * **7b** — A2A big+small: independent re-packing of the smalls (two
+//!   packings) vs reusing the big input's `(q − w_big)` bins as pairing
+//!   groups (shared bins). Sharing looks elegant but the pairing term is
+//!   `C(k,2)` over *more, smaller* bins; the gap explodes as the big input
+//!   approaches `q`.
+
+use mrassign_binpack::FitPolicy;
+use mrassign_core::{a2a, x2y, InputSet, X2yInstance};
+use mrassign_workloads::SizeDistribution;
+
+use crate::common::{ratio, Scale, Table};
+
+/// Part 7a: X2Y balanced vs optimized capacity split across asymmetry.
+pub fn run(scale: Scale) -> Table {
+    let base_m = scale.pick(64, 512);
+    let q = 64u64;
+
+    let mut table = Table::new(
+        "Figure 7a — X2Y capacity split: balanced vs optimized",
+        &[
+            "wx_wy_ratio",
+            "balanced_z",
+            "optimized_z",
+            "improvement",
+        ],
+    );
+
+    for ratio_pow in 0..6u32 {
+        let r = 1usize << ratio_pow;
+        // Heavy X side with chunky items (granularity near q/2), light Y.
+        let x = SizeDistribution::Uniform { lo: 24, hi: 30 }.sample_many(base_m, 31);
+        let y = SizeDistribution::Uniform { lo: 4, hi: 8 }.sample_many((base_m / r).max(1), 37);
+        let inst = X2yInstance::from_weights(x, y);
+        let balanced = x2y::solve(
+            &inst,
+            q,
+            x2y::X2yAlgorithm::Grid(FitPolicy::FirstFitDecreasing),
+        )
+        .unwrap();
+        let optimized = x2y::solve(
+            &inst,
+            q,
+            x2y::X2yAlgorithm::GridOptimized(FitPolicy::FirstFitDecreasing),
+        )
+        .unwrap();
+        optimized.validate(&inst, q).unwrap();
+        table.push_row(&[
+            &format!("{r}:1"),
+            &balanced.reducer_count(),
+            &optimized.reducer_count(),
+            &ratio(balanced.reducer_count() as u128, optimized.reducer_count() as u128),
+        ]);
+    }
+    table
+}
+
+/// Part 7b: A2A big+small, two packings vs shared bins, as the big input
+/// grows toward `q`.
+pub fn run_b(scale: Scale) -> Table {
+    let m = scale.pick(60, 600);
+    let q = 1_000u64;
+
+    let mut table = Table::new(
+        "Figure 7b — A2A big+small: two packings vs shared bins",
+        &[
+            "w_big_frac",
+            "two_pack_z",
+            "shared_z",
+            "shared_penalty",
+        ],
+    );
+
+    for frac in [55u64, 65, 75, 85, 95] {
+        let w_big = q * frac / 100;
+        let mut weights =
+            SizeDistribution::Uniform { lo: 10, hi: 50 }.sample_many(m - 1, 41 + frac);
+        weights.push(w_big);
+        let inputs = InputSet::from_weights(weights);
+        let two_pack = a2a::solve(
+            &inputs,
+            q,
+            a2a::A2aAlgorithm::BigSmall {
+                policy: FitPolicy::FirstFitDecreasing,
+                shared_bins: false,
+            },
+        )
+        .unwrap();
+        let shared = a2a::solve(
+            &inputs,
+            q,
+            a2a::A2aAlgorithm::BigSmall {
+                policy: FitPolicy::FirstFitDecreasing,
+                shared_bins: true,
+            },
+        )
+        .unwrap();
+        shared.validate_a2a(&inputs, q).unwrap();
+        two_pack.validate_a2a(&inputs, q).unwrap();
+        table.push_row(&[
+            &format!("0.{frac}"),
+            &two_pack.reducer_count(),
+            &shared.reducer_count(),
+            &ratio(shared.reducer_count() as u128, two_pack.reducer_count() as u128),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_7a_optimized_never_worse() {
+        let table = run(Scale::Smoke);
+        for line in table.render().lines().skip(2) {
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            let balanced: u64 = cols[1].parse().unwrap();
+            let optimized: u64 = cols[2].parse().unwrap();
+            assert!(optimized <= balanced, "{line}");
+        }
+    }
+
+    #[test]
+    fn smoke_7b_shared_penalty_grows_with_big_fraction() {
+        let table = run_b(Scale::Smoke);
+        let penalties: Vec<f64> = table
+            .render()
+            .lines()
+            .skip(2)
+            .map(|l| l.split_whitespace().last().unwrap().parse().unwrap())
+            .collect();
+        // The last (biggest w_big) penalty should exceed the first.
+        assert!(
+            penalties.last().unwrap() > penalties.first().unwrap(),
+            "{penalties:?}"
+        );
+        // Shared is never better than two packings on these workloads.
+        assert!(penalties.iter().all(|&p| p >= 1.0 - 1e-9));
+    }
+}

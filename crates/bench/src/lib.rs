@@ -1,0 +1,27 @@
+//! Experiment harness for the mrassign reproduction.
+//!
+//! One module (and one binary under `src/bin/`) per table/figure listed in
+//! `DESIGN.md`. Every experiment:
+//!
+//! * runs at two scales — [`Scale::Smoke`] for tests, [`Scale::Full`] for
+//!   the recorded results in `EXPERIMENTS.md`;
+//! * returns a [`Table`] that is printed aligned to stdout and written as
+//!   CSV under `results/`;
+//! * is deterministic (fixed seeds), so re-running regenerates identical
+//!   numbers.
+//!
+//! Criterion microbenchmarks of the same code paths live in `benches/`.
+
+pub mod common;
+pub mod fig1_reducers_vs_q;
+pub mod fig2_comm_vs_q;
+pub mod fig3_parallelism_vs_q;
+pub mod fig4_skewjoin;
+pub mod fig5_simjoin;
+pub mod fig6_packing_ablation;
+pub mod fig7_split_ablation;
+pub mod table1_summary;
+pub mod table2_hardness;
+pub mod table3_gap;
+
+pub use common::{Scale, Table};

@@ -1,0 +1,236 @@
+//! **Table 1 — summary of results.** One row per size regime and
+//! algorithm: measured reducers vs. lower bound, measured communication
+//! vs. lower bound, averaged over seeds. This is the empirical version of
+//! the paper's summary-of-results table: the ratios must stay below the
+//! per-regime constants the paper's analysis promises.
+
+use mrassign_binpack::FitPolicy;
+use mrassign_core::{a2a, bounds, stats::SchemaStats, x2y, InputSet, X2yInstance};
+use mrassign_workloads::SizeDistribution;
+
+use crate::common::{ratio, Scale, Table};
+
+struct Regime {
+    name: &'static str,
+    algorithm: &'static str,
+    claimed: &'static str,
+}
+
+/// Runs the experiment at the given scale.
+pub fn run(scale: Scale) -> Table {
+    let m = scale.pick(60, 1_000);
+    let seeds: u64 = scale.pick(1, 5);
+    let q = 200u64;
+
+    let mut table = Table::new(
+        "Table 1 — per-regime algorithms vs lower bounds",
+        &[
+            "regime",
+            "algorithm",
+            "m",
+            "q",
+            "seeds",
+            "z_avg",
+            "z_lb_avg",
+            "z_ratio",
+            "comm_ratio",
+            "claimed",
+        ],
+    );
+
+    // Accumulators: (Σz, Σz_lb, Σcomm, Σcomm_lb) per regime.
+    let run_a2a = |regime: &Regime,
+                       table: &mut Table,
+                       make: &dyn Fn(u64) -> (InputSet, a2a::A2aAlgorithm)| {
+        let (mut z_sum, mut zlb_sum, mut c_sum, mut clb_sum) = (0u128, 0u128, 0u128, 0u128);
+        for seed in 0..seeds {
+            let (inputs, algo) = make(seed);
+            let schema = a2a::solve(&inputs, q, algo).expect("regime instances are feasible");
+            schema.validate_a2a(&inputs, q).expect("schema is valid");
+            let stats = SchemaStats::for_a2a(&schema, &inputs, q);
+            z_sum += stats.reducers as u128;
+            zlb_sum += bounds::a2a_reducer_lb(&inputs, q) as u128;
+            c_sum += stats.communication;
+            clb_sum += bounds::a2a_comm_lb(&inputs, q);
+        }
+        let s = seeds as u128;
+        table.push_row(&[
+            &regime.name,
+            &regime.algorithm,
+            &m,
+            &q,
+            &seeds,
+            &(z_sum / s),
+            &(zlb_sum / s),
+            &ratio(z_sum, zlb_sum),
+            &ratio(c_sum, clb_sum),
+            &regime.claimed,
+        ]);
+    };
+
+    // -- A2A, equal sizes: the grouping algorithm -------------------------
+    run_a2a(
+        &Regime {
+            name: "A2A equal sizes",
+            algorithm: "grouping",
+            claimed: "<=2",
+        },
+        &mut table,
+        &|_, | {
+            (
+                InputSet::from_weights(vec![20; m]),
+                a2a::A2aAlgorithm::GroupingEqual,
+            )
+        },
+    );
+
+    // -- A2A, sizes <= q/2: bin-pack and pair -----------------------------
+    run_a2a(
+        &Regime {
+            name: "A2A uniform <= q/2",
+            algorithm: "FFD pairing",
+            claimed: "<=2",
+        },
+        &mut table,
+        &|seed| {
+            let w = SizeDistribution::Uniform { lo: 10, hi: 100 }.sample_many(m, 100 + seed);
+            (
+                InputSet::from_weights(w),
+                a2a::A2aAlgorithm::BinPackPairing(FitPolicy::FirstFitDecreasing),
+            )
+        },
+    );
+
+    // -- A2A, one big input -----------------------------------------------
+    run_a2a(
+        &Regime {
+            name: "A2A one big (0.7q)",
+            algorithm: "big+small",
+            claimed: "<=2",
+        },
+        &mut table,
+        &|seed| {
+            let mut w = SizeDistribution::Uniform { lo: 5, hi: 30 }.sample_many(m - 1, 200 + seed);
+            w.push(140); // 0.7 * q
+            (
+                InputSet::from_weights(w),
+                a2a::A2aAlgorithm::BigSmall {
+                    policy: FitPolicy::FirstFitDecreasing,
+                    shared_bins: false,
+                },
+            )
+        },
+    );
+
+    // -- X2Y regimes -------------------------------------------------------
+    let run_x2y = |regime: &Regime,
+                       table: &mut Table,
+                       make: &dyn Fn(u64) -> (X2yInstance, x2y::X2yAlgorithm)| {
+        let (mut z_sum, mut zlb_sum, mut c_sum, mut clb_sum) = (0u128, 0u128, 0u128, 0u128);
+        for seed in 0..seeds {
+            let (inst, algo) = make(seed);
+            let schema = x2y::solve(&inst, q, algo).expect("regime instances are feasible");
+            schema.validate(&inst, q).expect("schema is valid");
+            let stats = SchemaStats::for_x2y(&schema, &inst, q);
+            z_sum += stats.reducers as u128;
+            zlb_sum += bounds::x2y_reducer_lb(&inst, q) as u128;
+            c_sum += stats.communication;
+            clb_sum += bounds::x2y_comm_lb(&inst, q);
+        }
+        let s = seeds as u128;
+        table.push_row(&[
+            &regime.name,
+            &regime.algorithm,
+            &m,
+            &q,
+            &seeds,
+            &(z_sum / s),
+            &(zlb_sum / s),
+            &ratio(z_sum, zlb_sum),
+            &ratio(c_sum, clb_sum),
+            &regime.claimed,
+        ]);
+    };
+
+    run_x2y(
+        &Regime {
+            name: "X2Y uniform both",
+            algorithm: "grid (balanced)",
+            claimed: "<=4",
+        },
+        &mut table,
+        &|seed| {
+            let x = SizeDistribution::Uniform { lo: 10, hi: 100 }.sample_many(m, 300 + seed);
+            let y = SizeDistribution::Uniform { lo: 10, hi: 100 }.sample_many(m, 400 + seed);
+            (
+                X2yInstance::from_weights(x, y),
+                x2y::X2yAlgorithm::Grid(FitPolicy::FirstFitDecreasing),
+            )
+        },
+    );
+
+    run_x2y(
+        &Regime {
+            name: "X2Y asymmetric (8:1)",
+            algorithm: "grid (opt split)",
+            claimed: "<=4",
+        },
+        &mut table,
+        &|seed| {
+            let x = SizeDistribution::Uniform { lo: 10, hi: 100 }.sample_many(m, 500 + seed);
+            let y = SizeDistribution::Uniform { lo: 5, hi: 20 }.sample_many(m / 8, 600 + seed);
+            (
+                X2yInstance::from_weights(x, y),
+                x2y::X2yAlgorithm::GridOptimized(FitPolicy::FirstFitDecreasing),
+            )
+        },
+    );
+
+    run_x2y(
+        &Regime {
+            name: "X2Y bigs in X",
+            algorithm: "big handling",
+            claimed: "<=4",
+        },
+        &mut table,
+        &|seed| {
+            let mut x = SizeDistribution::Uniform { lo: 10, hi: 100 }
+                .sample_many(m - m / 20 - 1, 700 + seed);
+            // 5% big X inputs at 0.7q; Y capped at 0.3q for feasibility.
+            x.extend(std::iter::repeat_n(140, m / 20 + 1));
+            let y = SizeDistribution::Uniform { lo: 5, hi: 60 }.sample_many(m, 800 + seed);
+            (
+                X2yInstance::from_weights(x, y),
+                x2y::X2yAlgorithm::BigHandling(FitPolicy::FirstFitDecreasing),
+            )
+        },
+    );
+
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_runs_all_regimes() {
+        let table = run(Scale::Smoke);
+        assert_eq!(table.len(), 6);
+        let rendered = table.render();
+        assert!(rendered.contains("A2A equal sizes"));
+        assert!(rendered.contains("X2Y bigs in X"));
+    }
+
+    #[test]
+    fn smoke_ratios_stay_bounded() {
+        let table = run(Scale::Smoke);
+        // Every z_ratio column (index 7) should be a finite number below 4
+        // even at smoke scale (small m inflates constants slightly).
+        for line in table.render().lines().skip(2) {
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            let z_ratio: f64 = cols[cols.len() - 3].parse().unwrap();
+            assert!(z_ratio < 4.0, "ratio out of band in: {line}");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+use std::fmt;
+
+/// Errors produced while constructing or validating a packing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackError {
+    /// The bin capacity was zero; nothing can be packed.
+    ZeroCapacity,
+    /// An item is individually larger than the bin capacity, so no feasible
+    /// packing exists.
+    ItemTooLarge {
+        /// Index of the offending item in the caller's weight slice.
+        id: u32,
+        /// The item's weight.
+        weight: u64,
+        /// The bin capacity it exceeds.
+        capacity: u64,
+    },
+    /// A bin's summed weight exceeds the capacity (validation failure).
+    BinOverflow {
+        /// Index of the overflowing bin.
+        bin: usize,
+        /// The bin's total load.
+        load: u64,
+        /// The capacity it exceeds.
+        capacity: u64,
+    },
+    /// An item appears in no bin, or in more than one bin (validation failure).
+    ItemCountMismatch {
+        /// Number of item placements found across all bins.
+        placed: usize,
+        /// Number of items expected exactly once.
+        expected: usize,
+    },
+    /// A bin references an item id outside the weight slice, or twice
+    /// (validation failure).
+    UnknownOrDuplicateItem {
+        /// The offending item id.
+        id: u32,
+    },
+    /// A bin's recorded load disagrees with the sum of its items' weights
+    /// (validation failure).
+    LoadMismatch {
+        /// Index of the inconsistent bin.
+        bin: usize,
+        /// The load recorded on the bin.
+        recorded: u64,
+        /// The load recomputed from item weights.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for PackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackError::ZeroCapacity => write!(f, "bin capacity must be positive"),
+            PackError::ItemTooLarge {
+                id,
+                weight,
+                capacity,
+            } => write!(
+                f,
+                "item {id} has weight {weight}, larger than bin capacity {capacity}"
+            ),
+            PackError::BinOverflow {
+                bin,
+                load,
+                capacity,
+            } => write!(f, "bin {bin} has load {load} exceeding capacity {capacity}"),
+            PackError::ItemCountMismatch { placed, expected } => write!(
+                f,
+                "packing places {placed} items but exactly {expected} were expected"
+            ),
+            PackError::UnknownOrDuplicateItem { id } => {
+                write!(f, "item {id} is unknown or appears in more than one bin")
+            }
+            PackError::LoadMismatch {
+                bin,
+                recorded,
+                actual,
+            } => write!(
+                f,
+                "bin {bin} records load {recorded} but its items sum to {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PackError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = PackError::ItemTooLarge {
+            id: 3,
+            weight: 12,
+            capacity: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("item 3"));
+        assert!(s.contains("12"));
+        assert!(s.contains("10"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(PackError::ZeroCapacity, PackError::ZeroCapacity);
+        assert_ne!(
+            PackError::ZeroCapacity,
+            PackError::UnknownOrDuplicateItem { id: 0 }
+        );
+    }
+}

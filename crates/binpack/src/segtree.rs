@@ -1,0 +1,130 @@
+//! A fixed-size max segment tree over bin residual capacities.
+//!
+//! First-fit needs "the leftmost bin whose residual capacity is ≥ w" in
+//! better than linear time; with up to one bin per item, a naive scan makes
+//! first-fit quadratic. The tree stores one leaf per *potential* bin (n
+//! leaves for n items) initialized to 0 residual, supports point updates,
+//! and answers leftmost-fit queries in `O(log n)`.
+
+pub(crate) struct MaxSegTree {
+    /// Number of leaves (rounded up to a power of two).
+    size: usize,
+    /// 1-based heap layout; `tree[1]` is the root.
+    tree: Vec<u64>,
+}
+
+impl MaxSegTree {
+    /// Builds a tree with at least `n` leaves, all holding 0.
+    pub(crate) fn new(n: usize) -> Self {
+        let size = n.next_power_of_two().max(1);
+        MaxSegTree {
+            size,
+            tree: vec![0; 2 * size],
+        }
+    }
+
+    /// Sets leaf `idx` to `value` and rebalances ancestors.
+    pub(crate) fn set(&mut self, idx: usize, value: u64) {
+        debug_assert!(idx < self.size);
+        let mut node = self.size + idx;
+        self.tree[node] = value;
+        node /= 2;
+        while node >= 1 {
+            self.tree[node] = self.tree[2 * node].max(self.tree[2 * node + 1]);
+            if node == 1 {
+                break;
+            }
+            node /= 2;
+        }
+    }
+
+    /// Returns the leftmost leaf index whose value is ≥ `needed`, or `None`.
+    pub(crate) fn leftmost_at_least(&self, needed: u64) -> Option<usize> {
+        if self.tree[1] < needed {
+            return None;
+        }
+        let mut node = 1;
+        while node < self.size {
+            node = if self.tree[2 * node] >= needed {
+                2 * node
+            } else {
+                2 * node + 1
+            };
+        }
+        Some(node - self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree_finds_nothing_positive() {
+        let t = MaxSegTree::new(8);
+        assert_eq!(t.leftmost_at_least(1), None);
+        // Every leaf trivially satisfies a zero requirement.
+        assert_eq!(t.leftmost_at_least(0), Some(0));
+    }
+
+    #[test]
+    fn finds_leftmost_not_best() {
+        let mut t = MaxSegTree::new(8);
+        t.set(2, 5);
+        t.set(5, 9);
+        assert_eq!(t.leftmost_at_least(4), Some(2));
+        assert_eq!(t.leftmost_at_least(6), Some(5));
+        assert_eq!(t.leftmost_at_least(10), None);
+    }
+
+    #[test]
+    fn updates_are_visible() {
+        let mut t = MaxSegTree::new(4);
+        t.set(0, 3);
+        assert_eq!(t.leftmost_at_least(3), Some(0));
+        t.set(0, 1);
+        assert_eq!(t.leftmost_at_least(3), None);
+        t.set(3, 3);
+        assert_eq!(t.leftmost_at_least(2), Some(3));
+    }
+
+    #[test]
+    fn single_leaf_tree_works() {
+        let mut t = MaxSegTree::new(1);
+        assert_eq!(t.leftmost_at_least(1), None);
+        t.set(0, 7);
+        assert_eq!(t.leftmost_at_least(7), Some(0));
+        assert_eq!(t.leftmost_at_least(8), None);
+    }
+
+    #[test]
+    fn non_power_of_two_sizes_round_up() {
+        let mut t = MaxSegTree::new(5);
+        t.set(4, 2);
+        assert_eq!(t.leftmost_at_least(2), Some(4));
+    }
+
+    #[test]
+    fn matches_linear_scan_on_random_data() {
+        // Deterministic pseudo-random probe without external crates.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let n = 64;
+        let mut t = MaxSegTree::new(n);
+        let mut vals = vec![0u64; n];
+        for _ in 0..500 {
+            let idx = (next() % n as u64) as usize;
+            let val = next() % 100;
+            vals[idx] = val;
+            t.set(idx, val);
+            let needed = next() % 110;
+            let expected = vals.iter().position(|&v| v >= needed);
+            assert_eq!(t.leftmost_at_least(needed), expected);
+        }
+    }
+}

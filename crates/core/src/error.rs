@@ -1,0 +1,137 @@
+use std::fmt;
+
+use crate::input::{InputId, Weight};
+
+/// Errors from building or validating mapping schemas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The reducer capacity is zero.
+    ZeroCapacity,
+    /// No mapping schema exists: two inputs that must meet exceed the
+    /// capacity together.
+    Infeasible {
+        /// One input of the offending pair.
+        a: InputId,
+        /// The other input (from Y, for X2Y instances).
+        b: InputId,
+        /// Their combined weight.
+        combined: Weight,
+        /// The capacity they exceed.
+        capacity: Weight,
+    },
+    /// A reducer's summed input weight exceeds the capacity.
+    CapacityExceeded {
+        /// Index of the overloaded reducer in the schema.
+        reducer: usize,
+        /// Its summed weight.
+        load: Weight,
+        /// The capacity it exceeds.
+        capacity: Weight,
+    },
+    /// A pair of inputs that must meet shares no reducer.
+    UncoveredPair {
+        /// First input (an X input for X2Y schemas).
+        a: InputId,
+        /// Second input (a Y input for X2Y schemas).
+        b: InputId,
+    },
+    /// A reducer references an input id outside the instance.
+    UnknownInput {
+        /// The offending id.
+        id: InputId,
+    },
+    /// A reducer lists the same input twice.
+    DuplicateInput {
+        /// Index of the reducer.
+        reducer: usize,
+        /// The duplicated id.
+        id: InputId,
+    },
+    /// The algorithm requires a size regime the instance violates (e.g.
+    /// bin-pack-and-pair requires every input ≤ ⌊q/2⌋).
+    RegimeViolation {
+        /// The violating input.
+        id: InputId,
+        /// Its weight.
+        weight: Weight,
+        /// The regime's per-input limit.
+        limit: Weight,
+    },
+    /// The exact solver exhausted its node budget without certifying an
+    /// optimum.
+    BudgetExhausted {
+        /// Nodes expanded before giving up.
+        nodes: u64,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::ZeroCapacity => write!(f, "reducer capacity must be positive"),
+            SchemaError::Infeasible {
+                a,
+                b,
+                combined,
+                capacity,
+            } => write!(
+                f,
+                "no mapping schema exists: inputs {a} and {b} weigh {combined} together, \
+                 exceeding reducer capacity {capacity}"
+            ),
+            SchemaError::CapacityExceeded {
+                reducer,
+                load,
+                capacity,
+            } => write!(
+                f,
+                "reducer {reducer} is assigned {load} weight, exceeding capacity {capacity}"
+            ),
+            SchemaError::UncoveredPair { a, b } => {
+                write!(f, "inputs {a} and {b} share no reducer")
+            }
+            SchemaError::UnknownInput { id } => write!(f, "reducer references unknown input {id}"),
+            SchemaError::DuplicateInput { reducer, id } => {
+                write!(f, "reducer {reducer} lists input {id} more than once")
+            }
+            SchemaError::RegimeViolation { id, weight, limit } => write!(
+                f,
+                "input {id} weighs {weight}, outside this algorithm's per-input limit {limit}"
+            ),
+            SchemaError::BudgetExhausted { nodes } => {
+                write!(f, "exact search exhausted its budget after {nodes} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infeasible_message_names_both_inputs() {
+        let e = SchemaError::Infeasible {
+            a: 4,
+            b: 9,
+            combined: 120,
+            capacity: 100,
+        };
+        let s = e.to_string();
+        assert!(s.contains('4') && s.contains('9') && s.contains("120") && s.contains("100"));
+    }
+
+    #[test]
+    fn variants_compare() {
+        assert_eq!(
+            SchemaError::UncoveredPair { a: 1, b: 2 },
+            SchemaError::UncoveredPair { a: 1, b: 2 }
+        );
+        assert_ne!(
+            SchemaError::UncoveredPair { a: 1, b: 2 },
+            SchemaError::UncoveredPair { a: 2, b: 1 }
+        );
+    }
+}

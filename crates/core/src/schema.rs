@@ -1,0 +1,566 @@
+//! Mapping schemas and their independent validation.
+//!
+//! A schema is just "which inputs go to which reducer"; its value lies in
+//! the certificate: [`MappingSchema::validate_a2a`] and
+//! [`X2ySchema::validate`] re-check the paper's two constraints (capacity,
+//! pair coverage) from scratch, so a schema that validates is correct no
+//! matter which algorithm produced it.
+
+use crate::bitset::BitSet;
+use crate::error::SchemaError;
+use crate::input::{InputId, InputSet, Weight, X2yInstance};
+
+/// Index of the unordered pair `(i, j)`, `i < j`, in row-major upper
+/// triangular order over `m` inputs.
+fn pair_index(i: usize, j: usize, m: usize) -> usize {
+    debug_assert!(i < j && j < m);
+    i * m - i * (i + 1) / 2 + (j - i - 1)
+}
+
+/// An A2A mapping schema: each reducer is the set of input ids assigned to
+/// it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MappingSchema {
+    reducers: Vec<Vec<InputId>>,
+}
+
+impl MappingSchema {
+    /// Creates an empty schema (valid for instances with fewer than two
+    /// inputs, which have no pairs to cover).
+    pub fn new() -> Self {
+        MappingSchema::default()
+    }
+
+    /// Wraps explicit reducer membership lists.
+    pub fn from_reducers(reducers: Vec<Vec<InputId>>) -> Self {
+        MappingSchema { reducers }
+    }
+
+    /// Adds a reducer holding `inputs`.
+    pub fn push_reducer(&mut self, inputs: Vec<InputId>) {
+        self.reducers.push(inputs);
+    }
+
+    /// Number of reducers `z`.
+    pub fn reducer_count(&self) -> usize {
+        self.reducers.len()
+    }
+
+    /// The reducers' membership lists.
+    pub fn reducers(&self) -> &[Vec<InputId>] {
+        &self.reducers
+    }
+
+    /// Per-reducer summed weights.
+    pub fn loads(&self, inputs: &InputSet) -> Vec<Weight> {
+        self.reducers
+            .iter()
+            .map(|r| r.iter().map(|&id| inputs.weight(id)).sum())
+            .collect()
+    }
+
+    /// Communication cost of executing this schema: every copy of every
+    /// input is one transfer, so the cost is the sum of all reducer loads
+    /// (in weight units).
+    pub fn communication_cost(&self, inputs: &InputSet) -> u128 {
+        self.reducers
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|&id| inputs.weight(id) as u128)
+            .sum()
+    }
+
+    /// Number of reducers each input is replicated to.
+    pub fn replication(&self, n_inputs: usize) -> Vec<u32> {
+        let mut rep = vec![0u32; n_inputs];
+        for r in &self.reducers {
+            for &id in r {
+                if (id as usize) < n_inputs {
+                    rep[id as usize] += 1;
+                }
+            }
+        }
+        rep
+    }
+
+    /// Compiles the schema into `(input, reducer targets)` routes for the
+    /// simulated engine's `TableRouter`.
+    pub fn to_routes(&self) -> Vec<(InputId, Vec<usize>)> {
+        let mut max_id = 0usize;
+        for r in &self.reducers {
+            for &id in r {
+                max_id = max_id.max(id as usize + 1);
+            }
+        }
+        let mut routes: Vec<(InputId, Vec<usize>)> = (0..max_id)
+            .map(|id| (id as InputId, Vec::new()))
+            .collect();
+        for (rid, r) in self.reducers.iter().enumerate() {
+            for &id in r {
+                routes[id as usize].1.push(rid);
+            }
+        }
+        routes
+    }
+
+    /// Verifies this schema solves the A2A problem for `inputs` under
+    /// capacity `q`: ids in range, no duplicates inside a reducer, all
+    /// loads ≤ `q`, and every unordered pair of inputs co-resident
+    /// somewhere. Returns the first violation.
+    pub fn validate_a2a(&self, inputs: &InputSet, q: Weight) -> Result<(), SchemaError> {
+        if q == 0 {
+            return Err(SchemaError::ZeroCapacity);
+        }
+        let m = inputs.len();
+        let mut covered = BitSet::new(if m >= 2 { m * (m - 1) / 2 } else { 0 });
+        let mut seen_in_reducer = vec![usize::MAX; m];
+
+        for (rid, r) in self.reducers.iter().enumerate() {
+            let mut load: Weight = 0;
+            for &id in r {
+                let idx = id as usize;
+                if idx >= m {
+                    return Err(SchemaError::UnknownInput { id });
+                }
+                if seen_in_reducer[idx] == rid {
+                    return Err(SchemaError::DuplicateInput { reducer: rid, id });
+                }
+                seen_in_reducer[idx] = rid;
+                load = load.saturating_add(inputs.weight(id));
+            }
+            if load > q {
+                return Err(SchemaError::CapacityExceeded {
+                    reducer: rid,
+                    load,
+                    capacity: q,
+                });
+            }
+            for (a_pos, &a) in r.iter().enumerate() {
+                for &b in &r[a_pos + 1..] {
+                    let (i, j) = if a < b { (a, b) } else { (b, a) };
+                    covered.insert(pair_index(i as usize, j as usize, m));
+                }
+            }
+        }
+
+        if let Some(missing) = covered.first_unset() {
+            // Invert the triangular index to name the uncovered pair.
+            let (mut i, mut rem) = (0usize, missing);
+            loop {
+                let row = m - i - 1;
+                if rem < row {
+                    break;
+                }
+                rem -= row;
+                i += 1;
+            }
+            let j = i + 1 + rem;
+            return Err(SchemaError::UncoveredPair {
+                a: i as InputId,
+                b: j as InputId,
+            });
+        }
+        debug_assert_eq!(covered.count(), covered.len());
+        Ok(())
+    }
+}
+
+/// One X2Y reducer: the X inputs and Y inputs assigned to it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct X2yReducer {
+    /// Ids into the instance's X set.
+    pub x: Vec<InputId>,
+    /// Ids into the instance's Y set.
+    pub y: Vec<InputId>,
+}
+
+/// An X2Y mapping schema.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct X2ySchema {
+    reducers: Vec<X2yReducer>,
+}
+
+impl X2ySchema {
+    /// Creates an empty schema (valid when either side is empty).
+    pub fn new() -> Self {
+        X2ySchema::default()
+    }
+
+    /// Wraps explicit reducers.
+    pub fn from_reducers(reducers: Vec<X2yReducer>) -> Self {
+        X2ySchema { reducers }
+    }
+
+    /// Adds a reducer.
+    pub fn push_reducer(&mut self, x: Vec<InputId>, y: Vec<InputId>) {
+        self.reducers.push(X2yReducer { x, y });
+    }
+
+    /// Number of reducers `z`.
+    pub fn reducer_count(&self) -> usize {
+        self.reducers.len()
+    }
+
+    /// The reducers.
+    pub fn reducers(&self) -> &[X2yReducer] {
+        &self.reducers
+    }
+
+    /// Per-reducer summed weights (X side + Y side).
+    pub fn loads(&self, inst: &X2yInstance) -> Vec<Weight> {
+        self.reducers
+            .iter()
+            .map(|r| {
+                let wx: Weight = r.x.iter().map(|&id| inst.x.weight(id)).sum();
+                let wy: Weight = r.y.iter().map(|&id| inst.y.weight(id)).sum();
+                wx + wy
+            })
+            .collect()
+    }
+
+    /// Communication cost: total weight of all input copies.
+    pub fn communication_cost(&self, inst: &X2yInstance) -> u128 {
+        self.reducers
+            .iter()
+            .map(|r| {
+                let wx: u128 = r.x.iter().map(|&id| inst.x.weight(id) as u128).sum();
+                let wy: u128 = r.y.iter().map(|&id| inst.y.weight(id) as u128).sum();
+                wx + wy
+            })
+            .sum()
+    }
+
+    /// Replication counts for the X side and Y side.
+    pub fn replication(&self, inst: &X2yInstance) -> (Vec<u32>, Vec<u32>) {
+        let mut rx = vec![0u32; inst.x.len()];
+        let mut ry = vec![0u32; inst.y.len()];
+        for r in &self.reducers {
+            for &id in &r.x {
+                if (id as usize) < rx.len() {
+                    rx[id as usize] += 1;
+                }
+            }
+            for &id in &r.y {
+                if (id as usize) < ry.len() {
+                    ry[id as usize] += 1;
+                }
+            }
+        }
+        (rx, ry)
+    }
+
+    /// Whether every cross pair is covered by **exactly one** reducer.
+    ///
+    /// Validity only requires *at least* one common reducer, but
+    /// exactly-once coverage is what lets a join emit each output without
+    /// deduplication. All constructions in [`crate::x2y`] have this
+    /// property (each input lands in one bin per grid dimension); the skew
+    /// join asserts it when compiling schemas to routes.
+    pub fn covers_exactly_once(&self, inst: &X2yInstance) -> bool {
+        let ny = inst.y.len();
+        let mut counts = vec![0u32; inst.x.len() * ny];
+        for r in &self.reducers {
+            for &x in &r.x {
+                for &y in &r.y {
+                    let idx = x as usize * ny + y as usize;
+                    if idx >= counts.len() {
+                        return false;
+                    }
+                    counts[idx] += 1;
+                }
+            }
+        }
+        counts.iter().all(|&c| c == 1)
+    }
+
+    /// Verifies this schema solves the X2Y problem for `inst` under
+    /// capacity `q`. Checks ids, duplicates, loads, and coverage of every
+    /// cross pair `(x, y)`.
+    pub fn validate(&self, inst: &X2yInstance, q: Weight) -> Result<(), SchemaError> {
+        if q == 0 {
+            return Err(SchemaError::ZeroCapacity);
+        }
+        let (nx, ny) = (inst.x.len(), inst.y.len());
+        let mut covered = BitSet::new(nx * ny);
+
+        for (rid, r) in self.reducers.iter().enumerate() {
+            let mut load: Weight = 0;
+            let mut seen_x = std::collections::HashSet::new();
+            for &id in &r.x {
+                if (id as usize) >= nx {
+                    return Err(SchemaError::UnknownInput { id });
+                }
+                if !seen_x.insert(id) {
+                    return Err(SchemaError::DuplicateInput { reducer: rid, id });
+                }
+                load = load.saturating_add(inst.x.weight(id));
+            }
+            let mut seen_y = std::collections::HashSet::new();
+            for &id in &r.y {
+                if (id as usize) >= ny {
+                    return Err(SchemaError::UnknownInput { id });
+                }
+                if !seen_y.insert(id) {
+                    return Err(SchemaError::DuplicateInput { reducer: rid, id });
+                }
+                load = load.saturating_add(inst.y.weight(id));
+            }
+            if load > q {
+                return Err(SchemaError::CapacityExceeded {
+                    reducer: rid,
+                    load,
+                    capacity: q,
+                });
+            }
+            for &x in &r.x {
+                for &y in &r.y {
+                    covered.insert(x as usize * ny + y as usize);
+                }
+            }
+        }
+
+        if let Some(missing) = covered.first_unset() {
+            return Err(SchemaError::UncoveredPair {
+                a: (missing / ny) as InputId,
+                b: (missing % ny) as InputId,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn four_inputs() -> InputSet {
+        InputSet::from_weights(vec![3, 4, 5, 6])
+    }
+
+    #[test]
+    fn pair_index_is_a_bijection() {
+        let m = 7;
+        let mut seen = vec![false; m * (m - 1) / 2];
+        for i in 0..m {
+            for j in i + 1..m {
+                let idx = pair_index(i, j, m);
+                assert!(!seen[idx], "collision at ({i},{j})");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn valid_a2a_schema_passes() {
+        // One reducer with everything: capacity 18 = total weight.
+        let schema = MappingSchema::from_reducers(vec![vec![0, 1, 2, 3]]);
+        schema.validate_a2a(&four_inputs(), 18).unwrap();
+    }
+
+    #[test]
+    fn uncovered_pair_is_reported() {
+        let schema = MappingSchema::from_reducers(vec![vec![0, 1], vec![2, 3], vec![0, 2], vec![1, 3], vec![0, 3]]);
+        // Missing pair: (1, 2).
+        assert_eq!(
+            schema.validate_a2a(&four_inputs(), 18),
+            Err(SchemaError::UncoveredPair { a: 1, b: 2 })
+        );
+    }
+
+    #[test]
+    fn overloaded_reducer_is_reported() {
+        let schema = MappingSchema::from_reducers(vec![vec![0, 1, 2, 3]]);
+        assert_eq!(
+            schema.validate_a2a(&four_inputs(), 17),
+            Err(SchemaError::CapacityExceeded {
+                reducer: 0,
+                load: 18,
+                capacity: 17
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_and_duplicate_inputs_rejected() {
+        let unknown = MappingSchema::from_reducers(vec![vec![0, 9]]);
+        assert_eq!(
+            unknown.validate_a2a(&four_inputs(), 100),
+            Err(SchemaError::UnknownInput { id: 9 })
+        );
+        let dup = MappingSchema::from_reducers(vec![vec![0, 0]]);
+        assert_eq!(
+            dup.validate_a2a(&four_inputs(), 100),
+            Err(SchemaError::DuplicateInput { reducer: 0, id: 0 })
+        );
+    }
+
+    #[test]
+    fn empty_schema_valid_for_tiny_instances() {
+        let schema = MappingSchema::new();
+        schema
+            .validate_a2a(&InputSet::from_weights(vec![]), 10)
+            .unwrap();
+        schema
+            .validate_a2a(&InputSet::from_weights(vec![5]), 10)
+            .unwrap();
+        assert_eq!(
+            schema.validate_a2a(&InputSet::from_weights(vec![5, 5]), 10),
+            Err(SchemaError::UncoveredPair { a: 0, b: 1 })
+        );
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        let schema = MappingSchema::new();
+        assert_eq!(
+            schema.validate_a2a(&InputSet::from_weights(vec![]), 0),
+            Err(SchemaError::ZeroCapacity)
+        );
+    }
+
+    #[test]
+    fn communication_and_replication_accounting() {
+        let inputs = four_inputs();
+        let schema =
+            MappingSchema::from_reducers(vec![vec![0, 1], vec![2, 3], vec![0, 2], vec![1, 3], vec![0, 3], vec![1, 2]]);
+        schema.validate_a2a(&inputs, 18).unwrap();
+        // Every input appears 3 times.
+        assert_eq!(schema.replication(4), vec![3, 3, 3, 3]);
+        assert_eq!(schema.communication_cost(&inputs), 3 * 18);
+        let loads = schema.loads(&inputs);
+        assert_eq!(loads, vec![7, 11, 8, 10, 9, 9]);
+    }
+
+    #[test]
+    fn routes_compile_per_input() {
+        let schema = MappingSchema::from_reducers(vec![vec![0, 2], vec![1, 2]]);
+        let routes = schema.to_routes();
+        assert_eq!(routes[0], (0, vec![0]));
+        assert_eq!(routes[1], (1, vec![1]));
+        assert_eq!(routes[2], (2, vec![0, 1]));
+    }
+
+    fn small_x2y() -> X2yInstance {
+        X2yInstance::from_weights(vec![2, 3], vec![4, 5])
+    }
+
+    #[test]
+    fn valid_x2y_schema_passes() {
+        let schema = X2ySchema::from_reducers(vec![X2yReducer {
+            x: vec![0, 1],
+            y: vec![0, 1],
+        }]);
+        schema.validate(&small_x2y(), 14).unwrap();
+    }
+
+    #[test]
+    fn x2y_uncovered_cross_pair_reported() {
+        let schema = X2ySchema::from_reducers(vec![
+            X2yReducer {
+                x: vec![0],
+                y: vec![0, 1],
+            },
+            X2yReducer {
+                x: vec![1],
+                y: vec![0],
+            },
+        ]);
+        assert_eq!(
+            schema.validate(&small_x2y(), 14),
+            Err(SchemaError::UncoveredPair { a: 1, b: 1 })
+        );
+    }
+
+    #[test]
+    fn x2y_same_side_pairs_not_required() {
+        // x0 and x1 never meet — that is fine for X2Y.
+        let schema = X2ySchema::from_reducers(vec![
+            X2yReducer {
+                x: vec![0],
+                y: vec![0, 1],
+            },
+            X2yReducer {
+                x: vec![1],
+                y: vec![0, 1],
+            },
+        ]);
+        schema.validate(&small_x2y(), 14).unwrap();
+    }
+
+    #[test]
+    fn x2y_capacity_counts_both_sides() {
+        let schema = X2ySchema::from_reducers(vec![X2yReducer {
+            x: vec![0, 1],
+            y: vec![0, 1],
+        }]);
+        assert_eq!(
+            schema.validate(&small_x2y(), 13),
+            Err(SchemaError::CapacityExceeded {
+                reducer: 0,
+                load: 14,
+                capacity: 13
+            })
+        );
+    }
+
+    #[test]
+    fn x2y_empty_side_is_trivially_valid() {
+        let inst = X2yInstance::from_weights(vec![], vec![1, 2]);
+        X2ySchema::new().validate(&inst, 10).unwrap();
+    }
+
+    #[test]
+    fn exactly_once_detection() {
+        let inst = small_x2y();
+        let once = X2ySchema::from_reducers(vec![
+            X2yReducer {
+                x: vec![0],
+                y: vec![0, 1],
+            },
+            X2yReducer {
+                x: vec![1],
+                y: vec![0, 1],
+            },
+        ]);
+        assert!(once.covers_exactly_once(&inst));
+        // Pair (0, 0) covered twice.
+        let twice = X2ySchema::from_reducers(vec![
+            X2yReducer {
+                x: vec![0, 1],
+                y: vec![0, 1],
+            },
+            X2yReducer {
+                x: vec![0],
+                y: vec![0],
+            },
+        ]);
+        assert!(!twice.covers_exactly_once(&inst));
+        // Missing pair.
+        let missing = X2ySchema::from_reducers(vec![X2yReducer {
+            x: vec![0],
+            y: vec![0, 1],
+        }]);
+        assert!(!missing.covers_exactly_once(&inst));
+    }
+
+    #[test]
+    fn x2y_replication_and_cost() {
+        let inst = small_x2y();
+        let schema = X2ySchema::from_reducers(vec![
+            X2yReducer {
+                x: vec![0],
+                y: vec![0, 1],
+            },
+            X2yReducer {
+                x: vec![1],
+                y: vec![0, 1],
+            },
+        ]);
+        let (rx, ry) = schema.replication(&inst);
+        assert_eq!(rx, vec![1, 1]);
+        assert_eq!(ry, vec![2, 2]);
+        assert_eq!(schema.communication_cost(&inst), 2 + 3 + 2 * 9);
+        assert_eq!(schema.loads(&inst), vec![11, 12]);
+    }
+}

@@ -1,0 +1,453 @@
+//! Algorithms for the **X2Y mapping schema problem**: two disjoint input
+//! sets `X` and `Y`; every cross pair `(x, y)` must share a reducer of
+//! capacity `q`. This is the schema behind skew joins (the X-tuples and
+//! Y-tuples of one heavy hitter) and outer/tensor products.
+//!
+//! | regime | algorithm | entry point |
+//! |---|---|---|
+//! | `W_X + W_Y ≤ q` | one reducer (optimal) | [`one_reducer`] |
+//! | all sizes ≤ `⌊q/2⌋` | pack X into `c`-bins and Y into `(q−c)`-bins, one reducer per bin pair (grid) | [`grid`] |
+//! | asymmetric sides | sweep the capacity split `c` to minimize `k_X·k_Y` | [`grid_optimized`] |
+//! | big inputs on one side | each big `x` crossed with `(q−w_x)`-bins of Y; smalls via grid | [`big_handling`] |
+//!
+//! Feasibility (`max_X + max_Y ≤ q`) implies at most one side has inputs
+//! above `⌊q/2⌋`, which is why [`big_handling`] only ever deals with
+//! one-sided bigs. [`solve`] dispatches by regime.
+
+use mrassign_binpack::FitPolicy;
+
+use crate::bounds::x2y_feasible;
+use crate::error::SchemaError;
+use crate::input::{InputId, InputSet, Weight, X2yInstance};
+use crate::schema::{X2yReducer, X2ySchema};
+
+/// Strategy selector for [`solve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum X2yAlgorithm {
+    /// Pick automatically: one reducer if everything fits, big-input
+    /// handling when a side has inputs above `⌊q/2⌋`, the balanced grid
+    /// otherwise.
+    Auto,
+    /// Force the single-reducer schema (errors if `W_X + W_Y > q`).
+    OneReducer,
+    /// Force the grid with a balanced capacity split (`c = ⌊q/2⌋`).
+    Grid(FitPolicy),
+    /// Force the grid with an explicit X-side capacity `c` (Y side gets
+    /// `q − c`).
+    GridWithSplit(FitPolicy, Weight),
+    /// Force the grid, sweeping the split to minimize the reducer count.
+    GridOptimized(FitPolicy),
+    /// Force big-input handling (falls back to the balanced grid when no
+    /// big inputs exist).
+    BigHandling(FitPolicy),
+}
+
+/// Computes an X2Y mapping schema for `inst` under capacity `q`.
+///
+/// # Errors
+///
+/// [`SchemaError::Infeasible`] when some cross pair cannot fit,
+/// [`SchemaError::RegimeViolation`] when a forced algorithm's regime is
+/// violated, [`SchemaError::ZeroCapacity`] for `q == 0`.
+pub fn solve(
+    inst: &X2yInstance,
+    q: Weight,
+    algorithm: X2yAlgorithm,
+) -> Result<X2ySchema, SchemaError> {
+    x2y_feasible(inst, q)?;
+    if inst.x.is_empty() || inst.y.is_empty() {
+        return Ok(X2ySchema::new());
+    }
+    match algorithm {
+        X2yAlgorithm::Auto => {
+            if inst.x.total_weight() + inst.y.total_weight() <= q as u128 {
+                one_reducer(inst, q)
+            } else if !inst.x.heavier_than(q / 2).is_empty()
+                || !inst.y.heavier_than(q / 2).is_empty()
+            {
+                big_handling(inst, q, FitPolicy::FirstFitDecreasing)
+            } else {
+                grid(inst, q, FitPolicy::FirstFitDecreasing, None)
+            }
+        }
+        X2yAlgorithm::OneReducer => one_reducer(inst, q),
+        X2yAlgorithm::Grid(policy) => grid(inst, q, policy, None),
+        X2yAlgorithm::GridWithSplit(policy, c) => grid(inst, q, policy, Some(c)),
+        X2yAlgorithm::GridOptimized(policy) => grid_optimized(inst, q, policy),
+        X2yAlgorithm::BigHandling(policy) => big_handling(inst, q, policy),
+    }
+}
+
+/// The `W_X + W_Y ≤ q` regime: one reducer holding both sides. Optimal.
+pub fn one_reducer(inst: &X2yInstance, q: Weight) -> Result<X2ySchema, SchemaError> {
+    x2y_feasible(inst, q)?;
+    if inst.x.is_empty() || inst.y.is_empty() {
+        return Ok(X2ySchema::new());
+    }
+    let total = inst.x.total_weight() + inst.y.total_weight();
+    if total > q as u128 {
+        return Err(SchemaError::RegimeViolation {
+            id: 0,
+            weight: total.min(u64::MAX as u128) as u64,
+            limit: q,
+        });
+    }
+    Ok(X2ySchema::from_reducers(vec![X2yReducer {
+        x: (0..inst.x.len() as InputId).collect(),
+        y: (0..inst.y.len() as InputId).collect(),
+    }]))
+}
+
+/// The grid algorithm: pack X into bins of capacity `c` and Y into bins of
+/// capacity `q − c`, then assign every (X-bin, Y-bin) pair to a reducer.
+/// Every cross pair meets in its bins' reducer, and every reducer's load is
+/// at most `c + (q − c) = q`.
+///
+/// `x_capacity = None` uses the balanced split `c = ⌊q/2⌋`. Reducer count
+/// is `k_X · k_Y`; with first-fit-decreasing both factors are within 11/9
+/// of their packing optima, keeping the product within a constant of the
+/// cross-weight lower bound [`crate::bounds::x2y_reducer_lb`].
+pub fn grid(
+    inst: &X2yInstance,
+    q: Weight,
+    policy: FitPolicy,
+    x_capacity: Option<Weight>,
+) -> Result<X2ySchema, SchemaError> {
+    x2y_feasible(inst, q)?;
+    if inst.x.is_empty() || inst.y.is_empty() {
+        return Ok(X2ySchema::new());
+    }
+    let cx = x_capacity.unwrap_or(q / 2).min(q);
+    let cy = q - cx;
+    if cx == 0 || cy == 0 {
+        return Err(SchemaError::ZeroCapacity);
+    }
+    if let Some(&big) = inst.x.heavier_than(cx).first() {
+        return Err(SchemaError::RegimeViolation {
+            id: big,
+            weight: inst.x.weight(big),
+            limit: cx,
+        });
+    }
+    if let Some(&big) = inst.y.heavier_than(cy).first() {
+        return Err(SchemaError::RegimeViolation {
+            id: big,
+            weight: inst.y.weight(big),
+            limit: cy,
+        });
+    }
+    let x_bins = mrassign_binpack::pack_into_bins(inst.x.weights(), cx, policy)
+        .expect("regime checked: every X weight ≤ cx");
+    let y_bins = mrassign_binpack::pack_into_bins(inst.y.weights(), cy, policy)
+        .expect("regime checked: every Y weight ≤ cy");
+    let mut schema = X2ySchema::new();
+    for xb in &x_bins {
+        for yb in &y_bins {
+            schema.push_reducer(xb.clone(), yb.clone());
+        }
+    }
+    Ok(schema)
+}
+
+/// Grid with the capacity split swept to minimize the reducer count.
+///
+/// The feasible splits are `c ∈ [max_X, q − max_Y]`; the sweep probes the
+/// balanced split, both endpoints, and an evenly spaced ladder in between
+/// (33 candidates), packing both sides for each and keeping the smallest
+/// `k_X·k_Y`. This is the `fig7` ablation against the balanced default —
+/// the win appears when `W_X` and `W_Y` are very different, because the
+/// bigger side deserves most of the capacity.
+pub fn grid_optimized(
+    inst: &X2yInstance,
+    q: Weight,
+    policy: FitPolicy,
+) -> Result<X2ySchema, SchemaError> {
+    x2y_feasible(inst, q)?;
+    if inst.x.is_empty() || inst.y.is_empty() {
+        return Ok(X2ySchema::new());
+    }
+    let lo = inst.x.max_weight().max(1);
+    let hi = q - inst.y.max_weight().max(1);
+    if lo > hi {
+        // No split admits both sides as "small"; fall back to big handling.
+        return big_handling(inst, q, policy);
+    }
+    let mut candidates: Vec<Weight> = vec![lo, hi, (q / 2).clamp(lo, hi)];
+    let steps = 30u64;
+    for s in 1..steps {
+        candidates.push(lo + (hi - lo) * s / steps);
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+
+    let mut best: Option<X2ySchema> = None;
+    for c in candidates {
+        let schema = grid(inst, q, policy, Some(c))?;
+        if best
+            .as_ref()
+            .is_none_or(|b| schema.reducer_count() < b.reducer_count())
+        {
+            best = Some(schema);
+        }
+    }
+    Ok(best.expect("at least one candidate split was tried"))
+}
+
+/// Big-input handling: feasibility guarantees at most one side has inputs
+/// above `⌊q/2⌋`. Each such big `x` is crossed with `(q − w_x)`-capacity
+/// bins of the *entire* Y side (one reducer per bin); the remaining smalls
+/// meet Y through the ordinary grid.
+pub fn big_handling(
+    inst: &X2yInstance,
+    q: Weight,
+    policy: FitPolicy,
+) -> Result<X2ySchema, SchemaError> {
+    x2y_feasible(inst, q)?;
+    if inst.x.is_empty() || inst.y.is_empty() {
+        return Ok(X2ySchema::new());
+    }
+    let half = q / 2;
+    let bigs_x = inst.x.heavier_than(half);
+    let bigs_y = inst.y.heavier_than(half);
+    debug_assert!(
+        bigs_x.is_empty() || bigs_y.is_empty(),
+        "feasibility forbids bigs on both sides"
+    );
+
+    if bigs_x.is_empty() && bigs_y.is_empty() {
+        return grid(inst, q, policy, None);
+    }
+    if !bigs_y.is_empty() {
+        // Mirror: solve with sides swapped, then swap reducers back.
+        let mirrored = X2yInstance {
+            x: inst.y.clone(),
+            y: inst.x.clone(),
+        };
+        let schema = big_handling(&mirrored, q, policy)?;
+        return Ok(X2ySchema::from_reducers(
+            schema
+                .reducers()
+                .iter()
+                .map(|r| X2yReducer {
+                    x: r.y.clone(),
+                    y: r.x.clone(),
+                })
+                .collect(),
+        ));
+    }
+
+    let mut schema = X2ySchema::new();
+
+    // Bigs: one reducer per (big x, Y-bin at capacity q − w_x).
+    for &bx in &bigs_x {
+        let cap = q - inst.x.weight(bx);
+        if cap == 0 {
+            // w_x == q: feasibility forces every y to weigh 0.
+            schema.push_reducer(vec![bx], (0..inst.y.len() as InputId).collect());
+            continue;
+        }
+        let y_bins = mrassign_binpack::pack_into_bins(inst.y.weights(), cap, policy)
+            .expect("feasibility: every y ≤ q − w_x");
+        for yb in y_bins {
+            schema.push_reducer(vec![bx], yb);
+        }
+    }
+
+    // Smalls: grid over the small X subset and all of Y.
+    let smalls: Vec<InputId> = (0..inst.x.len() as InputId)
+        .filter(|i| !bigs_x.contains(i))
+        .collect();
+    if !smalls.is_empty() {
+        let sub = X2yInstance {
+            x: InputSet::from_weights(smalls.iter().map(|&i| inst.x.weight(i)).collect()),
+            y: inst.y.clone(),
+        };
+        let sub_schema = if sub.x.total_weight() + sub.y.total_weight() <= q as u128 {
+            one_reducer(&sub, q)?
+        } else {
+            grid(&sub, q, policy, None)?
+        };
+        for r in sub_schema.reducers() {
+            schema.push_reducer(
+                r.x.iter().map(|&local| smalls[local as usize]).collect(),
+                r.y.clone(),
+            );
+        }
+    }
+    Ok(schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+
+    fn check(inst: &X2yInstance, q: Weight, algo: X2yAlgorithm) -> X2ySchema {
+        let schema = solve(inst, q, algo).unwrap();
+        schema.validate(inst, q).unwrap();
+        schema
+    }
+
+    #[test]
+    fn one_reducer_when_fits() {
+        let inst = X2yInstance::from_weights(vec![2, 3], vec![1, 2]);
+        let schema = check(&inst, 8, X2yAlgorithm::Auto);
+        assert_eq!(schema.reducer_count(), 1);
+    }
+
+    #[test]
+    fn one_reducer_rejects_overflow() {
+        let inst = X2yInstance::from_weights(vec![2, 3], vec![1, 3]);
+        assert!(matches!(
+            solve(&inst, 8, X2yAlgorithm::OneReducer),
+            Err(SchemaError::RegimeViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn grid_matches_bin_count_product() {
+        // X: 8 inputs of 3 → cap-5 bins hold 1 each... 3+3 > 5, so 8 bins?
+        // No: 3 ≤ 5 but two 3s are 6 > 5 → one per bin → 8 bins.
+        // Y: 6 inputs of 2 → cap-5 bins hold 2 each → 3 bins.
+        let inst = X2yInstance::from_weights(vec![3; 8], vec![2; 6]);
+        let schema = check(&inst, 10, X2yAlgorithm::Grid(FitPolicy::FirstFitDecreasing));
+        assert_eq!(schema.reducer_count(), 8 * 3);
+    }
+
+    #[test]
+    fn grid_unbalanced_split_changes_counts() {
+        let inst = X2yInstance::from_weights(vec![3; 8], vec![2; 6]);
+        // cx = 6: X-bins hold 2 → 4 bins; cy = 4: Y-bins hold 2 → 3 bins.
+        let schema = check(
+            &inst,
+            10,
+            X2yAlgorithm::GridWithSplit(FitPolicy::FirstFitDecreasing, 6),
+        );
+        assert_eq!(schema.reducer_count(), 4 * 3);
+    }
+
+    #[test]
+    fn grid_optimized_never_worse_than_balanced() {
+        let cases = [
+            X2yInstance::from_weights(vec![3; 8], vec![2; 6]),
+            X2yInstance::from_weights(vec![4; 20], vec![1; 5]),
+            X2yInstance::from_weights(vec![5; 3], vec![5; 3]),
+        ];
+        for inst in cases {
+            let balanced = check(&inst, 10, X2yAlgorithm::Grid(FitPolicy::FirstFitDecreasing));
+            let optimized = check(
+                &inst,
+                10,
+                X2yAlgorithm::GridOptimized(FitPolicy::FirstFitDecreasing),
+            );
+            assert!(optimized.reducer_count() <= balanced.reducer_count());
+        }
+    }
+
+    #[test]
+    fn grid_optimized_wins_on_asymmetric_sides() {
+        // Huge X side, tiny Y side: giving X more capacity shrinks k_X
+        // faster than it grows k_Y.
+        let inst = X2yInstance::from_weights(vec![4; 40], vec![1; 4]);
+        let balanced = check(&inst, 12, X2yAlgorithm::Grid(FitPolicy::FirstFitDecreasing));
+        let optimized = check(
+            &inst,
+            12,
+            X2yAlgorithm::GridOptimized(FitPolicy::FirstFitDecreasing),
+        );
+        assert!(
+            optimized.reducer_count() < balanced.reducer_count(),
+            "optimized {} vs balanced {}",
+            optimized.reducer_count(),
+            balanced.reducer_count()
+        );
+    }
+
+    #[test]
+    fn grid_rejects_bigs() {
+        let inst = X2yInstance::from_weights(vec![6, 1], vec![1, 1]);
+        assert!(matches!(
+            solve(&inst, 10, X2yAlgorithm::Grid(FitPolicy::FirstFit)),
+            Err(SchemaError::RegimeViolation { id: 0, weight: 6, limit: 5 })
+        ));
+    }
+
+    #[test]
+    fn big_handling_covers_bigs_in_x() {
+        // Two big X inputs (7, 6 > 5) and small ones, Y all small.
+        let inst = X2yInstance::from_weights(vec![7, 6, 2, 2], vec![2, 2, 2, 1]);
+        let schema = check(&inst, 10, X2yAlgorithm::BigHandling(FitPolicy::FirstFitDecreasing));
+        assert!(schema.reducer_count() >= bounds::x2y_reducer_lb(&inst, 10));
+    }
+
+    #[test]
+    fn big_handling_mirrors_bigs_in_y() {
+        let inst = X2yInstance::from_weights(vec![2, 2, 2, 1], vec![7, 6, 2, 2]);
+        let schema = check(&inst, 10, X2yAlgorithm::BigHandling(FitPolicy::FirstFitDecreasing));
+        assert!(schema.reducer_count() >= 2);
+    }
+
+    #[test]
+    fn big_handling_with_w_big_equal_q() {
+        let inst = X2yInstance::from_weights(vec![10, 1], vec![0, 0]);
+        let schema = check(&inst, 10, X2yAlgorithm::BigHandling(FitPolicy::FirstFitDecreasing));
+        // The w=10 big gets one reducer with all (zero-weight) Y inputs.
+        assert!(schema.reducer_count() >= 2);
+    }
+
+    #[test]
+    fn auto_dispatch_handles_all_regimes() {
+        check(
+            &X2yInstance::from_weights(vec![1, 2], vec![2, 1]),
+            10,
+            X2yAlgorithm::Auto,
+        );
+        check(
+            &X2yInstance::from_weights(vec![3; 10], vec![2; 10]),
+            10,
+            X2yAlgorithm::Auto,
+        );
+        check(
+            &X2yInstance::from_weights(vec![8, 3, 3], vec![2; 10]),
+            10,
+            X2yAlgorithm::Auto,
+        );
+    }
+
+    #[test]
+    fn infeasible_cross_pair_rejected() {
+        let inst = X2yInstance::from_weights(vec![6], vec![5]);
+        assert!(matches!(
+            solve(&inst, 10, X2yAlgorithm::Auto),
+            Err(SchemaError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_sides_are_trivial() {
+        let inst = X2yInstance::from_weights(vec![], vec![1, 2, 3]);
+        assert_eq!(
+            solve(&inst, 10, X2yAlgorithm::Auto).unwrap().reducer_count(),
+            0
+        );
+        let inst2 = X2yInstance::from_weights(vec![1], vec![]);
+        assert_eq!(
+            solve(&inst2, 10, X2yAlgorithm::Auto)
+                .unwrap()
+                .reducer_count(),
+            0
+        );
+    }
+
+    #[test]
+    fn grid_reducer_count_tracks_lower_bound() {
+        let inst = X2yInstance::from_weights(vec![2; 50], vec![2; 50]);
+        let schema = check(&inst, 20, X2yAlgorithm::Grid(FitPolicy::FirstFitDecreasing));
+        let lb = bounds::x2y_reducer_lb(&inst, 20);
+        assert!(schema.reducer_count() >= lb);
+        // Balanced perfect packing: k = 10 bins per side → 100 reducers;
+        // LB = 4·100·100/400 = 100 → ratio 1 here.
+        assert_eq!(schema.reducer_count(), 100);
+        assert_eq!(lb, 100);
+    }
+}

@@ -1,0 +1,207 @@
+//! Property-based tests: every algorithm, on arbitrary feasible instances,
+//! produces a schema that independently validates; bounds never exceed
+//! achieved values; exact solvers never lose to heuristics.
+
+use mrassign_binpack::FitPolicy;
+use mrassign_core::{a2a, bounds, exact, stats::SchemaStats, x2y, InputSet, X2yInstance};
+use proptest::prelude::*;
+
+/// Feasible A2A instances: weights ≤ ⌊q/2⌋ guarantee any two fit, with an
+/// optional single big input ≤ q − max_small.
+fn feasible_a2a() -> impl Strategy<Value = (InputSet, u64)> {
+    (4u64..=120, any::<bool>()).prop_flat_map(|(q, with_big)| {
+        let smalls = proptest::collection::vec(0..=q / 2, 0..40);
+        (smalls, Just(q), Just(with_big)).prop_flat_map(|(smalls, q, with_big)| {
+            let max_small = smalls.iter().copied().max().unwrap_or(0);
+            let big = if with_big && q / 2 < q - max_small {
+                ((q / 2 + 1)..=(q - max_small)).prop_map(Some).boxed()
+            } else {
+                Just(None).boxed()
+            };
+            (Just(smalls), big, Just(q)).prop_map(|(mut weights, big, q)| {
+                if let Some(b) = big {
+                    weights.push(b);
+                }
+                (InputSet::from_weights(weights), q)
+            })
+        })
+    })
+}
+
+/// Feasible X2Y instances: both sides ≤ ⌊q/2⌋.
+fn feasible_x2y() -> impl Strategy<Value = (X2yInstance, u64)> {
+    (4u64..=120).prop_flat_map(|q| {
+        (
+            proptest::collection::vec(0..=q / 2, 0..25),
+            proptest::collection::vec(0..=q / 2, 0..25),
+            Just(q),
+        )
+            .prop_map(|(x, y, q)| (X2yInstance::from_weights(x, y), q))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn a2a_auto_always_valid((inputs, q) in feasible_a2a()) {
+        let schema = a2a::solve(&inputs, q, a2a::A2aAlgorithm::Auto).unwrap();
+        prop_assert_eq!(schema.validate_a2a(&inputs, q), Ok(()));
+    }
+
+    #[test]
+    fn a2a_forced_algorithms_valid_in_regime((inputs, q) in feasible_a2a()) {
+        // Big-small always applies to feasible instances.
+        for shared in [false, true] {
+            let schema = a2a::solve(&inputs, q, a2a::A2aAlgorithm::BigSmall {
+                policy: FitPolicy::FirstFitDecreasing,
+                shared_bins: shared,
+            }).unwrap();
+            prop_assert_eq!(schema.validate_a2a(&inputs, q), Ok(()));
+        }
+        // Pairing applies when no input exceeds ⌊q/2⌋.
+        if inputs.heavier_than(q / 2).is_empty() {
+            for policy in FitPolicy::ALL {
+                let schema = a2a::solve(&inputs, q, a2a::A2aAlgorithm::BinPackPairing(policy)).unwrap();
+                prop_assert_eq!(schema.validate_a2a(&inputs, q), Ok(()));
+            }
+        }
+    }
+
+    #[test]
+    fn a2a_reducer_count_respects_lower_bound((inputs, q) in feasible_a2a()) {
+        let schema = a2a::solve(&inputs, q, a2a::A2aAlgorithm::Auto).unwrap();
+        if inputs.len() >= 2 {
+            prop_assert!(schema.reducer_count() >= bounds::a2a_reducer_lb(&inputs, q));
+        }
+    }
+
+    #[test]
+    fn a2a_communication_respects_lower_bound((inputs, q) in feasible_a2a()) {
+        let schema = a2a::solve(&inputs, q, a2a::A2aAlgorithm::Auto).unwrap();
+        prop_assert!(schema.communication_cost(&inputs) >= bounds::a2a_comm_lb(&inputs, q));
+    }
+
+    #[test]
+    fn a2a_stats_internally_consistent((inputs, q) in feasible_a2a()) {
+        let schema = a2a::solve(&inputs, q, a2a::A2aAlgorithm::Auto).unwrap();
+        let stats = SchemaStats::for_a2a(&schema, &inputs, q);
+        let loads = schema.loads(&inputs);
+        prop_assert_eq!(stats.communication, loads.iter().map(|&l| l as u128).sum::<u128>());
+        prop_assert!(stats.max_load <= q);
+        prop_assert!(stats.replication_rate() >= 1.0 - 1e-9 || inputs.is_empty() || schema.reducer_count() == 0);
+    }
+
+    #[test]
+    fn a2a_exact_never_worse_than_heuristic((inputs, q) in feasible_a2a()) {
+        if inputs.len() <= 7 {
+            let heuristic = a2a::solve(&inputs, q, a2a::A2aAlgorithm::Auto).unwrap();
+            let exact = exact::a2a_exact(&inputs, q, 300_000).unwrap();
+            exact.schema.validate_a2a(&inputs, q).unwrap();
+            prop_assert!(exact.schema.reducer_count() <= heuristic.reducer_count());
+            if exact.optimal && inputs.len() >= 2 {
+                prop_assert!(exact.schema.reducer_count() >= bounds::a2a_reducer_lb(&inputs, q).min(exact.schema.reducer_count()));
+                // Two-reducer theorem: an optimum of exactly 2 is impossible.
+                prop_assert_ne!(exact.schema.reducer_count(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn x2y_auto_always_valid((inst, q) in feasible_x2y()) {
+        let schema = x2y::solve(&inst, q, x2y::X2yAlgorithm::Auto).unwrap();
+        prop_assert_eq!(schema.validate(&inst, q), Ok(()));
+    }
+
+    #[test]
+    fn x2y_grid_variants_valid((inst, q) in feasible_x2y()) {
+        for algo in [
+            x2y::X2yAlgorithm::Grid(FitPolicy::FirstFitDecreasing),
+            x2y::X2yAlgorithm::GridOptimized(FitPolicy::FirstFitDecreasing),
+            x2y::X2yAlgorithm::BigHandling(FitPolicy::FirstFitDecreasing),
+        ] {
+            let schema = x2y::solve(&inst, q, algo).unwrap();
+            prop_assert_eq!(schema.validate(&inst, q), Ok(()));
+        }
+    }
+
+    #[test]
+    fn x2y_optimized_grid_never_worse((inst, q) in feasible_x2y()) {
+        let balanced = x2y::solve(&inst, q, x2y::X2yAlgorithm::Grid(FitPolicy::FirstFitDecreasing)).unwrap();
+        let optimized = x2y::solve(&inst, q, x2y::X2yAlgorithm::GridOptimized(FitPolicy::FirstFitDecreasing)).unwrap();
+        prop_assert!(optimized.reducer_count() <= balanced.reducer_count());
+    }
+
+    #[test]
+    fn x2y_reducer_count_respects_lower_bound((inst, q) in feasible_x2y()) {
+        let schema = x2y::solve(&inst, q, x2y::X2yAlgorithm::Auto).unwrap();
+        if !inst.x.is_empty() && !inst.y.is_empty() {
+            prop_assert!(schema.reducer_count() >= bounds::x2y_reducer_lb(&inst, q));
+        }
+    }
+
+    #[test]
+    fn x2y_exact_never_worse_than_heuristic((inst, q) in feasible_x2y()) {
+        if inst.x.len() <= 4 && inst.y.len() <= 4 {
+            let heuristic = x2y::solve(&inst, q, x2y::X2yAlgorithm::Auto).unwrap();
+            let exact = exact::x2y_exact(&inst, q, 300_000).unwrap();
+            exact.schema.validate(&inst, q).unwrap();
+            prop_assert!(exact.schema.reducer_count() <= heuristic.reducer_count());
+        }
+    }
+
+    #[test]
+    fn x2y_two_reducer_dp_agrees_with_exact((inst, q) in feasible_x2y()) {
+        if inst.x.len() <= 4 && inst.y.len() <= 4 && !inst.x.is_empty() && !inst.y.is_empty() {
+            let dp = exact::x2y_two_reducers(&inst, q);
+            let ex = exact::x2y_exact(&inst, q, 300_000).unwrap();
+            if let Some(schema) = &dp {
+                schema.validate(&inst, q).unwrap();
+                prop_assert!(schema.reducer_count() <= 2);
+            }
+            if ex.optimal {
+                prop_assert_eq!(dp.is_some(), ex.schema.reducer_count() <= 2,
+                    "DP {:?} vs exact z={}", dp.map(|s| s.reducer_count()), ex.schema.reducer_count());
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_a2a_always_rejected(q in 2u64..100, extra in 1u64..50) {
+        // Two inputs that cannot meet.
+        let w = q / 2 + extra.min(q);
+        let inputs = InputSet::from_weights(vec![w.min(q), (q + 1).saturating_sub(w.min(q)).max(q/2 + 1)]);
+        if inputs.weights()[0] + inputs.weights()[1] > q {
+            prop_assert!(a2a::solve(&inputs, q, a2a::A2aAlgorithm::Auto).is_err());
+        }
+    }
+
+    #[test]
+    fn a2a_two_reducer_structure_theorem((inputs, q) in feasible_a2a()) {
+        // If the exact optimum needs more than one reducer, it needs ≥ 3.
+        prop_assert_eq!(
+            exact::a2a_two_reducer_feasible(&inputs, q),
+            inputs.len() < 2 || inputs.total_weight() <= q as u128
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn x2y_constructions_cover_exactly_once((inst, q) in feasible_x2y()) {
+        for algo in [
+            x2y::X2yAlgorithm::Auto,
+            x2y::X2yAlgorithm::Grid(FitPolicy::FirstFitDecreasing),
+            x2y::X2yAlgorithm::GridOptimized(FitPolicy::FirstFitDecreasing),
+            x2y::X2yAlgorithm::BigHandling(FitPolicy::FirstFitDecreasing),
+        ] {
+            let schema = x2y::solve(&inst, q, algo).unwrap();
+            if !inst.x.is_empty() && !inst.y.is_empty() {
+                prop_assert!(schema.covers_exactly_once(&inst),
+                    "{algo:?} produced multiply-covered pairs");
+            }
+        }
+    }
+}

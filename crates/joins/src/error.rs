@@ -1,0 +1,81 @@
+use std::fmt;
+
+use mrassign_core::SchemaError;
+use mrassign_simmr::SimError;
+
+/// Errors from planning or executing a join.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinError {
+    /// The mapping-schema planner failed (infeasible instance, zero
+    /// capacity, ...).
+    Schema(SchemaError),
+    /// The simulated engine failed (capacity enforcement, routing, ...).
+    Engine(SimError),
+    /// A single tuple is larger than the reducer capacity; no assignment
+    /// can help.
+    TupleTooLarge {
+        /// Byte size of the offending tuple.
+        size: u64,
+        /// The reducer capacity it exceeds.
+        capacity: u64,
+    },
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinError::Schema(e) => write!(f, "schema planning failed: {e}"),
+            JoinError::Engine(e) => write!(f, "simulated execution failed: {e}"),
+            JoinError::TupleTooLarge { size, capacity } => write!(
+                f,
+                "a tuple of {size} bytes exceeds the reducer capacity {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JoinError::Schema(e) => Some(e),
+            JoinError::Engine(e) => Some(e),
+            JoinError::TupleTooLarge { .. } => None,
+        }
+    }
+}
+
+impl From<SchemaError> for JoinError {
+    fn from(e: SchemaError) -> Self {
+        JoinError::Schema(e)
+    }
+}
+
+impl From<SimError> for JoinError {
+    fn from(e: SimError) -> Self {
+        JoinError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_wrap_sources() {
+        let e: JoinError = SchemaError::ZeroCapacity.into();
+        assert!(matches!(e, JoinError::Schema(SchemaError::ZeroCapacity)));
+        let e: JoinError = SimError::NoReducers.into();
+        assert!(matches!(e, JoinError::Engine(SimError::NoReducers)));
+    }
+
+    #[test]
+    fn display_includes_cause() {
+        let e: JoinError = SchemaError::ZeroCapacity.into();
+        assert!(e.to_string().contains("capacity"));
+        let e = JoinError::TupleTooLarge {
+            size: 99,
+            capacity: 10,
+        };
+        assert!(e.to_string().contains("99"));
+    }
+}

@@ -1,0 +1,27 @@
+//! The paper's two motivating applications, built end-to-end on the
+//! mapping-schema core and the simulated MapReduce engine.
+//!
+//! * [`simjoin`] — **similarity join** (the A2A problem): every pair of
+//!   documents must be compared because the similarity measure admits no
+//!   locality-sensitive shortcut. The planner computes an A2A mapping
+//!   schema over document sizes, compiles it to routes, executes one
+//!   MapReduce job, and returns exactly the similar pairs — each compared
+//!   at least once, reported exactly once.
+//! * [`skewjoin`] — **skew join** of `X(A,B)` and `Y(B,C)` (the X2Y
+//!   problem): join keys whose tuples exceed the reducer capacity are
+//!   *heavy hitters*; each heavy hitter gets its own X2Y mapping schema
+//!   while light keys are bin-packed into capacity-safe partitions.
+//!   Baselines (naive hash partitioning and broadcast join) run on the
+//!   same engine for comparison.
+//!
+//! Both applications return real outputs *and* the engine's metrics, so
+//! the experiments can report correctness and cost from one run.
+
+mod error;
+
+pub mod simjoin;
+pub mod skewjoin;
+
+pub use error::JoinError;
+pub use simjoin::{run_similarity_join, SimJoinConfig, SimJoinResult, SimJoinStrategy, SimilarPair};
+pub use skewjoin::{run_skew_join, SkewJoinConfig, SkewJoinResult, SkewJoinStrategy};

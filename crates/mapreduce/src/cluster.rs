@@ -1,0 +1,218 @@
+//! The discrete-event cluster model: workers, task costs, and phase
+//! makespans.
+//!
+//! The paper's tradeoff (ii) — reducer capacity vs. *parallelism* — needs a
+//! notion of time. We model a cluster of `workers` identical machines;
+//! each map or reduce task has a simulated duration derived from the bytes
+//! it processes, tasks are scheduled greedily longest-first (LPT) onto the
+//! least-loaded worker, and a phase's makespan is the maximum worker
+//! finishing time. The shuffle is modeled as a shared network pipe.
+//!
+//! The model is deliberately simple — the quantities the paper reasons
+//! about (few big reducers ⇒ long reduce phase; many small reducers ⇒ more
+//! communication but shorter reduce phase) emerge directly.
+
+use crate::error::SimError;
+
+/// Simulated cluster parameters.
+///
+/// Rates are bytes per simulated second. Defaults approximate a small
+/// commodity cluster and, more importantly, make the map/shuffle/reduce
+/// terms comparable in magnitude so tradeoffs are visible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of identical workers executing tasks.
+    pub workers: usize,
+    /// Map-side processing rate (bytes/second/worker).
+    pub map_rate: f64,
+    /// Reduce-side processing rate (bytes/second/worker).
+    pub reduce_rate: f64,
+    /// Aggregate shuffle bandwidth for the whole cluster (bytes/second).
+    pub network_bandwidth: f64,
+    /// Fixed per-task scheduling overhead (seconds); models task startup
+    /// and is what penalizes "one reducer per pair" schemes.
+    pub task_overhead: f64,
+    /// Number of OS threads used to *actually* execute map tasks. Purely a
+    /// wall-clock optimization; simulated time ignores it.
+    pub map_threads: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            workers: 8,
+            map_rate: 128.0 * 1024.0 * 1024.0,
+            reduce_rate: 64.0 * 1024.0 * 1024.0,
+            network_bandwidth: 256.0 * 1024.0 * 1024.0,
+            task_overhead: 0.05,
+            map_threads: 1,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A single-worker configuration, useful for computing serial time.
+    pub fn serial() -> Self {
+        ClusterConfig {
+            workers: 1,
+            map_threads: 1,
+            ..ClusterConfig::default()
+        }
+    }
+
+    /// Validates the configuration before a run.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.workers == 0 {
+            return Err(SimError::NoWorkers);
+        }
+        Ok(())
+    }
+
+    /// Simulated duration of a map task over `bytes` input bytes.
+    pub fn map_task_seconds(&self, bytes: u64) -> f64 {
+        self.task_overhead + bytes as f64 / self.map_rate
+    }
+
+    /// Simulated duration of a reduce task over `bytes` of reducer input.
+    pub fn reduce_task_seconds(&self, bytes: u64) -> f64 {
+        self.task_overhead + bytes as f64 / self.reduce_rate
+    }
+
+    /// Simulated duration of shuffling `bytes` across the shared pipe.
+    pub fn shuffle_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.network_bandwidth
+    }
+}
+
+/// The simulated cost of one task, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskCost(pub f64);
+
+/// The result of scheduling one phase's tasks onto the workers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Finishing time of each worker (seconds).
+    pub worker_finish: Vec<f64>,
+    /// The phase makespan: `worker_finish` maximum.
+    pub makespan: f64,
+    /// Total task-seconds scheduled (serial time of the phase).
+    pub total_work: f64,
+}
+
+impl Schedule {
+    /// Schedules `tasks` on `workers` machines with the LPT greedy rule:
+    /// sort tasks longest-first, always give the next task to the
+    /// least-loaded worker. LPT is a 4/3-approximation of the optimal
+    /// makespan, and more to the point it is what a real scheduler's
+    /// outcome looks like for independent tasks.
+    pub fn lpt(tasks: &[TaskCost], workers: usize) -> Schedule {
+        assert!(workers > 0, "Schedule::lpt requires at least one worker");
+        let mut durations: Vec<f64> = tasks.iter().map(|t| t.0).collect();
+        // Longest first; f64 totals are well-behaved (no NaN by construction).
+        durations.sort_by(|a, b| b.partial_cmp(a).expect("task costs are finite"));
+
+        // Binary heap of (load, worker) would need ordered floats; with the
+        // small worker counts used here a linear argmin scan is simpler and
+        // never the bottleneck (tasks dominate).
+        let mut finish = vec![0.0f64; workers];
+        for d in &durations {
+            let (idx, _) = finish
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite loads"))
+                .expect("at least one worker");
+            finish[idx] += d;
+        }
+        let makespan = finish.iter().cloned().fold(0.0, f64::max);
+        let total_work = durations.iter().sum();
+        Schedule {
+            worker_finish: finish,
+            makespan,
+            total_work,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        ClusterConfig::default().validate().unwrap();
+        ClusterConfig::serial().validate().unwrap();
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let cfg = ClusterConfig {
+            workers: 0,
+            ..Default::default()
+        };
+        assert_eq!(cfg.validate(), Err(SimError::NoWorkers));
+    }
+
+    #[test]
+    fn task_costs_scale_with_bytes() {
+        let cfg = ClusterConfig {
+            task_overhead: 1.0,
+            map_rate: 100.0,
+            reduce_rate: 50.0,
+            network_bandwidth: 10.0,
+            ..Default::default()
+        };
+        assert!((cfg.map_task_seconds(200) - 3.0).abs() < 1e-12);
+        assert!((cfg.reduce_task_seconds(200) - 5.0).abs() < 1e-12);
+        assert!((cfg.shuffle_seconds(200) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lpt_balances_equal_tasks() {
+        let tasks = vec![TaskCost(1.0); 8];
+        let s = Schedule::lpt(&tasks, 4);
+        assert!((s.makespan - 2.0).abs() < 1e-12);
+        assert!((s.total_work - 8.0).abs() < 1e-12);
+        assert!(s.worker_finish.iter().all(|&f| (f - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn lpt_handles_skewed_tasks() {
+        // One long task dominates: makespan equals its duration.
+        let tasks = vec![
+            TaskCost(10.0),
+            TaskCost(1.0),
+            TaskCost(1.0),
+            TaskCost(1.0),
+        ];
+        let s = Schedule::lpt(&tasks, 4);
+        assert!((s.makespan - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lpt_single_worker_is_serial() {
+        let tasks = vec![TaskCost(2.0), TaskCost(3.0), TaskCost(5.0)];
+        let s = Schedule::lpt(&tasks, 1);
+        assert!((s.makespan - 10.0).abs() < 1e-12);
+        assert!((s.makespan - s.total_work).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lpt_no_tasks_is_zero() {
+        let s = Schedule::lpt(&[], 4);
+        assert_eq!(s.makespan, 0.0);
+        assert_eq!(s.total_work, 0.0);
+    }
+
+    #[test]
+    fn lpt_makespan_at_least_average_and_max() {
+        let tasks: Vec<TaskCost> = (1..=13).map(|i| TaskCost(i as f64)).collect();
+        let workers = 3;
+        let s = Schedule::lpt(&tasks, workers);
+        let total: f64 = (1..=13).map(|i| i as f64).sum();
+        assert!(s.makespan >= total / workers as f64 - 1e-9);
+        assert!(s.makespan >= 13.0 - 1e-9);
+        // And within the LPT guarantee of 4/3 OPT + ... vs the trivial LB.
+        let lb = (total / workers as f64).max(13.0);
+        assert!(s.makespan <= lb * 4.0 / 3.0 + 1e-9);
+    }
+}

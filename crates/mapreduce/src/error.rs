@@ -1,0 +1,66 @@
+use std::fmt;
+
+/// Errors raised while running a simulated MapReduce job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The job was configured with zero reducers.
+    NoReducers,
+    /// The cluster was configured with zero workers.
+    NoWorkers,
+    /// A router returned a reducer index outside `0..n_reducers`.
+    RouteOutOfRange {
+        /// The offending target index.
+        target: usize,
+        /// The number of reducers configured on the job.
+        n_reducers: usize,
+    },
+    /// A reducer's summed value size exceeded the configured capacity while
+    /// the job ran under [`crate::CapacityPolicy::Enforce`].
+    CapacityExceeded {
+        /// The overloaded reducer partition.
+        reducer: usize,
+        /// Its summed value bytes.
+        load: u64,
+        /// The configured capacity `q`.
+        capacity: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoReducers => write!(f, "job configured with zero reducers"),
+            SimError::NoWorkers => write!(f, "cluster configured with zero workers"),
+            SimError::RouteOutOfRange { target, n_reducers } => write!(
+                f,
+                "router targeted reducer {target} but only {n_reducers} reducers exist"
+            ),
+            SimError::CapacityExceeded {
+                reducer,
+                load,
+                capacity,
+            } => write!(
+                f,
+                "reducer {reducer} received {load} bytes of values, exceeding capacity {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_quantities() {
+        let e = SimError::CapacityExceeded {
+            reducer: 2,
+            load: 100,
+            capacity: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("reducer 2") && s.contains("100") && s.contains("64"));
+    }
+}

@@ -1,0 +1,671 @@
+//! The job runner: map → shuffle → reduce with full accounting.
+
+use parking_lot::Mutex;
+
+use crate::cluster::{ClusterConfig, Schedule, TaskCost};
+use crate::error::SimError;
+use crate::metrics::JobMetrics;
+use crate::record::ByteSized;
+use crate::router::Router;
+use crate::traits::{Emitter, Mapper, Reducer};
+
+/// Key-value pairs produced by one map invocation.
+type MapOutput<M> = Vec<(<M as Mapper>::Key, <M as Mapper>::Value)>;
+
+/// What to do about the reducer capacity `q`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapacityPolicy {
+    /// No capacity accounting (classic MapReduce).
+    Unlimited,
+    /// Abort the job if any reducer's value bytes exceed `q` — the paper's
+    /// hard constraint; a correct mapping schema never triggers it.
+    Enforce(u64),
+    /// Record violations in the metrics but keep running — used to show
+    /// *why* naive schemes fail (e.g. hash joins under heavy hitters).
+    Record(u64),
+}
+
+/// Everything a finished job returns: real outputs plus the metrics the
+/// experiments plot.
+#[derive(Debug, Clone)]
+pub struct JobOutput<Out> {
+    /// Reduce-phase outputs, in deterministic (reducer, key) order.
+    pub outputs: Vec<Out>,
+    /// Byte, record, and simulated-time accounting.
+    pub metrics: JobMetrics,
+}
+
+/// A configured simulated MapReduce job.
+///
+/// Type parameters: `M` mapper, `R` reducer (sharing the mapper's key/value
+/// types), `Rt` router. See the crate docs for a complete example.
+#[derive(Debug, Clone)]
+pub struct Job<M, R, Rt> {
+    mapper: M,
+    reducer: R,
+    router: Rt,
+    n_reducers: usize,
+    config: ClusterConfig,
+    capacity: CapacityPolicy,
+}
+
+impl<M, R, Rt> Job<M, R, Rt>
+where
+    M: Mapper,
+    R: Reducer<Key = M::Key, Value = M::Value>,
+    Rt: Router<M::Key>,
+{
+    /// Creates a job with unlimited reducer capacity.
+    pub fn new(mapper: M, reducer: R, router: Rt, n_reducers: usize, config: ClusterConfig) -> Self {
+        Job {
+            mapper,
+            reducer,
+            router,
+            n_reducers,
+            config,
+            capacity: CapacityPolicy::Unlimited,
+        }
+    }
+
+    /// Sets the capacity policy (builder style).
+    pub fn capacity(mut self, policy: CapacityPolicy) -> Self {
+        self.capacity = policy;
+        self
+    }
+
+    /// Number of reducer partitions this job shuffles into.
+    pub fn n_reducers(&self) -> usize {
+        self.n_reducers
+    }
+
+    /// Runs the job over `inputs`.
+    ///
+    /// Deterministic: outputs are ordered by (reducer partition, key,
+    /// arrival order), metrics are identical across runs and thread counts.
+    pub fn run(&self, inputs: &[M::In]) -> Result<JobOutput<R::Out>, SimError> {
+        self.config.validate()?;
+        if self.n_reducers == 0 {
+            return Err(SimError::NoReducers);
+        }
+
+        let mut metrics = JobMetrics {
+            inputs: inputs.len(),
+            input_bytes: inputs.iter().map(ByteSized::size_bytes).sum(),
+            reducers: self.n_reducers,
+            capacity: match self.capacity {
+                CapacityPolicy::Unlimited => None,
+                CapacityPolicy::Enforce(q) | CapacityPolicy::Record(q) => Some(q),
+            },
+            ..JobMetrics::default()
+        };
+
+        // ----- Map phase ---------------------------------------------------
+        let map_results = self.run_map_phase(inputs);
+        let map_costs: Vec<TaskCost> = inputs
+            .iter()
+            .map(|input| TaskCost(self.config.map_task_seconds(self.mapper.cost_bytes(input))))
+            .collect();
+
+        // ----- Shuffle -----------------------------------------------------
+        let mut partitions: Vec<Vec<(M::Key, M::Value)>> =
+            (0..self.n_reducers).map(|_| Vec::new()).collect();
+        let mut reducer_value_bytes = vec![0u64; self.n_reducers];
+        let mut reducer_total_bytes = vec![0u64; self.n_reducers];
+        let mut targets: Vec<usize> = Vec::new();
+
+        for pairs in map_results {
+            for (key, value) in pairs {
+                metrics.records_emitted += 1;
+                targets.clear();
+                self.router.route(&key, self.n_reducers, &mut targets);
+                targets.sort_unstable();
+                targets.dedup();
+                let key_bytes = key.size_bytes();
+                let value_bytes = value.size_bytes();
+                for &t in &targets {
+                    if t >= self.n_reducers {
+                        return Err(SimError::RouteOutOfRange {
+                            target: t,
+                            n_reducers: self.n_reducers,
+                        });
+                    }
+                    metrics.records_shuffled += 1;
+                    metrics.bytes_shuffled += key_bytes + value_bytes;
+                    reducer_value_bytes[t] += value_bytes;
+                    reducer_total_bytes[t] += key_bytes + value_bytes;
+                    partitions[t].push((key.clone(), value.clone()));
+                }
+            }
+        }
+
+        // ----- Capacity accounting -----------------------------------------
+        match self.capacity {
+            CapacityPolicy::Unlimited => {}
+            CapacityPolicy::Enforce(q) => {
+                for (r, &load) in reducer_value_bytes.iter().enumerate() {
+                    if load > q {
+                        return Err(SimError::CapacityExceeded {
+                            reducer: r,
+                            load,
+                            capacity: q,
+                        });
+                    }
+                }
+            }
+            CapacityPolicy::Record(q) => {
+                metrics.capacity_violations = reducer_value_bytes
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &load)| load > q)
+                    .map(|(r, _)| r)
+                    .collect();
+            }
+        }
+
+        // ----- Reduce phase -------------------------------------------------
+        let mut outputs: Vec<R::Out> = Vec::new();
+        let mut reduce_costs: Vec<TaskCost> = Vec::new();
+        for (r, mut partition) in partitions.into_iter().enumerate() {
+            if partition.is_empty() {
+                continue;
+            }
+            metrics.nonempty_reducers += 1;
+            reduce_costs.push(TaskCost(
+                self.config.reduce_task_seconds(reducer_total_bytes[r]),
+            ));
+            // Group by key: stable sort keeps same-key values in arrival
+            // order, so reduce() sees a deterministic value list.
+            partition.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut start = 0;
+            while start < partition.len() {
+                let mut end = start + 1;
+                while end < partition.len() && partition[end].0 == partition[start].0 {
+                    end += 1;
+                }
+                metrics.distinct_keys += 1;
+                let key = partition[start].0.clone();
+                let values: Vec<M::Value> =
+                    partition[start..end].iter().map(|kv| kv.1.clone()).collect();
+                self.reducer.reduce(&key, &values, &mut outputs);
+                start = end;
+            }
+        }
+        metrics.outputs = outputs.len();
+        metrics.reducer_value_bytes = reducer_value_bytes;
+
+        // ----- Simulated time -----------------------------------------------
+        let map_schedule = Schedule::lpt(&map_costs, self.config.workers);
+        let reduce_schedule = Schedule::lpt(&reduce_costs, self.config.workers);
+        metrics.map_makespan = map_schedule.makespan;
+        metrics.reduce_makespan = reduce_schedule.makespan;
+        metrics.shuffle_seconds = self.config.shuffle_seconds(metrics.bytes_shuffled);
+        metrics.serial_seconds =
+            map_schedule.total_work + reduce_schedule.total_work + metrics.shuffle_seconds;
+
+        Ok(JobOutput { outputs, metrics })
+    }
+
+    /// Runs every map task, optionally on `config.map_threads` OS threads.
+    /// Results are slotted by input index, so ordering (and therefore all
+    /// downstream accounting) is independent of thread interleaving.
+    fn run_map_phase(&self, inputs: &[M::In]) -> Vec<MapOutput<M>> {
+        let threads = self.config.map_threads.max(1);
+        if threads == 1 || inputs.len() < 2 {
+            return inputs.iter().map(|input| self.map_one(input)).collect();
+        }
+
+        let slots: Mutex<Vec<Option<MapOutput<M>>>> =
+            Mutex::new((0..inputs.len()).map(|_| None).collect());
+        let chunk = inputs.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (t, chunk_inputs) in inputs.chunks(chunk).enumerate() {
+                let slots = &slots;
+                let job = &self;
+                scope.spawn(move |_| {
+                    let base = t * chunk;
+                    // Map the whole chunk locally, then take the lock once.
+                    let mut local: Vec<(usize, MapOutput<M>)> =
+                        Vec::with_capacity(chunk_inputs.len());
+                    for (off, input) in chunk_inputs.iter().enumerate() {
+                        local.push((base + off, job.map_one(input)));
+                    }
+                    let mut guard = slots.lock();
+                    for (idx, pairs) in local {
+                        guard[idx] = Some(pairs);
+                    }
+                });
+            }
+        })
+        .expect("map worker panicked");
+
+        slots
+            .into_inner()
+            .into_iter()
+            .map(|slot| slot.expect("every map slot filled"))
+            .collect()
+    }
+
+    /// One map task: emit, then apply the optional map-side combiner per
+    /// key. Grouping is by stable sort, so combined value lists preserve
+    /// emission order and the result is deterministic.
+    fn map_one(&self, input: &M::In) -> MapOutput<M> {
+        let mut emitter = Emitter::new();
+        self.mapper.map(input, &mut emitter);
+        let mut pairs = emitter.into_pairs();
+        if pairs.len() < 2 {
+            return pairs;
+        }
+        // Group this task's emissions by key (stable: same-key values keep
+        // emission order, so reducers observe identical value lists whether
+        // or not a combiner is configured).
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut combined: MapOutput<M> = Vec::with_capacity(pairs.len());
+        let mut start = 0;
+        let mut any_combined = false;
+        while start < pairs.len() {
+            let mut end = start + 1;
+            while end < pairs.len() && pairs[end].0 == pairs[start].0 {
+                end += 1;
+            }
+            let key = &pairs[start].0;
+            if end - start >= 2 {
+                let values: Vec<M::Value> =
+                    pairs[start..end].iter().map(|kv| kv.1.clone()).collect();
+                if let Some(v) = self.mapper.combine(key, &values) {
+                    combined.push((key.clone(), v));
+                    any_combined = true;
+                    start = end;
+                    continue;
+                }
+            }
+            combined.extend(pairs[start..end].iter().cloned());
+            start = end;
+        }
+        if any_combined {
+            combined
+        } else {
+            pairs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{BroadcastRouter, HashRouter, TableRouter};
+
+    /// Identity mapper: key = input id, value = payload bytes.
+    struct IdentityMapper;
+    impl Mapper for IdentityMapper {
+        type In = (u64, String);
+        type Key = u64;
+        type Value = String;
+        fn map(&self, input: &(u64, String), emit: &mut Emitter<u64, String>) {
+            emit.emit(input.0, input.1.clone());
+        }
+    }
+
+    /// Concatenating reducer, for observing grouped values.
+    struct ConcatReducer;
+    impl Reducer for ConcatReducer {
+        type Key = u64;
+        type Value = String;
+        type Out = (u64, String);
+        fn reduce(&self, key: &u64, values: &[String], out: &mut Vec<(u64, String)>) {
+            out.push((*key, values.concat()));
+        }
+    }
+
+    fn sample_inputs() -> Vec<(u64, String)> {
+        vec![
+            (1, "aa".to_string()),
+            (2, "bbb".to_string()),
+            (1, "c".to_string()),
+            (3, "dddd".to_string()),
+        ]
+    }
+
+    #[test]
+    fn groups_values_by_key_in_arrival_order() {
+        let job = Job::new(
+            IdentityMapper,
+            ConcatReducer,
+            HashRouter::new(),
+            4,
+            ClusterConfig::default(),
+        );
+        let result = job.run(&sample_inputs()).unwrap();
+        let mut outputs = result.outputs;
+        outputs.sort();
+        assert_eq!(
+            outputs,
+            vec![
+                (1, "aac".to_string()),
+                (2, "bbb".to_string()),
+                (3, "dddd".to_string())
+            ]
+        );
+        assert_eq!(result.metrics.distinct_keys, 3);
+        assert_eq!(result.metrics.records_emitted, 4);
+        assert_eq!(result.metrics.records_shuffled, 4);
+    }
+
+    #[test]
+    fn zero_reducers_is_an_error() {
+        let job = Job::new(
+            IdentityMapper,
+            ConcatReducer,
+            HashRouter::new(),
+            0,
+            ClusterConfig::default(),
+        );
+        assert_eq!(job.run(&sample_inputs()).unwrap_err(), SimError::NoReducers);
+    }
+
+    #[test]
+    fn broadcast_multiplies_communication() {
+        let n_red = 5;
+        let job = Job::new(
+            IdentityMapper,
+            ConcatReducer,
+            BroadcastRouter,
+            n_red,
+            ClusterConfig::default(),
+        );
+        let result = job.run(&sample_inputs()).unwrap();
+        assert_eq!(result.metrics.records_shuffled, 4 * n_red as u64);
+        assert!((result.metrics.replication_rate() - n_red as f64).abs() < 1e-12);
+        // Broadcast reduces every key in every partition: 3 keys × 5.
+        assert_eq!(result.metrics.distinct_keys, 15);
+    }
+
+    #[test]
+    fn enforce_capacity_aborts_on_overload() {
+        // All four values (2+3+1+4 = 10 bytes) go to one reducer.
+        let job = Job::new(
+            IdentityMapper,
+            ConcatReducer,
+            TableRouter::new([(1u64, vec![0]), (2, vec![0]), (3, vec![0])]),
+            1,
+            ClusterConfig::default(),
+        )
+        .capacity(CapacityPolicy::Enforce(9));
+        match job.run(&sample_inputs()) {
+            Err(SimError::CapacityExceeded {
+                reducer: 0,
+                load: 10,
+                capacity: 9,
+            }) => {}
+            other => panic!("expected capacity error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn record_capacity_keeps_running() {
+        let job = Job::new(
+            IdentityMapper,
+            ConcatReducer,
+            TableRouter::new([(1u64, vec![0]), (2, vec![0]), (3, vec![0])]),
+            1,
+            ClusterConfig::default(),
+        )
+        .capacity(CapacityPolicy::Record(9));
+        let result = job.run(&sample_inputs()).unwrap();
+        assert_eq!(result.metrics.capacity_violations, vec![0]);
+        assert_eq!(result.outputs.len(), 3);
+    }
+
+    #[test]
+    fn capacity_within_bounds_passes_enforcement() {
+        let job = Job::new(
+            IdentityMapper,
+            ConcatReducer,
+            HashRouter::new(),
+            4,
+            ClusterConfig::default(),
+        )
+        .capacity(CapacityPolicy::Enforce(1_000));
+        let result = job.run(&sample_inputs()).unwrap();
+        assert!(result.metrics.capacity_violations.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_route_is_an_error() {
+        let job = Job::new(
+            IdentityMapper,
+            ConcatReducer,
+            TableRouter::new([(1u64, vec![7])]),
+            2,
+            ClusterConfig::default(),
+        );
+        assert_eq!(
+            job.run(&sample_inputs()[..1]).unwrap_err(),
+            SimError::RouteOutOfRange {
+                target: 7,
+                n_reducers: 2
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_route_targets_are_deduplicated() {
+        let job = Job::new(
+            IdentityMapper,
+            ConcatReducer,
+            TableRouter::new([(1u64, vec![0, 0, 1, 1, 0])]),
+            2,
+            ClusterConfig::default(),
+        );
+        let result = job.run(&sample_inputs()[..1]).unwrap();
+        assert_eq!(result.metrics.records_shuffled, 2);
+    }
+
+    #[test]
+    fn parallel_map_matches_sequential() {
+        let inputs: Vec<(u64, String)> = (0..200)
+            .map(|i| (i % 17, format!("payload-{i}")))
+            .collect();
+        let seq_job = Job::new(
+            IdentityMapper,
+            ConcatReducer,
+            HashRouter::new(),
+            8,
+            ClusterConfig {
+                map_threads: 1,
+                ..Default::default()
+            },
+        );
+        let par_job = Job::new(
+            IdentityMapper,
+            ConcatReducer,
+            HashRouter::new(),
+            8,
+            ClusterConfig {
+                map_threads: 4,
+                ..Default::default()
+            },
+        );
+        let a = seq_job.run(&inputs).unwrap();
+        let b = par_job.run(&inputs).unwrap();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.metrics.bytes_shuffled, b.metrics.bytes_shuffled);
+        assert_eq!(a.metrics.reducer_value_bytes, b.metrics.reducer_value_bytes);
+    }
+
+    #[test]
+    fn simulated_times_are_positive_and_consistent() {
+        let job = Job::new(
+            IdentityMapper,
+            ConcatReducer,
+            HashRouter::new(),
+            4,
+            ClusterConfig::default(),
+        );
+        let m = job.run(&sample_inputs()).unwrap().metrics;
+        assert!(m.map_makespan > 0.0);
+        assert!(m.reduce_makespan > 0.0);
+        assert!(m.total_seconds() <= m.serial_seconds + 1e-9);
+        assert!(m.speedup() >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn empty_input_runs_cleanly() {
+        let job = Job::new(
+            IdentityMapper,
+            ConcatReducer,
+            HashRouter::new(),
+            4,
+            ClusterConfig::default(),
+        );
+        let result = job.run(&[]).unwrap();
+        assert_eq!(result.outputs.len(), 0);
+        assert_eq!(result.metrics.bytes_shuffled, 0);
+        assert_eq!(result.metrics.total_seconds(), 0.0);
+    }
+
+    #[test]
+    fn more_workers_never_slow_the_job() {
+        let inputs: Vec<(u64, String)> = (0..64).map(|i| (i, "x".repeat(100))).collect();
+        let mk = |workers| {
+            Job::new(
+                IdentityMapper,
+                ConcatReducer,
+                HashRouter::new(),
+                16,
+                ClusterConfig {
+                    workers,
+                    ..Default::default()
+                },
+            )
+            .run(&inputs)
+            .unwrap()
+            .metrics
+            .total_seconds()
+        };
+        let t1 = mk(1);
+        let t4 = mk(4);
+        let t16 = mk(16);
+        assert!(t4 <= t1 + 1e-9);
+        assert!(t16 <= t4 + 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod combiner_tests {
+    use super::*;
+    use crate::router::HashRouter;
+    use crate::traits::{Emitter, Mapper, Reducer};
+
+    /// Word-count-style mapper with a summing combiner.
+    struct CountingMapper {
+        combine_enabled: bool,
+    }
+
+    impl Mapper for CountingMapper {
+        type In = String;
+        type Key = String;
+        type Value = u64;
+        fn map(&self, line: &String, emit: &mut Emitter<String, u64>) {
+            for word in line.split_whitespace() {
+                emit.emit(word.to_string(), 1);
+            }
+        }
+        fn combine(&self, _key: &String, values: &[u64]) -> Option<u64> {
+            self.combine_enabled.then(|| values.iter().sum())
+        }
+    }
+
+    struct SumReducer;
+    impl Reducer for SumReducer {
+        type Key = String;
+        type Value = u64;
+        type Out = (String, u64);
+        fn reduce(&self, key: &String, values: &[u64], out: &mut Vec<(String, u64)>) {
+            out.push((key.clone(), values.iter().sum()));
+        }
+    }
+
+    fn repetitive_lines() -> Vec<String> {
+        vec![
+            "a a a a b".to_string(),
+            "b b a a a".to_string(),
+            "c a c a c".to_string(),
+        ]
+    }
+
+    fn run_counting(combine_enabled: bool) -> JobOutput<(String, u64)> {
+        Job::new(
+            CountingMapper { combine_enabled },
+            SumReducer,
+            HashRouter::new(),
+            4,
+            ClusterConfig::default(),
+        )
+        .run(&repetitive_lines())
+        .unwrap()
+    }
+
+    #[test]
+    fn combiner_preserves_outputs() {
+        let mut with = run_counting(true).outputs;
+        let mut without = run_counting(false).outputs;
+        with.sort();
+        without.sort();
+        assert_eq!(with, without);
+        assert_eq!(
+            with,
+            vec![
+                ("a".to_string(), 9),
+                ("b".to_string(), 3),
+                ("c".to_string(), 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn combiner_reduces_communication() {
+        let with = run_counting(true).metrics;
+        let without = run_counting(false).metrics;
+        // 15 words shrink to one record per (task, distinct word): 6.
+        assert_eq!(without.records_shuffled, 15);
+        assert_eq!(with.records_shuffled, 6);
+        assert!(with.bytes_shuffled < without.bytes_shuffled);
+    }
+
+    #[test]
+    fn combiner_is_per_task_not_global() {
+        // "a" appears in all three lines: three combined records, one per
+        // map task — combining never crosses task boundaries.
+        let with = run_counting(true);
+        assert_eq!(
+            with.metrics.records_shuffled,
+            6,
+            "a in 3 tasks + b in 2 tasks + c in 1 task = 6 combined records"
+        );
+    }
+
+    #[test]
+    fn single_emission_skips_combiner_path() {
+        struct OneShot;
+        impl Mapper for OneShot {
+            type In = String;
+            type Key = String;
+            type Value = u64;
+            fn map(&self, line: &String, emit: &mut Emitter<String, u64>) {
+                emit.emit(line.clone(), 1);
+            }
+            fn combine(&self, _k: &String, _v: &[u64]) -> Option<u64> {
+                panic!("combine must not be called for single emissions");
+            }
+        }
+        let job = Job::new(
+            OneShot,
+            SumReducer,
+            HashRouter::new(),
+            2,
+            ClusterConfig::default(),
+        );
+        let out = job.run(&["x".to_string(), "y".to_string()]).unwrap();
+        assert_eq!(out.outputs.len(), 2);
+    }
+}

@@ -1,0 +1,77 @@
+//! A deterministic, simulated MapReduce engine.
+//!
+//! *Assignment of Different-Sized Inputs in MapReduce* (Afrati et al., EDBT
+//! 2015) studies MapReduce algorithms at the level of the model: inputs have
+//! sizes, a **reducer** is one application of the reduce function to a key
+//! and its value list, every reducer has the same **capacity** `q` bounding
+//! the summed size of the values assigned to it, and the **communication
+//! cost** is the total amount of data moved from the map phase to the reduce
+//! phase. This crate implements that model as an executable substrate:
+//!
+//! * a typed [`Mapper`] → shuffle → [`Reducer`] pipeline that really computes
+//!   outputs (the joins built on top produce actual join results),
+//! * [`Router`]s deciding which reducer(s) each key-value pair is sent to —
+//!   including multi-target routing, which is what a *mapping schema*
+//!   compiles to (one input replicated to several reducers),
+//! * byte-level accounting: communication cost, per-reducer load, and
+//!   replication rate, with reducer-capacity enforcement per the paper,
+//! * a discrete-event [`cluster`](ClusterConfig) model (workers, task
+//!   scheduling, phase makespans) so the capacity↔parallelism tradeoff can
+//!   be *measured* rather than argued,
+//! * optional real parallelism for the map phase (crossbeam scoped threads)
+//!   that never changes results or metrics, only wall-clock time.
+//!
+//! Everything is deterministic: same inputs, same config ⇒ bit-identical
+//! outputs and metrics, regardless of thread count.
+//!
+//! # Example: word count with capacity accounting
+//!
+//! ```
+//! use mrassign_simmr::{ClusterConfig, HashRouter, Job, Mapper, Reducer, Emitter};
+//!
+//! struct Tokenize;
+//! impl Mapper for Tokenize {
+//!     type In = String;
+//!     type Key = String;
+//!     type Value = u64;
+//!     fn map(&self, line: &String, emit: &mut Emitter<String, u64>) {
+//!         for word in line.split_whitespace() {
+//!             emit.emit(word.to_string(), 1);
+//!         }
+//!     }
+//! }
+//!
+//! struct Count;
+//! impl Reducer for Count {
+//!     type Key = String;
+//!     type Value = u64;
+//!     type Out = (String, u64);
+//!     fn reduce(&self, key: &String, values: &[u64], out: &mut Vec<(String, u64)>) {
+//!         out.push((key.clone(), values.iter().sum()));
+//!     }
+//! }
+//!
+//! let lines = vec!["a b a".to_string(), "b c".to_string()];
+//! let job = Job::new(Tokenize, Count, HashRouter::new(), 4, ClusterConfig::default());
+//! let result = job.run(&lines).unwrap();
+//! let mut counts = result.outputs;
+//! counts.sort();
+//! assert_eq!(counts, vec![("a".into(), 2), ("b".into(), 2), ("c".into(), 1)]);
+//! assert!(result.metrics.bytes_shuffled > 0);
+//! ```
+
+mod cluster;
+mod error;
+mod job;
+mod metrics;
+mod record;
+mod router;
+mod traits;
+
+pub use cluster::{ClusterConfig, Schedule, TaskCost};
+pub use error::SimError;
+pub use job::{CapacityPolicy, Job, JobOutput};
+pub use metrics::JobMetrics;
+pub use record::ByteSized;
+pub use router::{BroadcastRouter, DirectRouter, HashRouter, Router, TableRouter};
+pub use traits::{Emitter, Mapper, Reducer};

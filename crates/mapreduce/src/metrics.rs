@@ -1,0 +1,157 @@
+//! Per-job accounting: the quantities the paper's tradeoffs are stated in.
+
+/// Metrics collected while running one simulated job.
+///
+/// * **Communication cost** (`bytes_shuffled`) is the paper's central
+///   quantity: total bytes moved from the map phase to the reduce phase,
+///   counting every routed copy (key bytes + value bytes).
+/// * **Reducer load** (`reducer_value_bytes`) counts value bytes only,
+///   matching the paper's reducer-capacity definition ("an upper bound on
+///   the sum of the sizes of the values assigned to the reducer").
+/// * **Makespans** come from the discrete-event cluster model and quantify
+///   parallelism (tradeoff ii).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JobMetrics {
+    /// Number of input records fed to the map phase.
+    pub inputs: usize,
+    /// Total bytes of the inputs.
+    pub input_bytes: u64,
+    /// Key-value pairs produced by mappers (before routing fan-out).
+    pub records_emitted: u64,
+    /// Key-value pair *copies* after routing (≥ `records_emitted` when a
+    /// schema replicates inputs; the paper's replication rate is
+    /// `records_shuffled / records_emitted`).
+    pub records_shuffled: u64,
+    /// Communication cost: bytes of every routed copy (keys + values).
+    pub bytes_shuffled: u64,
+    /// Number of reducer partitions configured.
+    pub reducers: usize,
+    /// Value bytes received per reducer partition (the paper's load).
+    pub reducer_value_bytes: Vec<u64>,
+    /// Number of reducers that received at least one record.
+    pub nonempty_reducers: usize,
+    /// Configured reducer capacity `q`, if any.
+    pub capacity: Option<u64>,
+    /// Reducers whose value bytes exceeded `q` (only populated under
+    /// [`crate::CapacityPolicy::Record`]).
+    pub capacity_violations: Vec<usize>,
+    /// Distinct keys reduced, across all partitions.
+    pub distinct_keys: u64,
+    /// Output records produced by the reduce phase.
+    pub outputs: usize,
+    /// Simulated map-phase makespan (seconds).
+    pub map_makespan: f64,
+    /// Simulated shuffle duration (seconds).
+    pub shuffle_seconds: f64,
+    /// Simulated reduce-phase makespan (seconds).
+    pub reduce_makespan: f64,
+    /// Simulated serial execution time (all work on one worker, seconds).
+    pub serial_seconds: f64,
+}
+
+impl JobMetrics {
+    /// End-to-end simulated duration: map + shuffle + reduce.
+    pub fn total_seconds(&self) -> f64 {
+        self.map_makespan + self.shuffle_seconds + self.reduce_makespan
+    }
+
+    /// Speedup over serial execution; the paper's parallelism measure.
+    ///
+    /// Returns 1.0 for degenerate zero-duration jobs.
+    pub fn speedup(&self) -> f64 {
+        let total = self.total_seconds();
+        if total <= 0.0 {
+            1.0
+        } else {
+            self.serial_seconds / total
+        }
+    }
+
+    /// Replication rate: average number of reducer copies per emitted
+    /// record. 1.0 when nothing was emitted.
+    pub fn replication_rate(&self) -> f64 {
+        if self.records_emitted == 0 {
+            1.0
+        } else {
+            self.records_shuffled as f64 / self.records_emitted as f64
+        }
+    }
+
+    /// The largest reducer load in value bytes (0 when no reducers).
+    pub fn max_reducer_load(&self) -> u64 {
+        self.reducer_value_bytes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Load imbalance: max reducer load over mean nonzero load (1.0 when
+    /// perfectly balanced; large under skew). Returns 1.0 if no reducer
+    /// received data.
+    pub fn load_imbalance(&self) -> f64 {
+        let nonzero: Vec<u64> = self
+            .reducer_value_bytes
+            .iter()
+            .copied()
+            .filter(|&b| b > 0)
+            .collect();
+        if nonzero.is_empty() {
+            return 1.0;
+        }
+        let mean = nonzero.iter().sum::<u64>() as f64 / nonzero.len() as f64;
+        self.max_reducer_load() as f64 / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JobMetrics {
+        JobMetrics {
+            inputs: 4,
+            input_bytes: 400,
+            records_emitted: 10,
+            records_shuffled: 25,
+            bytes_shuffled: 2_500,
+            reducers: 4,
+            reducer_value_bytes: vec![100, 300, 0, 100],
+            nonempty_reducers: 3,
+            capacity: Some(512),
+            capacity_violations: vec![],
+            distinct_keys: 5,
+            outputs: 5,
+            map_makespan: 1.0,
+            shuffle_seconds: 0.5,
+            reduce_makespan: 0.5,
+            serial_seconds: 6.0,
+        }
+    }
+
+    #[test]
+    fn totals_and_speedup() {
+        let m = sample();
+        assert!((m.total_seconds() - 2.0).abs() < 1e-12);
+        assert!((m.speedup() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replication_rate_counts_fanout() {
+        let m = sample();
+        assert!((m.replication_rate() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_job_has_unit_ratios() {
+        let m = JobMetrics::default();
+        assert_eq!(m.speedup(), 1.0);
+        assert_eq!(m.replication_rate(), 1.0);
+        assert_eq!(m.max_reducer_load(), 0);
+        assert_eq!(m.load_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn load_statistics() {
+        let m = sample();
+        assert_eq!(m.max_reducer_load(), 300);
+        // Nonzero loads: 100, 300, 100 → mean 166.67, imbalance 1.8.
+        assert!((m.load_imbalance() - 1.8).abs() < 1e-9);
+    }
+}

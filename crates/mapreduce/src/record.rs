@@ -1,0 +1,163 @@
+//! Byte sizing of keys, values, and inputs.
+//!
+//! The paper's reducer capacity bounds the *sum of the sizes* of the values
+//! assigned to a reducer, and its communication cost counts bytes moved from
+//! mappers to reducers. [`ByteSized`] makes those sizes explicit: every key,
+//! value, and input type used with the engine reports its own size, so
+//! accounting never guesses.
+
+use bytes::Bytes;
+
+/// Types that know their serialized size in bytes.
+///
+/// Sizes drive three accounting quantities: per-reducer load (values only,
+/// per the paper's definition of reducer capacity), communication cost
+/// (key + value for every routed copy), and simulated task durations.
+pub trait ByteSized {
+    /// Serialized size of this record, in bytes.
+    fn size_bytes(&self) -> u64;
+}
+
+impl ByteSized for u8 {
+    fn size_bytes(&self) -> u64 {
+        1
+    }
+}
+
+impl ByteSized for u16 {
+    fn size_bytes(&self) -> u64 {
+        2
+    }
+}
+
+impl ByteSized for u32 {
+    fn size_bytes(&self) -> u64 {
+        4
+    }
+}
+
+impl ByteSized for u64 {
+    fn size_bytes(&self) -> u64 {
+        8
+    }
+}
+
+impl ByteSized for usize {
+    fn size_bytes(&self) -> u64 {
+        8
+    }
+}
+
+impl ByteSized for i32 {
+    fn size_bytes(&self) -> u64 {
+        4
+    }
+}
+
+impl ByteSized for i64 {
+    fn size_bytes(&self) -> u64 {
+        8
+    }
+}
+
+impl ByteSized for () {
+    fn size_bytes(&self) -> u64 {
+        0
+    }
+}
+
+impl ByteSized for bool {
+    fn size_bytes(&self) -> u64 {
+        1
+    }
+}
+
+impl ByteSized for String {
+    fn size_bytes(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+impl ByteSized for &str {
+    fn size_bytes(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+impl ByteSized for Bytes {
+    fn size_bytes(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+impl<T: ByteSized> ByteSized for Vec<T> {
+    fn size_bytes(&self) -> u64 {
+        self.iter().map(ByteSized::size_bytes).sum()
+    }
+}
+
+impl<T: ByteSized> ByteSized for Option<T> {
+    fn size_bytes(&self) -> u64 {
+        // One tag byte plus the payload, mirroring a compact wire format.
+        1 + self.as_ref().map_or(0, ByteSized::size_bytes)
+    }
+}
+
+impl<T: ByteSized> ByteSized for Box<T> {
+    fn size_bytes(&self) -> u64 {
+        (**self).size_bytes()
+    }
+}
+
+impl<A: ByteSized, B: ByteSized> ByteSized for (A, B) {
+    fn size_bytes(&self) -> u64 {
+        self.0.size_bytes() + self.1.size_bytes()
+    }
+}
+
+impl<A: ByteSized, B: ByteSized, C: ByteSized> ByteSized for (A, B, C) {
+    fn size_bytes(&self) -> u64 {
+        self.0.size_bytes() + self.1.size_bytes() + self.2.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_sizes_match_width() {
+        assert_eq!(0u8.size_bytes(), 1);
+        assert_eq!(0u16.size_bytes(), 2);
+        assert_eq!(0u32.size_bytes(), 4);
+        assert_eq!(0u64.size_bytes(), 8);
+        assert_eq!(0usize.size_bytes(), 8);
+        assert_eq!(0i32.size_bytes(), 4);
+        assert_eq!(0i64.size_bytes(), 8);
+        assert_eq!(().size_bytes(), 0);
+        assert_eq!(true.size_bytes(), 1);
+    }
+
+    #[test]
+    fn strings_count_their_bytes() {
+        assert_eq!("hello".size_bytes(), 5);
+        assert_eq!(String::from("héllo").size_bytes(), 6); // é is 2 UTF-8 bytes
+        assert_eq!(Bytes::from_static(b"abc").size_bytes(), 3);
+    }
+
+    #[test]
+    fn composites_sum_components() {
+        assert_eq!((1u32, 2u64).size_bytes(), 12);
+        assert_eq!((1u8, 2u8, "ab").size_bytes(), 4);
+        assert_eq!(vec![1u16, 2, 3].size_bytes(), 6);
+        assert_eq!(Some(7u64).size_bytes(), 9);
+        assert_eq!(None::<u64>.size_bytes(), 1);
+        assert_eq!(Box::new(5u32).size_bytes(), 4);
+    }
+
+    #[test]
+    fn nested_vectors_recurse() {
+        let v: Vec<Vec<u8>> = vec![vec![1, 2], vec![3]];
+        assert_eq!(v.size_bytes(), 3);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the simulated engine: for arbitrary inputs and
+//! cluster shapes, accounting identities hold, execution is deterministic
+//! across thread counts, and the scheduler respects its analytical bounds.
+
+use mrassign_simmr::{
+    BroadcastRouter, CapacityPolicy, ClusterConfig, Emitter, HashRouter, Job, Mapper, Reducer,
+    Schedule, TaskCost,
+};
+use proptest::prelude::*;
+
+/// Identity-style mapper over (key, payload) records.
+struct KvMapper;
+
+impl Mapper for KvMapper {
+    type In = (u64, String);
+    type Key = u64;
+    type Value = String;
+    fn map(&self, input: &(u64, String), emit: &mut Emitter<u64, String>) {
+        emit.emit(input.0, input.1.clone());
+    }
+}
+
+/// Counts values and sums payload bytes per key.
+struct CountBytes;
+
+impl Reducer for CountBytes {
+    type Key = u64;
+    type Value = String;
+    type Out = (u64, u64, u64);
+    fn reduce(&self, key: &u64, values: &[String], out: &mut Vec<(u64, u64, u64)>) {
+        out.push((
+            *key,
+            values.len() as u64,
+            values.iter().map(|v| v.len() as u64).sum(),
+        ));
+    }
+}
+
+fn records() -> impl Strategy<Value = Vec<(u64, String)>> {
+    proptest::collection::vec((0u64..40, "[a-z]{0,12}"), 0..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hash_routed_jobs_preserve_every_record(inputs in records()) {
+        let job = Job::new(KvMapper, CountBytes, HashRouter::new(), 5, ClusterConfig::default());
+        let result = job.run(&inputs).unwrap();
+        // Every record is shuffled exactly once and reduced exactly once.
+        prop_assert_eq!(result.metrics.records_emitted, inputs.len() as u64);
+        prop_assert_eq!(result.metrics.records_shuffled, inputs.len() as u64);
+        let reduced: u64 = result.outputs.iter().map(|&(_, n, _)| n).sum();
+        prop_assert_eq!(reduced, inputs.len() as u64);
+        // Byte identity: shuffled bytes = keys (8 each) + payload bytes.
+        let payload: u64 = inputs.iter().map(|(_, p)| p.len() as u64).sum();
+        prop_assert_eq!(result.metrics.bytes_shuffled, payload + 8 * inputs.len() as u64);
+        // Value-byte identity across partitions.
+        let loads: u64 = result.metrics.reducer_value_bytes.iter().sum();
+        prop_assert_eq!(loads, payload);
+    }
+
+    #[test]
+    fn thread_count_never_changes_results(inputs in records()) {
+        let run = |threads| {
+            Job::new(KvMapper, CountBytes, HashRouter::new(), 5, ClusterConfig {
+                map_threads: threads,
+                ..ClusterConfig::default()
+            })
+            .run(&inputs)
+            .unwrap()
+        };
+        let a = run(1);
+        let b = run(3);
+        let c = run(8);
+        prop_assert_eq!(&a.outputs, &b.outputs);
+        prop_assert_eq!(&a.outputs, &c.outputs);
+        prop_assert_eq!(&a.metrics, &b.metrics);
+        prop_assert_eq!(&b.metrics, &c.metrics);
+    }
+
+    #[test]
+    fn broadcast_multiplies_exactly_by_reducers(inputs in records(), n_red in 1usize..7) {
+        let job = Job::new(KvMapper, CountBytes, BroadcastRouter, n_red, ClusterConfig::default());
+        let result = job.run(&inputs).unwrap();
+        prop_assert_eq!(
+            result.metrics.records_shuffled,
+            inputs.len() as u64 * n_red as u64
+        );
+        if !inputs.is_empty() {
+            prop_assert!((result.metrics.replication_rate() - n_red as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn recorded_violations_match_loads(inputs in records(), q in 0u64..200) {
+        let job = Job::new(KvMapper, CountBytes, HashRouter::new(), 4, ClusterConfig::default())
+            .capacity(CapacityPolicy::Record(q));
+        let result = job.run(&inputs).unwrap();
+        let expected: Vec<usize> = result
+            .metrics
+            .reducer_value_bytes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &load)| load > q)
+            .map(|(r, _)| r)
+            .collect();
+        prop_assert_eq!(result.metrics.capacity_violations, expected);
+    }
+
+    #[test]
+    fn enforce_agrees_with_record(inputs in records(), q in 0u64..200) {
+        let record = Job::new(KvMapper, CountBytes, HashRouter::new(), 4, ClusterConfig::default())
+            .capacity(CapacityPolicy::Record(q))
+            .run(&inputs)
+            .unwrap();
+        let enforce = Job::new(KvMapper, CountBytes, HashRouter::new(), 4, ClusterConfig::default())
+            .capacity(CapacityPolicy::Enforce(q))
+            .run(&inputs);
+        prop_assert_eq!(
+            enforce.is_err(),
+            !record.metrics.capacity_violations.is_empty()
+        );
+    }
+
+    #[test]
+    fn total_time_between_ideal_and_serial(inputs in records(), workers in 1usize..9) {
+        let job = Job::new(KvMapper, CountBytes, HashRouter::new(), 4, ClusterConfig {
+            workers,
+            ..ClusterConfig::default()
+        });
+        let m = job.run(&inputs).unwrap().metrics;
+        prop_assert!(m.total_seconds() <= m.serial_seconds + 1e-9);
+        prop_assert!(m.serial_seconds <= m.total_seconds() * workers as f64 + 1e-9);
+    }
+
+    #[test]
+    fn lpt_respects_analytic_bounds(durations in proptest::collection::vec(0.0f64..10.0, 0..40),
+                                    workers in 1usize..8) {
+        let tasks: Vec<TaskCost> = durations.iter().map(|&d| TaskCost(d)).collect();
+        let s = Schedule::lpt(&tasks, workers);
+        let total: f64 = durations.iter().sum();
+        let longest = durations.iter().cloned().fold(0.0, f64::max);
+        let lower = (total / workers as f64).max(longest);
+        prop_assert!(s.makespan >= lower - 1e-9);
+        // LPT guarantee: makespan ≤ (4/3 − 1/3w)·OPT ≤ 4/3·(LB + longest).
+        prop_assert!(s.makespan <= lower * 4.0 / 3.0 + longest + 1e-9);
+        prop_assert!((s.total_work - total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_capacity_flags_any_nonempty_reducer(inputs in records()) {
+        let job = Job::new(KvMapper, CountBytes, HashRouter::new(), 4, ClusterConfig::default())
+            .capacity(CapacityPolicy::Record(0));
+        let result = job.run(&inputs).unwrap();
+        let nonzero_loads = result
+            .metrics
+            .reducer_value_bytes
+            .iter()
+            .filter(|&&b| b > 0)
+            .count();
+        prop_assert_eq!(result.metrics.capacity_violations.len(), nonzero_loads);
+    }
+}

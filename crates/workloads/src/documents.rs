@@ -1,0 +1,163 @@
+//! Document generator for the similarity-join (A2A) experiments.
+//!
+//! Similarity join compares *every* pair of documents when the similarity
+//! measure admits no LSH-style shortcut — the paper's canonical A2A
+//! workload. Documents here are token multisets with Zipf-distributed
+//! vocabulary (realistic word frequencies) and configurable length
+//! distribution (so documents are different-sized inputs).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::sizes::{SizeDistribution, ZipfTable};
+
+/// A synthetic document: an id and its token ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Document id (its input id in mapping-schema terms).
+    pub id: u32,
+    /// Token ids, in generation order (may repeat).
+    pub tokens: Vec<u32>,
+}
+
+impl Document {
+    /// The document's size in bytes as the mapping schema sees it: 4 bytes
+    /// per token.
+    pub fn size_bytes(&self) -> u64 {
+        self.tokens.len() as u64 * 4
+    }
+
+    /// Jaccard similarity of the two documents' token *sets*.
+    pub fn jaccard(&self, other: &Document) -> f64 {
+        let a: std::collections::HashSet<u32> = self.tokens.iter().copied().collect();
+        let b: std::collections::HashSet<u32> = other.tokens.iter().copied().collect();
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        let inter = a.intersection(&b).count();
+        let union = a.len() + b.len() - inter;
+        inter as f64 / union as f64
+    }
+}
+
+/// Parameters of a generated corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocumentSpec {
+    /// Number of documents.
+    pub n_docs: usize,
+    /// Vocabulary size.
+    pub vocab: u32,
+    /// Zipf exponent of token frequencies.
+    pub token_skew: f64,
+    /// Distribution of document lengths (tokens per document).
+    pub length: SizeDistribution,
+}
+
+impl Default for DocumentSpec {
+    fn default() -> Self {
+        DocumentSpec {
+            n_docs: 200,
+            vocab: 5_000,
+            token_skew: 1.0,
+            length: SizeDistribution::Uniform { lo: 20, hi: 200 },
+        }
+    }
+}
+
+/// Generates a corpus deterministically from `seed`.
+pub fn generate_documents(spec: &DocumentSpec, seed: u64) -> Vec<Document> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let table = ZipfTable::new(spec.vocab, spec.token_skew);
+    (0..spec.n_docs)
+        .map(|id| {
+            let len = spec.length.sample(&mut rng) as usize;
+            let tokens = (0..len).map(|_| table.sample(&mut rng) - 1).collect();
+            Document {
+                id: id as u32,
+                tokens,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let spec = DocumentSpec::default();
+        assert_eq!(generate_documents(&spec, 1), generate_documents(&spec, 1));
+        assert_ne!(generate_documents(&spec, 1), generate_documents(&spec, 2));
+    }
+
+    #[test]
+    fn lengths_follow_distribution() {
+        let spec = DocumentSpec {
+            n_docs: 100,
+            length: SizeDistribution::Uniform { lo: 10, hi: 20 },
+            ..Default::default()
+        };
+        let docs = generate_documents(&spec, 3);
+        assert!(docs.iter().all(|d| (10..=20).contains(&d.tokens.len())));
+        assert!(docs.iter().all(|d| d.size_bytes() == d.tokens.len() as u64 * 4));
+    }
+
+    #[test]
+    fn tokens_stay_in_vocabulary() {
+        let spec = DocumentSpec {
+            vocab: 50,
+            ..Default::default()
+        };
+        let docs = generate_documents(&spec, 4);
+        assert!(docs.iter().flat_map(|d| &d.tokens).all(|&t| t < 50));
+    }
+
+    #[test]
+    fn jaccard_known_values() {
+        let a = Document {
+            id: 0,
+            tokens: vec![1, 2, 3],
+        };
+        let b = Document {
+            id: 1,
+            tokens: vec![2, 3, 4],
+        };
+        // |{2,3}| / |{1,2,3,4}| = 0.5.
+        assert!((a.jaccard(&b) - 0.5).abs() < 1e-12);
+        assert!((a.jaccard(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_handles_duplicates_and_empty() {
+        let a = Document {
+            id: 0,
+            tokens: vec![1, 1, 1],
+        };
+        let b = Document {
+            id: 1,
+            tokens: vec![1],
+        };
+        assert!((a.jaccard(&b) - 1.0).abs() < 1e-12);
+        let empty = Document {
+            id: 2,
+            tokens: vec![],
+        };
+        assert_eq!(empty.jaccard(&empty), 1.0);
+        assert_eq!(empty.jaccard(&a), 0.0);
+    }
+
+    #[test]
+    fn zipf_tokens_are_reused_across_documents() {
+        // With skew ≥ 1 the top token should appear in most documents.
+        let spec = DocumentSpec {
+            n_docs: 50,
+            vocab: 1000,
+            token_skew: 1.2,
+            length: SizeDistribution::Constant(100),
+        };
+        let docs = generate_documents(&spec, 5);
+        let with_top = docs.iter().filter(|d| d.tokens.contains(&0)).count();
+        assert!(with_top > 25, "top token in {with_top}/50 docs");
+    }
+}

@@ -1,0 +1,27 @@
+//! Seeded synthetic workloads for the mrassign experiments.
+//!
+//! The paper's two motivating applications need three kinds of data, all
+//! generated here deterministically from a `u64` seed:
+//!
+//! * **input-size distributions** ([`SizeDistribution`]) — the raw material
+//!   of every mapping-schema experiment (uniform, constant, Zipf-skewed,
+//!   bimodal big/small);
+//! * **skewed relations** ([`relations`]) — pairs of relations `X(A,B)`,
+//!   `Y(B,C)` whose join key `B` follows a Zipf law, producing the heavy
+//!   hitters that motivate the X2Y problem;
+//! * **documents** ([`documents`]) — token-set documents of varying size
+//!   for the similarity-join (A2A) experiments.
+//!
+//! Determinism matters: `EXPERIMENTS.md` records numbers that must
+//! reproduce bit-for-bit, so every generator takes an explicit seed and
+//! uses only `StdRng`.
+
+pub mod documents;
+pub mod relations;
+pub mod sizes;
+pub mod sweep;
+
+pub use documents::{generate_documents, Document, DocumentSpec};
+pub use relations::{generate_relation_pair, RelationPair, RelationSpec, XTuple, YTuple};
+pub use sizes::SizeDistribution;
+pub use sweep::{geometric_steps, linear_steps};

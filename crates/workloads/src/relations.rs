@@ -1,0 +1,232 @@
+//! Skewed relation generators for the skew-join (X2Y) experiments.
+//!
+//! The skew join of `X(A,B)` and `Y(B,C)` struggles exactly when some
+//! values of the join attribute `B` are **heavy hitters**. This generator
+//! draws each tuple's `B`-value from `Zipf(n_keys, skew)`, so `skew = 0`
+//! yields a uniform join and `skew ≈ 1.2` concentrates a large fraction of
+//! both relations on a handful of keys. Payload sizes vary per tuple,
+//! producing the *different-sized inputs* of the paper's title.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::sizes::{SizeDistribution, ZipfTable};
+
+/// One tuple of the left relation `X(A, B)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct XTuple {
+    /// The non-join attribute `A`.
+    pub a: u64,
+    /// The join attribute `B`.
+    pub b: u64,
+    /// Variable-size payload (what makes inputs different-sized).
+    pub payload: String,
+}
+
+/// One tuple of the right relation `Y(B, C)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct YTuple {
+    /// The join attribute `B`.
+    pub b: u64,
+    /// The non-join attribute `C`.
+    pub c: u64,
+    /// Variable-size payload.
+    pub payload: String,
+}
+
+/// Parameters of a generated relation pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationSpec {
+    /// Tuples in `X`.
+    pub x_tuples: usize,
+    /// Tuples in `Y`.
+    pub y_tuples: usize,
+    /// Distinct join-key values.
+    pub n_keys: u32,
+    /// Zipf exponent of the join-key distribution (0 = uniform).
+    pub skew: f64,
+    /// Distribution of per-tuple payload sizes.
+    pub payload: SizeDistribution,
+}
+
+impl Default for RelationSpec {
+    fn default() -> Self {
+        RelationSpec {
+            x_tuples: 10_000,
+            y_tuples: 10_000,
+            n_keys: 1_000,
+            skew: 1.0,
+            payload: SizeDistribution::Uniform { lo: 16, hi: 128 },
+        }
+    }
+}
+
+/// A generated relation pair plus derived skew statistics.
+#[derive(Debug, Clone)]
+pub struct RelationPair {
+    /// The left relation.
+    pub x: Vec<XTuple>,
+    /// The right relation.
+    pub y: Vec<YTuple>,
+    /// Tuples per join key in `X` (index = key).
+    pub x_key_counts: Vec<u32>,
+    /// Tuples per join key in `Y`.
+    pub y_key_counts: Vec<u32>,
+}
+
+impl RelationPair {
+    /// Join keys ranked by output size `|X_b|·|Y_b|`, heaviest first.
+    pub fn keys_by_output_size(&self) -> Vec<(u64, u64)> {
+        let mut keys: Vec<(u64, u64)> = (0..self.x_key_counts.len())
+            .map(|k| {
+                (
+                    k as u64,
+                    self.x_key_counts[k] as u64 * self.y_key_counts[k] as u64,
+                )
+            })
+            .filter(|&(_, out)| out > 0)
+            .collect();
+        keys.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        keys
+    }
+
+    /// Exact number of join output tuples `Σ_b |X_b|·|Y_b|`.
+    pub fn expected_join_size(&self) -> u64 {
+        self.x_key_counts
+            .iter()
+            .zip(&self.y_key_counts)
+            .map(|(&x, &y)| x as u64 * y as u64)
+            .sum()
+    }
+}
+
+/// Generates a relation pair deterministically from `seed`.
+pub fn generate_relation_pair(spec: &RelationSpec, seed: u64) -> RelationPair {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let table = ZipfTable::new(spec.n_keys, spec.skew);
+
+    let mut x_key_counts = vec![0u32; spec.n_keys as usize];
+    let mut y_key_counts = vec![0u32; spec.n_keys as usize];
+
+    let mut x = Vec::with_capacity(spec.x_tuples);
+    for i in 0..spec.x_tuples {
+        let b = (table.sample(&mut rng) - 1) as u64;
+        x_key_counts[b as usize] += 1;
+        let len = spec.payload.sample(&mut rng) as usize;
+        x.push(XTuple {
+            a: i as u64,
+            b,
+            payload: synth_payload(&mut rng, len),
+        });
+    }
+    let mut y = Vec::with_capacity(spec.y_tuples);
+    for i in 0..spec.y_tuples {
+        let b = (table.sample(&mut rng) - 1) as u64;
+        y_key_counts[b as usize] += 1;
+        let len = spec.payload.sample(&mut rng) as usize;
+        y.push(YTuple {
+            b,
+            c: i as u64,
+            payload: synth_payload(&mut rng, len),
+        });
+    }
+    RelationPair {
+        x,
+        y,
+        x_key_counts,
+        y_key_counts,
+    }
+}
+
+/// Builds a printable payload of exactly `len` bytes.
+fn synth_payload(rng: &mut StdRng, len: usize) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+    (0..len)
+        .map(|_| ALPHABET[rng.random_range(0..ALPHABET.len())] as char)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(skew: f64) -> RelationSpec {
+        RelationSpec {
+            x_tuples: 2_000,
+            y_tuples: 2_000,
+            n_keys: 100,
+            skew,
+            payload: SizeDistribution::Uniform { lo: 4, hi: 16 },
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_relation_pair(&small_spec(1.0), 9);
+        let b = generate_relation_pair(&small_spec(1.0), 9);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.y, b.y);
+    }
+
+    #[test]
+    fn tuple_counts_match_spec() {
+        let pair = generate_relation_pair(&small_spec(0.5), 1);
+        assert_eq!(pair.x.len(), 2_000);
+        assert_eq!(pair.y.len(), 2_000);
+        assert_eq!(
+            pair.x_key_counts.iter().sum::<u32>(),
+            2_000,
+            "key counts account for every X tuple"
+        );
+    }
+
+    #[test]
+    fn payload_sizes_follow_distribution() {
+        let pair = generate_relation_pair(&small_spec(0.0), 2);
+        assert!(pair
+            .x
+            .iter()
+            .all(|t| (4..=16).contains(&t.payload.len())));
+    }
+
+    #[test]
+    fn skew_concentrates_keys() {
+        let uniform = generate_relation_pair(&small_spec(0.0), 3);
+        let skewed = generate_relation_pair(&small_spec(1.3), 3);
+        let top_uniform = *uniform.x_key_counts.iter().max().unwrap();
+        let top_skewed = *skewed.x_key_counts.iter().max().unwrap();
+        assert!(
+            top_skewed > 3 * top_uniform,
+            "skewed top {top_skewed} vs uniform top {top_uniform}"
+        );
+    }
+
+    #[test]
+    fn keys_by_output_size_is_sorted_and_complete() {
+        let pair = generate_relation_pair(&small_spec(1.0), 4);
+        let ranked = pair.keys_by_output_size();
+        assert!(ranked.windows(2).all(|w| w[0].1 >= w[1].1));
+        let total: u64 = ranked.iter().map(|&(_, out)| out).sum();
+        assert_eq!(total, pair.expected_join_size());
+    }
+
+    #[test]
+    fn join_size_matches_brute_force() {
+        let pair = generate_relation_pair(
+            &RelationSpec {
+                x_tuples: 300,
+                y_tuples: 300,
+                n_keys: 20,
+                skew: 1.0,
+                payload: SizeDistribution::Constant(4),
+            },
+            5,
+        );
+        let brute: u64 = pair
+            .x
+            .iter()
+            .map(|xt| pair.y.iter().filter(|yt| yt.b == xt.b).count() as u64)
+            .sum();
+        assert_eq!(brute, pair.expected_join_size());
+    }
+}

@@ -1,0 +1,76 @@
+//! Parameter-sweep helpers for the experiment harness.
+
+/// `n` geometrically spaced integer steps from `lo` to `hi` (inclusive,
+/// deduplicated, ascending). Used for capacity (`q`) sweeps, where the
+/// interesting behaviour spans decades.
+pub fn geometric_steps(lo: u64, hi: u64, n: usize) -> Vec<u64> {
+    assert!(lo > 0, "geometric sweep needs a positive start");
+    let (lo, hi) = (lo.min(hi), lo.max(hi));
+    if n <= 1 || lo == hi {
+        return vec![lo];
+    }
+    let ratio = (hi as f64 / lo as f64).powf(1.0 / (n - 1) as f64);
+    let mut steps: Vec<u64> = (0..n)
+        .map(|i| ((lo as f64) * ratio.powi(i as i32)).round() as u64)
+        .collect();
+    steps[0] = lo;
+    steps[n - 1] = hi;
+    steps.sort_unstable();
+    steps.dedup();
+    steps
+}
+
+/// `n` linearly spaced f64 steps from `lo` to `hi` inclusive. Used for
+/// skew-exponent sweeps.
+pub fn linear_steps(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    if n <= 1 {
+        return vec![lo];
+    }
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_endpoints_and_monotonicity() {
+        let steps = geometric_steps(10, 10_000, 7);
+        assert_eq!(*steps.first().unwrap(), 10);
+        assert_eq!(*steps.last().unwrap(), 10_000);
+        assert!(steps.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn geometric_degenerate_cases() {
+        assert_eq!(geometric_steps(5, 5, 10), vec![5]);
+        assert_eq!(geometric_steps(5, 50, 1), vec![5]);
+        // Swapped bounds normalize.
+        let steps = geometric_steps(100, 10, 3);
+        assert_eq!(*steps.first().unwrap(), 10);
+        assert_eq!(*steps.last().unwrap(), 100);
+    }
+
+    #[test]
+    fn geometric_dedups_tight_ranges() {
+        let steps = geometric_steps(1, 4, 16);
+        assert!(steps.len() <= 4);
+        assert!(steps.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn linear_endpoints() {
+        let steps = linear_steps(0.0, 1.4, 8);
+        assert_eq!(steps.len(), 8);
+        assert!((steps[0] - 0.0).abs() < 1e-12);
+        assert!((steps[7] - 1.4).abs() < 1e-12);
+        assert!(steps.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn linear_single_step() {
+        assert_eq!(linear_steps(3.0, 9.0, 1), vec![3.0]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: compute a mapping schema, inspect its cost, and compare it
+//! to the lower bounds.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mrassign::core::{a2a, bounds, exact, stats::SchemaStats, InputSet};
+
+fn main() {
+    // A mixed workload: 200 inputs between 10 and 109 bytes, and reducers
+    // with 300 bytes of capacity.
+    let weights: Vec<u64> = (0..200).map(|i| 10 + (i * 37) % 100).collect();
+    let inputs = InputSet::from_weights(weights);
+    let q = 300;
+
+    println!("== A2A mapping schema ==");
+    println!(
+        "m = {} inputs, total weight {}, capacity q = {q}",
+        inputs.len(),
+        inputs.total_weight()
+    );
+
+    // Feasibility is the two largest inputs fitting together.
+    bounds::a2a_feasible(&inputs, q).expect("instance is feasible");
+
+    // Solve with the automatic per-regime dispatch and certify the result.
+    let schema = a2a::solve(&inputs, q, a2a::A2aAlgorithm::Auto).unwrap();
+    schema
+        .validate_a2a(&inputs, q)
+        .expect("every pair covered, every reducer within capacity");
+
+    let stats = SchemaStats::for_a2a(&schema, &inputs, q);
+    let z_lb = bounds::a2a_reducer_lb(&inputs, q);
+    let c_lb = bounds::a2a_comm_lb(&inputs, q);
+    println!("reducers used:        {}", stats.reducers);
+    println!("reducer lower bound:  {z_lb}");
+    println!(
+        "reducer ratio:        {:.3}",
+        stats.reducers as f64 / z_lb as f64
+    );
+    println!("communication cost:   {}", stats.communication);
+    println!("communication bound:  {c_lb}");
+    println!(
+        "communication ratio:  {:.3}",
+        stats.communication as f64 / c_lb as f64
+    );
+    println!("replication rate:     {:.3}", stats.replication_rate());
+    println!("max reducer load:     {} / {q}", stats.max_load);
+
+    // On a small instance we can afford the exact solver and see how close
+    // the heuristic is to the true optimum.
+    println!("\n== Exact optimum on a small instance ==");
+    let small = InputSet::from_weights(vec![9, 7, 6, 5, 5, 4, 3, 2]);
+    let small_q = 16;
+    let heuristic = a2a::solve(&small, small_q, a2a::A2aAlgorithm::Auto).unwrap();
+    let optimal = exact::a2a_exact(&small, small_q, 5_000_000).unwrap();
+    println!(
+        "heuristic: {} reducers | exact: {} reducers (certified optimal: {}, {} nodes)",
+        heuristic.reducer_count(),
+        optimal.schema.reducer_count(),
+        optimal.optimal,
+        optimal.nodes,
+    );
+}

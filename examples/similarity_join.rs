@@ -1,0 +1,80 @@
+//! Similarity join end-to-end: an A2A mapping schema executed on the
+//! simulated MapReduce engine, compared against the one-reducer-per-pair
+//! baseline.
+//!
+//! Run with: `cargo run --example similarity_join`
+
+use mrassign::core::a2a::A2aAlgorithm;
+use mrassign::joins::{run_similarity_join, SimJoinConfig, SimJoinStrategy};
+use mrassign::simmr::ClusterConfig;
+use mrassign::workloads::{generate_documents, DocumentSpec, SizeDistribution};
+
+fn main() {
+    // 150 documents with skewed lengths — the "web pages" of the paper's
+    // similarity-join example.
+    let docs = generate_documents(
+        &DocumentSpec {
+            n_docs: 150,
+            vocab: 250,
+            token_skew: 1.2,
+            length: SizeDistribution::Zipf {
+                ranks: 50,
+                exponent: 0.8,
+                max_size: 400,
+            },
+        },
+        42,
+    );
+    let total_bytes: u64 = docs.iter().map(|d| d.size_bytes()).sum();
+    println!(
+        "corpus: {} documents, {} bytes total, {} pairs to compare",
+        docs.len(),
+        total_bytes,
+        docs.len() * (docs.len() - 1) / 2
+    );
+
+    let cluster = ClusterConfig {
+        workers: 16,
+        ..ClusterConfig::default()
+    };
+    let q = 6_000;
+
+    for (name, strategy) in [
+        ("mapping schema", SimJoinStrategy::Schema(A2aAlgorithm::Auto)),
+        ("pair-per-reducer", SimJoinStrategy::PairPerReducer),
+    ] {
+        let result = run_similarity_join(
+            &docs,
+            &SimJoinConfig {
+                capacity: q,
+                threshold: 0.3,
+                strategy,
+                cluster: cluster.clone(),
+            },
+        )
+        .unwrap();
+        println!("\n-- {name} (q = {q}) --");
+        println!("reducers:           {}", result.schema_stats.reducers);
+        println!("similar pairs:      {}", result.pairs.len());
+        println!(
+            "communication:      {} bytes ({:.1}x the corpus)",
+            result.metrics.bytes_shuffled,
+            result.metrics.bytes_shuffled as f64 / total_bytes as f64
+        );
+        println!(
+            "replication rate:   {:.2} copies/document",
+            result.schema_stats.replication_rate()
+        );
+        println!(
+            "simulated makespan: {:.3}s (speedup over serial {:.2}x)",
+            result.metrics.total_seconds(),
+            result.metrics.speedup()
+        );
+    }
+
+    println!(
+        "\nThe schema ships dramatically fewer bytes at the same answer; the \
+         pair-per-reducer baseline maximizes parallelism but pays m-1 copies \
+         per document and per-task overhead for every pair."
+    );
+}

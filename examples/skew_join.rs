@@ -1,0 +1,103 @@
+//! Skew join end-to-end: X2Y mapping schemas for heavy hitters versus the
+//! naive hash join and the broadcast join, all on the simulated engine.
+//!
+//! Run with: `cargo run --example skew_join`
+
+use mrassign::binpack::FitPolicy;
+use mrassign::joins::{run_skew_join, SkewJoinConfig, SkewJoinStrategy};
+use mrassign::simmr::ClusterConfig;
+use mrassign::workloads::{generate_relation_pair, RelationSpec, SizeDistribution};
+
+fn main() {
+    // Two relations of 8k tuples; join key Zipf(1.1) over 500 keys, so a
+    // few keys carry a large share of both relations.
+    let pair = generate_relation_pair(
+        &RelationSpec {
+            x_tuples: 8_000,
+            y_tuples: 8_000,
+            n_keys: 500,
+            skew: 1.1,
+            payload: SizeDistribution::Uniform { lo: 16, hi: 96 },
+        },
+        7,
+    );
+    let top = pair.keys_by_output_size();
+    println!(
+        "relations: |X| = |Y| = 8000, {} join keys, expected output {} tuples",
+        500,
+        pair.expected_join_size()
+    );
+    println!(
+        "heaviest key produces {} outputs; the 5th heaviest {}",
+        top[0].1, top[4].1
+    );
+
+    // Tuple-granularity map tasks: per-task overhead must be tiny or it
+    // swamps every other cost (real engines batch tuples into splits).
+    let cluster = ClusterConfig {
+        workers: 16,
+        task_overhead: 0.001,
+        ..ClusterConfig::default()
+    };
+    let q = 16_384; // 16 KiB reducers
+
+    let strategies = [
+        (
+            "skew-aware (X2Y schemas)",
+            SkewJoinStrategy::SkewAware {
+                policy: FitPolicy::FirstFitDecreasing,
+            },
+        ),
+        ("naive hash", SkewJoinStrategy::NaiveHash { reducers: 64 }),
+        (
+            "broadcast Y",
+            SkewJoinStrategy::BroadcastY { reducers: 64 },
+        ),
+    ];
+
+    let mut reference: Option<Vec<(u64, u64, u64)>> = None;
+    for (name, strategy) in strategies {
+        let result = run_skew_join(
+            &pair,
+            &SkewJoinConfig {
+                capacity: q,
+                strategy,
+                cluster: cluster.clone(),
+            },
+        )
+        .unwrap();
+        println!("\n-- {name} (q = {q}) --");
+        println!("reducers:            {}", result.reducers);
+        println!("heavy hitters:       {}", result.heavy_keys);
+        println!("output tuples:       {}", result.output.len());
+        println!("communication:       {} bytes", result.metrics.bytes_shuffled);
+        println!(
+            "max reducer load:    {} bytes ({})",
+            result.metrics.max_reducer_load(),
+            if result.metrics.capacity_violations.is_empty() {
+                "within capacity".to_string()
+            } else {
+                format!(
+                    "{} reducers OVER capacity",
+                    result.metrics.capacity_violations.len()
+                )
+            }
+        );
+        println!(
+            "simulated makespan:  {:.3}s, load imbalance {:.2}",
+            result.metrics.total_seconds(),
+            result.metrics.load_imbalance()
+        );
+        match &reference {
+            None => reference = Some(result.output),
+            Some(r) => assert_eq!(r, &result.output, "all strategies agree on the join"),
+        }
+    }
+
+    println!(
+        "\nAll three strategies produce the identical join. Hash partitioning \
+         overloads the heavy hitters' reducers; broadcast is capacity-safe but \
+         ships |reducers| copies of Y; the X2Y mapping schemas bound every \
+         reducer by q while keeping communication near the lower bound."
+    );
+}

@@ -1,0 +1,489 @@
+//! `mrassign` — command-line front end for the mapping-schema library.
+//!
+//! ```text
+//! mrassign gen  --dist uniform:10:100 --m 1000 --seed 7 [--out weights.txt]
+//! mrassign a2a  --weights weights.txt --q 200 [--algo auto|grouping|pairing|bigsmall] [--routes]
+//! mrassign x2y  --x xs.txt --y ys.txt --q 200 [--routes]
+//! mrassign plan --weights weights.txt [--workers 16] [--candidates 10]
+//!               [--objective makespan|comm:<slowdown>]
+//! ```
+//!
+//! Weight files hold one integer per line; `#` starts a comment. All
+//! commands print a human-readable summary; `--routes` additionally dumps
+//! `reducer <tab> input,input,...` lines for piping into a real job
+//! submitter.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use mrassign::binpack::FitPolicy;
+use mrassign::core::{a2a, bounds, stats::SchemaStats, x2y, InputSet, X2yInstance};
+use mrassign::planner::{plan_a2a, Objective, PlannerConfig};
+use mrassign::simmr::ClusterConfig;
+use mrassign::workloads::SizeDistribution;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  mrassign gen  --dist <spec> --m <n> [--seed <s>] [--out <file>]
+  mrassign a2a  --weights <file> --q <n> [--algo auto|grouping|pairing|bigsmall] [--routes]
+  mrassign x2y  --x <file> --y <file> --q <n> [--routes]
+  mrassign plan --weights <file> [--workers <n>] [--candidates <n>] [--objective makespan|comm:<slowdown>]
+
+distribution specs: const:<w> | uniform:<lo>:<hi> | zipf:<ranks>:<exp>:<max> | bimodal:<small>:<big>:<frac>";
+
+/// Executes a parsed command line; returns the printable result.
+fn run(args: &[String]) -> Result<String, String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err("no command given".into());
+    };
+    let flags = parse_flags(rest)?;
+    match command.as_str() {
+        "gen" => cmd_gen(&flags),
+        "a2a" => cmd_a2a(&flags),
+        "x2y" => cmd_x2y(&flags),
+        "plan" => cmd_plan(&flags),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Parses `--key value` pairs plus bare `--flag` booleans.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(format!("expected a --flag, found `{arg}`"));
+        };
+        let value = match it.peek() {
+            Some(next) if !next.starts_with("--") => it.next().unwrap().clone(),
+            _ => "true".to_string(),
+        };
+        if flags.insert(key.to_string(), value).is_some() {
+            return Err(format!("flag --{key} given twice"));
+        }
+    }
+    Ok(flags)
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, what: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("cannot parse `{value}` as {what}"))
+}
+
+/// Parses a distribution spec like `uniform:10:100`.
+fn parse_dist(spec: &str) -> Result<SizeDistribution, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["const", w] => Ok(SizeDistribution::Constant(parse_num(w, "a weight")?)),
+        ["uniform", lo, hi] => Ok(SizeDistribution::Uniform {
+            lo: parse_num(lo, "a weight")?,
+            hi: parse_num(hi, "a weight")?,
+        }),
+        ["zipf", ranks, exp, max] => Ok(SizeDistribution::Zipf {
+            ranks: parse_num(ranks, "a rank count")?,
+            exponent: parse_num(exp, "an exponent")?,
+            max_size: parse_num(max, "a weight")?,
+        }),
+        ["bimodal", small, big, frac] => Ok(SizeDistribution::Bimodal {
+            small: parse_num(small, "a weight")?,
+            big: parse_num(big, "a weight")?,
+            big_fraction: parse_num(frac, "a fraction")?,
+        }),
+        _ => Err(format!("unknown distribution spec `{spec}`")),
+    }
+}
+
+/// Parses a weights file: one integer per line, `#` comments, blanks ok.
+fn parse_weights(content: &str) -> Result<Vec<u64>, String> {
+    let mut weights = Vec::new();
+    for (lineno, line) in content.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        weights.push(
+            line.parse()
+                .map_err(|_| format!("line {}: `{line}` is not a weight", lineno + 1))?,
+        );
+    }
+    Ok(weights)
+}
+
+fn load_weights(path: &str) -> Result<Vec<u64>, String> {
+    let content =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_weights(&content)
+}
+
+fn parse_algo(name: &str) -> Result<a2a::A2aAlgorithm, String> {
+    match name {
+        "auto" => Ok(a2a::A2aAlgorithm::Auto),
+        "grouping" => Ok(a2a::A2aAlgorithm::GroupingEqual),
+        "pairing" => Ok(a2a::A2aAlgorithm::BinPackPairing(
+            FitPolicy::FirstFitDecreasing,
+        )),
+        "bigsmall" => Ok(a2a::A2aAlgorithm::BigSmall {
+            policy: FitPolicy::FirstFitDecreasing,
+            shared_bins: false,
+        }),
+        other => Err(format!("unknown algorithm `{other}`")),
+    }
+}
+
+fn parse_objective(spec: &str) -> Result<Objective, String> {
+    if spec == "makespan" {
+        return Ok(Objective::MinimizeMakespan);
+    }
+    if let Some(slowdown) = spec.strip_prefix("comm:") {
+        return Ok(Objective::MinimizeCommunicationWithin {
+            slowdown: parse_num(slowdown, "a slowdown factor")?,
+        });
+    }
+    Err(format!("unknown objective `{spec}`"))
+}
+
+fn cmd_gen(flags: &HashMap<String, String>) -> Result<String, String> {
+    let dist = parse_dist(required(flags, "dist")?)?;
+    let m: usize = parse_num(required(flags, "m")?, "a count")?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| parse_num(s, "a seed"))
+        .transpose()?
+        .unwrap_or(0);
+    let weights = dist.sample_many(m, seed);
+    let body: String = weights
+        .iter()
+        .map(|w| format!("{w}\n"))
+        .collect();
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &body).map_err(|e| format!("cannot write {path}: {e}"))?;
+            Ok(format!(
+                "wrote {m} weights from {} to {path}",
+                dist.label()
+            ))
+        }
+        None => Ok(body.trim_end().to_string()),
+    }
+}
+
+fn cmd_a2a(flags: &HashMap<String, String>) -> Result<String, String> {
+    let weights = load_weights(required(flags, "weights")?)?;
+    let q: u64 = parse_num(required(flags, "q")?, "a capacity")?;
+    let algo = parse_algo(flags.get("algo").map(String::as_str).unwrap_or("auto"))?;
+    let inputs = InputSet::from_weights(weights);
+    let schema = a2a::solve(&inputs, q, algo).map_err(|e| e.to_string())?;
+    schema.validate_a2a(&inputs, q).map_err(|e| e.to_string())?;
+    let stats = SchemaStats::for_a2a(&schema, &inputs, q);
+
+    let mut out = format!(
+        "A2A schema: m = {}, q = {q}\n\
+         reducers:        {} (lower bound {})\n\
+         communication:   {} (lower bound {})\n\
+         replication:     {:.3} copies per weight unit\n\
+         max load:        {} / {q}",
+        inputs.len(),
+        stats.reducers,
+        bounds::a2a_reducer_lb(&inputs, q),
+        stats.communication,
+        bounds::a2a_comm_lb(&inputs, q),
+        stats.replication_rate(),
+        stats.max_load,
+    );
+    if flags.contains_key("routes") {
+        out.push('\n');
+        out.push_str(&render_routes(schema.reducers()));
+    }
+    Ok(out)
+}
+
+fn cmd_x2y(flags: &HashMap<String, String>) -> Result<String, String> {
+    let x = load_weights(required(flags, "x")?)?;
+    let y = load_weights(required(flags, "y")?)?;
+    let q: u64 = parse_num(required(flags, "q")?, "a capacity")?;
+    let inst = X2yInstance::from_weights(x, y);
+    let schema =
+        x2y::solve(&inst, q, x2y::X2yAlgorithm::Auto).map_err(|e| e.to_string())?;
+    schema.validate(&inst, q).map_err(|e| e.to_string())?;
+    let stats = SchemaStats::for_x2y(&schema, &inst, q);
+
+    let mut out = format!(
+        "X2Y schema: |X| = {}, |Y| = {}, q = {q}\n\
+         reducers:        {} (lower bound {})\n\
+         communication:   {} (lower bound {})\n\
+         max load:        {} / {q}",
+        inst.x.len(),
+        inst.y.len(),
+        stats.reducers,
+        bounds::x2y_reducer_lb(&inst, q),
+        stats.communication,
+        bounds::x2y_comm_lb(&inst, q),
+        stats.max_load,
+    );
+    if flags.contains_key("routes") {
+        out.push('\n');
+        for (rid, r) in schema.reducers().iter().enumerate() {
+            out.push_str(&format!(
+                "{rid}\tx:{}\ty:{}\n",
+                join_ids(&r.x),
+                join_ids(&r.y)
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_plan(flags: &HashMap<String, String>) -> Result<String, String> {
+    let weights = load_weights(required(flags, "weights")?)?;
+    let workers: usize = flags
+        .get("workers")
+        .map(|s| parse_num(s, "a worker count"))
+        .transpose()?
+        .unwrap_or(8);
+    let candidates: usize = flags
+        .get("candidates")
+        .map(|s| parse_num(s, "a candidate count"))
+        .transpose()?
+        .unwrap_or(10);
+    let objective = parse_objective(
+        flags
+            .get("objective")
+            .map(String::as_str)
+            .unwrap_or("makespan"),
+    )?;
+
+    let plan = plan_a2a(
+        &weights,
+        &PlannerConfig {
+            cluster: ClusterConfig {
+                workers,
+                ..ClusterConfig::default()
+            },
+            candidates,
+            objective,
+            ..PlannerConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    let mut out = String::from("q          reducers  comm            makespan_s  speedup\n");
+    for c in &plan.frontier {
+        let marker = if c.q == plan.best.q { "  <== chosen" } else { "" };
+        out.push_str(&format!(
+            "{:<10} {:<9} {:<15} {:<11.3} {:<7.2}{marker}\n",
+            c.q, c.reducers, c.communication, c.makespan, c.speedup
+        ));
+    }
+    out.push_str(&format!(
+        "\nrecommended capacity: q = {} ({} reducers, {:.3}s simulated makespan)",
+        plan.best.q, plan.best.reducers, plan.best.makespan
+    ));
+    Ok(out)
+}
+
+fn render_routes(reducers: &[Vec<u32>]) -> String {
+    let mut out = String::new();
+    for (rid, r) in reducers.iter().enumerate() {
+        out.push_str(&format!("{rid}\t{}\n", join_ids(r)));
+    }
+    out
+}
+
+fn join_ids(ids: &[u32]) -> String {
+    ids.iter()
+        .map(u32::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn required_flag_lookup() {
+        let flags: HashMap<String, String> =
+            [("q".to_string(), "5".to_string())].into_iter().collect();
+        assert_eq!(required(&flags, "q").unwrap(), "5");
+        assert!(required(&flags, "missing").is_err());
+    }
+
+    #[test]
+    fn parse_flags_handles_values_and_booleans() {
+        let args: Vec<String> = ["--q", "200", "--routes", "--algo", "auto"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let parsed = parse_flags(&args).unwrap();
+        assert_eq!(parsed["q"], "200");
+        assert_eq!(parsed["routes"], "true");
+        assert_eq!(parsed["algo"], "auto");
+    }
+
+    #[test]
+    fn parse_flags_rejects_bare_values_and_duplicates() {
+        let args: Vec<String> = ["stray"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_flags(&args).is_err());
+        let args: Vec<String> = ["--q", "1", "--q", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_flags(&args).is_err());
+    }
+
+    #[test]
+    fn parse_dist_all_forms() {
+        assert_eq!(
+            parse_dist("const:7").unwrap(),
+            SizeDistribution::Constant(7)
+        );
+        assert_eq!(
+            parse_dist("uniform:1:9").unwrap(),
+            SizeDistribution::Uniform { lo: 1, hi: 9 }
+        );
+        assert!(matches!(
+            parse_dist("zipf:10:1.5:100").unwrap(),
+            SizeDistribution::Zipf { ranks: 10, .. }
+        ));
+        assert!(matches!(
+            parse_dist("bimodal:1:9:0.25").unwrap(),
+            SizeDistribution::Bimodal { big: 9, .. }
+        ));
+        assert!(parse_dist("nonsense").is_err());
+        assert!(parse_dist("uniform:1").is_err());
+    }
+
+    #[test]
+    fn parse_weights_skips_comments_and_blanks() {
+        let parsed = parse_weights("10\n# comment\n\n20 # trailing\n30\n").unwrap();
+        assert_eq!(parsed, vec![10, 20, 30]);
+        assert!(parse_weights("ten").is_err());
+    }
+
+    #[test]
+    fn gen_without_out_prints_weights() {
+        let out = run(&[
+            "gen".into(),
+            "--dist".into(),
+            "const:5".into(),
+            "--m".into(),
+            "3".into(),
+        ])
+        .unwrap();
+        assert_eq!(out, "5\n5\n5");
+    }
+
+    #[test]
+    fn a2a_command_end_to_end() {
+        let dir = std::env::temp_dir().join("mrassign-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("weights.txt");
+        std::fs::write(&path, "10\n20\n30\n40\n").unwrap();
+        let out = run(&[
+            "a2a".into(),
+            "--weights".into(),
+            path.to_str().unwrap().into(),
+            "--q".into(),
+            "100".into(),
+            "--routes".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("reducers:"));
+        assert!(out.contains("0\t")); // routes dumped
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn x2y_command_end_to_end() {
+        let dir = std::env::temp_dir().join("mrassign-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (xp, yp) = (dir.join("xs.txt"), dir.join("ys.txt"));
+        std::fs::write(&xp, "10\n20\n").unwrap();
+        std::fs::write(&yp, "5\n15\n25\n").unwrap();
+        let out = run(&[
+            "x2y".into(),
+            "--x".into(),
+            xp.to_str().unwrap().into(),
+            "--y".into(),
+            yp.to_str().unwrap().into(),
+            "--q".into(),
+            "60".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("X2Y schema"));
+        std::fs::remove_file(xp).unwrap();
+        std::fs::remove_file(yp).unwrap();
+    }
+
+    #[test]
+    fn plan_command_recommends_a_capacity() {
+        let dir = std::env::temp_dir().join("mrassign-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan-weights.txt");
+        let body: String = (0..50).map(|i| format!("{}\n", 30 + i % 20)).collect();
+        std::fs::write(&path, body).unwrap();
+        let out = run(&[
+            "plan".into(),
+            "--weights".into(),
+            path.to_str().unwrap().into(),
+            "--candidates".into(),
+            "5".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("recommended capacity"));
+        assert!(out.contains("<== chosen"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn unknown_command_and_objectives_error() {
+        assert!(run(&["bogus".into()]).is_err());
+        assert!(parse_objective("makespan").is_ok());
+        assert!(matches!(
+            parse_objective("comm:2.0").unwrap(),
+            Objective::MinimizeCommunicationWithin { .. }
+        ));
+        assert!(parse_objective("speed").is_err());
+    }
+
+    #[test]
+    fn infeasible_instances_surface_as_errors() {
+        let dir = std::env::temp_dir().join("mrassign-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("infeasible.txt");
+        std::fs::write(&path, "90\n90\n").unwrap();
+        let err = run(&[
+            "a2a".into(),
+            "--weights".into(),
+            path.to_str().unwrap().into(),
+            "--q".into(),
+            "100".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("no mapping schema exists"));
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,59 @@
+//! # mrassign — Assignment of Different-Sized Inputs in MapReduce
+//!
+//! A from-scratch Rust reproduction of *Assignment of Different-Sized
+//! Inputs in MapReduce* (Foto Afrati, Shlomi Dolev, Ephraim Korach,
+//! Shantanu Sharma, Jeffrey D. Ullman; EDBT 2015 / arXiv:1501.06758).
+//!
+//! The paper's setting: inputs have **sizes**, every reducer has the same
+//! **capacity** `q`, and an algorithm's cost is the **communication** from
+//! mappers to reducers. A *mapping schema* assigns inputs to reducers so
+//! that (1) no reducer exceeds `q` and (2) every output's inputs meet in
+//! at least one reducer. Two NP-complete problems are studied — **A2A**
+//! (every pair of inputs must meet; similarity join) and **X2Y** (every
+//! cross pair of two sets must meet; skew join) — along with per-regime
+//! approximation algorithms and the capacity↔parallelism↔communication
+//! tradeoffs.
+//!
+//! This facade re-exports the whole workspace:
+//!
+//! * [`core`] *(crate `mrassign-core`)* — the mapping-schema model,
+//!   algorithms, exact solvers, and lower bounds;
+//! * [`binpack`] *(crate `mrassign-binpack`)* — the bin-packing substrate;
+//! * [`simmr`] *(crate `mrassign-simmr`)* — the simulated MapReduce engine;
+//! * [`workloads`] *(crate `mrassign-workloads`)* — seeded generators;
+//! * [`joins`] *(crate `mrassign-joins`)* — end-to-end similarity join and
+//!   skew join with baselines.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mrassign::core::{a2a, bounds, stats::SchemaStats, InputSet};
+//!
+//! // 100 inputs, sizes 10..=59 bytes, reducers of capacity 120 bytes.
+//! let weights: Vec<u64> = (0..100).map(|i| 10 + i % 50).collect();
+//! let inputs = InputSet::from_weights(weights);
+//! let q = 120;
+//!
+//! let schema = a2a::solve(&inputs, q, a2a::A2aAlgorithm::Auto).unwrap();
+//! schema.validate_a2a(&inputs, q).unwrap();
+//!
+//! let stats = SchemaStats::for_a2a(&schema, &inputs, q);
+//! println!(
+//!     "z = {} reducers (lower bound {}), communication {}",
+//!     stats.reducers,
+//!     bounds::a2a_reducer_lb(&inputs, q),
+//!     stats.communication,
+//! );
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios (similarity join,
+//! skew join, tradeoff exploration) and `crates/bench` for the experiment
+//! harness that regenerates every table and figure in `EXPERIMENTS.md`.
+
+pub mod planner;
+
+pub use mrassign_binpack as binpack;
+pub use mrassign_core as core;
+pub use mrassign_joins as joins;
+pub use mrassign_simmr as simmr;
+pub use mrassign_workloads as workloads;

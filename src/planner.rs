@@ -1,0 +1,439 @@
+//! Capacity planning: choose the reducer capacity `q`.
+//!
+//! The paper leaves `q` as a given ("for example, the main memory of the
+//! processors"), but its three tradeoffs make `q` a *decision*: smaller
+//! capacities buy parallelism with communication, larger ones starve the
+//! worker pool. This module sweeps candidate capacities, builds the schema
+//! for each, executes it on the simulated cluster, and picks the best
+//! candidate under a user objective — the executable version of the
+//! paper's tradeoff discussion.
+//!
+//! ```
+//! use mrassign::planner::{plan_a2a, Objective, PlannerConfig};
+//! use mrassign::simmr::ClusterConfig;
+//!
+//! let weights: Vec<u64> = (0..150).map(|i| 40 + i % 80).collect();
+//! let plan = plan_a2a(&weights, &PlannerConfig {
+//!     cluster: ClusterConfig { workers: 16, ..ClusterConfig::default() },
+//!     candidates: 8,
+//!     objective: Objective::MinimizeMakespan,
+//!     ..PlannerConfig::default()
+//! }).unwrap();
+//! assert!(plan.best.makespan <= plan.frontier.first().unwrap().makespan);
+//! assert!(plan.best.makespan <= plan.frontier.last().unwrap().makespan);
+//! ```
+
+use mrassign_core::{a2a, bounds, x2y, InputSet, SchemaError, Weight, X2yInstance};
+use mrassign_simmr::{
+    ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, Job, JobMetrics, Mapper,
+    Reducer,
+};
+
+/// What "best capacity" means.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Smallest simulated end-to-end makespan.
+    MinimizeMakespan,
+    /// Smallest communication cost whose makespan stays within
+    /// `slowdown` × the best achievable makespan. `slowdown = 1.0` means
+    /// "as fast as possible, then as cheap as possible".
+    MinimizeCommunicationWithin {
+        /// Allowed slowdown factor relative to the fastest candidate.
+        slowdown: f64,
+    },
+    /// Weighted cost: `makespan_seconds + bytes × cost_per_byte` (e.g.
+    /// cross-AZ transfer pricing folded into seconds).
+    WeightedCost {
+        /// Seconds charged per shuffled byte.
+        cost_per_byte: f64,
+    },
+}
+
+/// Planner parameters.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Simulated cluster the schedule is evaluated on.
+    pub cluster: ClusterConfig,
+    /// Number of capacity candidates to probe (geometric sweep).
+    pub candidates: usize,
+    /// Smallest capacity to consider; default = the feasibility threshold.
+    pub q_min: Option<Weight>,
+    /// Largest capacity to consider; default = total input weight (one
+    /// reducer).
+    pub q_max: Option<Weight>,
+    /// Selection objective.
+    pub objective: Objective,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            cluster: ClusterConfig::default(),
+            candidates: 10,
+            q_min: None,
+            q_max: None,
+            objective: Objective::MinimizeMakespan,
+        }
+    }
+}
+
+/// One evaluated capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidatePlan {
+    /// The capacity probed.
+    pub q: Weight,
+    /// Reducers the schema uses at this capacity.
+    pub reducers: usize,
+    /// Schema communication cost (weight units = bytes).
+    pub communication: u128,
+    /// Simulated end-to-end makespan (seconds).
+    pub makespan: f64,
+    /// Speedup over serial execution.
+    pub speedup: f64,
+    /// Largest reducer load.
+    pub max_load: Weight,
+}
+
+/// The planner's output: the chosen capacity and the whole frontier for
+/// inspection/plotting.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The selected candidate under the objective.
+    pub best: CandidatePlan,
+    /// Every evaluated candidate, ascending by `q`.
+    pub frontier: Vec<CandidatePlan>,
+}
+
+/// Plans the reducer capacity for an A2A workload (every pair of inputs
+/// must meet).
+pub fn plan_a2a(weights: &[Weight], config: &PlannerConfig) -> Result<Plan, SchemaError> {
+    let inputs = InputSet::from_weights(weights.to_vec());
+    let total: u128 = inputs.total_weight();
+    let q_floor = match inputs.two_largest() {
+        Some((a, b)) => a + b,
+        None => inputs.max_weight().max(1),
+    };
+    let q_min = config.q_min.unwrap_or(q_floor).max(q_floor).max(1);
+    let q_max = config
+        .q_max
+        .unwrap_or_else(|| u64::try_from(total).unwrap_or(u64::MAX))
+        .max(q_min);
+    bounds::a2a_feasible(&inputs, q_min)?;
+
+    let mut frontier = Vec::new();
+    for q in sweep(q_min, q_max, config.candidates) {
+        let schema = a2a::solve(&inputs, q, a2a::A2aAlgorithm::Auto)?;
+        let routes = routes_of(schema.reducers(), weights.len());
+        let metrics = execute(weights, &routes, schema.reducer_count(), q, &config.cluster);
+        frontier.push(CandidatePlan {
+            q,
+            reducers: schema.reducer_count(),
+            communication: schema.communication_cost(&inputs),
+            makespan: metrics.total_seconds(),
+            speedup: metrics.speedup(),
+            max_load: metrics.max_reducer_load(),
+        });
+    }
+    select(frontier, config.objective)
+}
+
+/// Plans the reducer capacity for an X2Y workload (every cross pair must
+/// meet).
+pub fn plan_x2y(
+    x_weights: &[Weight],
+    y_weights: &[Weight],
+    config: &PlannerConfig,
+) -> Result<Plan, SchemaError> {
+    let inst = X2yInstance::from_weights(x_weights.to_vec(), y_weights.to_vec());
+    let total = inst.x.total_weight() + inst.y.total_weight();
+    let q_floor = (inst.x.max_weight() + inst.y.max_weight()).max(1);
+    let q_min = config.q_min.unwrap_or(q_floor).max(q_floor);
+    let q_max = config
+        .q_max
+        .unwrap_or_else(|| u64::try_from(total).unwrap_or(u64::MAX))
+        .max(q_min);
+    bounds::x2y_feasible(&inst, q_min)?;
+
+    // Concatenate both sides into one routed-blob job: X ids first.
+    let mut weights: Vec<Weight> = x_weights.to_vec();
+    weights.extend_from_slice(y_weights);
+
+    let mut frontier = Vec::new();
+    for q in sweep(q_min, q_max, config.candidates) {
+        let schema = x2y::solve(&inst, q, x2y::X2yAlgorithm::Auto)?;
+        let mut routes: Vec<Vec<usize>> = vec![Vec::new(); weights.len()];
+        for (rid, r) in schema.reducers().iter().enumerate() {
+            for &xi in &r.x {
+                routes[xi as usize].push(rid);
+            }
+            for &yi in &r.y {
+                routes[x_weights.len() + yi as usize].push(rid);
+            }
+        }
+        let metrics = execute(&weights, &routes, schema.reducer_count(), q, &config.cluster);
+        frontier.push(CandidatePlan {
+            q,
+            reducers: schema.reducer_count(),
+            communication: schema.communication_cost(&inst),
+            makespan: metrics.total_seconds(),
+            speedup: metrics.speedup(),
+            max_load: metrics.max_reducer_load(),
+        });
+    }
+    select(frontier, config.objective)
+}
+
+fn sweep(lo: Weight, hi: Weight, n: usize) -> Vec<Weight> {
+    if lo >= hi || n <= 1 {
+        return vec![lo];
+    }
+    let n = n.max(2);
+    let ratio = (hi as f64 / lo as f64).powf(1.0 / (n - 1) as f64);
+    let mut qs: Vec<Weight> = (0..n)
+        .map(|i| ((lo as f64) * ratio.powi(i as i32)).round() as Weight)
+        .collect();
+    qs[0] = lo;
+    qs[n - 1] = hi;
+    qs.dedup();
+    qs
+}
+
+fn routes_of(reducers: &[Vec<u32>], n_inputs: usize) -> Vec<Vec<usize>> {
+    let mut routes = vec![Vec::new(); n_inputs];
+    for (rid, r) in reducers.iter().enumerate() {
+        for &id in r {
+            routes[id as usize].push(rid);
+        }
+    }
+    routes
+}
+
+fn select(frontier: Vec<CandidatePlan>, objective: Objective) -> Result<Plan, SchemaError> {
+    assert!(!frontier.is_empty(), "sweep always yields one candidate");
+    let best = match objective {
+        Objective::MinimizeMakespan => frontier
+            .iter()
+            .min_by(|a, b| a.makespan.total_cmp(&b.makespan))
+            .expect("nonempty"),
+        Objective::MinimizeCommunicationWithin { slowdown } => {
+            let fastest = frontier
+                .iter()
+                .map(|c| c.makespan)
+                .fold(f64::INFINITY, f64::min);
+            let budget = fastest * slowdown.max(1.0);
+            frontier
+                .iter()
+                .filter(|c| c.makespan <= budget + 1e-12)
+                .min_by_key(|c| c.communication)
+                .expect("the fastest candidate always qualifies")
+        }
+        Objective::WeightedCost { cost_per_byte } => frontier
+            .iter()
+            .min_by(|a, b| {
+                let cost =
+                    |c: &CandidatePlan| c.makespan + c.communication as f64 * cost_per_byte;
+                cost(a).total_cmp(&cost(b))
+            })
+            .expect("nonempty"),
+    }
+    .clone();
+    Ok(Plan { best, frontier })
+}
+
+// --- blob execution (facade-level composition of core + simmr) -----------
+
+#[derive(Clone)]
+struct Blob {
+    bytes: u64,
+    targets: Vec<usize>,
+}
+
+impl ByteSized for Blob {
+    fn size_bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[derive(Clone)]
+struct SizedPayload(u64);
+
+impl ByteSized for SizedPayload {
+    fn size_bytes(&self) -> u64 {
+        self.0
+    }
+}
+
+struct Replicate;
+
+impl Mapper for Replicate {
+    type In = Blob;
+    type Key = u64;
+    type Value = SizedPayload;
+    fn map(&self, input: &Blob, emit: &mut Emitter<u64, SizedPayload>) {
+        for &t in &input.targets {
+            emit.emit(t as u64, SizedPayload(input.bytes));
+        }
+    }
+}
+
+struct Absorb;
+
+impl Reducer for Absorb {
+    type Key = u64;
+    type Value = SizedPayload;
+    type Out = ();
+    fn reduce(&self, _: &u64, _: &[SizedPayload], _: &mut Vec<()>) {}
+}
+
+fn execute(
+    weights: &[Weight],
+    routes: &[Vec<usize>],
+    n_reducers: usize,
+    q: Weight,
+    cluster: &ClusterConfig,
+) -> JobMetrics {
+    if n_reducers == 0 {
+        return JobMetrics::default();
+    }
+    let blobs: Vec<Blob> = weights
+        .iter()
+        .zip(routes)
+        .map(|(&bytes, targets)| Blob {
+            bytes,
+            targets: targets.clone(),
+        })
+        .collect();
+    Job::new(Replicate, Absorb, DirectRouter, n_reducers, cluster.clone())
+        .capacity(CapacityPolicy::Enforce(q))
+        .run(&blobs)
+        .expect("valid schemas cannot violate capacity")
+        .metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_weights(m: usize) -> Vec<u64> {
+        (0..m as u64).map(|i| 50 + (i * 13) % 150).collect()
+    }
+
+    #[test]
+    fn frontier_is_ascending_and_bounded() {
+        let plan = plan_a2a(&mixed_weights(100), &PlannerConfig::default()).unwrap();
+        assert!(plan.frontier.len() >= 2);
+        assert!(plan.frontier.windows(2).all(|w| w[0].q < w[1].q));
+        assert!(plan.frontier.iter().all(|c| c.max_load <= c.q));
+    }
+
+    #[test]
+    fn min_makespan_picks_the_frontier_minimum() {
+        let plan = plan_a2a(&mixed_weights(100), &PlannerConfig::default()).unwrap();
+        let min = plan
+            .frontier
+            .iter()
+            .map(|c| c.makespan)
+            .fold(f64::INFINITY, f64::min);
+        assert!((plan.best.makespan - min).abs() < 1e-12);
+    }
+
+    #[test]
+    fn communication_objective_prefers_larger_q() {
+        let weights = mixed_weights(100);
+        let cheap = plan_a2a(
+            &weights,
+            &PlannerConfig {
+                objective: Objective::MinimizeCommunicationWithin { slowdown: 100.0 },
+                ..PlannerConfig::default()
+            },
+        )
+        .unwrap();
+        // With an effectively unlimited slowdown budget the cheapest
+        // candidate is the single-reducer end of the sweep.
+        let max_q = cheap.frontier.iter().map(|c| c.q).max().unwrap();
+        assert_eq!(cheap.best.q, max_q);
+    }
+
+    #[test]
+    fn tight_slowdown_budget_reduces_to_fastest() {
+        let weights = mixed_weights(100);
+        let fast = plan_a2a(&weights, &PlannerConfig::default()).unwrap();
+        let tight = plan_a2a(
+            &weights,
+            &PlannerConfig {
+                objective: Objective::MinimizeCommunicationWithin { slowdown: 1.0 },
+                ..PlannerConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(tight.best.makespan <= fast.best.makespan + 1e-12);
+    }
+
+    #[test]
+    fn weighted_cost_interpolates() {
+        let weights = mixed_weights(100);
+        // Zero byte cost ≡ makespan objective.
+        let a = plan_a2a(
+            &weights,
+            &PlannerConfig {
+                objective: Objective::WeightedCost { cost_per_byte: 0.0 },
+                ..PlannerConfig::default()
+            },
+        )
+        .unwrap();
+        let b = plan_a2a(&weights, &PlannerConfig::default()).unwrap();
+        assert_eq!(a.best.q, b.best.q);
+        // Enormous byte cost ≡ communication objective (largest q wins).
+        let c = plan_a2a(
+            &weights,
+            &PlannerConfig {
+                objective: Objective::WeightedCost { cost_per_byte: 1e6 },
+                ..PlannerConfig::default()
+            },
+        )
+        .unwrap();
+        let max_q = c.frontier.iter().map(|p| p.q).max().unwrap();
+        assert_eq!(c.best.q, max_q);
+    }
+
+    #[test]
+    fn x2y_planning_works_end_to_end() {
+        let x = mixed_weights(60);
+        let y = mixed_weights(40);
+        let plan = plan_x2y(&x, &y, &PlannerConfig::default()).unwrap();
+        assert!(plan.frontier.len() >= 2);
+        assert!(plan.frontier.iter().all(|c| c.max_load <= c.q));
+        // Communication decreases along the frontier (larger q, less
+        // replication).
+        assert!(
+            plan.frontier.first().unwrap().communication
+                >= plan.frontier.last().unwrap().communication
+        );
+    }
+
+    #[test]
+    fn infeasible_floor_is_rejected() {
+        // Two inputs of 100 with q_max capped below 200.
+        let err = plan_a2a(
+            &[100, 100],
+            &PlannerConfig {
+                q_min: Some(10),
+                q_max: Some(150),
+                ..PlannerConfig::default()
+            },
+        );
+        // q_min is raised to the feasibility floor 200 > q_max: the sweep
+        // still probes 200, which exceeds q_max but stays feasible.
+        assert!(err.is_ok());
+        let plan = err.unwrap();
+        assert!(plan.best.q >= 200);
+    }
+
+    #[test]
+    fn trivial_instances_plan_cleanly() {
+        let plan = plan_a2a(&[], &PlannerConfig::default()).unwrap();
+        assert_eq!(plan.best.reducers, 0);
+        let single = plan_a2a(&[42], &PlannerConfig::default()).unwrap();
+        assert!(single.best.reducers <= 1);
+    }
+}

@@ -1,0 +1,233 @@
+//! Cross-crate integration tests: the facade API, schema→engine execution,
+//! and agreement between planner-level and engine-level accounting.
+
+use mrassign::binpack::FitPolicy;
+use mrassign::core::{a2a, bounds, exact, stats::SchemaStats, x2y, InputSet, X2yInstance};
+use mrassign::joins::{
+    run_similarity_join, run_skew_join, SimJoinConfig, SimJoinStrategy, SkewJoinConfig,
+    SkewJoinStrategy,
+};
+use mrassign::simmr::{
+    ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, Job, Mapper, Reducer,
+};
+use mrassign::workloads::{
+    generate_documents, generate_relation_pair, DocumentSpec, RelationSpec, SizeDistribution,
+};
+
+/// A schema executed on the engine produces reducer loads identical to the
+/// schema's own load computation — the two accounting systems agree.
+#[test]
+fn schema_loads_match_engine_loads() {
+    #[derive(Clone)]
+    struct Blob {
+        id: u32,
+        bytes: u64,
+        targets: Vec<usize>,
+    }
+    impl ByteSized for Blob {
+        fn size_bytes(&self) -> u64 {
+            self.bytes
+        }
+    }
+    #[derive(Clone)]
+    struct P(u64);
+    impl ByteSized for P {
+        fn size_bytes(&self) -> u64 {
+            self.0
+        }
+    }
+    struct M;
+    impl Mapper for M {
+        type In = Blob;
+        type Key = u64;
+        type Value = P;
+        fn map(&self, input: &Blob, emit: &mut Emitter<u64, P>) {
+            for &t in &input.targets {
+                emit.emit(t as u64, P(input.bytes));
+            }
+        }
+    }
+    struct R;
+    impl Reducer for R {
+        type Key = u64;
+        type Value = P;
+        type Out = ();
+        fn reduce(&self, _: &u64, _: &[P], _: &mut Vec<()>) {}
+    }
+
+    let weights = SizeDistribution::Uniform { lo: 5, hi: 60 }.sample_many(120, 17);
+    let inputs = InputSet::from_weights(weights.clone());
+    let q = 150;
+    let schema = a2a::solve(&inputs, q, a2a::A2aAlgorithm::Auto).unwrap();
+    let mut routes: Vec<Vec<usize>> = vec![Vec::new(); inputs.len()];
+    for (rid, r) in schema.reducers().iter().enumerate() {
+        for &id in r {
+            routes[id as usize].push(rid);
+        }
+    }
+    let blobs: Vec<Blob> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| Blob {
+            id: i as u32,
+            bytes: w,
+            targets: routes[i].clone(),
+        })
+        .collect();
+    let _ = blobs[0].id;
+
+    let job = Job::new(M, R, DirectRouter, schema.reducer_count(), ClusterConfig::default())
+        .capacity(CapacityPolicy::Enforce(q));
+    let run = job.run(&blobs).unwrap();
+
+    let schema_loads = schema.loads(&inputs);
+    assert_eq!(run.metrics.reducer_value_bytes, schema_loads);
+    // Engine communication = schema communication + 8 key bytes per copy.
+    let copies: u64 = schema.replication(inputs.len()).iter().map(|&r| r as u64).sum();
+    assert_eq!(
+        run.metrics.bytes_shuffled as u128,
+        schema.communication_cost(&inputs) + copies as u128 * 8
+    );
+}
+
+/// Full pipeline: generate documents → A2A schema → simulated job →
+/// verified answer, across several capacities and algorithms.
+#[test]
+fn similarity_join_pipeline_across_capacities() {
+    let docs = generate_documents(
+        &DocumentSpec {
+            n_docs: 50,
+            vocab: 300,
+            token_skew: 1.0,
+            length: SizeDistribution::Uniform { lo: 8, hi: 40 },
+        },
+        23,
+    );
+    let mut reference: Option<usize> = None;
+    for q in [400u64, 900, 3_000, 100_000] {
+        let result = run_similarity_join(
+            &docs,
+            &SimJoinConfig {
+                capacity: q,
+                threshold: 0.25,
+                strategy: SimJoinStrategy::Schema(a2a::A2aAlgorithm::Auto),
+                cluster: ClusterConfig::default(),
+            },
+        )
+        .unwrap();
+        match reference {
+            None => reference = Some(result.pairs.len()),
+            Some(n) => assert_eq!(result.pairs.len(), n, "answer must not depend on q"),
+        }
+        assert!(result.metrics.max_reducer_load() <= q);
+    }
+}
+
+/// Full pipeline: skewed relations → per-heavy-hitter X2Y schemas →
+/// simulated join → identical answers across all strategies.
+#[test]
+fn skew_join_strategies_agree() {
+    let pair = generate_relation_pair(
+        &RelationSpec {
+            x_tuples: 1_500,
+            y_tuples: 1_500,
+            n_keys: 60,
+            skew: 1.1,
+            payload: SizeDistribution::Uniform { lo: 8, hi: 64 },
+        },
+        31,
+    );
+    let cluster = ClusterConfig::default();
+    let q = 6_000;
+
+    let skew_aware = run_skew_join(
+        &pair,
+        &SkewJoinConfig {
+            capacity: q,
+            strategy: SkewJoinStrategy::SkewAware {
+                policy: FitPolicy::FirstFitDecreasing,
+            },
+            cluster: cluster.clone(),
+        },
+    )
+    .unwrap();
+    let hash = run_skew_join(
+        &pair,
+        &SkewJoinConfig {
+            capacity: q,
+            strategy: SkewJoinStrategy::NaiveHash { reducers: 24 },
+            cluster: cluster.clone(),
+        },
+    )
+    .unwrap();
+    let broadcast = run_skew_join(
+        &pair,
+        &SkewJoinConfig {
+            capacity: q,
+            strategy: SkewJoinStrategy::BroadcastY { reducers: 24 },
+            cluster,
+        },
+    )
+    .unwrap();
+
+    assert_eq!(skew_aware.output, hash.output);
+    assert_eq!(skew_aware.output, broadcast.output);
+    assert_eq!(
+        skew_aware.output.len() as u64,
+        pair.expected_join_size(),
+        "join size matches the generator's ground truth"
+    );
+    // The paper's claim in miniature: schemas bound the load, hash does not.
+    assert!(skew_aware.metrics.max_reducer_load() <= q);
+    assert!(
+        hash.metrics.max_reducer_load() > q,
+        "skew 1.1 must overload a hash partition at this q"
+    );
+}
+
+/// X2Y schema solved through the facade validates and respects bounds.
+#[test]
+fn facade_x2y_roundtrip() {
+    let inst = X2yInstance::from_weights(
+        SizeDistribution::Uniform { lo: 2, hi: 30 }.sample_many(80, 5),
+        SizeDistribution::Uniform { lo: 2, hi: 30 }.sample_many(60, 6),
+    );
+    let q = 70;
+    let schema = x2y::solve(&inst, q, x2y::X2yAlgorithm::Auto).unwrap();
+    schema.validate(&inst, q).unwrap();
+    let stats = SchemaStats::for_x2y(&schema, &inst, q);
+    assert!(stats.reducers >= bounds::x2y_reducer_lb(&inst, q));
+    assert!(stats.communication >= bounds::x2y_comm_lb(&inst, q));
+    assert!(stats.max_load <= q);
+}
+
+/// Exact solvers, heuristics and bounds are mutually consistent on a batch
+/// of deterministic small instances.
+#[test]
+fn exact_heuristic_bound_sandwich() {
+    for seed in 0..10u64 {
+        let weights = SizeDistribution::Uniform { lo: 1, hi: 10 }.sample_many(7, seed);
+        let inputs = InputSet::from_weights(weights);
+        let q = 20;
+        let heuristic = a2a::solve(&inputs, q, a2a::A2aAlgorithm::Auto).unwrap();
+        let ex = exact::a2a_exact(&inputs, q, 2_000_000).unwrap();
+        assert!(ex.optimal, "budget must suffice at m = 7");
+        let lb = bounds::a2a_reducer_lb(&inputs, q);
+        assert!(
+            lb <= ex.schema.reducer_count() && ex.schema.reducer_count() <= heuristic.reducer_count(),
+            "seed {seed}: LB {lb} ≤ OPT {} ≤ heuristic {}",
+            ex.schema.reducer_count(),
+            heuristic.reducer_count()
+        );
+    }
+}
+
+/// The facade's re-exports expose a coherent public API (compile check).
+#[test]
+fn facade_reexports_compile() {
+    let _ = mrassign::binpack::FitPolicy::ALL;
+    let _ = mrassign::simmr::ClusterConfig::default();
+    let _ = mrassign::core::MappingSchema::new();
+    let _ = mrassign::workloads::SizeDistribution::Constant(1);
+    let _: Option<mrassign::joins::JoinError> = None;
+}
