@@ -16,9 +16,8 @@ fn bench_a2a(c: &mut Criterion) {
             b.iter(|| a2a::solve(black_box(inputs), 200, a2a::A2aAlgorithm::GroupingEqual).unwrap())
         });
 
-        let mixed = InputSet::from_weights(
-            SizeDistribution::Uniform { lo: 10, hi: 100 }.sample_many(m, 5),
-        );
+        let mixed =
+            InputSet::from_weights(SizeDistribution::Uniform { lo: 10, hi: 100 }.sample_many(m, 5));
         group.bench_with_input(BenchmarkId::new("ffd_pairing", m), &mixed, |b, inputs| {
             b.iter(|| {
                 a2a::solve(
@@ -30,8 +29,7 @@ fn bench_a2a(c: &mut Criterion) {
             })
         });
 
-        let mut with_big =
-            SizeDistribution::Uniform { lo: 5, hi: 30 }.sample_many(m - 1, 6);
+        let mut with_big = SizeDistribution::Uniform { lo: 5, hi: 30 }.sample_many(m - 1, 6);
         with_big.push(140);
         let with_big = InputSet::from_weights(with_big);
         group.bench_with_input(BenchmarkId::new("big_small", m), &with_big, |b, inputs| {
@@ -93,7 +91,11 @@ fn bench_validation(c: &mut Criterion) {
             BenchmarkId::from_parameter(m),
             &(schema, inputs),
             |b, (schema, inputs)| {
-                b.iter(|| black_box(schema).validate_a2a(black_box(inputs), 400).unwrap())
+                b.iter(|| {
+                    black_box(schema)
+                        .validate_a2a(black_box(inputs), 400)
+                        .unwrap()
+                })
             },
         );
     }

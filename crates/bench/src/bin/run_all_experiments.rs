@@ -1,4 +1,4 @@
-//! Runs every experiment in `DESIGN.md`'s index and writes all CSVs under
+//! Runs every experiment in `docs/EXPERIMENTS.md`'s index and writes all CSVs under
 //! `results/`. Pass `--smoke` for a fast tiny run of everything.
 //!
 //! `cargo run --release -p mrassign-bench --bin run_all_experiments`

@@ -12,7 +12,7 @@ use mrassign_simmr::{
 };
 
 /// Experiment scale: `Smoke` keeps tests fast; `Full` produces the numbers
-/// recorded in `EXPERIMENTS.md`.
+/// recorded in `docs/EXPERIMENTS.md`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// Tiny parameters for CI smoke tests.

@@ -31,9 +31,8 @@ pub fn run(scale: Scale) -> Table {
     );
 
     let equal = InputSet::from_weights(vec![20; m]);
-    let mixed = InputSet::from_weights(
-        SizeDistribution::Uniform { lo: 10, hi: 100 }.sample_many(m, seed),
-    );
+    let mixed =
+        InputSet::from_weights(SizeDistribution::Uniform { lo: 10, hi: 100 }.sample_many(m, seed));
     let inst = X2yInstance::from_weights(
         SizeDistribution::Uniform { lo: 10, hi: 100 }.sample_many(m, seed + 1),
         SizeDistribution::Uniform { lo: 10, hi: 100 }.sample_many(m, seed + 2),

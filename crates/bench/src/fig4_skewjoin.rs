@@ -9,9 +9,7 @@
 use mrassign_binpack::FitPolicy;
 use mrassign_joins::{run_skew_join, SkewJoinConfig, SkewJoinStrategy};
 use mrassign_simmr::ClusterConfig;
-use mrassign_workloads::{
-    generate_relation_pair, linear_steps, RelationSpec, SizeDistribution,
-};
+use mrassign_workloads::{generate_relation_pair, linear_steps, RelationSpec, SizeDistribution};
 
 use crate::common::{Scale, Table};
 

@@ -52,8 +52,8 @@ pub fn run(scale: Scale) -> Table {
             let schema = a2a::solve(&inputs, q, a2a::A2aAlgorithm::BinPackPairing(policy))
                 .expect("all weights ≤ q/2");
             let stats = SchemaStats::for_a2a(&schema, &inputs, q);
-            let grid = x2y::solve(&inst, q, x2y::X2yAlgorithm::Grid(policy))
-                .expect("all weights ≤ q/2");
+            let grid =
+                x2y::solve(&inst, q, x2y::X2yAlgorithm::Grid(policy)).expect("all weights ≤ q/2");
             table.push_row(&[
                 &dist.label(),
                 &policy.name(),
@@ -90,10 +90,7 @@ mod tests {
             .collect();
         for dist_rows in rows.chunks(6) {
             let z = |policy: &str| -> u64 {
-                dist_rows
-                    .iter()
-                    .find(|r| r[1] == policy)
-                    .unwrap()[4]
+                dist_rows.iter().find(|r| r[1] == policy).unwrap()[4]
                     .parse()
                     .unwrap()
             };

@@ -1,4 +1,4 @@
-//! **Figure 7 — ablations on the two design choices DESIGN.md calls out.**
+//! **Figure 7 — ablations on the schemas' two key design choices.**
 //!
 //! * **7a** — X2Y capacity split: balanced (`c = q/2`) vs swept-optimal.
 //!   When one side is much heavier, the balanced split wastes bins on the
@@ -22,12 +22,7 @@ pub fn run(scale: Scale) -> Table {
 
     let mut table = Table::new(
         "Figure 7a — X2Y capacity split: balanced vs optimized",
-        &[
-            "wx_wy_ratio",
-            "balanced_z",
-            "optimized_z",
-            "improvement",
-        ],
+        &["wx_wy_ratio", "balanced_z", "optimized_z", "improvement"],
     );
 
     for ratio_pow in 0..6u32 {
@@ -53,7 +48,10 @@ pub fn run(scale: Scale) -> Table {
             &format!("{r}:1"),
             &balanced.reducer_count(),
             &optimized.reducer_count(),
-            &ratio(balanced.reducer_count() as u128, optimized.reducer_count() as u128),
+            &ratio(
+                balanced.reducer_count() as u128,
+                optimized.reducer_count() as u128,
+            ),
         ]);
     }
     table
@@ -67,12 +65,7 @@ pub fn run_b(scale: Scale) -> Table {
 
     let mut table = Table::new(
         "Figure 7b — A2A big+small: two packings vs shared bins",
-        &[
-            "w_big_frac",
-            "two_pack_z",
-            "shared_z",
-            "shared_penalty",
-        ],
+        &["w_big_frac", "two_pack_z", "shared_z", "shared_penalty"],
     );
 
     for frac in [55u64, 65, 75, 85, 95] {
@@ -105,7 +98,10 @@ pub fn run_b(scale: Scale) -> Table {
             &format!("0.{frac}"),
             &two_pack.reducer_count(),
             &shared.reducer_count(),
-            &ratio(shared.reducer_count() as u128, two_pack.reducer_count() as u128),
+            &ratio(
+                shared.reducer_count() as u128,
+                two_pack.reducer_count() as u128,
+            ),
         ]);
     }
     table

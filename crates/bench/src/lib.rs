@@ -1,10 +1,10 @@
 //! Experiment harness for the mrassign reproduction.
 //!
 //! One module (and one binary under `src/bin/`) per table/figure listed in
-//! `DESIGN.md`. Every experiment:
+//! `docs/EXPERIMENTS.md`. Every experiment:
 //!
 //! * runs at two scales — [`Scale::Smoke`] for tests, [`Scale::Full`] for
-//!   the recorded results in `EXPERIMENTS.md`;
+//!   the recorded results in `docs/EXPERIMENTS.md`;
 //! * returns a [`Table`] that is printed aligned to stdout and written as
 //!   CSV under `results/`;
 //! * is deterministic (fixed seeds), so re-running regenerates identical

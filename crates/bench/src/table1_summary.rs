@@ -40,8 +40,8 @@ pub fn run(scale: Scale) -> Table {
 
     // Accumulators: (Σz, Σz_lb, Σcomm, Σcomm_lb) per regime.
     let run_a2a = |regime: &Regime,
-                       table: &mut Table,
-                       make: &dyn Fn(u64) -> (InputSet, a2a::A2aAlgorithm)| {
+                   table: &mut Table,
+                   make: &dyn Fn(u64) -> (InputSet, a2a::A2aAlgorithm)| {
         let (mut z_sum, mut zlb_sum, mut c_sum, mut clb_sum) = (0u128, 0u128, 0u128, 0u128);
         for seed in 0..seeds {
             let (inputs, algo) = make(seed);
@@ -76,7 +76,7 @@ pub fn run(scale: Scale) -> Table {
             claimed: "<=2",
         },
         &mut table,
-        &|_, | {
+        &|_| {
             (
                 InputSet::from_weights(vec![20; m]),
                 a2a::A2aAlgorithm::GroupingEqual,
@@ -124,8 +124,8 @@ pub fn run(scale: Scale) -> Table {
 
     // -- X2Y regimes -------------------------------------------------------
     let run_x2y = |regime: &Regime,
-                       table: &mut Table,
-                       make: &dyn Fn(u64) -> (X2yInstance, x2y::X2yAlgorithm)| {
+                   table: &mut Table,
+                   make: &dyn Fn(u64) -> (X2yInstance, x2y::X2yAlgorithm)| {
         let (mut z_sum, mut zlb_sum, mut c_sum, mut clb_sum) = (0u128, 0u128, 0u128, 0u128);
         for seed in 0..seeds {
             let (inst, algo) = make(seed);

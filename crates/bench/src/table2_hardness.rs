@@ -106,10 +106,7 @@ mod tests {
             .skip(2)
             .map(|l| l.split_whitespace().nth(1).unwrap().parse().unwrap())
             .collect();
-        assert!(
-            nodes.last().unwrap() > nodes.first().unwrap(),
-            "{nodes:?}"
-        );
+        assert!(nodes.last().unwrap() > nodes.first().unwrap(), "{nodes:?}");
     }
 
     #[test]

@@ -57,10 +57,7 @@ pub fn run(scale: Scale) -> Table {
         }
         gaps.sort_by(f64::total_cmp);
         let mean = gaps.iter().sum::<f64>() / gaps.len().max(1) as f64;
-        let p90 = gaps
-            .get((gaps.len() * 9) / 10)
-            .copied()
-            .unwrap_or(f64::NAN);
+        let p90 = gaps.get((gaps.len() * 9) / 10).copied().unwrap_or(f64::NAN);
         let max = gaps.last().copied().unwrap_or(f64::NAN);
         let tight_mean = tightness.iter().sum::<f64>() / tightness.len().max(1) as f64;
         table.push_row(&[

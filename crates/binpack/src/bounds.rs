@@ -2,7 +2,7 @@
 //!
 //! The experiments report heuristic quality as `bins_used / lower_bound`, so
 //! the bounds here are the denominators of every approximation ratio in
-//! `EXPERIMENTS.md`. `l1` is the continuous (total-weight) bound; `l2` is
+//! `docs/EXPERIMENTS.md`. `l1` is the continuous (total-weight) bound; `l2` is
 //! the Martello–Toth bound, which dominates `l1` and is tight on the
 //! big-item instances the paper's mapping schemas produce.
 

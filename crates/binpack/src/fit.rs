@@ -99,9 +99,7 @@ pub fn pack(weights: &[u64], capacity: u64, policy: FitPolicy) -> Result<Packing
 
     let packing = match policy {
         FitPolicy::NextFit => next_fit(weights, capacity, &order),
-        FitPolicy::FirstFit | FitPolicy::FirstFitDecreasing => {
-            first_fit(weights, capacity, &order)
-        }
+        FitPolicy::FirstFit | FitPolicy::FirstFitDecreasing => first_fit(weights, capacity, &order),
         FitPolicy::BestFit | FitPolicy::BestFitDecreasing => {
             best_or_worst_fit(weights, capacity, &order, true)
         }
@@ -181,7 +179,11 @@ fn best_or_worst_fit(weights: &[u64], capacity: u64, order: &[u32], best: bool) 
             by_residual.range((w, 0)..).next().copied()
         } else {
             // Worst fit: the largest residual, provided it fits.
-            by_residual.iter().next_back().copied().filter(|&(r, _)| r >= w)
+            by_residual
+                .iter()
+                .next_back()
+                .copied()
+                .filter(|&(r, _)| r >= w)
         };
         let bin_idx = match chosen {
             Some((r, b)) => {
@@ -208,7 +210,10 @@ mod tests {
 
     #[test]
     fn rejects_zero_capacity() {
-        assert_eq!(pack(&[1], 0, FitPolicy::FirstFit), Err(PackError::ZeroCapacity));
+        assert_eq!(
+            pack(&[1], 0, FitPolicy::FirstFit),
+            Err(PackError::ZeroCapacity)
+        );
     }
 
     #[test]
@@ -311,8 +316,7 @@ mod tests {
         let weights = [6, 5, 4, 3];
         let p = pack(&weights, 10, FitPolicy::FirstFit).unwrap();
         let bins = pack_into_bins(&weights, 10, FitPolicy::FirstFit).unwrap();
-        let expected: Vec<Vec<ItemId>> =
-            p.bins().iter().map(|b| b.items().to_vec()).collect();
+        let expected: Vec<Vec<ItemId>> = p.bins().iter().map(|b| b.items().to_vec()).collect();
         assert_eq!(bins, expected);
     }
 

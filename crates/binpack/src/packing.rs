@@ -105,7 +105,7 @@ impl Packing {
 
     /// Total weight across all bins.
     pub fn total_load(&self) -> u64 {
-        self.bins.iter().map(Bin::load) .sum()
+        self.bins.iter().map(Bin::load).sum()
     }
 
     /// The largest bin load, or 0 for an empty packing.

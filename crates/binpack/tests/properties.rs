@@ -7,12 +7,7 @@ use proptest::prelude::*;
 
 /// Instances whose items all fit individually: weights in [0, cap].
 fn feasible_instance() -> impl Strategy<Value = (Vec<u64>, u64)> {
-    (2u64..=100).prop_flat_map(|cap| {
-        (
-            proptest::collection::vec(0..=cap, 0..60),
-            Just(cap),
-        )
-    })
+    (2u64..=100).prop_flat_map(|cap| (proptest::collection::vec(0..=cap, 0..60), Just(cap)))
 }
 
 proptest! {

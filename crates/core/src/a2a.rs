@@ -123,9 +123,9 @@ pub fn one_reducer(inputs: &InputSet, q: Weight) -> Result<MappingSchema, Schema
             limit: q,
         });
     }
-    Ok(MappingSchema::from_reducers(vec![
-        (0..inputs.len() as InputId).collect(),
-    ]))
+    Ok(MappingSchema::from_reducers(vec![(0..inputs.len()
+        as InputId)
+        .collect()]))
 }
 
 /// The equal-size regime (Afrati–Ullman grouping): split the `m` inputs of
@@ -444,11 +444,7 @@ mod tests {
             );
             // Big reducers: smalls (30 weight) into cap-6 bins → 5 bins;
             // each holds 2 smalls.
-            let big_reducers = schema
-                .reducers()
-                .iter()
-                .filter(|r| r.contains(&0))
-                .count();
+            let big_reducers = schema.reducers().iter().filter(|r| r.contains(&0)).count();
             assert_eq!(big_reducers, 5);
         }
     }
@@ -534,7 +530,10 @@ mod tests {
             },
         ] {
             assert!(
-                matches!(solve(&inputs, 10, algo), Err(SchemaError::Infeasible { .. })),
+                matches!(
+                    solve(&inputs, 10, algo),
+                    Err(SchemaError::Infeasible { .. })
+                ),
                 "{algo:?} accepted an infeasible instance"
             );
         }
@@ -544,7 +543,9 @@ mod tests {
     fn tiny_instances_get_trivial_schemas() {
         let empty = InputSet::from_weights(vec![]);
         assert_eq!(
-            solve(&empty, 10, A2aAlgorithm::Auto).unwrap().reducer_count(),
+            solve(&empty, 10, A2aAlgorithm::Auto)
+                .unwrap()
+                .reducer_count(),
             0
         );
         let single = InputSet::from_weights(vec![4]);

@@ -1,7 +1,7 @@
 //! Lower bounds on reducers, replication, and communication cost.
 //!
 //! These are the paper's comparators: every approximation ratio reported in
-//! `EXPERIMENTS.md` is `achieved / bound` with a denominator from this
+//! `docs/EXPERIMENTS.md` is `achieved / bound` with a denominator from this
 //! module, so the bounds must be *sound* (never exceed what an optimal
 //! schema could do). Each bound's argument is given in its doc comment.
 //!
@@ -214,12 +214,18 @@ pub fn x2y_comm_lb(inst: &X2yInstance, q: Weight) -> u128 {
         return 0;
     }
     let x_side = (0..inst.x.len()).map(|x| {
-        (inst.x.weight(x as InputId) as u128)
-            .saturating_mul(x2y_replication_lb_x(inst, q, x as InputId))
+        (inst.x.weight(x as InputId) as u128).saturating_mul(x2y_replication_lb_x(
+            inst,
+            q,
+            x as InputId,
+        ))
     });
     let y_side = (0..inst.y.len()).map(|y| {
-        (inst.y.weight(y as InputId) as u128)
-            .saturating_mul(x2y_replication_lb_y(inst, q, y as InputId))
+        (inst.y.weight(y as InputId) as u128).saturating_mul(x2y_replication_lb_y(
+            inst,
+            q,
+            y as InputId,
+        ))
     });
     x_side.chain(y_side).fold(0u128, u128::saturating_add)
 }
@@ -236,7 +242,10 @@ pub fn x2y_reducer_lb(inst: &X2yInstance, q: Weight) -> usize {
         return 0;
     }
     let q128 = q.max(1) as u128;
-    let pair_bound = inst.cross_pair_weight().saturating_mul(4).div_ceil(q128 * q128);
+    let pair_bound = inst
+        .cross_pair_weight()
+        .saturating_mul(4)
+        .div_ceil(q128 * q128);
     let comm_bound = x2y_comm_lb(inst, q).div_ceil(q128);
     let rep_x = (0..inst.x.len())
         .map(|x| x2y_replication_lb_x(inst, q, x as InputId))

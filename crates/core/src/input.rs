@@ -91,10 +91,7 @@ impl InputSet {
             .iter()
             .map(|&w| (w as u128).saturating_mul(w as u128))
             .fold(0u128, u128::saturating_add);
-        self.total
-            .saturating_mul(self.total)
-            .saturating_sub(sum_sq)
-            / 2
+        self.total.saturating_mul(self.total).saturating_sub(sum_sq) / 2
     }
 
     /// Ids of inputs strictly heavier than `threshold` — the paper's "big"
@@ -137,9 +134,7 @@ impl X2yInstance {
     /// Cross-pair weight `W_X · W_Y`, the X2Y analogue of
     /// [`InputSet::pair_weight`]. Saturates like `pair_weight` does.
     pub fn cross_pair_weight(&self) -> u128 {
-        self.x
-            .total_weight()
-            .saturating_mul(self.y.total_weight())
+        self.x.total_weight().saturating_mul(self.y.total_weight())
     }
 }
 

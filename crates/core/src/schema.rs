@@ -92,9 +92,8 @@ impl MappingSchema {
                 max_id = max_id.max(id as usize + 1);
             }
         }
-        let mut routes: Vec<(InputId, Vec<usize>)> = (0..max_id)
-            .map(|id| (id as InputId, Vec::new()))
-            .collect();
+        let mut routes: Vec<(InputId, Vec<usize>)> =
+            (0..max_id).map(|id| (id as InputId, Vec::new())).collect();
         for (rid, r) in self.reducers.iter().enumerate() {
             for &id in r {
                 routes[id as usize].1.push(rid);
@@ -360,7 +359,13 @@ mod tests {
 
     #[test]
     fn uncovered_pair_is_reported() {
-        let schema = MappingSchema::from_reducers(vec![vec![0, 1], vec![2, 3], vec![0, 2], vec![1, 3], vec![0, 3]]);
+        let schema = MappingSchema::from_reducers(vec![
+            vec![0, 1],
+            vec![2, 3],
+            vec![0, 2],
+            vec![1, 3],
+            vec![0, 3],
+        ]);
         // Missing pair: (1, 2).
         assert_eq!(
             schema.validate_a2a(&four_inputs(), 18),
@@ -422,8 +427,14 @@ mod tests {
     #[test]
     fn communication_and_replication_accounting() {
         let inputs = four_inputs();
-        let schema =
-            MappingSchema::from_reducers(vec![vec![0, 1], vec![2, 3], vec![0, 2], vec![1, 3], vec![0, 3], vec![1, 2]]);
+        let schema = MappingSchema::from_reducers(vec![
+            vec![0, 1],
+            vec![2, 3],
+            vec![0, 2],
+            vec![1, 3],
+            vec![0, 3],
+            vec![1, 2],
+        ]);
         schema.validate_a2a(&inputs, 18).unwrap();
         // Every input appears 3 times.
         assert_eq!(schema.replication(4), vec![3, 3, 3, 3]);

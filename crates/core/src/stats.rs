@@ -49,12 +49,7 @@ impl SchemaStats {
             total_weight: inst.x.total_weight() + inst.y.total_weight(),
             max_load: loads.iter().copied().max().unwrap_or(0),
             min_load: loads.iter().copied().min().unwrap_or(0),
-            max_replication: rx
-                .iter()
-                .chain(ry.iter())
-                .copied()
-                .max()
-                .unwrap_or(0),
+            max_replication: rx.iter().chain(ry.iter()).copied().max().unwrap_or(0),
             capacity: q,
         }
     }

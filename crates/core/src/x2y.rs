@@ -368,7 +368,11 @@ mod tests {
         let inst = X2yInstance::from_weights(vec![6, 1], vec![1, 1]);
         assert!(matches!(
             solve(&inst, 10, X2yAlgorithm::Grid(FitPolicy::FirstFit)),
-            Err(SchemaError::RegimeViolation { id: 0, weight: 6, limit: 5 })
+            Err(SchemaError::RegimeViolation {
+                id: 0,
+                weight: 6,
+                limit: 5
+            })
         ));
     }
 
@@ -376,21 +380,33 @@ mod tests {
     fn big_handling_covers_bigs_in_x() {
         // Two big X inputs (7, 6 > 5) and small ones, Y all small.
         let inst = X2yInstance::from_weights(vec![7, 6, 2, 2], vec![2, 2, 2, 1]);
-        let schema = check(&inst, 10, X2yAlgorithm::BigHandling(FitPolicy::FirstFitDecreasing));
+        let schema = check(
+            &inst,
+            10,
+            X2yAlgorithm::BigHandling(FitPolicy::FirstFitDecreasing),
+        );
         assert!(schema.reducer_count() >= bounds::x2y_reducer_lb(&inst, 10));
     }
 
     #[test]
     fn big_handling_mirrors_bigs_in_y() {
         let inst = X2yInstance::from_weights(vec![2, 2, 2, 1], vec![7, 6, 2, 2]);
-        let schema = check(&inst, 10, X2yAlgorithm::BigHandling(FitPolicy::FirstFitDecreasing));
+        let schema = check(
+            &inst,
+            10,
+            X2yAlgorithm::BigHandling(FitPolicy::FirstFitDecreasing),
+        );
         assert!(schema.reducer_count() >= 2);
     }
 
     #[test]
     fn big_handling_with_w_big_equal_q() {
         let inst = X2yInstance::from_weights(vec![10, 1], vec![0, 0]);
-        let schema = check(&inst, 10, X2yAlgorithm::BigHandling(FitPolicy::FirstFitDecreasing));
+        let schema = check(
+            &inst,
+            10,
+            X2yAlgorithm::BigHandling(FitPolicy::FirstFitDecreasing),
+        );
         // The w=10 big gets one reducer with all (zero-weight) Y inputs.
         assert!(schema.reducer_count() >= 2);
     }
@@ -427,7 +443,9 @@ mod tests {
     fn empty_sides_are_trivial() {
         let inst = X2yInstance::from_weights(vec![], vec![1, 2, 3]);
         assert_eq!(
-            solve(&inst, 10, X2yAlgorithm::Auto).unwrap().reducer_count(),
+            solve(&inst, 10, X2yAlgorithm::Auto)
+                .unwrap()
+                .reducer_count(),
             0
         );
         let inst2 = X2yInstance::from_weights(vec![1], vec![]);

@@ -59,7 +59,11 @@ fn smallest_possible_big_input() {
             q,
             a2a::A2aAlgorithm::BinPackPairing(FitPolicy::FirstFitDecreasing)
         ),
-        Err(SchemaError::RegimeViolation { id: 0, weight: 51, limit: 50 })
+        Err(SchemaError::RegimeViolation {
+            id: 0,
+            weight: 51,
+            limit: 50
+        })
     ));
     // ...while Auto dispatches to big+small and succeeds.
     let schema = a2a::solve(&inputs, q, a2a::A2aAlgorithm::Auto).unwrap();
@@ -140,7 +144,11 @@ fn x2y_forced_lopsided_split() {
     schema.validate(&inst, q).unwrap();
     // The big x (weight 9) can meet only one unit of Y per reducer.
     let (rx, _) = schema.replication(&inst);
-    assert!(rx[0] >= 6, "big x must appear in ≥ 6 reducers, got {}", rx[0]);
+    assert!(
+        rx[0] >= 6,
+        "big x must appear in ≥ 6 reducers, got {}",
+        rx[0]
+    );
     assert_eq!(
         bounds::x2y_replication_lb_x(&inst, q, 0),
         6,

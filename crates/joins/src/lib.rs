@@ -23,5 +23,7 @@ pub mod simjoin;
 pub mod skewjoin;
 
 pub use error::JoinError;
-pub use simjoin::{run_similarity_join, SimJoinConfig, SimJoinResult, SimJoinStrategy, SimilarPair};
+pub use simjoin::{
+    run_similarity_join, SimJoinConfig, SimJoinResult, SimJoinStrategy, SimilarPair,
+};
 pub use skewjoin::{run_skew_join, SkewJoinConfig, SkewJoinResult, SkewJoinStrategy};

@@ -184,9 +184,7 @@ pub fn run_skew_join(
         .collect();
 
     let (routes, n_reducers, heavy_keys, capacity_policy) = match config.strategy {
-        SkewJoinStrategy::NaiveHash { reducers } => {
-            plan_hash(&tagged, reducers, config.capacity)?
-        }
+        SkewJoinStrategy::NaiveHash { reducers } => plan_hash(&tagged, reducers, config.capacity)?,
         SkewJoinStrategy::BroadcastY { reducers } => {
             plan_broadcast(&tagged, reducers, config.capacity)?
         }
@@ -354,8 +352,8 @@ fn plan_skew_aware(tagged: &[TaggedTuple], q: u64, policy: FitPolicy) -> Result<
 
     // Pack light keys into capacity-q partitions.
     if !light_keys.is_empty() {
-        let packing = mrassign_binpack::pack(&light_weights, q, policy)
-            .expect("light keys weigh at most q");
+        let packing =
+            mrassign_binpack::pack(&light_weights, q, policy).expect("light keys weigh at most q");
         for (bin_idx, bin) in packing.bins().iter().enumerate() {
             let global = next_reducer + bin_idx;
             for &key_local in bin.items() {
@@ -369,12 +367,7 @@ fn plan_skew_aware(tagged: &[TaggedTuple], q: u64, policy: FitPolicy) -> Result<
         next_reducer += packing.bin_count();
     }
 
-    Ok((
-        routes,
-        next_reducer,
-        heavy_keys,
-        CapacityPolicy::Enforce(q),
-    ))
+    Ok((routes, next_reducer, heavy_keys, CapacityPolicy::Enforce(q)))
 }
 
 /// Same deterministic FNV bucketing the engine's `HashRouter` uses.

@@ -178,12 +178,7 @@ mod tests {
     #[test]
     fn lpt_handles_skewed_tasks() {
         // One long task dominates: makespan equals its duration.
-        let tasks = vec![
-            TaskCost(10.0),
-            TaskCost(1.0),
-            TaskCost(1.0),
-            TaskCost(1.0),
-        ];
+        let tasks = vec![TaskCost(10.0), TaskCost(1.0), TaskCost(1.0), TaskCost(1.0)];
         let s = Schedule::lpt(&tasks, 4);
         assert!((s.makespan - 10.0).abs() < 1e-12);
     }

@@ -1,6 +1,6 @@
 //! The job runner: map → shuffle → reduce with full accounting.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::cluster::{ClusterConfig, Schedule, TaskCost};
 use crate::error::SimError;
@@ -56,7 +56,13 @@ where
     Rt: Router<M::Key>,
 {
     /// Creates a job with unlimited reducer capacity.
-    pub fn new(mapper: M, reducer: R, router: Rt, n_reducers: usize, config: ClusterConfig) -> Self {
+    pub fn new(
+        mapper: M,
+        reducer: R,
+        router: Rt,
+        n_reducers: usize,
+        config: ClusterConfig,
+    ) -> Self {
         Job {
             mapper,
             reducer,
@@ -184,8 +190,10 @@ where
                 }
                 metrics.distinct_keys += 1;
                 let key = partition[start].0.clone();
-                let values: Vec<M::Value> =
-                    partition[start..end].iter().map(|kv| kv.1.clone()).collect();
+                let values: Vec<M::Value> = partition[start..end]
+                    .iter()
+                    .map(|kv| kv.1.clone())
+                    .collect();
                 self.reducer.reduce(&key, &values, &mut outputs);
                 start = end;
             }
@@ -217,11 +225,11 @@ where
         let slots: Mutex<Vec<Option<MapOutput<M>>>> =
             Mutex::new((0..inputs.len()).map(|_| None).collect());
         let chunk = inputs.len().div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (t, chunk_inputs) in inputs.chunks(chunk).enumerate() {
                 let slots = &slots;
                 let job = &self;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let base = t * chunk;
                     // Map the whole chunk locally, then take the lock once.
                     let mut local: Vec<(usize, MapOutput<M>)> =
@@ -229,17 +237,17 @@ where
                     for (off, input) in chunk_inputs.iter().enumerate() {
                         local.push((base + off, job.map_one(input)));
                     }
-                    let mut guard = slots.lock();
+                    let mut guard = slots.lock().expect("map slot lock poisoned");
                     for (idx, pairs) in local {
                         guard[idx] = Some(pairs);
                     }
                 });
             }
-        })
-        .expect("map worker panicked");
+        });
 
         slots
             .into_inner()
+            .expect("map slot lock poisoned")
             .into_iter()
             .map(|slot| slot.expect("every map slot filled"))
             .collect()
@@ -462,9 +470,8 @@ mod tests {
 
     #[test]
     fn parallel_map_matches_sequential() {
-        let inputs: Vec<(u64, String)> = (0..200)
-            .map(|i| (i % 17, format!("payload-{i}")))
-            .collect();
+        let inputs: Vec<(u64, String)> =
+            (0..200).map(|i| (i % 17, format!("payload-{i}"))).collect();
         let seq_job = Job::new(
             IdentityMapper,
             ConcatReducer,
@@ -638,8 +645,7 @@ mod combiner_tests {
         // map task — combining never crosses task boundaries.
         let with = run_counting(true);
         assert_eq!(
-            with.metrics.records_shuffled,
-            6,
+            with.metrics.records_shuffled, 6,
             "a in 3 tasks + b in 2 tasks + c in 1 task = 6 combined records"
         );
     }

@@ -18,7 +18,7 @@
 //! * a discrete-event [`cluster`](ClusterConfig) model (workers, task
 //!   scheduling, phase makespans) so the capacity↔parallelism tradeoff can
 //!   be *measured* rather than argued,
-//! * optional real parallelism for the map phase (crossbeam scoped threads)
+//! * optional real parallelism for the map phase (std scoped threads)
 //!   that never changes results or metrics, only wall-clock time.
 //!
 //! Everything is deterministic: same inputs, same config ⇒ bit-identical

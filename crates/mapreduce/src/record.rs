@@ -6,7 +6,7 @@
 //! value, and input type used with the engine reports its own size, so
 //! accounting never guesses.
 
-use bytes::Bytes;
+use std::sync::Arc;
 
 /// Types that know their serialized size in bytes.
 ///
@@ -84,7 +84,9 @@ impl ByteSized for &str {
     }
 }
 
-impl ByteSized for Bytes {
+/// Cheaply cloneable byte payloads — the engine clones values once per
+/// routed copy, so shared ownership keeps broadcast routing O(1) per copy.
+impl ByteSized for Arc<[u8]> {
     fn size_bytes(&self) -> u64 {
         self.len() as u64
     }
@@ -142,7 +144,7 @@ mod tests {
     fn strings_count_their_bytes() {
         assert_eq!("hello".size_bytes(), 5);
         assert_eq!(String::from("héllo").size_bytes(), 6); // é is 2 UTF-8 bytes
-        assert_eq!(Bytes::from_static(b"abc").size_bytes(), 3);
+        assert_eq!(Arc::<[u8]>::from(&b"abc"[..]).size_bytes(), 3);
     }
 
     #[test]

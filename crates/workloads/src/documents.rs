@@ -100,7 +100,9 @@ mod tests {
         };
         let docs = generate_documents(&spec, 3);
         assert!(docs.iter().all(|d| (10..=20).contains(&d.tokens.len())));
-        assert!(docs.iter().all(|d| d.size_bytes() == d.tokens.len() as u64 * 4));
+        assert!(docs
+            .iter()
+            .all(|d| d.size_bytes() == d.tokens.len() as u64 * 4));
     }
 
     #[test]

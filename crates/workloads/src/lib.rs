@@ -12,7 +12,7 @@
 //! * **documents** ([`documents`]) — token-set documents of varying size
 //!   for the similarity-join (A2A) experiments.
 //!
-//! Determinism matters: `EXPERIMENTS.md` records numbers that must
+//! Determinism matters: `docs/EXPERIMENTS.md` records numbers that must
 //! reproduce bit-for-bit, so every generator takes an explicit seed and
 //! uses only `StdRng`.
 

@@ -183,10 +183,7 @@ mod tests {
     #[test]
     fn payload_sizes_follow_distribution() {
         let pair = generate_relation_pair(&small_spec(0.0), 2);
-        assert!(pair
-            .x
-            .iter()
-            .all(|t| (4..=16).contains(&t.payload.len())));
+        assert!(pair.x.iter().all(|t| (4..=16).contains(&t.payload.len())));
     }
 
     #[test]

@@ -60,10 +60,7 @@ fn main() {
             println!("q = {q}: 2-reducer schema exists — the subset-sum DP found a split:");
             for (i, r) in schema.reducers().iter().enumerate() {
                 let wx: u64 = r.x.iter().map(|&x| inst.x.weight(x)).sum();
-                println!(
-                    "  reducer {i}: X part {:?} (weight {wx}) + all of Y",
-                    r.x
-                );
+                println!("  reducer {i}: X part {:?} (weight {wx}) + all of Y", r.x);
             }
         }
         None => println!("q = {q}: no 2-reducer schema"),

@@ -40,7 +40,10 @@ fn main() {
     let q = 6_000;
 
     for (name, strategy) in [
-        ("mapping schema", SimJoinStrategy::Schema(A2aAlgorithm::Auto)),
+        (
+            "mapping schema",
+            SimJoinStrategy::Schema(A2aAlgorithm::Auto),
+        ),
         ("pair-per-reducer", SimJoinStrategy::PairPerReducer),
     ] {
         let result = run_similarity_join(

@@ -49,10 +49,7 @@ fn main() {
             },
         ),
         ("naive hash", SkewJoinStrategy::NaiveHash { reducers: 64 }),
-        (
-            "broadcast Y",
-            SkewJoinStrategy::BroadcastY { reducers: 64 },
-        ),
+        ("broadcast Y", SkewJoinStrategy::BroadcastY { reducers: 64 }),
     ];
 
     let mut reference: Option<Vec<(u64, u64, u64)>> = None;
@@ -70,7 +67,10 @@ fn main() {
         println!("reducers:            {}", result.reducers);
         println!("heavy hitters:       {}", result.heavy_keys);
         println!("output tuples:       {}", result.output.len());
-        println!("communication:       {} bytes", result.metrics.bytes_shuffled);
+        println!(
+            "communication:       {} bytes",
+            result.metrics.bytes_shuffled
+        );
         println!(
             "max reducer load:    {} bytes ({})",
             result.metrics.max_reducer_load(),

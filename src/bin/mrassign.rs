@@ -133,8 +133,7 @@ fn parse_weights(content: &str) -> Result<Vec<u64>, String> {
 }
 
 fn load_weights(path: &str) -> Result<Vec<u64>, String> {
-    let content =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse_weights(&content)
 }
 
@@ -174,17 +173,11 @@ fn cmd_gen(flags: &HashMap<String, String>) -> Result<String, String> {
         .transpose()?
         .unwrap_or(0);
     let weights = dist.sample_many(m, seed);
-    let body: String = weights
-        .iter()
-        .map(|w| format!("{w}\n"))
-        .collect();
+    let body: String = weights.iter().map(|w| format!("{w}\n")).collect();
     match flags.get("out") {
         Some(path) => {
             std::fs::write(path, &body).map_err(|e| format!("cannot write {path}: {e}"))?;
-            Ok(format!(
-                "wrote {m} weights from {} to {path}",
-                dist.label()
-            ))
+            Ok(format!("wrote {m} weights from {} to {path}", dist.label()))
         }
         None => Ok(body.trim_end().to_string()),
     }
@@ -225,8 +218,7 @@ fn cmd_x2y(flags: &HashMap<String, String>) -> Result<String, String> {
     let y = load_weights(required(flags, "y")?)?;
     let q: u64 = parse_num(required(flags, "q")?, "a capacity")?;
     let inst = X2yInstance::from_weights(x, y);
-    let schema =
-        x2y::solve(&inst, q, x2y::X2yAlgorithm::Auto).map_err(|e| e.to_string())?;
+    let schema = x2y::solve(&inst, q, x2y::X2yAlgorithm::Auto).map_err(|e| e.to_string())?;
     schema.validate(&inst, q).map_err(|e| e.to_string())?;
     let stats = SchemaStats::for_x2y(&schema, &inst, q);
 
@@ -291,7 +283,11 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<String, String> {
 
     let mut out = String::from("q          reducers  comm            makespan_s  speedup\n");
     for c in &plan.frontier {
-        let marker = if c.q == plan.best.q { "  <== chosen" } else { "" };
+        let marker = if c.q == plan.best.q {
+            "  <== chosen"
+        } else {
+            ""
+        };
         out.push_str(&format!(
             "{:<10} {:<9} {:<15} {:<11.3} {:<7.2}{marker}\n",
             c.q, c.reducers, c.communication, c.makespan, c.speedup
@@ -313,10 +309,7 @@ fn render_routes(reducers: &[Vec<u32>]) -> String {
 }
 
 fn join_ids(ids: &[u32]) -> String {
-    ids.iter()
-        .map(u32::to_string)
-        .collect::<Vec<_>>()
-        .join(",")
+    ids.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
 }
 
 #[cfg(test)]

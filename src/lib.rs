@@ -48,7 +48,7 @@
 //!
 //! See `examples/` for runnable end-to-end scenarios (similarity join,
 //! skew join, tradeoff exploration) and `crates/bench` for the experiment
-//! harness that regenerates every table and figure in `EXPERIMENTS.md`.
+//! harness that regenerates every table and figure in `docs/EXPERIMENTS.md`.
 
 pub mod planner;
 

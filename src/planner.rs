@@ -170,7 +170,13 @@ pub fn plan_x2y(
                 routes[x_weights.len() + yi as usize].push(rid);
             }
         }
-        let metrics = execute(&weights, &routes, schema.reducer_count(), q, &config.cluster);
+        let metrics = execute(
+            &weights,
+            &routes,
+            schema.reducer_count(),
+            q,
+            &config.cluster,
+        );
         frontier.push(CandidatePlan {
             q,
             reducers: schema.reducer_count(),
@@ -230,8 +236,7 @@ fn select(frontier: Vec<CandidatePlan>, objective: Objective) -> Result<Plan, Sc
         Objective::WeightedCost { cost_per_byte } => frontier
             .iter()
             .min_by(|a, b| {
-                let cost =
-                    |c: &CandidatePlan| c.makespan + c.communication as f64 * cost_per_byte;
+                let cost = |c: &CandidatePlan| c.makespan + c.communication as f64 * cost_per_byte;
                 cost(a).total_cmp(&cost(b))
             })
             .expect("nonempty"),

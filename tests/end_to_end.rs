@@ -76,14 +76,24 @@ fn schema_loads_match_engine_loads() {
         .collect();
     let _ = blobs[0].id;
 
-    let job = Job::new(M, R, DirectRouter, schema.reducer_count(), ClusterConfig::default())
-        .capacity(CapacityPolicy::Enforce(q));
+    let job = Job::new(
+        M,
+        R,
+        DirectRouter,
+        schema.reducer_count(),
+        ClusterConfig::default(),
+    )
+    .capacity(CapacityPolicy::Enforce(q));
     let run = job.run(&blobs).unwrap();
 
     let schema_loads = schema.loads(&inputs);
     assert_eq!(run.metrics.reducer_value_bytes, schema_loads);
     // Engine communication = schema communication + 8 key bytes per copy.
-    let copies: u64 = schema.replication(inputs.len()).iter().map(|&r| r as u64).sum();
+    let copies: u64 = schema
+        .replication(inputs.len())
+        .iter()
+        .map(|&r| r as u64)
+        .sum();
     assert_eq!(
         run.metrics.bytes_shuffled as u128,
         schema.communication_cost(&inputs) + copies as u128 * 8
@@ -214,7 +224,8 @@ fn exact_heuristic_bound_sandwich() {
         assert!(ex.optimal, "budget must suffice at m = 7");
         let lb = bounds::a2a_reducer_lb(&inputs, q);
         assert!(
-            lb <= ex.schema.reducer_count() && ex.schema.reducer_count() <= heuristic.reducer_count(),
+            lb <= ex.schema.reducer_count()
+                && ex.schema.reducer_count() <= heuristic.reducer_count(),
             "seed {seed}: LB {lb} ≤ OPT {} ≤ heuristic {}",
             ex.schema.reducer_count(),
             heuristic.reducer_count()

@@ -1,0 +1,215 @@
+//! Offline stand-in for the crates.io
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness.
+//!
+//! The build environment has no network access, so this crate provides the
+//! subset of criterion's API the workspace benches use — `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a deliberately tiny
+//! measurement loop: a short warm-up, then a fixed time budget, reporting
+//! median-free mean ns/iter on stdout. It produces honest relative numbers
+//! for quick comparisons but none of criterion's statistics, so treat its
+//! output as a smoke-level signal until the real crate is restored.
+//!
+//! Under `cargo test` (which runs `harness = false` bench targets to make
+//! sure they still work) each closure is executed exactly once, keeping test
+//! runs fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration timer handed to bench closures.
+pub struct Bencher {
+    iters_hint: u64,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly and records the mean wall-clock time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed call (also the only call in smoke mode).
+        black_box(f());
+        if self.iters_hint <= 1 {
+            self.last_ns = 0.0;
+            return;
+        }
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < budget && iters < self.iters_hint {
+            black_box(f());
+            iters += 1;
+        }
+        self.last_ns = start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// Identifies one benchmark within a group, e.g. `grid/1000`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just a parameter, rendered on its own.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Top-level harness state. Construct via `Default` (the macros do).
+pub struct Criterion {
+    /// 1 in smoke mode (`cargo test`), larger under `cargo bench`.
+    iters_hint: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes `harness = false` bench executables with `--bench`
+        // for `cargo bench` and with `--test` (or nothing) for `cargo test`.
+        let benching = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            iters_hint: if benching { u64::MAX } else { 1 },
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher {
+            iters_hint: self.iters_hint,
+            last_ns: 0.0,
+        };
+        f(&mut b);
+        report(&id.to_string(), b.last_ns, self.iters_hint);
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for source compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters_hint: self.criterion.iters_hint,
+            last_ns: 0.0,
+        };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.last_ns,
+            self.criterion.iters_hint,
+        );
+    }
+
+    /// Benchmarks a closure with no external input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher {
+            iters_hint: self.criterion.iters_hint,
+            last_ns: 0.0,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.last_ns,
+            self.criterion.iters_hint,
+        );
+    }
+
+    /// Ends the group (no-op in the stub; kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn report(label: &str, ns_per_iter: f64, iters_hint: u64) {
+    if iters_hint <= 1 {
+        println!("bench {label:<50} ok (smoke)");
+    } else {
+        println!("bench {label:<50} {ns_per_iter:>14.0} ns/iter");
+    }
+}
+
+/// Declares a function that runs each listed benchmark with a fresh
+/// [`Criterion`]; mirrors criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups; mirrors criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_apis_run_closures() {
+        let mut c = Criterion { iters_hint: 1 };
+        let mut ran = 0;
+        c.bench_function("solo", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        group.finish();
+        ran += 1;
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn benchmark_id_renders_like_criterion() {
+        assert_eq!(BenchmarkId::new("grid", 100).to_string(), "grid/100");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,192 @@
+//! Offline stand-in for the crates.io
+//! [`proptest`](https://crates.io/crates/proptest) property-testing crate.
+//!
+//! The build environment has no network access, so this crate reimplements
+//! the subset of proptest's API the workspace's property tests use:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//!   `prop_flat_map`, and `boxed`;
+//! * strategies for integer/float ranges, tuples, [`Just`](strategy::Just),
+//!   `any::<T>()`, [`collection::vec`], and string-generating `&str`
+//!   patterns (a small character-class regex subset);
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`
+//!   header) and the `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`
+//!   assertion macros.
+//!
+//! Semantics differ from the real crate in one important way: there is **no
+//! shrinking**. A failing case panics with the assertion message (values are
+//! visible through `assert_eq!`-style output) instead of a minimized
+//! counterexample. Generation is fully deterministic per test function —
+//! the RNG is seeded from the test's name — so failures reproduce exactly
+//! on re-run. Case counts default to 64 (`ProptestConfig::default`) and are
+//! honored from `ProptestConfig::with_cases`.
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! Deterministic RNG driving value generation.
+
+    /// SplitMix64 stream seeded from the owning test's name: deterministic
+    /// across runs and platforms, independent across tests.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from a test name (FNV-1a over its bytes).
+        pub fn for_test(name: &str) -> Self {
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in name.bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: hash }
+        }
+
+        /// Next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer in `[lo, hi]` (inclusive). `lo <= hi` required.
+        pub fn uniform_u128(&mut self, lo: u128, hi: u128) -> u128 {
+            debug_assert!(lo <= hi);
+            let span = hi - lo + 1;
+            if span == 0 {
+                // Full u128 span cannot happen from the range impls here.
+                return self.next_u64() as u128;
+            }
+            lo + (self.next_u64() as u128) % span
+        }
+    }
+}
+
+/// Run-time configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections (only `vec` is provided).
+
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// Lengths acceptable to [`vec()`]: a fixed size or a size range.
+    pub trait IntoSizeRange {
+        /// Inclusive `(min, max)` length bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end.saturating_sub(1))
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element` and whose length
+    /// is drawn uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy::new(element, min, max)
+    }
+}
+
+pub mod prelude {
+    //! Single-import surface mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` that generates `cases` random bindings and runs the
+/// body on each. An optional `#![proptest_config(expr)]` header sets the
+/// [`ProptestConfig`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl [$cfg] $($rest)*);
+    };
+    (@impl [$cfg:expr] $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::for_test(stringify!($name));
+                for _case in 0..config.cases {
+                    let ($($pat,)+) = $crate::strategy::Strategy::new_value(
+                        &($($strat,)+),
+                        &mut rng,
+                    );
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl [$crate::ProptestConfig::default()] $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
