@@ -1,14 +1,21 @@
-//! Regenerates `results/fig3.csv`. Pass `--smoke` for a fast tiny run.
+//! Regenerates `results/fig3.csv`. Pass `--smoke` for a fast tiny run,
+//! `--threads <n>` / `--shuffle materialized|streaming` to pick the engine
+//! execution knobs (recorded numbers are identical either way).
 
-use mrassign_bench::common::finish;
+use mrassign_bench::common::{finish, ExecKnobs};
 use mrassign_bench::{fig3_parallelism_vs_q, Scale};
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--smoke") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--smoke") {
         Scale::Smoke
     } else {
         Scale::Full
     };
-    let table = fig3_parallelism_vs_q::run(scale);
+    let knobs = ExecKnobs::from_args(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let table = fig3_parallelism_vs_q::run_with(scale, knobs);
     finish(&table, "fig3");
 }

@@ -1,19 +1,27 @@
 //! Runs every experiment in `docs/EXPERIMENTS.md`'s index and writes all CSVs under
-//! `results/`. Pass `--smoke` for a fast tiny run of everything.
+//! `results/`. Pass `--smoke` for a fast tiny run of everything, and
+//! `--threads <n>` / `--shuffle materialized|streaming` to pick the engine
+//! execution knobs for the job-executing figures (the recorded numbers are
+//! identical across knob settings — CI uses this to exercise both paths).
 //!
 //! `cargo run --release -p mrassign-bench --bin run_all_experiments`
 
 use std::time::Instant;
 
-use mrassign_bench::common::finish;
+use mrassign_bench::common::{finish, ExecKnobs};
 use mrassign_bench::*;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--smoke") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--smoke") {
         Scale::Smoke
     } else {
         Scale::Full
     };
+    let knobs = ExecKnobs::from_args(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
 
     type Experiment = (&'static str, Box<dyn Fn(Scale) -> Table>);
     let experiments: Vec<Experiment> = vec![
@@ -23,9 +31,12 @@ fn main() {
         ("table3", Box::new(table3_gap::run)),
         ("fig1", Box::new(fig1_reducers_vs_q::run)),
         ("fig2", Box::new(fig2_comm_vs_q::run)),
-        ("fig3", Box::new(fig3_parallelism_vs_q::run)),
-        ("fig4", Box::new(fig4_skewjoin::run)),
-        ("fig5", Box::new(fig5_simjoin::run)),
+        (
+            "fig3",
+            Box::new(move |s| fig3_parallelism_vs_q::run_with(s, knobs)),
+        ),
+        ("fig4", Box::new(move |s| fig4_skewjoin::run_with(s, knobs))),
+        ("fig5", Box::new(move |s| fig5_simjoin::run_with(s, knobs))),
         ("fig6", Box::new(fig6_packing_ablation::run)),
         ("fig7a", Box::new(fig7_split_ablation::run)),
         ("fig7b", Box::new(fig7_split_ablation::run_b)),

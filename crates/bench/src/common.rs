@@ -8,7 +8,7 @@ use std::path::{Path, PathBuf};
 use mrassign_core::MappingSchema;
 use mrassign_simmr::{
     ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, Job, JobMetrics, Mapper,
-    Reducer,
+    Reducer, ShuffleMode,
 };
 
 /// Experiment scale: `Smoke` keeps tests fast; `Full` produces the numbers
@@ -28,6 +28,60 @@ impl Scale {
             Scale::Smoke => smoke,
             Scale::Full => full,
         }
+    }
+}
+
+/// Engine knobs shared by every job-executing experiment binary: how many
+/// OS threads the map phase uses and which shuffle mode the engine runs.
+/// Neither changes any recorded number — results and metrics are
+/// deterministic across both — so they are safe to flip in CI to keep both
+/// engine paths exercised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecKnobs {
+    /// OS threads for map execution (`0`/`1` = sequential).
+    pub map_threads: usize,
+    /// Shuffle execution mode.
+    pub shuffle: ShuffleMode,
+}
+
+impl ExecKnobs {
+    /// Parses `--threads <n>` and `--shuffle materialized|streaming` from a
+    /// binary's argument list. `--smoke` is the experiment binaries' scale
+    /// flag, so it passes through; any *other* `--flag` is rejected rather
+    /// than silently ignored — a typo must not quietly revert CI to the
+    /// default engine path.
+    pub fn from_args(args: &[String]) -> Result<ExecKnobs, String> {
+        let mut knobs = ExecKnobs::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--threads" => {
+                    let value = it.next().ok_or("--threads needs a value")?;
+                    knobs.map_threads = value
+                        .parse()
+                        .map_err(|_| format!("cannot parse `{value}` as a thread count"))?;
+                }
+                "--shuffle" => {
+                    let value = it.next().ok_or("--shuffle needs a value")?;
+                    knobs.shuffle = value.parse()?;
+                }
+                "--smoke" => {}
+                other if other.starts_with("--") => {
+                    return Err(format!(
+                        "unknown flag `{other}` (expected --smoke, --threads <n>, --shuffle materialized|streaming)"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        Ok(knobs)
+    }
+
+    /// Applies the knobs to a cluster configuration.
+    pub fn apply(&self, mut cluster: ClusterConfig) -> ClusterConfig {
+        cluster.map_threads = self.map_threads.max(1);
+        cluster.shuffle = self.shuffle;
+        cluster
     }
 }
 
@@ -298,6 +352,40 @@ mod tests {
         let metrics = execute_a2a_schema(&weights, &schema, q, ClusterConfig::default());
         assert_eq!(metrics.reducer_value_bytes, schema.loads(&inputs));
         assert!(metrics.max_reducer_load() <= q);
+    }
+
+    #[test]
+    fn exec_knobs_parse_and_apply() {
+        let args: Vec<String> = ["--smoke", "--threads", "3", "--shuffle", "streaming"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let knobs = ExecKnobs::from_args(&args).unwrap();
+        assert_eq!(knobs.map_threads, 3);
+        assert_eq!(knobs.shuffle, ShuffleMode::Streaming);
+        let cluster = knobs.apply(ClusterConfig::default());
+        assert_eq!(cluster.map_threads, 3);
+        assert_eq!(cluster.shuffle, ShuffleMode::Streaming);
+        assert_eq!(
+            ExecKnobs::from_args(&[]).unwrap(),
+            ExecKnobs {
+                map_threads: 0,
+                shuffle: ShuffleMode::Materialized
+            }
+        );
+    }
+
+    #[test]
+    fn exec_knobs_reject_typos_instead_of_ignoring_them() {
+        for bad in [
+            vec!["--shufle", "streaming"],
+            vec!["--shuffle=streaming"],
+            vec!["--shuffle", "mystery"],
+            vec!["--threads"],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(ExecKnobs::from_args(&args).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

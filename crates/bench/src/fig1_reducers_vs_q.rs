@@ -3,8 +3,8 @@
 //! algorithm against the lower bound. Expected shape: `z ~ q⁻²` with the
 //! heuristic/LB ratio roughly constant across the sweep.
 
-use mrassign_binpack::FitPolicy;
-use mrassign_core::{a2a, bounds, x2y, InputSet, X2yInstance};
+use mrassign_core::solver::{a2a_solver, x2y_solver, AssignmentSolver};
+use mrassign_core::{bounds, InputSet, X2yInstance};
 use mrassign_workloads::{geometric_steps, SizeDistribution};
 
 use crate::common::{ratio, Scale, Table};
@@ -38,22 +38,23 @@ pub fn run(scale: Scale) -> Table {
         SizeDistribution::Uniform { lo: 10, hi: 100 }.sample_many(m, seed + 2),
     );
 
+    // The sweep exercises solver-registry dispatch: algorithms are looked
+    // up by name and invoked through the `AssignmentSolver` trait.
+    let grouping = a2a_solver("grouping").expect("registered");
+    let auto = a2a_solver("auto").expect("registered");
+    let grid = x2y_solver("grid").expect("registered");
+
     // q from "barely feasible" (two largest inputs) to "a few reducers".
     let q_lo = 220u64;
     let q_hi = scale.pick(2_000, 20_000);
     for q in geometric_steps(q_lo, q_hi, steps) {
-        let eq_schema = a2a::solve(&equal, q, a2a::A2aAlgorithm::GroupingEqual).unwrap();
+        let eq_schema = grouping.solve(&equal, q).unwrap();
         let eq_lb = bounds::a2a_reducer_lb_equal(m, 20, q).expect("feasible");
 
-        let mixed_schema = a2a::solve(&mixed, q, a2a::A2aAlgorithm::Auto).unwrap();
+        let mixed_schema = auto.solve(&mixed, q).unwrap();
         let mixed_lb = bounds::a2a_reducer_lb(&mixed, q);
 
-        let x2y_schema = x2y::solve(
-            &inst,
-            q,
-            x2y::X2yAlgorithm::Grid(FitPolicy::FirstFitDecreasing),
-        )
-        .unwrap();
+        let x2y_schema = grid.solve(&inst, q).unwrap();
         let x2y_lb = bounds::x2y_reducer_lb(&inst, q);
 
         table.push_row(&[

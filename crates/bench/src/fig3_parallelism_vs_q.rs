@@ -13,10 +13,17 @@ use mrassign_core::{a2a, InputSet};
 use mrassign_simmr::ClusterConfig;
 use mrassign_workloads::{geometric_steps, SizeDistribution};
 
-use crate::common::{execute_a2a_schema, Scale, Table};
+use crate::common::{execute_a2a_schema, ExecKnobs, Scale, Table};
 
-/// Runs the experiment at the given scale.
+/// Runs the experiment at the given scale with default engine knobs.
 pub fn run(scale: Scale) -> Table {
+    run_with(scale, ExecKnobs::default())
+}
+
+/// Runs the experiment with explicit engine knobs (map threads / shuffle
+/// mode). The recorded numbers are identical across knob settings; only
+/// wall-clock time and peak memory change.
+pub fn run_with(scale: Scale, knobs: ExecKnobs) -> Table {
     let m = scale.pick(60, 300);
     let steps = scale.pick(4, 12);
     let worker_counts: &[usize] = scale.pick(&[8][..], &[8, 32][..]);
@@ -46,14 +53,14 @@ pub fn run(scale: Scale) -> Table {
     let total: u64 = weights.iter().sum();
 
     for &workers in worker_counts {
-        let cluster = ClusterConfig {
+        let cluster = knobs.apply(ClusterConfig {
             workers,
             map_rate: 512.0 * 1024.0 * 1024.0,
             reduce_rate: 1.0 * 1024.0 * 1024.0, // 1 MiB/s: reduce dominates
             network_bandwidth: 512.0 * 1024.0 * 1024.0,
             task_overhead: 0.001,
-            map_threads: 1,
-        };
+            ..ClusterConfig::default()
+        });
         for q in geometric_steps(26_000, (total + total / 10).max(27_000), steps) {
             let schema = a2a::solve(&inputs, q, a2a::A2aAlgorithm::Auto).unwrap();
             let metrics = execute_a2a_schema(&weights, &schema, q, cluster.clone());
@@ -76,6 +83,20 @@ pub fn run(scale: Scale) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn engine_knobs_do_not_change_recorded_numbers() {
+        use mrassign_simmr::ShuffleMode;
+        let base = run(Scale::Smoke);
+        let knobbed = run_with(
+            Scale::Smoke,
+            ExecKnobs {
+                map_threads: 4,
+                shuffle: ShuffleMode::Streaming,
+            },
+        );
+        assert_eq!(base.render(), knobbed.render());
+    }
 
     #[test]
     fn smoke_produces_rows_with_positive_times() {

@@ -11,10 +11,16 @@ use mrassign_joins::{run_skew_join, SkewJoinConfig, SkewJoinStrategy};
 use mrassign_simmr::ClusterConfig;
 use mrassign_workloads::{generate_relation_pair, linear_steps, RelationSpec, SizeDistribution};
 
-use crate::common::{Scale, Table};
+use crate::common::{ExecKnobs, Scale, Table};
 
-/// Runs the experiment at the given scale.
+/// Runs the experiment at the given scale with default engine knobs.
 pub fn run(scale: Scale) -> Table {
+    run_with(scale, ExecKnobs::default())
+}
+
+/// Runs the experiment with explicit engine knobs (map threads / shuffle
+/// mode); the recorded numbers are identical across knob settings.
+pub fn run_with(scale: Scale, knobs: ExecKnobs) -> Table {
     let tuples = scale.pick(800, 6_000);
     let skews = scale.pick(vec![0.0, 1.2], linear_steps(0.0, 1.4, 8));
     let q = 8_192u64;
@@ -34,11 +40,11 @@ pub fn run(scale: Scale) -> Table {
         ],
     );
 
-    let cluster = ClusterConfig {
+    let cluster = knobs.apply(ClusterConfig {
         workers: 16,
         task_overhead: 0.001,
         ..ClusterConfig::default()
-    };
+    });
 
     for &skew in &skews {
         let pair = generate_relation_pair(

@@ -9,10 +9,16 @@ use mrassign_joins::{run_similarity_join, SimJoinConfig, SimJoinStrategy};
 use mrassign_simmr::ClusterConfig;
 use mrassign_workloads::{generate_documents, geometric_steps, DocumentSpec, SizeDistribution};
 
-use crate::common::{Scale, Table};
+use crate::common::{ExecKnobs, Scale, Table};
 
-/// Runs the experiment at the given scale.
+/// Runs the experiment at the given scale with default engine knobs.
 pub fn run(scale: Scale) -> Table {
+    run_with(scale, ExecKnobs::default())
+}
+
+/// Runs the experiment with explicit engine knobs (map threads / shuffle
+/// mode); the recorded numbers are identical across knob settings.
+pub fn run_with(scale: Scale, knobs: ExecKnobs) -> Table {
     let n_docs = scale.pick(40, 200);
     let steps = scale.pick(3, 8);
 
@@ -27,11 +33,11 @@ pub fn run(scale: Scale) -> Table {
     );
     let corpus_bytes: u64 = docs.iter().map(|d| d.size_bytes()).sum();
 
-    let cluster = ClusterConfig {
+    let cluster = knobs.apply(ClusterConfig {
         workers: 16,
         task_overhead: 0.005,
         ..ClusterConfig::default()
-    };
+    });
 
     let mut table = Table::new(
         "Figure 5 — similarity join: schema vs pair-per-reducer",

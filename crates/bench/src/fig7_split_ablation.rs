@@ -9,8 +9,8 @@
 //!   `C(k,2)` over *more, smaller* bins; the gap explodes as the big input
 //!   approaches `q`.
 
-use mrassign_binpack::FitPolicy;
-use mrassign_core::{a2a, x2y, InputSet, X2yInstance};
+use mrassign_core::solver::{a2a_solver, x2y_solver, AssignmentSolver};
+use mrassign_core::{InputSet, X2yInstance};
 use mrassign_workloads::SizeDistribution;
 
 use crate::common::{ratio, Scale, Table};
@@ -25,24 +25,18 @@ pub fn run(scale: Scale) -> Table {
         &["wx_wy_ratio", "balanced_z", "optimized_z", "improvement"],
     );
 
+    // Both ablation arms come from the solver registry, dispatched by value.
+    let balanced_solver = x2y_solver("grid").expect("registered");
+    let optimized_solver = x2y_solver("grid-optimized").expect("registered");
+
     for ratio_pow in 0..6u32 {
         let r = 1usize << ratio_pow;
         // Heavy X side with chunky items (granularity near q/2), light Y.
         let x = SizeDistribution::Uniform { lo: 24, hi: 30 }.sample_many(base_m, 31);
         let y = SizeDistribution::Uniform { lo: 4, hi: 8 }.sample_many((base_m / r).max(1), 37);
         let inst = X2yInstance::from_weights(x, y);
-        let balanced = x2y::solve(
-            &inst,
-            q,
-            x2y::X2yAlgorithm::Grid(FitPolicy::FirstFitDecreasing),
-        )
-        .unwrap();
-        let optimized = x2y::solve(
-            &inst,
-            q,
-            x2y::X2yAlgorithm::GridOptimized(FitPolicy::FirstFitDecreasing),
-        )
-        .unwrap();
+        let balanced = balanced_solver.solve(&inst, q).unwrap();
+        let optimized = optimized_solver.solve(&inst, q).unwrap();
         optimized.validate(&inst, q).unwrap();
         table.push_row(&[
             &format!("{r}:1"),
@@ -68,30 +62,18 @@ pub fn run_b(scale: Scale) -> Table {
         &["w_big_frac", "two_pack_z", "shared_z", "shared_penalty"],
     );
 
+    // Both ablation arms come from the solver registry, dispatched by value.
+    let two_pack_solver = a2a_solver("bigsmall").expect("registered");
+    let shared_solver = a2a_solver("bigsmall-shared").expect("registered");
+
     for frac in [55u64, 65, 75, 85, 95] {
         let w_big = q * frac / 100;
         let mut weights =
             SizeDistribution::Uniform { lo: 10, hi: 50 }.sample_many(m - 1, 41 + frac);
         weights.push(w_big);
         let inputs = InputSet::from_weights(weights);
-        let two_pack = a2a::solve(
-            &inputs,
-            q,
-            a2a::A2aAlgorithm::BigSmall {
-                policy: FitPolicy::FirstFitDecreasing,
-                shared_bins: false,
-            },
-        )
-        .unwrap();
-        let shared = a2a::solve(
-            &inputs,
-            q,
-            a2a::A2aAlgorithm::BigSmall {
-                policy: FitPolicy::FirstFitDecreasing,
-                shared_bins: true,
-            },
-        )
-        .unwrap();
+        let two_pack = two_pack_solver.solve(&inputs, q).unwrap();
+        let shared = shared_solver.solve(&inputs, q).unwrap();
         shared.validate_a2a(&inputs, q).unwrap();
         two_pack.validate_a2a(&inputs, q).unwrap();
         table.push_row(&[

@@ -37,7 +37,9 @@
 //! * [`bounds`] — lower bounds on reducers, replication, and communication
 //!   (the denominators of every approximation ratio we report),
 //! * [`stats`] — schema metrics: reducer count, communication cost,
-//!   replication rate, load distribution.
+//!   replication rate, load distribution,
+//! * [`solver`] — the [`solver::AssignmentSolver`] trait and registry, so
+//!   planners, benches, and the CLI select algorithms by value or by name.
 //!
 //! # Quick start
 //!
@@ -65,9 +67,11 @@ mod schema;
 pub mod a2a;
 pub mod bounds;
 pub mod exact;
+pub mod solver;
 pub mod stats;
 pub mod x2y;
 
 pub use error::SchemaError;
 pub use input::{InputId, InputSet, Weight, X2yInstance};
 pub use schema::{MappingSchema, X2yReducer, X2ySchema};
+pub use solver::{AssignmentSolver, SolverKind};

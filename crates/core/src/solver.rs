@@ -1,0 +1,214 @@
+//! Solver registry: mapping-schema algorithms as **values**.
+//!
+//! The algorithm toolboxes in [`crate::a2a`] and [`crate::x2y`] are free
+//! functions dispatched by an enum argument. That shape is fine for direct
+//! calls, but the planner, the experiment harness, and the CLI all want to
+//! *hold* an algorithm — pass it across threads, look it up by name, iterate
+//! over every variant. [`AssignmentSolver`] gives them that: one trait,
+//! implemented directly on [`A2aAlgorithm`] and [`X2yAlgorithm`] (both `Copy`
+//! value types), with name/kind metadata, plus a registry of every
+//! parameter-free variant for by-name lookup and exhaustive iteration.
+//!
+//! ```
+//! use mrassign_core::solver::{a2a_solver, AssignmentSolver};
+//! use mrassign_core::InputSet;
+//!
+//! let solver = a2a_solver("pairing").expect("registered");
+//! let inputs = InputSet::from_weights(vec![3, 4, 5, 3, 2]);
+//! let schema = solver.solve(&inputs, 10).unwrap();
+//! schema.validate_a2a(&inputs, 10).unwrap();
+//! assert_eq!(solver.name(), "pairing");
+//! ```
+
+use mrassign_binpack::FitPolicy;
+
+use crate::a2a::{self, A2aAlgorithm};
+use crate::error::SchemaError;
+use crate::input::{InputSet, Weight, X2yInstance};
+use crate::schema::{MappingSchema, X2ySchema};
+use crate::x2y::{self, X2yAlgorithm};
+
+/// Which mapping-schema problem family a solver addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverKind {
+    /// All-to-all: every pair of inputs must meet (similarity join).
+    A2a,
+    /// Cross pairs of two disjoint sets must meet (skew join).
+    X2y,
+}
+
+/// A mapping-schema algorithm selected by value.
+///
+/// Implementations are `Copy` enums, so a solver can be stored in a config
+/// struct, sent to worker threads, or tabulated in a registry without any
+/// boxing. `solve` must be deterministic and side-effect free — the parallel
+/// planner calls it concurrently from several threads.
+pub trait AssignmentSolver {
+    /// The problem instance the solver consumes.
+    type Instance;
+    /// The schema type the solver produces.
+    type Schema;
+
+    /// Stable short name, unique within the solver's [`SolverKind`]; the
+    /// CLI's `--algo` values and the registry lookups use it.
+    fn name(&self) -> &'static str;
+
+    /// The problem family this solver addresses.
+    fn kind(&self) -> SolverKind;
+
+    /// Computes a mapping schema for `instance` under capacity `q`.
+    fn solve(&self, instance: &Self::Instance, q: Weight) -> Result<Self::Schema, SchemaError>;
+}
+
+impl AssignmentSolver for A2aAlgorithm {
+    type Instance = InputSet;
+    type Schema = MappingSchema;
+
+    fn name(&self) -> &'static str {
+        match self {
+            A2aAlgorithm::Auto => "auto",
+            A2aAlgorithm::OneReducer => "one-reducer",
+            A2aAlgorithm::GroupingEqual => "grouping",
+            A2aAlgorithm::BinPackPairing(_) => "pairing",
+            A2aAlgorithm::BigSmall {
+                shared_bins: false, ..
+            } => "bigsmall",
+            A2aAlgorithm::BigSmall {
+                shared_bins: true, ..
+            } => "bigsmall-shared",
+        }
+    }
+
+    fn kind(&self) -> SolverKind {
+        SolverKind::A2a
+    }
+
+    fn solve(&self, instance: &InputSet, q: Weight) -> Result<MappingSchema, SchemaError> {
+        a2a::solve(instance, q, *self)
+    }
+}
+
+impl AssignmentSolver for X2yAlgorithm {
+    type Instance = X2yInstance;
+    type Schema = X2ySchema;
+
+    fn name(&self) -> &'static str {
+        match self {
+            X2yAlgorithm::Auto => "auto",
+            X2yAlgorithm::OneReducer => "one-reducer",
+            X2yAlgorithm::Grid(_) => "grid",
+            X2yAlgorithm::GridWithSplit(..) => "grid-split",
+            X2yAlgorithm::GridOptimized(_) => "grid-optimized",
+            X2yAlgorithm::BigHandling(_) => "bighandling",
+        }
+    }
+
+    fn kind(&self) -> SolverKind {
+        SolverKind::X2y
+    }
+
+    fn solve(&self, instance: &X2yInstance, q: Weight) -> Result<X2ySchema, SchemaError> {
+        x2y::solve(instance, q, *self)
+    }
+}
+
+/// Every parameter-free A2A solver, with packing-policy variants pinned to
+/// first-fit-decreasing (the paper's default).
+pub const A2A_SOLVERS: &[A2aAlgorithm] = &[
+    A2aAlgorithm::Auto,
+    A2aAlgorithm::OneReducer,
+    A2aAlgorithm::GroupingEqual,
+    A2aAlgorithm::BinPackPairing(FitPolicy::FirstFitDecreasing),
+    A2aAlgorithm::BigSmall {
+        policy: FitPolicy::FirstFitDecreasing,
+        shared_bins: false,
+    },
+    A2aAlgorithm::BigSmall {
+        policy: FitPolicy::FirstFitDecreasing,
+        shared_bins: true,
+    },
+];
+
+/// Every parameter-free X2Y solver ([`X2yAlgorithm::GridWithSplit`] needs an
+/// explicit split, so it is constructed directly rather than registered).
+pub const X2Y_SOLVERS: &[X2yAlgorithm] = &[
+    X2yAlgorithm::Auto,
+    X2yAlgorithm::OneReducer,
+    X2yAlgorithm::Grid(FitPolicy::FirstFitDecreasing),
+    X2yAlgorithm::GridOptimized(FitPolicy::FirstFitDecreasing),
+    X2yAlgorithm::BigHandling(FitPolicy::FirstFitDecreasing),
+];
+
+/// Looks up a registered A2A solver by its [`AssignmentSolver::name`].
+pub fn a2a_solver(name: &str) -> Option<A2aAlgorithm> {
+    A2A_SOLVERS.iter().copied().find(|s| s.name() == name)
+}
+
+/// Looks up a registered X2Y solver by its [`AssignmentSolver::name`].
+pub fn x2y_solver(name: &str) -> Option<X2yAlgorithm> {
+    X2Y_SOLVERS.iter().copied().find(|s| s.name() == name)
+}
+
+/// The registered A2A solver names, in registry order (for usage strings).
+pub fn a2a_solver_names() -> Vec<&'static str> {
+    A2A_SOLVERS.iter().map(AssignmentSolver::name).collect()
+}
+
+/// The registered X2Y solver names, in registry order (for usage strings).
+pub fn x2y_solver_names() -> Vec<&'static str> {
+    X2Y_SOLVERS.iter().map(AssignmentSolver::name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_within_each_kind() {
+        let mut a2a_names = a2a_solver_names();
+        a2a_names.sort_unstable();
+        a2a_names.dedup();
+        assert_eq!(a2a_names.len(), A2A_SOLVERS.len());
+        let mut x2y_names = x2y_solver_names();
+        x2y_names.sort_unstable();
+        x2y_names.dedup();
+        assert_eq!(x2y_names.len(), X2Y_SOLVERS.len());
+    }
+
+    #[test]
+    fn lookup_roundtrips_every_registered_solver() {
+        for &solver in A2A_SOLVERS {
+            assert_eq!(a2a_solver(solver.name()), Some(solver));
+            assert_eq!(solver.kind(), SolverKind::A2a);
+        }
+        for &solver in X2Y_SOLVERS {
+            assert_eq!(x2y_solver(solver.name()), Some(solver));
+            assert_eq!(solver.kind(), SolverKind::X2y);
+        }
+        assert_eq!(a2a_solver("nonsense"), None);
+        assert_eq!(x2y_solver("grid-split"), None);
+    }
+
+    #[test]
+    fn registry_dispatch_matches_free_functions() {
+        let inputs = InputSet::from_weights(vec![5, 4, 4, 3, 3, 2, 2, 1, 1, 5]);
+        let q = 10;
+        for &solver in A2A_SOLVERS {
+            assert_eq!(solver.solve(&inputs, q), a2a::solve(&inputs, q, solver));
+        }
+        let inst = X2yInstance::from_weights(vec![3; 8], vec![2; 6]);
+        for &solver in X2Y_SOLVERS {
+            assert_eq!(solver.solve(&inst, q), x2y::solve(&inst, q, solver));
+        }
+    }
+
+    #[test]
+    fn unregistered_variants_still_have_metadata() {
+        let split = X2yAlgorithm::GridWithSplit(FitPolicy::FirstFit, 6);
+        assert_eq!(split.name(), "grid-split");
+        assert_eq!(split.kind(), SolverKind::X2y);
+        let inst = X2yInstance::from_weights(vec![3; 8], vec![2; 6]);
+        let schema = split.solve(&inst, 10).unwrap();
+        schema.validate(&inst, 10).unwrap();
+    }
+}

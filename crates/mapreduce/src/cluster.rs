@@ -14,6 +14,43 @@
 
 use crate::error::SimError;
 
+/// How the engine moves map output into reducer partitions.
+///
+/// Both modes produce bit-identical [`crate::JobOutput`]s (outputs *and*
+/// metrics); they differ only in peak memory and wall-clock cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShuffleMode {
+    /// Materialize every reducer partition in memory before the reduce
+    /// phase starts — the classic layout, fastest when the whole shuffle
+    /// fits in RAM.
+    #[default]
+    Materialized,
+    /// Stream the shuffle: a first pass over the map output does the byte
+    /// accounting without storing any record, then reducers are fed in
+    /// bounded blocks, re-deriving each block's records from the (required
+    /// to be deterministic) mappers and routers. Peak memory is one reducer
+    /// block plus one map task's output instead of the entire shuffle —
+    /// recomputation traded for memory, the same bargain Spark strikes for
+    /// narrow dependencies.
+    Streaming,
+}
+
+impl std::str::FromStr for ShuffleMode {
+    type Err = String;
+
+    /// Parses the mode names used by every `--shuffle` flag (CLI and
+    /// experiment binaries), so the vocabulary lives in one place.
+    fn from_str(name: &str) -> Result<Self, Self::Err> {
+        match name {
+            "materialized" => Ok(ShuffleMode::Materialized),
+            "streaming" => Ok(ShuffleMode::Streaming),
+            other => Err(format!(
+                "unknown shuffle mode `{other}` (expected materialized|streaming)"
+            )),
+        }
+    }
+}
+
 /// Simulated cluster parameters.
 ///
 /// Rates are bytes per simulated second. Defaults approximate a small
@@ -35,6 +72,9 @@ pub struct ClusterConfig {
     /// Number of OS threads used to *actually* execute map tasks. Purely a
     /// wall-clock optimization; simulated time ignores it.
     pub map_threads: usize,
+    /// How the shuffle is executed; purely a memory/wall-clock choice —
+    /// outputs and metrics are identical across modes.
+    pub shuffle: ShuffleMode,
 }
 
 impl Default for ClusterConfig {
@@ -46,6 +86,7 @@ impl Default for ClusterConfig {
             network_bandwidth: 256.0 * 1024.0 * 1024.0,
             task_overhead: 0.05,
             map_threads: 1,
+            shuffle: ShuffleMode::Materialized,
         }
     }
 }

@@ -2,7 +2,7 @@
 
 use std::sync::Mutex;
 
-use crate::cluster::{ClusterConfig, Schedule, TaskCost};
+use crate::cluster::{ClusterConfig, Schedule, ShuffleMode, TaskCost};
 use crate::error::SimError;
 use crate::metrics::JobMetrics;
 use crate::record::ByteSized;
@@ -11,6 +11,17 @@ use crate::traits::{Emitter, Mapper, Reducer};
 
 /// Key-value pairs produced by one map invocation.
 type MapOutput<M> = Vec<(<M as Mapper>::Key, <M as Mapper>::Value)>;
+
+/// Reducers fed per re-derivation sweep in [`ShuffleMode::Streaming`]: the
+/// bound on how many partitions are resident at once. Larger blocks cost
+/// memory and save map recomputation; the value is internal because both
+/// modes produce identical results regardless.
+const STREAMING_REDUCER_BLOCK: usize = 64;
+
+/// Map tasks executed per batch in [`ShuffleMode::Streaming`]: the bound on
+/// how many map outputs are resident at once, and the unit the (optional)
+/// `map_threads` parallelism works over.
+const STREAMING_MAP_BATCH: usize = 256;
 
 /// What to do about the reducer capacity `q`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,7 +98,8 @@ where
     /// Runs the job over `inputs`.
     ///
     /// Deterministic: outputs are ordered by (reducer partition, key,
-    /// arrival order), metrics are identical across runs and thread counts.
+    /// arrival order), metrics are identical across runs, thread counts,
+    /// and [`ShuffleMode`]s.
     pub fn run(&self, inputs: &[M::In]) -> Result<JobOutput<R::Out>, SimError> {
         self.config.validate()?;
         if self.n_reducers == 0 {
@@ -104,15 +116,38 @@ where
             },
             ..JobMetrics::default()
         };
-
-        // ----- Map phase ---------------------------------------------------
-        let map_results = self.run_map_phase(inputs);
         let map_costs: Vec<TaskCost> = inputs
             .iter()
             .map(|input| TaskCost(self.config.map_task_seconds(self.mapper.cost_bytes(input))))
             .collect();
 
-        // ----- Shuffle -----------------------------------------------------
+        let (outputs, reduce_costs) = match self.config.shuffle {
+            ShuffleMode::Materialized => self.run_materialized(inputs, &mut metrics)?,
+            ShuffleMode::Streaming => self.run_streaming(inputs, &mut metrics)?,
+        };
+        metrics.outputs = outputs.len();
+
+        // ----- Simulated time -----------------------------------------------
+        let map_schedule = Schedule::lpt(&map_costs, self.config.workers);
+        let reduce_schedule = Schedule::lpt(&reduce_costs, self.config.workers);
+        metrics.map_makespan = map_schedule.makespan;
+        metrics.reduce_makespan = reduce_schedule.makespan;
+        metrics.shuffle_seconds = self.config.shuffle_seconds(metrics.bytes_shuffled);
+        metrics.serial_seconds =
+            map_schedule.total_work + reduce_schedule.total_work + metrics.shuffle_seconds;
+
+        Ok(JobOutput { outputs, metrics })
+    }
+
+    /// Classic shuffle: every partition materialized in memory, then reduced
+    /// in partition order.
+    fn run_materialized(
+        &self,
+        inputs: &[M::In],
+        metrics: &mut JobMetrics,
+    ) -> Result<(Vec<R::Out>, Vec<TaskCost>), SimError> {
+        let map_results = self.run_map_phase(inputs);
+
         let mut partitions: Vec<Vec<(M::Key, M::Value)>> =
             (0..self.n_reducers).map(|_| Vec::new()).collect();
         let mut reducer_value_bytes = vec![0u64; self.n_reducers];
@@ -122,19 +157,10 @@ where
         for pairs in map_results {
             for (key, value) in pairs {
                 metrics.records_emitted += 1;
-                targets.clear();
-                self.router.route(&key, self.n_reducers, &mut targets);
-                targets.sort_unstable();
-                targets.dedup();
+                self.route_into(&key, &mut targets)?;
                 let key_bytes = key.size_bytes();
                 let value_bytes = value.size_bytes();
                 for &t in &targets {
-                    if t >= self.n_reducers {
-                        return Err(SimError::RouteOutOfRange {
-                            target: t,
-                            n_reducers: self.n_reducers,
-                        });
-                    }
                     metrics.records_shuffled += 1;
                     metrics.bytes_shuffled += key_bytes + value_bytes;
                     reducer_value_bytes[t] += value_bytes;
@@ -144,7 +170,133 @@ where
             }
         }
 
-        // ----- Capacity accounting -----------------------------------------
+        self.account_capacity(metrics, &reducer_value_bytes)?;
+
+        let mut outputs: Vec<R::Out> = Vec::new();
+        let mut reduce_costs: Vec<TaskCost> = Vec::new();
+        for (r, mut partition) in partitions.into_iter().enumerate() {
+            if partition.is_empty() {
+                continue;
+            }
+            metrics.nonempty_reducers += 1;
+            reduce_costs.push(TaskCost(
+                self.config.reduce_task_seconds(reducer_total_bytes[r]),
+            ));
+            self.reduce_partition(&mut partition, metrics, &mut outputs);
+        }
+        metrics.reducer_value_bytes = reducer_value_bytes;
+        Ok((outputs, reduce_costs))
+    }
+
+    /// Streaming shuffle: an accounting pass that stores nothing, then a
+    /// reducer-major pass feeding [`STREAMING_REDUCER_BLOCK`] partitions at
+    /// a time, re-deriving their records from the mappers. Peak memory is
+    /// one block plus one [`STREAMING_MAP_BATCH`] of map outputs (batches
+    /// use `map_threads` like the materialized path); results and metrics
+    /// are identical to the materialized path because mappers and routers
+    /// are deterministic by contract.
+    fn run_streaming(
+        &self,
+        inputs: &[M::In],
+        metrics: &mut JobMetrics,
+    ) -> Result<(Vec<R::Out>, Vec<TaskCost>), SimError> {
+        let mut reducer_value_bytes = vec![0u64; self.n_reducers];
+        let mut reducer_total_bytes = vec![0u64; self.n_reducers];
+        let mut reducer_records = vec![0u64; self.n_reducers];
+        let mut targets: Vec<usize> = Vec::new();
+
+        // ----- Pass 1: byte accounting; records are dropped as they flow.
+        for batch in inputs.chunks(STREAMING_MAP_BATCH) {
+            for pairs in self.run_map_phase(batch) {
+                for (key, value) in pairs {
+                    metrics.records_emitted += 1;
+                    self.route_into(&key, &mut targets)?;
+                    let key_bytes = key.size_bytes();
+                    let value_bytes = value.size_bytes();
+                    for &t in &targets {
+                        metrics.records_shuffled += 1;
+                        metrics.bytes_shuffled += key_bytes + value_bytes;
+                        reducer_value_bytes[t] += value_bytes;
+                        reducer_total_bytes[t] += key_bytes + value_bytes;
+                        reducer_records[t] += 1;
+                    }
+                }
+            }
+        }
+
+        self.account_capacity(metrics, &reducer_value_bytes)?;
+
+        // ----- Pass 2: reducer-major reduce, one bounded block at a time.
+        let mut outputs: Vec<R::Out> = Vec::new();
+        let mut reduce_costs: Vec<TaskCost> = Vec::new();
+        for block_start in (0..self.n_reducers).step_by(STREAMING_REDUCER_BLOCK) {
+            let block_end = (block_start + STREAMING_REDUCER_BLOCK).min(self.n_reducers);
+            let expected: u64 = reducer_records[block_start..block_end].iter().sum();
+            if expected == 0 {
+                continue;
+            }
+            let mut partitions: Vec<Vec<(M::Key, M::Value)>> = reducer_records
+                [block_start..block_end]
+                .iter()
+                .map(|&n| Vec::with_capacity(n as usize))
+                .collect();
+            let mut collected = 0u64;
+            'sweep: for batch in inputs.chunks(STREAMING_MAP_BATCH) {
+                for pairs in self.run_map_phase(batch) {
+                    for (key, value) in pairs {
+                        self.route_into(&key, &mut targets)?;
+                        for &t in &targets {
+                            if (block_start..block_end).contains(&t) {
+                                partitions[t - block_start].push((key.clone(), value.clone()));
+                                collected += 1;
+                            }
+                        }
+                    }
+                }
+                if collected == expected {
+                    break 'sweep;
+                }
+            }
+            for (offset, mut partition) in partitions.into_iter().enumerate() {
+                if partition.is_empty() {
+                    continue;
+                }
+                metrics.nonempty_reducers += 1;
+                reduce_costs
+                    .push(TaskCost(self.config.reduce_task_seconds(
+                        reducer_total_bytes[block_start + offset],
+                    )));
+                self.reduce_partition(&mut partition, metrics, &mut outputs);
+            }
+        }
+        metrics.reducer_value_bytes = reducer_value_bytes;
+        Ok((outputs, reduce_costs))
+    }
+
+    /// Routes `key`, leaving the sorted, deduplicated, range-checked target
+    /// list in `targets` (reused across calls to avoid allocation).
+    fn route_into(&self, key: &M::Key, targets: &mut Vec<usize>) -> Result<(), SimError> {
+        targets.clear();
+        self.router.route(key, self.n_reducers, targets);
+        targets.sort_unstable();
+        targets.dedup();
+        for &t in targets.iter() {
+            if t >= self.n_reducers {
+                return Err(SimError::RouteOutOfRange {
+                    target: t,
+                    n_reducers: self.n_reducers,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the capacity policy to the final per-reducer loads.
+    fn account_capacity(
+        &self,
+        metrics: &mut JobMetrics,
+        reducer_value_bytes: &[u64],
+    ) -> Result<(), SimError> {
         match self.capacity {
             CapacityPolicy::Unlimited => {}
             CapacityPolicy::Enforce(q) => {
@@ -167,50 +319,34 @@ where
                     .collect();
             }
         }
+        Ok(())
+    }
 
-        // ----- Reduce phase -------------------------------------------------
-        let mut outputs: Vec<R::Out> = Vec::new();
-        let mut reduce_costs: Vec<TaskCost> = Vec::new();
-        for (r, mut partition) in partitions.into_iter().enumerate() {
-            if partition.is_empty() {
-                continue;
+    /// Reduces one partition: group by key (stable sort keeps same-key
+    /// values in arrival order, so reduce() sees a deterministic value
+    /// list), counting distinct keys as it goes.
+    fn reduce_partition(
+        &self,
+        partition: &mut [(M::Key, M::Value)],
+        metrics: &mut JobMetrics,
+        outputs: &mut Vec<R::Out>,
+    ) {
+        partition.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut start = 0;
+        while start < partition.len() {
+            let mut end = start + 1;
+            while end < partition.len() && partition[end].0 == partition[start].0 {
+                end += 1;
             }
-            metrics.nonempty_reducers += 1;
-            reduce_costs.push(TaskCost(
-                self.config.reduce_task_seconds(reducer_total_bytes[r]),
-            ));
-            // Group by key: stable sort keeps same-key values in arrival
-            // order, so reduce() sees a deterministic value list.
-            partition.sort_by(|a, b| a.0.cmp(&b.0));
-            let mut start = 0;
-            while start < partition.len() {
-                let mut end = start + 1;
-                while end < partition.len() && partition[end].0 == partition[start].0 {
-                    end += 1;
-                }
-                metrics.distinct_keys += 1;
-                let key = partition[start].0.clone();
-                let values: Vec<M::Value> = partition[start..end]
-                    .iter()
-                    .map(|kv| kv.1.clone())
-                    .collect();
-                self.reducer.reduce(&key, &values, &mut outputs);
-                start = end;
-            }
+            metrics.distinct_keys += 1;
+            let key = partition[start].0.clone();
+            let values: Vec<M::Value> = partition[start..end]
+                .iter()
+                .map(|kv| kv.1.clone())
+                .collect();
+            self.reducer.reduce(&key, &values, outputs);
+            start = end;
         }
-        metrics.outputs = outputs.len();
-        metrics.reducer_value_bytes = reducer_value_bytes;
-
-        // ----- Simulated time -----------------------------------------------
-        let map_schedule = Schedule::lpt(&map_costs, self.config.workers);
-        let reduce_schedule = Schedule::lpt(&reduce_costs, self.config.workers);
-        metrics.map_makespan = map_schedule.makespan;
-        metrics.reduce_makespan = reduce_schedule.makespan;
-        metrics.shuffle_seconds = self.config.shuffle_seconds(metrics.bytes_shuffled);
-        metrics.serial_seconds =
-            map_schedule.total_work + reduce_schedule.total_work + metrics.shuffle_seconds;
-
-        Ok(JobOutput { outputs, metrics })
     }
 
     /// Runs every map task, optionally on `config.map_threads` OS threads.
@@ -499,6 +635,129 @@ mod tests {
         assert_eq!(a.metrics.reducer_value_bytes, b.metrics.reducer_value_bytes);
     }
 
+    /// Streaming and materialized shuffles must agree on everything:
+    /// outputs, byte accounting, and simulated times.
+    #[test]
+    fn streaming_shuffle_matches_materialized() {
+        let inputs: Vec<(u64, String)> =
+            (0..300).map(|i| (i % 23, format!("payload-{i}"))).collect();
+        let run = |shuffle| {
+            Job::new(
+                IdentityMapper,
+                ConcatReducer,
+                HashRouter::new(),
+                // More reducers than one streaming block, to cross blocks.
+                70,
+                ClusterConfig {
+                    shuffle,
+                    ..ClusterConfig::default()
+                },
+            )
+            .run(&inputs)
+            .unwrap()
+        };
+        let materialized = run(ShuffleMode::Materialized);
+        let streaming = run(ShuffleMode::Streaming);
+        assert_eq!(materialized.outputs, streaming.outputs);
+        assert_eq!(materialized.metrics, streaming.metrics);
+    }
+
+    /// Streaming batches run through the same threaded map phase as the
+    /// materialized path: `map_threads` changes nothing but wall-clock.
+    #[test]
+    fn streaming_shuffle_with_parallel_map_matches() {
+        let inputs: Vec<(u64, String)> =
+            (0..500).map(|i| (i % 31, format!("payload-{i}"))).collect();
+        let run = |shuffle, map_threads| {
+            Job::new(
+                IdentityMapper,
+                ConcatReducer,
+                HashRouter::new(),
+                70,
+                ClusterConfig {
+                    shuffle,
+                    map_threads,
+                    ..ClusterConfig::default()
+                },
+            )
+            .run(&inputs)
+            .unwrap()
+        };
+        let reference = run(ShuffleMode::Materialized, 1);
+        for threads in [1, 4] {
+            let streaming = run(ShuffleMode::Streaming, threads);
+            assert_eq!(reference.outputs, streaming.outputs);
+            assert_eq!(reference.metrics, streaming.metrics);
+        }
+    }
+
+    #[test]
+    fn streaming_shuffle_matches_under_broadcast_and_capacity() {
+        let run = |shuffle, policy| {
+            Job::new(
+                IdentityMapper,
+                ConcatReducer,
+                BroadcastRouter,
+                5,
+                ClusterConfig {
+                    shuffle,
+                    ..ClusterConfig::default()
+                },
+            )
+            .capacity(policy)
+            .run(&sample_inputs())
+        };
+        // Record mode: violations lists agree.
+        let m = run(ShuffleMode::Materialized, CapacityPolicy::Record(3)).unwrap();
+        let s = run(ShuffleMode::Streaming, CapacityPolicy::Record(3)).unwrap();
+        assert_eq!(m.outputs, s.outputs);
+        assert_eq!(m.metrics, s.metrics);
+        assert!(!s.metrics.capacity_violations.is_empty());
+        // Enforce mode: both modes fail with the same error.
+        assert_eq!(
+            run(ShuffleMode::Materialized, CapacityPolicy::Enforce(3)).unwrap_err(),
+            run(ShuffleMode::Streaming, CapacityPolicy::Enforce(3)).unwrap_err(),
+        );
+    }
+
+    #[test]
+    fn streaming_shuffle_empty_input_runs_cleanly() {
+        let job = Job::new(
+            IdentityMapper,
+            ConcatReducer,
+            HashRouter::new(),
+            4,
+            ClusterConfig {
+                shuffle: ShuffleMode::Streaming,
+                ..ClusterConfig::default()
+            },
+        );
+        let result = job.run(&[]).unwrap();
+        assert_eq!(result.outputs.len(), 0);
+        assert_eq!(result.metrics.bytes_shuffled, 0);
+    }
+
+    #[test]
+    fn streaming_out_of_range_route_is_an_error() {
+        let job = Job::new(
+            IdentityMapper,
+            ConcatReducer,
+            TableRouter::new([(1u64, vec![7])]),
+            2,
+            ClusterConfig {
+                shuffle: ShuffleMode::Streaming,
+                ..ClusterConfig::default()
+            },
+        );
+        assert_eq!(
+            job.run(&sample_inputs()[..1]).unwrap_err(),
+            SimError::RouteOutOfRange {
+                target: 7,
+                n_reducers: 2
+            }
+        );
+    }
+
     #[test]
     fn simulated_times_are_positive_and_consistent() {
         let job = Job::new(
@@ -637,6 +896,31 @@ mod combiner_tests {
         assert_eq!(without.records_shuffled, 15);
         assert_eq!(with.records_shuffled, 6);
         assert!(with.bytes_shuffled < without.bytes_shuffled);
+    }
+
+    #[test]
+    fn combiner_agrees_across_shuffle_modes() {
+        use crate::cluster::ShuffleMode;
+        let run = |shuffle| {
+            Job::new(
+                CountingMapper {
+                    combine_enabled: true,
+                },
+                SumReducer,
+                HashRouter::new(),
+                4,
+                ClusterConfig {
+                    shuffle,
+                    ..ClusterConfig::default()
+                },
+            )
+            .run(&repetitive_lines())
+            .unwrap()
+        };
+        let m = run(ShuffleMode::Materialized);
+        let s = run(ShuffleMode::Streaming);
+        assert_eq!(m.outputs, s.outputs);
+        assert_eq!(m.metrics, s.metrics);
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //!   scheduling, phase makespans) so the capacity↔parallelism tradeoff can
 //!   be *measured* rather than argued,
 //! * optional real parallelism for the map phase (std scoped threads)
-//!   that never changes results or metrics, only wall-clock time.
+//!   that never changes results or metrics, only wall-clock time,
+//! * a memory-bounded [`ShuffleMode::Streaming`] shuffle that feeds
+//!   reducers from bounded blocks instead of materializing every
+//!   partition, again with bit-identical results.
 //!
 //! Everything is deterministic: same inputs, same config ⇒ bit-identical
 //! outputs and metrics, regardless of thread count.
@@ -68,7 +71,7 @@ mod record;
 mod router;
 mod traits;
 
-pub use cluster::{ClusterConfig, Schedule, TaskCost};
+pub use cluster::{ClusterConfig, Schedule, ShuffleMode, TaskCost};
 pub use error::SimError;
 pub use job::{CapacityPolicy, Job, JobOutput};
 pub use metrics::JobMetrics;

@@ -4,7 +4,7 @@
 
 use mrassign_simmr::{
     BroadcastRouter, CapacityPolicy, ClusterConfig, Emitter, HashRouter, Job, Mapper, Reducer,
-    Schedule, TaskCost,
+    Schedule, ShuffleMode, TaskCost,
 };
 use proptest::prelude::*;
 
@@ -77,6 +77,24 @@ proptest! {
         prop_assert_eq!(&a.outputs, &c.outputs);
         prop_assert_eq!(&a.metrics, &b.metrics);
         prop_assert_eq!(&b.metrics, &c.metrics);
+    }
+
+    #[test]
+    fn shuffle_mode_never_changes_results(inputs in records(), n_red in 1usize..90) {
+        // Reducer counts straddle the streaming block size, so single-block
+        // and multi-block sweeps are both exercised.
+        let run = |shuffle| {
+            Job::new(KvMapper, CountBytes, HashRouter::new(), n_red, ClusterConfig {
+                shuffle,
+                ..ClusterConfig::default()
+            })
+            .run(&inputs)
+            .unwrap()
+        };
+        let materialized = run(ShuffleMode::Materialized);
+        let streaming = run(ShuffleMode::Streaming);
+        prop_assert_eq!(&materialized.outputs, &streaming.outputs);
+        prop_assert_eq!(&materialized.metrics, &streaming.metrics);
     }
 
     #[test]

@@ -3,14 +3,26 @@
 //! The paper leaves `q` as a given ("for example, the main memory of the
 //! processors"), but its three tradeoffs make `q` a *decision*: smaller
 //! capacities buy parallelism with communication, larger ones starve the
-//! worker pool. This module sweeps candidate capacities, builds the schema
+//! worker pool. This crate sweeps candidate capacities, builds the schema
 //! for each, executes it on the simulated cluster, and picks the best
 //! candidate under a user objective — the executable version of the
 //! paper's tradeoff discussion.
 //!
+//! The candidates are independent, so the sweep fans out across OS threads
+//! ([`PlannerConfig::threads`], defaulting to the machine's available
+//! parallelism). Results are re-slotted by candidate index before selection,
+//! so the [`Plan`] — frontier order included — is byte-identical to a
+//! sequential sweep regardless of thread count.
+//!
+//! Algorithms are selected through the
+//! [`AssignmentSolver`](mrassign_core::solver) registry:
+//! [`plan_a2a`] and [`plan_x2y`] use the `Auto` solvers, and the `_with`
+//! variants accept any solver value (including one looked up by name from
+//! the registry).
+//!
 //! ```
-//! use mrassign::planner::{plan_a2a, Objective, PlannerConfig};
-//! use mrassign::simmr::ClusterConfig;
+//! use mrassign_planner::{plan_a2a, Objective, PlannerConfig};
+//! use mrassign_simmr::ClusterConfig;
 //!
 //! let weights: Vec<u64> = (0..150).map(|i| 40 + i % 80).collect();
 //! let plan = plan_a2a(&weights, &PlannerConfig {
@@ -23,7 +35,13 @@
 //! assert!(plan.best.makespan <= plan.frontier.last().unwrap().makespan);
 //! ```
 
-use mrassign_core::{a2a, bounds, x2y, InputSet, SchemaError, Weight, X2yInstance};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use mrassign_core::a2a::A2aAlgorithm;
+use mrassign_core::solver::AssignmentSolver;
+use mrassign_core::x2y::X2yAlgorithm;
+use mrassign_core::{bounds, InputSet, MappingSchema, SchemaError, Weight, X2yInstance, X2ySchema};
 use mrassign_simmr::{
     ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, Job, JobMetrics, Mapper,
     Reducer,
@@ -63,6 +81,10 @@ pub struct PlannerConfig {
     pub q_max: Option<Weight>,
     /// Selection objective.
     pub objective: Objective,
+    /// OS threads the q-frontier sweep fans out over; `0` and `1` both mean
+    /// sequential. The default is the machine's available parallelism.
+    /// Results are independent of this knob — only wall-clock time changes.
+    pub threads: usize,
 }
 
 impl Default for PlannerConfig {
@@ -73,6 +95,9 @@ impl Default for PlannerConfig {
             q_min: None,
             q_max: None,
             objective: Objective::MinimizeMakespan,
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
         }
     }
 }
@@ -96,7 +121,7 @@ pub struct CandidatePlan {
 
 /// The planner's output: the chosen capacity and the whole frontier for
 /// inspection/plotting.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
     /// The selected candidate under the objective.
     pub best: CandidatePlan,
@@ -105,8 +130,20 @@ pub struct Plan {
 }
 
 /// Plans the reducer capacity for an A2A workload (every pair of inputs
-/// must meet).
+/// must meet) with the `Auto` solver.
 pub fn plan_a2a(weights: &[Weight], config: &PlannerConfig) -> Result<Plan, SchemaError> {
+    plan_a2a_with(A2aAlgorithm::Auto, weights, config)
+}
+
+/// Plans an A2A workload with an explicit solver from the registry.
+pub fn plan_a2a_with<S>(
+    solver: S,
+    weights: &[Weight],
+    config: &PlannerConfig,
+) -> Result<Plan, SchemaError>
+where
+    S: AssignmentSolver<Instance = InputSet, Schema = MappingSchema> + Sync,
+{
     let inputs = InputSet::from_weights(weights.to_vec());
     let total: u128 = inputs.total_weight();
     let q_floor = match inputs.two_largest() {
@@ -120,30 +157,46 @@ pub fn plan_a2a(weights: &[Weight], config: &PlannerConfig) -> Result<Plan, Sche
         .max(q_min);
     bounds::a2a_feasible(&inputs, q_min)?;
 
-    let mut frontier = Vec::new();
-    for q in sweep(q_min, q_max, config.candidates) {
-        let schema = a2a::solve(&inputs, q, a2a::A2aAlgorithm::Auto)?;
-        let routes = routes_of(schema.reducers(), weights.len());
-        let metrics = execute(weights, &routes, schema.reducer_count(), q, &config.cluster);
-        frontier.push(CandidatePlan {
-            q,
-            reducers: schema.reducer_count(),
-            communication: schema.communication_cost(&inputs),
-            makespan: metrics.total_seconds(),
-            speedup: metrics.speedup(),
-            max_load: metrics.max_reducer_load(),
-        });
-    }
+    let frontier = evaluate_candidates(
+        &sweep(q_min, q_max, config.candidates),
+        config.threads,
+        |q| {
+            let schema = solver.solve(&inputs, q)?;
+            let routes = routes_of(schema.reducers(), weights.len());
+            let metrics = execute(weights, &routes, schema.reducer_count(), q, &config.cluster);
+            Ok(CandidatePlan {
+                q,
+                reducers: schema.reducer_count(),
+                communication: schema.communication_cost(&inputs),
+                makespan: metrics.total_seconds(),
+                speedup: metrics.speedup(),
+                max_load: metrics.max_reducer_load(),
+            })
+        },
+    )?;
     select(frontier, config.objective)
 }
 
 /// Plans the reducer capacity for an X2Y workload (every cross pair must
-/// meet).
+/// meet) with the `Auto` solver.
 pub fn plan_x2y(
     x_weights: &[Weight],
     y_weights: &[Weight],
     config: &PlannerConfig,
 ) -> Result<Plan, SchemaError> {
+    plan_x2y_with(X2yAlgorithm::Auto, x_weights, y_weights, config)
+}
+
+/// Plans an X2Y workload with an explicit solver from the registry.
+pub fn plan_x2y_with<S>(
+    solver: S,
+    x_weights: &[Weight],
+    y_weights: &[Weight],
+    config: &PlannerConfig,
+) -> Result<Plan, SchemaError>
+where
+    S: AssignmentSolver<Instance = X2yInstance, Schema = X2ySchema> + Sync,
+{
     let inst = X2yInstance::from_weights(x_weights.to_vec(), y_weights.to_vec());
     let total = inst.x.total_weight() + inst.y.total_weight();
     let q_floor = (inst.x.max_weight() + inst.y.max_weight()).max(1);
@@ -158,37 +211,102 @@ pub fn plan_x2y(
     let mut weights: Vec<Weight> = x_weights.to_vec();
     weights.extend_from_slice(y_weights);
 
-    let mut frontier = Vec::new();
-    for q in sweep(q_min, q_max, config.candidates) {
-        let schema = x2y::solve(&inst, q, x2y::X2yAlgorithm::Auto)?;
-        let mut routes: Vec<Vec<usize>> = vec![Vec::new(); weights.len()];
-        for (rid, r) in schema.reducers().iter().enumerate() {
-            for &xi in &r.x {
-                routes[xi as usize].push(rid);
+    let frontier = evaluate_candidates(
+        &sweep(q_min, q_max, config.candidates),
+        config.threads,
+        |q| {
+            let schema = solver.solve(&inst, q)?;
+            let mut routes: Vec<Vec<usize>> = vec![Vec::new(); weights.len()];
+            for (rid, r) in schema.reducers().iter().enumerate() {
+                for &xi in &r.x {
+                    routes[xi as usize].push(rid);
+                }
+                for &yi in &r.y {
+                    routes[x_weights.len() + yi as usize].push(rid);
+                }
             }
-            for &yi in &r.y {
-                routes[x_weights.len() + yi as usize].push(rid);
-            }
-        }
-        let metrics = execute(
-            &weights,
-            &routes,
-            schema.reducer_count(),
-            q,
-            &config.cluster,
-        );
-        frontier.push(CandidatePlan {
-            q,
-            reducers: schema.reducer_count(),
-            communication: schema.communication_cost(&inst),
-            makespan: metrics.total_seconds(),
-            speedup: metrics.speedup(),
-            max_load: metrics.max_reducer_load(),
-        });
-    }
+            let metrics = execute(
+                &weights,
+                &routes,
+                schema.reducer_count(),
+                q,
+                &config.cluster,
+            );
+            Ok(CandidatePlan {
+                q,
+                reducers: schema.reducer_count(),
+                communication: schema.communication_cost(&inst),
+                makespan: metrics.total_seconds(),
+                speedup: metrics.speedup(),
+                max_load: metrics.max_reducer_load(),
+            })
+        },
+    )?;
     select(frontier, config.objective)
 }
 
+/// Evaluates every candidate capacity, fanning out over `threads` scoped
+/// worker threads pulling from a shared work queue (candidate costs are
+/// heavily skewed toward small `q`, so dynamic assignment beats chunking).
+///
+/// Results are re-slotted by candidate index, so the returned frontier is
+/// byte-identical to the sequential path; on failure the error reported is
+/// the one the sequential sweep would have hit first. Once a candidate
+/// fails, workers stop evaluating higher-indexed candidates (lower indices
+/// still run, so the first-error guarantee holds without wasting the rest
+/// of the sweep).
+fn evaluate_candidates<F>(
+    qs: &[Weight],
+    threads: usize,
+    eval: F,
+) -> Result<Vec<CandidatePlan>, SchemaError>
+where
+    F: Fn(Weight) -> Result<CandidatePlan, SchemaError> + Sync,
+{
+    let threads = threads.clamp(1, qs.len().max(1));
+    if threads == 1 {
+        return qs.iter().map(|&q| eval(q)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let first_failure = AtomicUsize::new(usize::MAX);
+    let slots: Vec<Mutex<Option<Result<CandidatePlan, SchemaError>>>> =
+        qs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&q) = qs.get(i) else { break };
+                if i > first_failure.load(Ordering::Relaxed) {
+                    // A lower-indexed candidate already failed; this slot's
+                    // result could never be observed.
+                    continue;
+                }
+                let result = eval(q);
+                if result.is_err() {
+                    first_failure.fetch_min(i, Ordering::Relaxed);
+                }
+                *slots[i].lock().expect("candidate slot poisoned") = Some(result);
+            });
+        }
+    });
+    // Walk slots in index order: every index below the smallest failure was
+    // evaluated, so the first error (or the complete frontier) comes out
+    // exactly as the sequential path would report it.
+    let mut frontier = Vec::with_capacity(slots.len());
+    for slot in slots {
+        match slot.into_inner().expect("candidate slot poisoned") {
+            Some(Ok(candidate)) => frontier.push(candidate),
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("slots are only skipped above a recorded failure"),
+        }
+    }
+    Ok(frontier)
+}
+
+/// Geometric sweep of candidate capacities from `lo` to `hi` (inclusive),
+/// deduplicated so tight ranges never evaluate (and pay for) the same `q`
+/// twice. Sorted ascending.
 fn sweep(lo: Weight, hi: Weight, n: usize) -> Vec<Weight> {
     if lo >= hi || n <= 1 {
         return vec![lo];
@@ -200,6 +318,10 @@ fn sweep(lo: Weight, hi: Weight, n: usize) -> Vec<Weight> {
         .collect();
     qs[0] = lo;
     qs[n - 1] = hi;
+    // Rounding can collapse neighbours (and, for extreme ranges, float error
+    // could even reorder them): sort + dedup guarantees a strictly
+    // ascending, duplicate-free candidate list.
+    qs.sort_unstable();
     qs.dedup();
     qs
 }
@@ -245,7 +367,7 @@ fn select(frontier: Vec<CandidatePlan>, objective: Objective) -> Result<Plan, Sc
     Ok(Plan { best, frontier })
 }
 
-// --- blob execution (facade-level composition of core + simmr) -----------
+// --- blob execution (composition of core + simmr) -------------------------
 
 #[derive(Clone)]
 struct Blob {
@@ -318,9 +440,19 @@ fn execute(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mrassign_binpack::FitPolicy;
+    use mrassign_core::solver;
+    use mrassign_simmr::ShuffleMode;
 
     fn mixed_weights(m: usize) -> Vec<u64> {
         (0..m as u64).map(|i| 50 + (i * 13) % 150).collect()
+    }
+
+    fn with_threads(threads: usize) -> PlannerConfig {
+        PlannerConfig {
+            threads,
+            ..PlannerConfig::default()
+        }
     }
 
     #[test]
@@ -340,6 +472,68 @@ mod tests {
             .map(|c| c.makespan)
             .fold(f64::INFINITY, f64::min);
         assert!((plan.best.makespan - min).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_sequential() {
+        let weights = mixed_weights(120);
+        let sequential = plan_a2a(&weights, &with_threads(1)).unwrap();
+        for threads in [2, 4, 8] {
+            let parallel = plan_a2a(&weights, &with_threads(threads)).unwrap();
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_with_more_threads_than_candidates() {
+        let weights = mixed_weights(40);
+        let cfg = PlannerConfig {
+            candidates: 3,
+            threads: 16,
+            ..PlannerConfig::default()
+        };
+        let plan = plan_a2a(&weights, &cfg).unwrap();
+        let sequential = plan_a2a(
+            &weights,
+            &PlannerConfig {
+                threads: 1,
+                ..cfg.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(plan, sequential);
+    }
+
+    #[test]
+    fn solver_selection_changes_the_frontier_not_the_contract() {
+        // A forced pairing solver (all weights ≤ ⌊q/2⌋ holds across the
+        // default sweep for this workload? not necessarily — so sweep a
+        // range where the regime is valid).
+        let weights: Vec<u64> = (0..60).map(|i| 10 + i % 20).collect();
+        let cfg = PlannerConfig {
+            q_min: Some(100),
+            ..PlannerConfig::default()
+        };
+        let auto = plan_a2a(&weights, &cfg).unwrap();
+        let pairing = plan_a2a_with(
+            solver::a2a_solver("pairing").expect("registered"),
+            &weights,
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(auto.frontier.len(), pairing.frontier.len());
+        assert!(pairing.frontier.iter().all(|c| c.max_load <= c.q));
+    }
+
+    #[test]
+    fn errors_match_sequential_order() {
+        // A forced grouping solver on unequal weights fails at every q; the
+        // parallel path must report the same (first) error.
+        let weights = vec![3, 3, 4, 5, 9, 9, 9, 2];
+        let seq = plan_a2a_with(A2aAlgorithm::GroupingEqual, &weights, &with_threads(1));
+        let par = plan_a2a_with(A2aAlgorithm::GroupingEqual, &weights, &with_threads(4));
+        assert!(seq.is_err());
+        assert_eq!(seq, par);
     }
 
     #[test]
@@ -417,6 +611,42 @@ mod tests {
     }
 
     #[test]
+    fn x2y_parallel_matches_sequential() {
+        let x = mixed_weights(50);
+        let y = mixed_weights(35);
+        let seq = plan_x2y(&x, &y, &with_threads(1)).unwrap();
+        let par = plan_x2y(&x, &y, &with_threads(4)).unwrap();
+        assert_eq!(seq, par);
+        let grid = plan_x2y_with(
+            X2yAlgorithm::GridOptimized(FitPolicy::FirstFitDecreasing),
+            &x,
+            &y,
+            &with_threads(4),
+        )
+        .unwrap();
+        assert!(grid.frontier.iter().all(|c| c.max_load <= c.q));
+    }
+
+    #[test]
+    fn shuffle_mode_does_not_change_the_plan() {
+        let weights = mixed_weights(80);
+        let mk = |shuffle| {
+            plan_a2a(
+                &weights,
+                &PlannerConfig {
+                    cluster: ClusterConfig {
+                        shuffle,
+                        ..ClusterConfig::default()
+                    },
+                    ..PlannerConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        assert_eq!(mk(ShuffleMode::Materialized), mk(ShuffleMode::Streaming));
+    }
+
+    #[test]
     fn infeasible_floor_is_rejected() {
         // Two inputs of 100 with q_max capped below 200.
         let err = plan_a2a(
@@ -440,5 +670,36 @@ mod tests {
         assert_eq!(plan.best.reducers, 0);
         let single = plan_a2a(&[42], &PlannerConfig::default()).unwrap();
         assert!(single.best.reducers <= 1);
+    }
+
+    #[test]
+    fn sweep_never_emits_duplicates() {
+        // Regression: tight ranges with generous candidate budgets collapse
+        // many rounded points onto the same integer; each q must still be
+        // evaluated exactly once.
+        for lo in [1u64, 7, 10, 99, 1_000] {
+            for span in [1u64, 2, 3, 10, 50] {
+                for n in [2usize, 3, 5, 10, 33] {
+                    let qs = sweep(lo, lo + span, n);
+                    assert!(
+                        qs.windows(2).all(|w| w[0] < w[1]),
+                        "duplicate/unsorted candidates for lo={lo} span={span} n={n}: {qs:?}"
+                    );
+                    assert_eq!(*qs.first().unwrap(), lo);
+                    assert_eq!(*qs.last().unwrap(), lo + span);
+                }
+            }
+        }
+        // Extreme magnitudes where f64 rounding is coarsest.
+        let qs = sweep(u64::MAX / 2, u64::MAX - 1, 16);
+        assert!(qs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sweep_degenerate_ranges() {
+        assert_eq!(sweep(5, 5, 10), vec![5]);
+        assert_eq!(sweep(9, 3, 10), vec![9]);
+        assert_eq!(sweep(5, 50, 0), vec![5]);
+        assert_eq!(sweep(5, 50, 1), vec![5]);
     }
 }

@@ -1,0 +1,97 @@
+//! Property-based tests for the planner: for random weight sets, the
+//! parallel q-frontier sweep is indistinguishable from the sequential one,
+//! and solver-registry dispatch agrees with the direct free-function paths.
+
+use mrassign_core::solver::{AssignmentSolver, A2A_SOLVERS, X2Y_SOLVERS};
+use mrassign_core::{a2a, x2y, InputSet, X2yInstance};
+use mrassign_planner::{plan_a2a, plan_x2y, Objective, PlannerConfig};
+use proptest::prelude::*;
+
+fn weight_sets() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(1u64..=90, 2..40)
+}
+
+fn config(threads: usize, candidates: usize) -> PlannerConfig {
+    PlannerConfig {
+        threads,
+        candidates,
+        ..PlannerConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole determinism claim: threads=4 and threads=1 return
+    /// identical `Plan`s (best and full frontier) for arbitrary workloads.
+    #[test]
+    fn a2a_parallel_planner_matches_sequential(
+        weights in weight_sets(),
+        candidates in 2usize..12,
+    ) {
+        let sequential = plan_a2a(&weights, &config(1, candidates)).unwrap();
+        let parallel = plan_a2a(&weights, &config(4, candidates)).unwrap();
+        prop_assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn x2y_parallel_planner_matches_sequential(
+        x in weight_sets(),
+        y in weight_sets(),
+        candidates in 2usize..10,
+    ) {
+        let sequential = plan_x2y(&x, &y, &config(1, candidates)).unwrap();
+        let parallel = plan_x2y(&x, &y, &config(4, candidates)).unwrap();
+        prop_assert_eq!(sequential, parallel);
+    }
+
+    /// Objectives select from identical frontiers, so the chosen capacity
+    /// cannot depend on the thread count either.
+    #[test]
+    fn objectives_agree_across_thread_counts(weights in weight_sets()) {
+        for objective in [
+            Objective::MinimizeMakespan,
+            Objective::MinimizeCommunicationWithin { slowdown: 1.3 },
+            Objective::WeightedCost { cost_per_byte: 1e-6 },
+        ] {
+            let mk = |threads| plan_a2a(&weights, &PlannerConfig {
+                objective,
+                ..config(threads, 8)
+            }).unwrap();
+            prop_assert_eq!(mk(1), mk(4));
+        }
+    }
+
+    /// Registry dispatch is the free-function call, for every registered
+    /// variant — success or failure, schema or error, they must agree.
+    #[test]
+    fn a2a_registry_agrees_with_free_functions(
+        weights in weight_sets(),
+        q in 4u64..=250,
+    ) {
+        let inputs = InputSet::from_weights(weights);
+        for &solver in A2A_SOLVERS {
+            prop_assert_eq!(
+                solver.solve(&inputs, q),
+                a2a::solve(&inputs, q, solver),
+                "solver {}", solver.name()
+            );
+        }
+    }
+
+    #[test]
+    fn x2y_registry_agrees_with_free_functions(
+        x in weight_sets(),
+        y in weight_sets(),
+        q in 4u64..=250,
+    ) {
+        let inst = X2yInstance::from_weights(x, y);
+        for &solver in X2Y_SOLVERS {
+            prop_assert_eq!(
+                solver.solve(&inst, q),
+                x2y::solve(&inst, q, solver),
+                "solver {}", solver.name()
+            );
+        }
+    }
+}

@@ -27,12 +27,18 @@ fn main() {
     let base = PlannerConfig {
         cluster,
         candidates: 12,
+        // The sweep fans out across OS threads; the plan is identical for
+        // any thread count (the default is the machine's parallelism).
+        threads: 4,
         ..PlannerConfig::default()
     };
 
     // Show the whole frontier once.
     let plan = plan_a2a(&weights, &base).unwrap();
-    println!("frontier (q swept from feasibility to one-reducer):");
+    println!(
+        "frontier (q swept from feasibility to one-reducer, {} sweep threads):",
+        base.threads
+    );
     println!(
         "{:>10} {:>9} {:>14} {:>11} {:>9}",
         "q", "reducers", "comm_bytes", "makespan_s", "speedup"

@@ -2,11 +2,18 @@
 //!
 //! ```text
 //! mrassign gen  --dist uniform:10:100 --m 1000 --seed 7 [--out weights.txt]
-//! mrassign a2a  --weights weights.txt --q 200 [--algo auto|grouping|pairing|bigsmall] [--routes]
-//! mrassign x2y  --x xs.txt --y ys.txt --q 200 [--routes]
+//! mrassign a2a  --weights weights.txt --q 200 [--algo <a2a solver>] [--routes]
+//! mrassign x2y  --x xs.txt --y ys.txt --q 200 [--algo <x2y solver>] [--routes]
 //! mrassign plan --weights weights.txt [--workers 16] [--candidates 10]
-//!               [--objective makespan|comm:<slowdown>]
+//!               [--objective makespan|comm:<slowdown>] [--algo <a2a solver>]
+//!               [--threads <n>] [--shuffle materialized|streaming]
 //! ```
+//!
+//! Solver names come from the registry in `mrassign_core::solver`
+//! (`mrassign a2a --algo nonsense` lists them). `--threads` fans the plan
+//! command's q-frontier sweep across OS threads and `--shuffle` picks the
+//! engine's shuffle mode — neither changes any output, only wall-clock
+//! time and peak memory.
 //!
 //! Weight files hold one integer per line; `#` starts a comment. All
 //! commands print a human-readable summary; `--routes` additionally dumps
@@ -16,10 +23,12 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use mrassign::binpack::FitPolicy;
-use mrassign::core::{a2a, bounds, stats::SchemaStats, x2y, InputSet, X2yInstance};
-use mrassign::planner::{plan_a2a, Objective, PlannerConfig};
-use mrassign::simmr::ClusterConfig;
+use mrassign::core::solver::{a2a_solver, a2a_solver_names, x2y_solver, x2y_solver_names};
+use mrassign::core::{
+    a2a, bounds, stats::SchemaStats, x2y, AssignmentSolver, InputSet, X2yInstance,
+};
+use mrassign::planner::{plan_a2a_with, Objective, PlannerConfig};
+use mrassign::simmr::{ClusterConfig, ShuffleMode};
 use mrassign::workloads::SizeDistribution;
 
 fn main() -> ExitCode {
@@ -40,11 +49,14 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   mrassign gen  --dist <spec> --m <n> [--seed <s>] [--out <file>]
-  mrassign a2a  --weights <file> --q <n> [--algo auto|grouping|pairing|bigsmall] [--routes]
-  mrassign x2y  --x <file> --y <file> --q <n> [--routes]
+  mrassign a2a  --weights <file> --q <n> [--algo <a2a solver>] [--routes]
+  mrassign x2y  --x <file> --y <file> --q <n> [--algo <x2y solver>] [--routes]
   mrassign plan --weights <file> [--workers <n>] [--candidates <n>] [--objective makespan|comm:<slowdown>]
+                [--algo <a2a solver>] [--threads <n>] [--shuffle materialized|streaming]
 
-distribution specs: const:<w> | uniform:<lo>:<hi> | zipf:<ranks>:<exp>:<max> | bimodal:<small>:<big>:<frac>";
+distribution specs: const:<w> | uniform:<lo>:<hi> | zipf:<ranks>:<exp>:<max> | bimodal:<small>:<big>:<frac>
+a2a solvers: auto | one-reducer | grouping | pairing | bigsmall | bigsmall-shared
+x2y solvers: auto | one-reducer | grid | grid-optimized | bighandling";
 
 /// Executes a parsed command line; returns the printable result.
 fn run(args: &[String]) -> Result<String, String> {
@@ -137,19 +149,26 @@ fn load_weights(path: &str) -> Result<Vec<u64>, String> {
     parse_weights(&content)
 }
 
-fn parse_algo(name: &str) -> Result<a2a::A2aAlgorithm, String> {
-    match name {
-        "auto" => Ok(a2a::A2aAlgorithm::Auto),
-        "grouping" => Ok(a2a::A2aAlgorithm::GroupingEqual),
-        "pairing" => Ok(a2a::A2aAlgorithm::BinPackPairing(
-            FitPolicy::FirstFitDecreasing,
-        )),
-        "bigsmall" => Ok(a2a::A2aAlgorithm::BigSmall {
-            policy: FitPolicy::FirstFitDecreasing,
-            shared_bins: false,
-        }),
-        other => Err(format!("unknown algorithm `{other}`")),
-    }
+fn parse_a2a_algo(name: &str) -> Result<a2a::A2aAlgorithm, String> {
+    a2a_solver(name).ok_or_else(|| {
+        format!(
+            "unknown a2a solver `{name}` (registered: {})",
+            a2a_solver_names().join(", ")
+        )
+    })
+}
+
+fn parse_x2y_algo(name: &str) -> Result<x2y::X2yAlgorithm, String> {
+    x2y_solver(name).ok_or_else(|| {
+        format!(
+            "unknown x2y solver `{name}` (registered: {})",
+            x2y_solver_names().join(", ")
+        )
+    })
+}
+
+fn parse_shuffle(name: &str) -> Result<ShuffleMode, String> {
+    name.parse()
 }
 
 fn parse_objective(spec: &str) -> Result<Objective, String> {
@@ -186,9 +205,9 @@ fn cmd_gen(flags: &HashMap<String, String>) -> Result<String, String> {
 fn cmd_a2a(flags: &HashMap<String, String>) -> Result<String, String> {
     let weights = load_weights(required(flags, "weights")?)?;
     let q: u64 = parse_num(required(flags, "q")?, "a capacity")?;
-    let algo = parse_algo(flags.get("algo").map(String::as_str).unwrap_or("auto"))?;
+    let algo = parse_a2a_algo(flags.get("algo").map(String::as_str).unwrap_or("auto"))?;
     let inputs = InputSet::from_weights(weights);
-    let schema = a2a::solve(&inputs, q, algo).map_err(|e| e.to_string())?;
+    let schema = algo.solve(&inputs, q).map_err(|e| e.to_string())?;
     schema.validate_a2a(&inputs, q).map_err(|e| e.to_string())?;
     let stats = SchemaStats::for_a2a(&schema, &inputs, q);
 
@@ -217,8 +236,9 @@ fn cmd_x2y(flags: &HashMap<String, String>) -> Result<String, String> {
     let x = load_weights(required(flags, "x")?)?;
     let y = load_weights(required(flags, "y")?)?;
     let q: u64 = parse_num(required(flags, "q")?, "a capacity")?;
+    let algo = parse_x2y_algo(flags.get("algo").map(String::as_str).unwrap_or("auto"))?;
     let inst = X2yInstance::from_weights(x, y);
-    let schema = x2y::solve(&inst, q, x2y::X2yAlgorithm::Auto).map_err(|e| e.to_string())?;
+    let schema = algo.solve(&inst, q).map_err(|e| e.to_string())?;
     schema.validate(&inst, q).map_err(|e| e.to_string())?;
     let stats = SchemaStats::for_x2y(&schema, &inst, q);
 
@@ -266,16 +286,30 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<String, String> {
             .map(String::as_str)
             .unwrap_or("makespan"),
     )?;
+    let algo = parse_a2a_algo(flags.get("algo").map(String::as_str).unwrap_or("auto"))?;
+    let shuffle = parse_shuffle(
+        flags
+            .get("shuffle")
+            .map(String::as_str)
+            .unwrap_or("materialized"),
+    )?;
+    let threads: usize = match flags.get("threads") {
+        Some(s) => parse_num(s, "a thread count")?,
+        None => PlannerConfig::default().threads,
+    };
 
-    let plan = plan_a2a(
+    let plan = plan_a2a_with(
+        algo,
         &weights,
         &PlannerConfig {
             cluster: ClusterConfig {
                 workers,
+                shuffle,
                 ..ClusterConfig::default()
             },
             candidates,
             objective,
+            threads,
             ..PlannerConfig::default()
         },
     )
@@ -449,6 +483,54 @@ mod tests {
         assert!(out.contains("recommended capacity"));
         assert!(out.contains("<== chosen"));
         std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn plan_honors_threads_and_shuffle_flags() {
+        let dir = std::env::temp_dir().join("mrassign-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan-knobs-weights.txt");
+        let body: String = (0..50).map(|i| format!("{}\n", 30 + i % 20)).collect();
+        std::fs::write(&path, body).unwrap();
+        let base = |extra: &[&str]| {
+            let mut args: Vec<String> = [
+                "plan",
+                "--weights",
+                path.to_str().unwrap(),
+                "--candidates",
+                "5",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            args.extend(extra.iter().map(|s| s.to_string()));
+            run(&args).unwrap()
+        };
+        // The plan is identical whatever knobs are set: determinism is the
+        // whole point of both flags.
+        let reference = base(&[]);
+        assert_eq!(reference, base(&["--threads", "4"]));
+        assert_eq!(reference, base(&["--shuffle", "streaming"]));
+        assert_eq!(
+            reference,
+            base(&["--threads", "2", "--shuffle", "streaming"])
+        );
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn solver_names_resolve_through_the_registry() {
+        for name in ["auto", "grouping", "pairing", "bigsmall", "bigsmall-shared"] {
+            assert!(parse_a2a_algo(name).is_ok(), "{name}");
+        }
+        for name in ["auto", "grid", "grid-optimized", "bighandling"] {
+            assert!(parse_x2y_algo(name).is_ok(), "{name}");
+        }
+        assert!(parse_a2a_algo("grid").is_err());
+        assert!(parse_x2y_algo("grouping").is_err());
+        assert!(parse_shuffle("materialized").is_ok());
+        assert!(parse_shuffle("streaming").is_ok());
+        assert!(parse_shuffle("mystery").is_err());
     }
 
     #[test]

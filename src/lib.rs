@@ -22,7 +22,9 @@
 //! * [`simmr`] *(crate `mrassign-simmr`)* — the simulated MapReduce engine;
 //! * [`workloads`] *(crate `mrassign-workloads`)* — seeded generators;
 //! * [`joins`] *(crate `mrassign-joins`)* — end-to-end similarity join and
-//!   skew join with baselines.
+//!   skew join with baselines;
+//! * [`planner`] *(crate `mrassign-planner`)* — the capacity planner: a
+//!   multi-threaded q-frontier sweep choosing `q` under a user objective.
 //!
 //! ## Quick start
 //!
@@ -50,10 +52,9 @@
 //! skew join, tradeoff exploration) and `crates/bench` for the experiment
 //! harness that regenerates every table and figure in `docs/EXPERIMENTS.md`.
 
-pub mod planner;
-
 pub use mrassign_binpack as binpack;
 pub use mrassign_core as core;
 pub use mrassign_joins as joins;
+pub use mrassign_planner as planner;
 pub use mrassign_simmr as simmr;
 pub use mrassign_workloads as workloads;

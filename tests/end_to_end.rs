@@ -7,12 +7,29 @@ use mrassign::joins::{
     run_similarity_join, run_skew_join, SimJoinConfig, SimJoinStrategy, SkewJoinConfig,
     SkewJoinStrategy,
 };
+use mrassign::planner::{plan_a2a, plan_x2y, PlannerConfig};
 use mrassign::simmr::{
     ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, Job, Mapper, Reducer,
+    ShuffleMode,
 };
 use mrassign::workloads::{
     generate_documents, generate_relation_pair, DocumentSpec, RelationSpec, SizeDistribution,
 };
+
+/// The cluster configuration used by every end-to-end test. CI runs this
+/// suite twice — once per shuffle mode — by setting `MRASSIGN_SHUFFLE`;
+/// results must be identical either way, which
+/// `shuffle_modes_produce_identical_job_output` asserts directly.
+fn cluster() -> ClusterConfig {
+    let shuffle = match std::env::var("MRASSIGN_SHUFFLE").as_deref() {
+        Ok("streaming") => ShuffleMode::Streaming,
+        _ => ShuffleMode::Materialized,
+    };
+    ClusterConfig {
+        shuffle,
+        ..ClusterConfig::default()
+    }
+}
 
 /// A schema executed on the engine produces reducer loads identical to the
 /// schema's own load computation — the two accounting systems agree.
@@ -76,14 +93,8 @@ fn schema_loads_match_engine_loads() {
         .collect();
     let _ = blobs[0].id;
 
-    let job = Job::new(
-        M,
-        R,
-        DirectRouter,
-        schema.reducer_count(),
-        ClusterConfig::default(),
-    )
-    .capacity(CapacityPolicy::Enforce(q));
+    let job = Job::new(M, R, DirectRouter, schema.reducer_count(), cluster())
+        .capacity(CapacityPolicy::Enforce(q));
     let run = job.run(&blobs).unwrap();
 
     let schema_loads = schema.loads(&inputs);
@@ -121,7 +132,7 @@ fn similarity_join_pipeline_across_capacities() {
                 capacity: q,
                 threshold: 0.25,
                 strategy: SimJoinStrategy::Schema(a2a::A2aAlgorithm::Auto),
-                cluster: ClusterConfig::default(),
+                cluster: cluster(),
             },
         )
         .unwrap();
@@ -147,7 +158,7 @@ fn skew_join_strategies_agree() {
         },
         31,
     );
-    let cluster = ClusterConfig::default();
+    let cluster = cluster();
     let q = 6_000;
 
     let skew_aware = run_skew_join(
@@ -230,6 +241,97 @@ fn exact_heuristic_bound_sandwich() {
             ex.schema.reducer_count(),
             heuristic.reducer_count()
         );
+    }
+}
+
+/// Acceptance: `ShuffleMode::Materialized` and `ShuffleMode::Streaming`
+/// produce identical `JobOutput`s (outputs *and* metrics) on the real
+/// end-to-end pipelines.
+#[test]
+fn shuffle_modes_produce_identical_job_output() {
+    let mode_cluster = |shuffle| ClusterConfig {
+        shuffle,
+        ..ClusterConfig::default()
+    };
+
+    // Similarity join over generated documents.
+    let docs = generate_documents(
+        &DocumentSpec {
+            n_docs: 40,
+            vocab: 200,
+            token_skew: 1.0,
+            length: SizeDistribution::Uniform { lo: 8, hi: 40 },
+        },
+        7,
+    );
+    let sim = |shuffle| {
+        run_similarity_join(
+            &docs,
+            &SimJoinConfig {
+                capacity: 800,
+                threshold: 0.25,
+                strategy: SimJoinStrategy::Schema(a2a::A2aAlgorithm::Auto),
+                cluster: mode_cluster(shuffle),
+            },
+        )
+        .unwrap()
+    };
+    let sim_mat = sim(ShuffleMode::Materialized);
+    let sim_str = sim(ShuffleMode::Streaming);
+    assert_eq!(sim_mat.pairs, sim_str.pairs);
+    assert_eq!(sim_mat.metrics, sim_str.metrics);
+
+    // Skew join over a generated relation pair.
+    let pair = generate_relation_pair(
+        &RelationSpec {
+            x_tuples: 800,
+            y_tuples: 800,
+            n_keys: 50,
+            skew: 1.1,
+            payload: SizeDistribution::Uniform { lo: 8, hi: 64 },
+        },
+        13,
+    );
+    let skew = |shuffle| {
+        run_skew_join(
+            &pair,
+            &SkewJoinConfig {
+                capacity: 6_000,
+                strategy: SkewJoinStrategy::SkewAware {
+                    policy: FitPolicy::FirstFitDecreasing,
+                },
+                cluster: mode_cluster(shuffle),
+            },
+        )
+        .unwrap()
+    };
+    let skew_mat = skew(ShuffleMode::Materialized);
+    let skew_str = skew(ShuffleMode::Streaming);
+    assert_eq!(skew_mat.output, skew_str.output);
+    assert_eq!(skew_mat.metrics, skew_str.metrics);
+}
+
+/// Acceptance: `plan_a2a`/`plan_x2y` output is identical across
+/// `threads ∈ {1, 2, 8}`.
+#[test]
+fn planner_output_identical_across_thread_counts() {
+    let weights = SizeDistribution::Uniform { lo: 20, hi: 140 }.sample_many(150, 41);
+    let config = |threads| PlannerConfig {
+        threads,
+        candidates: 12,
+        cluster: cluster(),
+        ..PlannerConfig::default()
+    };
+    let a2a_ref = plan_a2a(&weights, &config(1)).unwrap();
+    for threads in [2, 8] {
+        assert_eq!(a2a_ref, plan_a2a(&weights, &config(threads)).unwrap());
+    }
+
+    let x = SizeDistribution::Uniform { lo: 10, hi: 60 }.sample_many(80, 42);
+    let y = SizeDistribution::Uniform { lo: 10, hi: 60 }.sample_many(50, 43);
+    let x2y_ref = plan_x2y(&x, &y, &config(1)).unwrap();
+    for threads in [2, 8] {
+        assert_eq!(x2y_ref, plan_x2y(&x, &y, &config(threads)).unwrap());
     }
 }
 

@@ -5,44 +5,70 @@
 //! subset of criterion's API the workspace benches use — `Criterion`,
 //! `BenchmarkGroup`, `BenchmarkId`, `Bencher`, `black_box`, and the
 //! `criterion_group!` / `criterion_main!` macros — with a deliberately tiny
-//! measurement loop: a short warm-up, then a fixed time budget, reporting
-//! median-free mean ns/iter on stdout. It produces honest relative numbers
-//! for quick comparisons but none of criterion's statistics, so treat its
-//! output as a smoke-level signal until the real crate is restored.
+//! measurement loop: a short warm-up, then per-iteration samples within a
+//! fixed time budget, reporting the **median** ns/iter on stdout. It
+//! produces honest relative numbers for quick comparisons but none of
+//! criterion's statistics, so treat its output as a smoke-level signal
+//! until the real crate is restored.
+//!
+//! Under `cargo bench`, each finished [`BenchmarkGroup`] additionally
+//! writes `BENCH_<group>.json` at the workspace root — the machine-readable
+//! perf baselines the ROADMAP's regression tracking consumes (e.g.
+//! `BENCH_planner.json` for the planner's frontier sweep). The file records
+//! the median ns, sample count, and the host's available parallelism so a
+//! baseline captured on a laptop is not misread against a CI box.
 //!
 //! Under `cargo test` (which runs `harness = false` bench targets to make
-//! sure they still work) each closure is executed exactly once, keeping test
-//! runs fast.
+//! sure they still work) each closure is executed exactly once and no JSON
+//! is written, keeping test runs fast.
 
 use std::fmt::Display;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// Minimum timed iterations per benchmark in bench mode; keeps the median
+/// meaningful for closures that outlive the time budget.
+const MIN_SAMPLES: usize = 3;
+
 /// Per-iteration timer handed to bench closures.
 pub struct Bencher {
     iters_hint: u64,
-    /// Mean nanoseconds per iteration of the last `iter` call.
+    /// Median nanoseconds per iteration of the last `iter` call.
     last_ns: f64,
+    /// Timed iterations behind `last_ns` (0 in smoke mode).
+    samples: usize,
 }
 
 impl Bencher {
-    /// Calls `f` repeatedly and records the mean wall-clock time per call.
+    /// Calls `f` repeatedly, recording the median wall-clock time per call.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Warm-up: one untimed call (also the only call in smoke mode).
         black_box(f());
         if self.iters_hint <= 1 {
             self.last_ns = 0.0;
+            self.samples = 0;
             return;
         }
         let budget = Duration::from_millis(200);
         let start = Instant::now();
-        let mut iters: u64 = 0;
-        while start.elapsed() < budget && iters < self.iters_hint {
+        let mut samples: Vec<f64> = Vec::new();
+        while (samples.len() < MIN_SAMPLES || start.elapsed() < budget)
+            && (samples.len() as u64) < self.iters_hint
+        {
+            let t0 = Instant::now();
             black_box(f());
-            iters += 1;
+            samples.push(t0.elapsed().as_nanos() as f64);
         }
-        self.last_ns = start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let mid = samples.len() / 2;
+        self.last_ns = if samples.len() % 2 == 1 {
+            samples[mid]
+        } else {
+            (samples[mid - 1] + samples[mid]) / 2.0
+        };
+        self.samples = samples.len();
     }
 }
 
@@ -74,10 +100,20 @@ impl Display for BenchmarkId {
     }
 }
 
+/// One recorded measurement, destined for the group's JSON baseline.
+#[derive(Clone, Debug)]
+struct BenchRecord {
+    name: String,
+    median_ns: f64,
+    samples: usize,
+}
+
 /// Top-level harness state. Construct via `Default` (the macros do).
 pub struct Criterion {
     /// 1 in smoke mode (`cargo test`), larger under `cargo bench`.
     iters_hint: u64,
+    /// Measurements accumulated since construction (bench mode only).
+    records: Vec<BenchRecord>,
 }
 
 impl Default for Criterion {
@@ -87,27 +123,43 @@ impl Default for Criterion {
         let benching = std::env::args().any(|a| a == "--bench");
         Criterion {
             iters_hint: if benching { u64::MAX } else { 1 },
+            records: Vec::new(),
         }
     }
 }
 
 impl Criterion {
-    /// Opens a named group of related benchmarks.
+    /// Opens a named group of related benchmarks. Finishing the group (in
+    /// bench mode) writes its `BENCH_<group>.json` baseline.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let start = self.records.len();
         BenchmarkGroup {
             criterion: self,
             name: name.into(),
+            start,
         }
     }
 
-    /// Runs a single ungrouped benchmark.
+    /// Runs a single ungrouped benchmark (reported on stdout only).
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
         let mut b = Bencher {
             iters_hint: self.iters_hint,
             last_ns: 0.0,
+            samples: 0,
         };
         f(&mut b);
-        report(&id.to_string(), b.last_ns, self.iters_hint);
+        self.record(&id.to_string(), &b);
+    }
+
+    fn record(&mut self, label: &str, b: &Bencher) {
+        report(label, b.last_ns, self.iters_hint);
+        if self.iters_hint > 1 {
+            self.records.push(BenchRecord {
+                name: label.to_string(),
+                median_ns: b.last_ns,
+                samples: b.samples,
+            });
+        }
     }
 }
 
@@ -115,6 +167,8 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
+    /// Index into `criterion.records` where this group's measurements begin.
+    start: usize,
 }
 
 impl BenchmarkGroup<'_> {
@@ -131,13 +185,10 @@ impl BenchmarkGroup<'_> {
         let mut b = Bencher {
             iters_hint: self.criterion.iters_hint,
             last_ns: 0.0,
+            samples: 0,
         };
         f(&mut b, input);
-        report(
-            &format!("{}/{}", self.name, id),
-            b.last_ns,
-            self.criterion.iters_hint,
-        );
+        self.criterion.record(&format!("{}/{}", self.name, id), &b);
     }
 
     /// Benchmarks a closure with no external input.
@@ -145,24 +196,85 @@ impl BenchmarkGroup<'_> {
         let mut b = Bencher {
             iters_hint: self.criterion.iters_hint,
             last_ns: 0.0,
+            samples: 0,
         };
         f(&mut b);
-        report(
-            &format!("{}/{}", self.name, id),
-            b.last_ns,
-            self.criterion.iters_hint,
-        );
+        self.criterion.record(&format!("{}/{}", self.name, id), &b);
     }
 
-    /// Ends the group (no-op in the stub; kept for API parity).
-    pub fn finish(self) {}
+    /// Ends the group; in bench mode, writes the group's JSON baseline to
+    /// `BENCH_<group>.json` at the workspace root.
+    pub fn finish(self) {
+        if self.criterion.iters_hint <= 1 {
+            return;
+        }
+        let records = &self.criterion.records[self.start..];
+        let path = baseline_path(&self.name);
+        match std::fs::write(&path, render_json(&self.name, records)) {
+            Ok(()) => println!("[baseline] {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// `BENCH_<group>.json` at the workspace root, with path separators and
+/// other non-identifier characters in the group name flattened to `_`.
+fn baseline_path(group: &str) -> PathBuf {
+    let sanitized: String = group
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    workspace_root().join(format!("BENCH_{sanitized}.json"))
+}
+
+/// The workspace root (two levels above this vendored crate's manifest).
+fn workspace_root() -> PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("vendor/criterion lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+/// Hand-rolled JSON: the vendored workspace has no serde, and the schema is
+/// three scalar fields per benchmark.
+fn render_json(group: &str, records: &[BenchRecord]) -> String {
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"group\": \"{}\",\n", escape(group)));
+    out.push_str("  \"unit\": \"ns\",\n");
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"samples\": {}}}{comma}\n",
+            escape(&r.name),
+            r.median_ns,
+            r.samples
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect()
 }
 
 fn report(label: &str, ns_per_iter: f64, iters_hint: u64) {
     if iters_hint <= 1 {
         println!("bench {label:<50} ok (smoke)");
     } else {
-        println!("bench {label:<50} {ns_per_iter:>14.0} ns/iter");
+        println!("bench {label:<50} {ns_per_iter:>14.0} ns/iter (median)");
     }
 }
 
@@ -194,7 +306,10 @@ mod tests {
 
     #[test]
     fn group_and_function_apis_run_closures() {
-        let mut c = Criterion { iters_hint: 1 };
+        let mut c = Criterion {
+            iters_hint: 1,
+            records: Vec::new(),
+        };
         let mut ran = 0;
         c.bench_function("solo", |b| b.iter(|| black_box(1 + 1)));
         let mut group = c.benchmark_group("g");
@@ -211,5 +326,57 @@ mod tests {
     fn benchmark_id_renders_like_criterion() {
         assert_eq!(BenchmarkId::new("grid", 100).to_string(), "grid/100");
         assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn bench_mode_records_median_samples() {
+        let mut c = Criterion {
+            iters_hint: u64::MAX,
+            records: Vec::new(),
+        };
+        c.bench_function("timed", |b| b.iter(|| black_box(17u64.pow(3))));
+        assert_eq!(c.records.len(), 1);
+        assert!(c.records[0].samples >= MIN_SAMPLES);
+        assert!(c.records[0].median_ns >= 0.0);
+    }
+
+    #[test]
+    fn json_renders_valid_shape() {
+        let records = vec![
+            BenchRecord {
+                name: "frontier/m=100/threads=1".into(),
+                median_ns: 1234.5,
+                samples: 10,
+            },
+            BenchRecord {
+                name: "frontier/m=100/threads=4".into(),
+                median_ns: 640.0,
+                samples: 12,
+            },
+        ];
+        let json = render_json("planner", &records);
+        assert!(json.contains("\"group\": \"planner\""));
+        assert!(json.contains("\"median_ns\": 1234.5"));
+        assert!(json.contains("\"samples\": 12"));
+        assert!(json.contains("\"host_cpus\": "));
+        // One comma between the two entries, none after the last.
+        assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn baseline_path_is_sanitized_at_the_root() {
+        let path = baseline_path("a2a/solve");
+        assert!(path.ends_with("BENCH_a2a_solve.json"));
+        assert!(path.parent().unwrap().join("Cargo.toml").exists());
+    }
+
+    #[test]
+    fn smoke_mode_records_nothing() {
+        let mut c = Criterion {
+            iters_hint: 1,
+            records: Vec::new(),
+        };
+        c.bench_function("solo", |b| b.iter(|| black_box(1 + 1)));
+        assert!(c.records.is_empty());
     }
 }
