@@ -1,5 +1,6 @@
 //! Criterion microbenches for the exact solvers: the exponential wall of
-//! Table 2, measured precisely, plus the pseudo-polynomial 2-reducer DP.
+//! Table 2, measured precisely (the sweep now reaches m = 12 — the seed
+//! search fell over past m ≈ 8), plus the pseudo-polynomial 2-reducer DP.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mrassign_core::{exact, InputSet, X2yInstance};
@@ -8,7 +9,7 @@ use std::hint::black_box;
 fn bench_a2a_exact(c: &mut Criterion) {
     let mut group = c.benchmark_group("exact/a2a");
     group.sample_size(10);
-    for &m in &[5usize, 6, 7, 8] {
+    for &m in &[5usize, 7, 9, 10, 11, 12] {
         let weights: Vec<u64> = (0..m as u64).map(|i| 5 + (i * 3) % 6).collect();
         let inputs = InputSet::from_weights(weights);
         group.bench_with_input(BenchmarkId::from_parameter(m), &inputs, |b, inputs| {

@@ -1,14 +1,15 @@
-//! Regenerates `results/fig1.csv`. Pass `--smoke` for a fast tiny run.
+//! Regenerates `results/fig1.csv`. Pass `--smoke` for a fast tiny run;
+//! unknown flags are rejected rather than silently ignored.
 
-use mrassign_bench::common::finish;
-use mrassign_bench::{fig1_reducers_vs_q, Scale};
+use mrassign_bench::common::{finish, TableArgs};
+use mrassign_bench::fig1_reducers_vs_q;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--smoke") {
-        Scale::Smoke
-    } else {
-        Scale::Full
-    };
-    let table = fig1_reducers_vs_q::run(scale);
-    finish(&table, "fig1");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = TableArgs::from_args(&args, false).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let table_0 = fig1_reducers_vs_q::run(parsed.scale);
+    finish(&table_0, "fig1");
 }

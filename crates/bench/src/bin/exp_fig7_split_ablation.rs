@@ -1,17 +1,17 @@
-//! Regenerates `results/fig7a.csv` and `results/fig7b.csv`. Pass
-//! `--smoke` for a fast tiny run.
+//! Regenerates `results/fig7a.csv` and `results/fig7b.csv`. Pass `--smoke` for a fast tiny run;
+//! unknown flags are rejected rather than silently ignored.
 
-use mrassign_bench::common::finish;
-use mrassign_bench::{fig7_split_ablation, Scale};
+use mrassign_bench::common::{finish, TableArgs};
+use mrassign_bench::fig7_split_ablation;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--smoke") {
-        Scale::Smoke
-    } else {
-        Scale::Full
-    };
-    let table_a = fig7_split_ablation::run(scale);
-    finish(&table_a, "fig7a");
-    let table_b = fig7_split_ablation::run_b(scale);
-    finish(&table_b, "fig7b");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = TableArgs::from_args(&args, false).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let table_0 = fig7_split_ablation::run(parsed.scale);
+    finish(&table_0, "fig7a");
+    let table_1 = fig7_split_ablation::run_b(parsed.scale);
+    finish(&table_1, "fig7b");
 }

@@ -1,14 +1,15 @@
-//! Regenerates `results/table1.csv`. Pass `--smoke` for a fast tiny run.
+//! Regenerates `results/table1.csv`. Pass `--smoke` for a fast tiny run;
+//! unknown flags are rejected rather than silently ignored.
 
-use mrassign_bench::common::finish;
-use mrassign_bench::{table1_summary, Scale};
+use mrassign_bench::common::{finish, TableArgs};
+use mrassign_bench::table1_summary;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--smoke") {
-        Scale::Smoke
-    } else {
-        Scale::Full
-    };
-    let table = table1_summary::run(scale);
-    finish(&table, "table1");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = TableArgs::from_args(&args, false).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let table_0 = table1_summary::run(parsed.scale);
+    finish(&table_0, "table1");
 }

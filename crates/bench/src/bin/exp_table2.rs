@@ -1,17 +1,18 @@
 //! Regenerates `results/table2.csv` and `results/table2b.csv`. Pass
-//! `--smoke` for a fast tiny run.
+//! `--smoke` for a fast tiny run and `--budget <nodes>` to override the
+//! exact search's node budget; anything else is rejected.
 
-use mrassign_bench::common::finish;
-use mrassign_bench::{table2_hardness, Scale};
+use mrassign_bench::common::{finish, TableArgs};
+use mrassign_bench::table2_hardness;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--smoke") {
-        Scale::Smoke
-    } else {
-        Scale::Full
-    };
-    let table = table2_hardness::run(scale);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = TableArgs::from_args(&args, true).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let table = table2_hardness::run_with_budget(parsed.scale, parsed.budget);
     finish(&table, "table2");
-    let table_b = table2_hardness::run_two_reducer(scale);
+    let table_b = table2_hardness::run_two_reducer(parsed.scale);
     finish(&table_b, "table2b");
 }

@@ -1,14 +1,16 @@
-//! Regenerates `results/table3.csv`. Pass `--smoke` for a fast tiny run.
+//! Regenerates `results/table3.csv`. Pass `--smoke` for a fast tiny run
+//! and `--budget <nodes>` to override the exact search's node budget;
+//! anything else is rejected.
 
-use mrassign_bench::common::finish;
-use mrassign_bench::{table3_gap, Scale};
+use mrassign_bench::common::{finish, TableArgs};
+use mrassign_bench::table3_gap;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--smoke") {
-        Scale::Smoke
-    } else {
-        Scale::Full
-    };
-    let table = table3_gap::run(scale);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = TableArgs::from_args(&args, true).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let table = table3_gap::run_with_budget(parsed.scale, parsed.budget);
     finish(&table, "table3");
 }

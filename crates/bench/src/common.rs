@@ -85,6 +85,56 @@ impl ExecKnobs {
     }
 }
 
+/// Strictly parsed arguments for the experiment binaries that do not
+/// execute jobs (those take [`ExecKnobs`] instead): `--smoke` picks
+/// [`Scale::Smoke`], and — where the experiment runs an exact search —
+/// `--budget <nodes>` overrides its node budget. Unknown flags are
+/// rejected with the accepted candidates named, so a typo can never
+/// silently fall back to the default configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableArgs {
+    /// The selected experiment scale.
+    pub scale: Scale,
+    /// Node-budget override for exact searches, when the binary allows it.
+    pub budget: Option<u64>,
+}
+
+impl TableArgs {
+    /// Parses a binary's argument list. `allow_budget` says whether this
+    /// experiment accepts `--budget <nodes>`.
+    pub fn from_args(args: &[String], allow_budget: bool) -> Result<TableArgs, String> {
+        let expected = if allow_budget {
+            "--smoke, --budget <nodes>"
+        } else {
+            "--smoke"
+        };
+        let mut parsed = TableArgs {
+            scale: Scale::Full,
+            budget: None,
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--smoke" => parsed.scale = Scale::Smoke,
+                "--budget" if allow_budget => {
+                    let value = it.next().ok_or("--budget needs a value")?;
+                    let nodes: u64 = value.parse().map_err(|_| {
+                        format!("cannot parse `{value}` as a node budget (expected a positive integer, e.g. --budget 2000000)")
+                    })?;
+                    if nodes == 0 {
+                        return Err("a node budget of 0 can never certify anything".into());
+                    }
+                    parsed.budget = Some(nodes);
+                }
+                other => {
+                    return Err(format!("unknown flag `{other}` (expected {expected})"));
+                }
+            }
+        }
+        Ok(parsed)
+    }
+}
+
 /// A rectangular result table with aligned stdout printing and CSV export.
 #[derive(Debug, Clone)]
 pub struct Table {
@@ -386,6 +436,37 @@ mod tests {
             let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
             assert!(ExecKnobs::from_args(&args).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn table_args_parse_and_reject() {
+        let to_args = |xs: &[&str]| -> Vec<String> { xs.iter().map(|s| s.to_string()).collect() };
+        assert_eq!(
+            TableArgs::from_args(&[], true).unwrap(),
+            TableArgs {
+                scale: Scale::Full,
+                budget: None
+            }
+        );
+        assert_eq!(
+            TableArgs::from_args(&to_args(&["--smoke", "--budget", "5000"]), true).unwrap(),
+            TableArgs {
+                scale: Scale::Smoke,
+                budget: Some(5000)
+            }
+        );
+        // Unknown flags and malformed budgets name the accepted candidates.
+        let err = TableArgs::from_args(&to_args(&["--smok"]), false).unwrap_err();
+        assert!(err.contains("--smoke"), "{err}");
+        let err = TableArgs::from_args(&to_args(&["--budget", "9"]), false).unwrap_err();
+        assert!(
+            err.contains("--smoke") && !err.contains("--budget <nodes>"),
+            "{err}"
+        );
+        let err = TableArgs::from_args(&to_args(&["--budget", "many"]), true).unwrap_err();
+        assert!(err.contains("node budget"), "{err}");
+        assert!(TableArgs::from_args(&to_args(&["--budget"]), true).is_err());
+        assert!(TableArgs::from_args(&to_args(&["--budget", "0"]), true).is_err());
     }
 
     #[test]

@@ -39,10 +39,12 @@ mod segtree;
 
 pub mod bounds;
 pub mod exact;
+pub mod search;
 
 pub use error::PackError;
 pub use fit::{pack, pack_into_bins, FitPolicy};
 pub use packing::{Bin, ItemId, Packing};
+pub use search::{BoundedMemo, BudgetMeter, SearchBudget, SearchStats};
 
 #[cfg(test)]
 mod tests {

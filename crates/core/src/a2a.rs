@@ -27,6 +27,7 @@ use mrassign_binpack::FitPolicy;
 
 use crate::bounds::a2a_feasible;
 use crate::error::SchemaError;
+use crate::exact::SearchBudget;
 use crate::input::{InputId, InputSet, Weight};
 use crate::schema::MappingSchema;
 
@@ -53,6 +54,12 @@ pub enum A2aAlgorithm {
         /// Reuse the `(q − w_big)`-capacity bins as pairing groups.
         shared_bins: bool,
     },
+    /// The branch-and-bound exact solver ([`crate::exact::a2a_exact_with`])
+    /// under the given [`SearchBudget`]. Returns the optimal schema when
+    /// the search certifies within budget, the best heuristic schema
+    /// otherwise; callers needing the certificate and
+    /// [`crate::exact::SearchStats`] should use [`crate::exact`] directly.
+    Exact(SearchBudget),
 }
 
 /// Computes an A2A mapping schema for `inputs` under capacity `q` using the
@@ -91,6 +98,10 @@ pub fn solve(
             policy,
             shared_bins,
         } => big_small(inputs, q, policy, shared_bins),
+        A2aAlgorithm::Exact(budget) => {
+            crate::exact::a2a_exact_with(inputs, q, budget, crate::exact::SearchOptions::default())
+                .map(|r| r.schema)
+        }
     }
 }
 

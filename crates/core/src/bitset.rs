@@ -30,7 +30,6 @@ impl BitSet {
     }
 
     /// Whether bit `idx` is set.
-    #[cfg(test)]
     pub(crate) fn contains(&self, idx: usize) -> bool {
         debug_assert!(idx < self.len);
         self.words[idx / 64] & (1 << (idx % 64)) != 0
@@ -66,6 +65,13 @@ impl BitSet {
     /// Total number of bits tracked.
     pub(crate) fn len(&self) -> usize {
         self.len
+    }
+
+    /// The packed words backing the set (trailing padding bits are zero
+    /// whenever only in-range bits were inserted). Used as a memo key by
+    /// the exact searches.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
     }
 }
 

@@ -132,6 +132,9 @@ pub fn a2a_comm_lb(inputs: &InputSet, q: Weight) -> u128 {
 ///   `q` weight, and at least `C_lb` ([`a2a_comm_lb`]) must be received;
 /// * the **replication bound** `max_i r_i`: input `i` alone already needs
 ///   that many reducers;
+/// * the **two-reducer theorem**: when `W > q`, one reducer is overloaded
+///   and, by [`crate::exact::a2a_two_reducer_feasible`], two reducers never
+///   beat one — so the optimum is at least 3;
 /// * 1, whenever at least one pair exists.
 pub fn a2a_reducer_lb(inputs: &InputSet, q: Weight) -> usize {
     if inputs.len() < 2 {
@@ -144,10 +147,15 @@ pub fn a2a_reducer_lb(inputs: &InputSet, q: Weight) -> usize {
         .map(|i| a2a_replication_lb(inputs, q, i as InputId))
         .max()
         .unwrap_or(0);
+    let structural = if inputs.total_weight() > q as u128 {
+        3
+    } else {
+        1
+    };
     pair_bound
         .max(comm_bound)
         .max(rep_bound)
-        .max(1)
+        .max(structural)
         .try_into()
         .unwrap_or(usize::MAX)
 }

@@ -5,7 +5,9 @@
 //!
 //! * [`a2a_exact`] / [`x2y_exact`] — branch-and-bound solvers that find the
 //!   provably minimum number of reducers on small instances. They certify
-//!   heuristic quality in `table2` and blow up exponentially on cue.
+//!   heuristic quality in `table2` and blow up exponentially on cue — but
+//!   only after a battery of reductions (below) has cut everything the
+//!   hardness does not strictly demand.
 //! * [`a2a_two_reducer_feasible`] — the paper's structural observation for
 //!   A2A: with two reducers, an input exclusive to one cannot meet an input
 //!   exclusive to the other, so some reducer must hold *every* input.
@@ -16,34 +18,142 @@
 //!   other side split into two halves of bounded weight. The
 //!   pseudo-polynomial subset-sum DP here decides it exactly and returns a
 //!   witness schema, mirroring the NP-completeness reduction.
+//!
+//! # The search, and what prunes it
+//!
+//! The searches run **iterative deepening on the reducer count**: starting
+//! from the instance lower bound, each target `z` is either refuted (no
+//! `z`-reducer schema exists) or answered with a cover — and because every
+//! smaller target was refuted first, the first cover found is provably
+//! optimal. Each deepening level is a branch-and-bound over **complete
+//! reducers**: a node picks one uncovered pair and branches on every
+//! inclusion-maximal reducer that could host it (any schema can be
+//! rewritten reducer-by-reducer into maximal form, so this loses nothing).
+//! Closed reducers never change, which makes the covered-pair bitmap the
+//! *entire* search state. On that skeleton ([`SearchOptions`] can disable
+//! each rule for ablation):
+//!
+//! * **Dominance / symmetry breaking** — inputs of equal weight and equal
+//!   coverage row are interchangeable (swapping them is an automorphism of
+//!   the state), so candidate reducers pick class members in canonical
+//!   prefix order and isomorphic reducers are enumerated once.
+//! * **Completion lower bounds** — at every node, sound bounds on the
+//!   number of *additional* reducers are computed from the uncovered pair
+//!   weight (`⌈2U/q²⌉`), the forced per-input copies
+//!   (`⌈u_i/(q − w_i)⌉`), and the forced future communication; meeting the
+//!   deepening target kills the subtree.
+//! * **Memoization** — a [`BoundedMemo`] keyed on the covered bitmap
+//!   collapses states reached along different branch orders (cleared
+//!   between deepening levels, since refutations under a tighter target
+//!   say nothing about a looser one).
+//! * **Pair selection** — nodes branch on the heaviest uncovered pair
+//!   (fewest maximal reducers can host it), and candidate reducers are
+//!   tried in greedy set-cover order (most uncovered pair weight first) so
+//!   the witness level walks almost straight to a cover.
+//!
+//! Incumbent seeding runs every registered heuristic solver up front: the
+//! best one caps the deepening range, and refuting every target below its
+//! count certifies the *heuristic* as optimal. A [`SearchBudget`] caps
+//! nodes (and optionally wall time); exhaustion is reported via
+//! [`SearchStats::exhausted`] and `optimal: false`, never as a silent
+//! "optimal".
+
+use std::time::Instant;
+
+use mrassign_binpack::search::{BoundedMemo, BudgetMeter};
+pub use mrassign_binpack::search::{SearchBudget, SearchStats};
 
 use crate::bitset::BitSet;
 use crate::bounds;
 use crate::error::SchemaError;
 use crate::input::{InputId, InputSet, Weight, X2yInstance};
 use crate::schema::{MappingSchema, X2yReducer, X2ySchema};
+use crate::solver::{AssignmentSolver, A2A_SOLVERS, X2Y_SOLVERS};
 use crate::{a2a, x2y};
+
+/// Entries the schema searches keep in their memo tables before
+/// segmented-LRU eviction starts (each entry is a short `Vec<u64>` of
+/// member bitmasks, so the table stays within tens of MB).
+const MEMO_CAPACITY: usize = 1 << 18;
+
+/// Largest capacity for which [`x2y_exact`] will run the pseudo-polynomial
+/// two-reducer DP to tighten its lower bound (the DP allocates `O(q)`).
+const TWO_REDUCER_DP_MAX_Q: Weight = 1 << 22;
+
+/// Largest per-input weight the searches accept: with `m ≤ 64` inputs of
+/// weight ≤ 2³², every pair-weight accumulator stays below 2⁷⁷ and the
+/// `u128` arithmetic in the completion bounds can never overflow (the
+/// bounds would silently go unsound if it wrapped). Heavier instances
+/// take the no-search fallback, exactly like `m > 64`.
+const MAX_SEARCH_WEIGHT: Weight = u32::MAX as Weight;
+
+/// Hard cap on candidate-enumeration steps per node. Enumerating maximal
+/// reducers is itself exponential when the capacity admits very large
+/// reducers, and it runs *between* budget ticks — without a cap a single
+/// node could overshoot any [`SearchBudget`] by orders of magnitude.
+/// Hitting the cap truncates the node (reported as exhaustion, never as a
+/// certificate). Typical nodes use a few hundred steps.
+const GEN_WORK_CAP: u64 = 4_000_000;
+
+/// Toggle switches for the search reductions — the pruned search is the
+/// default; [`SearchOptions::BASELINE`] reproduces the pre-pruning search
+/// for ablations and regression comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchOptions {
+    /// Enumerate interchangeable inputs (equal weight, equal coverage row)
+    /// in canonical prefix order, so isomorphic reducers are tried once.
+    pub dominance: bool,
+    /// Prune nodes whose completion lower bound meets the deepening target.
+    pub bound_pruning: bool,
+    /// Memoize fully-explored states keyed on the covered bitmap.
+    pub memo: bool,
+    /// Branch on the heaviest uncovered pair (the most capacity-
+    /// constrained) instead of the first in index order.
+    pub fail_first: bool,
+}
+
+impl SearchOptions {
+    /// Every reduction enabled (the default).
+    pub const PRUNED: SearchOptions = SearchOptions {
+        dominance: true,
+        bound_pruning: true,
+        memo: true,
+        fail_first: true,
+    };
+    /// The bare deepening skeleton with every extra reduction disabled —
+    /// the ablation baseline.
+    pub const BASELINE: SearchOptions = SearchOptions {
+        dominance: false,
+        bound_pruning: false,
+        memo: false,
+        fail_first: false,
+    };
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions::PRUNED
+    }
+}
 
 /// Result of an exact search.
 #[derive(Debug, Clone)]
 pub struct ExactSchema<S> {
-    /// The best schema found (provably optimal when `optimal`).
+    /// The optimal schema when `optimal`; the best heuristic schema when
+    /// the budget ran out first.
     pub schema: S,
     /// Whether optimality was certified (search exhausted or the lower
-    /// bound was met) within the node budget.
+    /// bound was met) within the search budget.
     pub optimal: bool,
-    /// Branch-and-bound nodes expanded.
-    pub nodes: u64,
+    /// Branch-and-bound effort: nodes, prunes by rule, memo hits, and
+    /// whether the budget ran out.
+    pub stats: SearchStats,
+    /// Time the search spent, including incumbent seeding.
+    pub elapsed_us: u128,
 }
-
 // ---------------------------------------------------------------------------
 // A2A exact search
 // ---------------------------------------------------------------------------
-
-struct A2aReducer {
-    members: Vec<InputId>,
-    load: Weight,
-}
 
 struct A2aSearch<'a> {
     inputs: &'a InputSet,
@@ -51,13 +161,17 @@ struct A2aSearch<'a> {
     m: usize,
     best_z: usize,
     best: Option<Vec<Vec<InputId>>>,
-    nodes: u64,
-    budget: u64,
-    exhausted: bool,
-    /// Known lower bound: reaching it certifies optimality, so the search
-    /// stops immediately instead of proving the rest of the tree barren.
-    lb: usize,
+    meter: BudgetMeter,
+    stats: SearchStats,
+    opts: SearchOptions,
     stop: bool,
+    /// Σ w_a·w_b over currently uncovered pairs.
+    uncovered_pw: u128,
+    /// Per input: total weight of its uncovered partners.
+    unc_w: Vec<u128>,
+    /// Member bitmasks of the reducers chosen along the current path.
+    chosen: Vec<u64>,
+    memo: BoundedMemo<Vec<u64>, usize>,
 }
 
 impl A2aSearch<'_> {
@@ -66,157 +180,453 @@ impl A2aSearch<'_> {
         i * self.m - i * (i + 1) / 2 + (j - i - 1)
     }
 
-    fn run(&mut self, reducers: &mut Vec<A2aReducer>, covered: &mut BitSet) {
-        if self.stop {
-            return;
+    /// Marks pair `(a, b)` covered; returns whether it was newly covered
+    /// and maintains the uncovered-weight accounting.
+    fn cover(&mut self, a: InputId, b: InputId, covered: &mut BitSet) -> bool {
+        let (i, j) = if a < b { (a, b) } else { (b, a) };
+        let idx = self.pair_idx(i as usize, j as usize);
+        if !covered.insert(idx) {
+            return false;
         }
-        if self.nodes >= self.budget {
-            self.exhausted = false;
-            return;
-        }
-        self.nodes += 1;
-        if reducers.len() >= self.best_z {
-            return;
-        }
+        let (wa, wb) = (self.inputs.weight(a), self.inputs.weight(b));
+        self.uncovered_pw -= wa as u128 * wb as u128;
+        self.unc_w[a as usize] -= wb as u128;
+        self.unc_w[b as usize] -= wa as u128;
+        true
+    }
 
-        let Some(missing) = covered.first_unset() else {
-            // All pairs covered — strictly better than the incumbent by the
-            // pruning test above.
-            self.best_z = reducers.len();
-            self.best = Some(reducers.iter().map(|r| r.members.clone()).collect());
-            if self.best_z <= self.lb {
-                self.stop = true; // certified optimal: nothing can beat the bound
-            }
-            return;
-        };
-        // Invert the triangular index.
-        let (mut i, mut rem) = (0usize, missing);
-        loop {
-            let row = self.m - i - 1;
-            if rem < row {
-                break;
-            }
-            rem -= row;
-            i += 1;
-        }
-        let j = i + 1 + rem;
-        let (wi, wj) = (
-            self.inputs.weight(i as InputId),
-            self.inputs.weight(j as InputId),
-        );
+    /// Undoes [`Self::cover`].
+    fn uncover(&mut self, a: InputId, b: InputId, covered: &mut BitSet) {
+        let (i, j) = if a < b { (a, b) } else { (b, a) };
+        let idx = self.pair_idx(i as usize, j as usize);
+        covered.clear_bit(idx);
+        let (wa, wb) = (self.inputs.weight(a), self.inputs.weight(b));
+        self.uncovered_pw += wa as u128 * wb as u128;
+        self.unc_w[a as usize] += wb as u128;
+        self.unc_w[b as usize] += wa as u128;
+    }
 
-        // Branch 1: put the pair into each existing reducer that can host it.
-        for r_idx in 0..reducers.len() {
-            let has_i = reducers[r_idx].members.contains(&(i as InputId));
-            let has_j = reducers[r_idx].members.contains(&(j as InputId));
-            debug_assert!(
-                !(has_i && has_j),
-                "pair would already be covered if co-resident"
-            );
-            let extra = if has_i { 0 } else { wi } + if has_j { 0 } else { wj };
-            if reducers[r_idx].load + extra > self.q {
+    /// A sound lower bound on how many *further* reducers any completion of
+    /// this state needs — every reducer on the path is already complete, so
+    /// the uncovered pairs must be served entirely by fresh reducers:
+    ///
+    /// * **pair weight**: a fresh reducer covers pair weight at most
+    ///   `q²/2`, and `U` (uncovered pair weight) remains;
+    /// * **per-input copies**: input `i` with uncovered partner weight
+    ///   `u_i` needs `⌈u_i/(q − w_i)⌉` fresh reducers containing it;
+    /// * **communication**: each forced copy of `i` transfers `w_i`, and a
+    ///   fresh reducer receives at most `q`.
+    fn completion_extra(&self) -> usize {
+        if self.uncovered_pw == 0 {
+            return 0;
+        }
+        let q = self.q as u128;
+        let pair_extra = (2 * self.uncovered_pw).div_ceil(q * q);
+        let mut future = 0u128;
+        let mut max_copies = 0u128;
+        for i in 0..self.m {
+            if self.unc_w[i] == 0 {
                 continue;
             }
-            let mut newly: Vec<usize> = Vec::new();
-            for (&new_member, present) in [(i as InputId, has_i), (j as InputId, has_j)]
-                .iter()
-                .map(|(x, p)| (x, *p))
-            {
-                if present {
+            let w = self.inputs.weight(i as InputId);
+            if w >= self.q {
+                return usize::MAX; // cannot host any partner: dead subtree
+            }
+            let copies = self.unc_w[i].div_ceil((self.q - w) as u128);
+            max_copies = max_copies.max(copies);
+            future += (w as u128) * copies;
+        }
+        let comm_extra = future.div_ceil(q);
+        pair_extra
+            .max(comm_extra)
+            .max(max_copies)
+            .try_into()
+            .unwrap_or(usize::MAX)
+    }
+
+    /// The uncovered pair the node branches on: the heaviest one (the most
+    /// capacity-constrained, so the fewest maximal reducers host it) under
+    /// fail-first, the first in index order otherwise.
+    fn select_pair(&self, covered: &BitSet, first_missing: usize) -> (InputId, InputId) {
+        if !self.opts.fail_first {
+            // Invert the triangular index of the first unset pair.
+            let (mut i, mut rem) = (0usize, first_missing);
+            loop {
+                let row = self.m - i - 1;
+                if rem < row {
+                    break;
+                }
+                rem -= row;
+                i += 1;
+            }
+            return (i as InputId, (i + 1 + rem) as InputId);
+        }
+        let mut best = (0u64, 0 as InputId, 0 as InputId);
+        for i in 0..self.m - 1 {
+            if self.unc_w[i] == 0 {
+                continue;
+            }
+            let wi = self.inputs.weight(i as InputId);
+            for j in i + 1..self.m {
+                if covered.contains(self.pair_idx(i, j)) {
                     continue;
                 }
-                for &old in &reducers[r_idx].members {
-                    let (a, b) = if old < new_member {
-                        (old as usize, new_member as usize)
-                    } else {
-                        (new_member as usize, old as usize)
-                    };
-                    let idx = self.pair_idx(a, b);
-                    if covered.insert(idx) {
-                        newly.push(idx);
+                let w = wi + self.inputs.weight(j as InputId);
+                if w > best.0 {
+                    best = (w, i as InputId, j as InputId);
+                }
+            }
+        }
+        (best.1, best.2)
+    }
+
+    /// Enumerates the candidate reducers for pair `(i, j)`: every
+    /// inclusion-maximal subset containing both whose weight fits in `q`.
+    /// Restricting to maximal subsets is sound — extending a reducer only
+    /// adds coverage — and under `opts.dominance` inputs that are
+    /// interchangeable in the current covered state (equal weight, equal
+    /// coverage rows) are taken in canonical prefix order, so isomorphic
+    /// reducers are enumerated once.
+    fn gen_subsets(&mut self, i: InputId, j: InputId, covered: &BitSet) -> Vec<(u64, Weight)> {
+        let base_mask = (1u64 << i) | (1 << j);
+        let base_w = self.inputs.weight(i) + self.inputs.weight(j);
+        let cands: Vec<InputId> = (0..self.m as InputId)
+            .filter(|&u| u != i && u != j)
+            .collect();
+        // Equivalence classes for the canonical prefix rule: u ≡ v when
+        // swapping them is an automorphism of the covered state.
+        let mut class = vec![0u32; cands.len()];
+        if self.opts.dominance {
+            let rows: Vec<u64> = (0..self.m)
+                .map(|u| {
+                    let mut row = 0u64;
+                    for v in 0..self.m {
+                        if v != u {
+                            let (a, b) = (u.min(v), u.max(v));
+                            if covered.contains(self.pair_idx(a, b)) {
+                                row |= 1 << v;
+                            }
+                        }
+                    }
+                    row
+                })
+                .collect();
+            for a in 0..cands.len() {
+                class[a] = a as u32;
+                let (u, wu) = (cands[a] as usize, self.inputs.weight(cands[a]));
+                for b in 0..a {
+                    let v = cands[b] as usize;
+                    if wu != self.inputs.weight(cands[b]) {
+                        continue;
+                    }
+                    let off = !((1u64 << u) | (1 << v));
+                    if rows[u] & off == rows[v] & off {
+                        class[a] = class[b];
+                        break;
                     }
                 }
-                reducers[r_idx].members.push(new_member);
-                reducers[r_idx].load += self.inputs.weight(new_member);
-            }
-            self.run(reducers, covered);
-            // Undo in reverse order of the pushes above.
-            for (&member, present) in [(j as InputId, has_j), (i as InputId, has_i)]
-                .iter()
-                .map(|(x, p)| (x, *p))
-            {
-                if present {
-                    continue;
-                }
-                reducers[r_idx].members.pop();
-                reducers[r_idx].load -= self.inputs.weight(member);
-            }
-            for idx in newly {
-                covered.clear_bit(idx);
             }
         }
 
-        // Branch 2: open a fresh reducer with exactly this pair.
-        if reducers.len() + 1 < self.best_z && wi + wj <= self.q {
-            let idx = self.pair_idx(i, j);
-            let fresh = covered.insert(idx);
-            debug_assert!(fresh);
-            reducers.push(A2aReducer {
-                members: vec![i as InputId, j as InputId],
-                load: wi + wj,
-            });
-            self.run(reducers, covered);
-            reducers.pop();
-            covered.clear_bit(idx);
+        let mut out: Vec<(u64, Weight)> = Vec::new();
+        let mut work = 0u64;
+        self.gen_rec(&cands, &class, 0, base_mask, base_w, 0, &mut work, &mut out);
+        // Greedy set-cover order: the reducer covering the most
+        // still-uncovered pair weight first, so the witness iteration of
+        // the deepening loop walks straight toward a cover.
+        let fresh_weight = |mask: u64| -> u128 {
+            let members: Vec<InputId> = (0..self.m as InputId)
+                .filter(|&u| mask >> u & 1 != 0)
+                .collect();
+            let mut fresh = 0u128;
+            for (ai, &a) in members.iter().enumerate() {
+                for &b in &members[ai + 1..] {
+                    if !covered.contains(self.pair_idx(a as usize, b as usize)) {
+                        fresh += self.inputs.weight(a) as u128 * self.inputs.weight(b) as u128;
+                    }
+                }
+            }
+            fresh
+        };
+        let mut keyed: Vec<(u128, u64, Weight)> = out
+            .into_iter()
+            .map(|(m, w)| (fresh_weight(m), m, w))
+            .collect();
+        keyed.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        keyed.into_iter().map(|(_, m, w)| (m, w)).collect()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn gen_rec(
+        &mut self,
+        cands: &[InputId],
+        class: &[u32],
+        pos: usize,
+        mask: u64,
+        w: Weight,
+        banned: u64,
+        work: &mut u64,
+        out: &mut Vec<(u64, Weight)>,
+    ) {
+        *work += 1;
+        if *work > GEN_WORK_CAP || (*work & 0xFFF == 0 && self.meter.time_expired()) {
+            // Truncated enumeration: the node cannot be fully explored, so
+            // the whole search degrades to budget-exhausted (no memo entry,
+            // no certificate) instead of burning unmetered time.
+            self.stats.exhausted = true;
+            return;
+        }
+        if pos == cands.len() {
+            // Keep only inclusion-maximal subsets.
+            for u in 0..self.m {
+                if mask >> u & 1 == 0 && w + self.inputs.weight(u as InputId) <= self.q {
+                    return;
+                }
+            }
+            out.push((mask, w));
+            return;
+        }
+        let u = cands[pos];
+        let cid = 1u64 << (class[pos] % 64);
+        let fits = w + self.inputs.weight(u) <= self.q;
+        let include_allowed = !self.opts.dominance || banned & cid == 0;
+        if fits && !include_allowed {
+            // A class sibling was skipped earlier: every subset taking `u`
+            // here is isomorphic to one already enumerated.
+            self.stats.pruned_dominance += 1;
+        }
+        if include_allowed && fits {
+            self.gen_rec(
+                cands,
+                class,
+                pos + 1,
+                mask | (1 << u),
+                w + self.inputs.weight(u),
+                banned,
+                work,
+                out,
+            );
+        }
+        // Skipping u bans the rest of its class: members are taken in
+        // prefix order or not at all.
+        self.gen_rec(cands, class, pos + 1, mask, w, banned | cid, work, out);
+    }
+
+    fn run(&mut self, covered: &mut BitSet) {
+        if self.stop || self.stats.exhausted {
+            // Certified or truncated (budget, time, or a capped
+            // enumeration): nothing below can change the outcome.
+            return;
+        }
+        if !self.meter.tick() {
+            self.stats.exhausted = true;
+            return;
+        }
+        if self.chosen.len() >= self.best_z {
+            return;
+        }
+        let Some(first_missing) = covered.first_unset() else {
+            // All pairs covered within the target — under iterative
+            // deepening every smaller target was already refuted, so this
+            // cover is optimal and the whole search stops.
+            self.best_z = self.chosen.len();
+            self.best = Some(
+                self.chosen
+                    .iter()
+                    .map(|&mask| {
+                        (0..self.m as InputId)
+                            .filter(|&u| mask >> u & 1 != 0)
+                            .collect()
+                    })
+                    .collect(),
+            );
+            self.stop = true;
+            return;
+        };
+
+        if self.opts.bound_pruning
+            && self.chosen.len().saturating_add(self.completion_extra()) >= self.best_z
+        {
+            self.stats.pruned_bound += 1;
+            return;
+        }
+        // The covered bitmap alone determines the rest of the search (every
+        // chosen reducer is closed), so it is the entire memo key.
+        let memo_key = if self.opts.memo {
+            let key = covered.words().to_vec();
+            if let Some(seen_with) = self.memo.get(&key) {
+                if seen_with <= self.chosen.len() {
+                    // An earlier, fully explored visit reached this exact
+                    // coverage at least as cheaply; its subtree already
+                    // updated the incumbent with anything reachable here.
+                    self.stats.memo_hits += 1;
+                    return;
+                }
+            }
+            Some(key)
+        } else {
+            None
+        };
+        let truncated_before = self.stats.exhausted;
+
+        let (i, j) = self.select_pair(covered, first_missing);
+        for (mask, _) in self.gen_subsets(i, j, covered) {
+            let members: Vec<InputId> = (0..self.m as InputId)
+                .filter(|&u| mask >> u & 1 != 0)
+                .collect();
+            let mut newly: Vec<(InputId, InputId)> = Vec::new();
+            for (ai, &a) in members.iter().enumerate() {
+                for &b in &members[ai + 1..] {
+                    if self.cover(a, b, covered) {
+                        newly.push((a, b));
+                    }
+                }
+            }
+            self.chosen.push(mask);
+            self.run(covered);
+            self.chosen.pop();
+            for &(a, b) in newly.iter().rev() {
+                self.uncover(a, b, covered);
+            }
+        }
+
+        // Memoize only fully explored subtrees: a truncated visit proves
+        // nothing about this state.
+        if let Some(key) = memo_key {
+            if self.stats.exhausted == truncated_before && !self.stop {
+                self.memo.insert_min(key, self.chosen.len());
+            }
         }
     }
 }
 
-/// Finds the minimum-reducer A2A schema by branch and bound.
-///
-/// Starts from the heuristic ([`a2a::solve`] with `Auto`) as the incumbent
-/// and certifies optimality either by exhausting the search or by matching
-/// [`bounds::a2a_reducer_lb`]. Exponential in the worst case — that is the
-/// point (see `table2`); budget with `node_budget`.
+/// Picks the best incumbent among all registered A2A heuristics (they are
+/// polynomial, so trying all of them is cheap next to the search). At least
+/// the `Auto` solver succeeds on any feasible instance.
+fn best_a2a_heuristic(inputs: &InputSet, q: Weight) -> Result<MappingSchema, SchemaError> {
+    let mut best: Option<MappingSchema> = None;
+    for solver in A2A_SOLVERS {
+        if let Ok(schema) = solver.solve(inputs, q) {
+            if best
+                .as_ref()
+                .is_none_or(|b| schema.reducer_count() < b.reducer_count())
+            {
+                best = Some(schema);
+            }
+        }
+    }
+    match best {
+        Some(schema) => Ok(schema),
+        // Every registered heuristic failed — surface Auto's error.
+        None => a2a::solve(inputs, q, a2a::A2aAlgorithm::Auto),
+    }
+}
+
+/// Finds the minimum-reducer A2A schema by branch and bound with every
+/// reduction enabled; see [`a2a_exact_with`]. The budget can be a plain
+/// `u64` node count.
 pub fn a2a_exact(
     inputs: &InputSet,
     q: Weight,
-    node_budget: u64,
+    budget: impl Into<SearchBudget>,
 ) -> Result<ExactSchema<MappingSchema>, SchemaError> {
-    let heuristic = a2a::solve(inputs, q, a2a::A2aAlgorithm::Auto)?;
+    a2a_exact_with(inputs, q, budget.into(), SearchOptions::default())
+}
+
+/// Finds the minimum-reducer A2A schema by branch and bound.
+///
+/// Seeds the incumbent with the best registered heuristic and certifies
+/// optimality either by exhausting the search or by matching
+/// [`bounds::a2a_reducer_lb`]. Exponential in the worst case — that is the
+/// point (see `table2`); cap it with the [`SearchBudget`]. `opts` selects
+/// the pruning rules, mainly so ablations can measure what each rule buys.
+///
+/// Instances beyond 64 inputs — or with any weight above `u32::MAX`,
+/// which would overflow the bounds' pair-weight arithmetic — skip the
+/// search entirely and return the heuristic incumbent with
+/// `optimal: false` unless it already matches the lower bound.
+pub fn a2a_exact_with(
+    inputs: &InputSet,
+    q: Weight,
+    budget: SearchBudget,
+    opts: SearchOptions,
+) -> Result<ExactSchema<MappingSchema>, SchemaError> {
+    let start = Instant::now();
+    let heuristic = best_a2a_heuristic(inputs, q)?;
     let lb = bounds::a2a_reducer_lb(inputs, q);
-    if heuristic.reducer_count() <= lb {
+    let m = inputs.len();
+    if heuristic.reducer_count() <= lb || m > 64 || inputs.max_weight() > MAX_SEARCH_WEIGHT {
+        // Either the heuristic already meets the lower bound (certified
+        // without a search), or the instance exceeds the 64-input mask
+        // limit or the overflow-safe weight range — no search is
+        // attempted, so `exhausted` stays false: no budget, however
+        // large, would change the answer.
         return Ok(ExactSchema {
+            optimal: heuristic.reducer_count() <= lb,
             schema: heuristic,
-            optimal: true,
-            nodes: 0,
+            stats: SearchStats::default(),
+            elapsed_us: start.elapsed().as_micros(),
         });
     }
-    let m = inputs.len();
+    let mut uncovered_pw = 0u128;
+    let mut unc_w = vec![0u128; m];
+    for i in 0..m {
+        let wi = inputs.weight(i as InputId) as u128;
+        for j in i + 1..m {
+            let wj = inputs.weight(j as InputId) as u128;
+            uncovered_pw += wi * wj;
+            unc_w[i] += wj;
+            unc_w[j] += wi;
+        }
+    }
     let mut search = A2aSearch {
         inputs,
         q,
         m,
-        best_z: heuristic.reducer_count(),
+        best_z: 0,
         best: None,
-        nodes: 0,
-        budget: node_budget,
-        exhausted: true,
-        lb,
+        meter: BudgetMeter::new(budget),
+        stats: SearchStats::default(),
+        opts,
         stop: false,
+        uncovered_pw,
+        unc_w,
+        chosen: Vec::new(),
+        memo: BoundedMemo::new(MEMO_CAPACITY),
     };
-    let mut covered = BitSet::new(m * (m - 1) / 2);
-    search.run(&mut Vec::new(), &mut covered);
+    // Iterative deepening on the reducer count: refute every target from
+    // the lower bound upward until one admits a cover (that cover is then
+    // optimal by construction) or the heuristic count itself is reached
+    // (then the heuristic is optimal). A refutation only counts when the
+    // iteration ran to completion, so budget exhaustion never certifies.
+    let mut certified_unsat_below = lb;
+    for target in lb..heuristic.reducer_count() {
+        search.best_z = target + 1;
+        search.memo.clear(); // entries proved under a tighter cutoff
+        let mut covered = BitSet::new(m * (m - 1) / 2);
+        search.run(&mut covered);
+        if search.stop || search.stats.exhausted {
+            break;
+        }
+        certified_unsat_below = target + 1;
+    }
+    search.stats.nodes = search.meter.nodes();
 
-    let schema = match search.best {
-        Some(reducers) => MappingSchema::from_reducers(reducers),
-        None => heuristic,
+    let (schema, optimal) = match search.best {
+        Some(reducers) => (MappingSchema::from_reducers(reducers), true),
+        None => {
+            let optimal = certified_unsat_below >= heuristic.reducer_count();
+            (heuristic, optimal)
+        }
     };
-    let optimal = search.exhausted || search.stop || schema.reducer_count() <= lb;
+    if optimal {
+        search.stats.exhausted = false;
+    }
     Ok(ExactSchema {
         schema,
         optimal,
-        nodes: search.nodes,
+        stats: search.stats,
+        elapsed_us: start.elapsed().as_micros(),
     })
 }
 
@@ -224,157 +634,505 @@ pub fn a2a_exact(
 // X2Y exact search
 // ---------------------------------------------------------------------------
 
-struct X2yRed {
-    xs: Vec<InputId>,
-    ys: Vec<InputId>,
-    load: Weight,
-}
-
 struct X2ySearch<'a> {
     inst: &'a X2yInstance,
     q: Weight,
+    nx: usize,
     ny: usize,
     best_z: usize,
     best: Option<Vec<X2yReducer>>,
-    nodes: u64,
-    budget: u64,
-    exhausted: bool,
-    lb: usize,
+    meter: BudgetMeter,
+    stats: SearchStats,
+    opts: SearchOptions,
     stop: bool,
+    /// Σ w_x·w_y over currently uncovered cross pairs.
+    uncovered_pw: u128,
+    /// Per X input: total weight of its uncovered Y partners (and
+    /// symmetrically).
+    unc_wx: Vec<u128>,
+    unc_wy: Vec<u128>,
+    /// (X-mask, Y-mask) of the reducers chosen along the current path.
+    chosen: Vec<(u64, u64)>,
+    memo: BoundedMemo<Vec<u64>, usize>,
 }
 
 impl X2ySearch<'_> {
-    fn run(&mut self, reducers: &mut Vec<X2yRed>, covered: &mut BitSet) {
-        if self.stop {
+    fn cover(&mut self, x: InputId, y: InputId, covered: &mut BitSet) -> bool {
+        let idx = x as usize * self.ny + y as usize;
+        if !covered.insert(idx) {
+            return false;
+        }
+        let (wx, wy) = (self.inst.x.weight(x), self.inst.y.weight(y));
+        self.uncovered_pw -= wx as u128 * wy as u128;
+        self.unc_wx[x as usize] -= wy as u128;
+        self.unc_wy[y as usize] -= wx as u128;
+        true
+    }
+
+    fn uncover(&mut self, x: InputId, y: InputId, covered: &mut BitSet) {
+        let idx = x as usize * self.ny + y as usize;
+        covered.clear_bit(idx);
+        let (wx, wy) = (self.inst.x.weight(x), self.inst.y.weight(y));
+        self.uncovered_pw += wx as u128 * wy as u128;
+        self.unc_wx[x as usize] += wy as u128;
+        self.unc_wy[y as usize] += wx as u128;
+    }
+
+    /// The X2Y analogue of [`A2aSearch::completion_extra`]: a fresh reducer
+    /// covers cross weight at most `q²/4` (AM–GM under `s_x + s_y ≤ q`).
+    fn completion_extra(&self) -> usize {
+        if self.uncovered_pw == 0 {
+            return 0;
+        }
+        let q = self.q as u128;
+        let pair_extra = (4 * self.uncovered_pw).div_ceil(q * q);
+        let mut future = 0u128;
+        let mut max_copies = 0u128;
+        for x in 0..self.nx {
+            if self.unc_wx[x] == 0 {
+                continue;
+            }
+            let w = self.inst.x.weight(x as InputId);
+            if w >= self.q {
+                return usize::MAX;
+            }
+            let copies = self.unc_wx[x].div_ceil((self.q - w) as u128);
+            max_copies = max_copies.max(copies);
+            future += (w as u128) * copies;
+        }
+        for y in 0..self.ny {
+            if self.unc_wy[y] == 0 {
+                continue;
+            }
+            let w = self.inst.y.weight(y as InputId);
+            if w >= self.q {
+                return usize::MAX;
+            }
+            let copies = self.unc_wy[y].div_ceil((self.q - w) as u128);
+            max_copies = max_copies.max(copies);
+            future += (w as u128) * copies;
+        }
+        let comm_extra = future.div_ceil(q);
+        pair_extra
+            .max(comm_extra)
+            .max(max_copies)
+            .try_into()
+            .unwrap_or(usize::MAX)
+    }
+
+    /// The uncovered cross pair to branch on; see [`A2aSearch::select_pair`].
+    fn select_pair(&self, covered: &BitSet, first_missing: usize) -> (InputId, InputId) {
+        if !self.opts.fail_first {
+            return (
+                (first_missing / self.ny) as InputId,
+                (first_missing % self.ny) as InputId,
+            );
+        }
+        let mut best = (0u64, 0 as InputId, 0 as InputId);
+        for x in 0..self.nx {
+            if self.unc_wx[x] == 0 {
+                continue;
+            }
+            let wx = self.inst.x.weight(x as InputId);
+            for y in 0..self.ny {
+                if covered.contains(x * self.ny + y) {
+                    continue;
+                }
+                let w = wx + self.inst.y.weight(y as InputId);
+                if w > best.0 {
+                    best = (w, x as InputId, y as InputId);
+                }
+            }
+        }
+        (best.1, best.2)
+    }
+
+    /// Enumerates the inclusion-maximal candidate reducers for cross pair
+    /// `(x, y)`; see [`A2aSearch::gen_subsets`]. Equivalence (per side):
+    /// equal weight and equal coverage row against the opposite side.
+    fn gen_subsets(&mut self, x: InputId, y: InputId, covered: &BitSet) -> Vec<(u64, u64, Weight)> {
+        let base_w = self.inst.x.weight(x) + self.inst.y.weight(y);
+        let cands_x: Vec<InputId> = (0..self.nx as InputId).filter(|&u| u != x).collect();
+        let cands_y: Vec<InputId> = (0..self.ny as InputId).filter(|&u| u != y).collect();
+
+        let class_of = |cands: &[InputId], weight_of: &dyn Fn(InputId) -> Weight, rows: &[u64]| {
+            let mut class = vec![0u32; cands.len()];
+            for a in 0..cands.len() {
+                class[a] = a as u32;
+                for b in 0..a {
+                    if weight_of(cands[a]) == weight_of(cands[b])
+                        && rows[cands[a] as usize] == rows[cands[b] as usize]
+                    {
+                        class[a] = class[b];
+                        break;
+                    }
+                }
+            }
+            class
+        };
+        let (class_x, class_y) = if self.opts.dominance {
+            let rows_x: Vec<u64> = (0..self.nx)
+                .map(|u| {
+                    (0..self.ny).fold(0u64, |row, v| {
+                        row | ((covered.contains(u * self.ny + v) as u64) << v)
+                    })
+                })
+                .collect();
+            let rows_y: Vec<u64> = (0..self.ny)
+                .map(|v| {
+                    (0..self.nx).fold(0u64, |row, u| {
+                        row | ((covered.contains(u * self.ny + v) as u64) << u)
+                    })
+                })
+                .collect();
+            (
+                class_of(&cands_x, &|id| self.inst.x.weight(id), &rows_x),
+                class_of(&cands_y, &|id| self.inst.y.weight(id), &rows_y),
+            )
+        } else {
+            (vec![0; cands_x.len()], vec![0; cands_y.len()])
+        };
+
+        let mut out = Vec::new();
+        let mut work = 0u64;
+        self.gen_rec(
+            GenCtx {
+                cands_x: &cands_x,
+                class_x: &class_x,
+                cands_y: &cands_y,
+                class_y: &class_y,
+            },
+            0,
+            ((1u64 << x), (1u64 << y)),
+            base_w,
+            (0, 0),
+            &mut work,
+            &mut out,
+        );
+        // Greedy set-cover order (see the A2A variant).
+        let fresh_weight = |mx: u64, my: u64| -> u128 {
+            let mut fresh = 0u128;
+            for u in 0..self.nx {
+                if mx >> u & 1 == 0 {
+                    continue;
+                }
+                for v in 0..self.ny {
+                    if my >> v & 1 != 0 && !covered.contains(u * self.ny + v) {
+                        fresh += self.inst.x.weight(u as InputId) as u128
+                            * self.inst.y.weight(v as InputId) as u128;
+                    }
+                }
+            }
+            fresh
+        };
+        let mut keyed: Vec<(u128, u64, u64, Weight)> = out
+            .into_iter()
+            .map(|(mx, my, w)| (fresh_weight(mx, my), mx, my, w))
+            .collect();
+        keyed.sort_unstable_by(|a, b| b.0.cmp(&a.0).then((a.1, a.2).cmp(&(b.1, b.2))));
+        keyed
+            .into_iter()
+            .map(|(_, mx, my, w)| (mx, my, w))
+            .collect()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn gen_rec(
+        &mut self,
+        ctx: GenCtx<'_>,
+        pos: usize,
+        masks: (u64, u64),
+        w: Weight,
+        banned: (u64, u64),
+        work: &mut u64,
+        out: &mut Vec<(u64, u64, Weight)>,
+    ) {
+        *work += 1;
+        if *work > GEN_WORK_CAP || (*work & 0xFFF == 0 && self.meter.time_expired()) {
+            self.stats.exhausted = true; // see the A2A variant
             return;
         }
-        if self.nodes >= self.budget {
-            self.exhausted = false;
+        let nx_c = ctx.cands_x.len();
+        if pos == nx_c + ctx.cands_y.len() {
+            for u in 0..self.nx {
+                if masks.0 >> u & 1 == 0 && w + self.inst.x.weight(u as InputId) <= self.q {
+                    return; // not maximal on the X side
+                }
+            }
+            for v in 0..self.ny {
+                if masks.1 >> v & 1 == 0 && w + self.inst.y.weight(v as InputId) <= self.q {
+                    return; // not maximal on the Y side
+                }
+            }
+            out.push((masks.0, masks.1, w));
             return;
         }
-        self.nodes += 1;
-        if reducers.len() >= self.best_z {
+        let (u, cid, x_side) = if pos < nx_c {
+            (ctx.cands_x[pos], 1u64 << (ctx.class_x[pos] % 64), true)
+        } else {
+            (
+                ctx.cands_y[pos - nx_c],
+                1u64 << (ctx.class_y[pos - nx_c] % 64),
+                false,
+            )
+        };
+        let wu = if x_side {
+            self.inst.x.weight(u)
+        } else {
+            self.inst.y.weight(u)
+        };
+        let banned_side = if x_side { banned.0 } else { banned.1 };
+        let fits = w + wu <= self.q;
+        let include_allowed = !self.opts.dominance || banned_side & cid == 0;
+        if fits && !include_allowed {
+            self.stats.pruned_dominance += 1;
+        }
+        if include_allowed && fits {
+            let next_masks = if x_side {
+                (masks.0 | (1 << u), masks.1)
+            } else {
+                (masks.0, masks.1 | (1 << u))
+            };
+            self.gen_rec(ctx, pos + 1, next_masks, w + wu, banned, work, out);
+        }
+        let next_banned = if x_side {
+            (banned.0 | cid, banned.1)
+        } else {
+            (banned.0, banned.1 | cid)
+        };
+        self.gen_rec(ctx, pos + 1, masks, w, next_banned, work, out);
+    }
+
+    fn run(&mut self, covered: &mut BitSet) {
+        if self.stop || self.stats.exhausted {
+            // Certified or truncated (budget, time, or a capped
+            // enumeration): nothing below can change the outcome.
             return;
         }
-        let Some(missing) = covered.first_unset() else {
-            self.best_z = reducers.len();
+        if !self.meter.tick() {
+            self.stats.exhausted = true;
+            return;
+        }
+        if self.chosen.len() >= self.best_z {
+            return;
+        }
+        let Some(first_missing) = covered.first_unset() else {
+            // First cover within the target: optimal under iterative
+            // deepening, so stop outright.
+            self.best_z = self.chosen.len();
             self.best = Some(
-                reducers
+                self.chosen
                     .iter()
-                    .map(|r| X2yReducer {
-                        x: r.xs.clone(),
-                        y: r.ys.clone(),
+                    .map(|&(mx, my)| X2yReducer {
+                        x: (0..self.nx as InputId)
+                            .filter(|&u| mx >> u & 1 != 0)
+                            .collect(),
+                        y: (0..self.ny as InputId)
+                            .filter(|&v| my >> v & 1 != 0)
+                            .collect(),
                     })
                     .collect(),
             );
-            if self.best_z <= self.lb {
-                self.stop = true;
-            }
+            self.stop = true;
             return;
         };
-        let x = (missing / self.ny) as InputId;
-        let y = (missing % self.ny) as InputId;
-        let (wx, wy) = (self.inst.x.weight(x), self.inst.y.weight(y));
 
-        for r_idx in 0..reducers.len() {
-            let has_x = reducers[r_idx].xs.contains(&x);
-            let has_y = reducers[r_idx].ys.contains(&y);
-            let extra = if has_x { 0 } else { wx } + if has_y { 0 } else { wy };
-            if reducers[r_idx].load + extra > self.q {
-                continue;
+        if self.opts.bound_pruning
+            && self.chosen.len().saturating_add(self.completion_extra()) >= self.best_z
+        {
+            self.stats.pruned_bound += 1;
+            return;
+        }
+        let memo_key = if self.opts.memo {
+            let key = covered.words().to_vec();
+            if let Some(seen_with) = self.memo.get(&key) {
+                if seen_with <= self.chosen.len() {
+                    self.stats.memo_hits += 1;
+                    return;
+                }
             }
-            let mut newly: Vec<usize> = Vec::new();
-            if !has_x {
-                for &oy in &reducers[r_idx].ys {
-                    let idx = x as usize * self.ny + oy as usize;
-                    if covered.insert(idx) {
-                        newly.push(idx);
+            Some(key)
+        } else {
+            None
+        };
+        let truncated_before = self.stats.exhausted;
+
+        let (x, y) = self.select_pair(covered, first_missing);
+        for (mx, my, _) in self.gen_subsets(x, y, covered) {
+            let xs: Vec<InputId> = (0..self.nx as InputId)
+                .filter(|&u| mx >> u & 1 != 0)
+                .collect();
+            let ys: Vec<InputId> = (0..self.ny as InputId)
+                .filter(|&v| my >> v & 1 != 0)
+                .collect();
+            let mut newly: Vec<(InputId, InputId)> = Vec::new();
+            for &a in &xs {
+                for &b in &ys {
+                    if self.cover(a, b, covered) {
+                        newly.push((a, b));
                     }
                 }
-                reducers[r_idx].xs.push(x);
             }
-            if !has_y {
-                for &ox in &reducers[r_idx].xs {
-                    let idx = ox as usize * self.ny + y as usize;
-                    if covered.insert(idx) {
-                        newly.push(idx);
-                    }
-                }
-                reducers[r_idx].ys.push(y);
-            }
-            reducers[r_idx].load += extra;
-            self.run(reducers, covered);
-            reducers[r_idx].load -= extra;
-            if !has_y {
-                reducers[r_idx].ys.pop();
-            }
-            if !has_x {
-                reducers[r_idx].xs.pop();
-            }
-            for idx in newly {
-                covered.clear_bit(idx);
+            self.chosen.push((mx, my));
+            self.run(covered);
+            self.chosen.pop();
+            for &(a, b) in newly.iter().rev() {
+                self.uncover(a, b, covered);
             }
         }
 
-        if reducers.len() + 1 < self.best_z && wx + wy <= self.q {
-            let idx = x as usize * self.ny + y as usize;
-            let fresh = covered.insert(idx);
-            debug_assert!(fresh);
-            reducers.push(X2yRed {
-                xs: vec![x],
-                ys: vec![y],
-                load: wx + wy,
-            });
-            self.run(reducers, covered);
-            reducers.pop();
-            covered.clear_bit(idx);
+        if let Some(key) = memo_key {
+            if self.stats.exhausted == truncated_before && !self.stop {
+                self.memo.insert_min(key, self.chosen.len());
+            }
         }
     }
 }
 
-/// Finds the minimum-reducer X2Y schema by branch and bound; see
-/// [`a2a_exact`] for the contract.
+/// Candidate lists and equivalence classes threaded through
+/// [`X2ySearch::gen_rec`].
+#[derive(Clone, Copy)]
+struct GenCtx<'a> {
+    cands_x: &'a [InputId],
+    class_x: &'a [u32],
+    cands_y: &'a [InputId],
+    class_y: &'a [u32],
+}
+
+/// Best incumbent among all registered X2Y heuristics; see
+/// [`best_a2a_heuristic`].
+fn best_x2y_heuristic(inst: &X2yInstance, q: Weight) -> Result<X2ySchema, SchemaError> {
+    let mut best: Option<X2ySchema> = None;
+    for solver in X2Y_SOLVERS {
+        if let Ok(schema) = solver.solve(inst, q) {
+            if best
+                .as_ref()
+                .is_none_or(|b| schema.reducer_count() < b.reducer_count())
+            {
+                best = Some(schema);
+            }
+        }
+    }
+    match best {
+        Some(schema) => Ok(schema),
+        None => x2y::solve(inst, q, x2y::X2yAlgorithm::Auto),
+    }
+}
+
+/// Finds the minimum-reducer X2Y schema by branch and bound with every
+/// reduction enabled; see [`x2y_exact_with`].
 pub fn x2y_exact(
     inst: &X2yInstance,
     q: Weight,
-    node_budget: u64,
+    budget: impl Into<SearchBudget>,
 ) -> Result<ExactSchema<X2ySchema>, SchemaError> {
-    let heuristic = x2y::solve(inst, q, x2y::X2yAlgorithm::Auto)?;
-    let lb = bounds::x2y_reducer_lb(inst, q);
-    if heuristic.reducer_count() <= lb {
+    x2y_exact_with(inst, q, budget.into(), SearchOptions::default())
+}
+
+/// Finds the minimum-reducer X2Y schema by branch and bound; see
+/// [`a2a_exact_with`] for the contract.
+///
+/// Beyond the shared reductions, the X2Y search exploits the two-reducer
+/// structure result: when the generic lower bound allows `z ≤ 2`, the
+/// subset-sum DP of [`x2y_two_reducers`] *decides* the two-reducer case,
+/// either settling the instance outright or raising the bound to 3.
+pub fn x2y_exact_with(
+    inst: &X2yInstance,
+    q: Weight,
+    budget: SearchBudget,
+    opts: SearchOptions,
+) -> Result<ExactSchema<X2ySchema>, SchemaError> {
+    let start = Instant::now();
+    let mut heuristic = best_x2y_heuristic(inst, q)?;
+    let mut lb = bounds::x2y_reducer_lb(inst, q);
+    if heuristic.reducer_count() > 2 && lb <= 2 && q <= TWO_REDUCER_DP_MAX_Q {
+        // The heuristics failed to reach 2 reducers, which rules out the
+        // easy cases (an empty side, or W ≤ q where one reducer suffices),
+        // so the optimum is ≥ 2 and the DP decides whether it is exactly 2.
+        match x2y_two_reducers(inst, q) {
+            Some(two) => {
+                heuristic = two;
+                lb = lb.max(2);
+            }
+            None => lb = 3,
+        }
+    }
+    let (nx, ny) = (inst.x.len(), inst.y.len());
+    if heuristic.reducer_count() <= lb
+        || nx > 64
+        || ny > 64
+        || inst.x.max_weight() > MAX_SEARCH_WEIGHT
+        || inst.y.max_weight() > MAX_SEARCH_WEIGHT
+    {
+        // See the matching branch in `a2a_exact_with`: no search ran, so
+        // `exhausted` stays false even when optimality is uncertified.
         return Ok(ExactSchema {
+            optimal: heuristic.reducer_count() <= lb,
             schema: heuristic,
-            optimal: true,
-            nodes: 0,
+            stats: SearchStats::default(),
+            elapsed_us: start.elapsed().as_micros(),
         });
+    }
+    let mut uncovered_pw = 0u128;
+    let mut unc_wx = vec![0u128; nx];
+    let mut unc_wy = vec![0u128; ny];
+    for (x, ux) in unc_wx.iter_mut().enumerate() {
+        let wx = inst.x.weight(x as InputId) as u128;
+        for (y, uy) in unc_wy.iter_mut().enumerate() {
+            let wy = inst.y.weight(y as InputId) as u128;
+            uncovered_pw += wx * wy;
+            *ux += wy;
+            *uy += wx;
+        }
     }
     let mut search = X2ySearch {
         inst,
         q,
-        ny: inst.y.len(),
-        best_z: heuristic.reducer_count(),
+        nx,
+        ny,
+        best_z: 0,
         best: None,
-        nodes: 0,
-        budget: node_budget,
-        exhausted: true,
-        lb,
+        meter: BudgetMeter::new(budget),
+        stats: SearchStats::default(),
+        opts,
         stop: false,
+        uncovered_pw,
+        unc_wx,
+        unc_wy,
+        chosen: Vec::new(),
+        memo: BoundedMemo::new(MEMO_CAPACITY),
     };
-    let mut covered = BitSet::new(inst.x.len() * inst.y.len());
-    search.run(&mut Vec::new(), &mut covered);
+    // Iterative deepening on the reducer count; see [`a2a_exact_with`].
+    let mut certified_unsat_below = lb;
+    for target in lb..heuristic.reducer_count() {
+        search.best_z = target + 1;
+        search.memo.clear();
+        let mut covered = BitSet::new(nx * ny);
+        search.run(&mut covered);
+        if search.stop || search.stats.exhausted {
+            break;
+        }
+        certified_unsat_below = target + 1;
+    }
+    search.stats.nodes = search.meter.nodes();
 
-    let schema = match search.best {
-        Some(reducers) => X2ySchema::from_reducers(reducers),
-        None => heuristic,
+    let (schema, optimal) = match search.best {
+        Some(reducers) => (X2ySchema::from_reducers(reducers), true),
+        None => {
+            let optimal = certified_unsat_below >= heuristic.reducer_count();
+            (heuristic, optimal)
+        }
     };
-    let optimal = search.exhausted || search.stop || schema.reducer_count() <= lb;
+    if optimal {
+        search.stats.exhausted = false;
+    }
     Ok(ExactSchema {
         schema,
         optimal,
-        nodes: search.nodes,
+        stats: search.stats,
+        elapsed_us: start.elapsed().as_micros(),
     })
 }
-
 // ---------------------------------------------------------------------------
 // Two-reducer structure results
 // ---------------------------------------------------------------------------
@@ -508,7 +1266,7 @@ mod tests {
         let inputs = InputSet::from_weights(vec![2, 2, 2]);
         let r = a2a_exact(&inputs, 10, 1000).unwrap();
         assert!(r.optimal);
-        assert_eq!(r.nodes, 0);
+        assert_eq!(r.stats.nodes, 0);
         assert_eq!(r.schema.reducer_count(), 1);
     }
 
@@ -540,6 +1298,7 @@ mod tests {
         let r = a2a_exact(&inputs, 10, 50).unwrap();
         // Whatever came back must be a valid schema.
         r.schema.validate_a2a(&inputs, 10).unwrap();
+        assert!(r.stats.nodes <= 50);
     }
 
     #[test]
@@ -549,6 +1308,43 @@ mod tests {
             a2a_exact(&inputs, 10, 1000),
             Err(SchemaError::Infeasible { .. })
         ));
+    }
+
+    #[test]
+    fn a2a_baseline_and_pruned_agree_on_the_optimum() {
+        for (weights, q) in [
+            (vec![4, 4, 3, 3, 2, 2], 9u64),
+            (vec![5, 8, 5, 8, 5, 8, 5], 21),
+            (vec![1, 2, 3, 4, 5, 6], 11),
+        ] {
+            let inputs = InputSet::from_weights(weights.clone());
+            let pruned = a2a_exact_with(
+                &inputs,
+                q,
+                SearchBudget::nodes(50_000_000),
+                SearchOptions::PRUNED,
+            )
+            .unwrap();
+            let baseline = a2a_exact_with(
+                &inputs,
+                q,
+                SearchBudget::nodes(50_000_000),
+                SearchOptions::BASELINE,
+            )
+            .unwrap();
+            assert!(pruned.optimal && baseline.optimal, "{weights:?}");
+            assert_eq!(
+                pruned.schema.reducer_count(),
+                baseline.schema.reducer_count(),
+                "{weights:?} q={q}"
+            );
+            assert!(
+                pruned.stats.nodes <= baseline.stats.nodes,
+                "pruning expanded more nodes on {weights:?}: {} vs {}",
+                pruned.stats.nodes,
+                baseline.stats.nodes
+            );
+        }
     }
 
     #[test]
@@ -571,6 +1367,17 @@ mod tests {
         let exact = x2y_exact(&inst, q, 5_000_000).unwrap();
         exact.schema.validate(&inst, q).unwrap();
         assert!(exact.schema.reducer_count() <= heuristic.reducer_count());
+    }
+
+    #[test]
+    fn x2y_exact_uses_the_two_reducer_dp_as_a_shortcut() {
+        // Splittable instance: the DP certifies z = 2 without any search.
+        let inst = X2yInstance::from_weights(vec![3, 3, 3, 3], vec![2, 2]);
+        let r = x2y_exact(&inst, 10, 5_000_000).unwrap();
+        assert!(r.optimal);
+        assert_eq!(r.schema.reducer_count(), 2);
+        assert_eq!(r.stats.nodes, 0, "the DP should preempt the search");
+        r.schema.validate(&inst, 10).unwrap();
     }
 
     #[test]

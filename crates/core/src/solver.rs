@@ -24,6 +24,7 @@ use mrassign_binpack::FitPolicy;
 
 use crate::a2a::{self, A2aAlgorithm};
 use crate::error::SchemaError;
+use crate::exact::SearchBudget;
 use crate::input::{InputSet, Weight, X2yInstance};
 use crate::schema::{MappingSchema, X2ySchema};
 use crate::x2y::{self, X2yAlgorithm};
@@ -76,6 +77,7 @@ impl AssignmentSolver for A2aAlgorithm {
             A2aAlgorithm::BigSmall {
                 shared_bins: true, ..
             } => "bigsmall-shared",
+            A2aAlgorithm::Exact(_) => "exact",
         }
     }
 
@@ -100,6 +102,7 @@ impl AssignmentSolver for X2yAlgorithm {
             X2yAlgorithm::GridWithSplit(..) => "grid-split",
             X2yAlgorithm::GridOptimized(_) => "grid-optimized",
             X2yAlgorithm::BigHandling(_) => "bighandling",
+            X2yAlgorithm::Exact(_) => "exact",
         }
     }
 
@@ -112,8 +115,10 @@ impl AssignmentSolver for X2yAlgorithm {
     }
 }
 
-/// Every parameter-free A2A solver, with packing-policy variants pinned to
-/// first-fit-decreasing (the paper's default).
+/// Every parameter-free polynomial A2A solver, with packing-policy
+/// variants pinned to first-fit-decreasing (the paper's default). The
+/// exponential `exact` solver is registered by name only (see
+/// [`a2a_solver`]) so ablation loops iterating this slice stay polynomial.
 pub const A2A_SOLVERS: &[A2aAlgorithm] = &[
     A2aAlgorithm::Auto,
     A2aAlgorithm::OneReducer,
@@ -129,8 +134,10 @@ pub const A2A_SOLVERS: &[A2aAlgorithm] = &[
     },
 ];
 
-/// Every parameter-free X2Y solver ([`X2yAlgorithm::GridWithSplit`] needs an
-/// explicit split, so it is constructed directly rather than registered).
+/// Every parameter-free polynomial X2Y solver
+/// ([`X2yAlgorithm::GridWithSplit`] needs an explicit split, so it is
+/// constructed directly rather than registered; `exact` is name-only, as
+/// for A2A).
 pub const X2Y_SOLVERS: &[X2yAlgorithm] = &[
     X2yAlgorithm::Auto,
     X2yAlgorithm::OneReducer,
@@ -140,23 +147,36 @@ pub const X2Y_SOLVERS: &[X2yAlgorithm] = &[
 ];
 
 /// Looks up a registered A2A solver by its [`AssignmentSolver::name`].
+/// `"exact"` resolves to the branch-and-bound solver under the default
+/// [`SearchBudget`]; use [`A2aAlgorithm::Exact`] directly for a custom one.
 pub fn a2a_solver(name: &str) -> Option<A2aAlgorithm> {
+    if name == "exact" {
+        return Some(A2aAlgorithm::Exact(SearchBudget::default()));
+    }
     A2A_SOLVERS.iter().copied().find(|s| s.name() == name)
 }
 
-/// Looks up a registered X2Y solver by its [`AssignmentSolver::name`].
+/// Looks up a registered X2Y solver by its [`AssignmentSolver::name`];
+/// `"exact"` resolves as in [`a2a_solver`].
 pub fn x2y_solver(name: &str) -> Option<X2yAlgorithm> {
+    if name == "exact" {
+        return Some(X2yAlgorithm::Exact(SearchBudget::default()));
+    }
     X2Y_SOLVERS.iter().copied().find(|s| s.name() == name)
 }
 
 /// The registered A2A solver names, in registry order (for usage strings).
 pub fn a2a_solver_names() -> Vec<&'static str> {
-    A2A_SOLVERS.iter().map(AssignmentSolver::name).collect()
+    let mut names: Vec<&'static str> = A2A_SOLVERS.iter().map(AssignmentSolver::name).collect();
+    names.push("exact");
+    names
 }
 
 /// The registered X2Y solver names, in registry order (for usage strings).
 pub fn x2y_solver_names() -> Vec<&'static str> {
-    X2Y_SOLVERS.iter().map(AssignmentSolver::name).collect()
+    let mut names: Vec<&'static str> = X2Y_SOLVERS.iter().map(AssignmentSolver::name).collect();
+    names.push("exact");
+    names
 }
 
 #[cfg(test)]
@@ -168,11 +188,11 @@ mod tests {
         let mut a2a_names = a2a_solver_names();
         a2a_names.sort_unstable();
         a2a_names.dedup();
-        assert_eq!(a2a_names.len(), A2A_SOLVERS.len());
+        assert_eq!(a2a_names.len(), A2A_SOLVERS.len() + 1); // + "exact"
         let mut x2y_names = x2y_solver_names();
         x2y_names.sort_unstable();
         x2y_names.dedup();
-        assert_eq!(x2y_names.len(), X2Y_SOLVERS.len());
+        assert_eq!(x2y_names.len(), X2Y_SOLVERS.len() + 1);
     }
 
     #[test]
@@ -187,6 +207,32 @@ mod tests {
         }
         assert_eq!(a2a_solver("nonsense"), None);
         assert_eq!(x2y_solver("grid-split"), None);
+    }
+
+    #[test]
+    fn exact_resolves_by_name_with_the_default_budget() {
+        let a2a = a2a_solver("exact").expect("registered by name");
+        assert_eq!(a2a, A2aAlgorithm::Exact(SearchBudget::default()));
+        assert_eq!(a2a.name(), "exact");
+        let x2y = x2y_solver("exact").expect("registered by name");
+        assert_eq!(x2y, X2yAlgorithm::Exact(SearchBudget::default()));
+        assert_eq!(x2y.name(), "exact");
+        // The polynomial registries stay exact-free: ablation loops and
+        // the oracle differential tests iterate them exhaustively.
+        assert!(A2A_SOLVERS.iter().all(|s| s.name() != "exact"));
+        assert!(X2Y_SOLVERS.iter().all(|s| s.name() != "exact"));
+    }
+
+    #[test]
+    fn exact_solver_solves_through_the_registry() {
+        let solver = a2a_solver("exact").unwrap();
+        let inputs = InputSet::from_weights(vec![4, 4, 3, 3, 2, 2]);
+        let schema = solver.solve(&inputs, 9).unwrap();
+        schema.validate_a2a(&inputs, 9).unwrap();
+        let x_solver = x2y_solver("exact").unwrap();
+        let inst = X2yInstance::from_weights(vec![3, 2, 2], vec![3, 2]);
+        let x_schema = x_solver.solve(&inst, 7).unwrap();
+        x_schema.validate(&inst, 7).unwrap();
     }
 
     #[test]

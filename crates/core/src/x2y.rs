@@ -18,6 +18,7 @@ use mrassign_binpack::FitPolicy;
 
 use crate::bounds::x2y_feasible;
 use crate::error::SchemaError;
+use crate::exact::SearchBudget;
 use crate::input::{InputId, InputSet, Weight, X2yInstance};
 use crate::schema::{X2yReducer, X2ySchema};
 
@@ -40,6 +41,12 @@ pub enum X2yAlgorithm {
     /// Force big-input handling (falls back to the balanced grid when no
     /// big inputs exist).
     BigHandling(FitPolicy),
+    /// The branch-and-bound exact solver ([`crate::exact::x2y_exact_with`])
+    /// under the given [`SearchBudget`]. Returns the optimal schema when
+    /// the search certifies within budget, the best heuristic schema
+    /// otherwise; callers needing the certificate and
+    /// [`crate::exact::SearchStats`] should use [`crate::exact`] directly.
+    Exact(SearchBudget),
 }
 
 /// Computes an X2Y mapping schema for `inst` under capacity `q`.
@@ -75,6 +82,10 @@ pub fn solve(
         X2yAlgorithm::GridWithSplit(policy, c) => grid(inst, q, policy, Some(c)),
         X2yAlgorithm::GridOptimized(policy) => grid_optimized(inst, q, policy),
         X2yAlgorithm::BigHandling(policy) => big_handling(inst, q, policy),
+        X2yAlgorithm::Exact(budget) => {
+            crate::exact::x2y_exact_with(inst, q, budget, crate::exact::SearchOptions::default())
+                .map(|r| r.schema)
+        }
     }
 }
 

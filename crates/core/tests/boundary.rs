@@ -1,0 +1,139 @@
+//! Robustness properties on adversarial instances straddling the `q/2`
+//! feasibility boundary.
+//!
+//! [`SizeDistribution::Boundary`] deliberately mixes near-`q/2` sizes,
+//! crumbs, and near-`q` giants, so many sampled instances are infeasible
+//! (two giants cannot meet) and many sit exactly on the regime threshold
+//! between bin-pack-and-pair and big-input handling. The contract under
+//! test: every registered solver — and the exact solvers — either returns
+//! a schema that independently validates, or returns the documented error
+//! kinds. Never a panic, never an invalid schema, and the feasibility
+//! predicate agrees exactly with the `Auto` solvers' success.
+
+use mrassign_core::solver::{AssignmentSolver, A2A_SOLVERS, X2Y_SOLVERS};
+use mrassign_core::{bounds, exact, InputSet, SchemaError, X2yInstance};
+use mrassign_workloads::SizeDistribution;
+use proptest::prelude::*;
+
+/// The error kinds a solver is allowed to return on a boundary instance.
+fn documented(e: &SchemaError) -> bool {
+    matches!(
+        e,
+        SchemaError::Infeasible { .. }
+            | SchemaError::RegimeViolation { .. }
+            | SchemaError::ZeroCapacity
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn a2a_solvers_survive_boundary_instances(
+        q in 4u64..60,
+        m in 2usize..12,
+        seed in 0u64..1_000,
+    ) {
+        let weights = SizeDistribution::Boundary { q }.sample_many(m, seed);
+        let inputs = InputSet::from_weights(weights.clone());
+        let feasible = bounds::a2a_feasible(&inputs, q).is_ok();
+        for solver in A2A_SOLVERS {
+            match solver.solve(&inputs, q) {
+                Ok(schema) => {
+                    prop_assert!(
+                        schema.validate_a2a(&inputs, q).is_ok(),
+                        "{} returned an invalid schema on {weights:?} q={q}",
+                        solver.name()
+                    );
+                    prop_assert!(feasible, "{} solved an infeasible instance", solver.name());
+                }
+                Err(e) => prop_assert!(
+                    documented(&e),
+                    "{} returned an undocumented error on {weights:?} q={q}: {e}",
+                    solver.name()
+                ),
+            }
+        }
+        // Auto succeeds exactly on feasible instances.
+        let auto = mrassign_core::solver::a2a_solver("auto").unwrap();
+        prop_assert_eq!(auto.solve(&inputs, q).is_ok(), feasible);
+    }
+
+    #[test]
+    fn a2a_exact_survives_boundary_instances(
+        q in 4u64..40,
+        m in 2usize..9,
+        seed in 0u64..500,
+    ) {
+        let weights = SizeDistribution::Boundary { q }.sample_many(m, seed);
+        let inputs = InputSet::from_weights(weights.clone());
+        match exact::a2a_exact(&inputs, q, 200_000u64) {
+            Ok(result) => {
+                prop_assert!(result.schema.validate_a2a(&inputs, q).is_ok());
+                if result.optimal {
+                    prop_assert!(!result.stats.exhausted);
+                    prop_assert!(
+                        result.schema.reducer_count() >= bounds::a2a_reducer_lb(&inputs, q)
+                    );
+                }
+            }
+            Err(e) => prop_assert!(documented(&e), "{weights:?} q={q}: {e}"),
+        }
+    }
+
+    #[test]
+    fn x2y_solvers_survive_boundary_instances(
+        q in 4u64..60,
+        nx in 1usize..7,
+        ny in 1usize..7,
+        seed in 0u64..1_000,
+    ) {
+        let x = SizeDistribution::Boundary { q }.sample_many(nx, seed);
+        let y = SizeDistribution::Boundary { q }.sample_many(ny, seed.wrapping_add(77));
+        let inst = X2yInstance::from_weights(x.clone(), y.clone());
+        let feasible = bounds::x2y_feasible(&inst, q).is_ok();
+        for solver in X2Y_SOLVERS {
+            match solver.solve(&inst, q) {
+                Ok(schema) => {
+                    prop_assert!(
+                        schema.validate(&inst, q).is_ok(),
+                        "{} returned an invalid schema on x={x:?} y={y:?} q={q}",
+                        solver.name()
+                    );
+                    prop_assert!(feasible, "{} solved an infeasible instance", solver.name());
+                }
+                Err(e) => prop_assert!(
+                    documented(&e),
+                    "{} returned an undocumented error on x={x:?} y={y:?} q={q}: {e}",
+                    solver.name()
+                ),
+            }
+        }
+        let auto = mrassign_core::solver::x2y_solver("auto").unwrap();
+        prop_assert_eq!(auto.solve(&inst, q).is_ok(), feasible);
+    }
+
+    #[test]
+    fn x2y_exact_survives_boundary_instances(
+        q in 4u64..40,
+        nx in 1usize..6,
+        ny in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let x = SizeDistribution::Boundary { q }.sample_many(nx, seed);
+        let y = SizeDistribution::Boundary { q }.sample_many(ny, seed.wrapping_add(31));
+        let inst = X2yInstance::from_weights(x.clone(), y.clone());
+        match exact::x2y_exact(&inst, q, 200_000u64) {
+            Ok(result) => {
+                prop_assert!(result.schema.validate(&inst, q).is_ok());
+                if result.optimal {
+                    prop_assert!(!result.stats.exhausted);
+                    prop_assert!(
+                        result.schema.reducer_count() >= bounds::x2y_reducer_lb(&inst, q)
+                    );
+                }
+            }
+            Err(e) => prop_assert!(documented(&e), "x={x:?} y={y:?} q={q}: {e}"),
+        }
+    }
+}

@@ -186,6 +186,98 @@ proptest! {
     }
 }
 
+/// The table2 PARTITION-tight family: alternating 5s and 8s under q = 21.
+fn tight_family(m: usize) -> InputSet {
+    InputSet::from_weights((0..m as u64).map(|i| 5 + (i * 3) % 6).collect())
+}
+
+#[test]
+fn a2a_search_budget_is_monotone() {
+    // More nodes ⇒ the returned reducer count never worsens, node usage
+    // never exceeds the budget, and certification never regresses.
+    let instances = [tight_family(10), tight_family(11)];
+    for inputs in &instances {
+        let mut last_count = usize::MAX;
+        let mut was_optimal = false;
+        for budget in [50u64, 500, 5_000, 50_000, 500_000, 5_000_000] {
+            let r = exact::a2a_exact(inputs, 21, budget).unwrap();
+            r.schema.validate_a2a(inputs, 21).unwrap();
+            assert!(r.stats.nodes <= budget);
+            assert!(
+                r.schema.reducer_count() <= last_count,
+                "budget {budget} worsened the incumbent: {} > {last_count}",
+                r.schema.reducer_count()
+            );
+            assert!(
+                !was_optimal || r.optimal,
+                "certification regressed at {budget}"
+            );
+            last_count = r.schema.reducer_count();
+            was_optimal = r.optimal;
+        }
+        assert!(
+            was_optimal,
+            "the largest budget must certify these instances"
+        );
+    }
+}
+
+#[test]
+fn budget_exhaustion_is_flagged_never_silently_optimal() {
+    // m = 13 of the tight family needs far more than 2M nodes to certify:
+    // the solver must say so via `optimal: false` + `stats.exhausted`,
+    // and hand back the (valid) heuristic schema.
+    let inputs = tight_family(13);
+    let r = exact::a2a_exact(&inputs, 21, 2_000_000u64).unwrap();
+    assert!(!r.optimal);
+    assert!(
+        r.stats.exhausted,
+        "an uncertified result must be flagged exhausted"
+    );
+    assert_eq!(r.stats.nodes, 2_000_000);
+    r.schema.validate_a2a(&inputs, 21).unwrap();
+
+    // A certified result must never carry the exhausted flag.
+    let certified = exact::a2a_exact(&tight_family(11), 21, 5_000_000u64).unwrap();
+    assert!(certified.optimal);
+    assert!(!certified.stats.exhausted);
+}
+
+#[test]
+fn x2y_search_budget_is_monotone_and_flags_exhaustion() {
+    let inst = X2yInstance::from_weights(vec![5, 8, 5, 8, 5, 8], vec![8, 5, 8, 5, 8]);
+    let q = 21;
+    let mut last_count = usize::MAX;
+    let mut was_optimal = false;
+    for budget in [10u64, 100, 1_000, 10_000, 100_000, 1_000_000] {
+        let r = exact::x2y_exact(&inst, q, budget).unwrap();
+        r.schema.validate(&inst, q).unwrap();
+        assert!(r.stats.nodes <= budget);
+        assert!(r.schema.reducer_count() <= last_count);
+        assert!(!was_optimal || r.optimal);
+        assert_eq!(r.optimal, !r.stats.exhausted || r.stats.nodes == 0);
+        last_count = r.schema.reducer_count();
+        was_optimal = r.optimal;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn a2a_budget_monotone_on_random_instances((inputs, q) in feasible_a2a()) {
+        if inputs.len() <= 8 {
+            let small = exact::a2a_exact(&inputs, q, 2_000u64).unwrap();
+            let large = exact::a2a_exact(&inputs, q, 200_000u64).unwrap();
+            prop_assert!(large.schema.reducer_count() <= small.schema.reducer_count());
+            prop_assert!(!small.optimal || large.optimal);
+            // Exhaustion and certification are mutually exclusive reports.
+            prop_assert!(!(small.optimal && small.stats.exhausted));
+            prop_assert!(!(large.optimal && large.stats.exhausted));
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 

@@ -206,3 +206,54 @@ fn communication_monotone_in_capacity() {
         last = comm;
     }
 }
+
+/// The pre-pruning frontier, pinned. The seed branch-and-bound exhausted a
+/// 50M-node budget on the alternating-5/8 family at m = 11 *without*
+/// certifying (measured on the seed implementation: 50,000,000 nodes,
+/// `certified = false`). The reworked search must certify the same
+/// instance with at least 10× fewer nodes — it currently needs ~10k.
+#[test]
+fn pruned_search_certifies_m11_with_10x_fewer_nodes_than_the_seed() {
+    let inputs = InputSet::from_weights((0..11u64).map(|i| 5 + (i * 3) % 6).collect());
+    let r = exact::a2a_exact(&inputs, 21, 50_000_000u64).unwrap();
+    assert!(r.optimal, "stats: {:?}", r.stats);
+    assert!(
+        r.stats.nodes <= 5_000_000,
+        "pruning regressed: {} nodes on the m=11 tight family (seed: 50M, uncertified)",
+        r.stats.nodes
+    );
+    assert_eq!(r.schema.reducer_count(), 18);
+    r.schema.validate_a2a(&inputs, 21).unwrap();
+}
+
+/// The iterative-deepening certificate is two-sided: refuting the target
+/// below the optimum is what certifies. Cross-check the m = 11 optimum
+/// against the generic lower bound (17, from communication) — the search
+/// proves 17 impossible, which no counting bound can.
+#[test]
+fn m11_tight_family_optimum_exceeds_the_counting_bound() {
+    let inputs = InputSet::from_weights((0..11u64).map(|i| 5 + (i * 3) % 6).collect());
+    assert_eq!(bounds::a2a_reducer_lb(&inputs, 21), 17);
+    let r = exact::a2a_exact(&inputs, 21, 50_000_000u64).unwrap();
+    assert!(r.optimal);
+    assert_eq!(r.schema.reducer_count(), 18);
+}
+
+/// Weights near u64::MAX would overflow the searches' u128 pair-weight
+/// accounting (pair products ≈ 2^126 summed); such instances must take the
+/// no-search fallback — a valid heuristic schema, never a panic and never
+/// a fabricated certificate from wrapped bounds.
+#[test]
+fn astronomical_weights_skip_the_search_without_overflow() {
+    let w = u64::MAX / 4;
+    let inputs = InputSet::from_weights(vec![w; 6]);
+    let q = u64::MAX / 2 + 2; // any pair fits: feasible
+    let r = exact::a2a_exact(&inputs, q, 1_000_000u64).unwrap();
+    r.schema.validate_a2a(&inputs, q).unwrap();
+    assert_eq!(r.stats.nodes, 0, "the search must not start");
+    assert!(!r.stats.exhausted);
+    let inst = X2yInstance::from_weights(vec![w; 3], vec![w; 3]);
+    let rx = exact::x2y_exact(&inst, q, 1_000_000u64).unwrap();
+    rx.schema.validate(&inst, q).unwrap();
+    assert_eq!(rx.stats.nodes, 0);
+}

@@ -41,6 +41,17 @@ pub enum SizeDistribution {
         /// Probability of drawing `big`, in `[0, 1]`.
         big_fraction: f64,
     },
+    /// Adversarial mix straddling the `q/2` feasibility boundary for the
+    /// given reducer capacity: most sizes land within ±2 of `⌊q/2⌋` (the
+    /// regime threshold between "bin-pack-and-pair" and "big-input
+    /// handling"), with occasional crumbs and near-`q` giants. Two giants
+    /// together exceed `q`, so sampled instances are frequently
+    /// *infeasible* — by design: solvers must reject them with a proper
+    /// error instead of panicking or emitting an invalid schema.
+    Boundary {
+        /// The reducer capacity whose `q/2` threshold the sizes straddle.
+        q: u64,
+    },
 }
 
 impl SizeDistribution {
@@ -77,6 +88,19 @@ impl SizeDistribution {
                     small
                 }
             }
+            SizeDistribution::Boundary { q } => {
+                let half = (q / 2).max(1);
+                match rng.random_range(0..100u32) {
+                    // Within ±2 of the threshold (clamped positive).
+                    0..=54 => (half + rng.random_range(0..=4)).saturating_sub(2).max(1),
+                    // Exactly on it.
+                    55..=74 => half,
+                    // Crumbs.
+                    75..=89 => rng.random_range(1..=3.min(q.max(1))),
+                    // Giants just under the capacity.
+                    _ => q.saturating_sub(rng.random_range(1..=3)).max(1),
+                }
+            }
         }
     }
 
@@ -95,6 +119,7 @@ impl SizeDistribution {
                 big,
                 big_fraction,
             } => format!("bimodal({small},{big},{big_fraction})"),
+            SizeDistribution::Boundary { q } => format!("boundary({q})"),
         }
     }
 }
@@ -237,6 +262,28 @@ mod tests {
     }
 
     #[test]
+    fn boundary_straddles_the_threshold() {
+        let q = 20u64;
+        let sizes = SizeDistribution::Boundary { q }.sample_many(2000, 17);
+        assert!(sizes.iter().all(|&w| (1..q).contains(&w)));
+        // All three bands appear: near-threshold, crumbs, giants.
+        assert!(sizes.iter().any(|&w| (8..=12).contains(&w)));
+        assert!(sizes.iter().any(|&w| w <= 3));
+        assert!(sizes.iter().any(|&w| w >= q - 3));
+        // The bulk hugs the q/2 boundary.
+        let near = sizes.iter().filter(|&&w| (8..=12).contains(&w)).count();
+        assert!(near * 2 >= sizes.len(), "near = {near}");
+    }
+
+    #[test]
+    fn boundary_handles_degenerate_capacities() {
+        for q in [1u64, 2, 3] {
+            let sizes = SizeDistribution::Boundary { q }.sample_many(200, 3);
+            assert!(sizes.iter().all(|&w| w >= 1), "q={q}: {sizes:?}");
+        }
+    }
+
+    #[test]
     fn labels_are_distinct() {
         let labels = [
             SizeDistribution::Constant(1).label(),
@@ -253,6 +300,7 @@ mod tests {
                 big_fraction: 0.5,
             }
             .label(),
+            SizeDistribution::Boundary { q: 9 }.label(),
         ];
         let mut sorted = labels.to_vec();
         sorted.sort();

@@ -58,6 +58,6 @@ fn main() {
         heuristic.reducer_count(),
         optimal.schema.reducer_count(),
         optimal.optimal,
-        optimal.nodes,
+        optimal.stats.nodes,
     );
 }

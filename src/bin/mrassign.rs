@@ -2,18 +2,21 @@
 //!
 //! ```text
 //! mrassign gen  --dist uniform:10:100 --m 1000 --seed 7 [--out weights.txt]
-//! mrassign a2a  --weights weights.txt --q 200 [--algo <a2a solver>] [--routes]
-//! mrassign x2y  --x xs.txt --y ys.txt --q 200 [--algo <x2y solver>] [--routes]
+//! mrassign a2a  --weights weights.txt --q 200 [--algo <a2a solver>] [--budget <nodes>] [--routes]
+//! mrassign x2y  --x xs.txt --y ys.txt --q 200 [--algo <x2y solver>] [--budget <nodes>] [--routes]
 //! mrassign plan --weights weights.txt [--workers 16] [--candidates 10]
-//!               [--objective makespan|comm:<slowdown>] [--algo <a2a solver>]
+//!               [--objective makespan|comm:<slowdown>] [--algo <a2a solver>] [--budget <nodes>]
 //!               [--threads <n>] [--shuffle materialized|streaming]
 //! ```
 //!
 //! Solver names come from the registry in `mrassign_core::solver`
-//! (`mrassign a2a --algo nonsense` lists them). `--threads` fans the plan
-//! command's q-frontier sweep across OS threads and `--shuffle` picks the
-//! engine's shuffle mode — neither changes any output, only wall-clock
-//! time and peak memory.
+//! (`mrassign a2a --algo nonsense` lists them). `--algo exact` runs the
+//! branch-and-bound optimal solver; `--budget` caps its node count (it is
+//! rejected with any other solver) and the summary gains a `search:` line
+//! with the node/prune/memo statistics and whether optimality was
+//! certified. `--threads` fans the plan command's q-frontier sweep across
+//! OS threads and `--shuffle` picks the engine's shuffle mode — neither
+//! changes any output, only wall-clock time and peak memory.
 //!
 //! Weight files hold one integer per line; `#` starts a comment. All
 //! commands print a human-readable summary; `--routes` additionally dumps
@@ -23,6 +26,7 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+use mrassign::core::exact::{self, SearchBudget, SearchOptions, SearchStats};
 use mrassign::core::solver::{a2a_solver, a2a_solver_names, x2y_solver, x2y_solver_names};
 use mrassign::core::{
     a2a, bounds, stats::SchemaStats, x2y, AssignmentSolver, InputSet, X2yInstance,
@@ -49,14 +53,15 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   mrassign gen  --dist <spec> --m <n> [--seed <s>] [--out <file>]
-  mrassign a2a  --weights <file> --q <n> [--algo <a2a solver>] [--routes]
-  mrassign x2y  --x <file> --y <file> --q <n> [--algo <x2y solver>] [--routes]
+  mrassign a2a  --weights <file> --q <n> [--algo <a2a solver>] [--budget <nodes>] [--routes]
+  mrassign x2y  --x <file> --y <file> --q <n> [--algo <x2y solver>] [--budget <nodes>] [--routes]
   mrassign plan --weights <file> [--workers <n>] [--candidates <n>] [--objective makespan|comm:<slowdown>]
-                [--algo <a2a solver>] [--threads <n>] [--shuffle materialized|streaming]
+                [--algo <a2a solver>] [--budget <nodes>] [--threads <n>] [--shuffle materialized|streaming]
 
-distribution specs: const:<w> | uniform:<lo>:<hi> | zipf:<ranks>:<exp>:<max> | bimodal:<small>:<big>:<frac>
-a2a solvers: auto | one-reducer | grouping | pairing | bigsmall | bigsmall-shared
-x2y solvers: auto | one-reducer | grid | grid-optimized | bighandling";
+distribution specs: const:<w> | uniform:<lo>:<hi> | zipf:<ranks>:<exp>:<max> | bimodal:<small>:<big>:<frac> | boundary:<q>
+a2a solvers: auto | one-reducer | grouping | pairing | bigsmall | bigsmall-shared | exact
+x2y solvers: auto | one-reducer | grid | grid-optimized | bighandling | exact
+--budget applies to --algo exact only: positive branch-and-bound node cap, e.g. --budget 2000000";
 
 /// Executes a parsed command line; returns the printable result.
 fn run(args: &[String]) -> Result<String, String> {
@@ -124,6 +129,9 @@ fn parse_dist(spec: &str) -> Result<SizeDistribution, String> {
             big: parse_num(big, "a weight")?,
             big_fraction: parse_num(frac, "a fraction")?,
         }),
+        ["boundary", q] => Ok(SizeDistribution::Boundary {
+            q: parse_num(q, "a capacity")?,
+        }),
         _ => Err(format!("unknown distribution spec `{spec}`")),
     }
 }
@@ -171,6 +179,48 @@ fn parse_shuffle(name: &str) -> Result<ShuffleMode, String> {
     name.parse()
 }
 
+/// Parses the optional `--budget <nodes>` flag and checks it only rides
+/// along with `--algo exact` (`algo_name` is the resolved solver name).
+fn parse_budget(
+    flags: &HashMap<String, String>,
+    algo_name: &str,
+) -> Result<Option<SearchBudget>, String> {
+    let Some(value) = flags.get("budget") else {
+        return Ok(None);
+    };
+    if algo_name != "exact" {
+        return Err(format!(
+            "--budget only applies to --algo exact (got --algo {algo_name})"
+        ));
+    }
+    let nodes: u64 = value.parse().map_err(|_| {
+        format!("cannot parse `{value}` as a node budget (expected a positive integer of branch-and-bound nodes, e.g. --budget 2000000)")
+    })?;
+    if nodes == 0 {
+        return Err(
+            "a node budget of 0 can never certify anything; pass a positive integer".into(),
+        );
+    }
+    Ok(Some(SearchBudget::nodes(nodes)))
+}
+
+/// Renders the `search:` summary line for exact-solver runs.
+fn render_search_stats(stats: &SearchStats, optimal: bool) -> String {
+    format!(
+        "search:          {} nodes, {} bound prunes, {} dominance prunes, {} memo hits, \
+         certified optimal: {optimal}{}",
+        stats.nodes,
+        stats.pruned_bound,
+        stats.pruned_dominance,
+        stats.memo_hits,
+        if stats.exhausted {
+            " (budget exhausted)"
+        } else {
+            ""
+        },
+    )
+}
+
 fn parse_objective(spec: &str) -> Result<Objective, String> {
     if spec == "makespan" {
         return Ok(Objective::MinimizeMakespan);
@@ -206,8 +256,21 @@ fn cmd_a2a(flags: &HashMap<String, String>) -> Result<String, String> {
     let weights = load_weights(required(flags, "weights")?)?;
     let q: u64 = parse_num(required(flags, "q")?, "a capacity")?;
     let algo = parse_a2a_algo(flags.get("algo").map(String::as_str).unwrap_or("auto"))?;
+    let budget = parse_budget(flags, algo.name())?;
     let inputs = InputSet::from_weights(weights);
-    let schema = algo.solve(&inputs, q).map_err(|e| e.to_string())?;
+    let (schema, search_line) = if let a2a::A2aAlgorithm::Exact(default_budget) = algo {
+        let result = exact::a2a_exact_with(
+            &inputs,
+            q,
+            budget.unwrap_or(default_budget),
+            SearchOptions::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        let line = render_search_stats(&result.stats, result.optimal);
+        (result.schema, Some(line))
+    } else {
+        (algo.solve(&inputs, q).map_err(|e| e.to_string())?, None)
+    };
     schema.validate_a2a(&inputs, q).map_err(|e| e.to_string())?;
     let stats = SchemaStats::for_a2a(&schema, &inputs, q);
 
@@ -225,6 +288,10 @@ fn cmd_a2a(flags: &HashMap<String, String>) -> Result<String, String> {
         stats.replication_rate(),
         stats.max_load,
     );
+    if let Some(line) = search_line {
+        out.push('\n');
+        out.push_str(&line);
+    }
     if flags.contains_key("routes") {
         out.push('\n');
         out.push_str(&render_routes(schema.reducers()));
@@ -237,8 +304,21 @@ fn cmd_x2y(flags: &HashMap<String, String>) -> Result<String, String> {
     let y = load_weights(required(flags, "y")?)?;
     let q: u64 = parse_num(required(flags, "q")?, "a capacity")?;
     let algo = parse_x2y_algo(flags.get("algo").map(String::as_str).unwrap_or("auto"))?;
+    let budget = parse_budget(flags, algo.name())?;
     let inst = X2yInstance::from_weights(x, y);
-    let schema = algo.solve(&inst, q).map_err(|e| e.to_string())?;
+    let (schema, search_line) = if let x2y::X2yAlgorithm::Exact(default_budget) = algo {
+        let result = exact::x2y_exact_with(
+            &inst,
+            q,
+            budget.unwrap_or(default_budget),
+            SearchOptions::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        let line = render_search_stats(&result.stats, result.optimal);
+        (result.schema, Some(line))
+    } else {
+        (algo.solve(&inst, q).map_err(|e| e.to_string())?, None)
+    };
     schema.validate(&inst, q).map_err(|e| e.to_string())?;
     let stats = SchemaStats::for_x2y(&schema, &inst, q);
 
@@ -255,6 +335,10 @@ fn cmd_x2y(flags: &HashMap<String, String>) -> Result<String, String> {
         bounds::x2y_comm_lb(&inst, q),
         stats.max_load,
     );
+    if let Some(line) = search_line {
+        out.push('\n');
+        out.push_str(&line);
+    }
     if flags.contains_key("routes") {
         out.push('\n');
         for (rid, r) in schema.reducers().iter().enumerate() {
@@ -286,7 +370,10 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<String, String> {
             .map(String::as_str)
             .unwrap_or("makespan"),
     )?;
-    let algo = parse_a2a_algo(flags.get("algo").map(String::as_str).unwrap_or("auto"))?;
+    let mut algo = parse_a2a_algo(flags.get("algo").map(String::as_str).unwrap_or("auto"))?;
+    if let Some(budget) = parse_budget(flags, algo.name())? {
+        algo = a2a::A2aAlgorithm::Exact(budget);
+    }
     let shuffle = parse_shuffle(
         flags
             .get("shuffle")
@@ -399,8 +486,13 @@ mod tests {
             parse_dist("bimodal:1:9:0.25").unwrap(),
             SizeDistribution::Bimodal { big: 9, .. }
         ));
+        assert_eq!(
+            parse_dist("boundary:40").unwrap(),
+            SizeDistribution::Boundary { q: 40 }
+        );
         assert!(parse_dist("nonsense").is_err());
         assert!(parse_dist("uniform:1").is_err());
+        assert!(parse_dist("boundary:x").is_err());
     }
 
     #[test]
@@ -520,10 +612,17 @@ mod tests {
 
     #[test]
     fn solver_names_resolve_through_the_registry() {
-        for name in ["auto", "grouping", "pairing", "bigsmall", "bigsmall-shared"] {
+        for name in [
+            "auto",
+            "grouping",
+            "pairing",
+            "bigsmall",
+            "bigsmall-shared",
+            "exact",
+        ] {
             assert!(parse_a2a_algo(name).is_ok(), "{name}");
         }
-        for name in ["auto", "grid", "grid-optimized", "bighandling"] {
+        for name in ["auto", "grid", "grid-optimized", "bighandling", "exact"] {
             assert!(parse_x2y_algo(name).is_ok(), "{name}");
         }
         assert!(parse_a2a_algo("grid").is_err());
@@ -531,6 +630,120 @@ mod tests {
         assert!(parse_shuffle("materialized").is_ok());
         assert!(parse_shuffle("streaming").is_ok());
         assert!(parse_shuffle("mystery").is_err());
+    }
+
+    #[test]
+    fn unknown_algo_errors_name_every_candidate() {
+        let err = parse_a2a_algo("bogus").unwrap_err();
+        for name in [
+            "auto",
+            "one-reducer",
+            "grouping",
+            "pairing",
+            "bigsmall",
+            "exact",
+        ] {
+            assert!(err.contains(name), "`{name}` missing from: {err}");
+        }
+        let err = parse_x2y_algo("bogus").unwrap_err();
+        for name in [
+            "auto",
+            "one-reducer",
+            "grid",
+            "grid-optimized",
+            "bighandling",
+            "exact",
+        ] {
+            assert!(err.contains(name), "`{name}` missing from: {err}");
+        }
+    }
+
+    #[test]
+    fn budget_flag_parses_and_is_guarded() {
+        let flags = |pairs: &[(&str, &str)]| -> HashMap<String, String> {
+            pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect()
+        };
+        // No --budget: fine with any solver.
+        assert_eq!(parse_budget(&flags(&[]), "auto").unwrap(), None);
+        // --budget with exact: parsed into a nodes-only budget.
+        assert_eq!(
+            parse_budget(&flags(&[("budget", "1234")]), "exact").unwrap(),
+            Some(SearchBudget::nodes(1234))
+        );
+        // --budget with a heuristic solver is rejected, naming the rule.
+        let err = parse_budget(&flags(&[("budget", "1234")]), "auto").unwrap_err();
+        assert!(err.contains("--algo exact"), "{err}");
+        // Malformed and useless budgets are rejected with guidance.
+        let err = parse_budget(&flags(&[("budget", "lots")]), "exact").unwrap_err();
+        assert!(err.contains("node budget"), "{err}");
+        assert!(parse_budget(&flags(&[("budget", "0")]), "exact").is_err());
+    }
+
+    #[test]
+    fn a2a_exact_command_prints_search_stats() {
+        let dir = std::env::temp_dir().join("mrassign-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("exact-weights.txt");
+        std::fs::write(&path, "4\n4\n3\n3\n2\n2\n").unwrap();
+        let out = run(&[
+            "a2a".into(),
+            "--weights".into(),
+            path.to_str().unwrap().into(),
+            "--q".into(),
+            "9".into(),
+            "--algo".into(),
+            "exact".into(),
+            "--budget".into(),
+            "1000000".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("search:"), "{out}");
+        assert!(out.contains("certified optimal: true"), "{out}");
+        std::fs::remove_file(path).unwrap();
+
+        let (xp, yp) = (dir.join("exact-x.txt"), dir.join("exact-y.txt"));
+        std::fs::write(&xp, "3\n2\n2\n").unwrap();
+        std::fs::write(&yp, "3\n2\n").unwrap();
+        let out = run(&[
+            "x2y".into(),
+            "--x".into(),
+            xp.to_str().unwrap().into(),
+            "--y".into(),
+            yp.to_str().unwrap().into(),
+            "--q".into(),
+            "7".into(),
+            "--algo".into(),
+            "exact".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("search:"), "{out}");
+        std::fs::remove_file(xp).unwrap();
+        std::fs::remove_file(yp).unwrap();
+    }
+
+    #[test]
+    fn budget_with_heuristic_algo_is_rejected_end_to_end() {
+        let dir = std::env::temp_dir().join("mrassign-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("budget-guard-weights.txt");
+        std::fs::write(&path, "4\n4\n3\n").unwrap();
+        for cmd in ["a2a", "plan"] {
+            let err = run(&[
+                cmd.into(),
+                "--weights".into(),
+                path.to_str().unwrap().into(),
+                "--q".into(),
+                "9".into(),
+                "--budget".into(),
+                "5000".into(),
+            ])
+            .unwrap_err();
+            assert!(err.contains("--algo exact"), "{cmd}: {err}");
+        }
+        std::fs::remove_file(path).unwrap();
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! Repository automation, invoked as `cargo xtask <command>` (the alias
+//! lives in `.cargo/config.toml`).
+//!
+//! The one command so far is the ROADMAP's CI bench-regression gate:
+//!
+//! ```text
+//! cargo xtask bench-check [--tolerance <factor>] [--bench <group>]
+//! ```
+//!
+//! It snapshots the committed `BENCH_<group>.json` baseline, re-runs
+//! `cargo bench -p mrassign-bench --bench <group>` (which overwrites that
+//! file), compares the fresh medians against the baseline, restores the
+//! committed baseline, and exits non-zero when any benchmark regressed
+//! beyond the tolerance.
+//!
+//! The comparison is **host-aware**: the baseline records `host_cpus`, and
+//! when the current machine's core count differs, rows that exercise
+//! parallelism (`threads=N` for N > 1) are skipped and the tolerance is
+//! doubled — a 1-core container measuring a 4-thread sweep reports
+//! scheduling overhead, not a regression (see `BENCH_planner.json`'s
+//! seed history).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+/// Default allowed slowdown factor before a row counts as a regression.
+/// Generous because CI containers are noisy; tighten locally with
+/// `--tolerance`.
+const DEFAULT_TOLERANCE: f64 = 1.6;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(
+            "usage: cargo xtask bench-check [--tolerance <factor>] [--bench <group>]".into(),
+        );
+    };
+    match command.as_str() {
+        "bench-check" => bench_check(rest),
+        other => Err(format!("unknown command `{other}` (expected bench-check)")),
+    }
+}
+
+fn bench_check(args: &[String]) -> Result<(), String> {
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut bench = "planner".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                let value = it.next().ok_or("--tolerance needs a value")?;
+                tolerance = value
+                    .parse()
+                    .map_err(|_| format!("cannot parse `{value}` as a tolerance factor"))?;
+                if tolerance < 1.0 {
+                    return Err("a tolerance below 1.0 rejects even identical timings".into());
+                }
+            }
+            "--bench" => bench = it.next().ok_or("--bench needs a value")?.clone(),
+            other => {
+                return Err(format!(
+                    "unknown flag `{other}` (expected --tolerance <factor>, --bench <group>)"
+                ));
+            }
+        }
+    }
+
+    let root = workspace_root();
+    let baseline_path = root.join(format!("BENCH_{bench}.json"));
+    let baseline_raw = std::fs::read_to_string(&baseline_path).map_err(|e| {
+        format!(
+            "cannot read committed baseline {}: {e}",
+            baseline_path.display()
+        )
+    })?;
+    let baseline = parse_bench_json(&baseline_raw)
+        .map_err(|e| format!("baseline {} is malformed: {e}", baseline_path.display()))?;
+
+    println!("running `cargo bench -p mrassign-bench --bench {bench}` ...");
+    let status = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
+        .args(["bench", "-p", "mrassign-bench", "--bench", &bench])
+        .current_dir(&root)
+        .status()
+        .map_err(|e| format!("failed to spawn cargo bench: {e}"))?;
+    // Always restore the committed baseline afterwards, even on failure.
+    let fresh_raw = std::fs::read_to_string(&baseline_path)
+        .map_err(|e| format!("bench run produced no {}: {e}", baseline_path.display()));
+    std::fs::write(&baseline_path, &baseline_raw)
+        .map_err(|e| format!("cannot restore committed baseline: {e}"))?;
+    if !status.success() {
+        return Err(format!("cargo bench exited with {status}"));
+    }
+    let fresh = parse_bench_json(&fresh_raw?)
+        .map_err(|e| format!("fresh bench output is malformed: {e}"))?;
+
+    let host_matches = fresh.host_cpus == baseline.host_cpus;
+    let effective_tolerance = if host_matches {
+        tolerance
+    } else {
+        tolerance * 2.0
+    };
+    if !host_matches {
+        println!(
+            "host has {} CPUs but the baseline was recorded on {}: skipping threads>1 rows and \
+             widening tolerance to {effective_tolerance:.2}x",
+            fresh.host_cpus, baseline.host_cpus
+        );
+    }
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (name, base_median) in &baseline.medians {
+        if !host_matches && parallel_row(name) {
+            continue;
+        }
+        let Some(&fresh_median) = fresh
+            .medians
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, m)| m)
+        else {
+            println!("  MISSING  {name} (present in baseline, absent in fresh run)");
+            regressions += 1;
+            continue;
+        };
+        compared += 1;
+        let ratio = fresh_median / base_median;
+        let verdict = if ratio > effective_tolerance {
+            regressions += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {verdict:>9}  {name}: {base_median:.0} ns -> {fresh_median:.0} ns ({ratio:.2}x)"
+        );
+    }
+    if compared == 0 {
+        return Err("no comparable benchmark rows (did the bench names change?)".into());
+    }
+    if regressions > 0 {
+        return Err(format!(
+            "{regressions} benchmark(s) regressed beyond {effective_tolerance:.2}x; \
+             if intentional, re-record the baseline with `cargo bench -p mrassign-bench \
+             --bench {bench}` and commit BENCH_{bench}.json"
+        ));
+    }
+    println!("bench-check passed: {compared} row(s) within {effective_tolerance:.2}x");
+    Ok(())
+}
+
+/// Whether a benchmark row exercises multi-thread parallelism.
+fn parallel_row(name: &str) -> bool {
+    name.split("threads=")
+        .nth(1)
+        .and_then(|rest| rest.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|n| n.parse::<u32>().ok())
+        .is_some_and(|n| n > 1)
+}
+
+/// The workspace root (one level above this crate's manifest).
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask lives one level under the workspace root")
+        .to_path_buf()
+}
+
+struct BenchFile {
+    host_cpus: u64,
+    medians: Vec<(String, f64)>,
+}
+
+/// Parses the vendored criterion stub's `BENCH_<group>.json`. The schema is
+/// fixed and machine-written (see `vendor/criterion`), so a small
+/// field-extraction parser suffices — no serde in the offline workspace.
+fn parse_bench_json(raw: &str) -> Result<BenchFile, String> {
+    let host_cpus = extract_number(raw, "\"host_cpus\":")
+        .ok_or("missing host_cpus field")?
+        .parse::<u64>()
+        .map_err(|e| format!("bad host_cpus: {e}"))?;
+    let mut medians = Vec::new();
+    for line in raw.lines() {
+        let Some(name_start) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[name_start + 9..];
+        let name = rest
+            .split('"')
+            .next()
+            .ok_or("unterminated benchmark name")?
+            .to_string();
+        let median = extract_number(line, "\"median_ns\":")
+            .ok_or_else(|| format!("benchmark `{name}` has no median_ns"))?
+            .parse::<f64>()
+            .map_err(|e| format!("benchmark `{name}` has a bad median: {e}"))?;
+        medians.push((name, median));
+    }
+    if medians.is_empty() {
+        return Err("no benchmark entries found".into());
+    }
+    Ok(BenchFile { host_cpus, medians })
+}
+
+/// The numeric token following `key` in `raw` (digits, dot, minus).
+fn extract_number<'a>(raw: &'a str, key: &str) -> Option<&'a str> {
+    let start = raw.find(key)? + key.len();
+    let rest = raw[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    (end > 0).then(|| &rest[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "group": "planner",
+  "unit": "ns",
+  "host_cpus": 4,
+  "benchmarks": [
+    {"name": "planner/frontier/m=100/threads=1", "median_ns": 3290068.0, "samples": 61},
+    {"name": "planner/frontier/m=100/threads=4", "median_ns": 3560245.0, "samples": 57}
+  ]
+}"#;
+
+    #[test]
+    fn parses_the_stub_schema() {
+        let parsed = parse_bench_json(SAMPLE).unwrap();
+        assert_eq!(parsed.host_cpus, 4);
+        assert_eq!(parsed.medians.len(), 2);
+        assert_eq!(parsed.medians[0].0, "planner/frontier/m=100/threads=1");
+        assert!((parsed.medians[1].1 - 3560245.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_malformed_files() {
+        assert!(parse_bench_json("{}").is_err());
+        assert!(parse_bench_json("{\"host_cpus\": 2}").is_err());
+    }
+
+    #[test]
+    fn detects_parallel_rows() {
+        assert!(parallel_row("planner/frontier/m=100/threads=4"));
+        assert!(!parallel_row("planner/frontier/m=100/threads=1"));
+        assert!(!parallel_row("binpack/ffd/m=100"));
+    }
+
+    #[test]
+    fn flag_validation() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["mystery".into()]).is_err());
+        let err = bench_check(&["--tolerance".into(), "0.5".into()]).unwrap_err();
+        assert!(err.contains("tolerance"), "{err}");
+        let err = bench_check(&["--frobnicate".into()]).unwrap_err();
+        assert!(err.contains("--tolerance"), "{err}");
+    }
+}
