@@ -1,6 +1,8 @@
 //! Regenerates `results/fig3.csv`. Pass `--smoke` for a fast tiny run,
-//! `--threads <n>` / `--shuffle materialized|streaming` to pick the engine
-//! execution knobs (recorded numbers are identical either way).
+//! `--threads <n>` / `--shuffle materialized|streaming|pipelined` to pick
+//! the engine execution knobs (simulated columns are identical either
+//! way; the overlap_blk/peak_blk diagnostics are nonzero only under
+//! `pipelined`).
 
 use mrassign_bench::common::{finish, ExecKnobs};
 use mrassign_bench::{fig3_parallelism_vs_q, Scale};

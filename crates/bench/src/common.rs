@@ -45,11 +45,12 @@ pub struct ExecKnobs {
 }
 
 impl ExecKnobs {
-    /// Parses `--threads <n>` and `--shuffle materialized|streaming` from a
-    /// binary's argument list. `--smoke` is the experiment binaries' scale
-    /// flag, so it passes through; any *other* `--flag` is rejected rather
-    /// than silently ignored — a typo must not quietly revert CI to the
-    /// default engine path.
+    /// Parses `--threads <n>` and `--shuffle
+    /// materialized|streaming|pipelined` from a binary's argument list.
+    /// `--smoke` is the experiment binaries' scale flag, so it passes
+    /// through; any *other* `--flag` is rejected rather than silently
+    /// ignored — a typo must not quietly revert CI to the default engine
+    /// path.
     pub fn from_args(args: &[String]) -> Result<ExecKnobs, String> {
         let mut knobs = ExecKnobs::default();
         let mut it = args.iter();
@@ -68,7 +69,7 @@ impl ExecKnobs {
                 "--smoke" => {}
                 other if other.starts_with("--") => {
                     return Err(format!(
-                        "unknown flag `{other}` (expected --smoke, --threads <n>, --shuffle materialized|streaming)"
+                        "unknown flag `{other}` (expected --smoke, --threads <n>, --shuffle materialized|streaming|pipelined)"
                     ));
                 }
                 _ => {}

@@ -21,8 +21,12 @@ pub fn run(scale: Scale) -> Table {
 }
 
 /// Runs the experiment with explicit engine knobs (map threads / shuffle
-/// mode). The recorded numbers are identical across knob settings; only
-/// wall-clock time and peak memory change.
+/// mode). The simulated columns are identical across knob settings; the
+/// two trailing columns (`overlap_blk`, `peak_blk`) are execution
+/// diagnostics from the pipelined engine — zero under the pass-based
+/// modes, and legitimately run-dependent under `--shuffle pipelined`,
+/// where they show how much reduce-side work overlapped live map tasks
+/// and how full the bounded channels got.
 pub fn run_with(scale: Scale, knobs: ExecKnobs) -> Table {
     let m = scale.pick(60, 300);
     let steps = scale.pick(4, 12);
@@ -40,6 +44,8 @@ pub fn run_with(scale: Scale, knobs: ExecKnobs) -> Table {
             "reduce_s",
             "total_s",
             "speedup",
+            "overlap_blk",
+            "peak_blk",
         ],
     );
 
@@ -74,6 +80,8 @@ pub fn run_with(scale: Scale, knobs: ExecKnobs) -> Table {
                 &format!("{:.3}", metrics.reduce_makespan),
                 &format!("{:.3}", metrics.total_seconds()),
                 &format!("{:.2}", metrics.speedup()),
+                &metrics.pipeline.map_reduce_overlap_blocks,
+                &metrics.pipeline.peak_inflight_blocks,
             ]);
         }
     }
@@ -96,6 +104,41 @@ mod tests {
             },
         );
         assert_eq!(base.render(), knobbed.render());
+    }
+
+    /// Under the pipelined engine the simulated columns stay identical to
+    /// the materialized baseline; only the two trailing diagnostics may
+    /// differ (they are zero under pass-based modes and run-dependent
+    /// under pipelining).
+    #[test]
+    fn pipelined_knobs_keep_simulated_columns_identical() {
+        use mrassign_simmr::ShuffleMode;
+        let strip = |table: &Table| -> Vec<String> {
+            table
+                .render()
+                .lines()
+                .skip(1)
+                .map(|l| {
+                    let cols: Vec<&str> = l.split_whitespace().collect();
+                    cols[..cols.len() - 2].join(" ")
+                })
+                .collect()
+        };
+        let base = run(Scale::Smoke);
+        let pipelined = run_with(
+            Scale::Smoke,
+            ExecKnobs {
+                map_threads: 4,
+                shuffle: ShuffleMode::Pipelined,
+            },
+        );
+        assert_eq!(strip(&base), strip(&pipelined));
+        // The baseline's diagnostics are all zero.
+        for line in base.render().lines().skip(2) {
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            assert_eq!(cols[cols.len() - 2], "0");
+            assert_eq!(cols[cols.len() - 1], "0");
+        }
     }
 
     #[test]

@@ -33,6 +33,35 @@ pub enum ShuffleMode {
     /// recomputation traded for memory, the same bargain Spark strikes for
     /// narrow dependencies.
     Streaming,
+    /// Overlap the phases: mapper threads emit partition-tagged record
+    /// blocks into bounded channels while per-reducer-group consumer
+    /// threads drain, account, and reassemble them concurrently — map,
+    /// shuffle accounting, and reduce-side merge genuinely overlap instead
+    /// of running as strict passes. Back-pressure via
+    /// [`ClusterConfig::pipeline_depth`] bounds peak memory; determinism
+    /// is preserved by sequence-numbered block reassembly per reducer.
+    /// See [`crate::pipeline`] for the stage graph.
+    Pipelined,
+}
+
+impl ShuffleMode {
+    /// Every mode, in the order the `--shuffle` grammar lists them.
+    pub const ALL: [ShuffleMode; 3] = [
+        ShuffleMode::Materialized,
+        ShuffleMode::Streaming,
+        ShuffleMode::Pipelined,
+    ];
+
+    /// The name accepted by every `--shuffle` flag. [`std::str::FromStr`]
+    /// parses and reports errors through this list, so adding a mode here
+    /// is enough to extend the flag vocabulary everywhere.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShuffleMode::Materialized => "materialized",
+            ShuffleMode::Streaming => "streaming",
+            ShuffleMode::Pipelined => "pipelined",
+        }
+    }
 }
 
 impl std::str::FromStr for ShuffleMode {
@@ -41,13 +70,16 @@ impl std::str::FromStr for ShuffleMode {
     /// Parses the mode names used by every `--shuffle` flag (CLI and
     /// experiment binaries), so the vocabulary lives in one place.
     fn from_str(name: &str) -> Result<Self, Self::Err> {
-        match name {
-            "materialized" => Ok(ShuffleMode::Materialized),
-            "streaming" => Ok(ShuffleMode::Streaming),
-            other => Err(format!(
-                "unknown shuffle mode `{other}` (expected materialized|streaming)"
-            )),
-        }
+        ShuffleMode::ALL
+            .into_iter()
+            .find(|mode| mode.name() == name)
+            .ok_or_else(|| {
+                let expected: Vec<&str> = ShuffleMode::ALL.map(ShuffleMode::name).to_vec();
+                format!(
+                    "unknown shuffle mode `{name}` (expected {})",
+                    expected.join("|")
+                )
+            })
     }
 }
 
@@ -73,8 +105,23 @@ pub struct ClusterConfig {
     /// wall-clock optimization; simulated time ignores it.
     pub map_threads: usize,
     /// How the shuffle is executed; purely a memory/wall-clock choice —
-    /// outputs and metrics are identical across modes.
+    /// outputs and the deterministic metrics subset are identical across
+    /// modes.
     pub shuffle: ShuffleMode,
+    /// [`ShuffleMode::Streaming`]: reducer partitions resident per
+    /// re-derivation sweep. Larger blocks cost memory and save map
+    /// recomputation. Must be ≥ 1.
+    pub streaming_reducer_block: usize,
+    /// [`ShuffleMode::Streaming`]: map tasks executed per batch — the
+    /// bound on resident map outputs and the unit `map_threads` works
+    /// over. Must be ≥ 1.
+    pub streaming_map_batch: usize,
+    /// [`ShuffleMode::Pipelined`]: bounded capacity (in blocks) of each
+    /// mapper → consumer channel. Depth 1 is maximal back-pressure
+    /// (mappers lock-step with consumers); larger depths buy overlap with
+    /// memory. Peak in-flight blocks are bounded by
+    /// `pipeline_depth × consumer groups`. Must be ≥ 1.
+    pub pipeline_depth: usize,
 }
 
 impl Default for ClusterConfig {
@@ -87,6 +134,9 @@ impl Default for ClusterConfig {
             task_overhead: 0.05,
             map_threads: 1,
             shuffle: ShuffleMode::Materialized,
+            streaming_reducer_block: 64,
+            streaming_map_batch: 256,
+            pipeline_depth: 4,
         }
     }
 }
@@ -101,10 +151,24 @@ impl ClusterConfig {
         }
     }
 
-    /// Validates the configuration before a run.
+    /// Validates the configuration before a run: at least one worker, and
+    /// every block/batch/depth knob at least 1. The knobs are checked
+    /// regardless of the configured [`ShuffleMode`] — a zero value is
+    /// always a misconfiguration (the streaming engine would `step_by(0)`
+    /// and the pipelined engine would build zero-capacity channels), and
+    /// catching it here names the knob instead of panicking mid-job.
     pub fn validate(&self) -> Result<(), SimError> {
         if self.workers == 0 {
             return Err(SimError::NoWorkers);
+        }
+        for (knob, value) in [
+            ("streaming_reducer_block", self.streaming_reducer_block),
+            ("streaming_map_batch", self.streaming_map_batch),
+            ("pipeline_depth", self.pipeline_depth),
+        ] {
+            if value == 0 {
+                return Err(SimError::InvalidKnob { knob });
+            }
         }
         Ok(())
     }
@@ -191,6 +255,49 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(cfg.validate(), Err(SimError::NoWorkers));
+    }
+
+    /// The latent gap this PR closes: a zero streaming block/batch (or a
+    /// zero pipeline depth) used to pass validation and only fail deep in
+    /// the engine. Every knob is now rejected by name.
+    #[test]
+    fn zero_engine_knobs_rejected_by_name() {
+        type Zeroer = fn(&mut ClusterConfig);
+        let cases: [(&str, Zeroer); 3] = [
+            ("streaming_reducer_block", |c| c.streaming_reducer_block = 0),
+            ("streaming_map_batch", |c| c.streaming_map_batch = 0),
+            ("pipeline_depth", |c| c.pipeline_depth = 0),
+        ];
+        for (knob, zero) in cases {
+            for shuffle in [
+                ShuffleMode::Materialized,
+                ShuffleMode::Streaming,
+                ShuffleMode::Pipelined,
+            ] {
+                let mut cfg = ClusterConfig {
+                    shuffle,
+                    ..ClusterConfig::default()
+                };
+                zero(&mut cfg);
+                assert_eq!(
+                    cfg.validate(),
+                    Err(SimError::InvalidKnob { knob }),
+                    "{knob} under {shuffle:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_mode_names_round_trip() {
+        for mode in ShuffleMode::ALL {
+            assert_eq!(mode.name().parse::<ShuffleMode>(), Ok(mode));
+        }
+        // The error names every accepted mode, straight from `ALL`.
+        let err = "mystery".parse::<ShuffleMode>().unwrap_err();
+        for mode in ShuffleMode::ALL {
+            assert!(err.contains(mode.name()), "{err}");
+        }
     }
 
     #[test]

@@ -7,6 +7,15 @@ pub enum SimError {
     NoReducers,
     /// The cluster was configured with zero workers.
     NoWorkers,
+    /// An engine knob on [`crate::ClusterConfig`] was configured to zero
+    /// (`streaming_reducer_block`, `streaming_map_batch`, or
+    /// `pipeline_depth` — all of them are block/batch/depth counts that
+    /// must be at least 1). The error names the offending knob so a
+    /// misconfiguration is diagnosable without a debugger.
+    InvalidKnob {
+        /// The field name on `ClusterConfig`.
+        knob: &'static str,
+    },
     /// A router returned a reducer index outside `0..n_reducers`.
     RouteOutOfRange {
         /// The offending target index.
@@ -31,6 +40,9 @@ impl fmt::Display for SimError {
         match self {
             SimError::NoReducers => write!(f, "job configured with zero reducers"),
             SimError::NoWorkers => write!(f, "cluster configured with zero workers"),
+            SimError::InvalidKnob { knob } => {
+                write!(f, "engine knob `{knob}` must be at least 1")
+            }
             SimError::RouteOutOfRange { target, n_reducers } => write!(
                 f,
                 "router targeted reducer {target} but only {n_reducers} reducers exist"
@@ -62,5 +74,9 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("reducer 2") && s.contains("100") && s.contains("64"));
+        let e = SimError::InvalidKnob {
+            knob: "pipeline_depth",
+        };
+        assert!(e.to_string().contains("pipeline_depth"));
     }
 }

@@ -10,18 +10,7 @@ use crate::router::Router;
 use crate::traits::{Emitter, Mapper, Reducer};
 
 /// Key-value pairs produced by one map invocation.
-type MapOutput<M> = Vec<(<M as Mapper>::Key, <M as Mapper>::Value)>;
-
-/// Reducers fed per re-derivation sweep in [`ShuffleMode::Streaming`]: the
-/// bound on how many partitions are resident at once. Larger blocks cost
-/// memory and save map recomputation; the value is internal because both
-/// modes produce identical results regardless.
-const STREAMING_REDUCER_BLOCK: usize = 64;
-
-/// Map tasks executed per batch in [`ShuffleMode::Streaming`]: the bound on
-/// how many map outputs are resident at once, and the unit the (optional)
-/// `map_threads` parallelism works over.
-const STREAMING_MAP_BATCH: usize = 256;
+pub(crate) type MapOutput<M> = Vec<(<M as Mapper>::Key, <M as Mapper>::Value)>;
 
 /// What to do about the reducer capacity `q`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,12 +41,12 @@ pub struct JobOutput<Out> {
 /// types), `Rt` router. See the crate docs for a complete example.
 #[derive(Debug, Clone)]
 pub struct Job<M, R, Rt> {
-    mapper: M,
-    reducer: R,
-    router: Rt,
-    n_reducers: usize,
-    config: ClusterConfig,
-    capacity: CapacityPolicy,
+    pub(crate) mapper: M,
+    pub(crate) reducer: R,
+    pub(crate) router: Rt,
+    pub(crate) n_reducers: usize,
+    pub(crate) config: ClusterConfig,
+    pub(crate) capacity: CapacityPolicy,
 }
 
 impl<M, R, Rt> Job<M, R, Rt>
@@ -124,6 +113,7 @@ where
         let (outputs, reduce_costs) = match self.config.shuffle {
             ShuffleMode::Materialized => self.run_materialized(inputs, &mut metrics)?,
             ShuffleMode::Streaming => self.run_streaming(inputs, &mut metrics)?,
+            ShuffleMode::Pipelined => self.run_pipelined(inputs, &mut metrics)?,
         };
         metrics.outputs = outputs.len();
 
@@ -182,19 +172,19 @@ where
             reduce_costs.push(TaskCost(
                 self.config.reduce_task_seconds(reducer_total_bytes[r]),
             ));
-            self.reduce_partition(&mut partition, metrics, &mut outputs);
+            metrics.distinct_keys += self.reduce_partition(&mut partition, &mut outputs);
         }
         metrics.reducer_value_bytes = reducer_value_bytes;
         Ok((outputs, reduce_costs))
     }
 
     /// Streaming shuffle: an accounting pass that stores nothing, then a
-    /// reducer-major pass feeding [`STREAMING_REDUCER_BLOCK`] partitions at
-    /// a time, re-deriving their records from the mappers. Peak memory is
-    /// one block plus one [`STREAMING_MAP_BATCH`] of map outputs (batches
-    /// use `map_threads` like the materialized path); results and metrics
-    /// are identical to the materialized path because mappers and routers
-    /// are deterministic by contract.
+    /// reducer-major pass feeding `config.streaming_reducer_block`
+    /// partitions at a time, re-deriving their records from the mappers.
+    /// Peak memory is one block plus one `config.streaming_map_batch` of
+    /// map outputs (batches use `map_threads` like the materialized path);
+    /// results and metrics are identical to the materialized path because
+    /// mappers and routers are deterministic by contract.
     fn run_streaming(
         &self,
         inputs: &[M::In],
@@ -206,7 +196,7 @@ where
         let mut targets: Vec<usize> = Vec::new();
 
         // ----- Pass 1: byte accounting; records are dropped as they flow.
-        for batch in inputs.chunks(STREAMING_MAP_BATCH) {
+        for batch in inputs.chunks(self.config.streaming_map_batch) {
             for pairs in self.run_map_phase(batch) {
                 for (key, value) in pairs {
                     metrics.records_emitted += 1;
@@ -229,8 +219,9 @@ where
         // ----- Pass 2: reducer-major reduce, one bounded block at a time.
         let mut outputs: Vec<R::Out> = Vec::new();
         let mut reduce_costs: Vec<TaskCost> = Vec::new();
-        for block_start in (0..self.n_reducers).step_by(STREAMING_REDUCER_BLOCK) {
-            let block_end = (block_start + STREAMING_REDUCER_BLOCK).min(self.n_reducers);
+        for block_start in (0..self.n_reducers).step_by(self.config.streaming_reducer_block) {
+            let block_end =
+                (block_start + self.config.streaming_reducer_block).min(self.n_reducers);
             let expected: u64 = reducer_records[block_start..block_end].iter().sum();
             if expected == 0 {
                 continue;
@@ -241,7 +232,7 @@ where
                 .map(|&n| Vec::with_capacity(n as usize))
                 .collect();
             let mut collected = 0u64;
-            'sweep: for batch in inputs.chunks(STREAMING_MAP_BATCH) {
+            'sweep: for batch in inputs.chunks(self.config.streaming_map_batch) {
                 for pairs in self.run_map_phase(batch) {
                     for (key, value) in pairs {
                         self.route_into(&key, &mut targets)?;
@@ -266,7 +257,7 @@ where
                     .push(TaskCost(self.config.reduce_task_seconds(
                         reducer_total_bytes[block_start + offset],
                     )));
-                self.reduce_partition(&mut partition, metrics, &mut outputs);
+                metrics.distinct_keys += self.reduce_partition(&mut partition, &mut outputs);
             }
         }
         metrics.reducer_value_bytes = reducer_value_bytes;
@@ -275,7 +266,11 @@ where
 
     /// Routes `key`, leaving the sorted, deduplicated, range-checked target
     /// list in `targets` (reused across calls to avoid allocation).
-    fn route_into(&self, key: &M::Key, targets: &mut Vec<usize>) -> Result<(), SimError> {
+    pub(crate) fn route_into(
+        &self,
+        key: &M::Key,
+        targets: &mut Vec<usize>,
+    ) -> Result<(), SimError> {
         targets.clear();
         self.router.route(key, self.n_reducers, targets);
         targets.sort_unstable();
@@ -292,7 +287,7 @@ where
     }
 
     /// Applies the capacity policy to the final per-reducer loads.
-    fn account_capacity(
+    pub(crate) fn account_capacity(
         &self,
         metrics: &mut JobMetrics,
         reducer_value_bytes: &[u64],
@@ -324,21 +319,23 @@ where
 
     /// Reduces one partition: group by key (stable sort keeps same-key
     /// values in arrival order, so reduce() sees a deterministic value
-    /// list), counting distinct keys as it goes.
-    fn reduce_partition(
+    /// list). Returns the number of distinct keys reduced — callers fold
+    /// it into their metrics, which lets the pipelined engine call this
+    /// from consumer threads without sharing a `JobMetrics`.
+    pub(crate) fn reduce_partition(
         &self,
         partition: &mut [(M::Key, M::Value)],
-        metrics: &mut JobMetrics,
         outputs: &mut Vec<R::Out>,
-    ) {
+    ) -> u64 {
         partition.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut distinct_keys = 0;
         let mut start = 0;
         while start < partition.len() {
             let mut end = start + 1;
             while end < partition.len() && partition[end].0 == partition[start].0 {
                 end += 1;
             }
-            metrics.distinct_keys += 1;
+            distinct_keys += 1;
             let key = partition[start].0.clone();
             let values: Vec<M::Value> = partition[start..end]
                 .iter()
@@ -347,6 +344,7 @@ where
             self.reducer.reduce(&key, &values, outputs);
             start = end;
         }
+        distinct_keys
     }
 
     /// Runs every map task, optionally on `config.map_threads` OS threads.
@@ -392,7 +390,7 @@ where
     /// One map task: emit, then apply the optional map-side combiner per
     /// key. Grouping is by stable sort, so combined value lists preserve
     /// emission order and the result is deterministic.
-    fn map_one(&self, input: &M::In) -> MapOutput<M> {
+    pub(crate) fn map_one(&self, input: &M::In) -> MapOutput<M> {
         let mut emitter = Emitter::new();
         self.mapper.map(input, &mut emitter);
         let mut pairs = emitter.into_pairs();

@@ -22,10 +22,16 @@
 //!   that never changes results or metrics, only wall-clock time,
 //! * a memory-bounded [`ShuffleMode::Streaming`] shuffle that feeds
 //!   reducers from bounded blocks instead of materializing every
-//!   partition, again with bit-identical results.
+//!   partition, again with bit-identical results,
+//! * an overlapped [`ShuffleMode::Pipelined`] engine (see [`pipeline`])
+//!   whose mapper and consumer stages run concurrently over bounded
+//!   channels, reporting how much map/shuffle/reduce overlap a run
+//!   achieved in [`PipelineMetrics`].
 //!
 //! Everything is deterministic: same inputs, same config ⇒ bit-identical
-//! outputs and metrics, regardless of thread count.
+//! outputs and metrics, regardless of thread count. (The one carve-out is
+//! [`JobMetrics::pipeline`], which measures *how* the pipelined engine
+//! executed — compare [`JobMetrics::deterministic`] across modes.)
 //!
 //! # Example: word count with capacity accounting
 //!
@@ -67,6 +73,7 @@ mod cluster;
 mod error;
 mod job;
 mod metrics;
+pub mod pipeline;
 mod record;
 mod router;
 mod traits;
@@ -74,7 +81,7 @@ mod traits;
 pub use cluster::{ClusterConfig, Schedule, ShuffleMode, TaskCost};
 pub use error::SimError;
 pub use job::{CapacityPolicy, Job, JobOutput};
-pub use metrics::JobMetrics;
+pub use metrics::{JobMetrics, PipelineMetrics};
 pub use record::ByteSized;
 pub use router::{BroadcastRouter, DirectRouter, HashRouter, Router, TableRouter};
 pub use traits::{Emitter, Mapper, Reducer};

@@ -1,5 +1,37 @@
 //! Per-job accounting: the quantities the paper's tradeoffs are stated in.
 
+/// Execution-dependent counters from the overlapped
+/// [`ShuffleMode::Pipelined`](crate::ShuffleMode::Pipelined) engine.
+///
+/// Unlike every other field of [`JobMetrics`], these quantify *how* the
+/// run was executed — how much reduce-side work overlapped live map tasks,
+/// how full the bounded channels got, and the real wall-clock span of each
+/// phase — and therefore legitimately vary between runs and thread counts.
+/// They are all zero under the pass-based modes. Differential tests that
+/// assert bit-identical metrics across modes must compare
+/// [`JobMetrics::deterministic`], which masks this struct out.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PipelineMetrics {
+    /// Blocks consumed by a reduce-side consumer while at least one map
+    /// task was still in flight — the overlap the pipelined engine exists
+    /// to create. Zero means the run degenerated to strict passes.
+    pub map_reduce_overlap_blocks: u64,
+    /// Highest number of blocks simultaneously resident in the bounded
+    /// stage channels. Back-pressure bounds this by
+    /// `pipeline_depth × consumer_groups`.
+    pub peak_inflight_blocks: u64,
+    /// Total partition-tagged blocks that flowed mapper → consumer.
+    pub blocks_sent: u64,
+    /// Number of reducer-group consumer threads the run used.
+    pub consumer_groups: u64,
+    /// Wall-clock span of the map stage (first task start → last task end).
+    pub map_wall_seconds: f64,
+    /// Wall-clock span of the reduce finalization stage across consumers.
+    pub reduce_wall_seconds: f64,
+    /// Wall-clock span of the whole pipelined run.
+    pub wall_seconds: f64,
+}
+
 /// Metrics collected while running one simulated job.
 ///
 /// * **Communication cost** (`bytes_shuffled`) is the paper's central
@@ -47,9 +79,24 @@ pub struct JobMetrics {
     pub reduce_makespan: f64,
     /// Simulated serial execution time (all work on one worker, seconds).
     pub serial_seconds: f64,
+    /// Overlap/back-pressure counters from the pipelined engine (all zero
+    /// under the pass-based modes; execution-dependent, see
+    /// [`PipelineMetrics`]).
+    pub pipeline: PipelineMetrics,
 }
 
 impl JobMetrics {
+    /// The deterministic subset of the metrics: everything except the
+    /// execution-dependent [`PipelineMetrics`]. This is the value that is
+    /// bit-identical across shuffle modes, thread counts, and runs — the
+    /// contract the differential test harness pins.
+    pub fn deterministic(&self) -> JobMetrics {
+        JobMetrics {
+            pipeline: PipelineMetrics::default(),
+            ..self.clone()
+        }
+    }
+
     /// End-to-end simulated duration: map + shuffle + reduce.
     pub fn total_seconds(&self) -> f64 {
         self.map_makespan + self.shuffle_seconds + self.reduce_makespan
@@ -122,6 +169,7 @@ mod tests {
             shuffle_seconds: 0.5,
             reduce_makespan: 0.5,
             serial_seconds: 6.0,
+            pipeline: PipelineMetrics::default(),
         }
     }
 
@@ -145,6 +193,21 @@ mod tests {
         assert_eq!(m.replication_rate(), 1.0);
         assert_eq!(m.max_reducer_load(), 0);
         assert_eq!(m.load_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn deterministic_masks_only_the_pipeline_counters() {
+        let mut a = sample();
+        let mut b = sample();
+        a.pipeline.map_reduce_overlap_blocks = 17;
+        a.pipeline.peak_inflight_blocks = 4;
+        a.pipeline.wall_seconds = 0.25;
+        b.pipeline.consumer_groups = 2;
+        assert_ne!(a, b);
+        assert_eq!(a.deterministic(), b.deterministic());
+        // Everything else still participates in equality.
+        b.bytes_shuffled += 1;
+        assert_ne!(a.deterministic(), b.deterministic());
     }
 
     #[test]

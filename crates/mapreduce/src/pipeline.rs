@@ -1,0 +1,878 @@
+//! The overlapped pipeline engine behind [`ShuffleMode::Pipelined`].
+//!
+//! The pass-based modes run map → shuffle → reduce as strict phases: the
+//! first reduce byte is processed only after the last map task finishes.
+//! This module replaces the passes with a **stage graph of scoped worker
+//! threads connected by bounded MPSC channels** (hand-rolled over
+//! `std::sync::Mutex` + `Condvar`, no external runtime — the engine stays
+//! dependency-free and offline-friendly):
+//!
+//! ```text
+//!   inputs ──► task queue (atomic cursor)
+//!                │ pulled dynamically
+//!      ┌─────────┼─────────┐
+//!   mapper 1  mapper 2 … mapper T          T = map_threads
+//!      │  map_one → route → partition-tagged Block { seq, records }
+//!      │  (emission/byte accounting into shared atomics)
+//!      └───┬────────┬──────┘
+//!     bounded channel per consumer group (capacity = pipeline_depth)
+//!          │        │        ◄── back-pressure: a full channel blocks
+//!          ▼        ▼            the sender until the consumer drains
+//!   consumer 1 … consumer G               G = min(T, n_reducers)
+//!      │  per-partition byte accounting + seq-ordered block reassembly
+//!      │  (overlaps live map tasks — this is the pipelining)
+//!      │  … channels close when every mapper is done …
+//!      │  sort / group / reduce each owned partition
+//!      ▼
+//!   per-partition outputs, slotted and concatenated in partition order
+//! ```
+//!
+//! **Overlap.** While mapper threads are still producing, consumer threads
+//! already drain blocks, account bytes per reducer, and reassemble
+//! partitions — the shuffle and the reduce-side merge overlap the map
+//! phase exactly the way a real MapReduce copy/merge phase shadows its
+//! mappers. `reduce()` itself must still wait for its partition to be
+//! complete (any map task may yet route a record anywhere — that barrier
+//! is inherent to correct MapReduce semantics), but it runs concurrently
+//! across consumer groups the moment the channels close.
+//! [`PipelineMetrics`] reports how much overlap a run actually achieved.
+//!
+//! **Back-pressure.** Every channel holds at most
+//! [`ClusterConfig::pipeline_depth`] blocks; a full channel blocks its
+//! sender. Peak resident blocks are therefore bounded by
+//! `pipeline_depth × consumer groups` (the gauge increments inside the
+//! sending channel's critical section, so the recorded
+//! `peak_inflight_blocks` respects the same bound), giving the pipelined
+//! mode a memory ceiling like `Streaming`'s without its recomputation.
+//!
+//! **Determinism.** Mappers pull tasks dynamically, so blocks arrive at a
+//! consumer in arbitrary order — but every block carries the index of the
+//! map task that produced it, and each partition's blocks are re-sorted by
+//! that sequence number before reduction (the same index-slotted trick the
+//! planner's parallel sweep uses). Combined with commutative atomic byte
+//! accounting, the engine produces outputs and a deterministic metrics
+//! subset bit-identical to [`ShuffleMode::Materialized`], for every thread
+//! count and pipeline depth; only [`PipelineMetrics`] varies run to run.
+//!
+//! **Error paths.** A routing error does not tear the pipeline down
+//! mid-flight: the offending task records its error keyed by task index
+//! (the *lowest* index wins, matching the error the sequential pass would
+//! have hit first), mappers skip later tasks, consumers keep draining
+//! until the channels close — nobody blocks on a full channel, no thread
+//! leaks (all are scoped), and the job returns the same [`SimError`] the
+//! pass-based modes return. Capacity enforcement runs after the map stage
+//! completes, on the same totals, in the same reducer order. *Panics* in
+//! user code propagate rather than deadlock: both channel endpoints
+//! detach via RAII guards, so an unwinding mapper still signals
+//! end-of-stream and an unwinding consumer unblocks any sender stuck on
+//! its full channel; the scope join then re-raises the panic, exactly as
+//! the pass-based modes do.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use crate::cluster::TaskCost;
+use crate::error::SimError;
+use crate::job::Job;
+use crate::metrics::{JobMetrics, PipelineMetrics};
+use crate::record::ByteSized;
+use crate::router::Router;
+use crate::traits::{Mapper, Reducer};
+
+#[cfg(doc)]
+use crate::cluster::{ClusterConfig, ShuffleMode};
+
+/// Gauge of blocks currently resident in the stage channels, with a
+/// high-water mark. Updated inside the owning channel's critical section,
+/// which is what keeps `peak ≤ Σ channel capacities` exact (see the
+/// module docs).
+#[derive(Default)]
+struct InflightGauge {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl InflightGauge {
+    fn raise(&self) {
+        let now = self.current.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn lower(&self) {
+        self.current.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+struct QueueState<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+/// A bounded multi-producer single-consumer channel built from
+/// `Mutex` + two `Condvar`s. `send` blocks while the queue is at
+/// capacity (the back-pressure), `recv` blocks while it is empty and
+/// returns `None` once every sender has detached and the queue drained.
+///
+/// Both endpoints detach through RAII guards ([`SenderGuard`],
+/// [`ReceiverGuard`]) so that a *panic* in user code (a mapper, reducer,
+/// or `ByteSized` impl) unwinds through the detach path instead of
+/// leaving the other side blocked forever: a dead receiver turns `send`
+/// into a no-op, a dead sender still counts down `senders`. The panic
+/// then propagates normally when the scope joins the thread.
+struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<QueueState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(capacity: usize, senders: usize) -> Self {
+        assert!(capacity >= 1, "validated by ClusterConfig::validate");
+        BoundedQueue {
+            capacity,
+            state: Mutex::new(QueueState {
+                queue: VecDeque::with_capacity(capacity),
+                senders,
+                receiver_alive: true,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    fn send(&self, item: T, gauge: &InflightGauge) {
+        let mut state = self.state.lock().expect("pipeline channel poisoned");
+        while state.queue.len() >= self.capacity && state.receiver_alive {
+            state = self
+                .not_full
+                .wait(state)
+                .expect("pipeline channel poisoned");
+        }
+        if !state.receiver_alive {
+            // The consumer died mid-unwind; the job is about to re-raise
+            // its panic, so the block is dropped rather than queued.
+            return;
+        }
+        state.queue.push_back(item);
+        gauge.raise();
+        drop(state);
+        self.not_empty.notify_one();
+    }
+
+    fn recv(&self, gauge: &InflightGauge) -> Option<T> {
+        let mut state = self.state.lock().expect("pipeline channel poisoned");
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                gauge.lower();
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.senders == 0 {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .expect("pipeline channel poisoned");
+        }
+    }
+
+    /// Detaches one sender; the last detachment wakes the consumer so it
+    /// can observe end-of-stream instead of waiting forever. Runs from
+    /// [`SenderGuard::drop`] — possibly mid-unwind — so it tolerates a
+    /// poisoned lock instead of double-panicking.
+    fn close_sender(&self) {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.senders -= 1;
+        let closed = state.senders == 0;
+        drop(state);
+        if closed {
+            self.not_empty.notify_all();
+        }
+    }
+
+    /// Marks the receiver dead (runs from [`ReceiverGuard::drop`],
+    /// possibly mid-unwind) and wakes every sender blocked on a full
+    /// queue so none of them waits on a consumer that will never drain.
+    fn close_receiver(&self) {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.receiver_alive = false;
+        drop(state);
+        self.not_full.notify_all();
+    }
+}
+
+/// Detaches a mapper from every stage channel on drop — including panic
+/// unwinds, which is the point: without it a panicking mapper never
+/// closes its channels and every consumer waits forever.
+struct SenderGuard<'a, T>(&'a [BoundedQueue<T>]);
+
+impl<T> Drop for SenderGuard<'_, T> {
+    fn drop(&mut self) {
+        for channel in self.0 {
+            channel.close_sender();
+        }
+    }
+}
+
+/// Marks a consumer's channel receiver dead on drop, so mappers blocked
+/// on a full channel resume (their sends become no-ops) if the consumer
+/// panics instead of draining to end-of-stream.
+struct ReceiverGuard<'a, T>(&'a BoundedQueue<T>);
+
+impl<T> Drop for ReceiverGuard<'_, T> {
+    fn drop(&mut self) {
+        self.0.close_receiver();
+    }
+}
+
+/// A record tagged with its destination reducer partition (mapper side).
+type Tagged<M> = (usize, <M as Mapper>::Key, <M as Mapper>::Value);
+
+/// A record tagged with the index of the map task that produced it
+/// (consumer side, awaiting sequence-ordered reassembly).
+type Seqed<M> = (usize, <M as Mapper>::Key, <M as Mapper>::Value);
+
+/// One map task's records for one consumer group, tagged with the reducer
+/// partition of every record and the producing task's index (`seq`) for
+/// deterministic reassembly.
+struct Block<K, V> {
+    seq: usize,
+    records: Vec<(usize, K, V)>,
+}
+
+/// Everything one consumer hands back: per owned partition (indexed from
+/// `first_partition`) the byte/record accounting and the reduce results,
+/// plus the group's overlap observation and finalize wall-clock span.
+struct GroupResult<Out> {
+    first_partition: usize,
+    records: Vec<u64>,
+    value_bytes: Vec<u64>,
+    total_bytes: Vec<u64>,
+    distinct_keys: Vec<u64>,
+    outputs: Vec<Vec<Out>>,
+    overlap_blocks: u64,
+    finalize_start: f64,
+    finalize_end: f64,
+}
+
+/// Shared mutable state of one pipelined run (everything the stages
+/// coordinate through besides the channels themselves).
+struct Coordination {
+    /// Next input index to map — the dynamic task queue.
+    next_task: AtomicUsize,
+    /// Map tasks fully processed; `< n_inputs` means the map stage is
+    /// still active, which is what the overlap counter samples.
+    tasks_done: AtomicUsize,
+    /// Lowest task index that hit a routing error (`usize::MAX` = none);
+    /// mappers skip tasks above it so the pipeline drains fast.
+    error_seq: AtomicUsize,
+    /// The error carried by `error_seq`'s task.
+    first_error: Mutex<Option<SimError>>,
+    records_emitted: AtomicU64,
+    records_shuffled: AtomicU64,
+    bytes_shuffled: AtomicU64,
+    blocks_sent: AtomicU64,
+    gauge: InflightGauge,
+}
+
+impl Coordination {
+    fn new() -> Self {
+        Coordination {
+            next_task: AtomicUsize::new(0),
+            tasks_done: AtomicUsize::new(0),
+            error_seq: AtomicUsize::new(usize::MAX),
+            first_error: Mutex::new(None),
+            records_emitted: AtomicU64::new(0),
+            records_shuffled: AtomicU64::new(0),
+            bytes_shuffled: AtomicU64::new(0),
+            blocks_sent: AtomicU64::new(0),
+            gauge: InflightGauge::default(),
+        }
+    }
+
+    /// Records a routing error, keeping the one from the lowest task
+    /// index — the error the sequential pass would have reported.
+    fn record_error(&self, task: usize, error: SimError) {
+        let mut slot = self.first_error.lock().expect("error slot poisoned");
+        let current = self.error_seq.load(Ordering::Relaxed);
+        if task < current || slot.is_none() {
+            *slot = Some(error);
+        }
+        self.error_seq.fetch_min(task, Ordering::Relaxed);
+    }
+}
+
+impl<M, R, Rt> Job<M, R, Rt>
+where
+    M: Mapper,
+    R: Reducer<Key = M::Key, Value = M::Value>,
+    Rt: Router<M::Key>,
+{
+    /// Runs the overlapped pipeline described in the [module docs](self).
+    ///
+    /// Returns the reduce outputs in (partition, key, arrival) order and
+    /// the per-nonempty-partition reduce costs in partition order —
+    /// bit-identical to [`Job::run_materialized`]'s — and fills
+    /// `metrics.pipeline` with the run's overlap counters.
+    pub(crate) fn run_pipelined(
+        &self,
+        inputs: &[M::In],
+        metrics: &mut JobMetrics,
+    ) -> Result<(Vec<R::Out>, Vec<TaskCost>), SimError> {
+        let n_inputs = inputs.len();
+        let n_mappers = self.config.map_threads.max(1);
+        // Groups own contiguous partition ranges of `per_group`. The
+        // second div_ceil drops groups the rounding left empty (e.g. 5
+        // reducers over 4 groups is 3 groups of 2, not 4).
+        let group_target = n_mappers.min(self.n_reducers).max(1);
+        let per_group = self.n_reducers.div_ceil(group_target);
+        let n_groups = self.n_reducers.div_ceil(per_group);
+        let depth = self.config.pipeline_depth;
+
+        let channels: Vec<BoundedQueue<Block<M::Key, M::Value>>> = (0..n_groups)
+            .map(|_| BoundedQueue::new(depth, n_mappers))
+            .collect();
+        let coord = Coordination::new();
+        let epoch = Instant::now();
+
+        let (map_wall, group_results) = std::thread::scope(|scope| {
+            let consumer_handles: Vec<_> = (0..n_groups)
+                .map(|g| {
+                    let channels = &channels;
+                    let coord = &coord;
+                    let job = self;
+                    scope.spawn(move || {
+                        job.consume_group(g, per_group, n_inputs, &channels[g], coord, &epoch)
+                    })
+                })
+                .collect();
+
+            let mapper_handles: Vec<_> = (0..n_mappers)
+                .map(|_| {
+                    let channels = &channels;
+                    let coord = &coord;
+                    let job = self;
+                    scope.spawn(move || {
+                        job.map_stage(inputs, per_group, channels, coord);
+                        epoch.elapsed().as_secs_f64()
+                    })
+                })
+                .collect();
+
+            let map_wall = mapper_handles
+                .into_iter()
+                .map(|h| h.join().expect("pipeline mapper panicked"))
+                .fold(0.0f64, f64::max);
+            let group_results: Vec<GroupResult<R::Out>> = consumer_handles
+                .into_iter()
+                .map(|h| h.join().expect("pipeline consumer panicked"))
+                .collect();
+            (map_wall, group_results)
+        });
+
+        if let Some(error) = coord
+            .first_error
+            .lock()
+            .expect("error slot poisoned")
+            .take()
+        {
+            return Err(error);
+        }
+
+        metrics.records_emitted = coord.records_emitted.load(Ordering::Relaxed);
+        metrics.records_shuffled = coord.records_shuffled.load(Ordering::Relaxed);
+        metrics.bytes_shuffled = coord.bytes_shuffled.load(Ordering::Relaxed);
+
+        // Reassemble the per-partition results in partition order, exactly
+        // like the materialized pass walks its partitions (groups own
+        // contiguous, disjoint partition ranges, so this is pure slotting).
+        let mut reducer_value_bytes = vec![0u64; self.n_reducers];
+        let mut reducer_total_bytes = vec![0u64; self.n_reducers];
+        let mut reducer_records = vec![0u64; self.n_reducers];
+        let mut slotted_outputs: Vec<Option<Vec<R::Out>>> =
+            (0..self.n_reducers).map(|_| None).collect();
+        let mut slotted_distinct = vec![0u64; self.n_reducers];
+        let mut overlap_blocks = 0u64;
+        let mut finalize_start = f64::INFINITY;
+        let mut finalize_end = 0.0f64;
+        for group in group_results {
+            overlap_blocks += group.overlap_blocks;
+            finalize_start = finalize_start.min(group.finalize_start);
+            finalize_end = finalize_end.max(group.finalize_end);
+            for (local, out) in group.outputs.into_iter().enumerate() {
+                let p = group.first_partition + local;
+                reducer_value_bytes[p] = group.value_bytes[local];
+                reducer_total_bytes[p] = group.total_bytes[local];
+                reducer_records[p] = group.records[local];
+                slotted_distinct[p] = group.distinct_keys[local];
+                slotted_outputs[p] = Some(out);
+            }
+        }
+
+        self.account_capacity(metrics, &reducer_value_bytes)?;
+
+        let mut outputs: Vec<R::Out> = Vec::new();
+        let mut reduce_costs: Vec<TaskCost> = Vec::new();
+        for (p, slot) in slotted_outputs.into_iter().enumerate() {
+            if reducer_records[p] == 0 {
+                continue;
+            }
+            metrics.nonempty_reducers += 1;
+            metrics.distinct_keys += slotted_distinct[p];
+            reduce_costs.push(TaskCost(
+                self.config.reduce_task_seconds(reducer_total_bytes[p]),
+            ));
+            outputs.extend(slot.expect("every partition slot filled"));
+        }
+        metrics.reducer_value_bytes = reducer_value_bytes;
+        metrics.pipeline = PipelineMetrics {
+            map_reduce_overlap_blocks: overlap_blocks,
+            peak_inflight_blocks: coord.gauge.peak.load(Ordering::Relaxed),
+            blocks_sent: coord.blocks_sent.load(Ordering::Relaxed),
+            consumer_groups: n_groups as u64,
+            map_wall_seconds: map_wall,
+            reduce_wall_seconds: (finalize_end - finalize_start).max(0.0),
+            wall_seconds: epoch.elapsed().as_secs_f64(),
+        };
+        Ok((outputs, reduce_costs))
+    }
+
+    /// One mapper worker: pull tasks from the shared cursor, map and route
+    /// them, and push partition-tagged blocks into the group channels.
+    /// Detaches from every channel on exit so consumers observe
+    /// end-of-stream once the last mapper finishes.
+    fn map_stage(
+        &self,
+        inputs: &[M::In],
+        per_group: usize,
+        channels: &[BoundedQueue<Block<M::Key, M::Value>>],
+        coord: &Coordination,
+    ) {
+        // Detach-on-drop covers both the normal exit and a panic in user
+        // map/route/size code: either way the consumers observe
+        // end-of-stream instead of blocking forever.
+        let _detach = SenderGuard(channels);
+        let mut targets: Vec<usize> = Vec::new();
+        loop {
+            let task = coord.next_task.fetch_add(1, Ordering::Relaxed);
+            if task >= inputs.len() {
+                break;
+            }
+            // A lower task already failed: its error wins whatever this
+            // task would do, so skip the work and let the pipeline drain.
+            if task > coord.error_seq.load(Ordering::Relaxed) {
+                coord.tasks_done.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let pairs = self.map_one(&inputs[task]);
+            let mut per_group_records: Vec<Vec<Tagged<M>>> =
+                (0..channels.len()).map(|_| Vec::new()).collect();
+            let mut emitted = 0u64;
+            let mut shuffled = 0u64;
+            let mut bytes = 0u64;
+            let mut failed = false;
+            for (key, value) in pairs {
+                emitted += 1;
+                if let Err(error) = self.route_into(&key, &mut targets) {
+                    coord.record_error(task, error);
+                    failed = true;
+                    break;
+                }
+                let key_bytes = key.size_bytes();
+                let value_bytes = value.size_bytes();
+                for &t in &targets {
+                    shuffled += 1;
+                    bytes += key_bytes + value_bytes;
+                    per_group_records[t / per_group].push((t, key.clone(), value.clone()));
+                }
+            }
+            coord.records_emitted.fetch_add(emitted, Ordering::Relaxed);
+            coord
+                .records_shuffled
+                .fetch_add(shuffled, Ordering::Relaxed);
+            coord.bytes_shuffled.fetch_add(bytes, Ordering::Relaxed);
+            if !failed {
+                for (g, records) in per_group_records.into_iter().enumerate() {
+                    if records.is_empty() {
+                        continue;
+                    }
+                    coord.blocks_sent.fetch_add(1, Ordering::Relaxed);
+                    channels[g].send(Block { seq: task, records }, &coord.gauge);
+                }
+            }
+            coord.tasks_done.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// One consumer worker: drain the group's channel (accounting bytes
+    /// and reassembling blocks per owned partition, concurrently with live
+    /// mappers), then — once every mapper detached — sort each partition's
+    /// blocks by sequence number and reduce it.
+    #[allow(clippy::too_many_arguments)]
+    fn consume_group(
+        &self,
+        group: usize,
+        per_group: usize,
+        n_inputs: usize,
+        channel: &BoundedQueue<Block<M::Key, M::Value>>,
+        coord: &Coordination,
+        epoch: &Instant,
+    ) -> GroupResult<R::Out> {
+        // Mark the receiver dead if this thread unwinds (a panicking
+        // reducer or `ByteSized` impl), so mappers blocked on this
+        // channel resume instead of deadlocking the scope join.
+        let _detach = ReceiverGuard(channel);
+        let lo = group * per_group;
+        let hi = (lo + per_group).min(self.n_reducers);
+        let n_local = hi - lo;
+        let mut parts: Vec<Vec<Seqed<M>>> = (0..n_local).map(|_| Vec::new()).collect();
+        let mut records = vec![0u64; n_local];
+        let mut value_bytes = vec![0u64; n_local];
+        let mut total_bytes = vec![0u64; n_local];
+        let mut overlap_blocks = 0u64;
+
+        while let Some(block) = channel.recv(&coord.gauge) {
+            if coord.tasks_done.load(Ordering::Relaxed) < n_inputs {
+                overlap_blocks += 1;
+            }
+            let seq = block.seq;
+            for (p, key, value) in block.records {
+                let local = p - lo;
+                records[local] += 1;
+                let vb = value.size_bytes();
+                value_bytes[local] += vb;
+                total_bytes[local] += key.size_bytes() + vb;
+                parts[local].push((seq, key, value));
+            }
+        }
+
+        // End-of-stream: the map stage is complete. Finalize the owned
+        // partitions (skipped when a routing error is pending — the run
+        // returns that error and discards everything, so reducing would
+        // be wasted work; draining above still happened, which is what
+        // keeps blocked mappers from deadlocking).
+        let finalize_start = epoch.elapsed().as_secs_f64();
+        let mut distinct_keys = vec![0u64; n_local];
+        let mut outputs: Vec<Vec<R::Out>> = (0..n_local).map(|_| Vec::new()).collect();
+        if coord.error_seq.load(Ordering::Relaxed) == usize::MAX {
+            for (local, mut blocks) in parts.into_iter().enumerate() {
+                // Sequence-numbered reassembly: a stable sort by producing
+                // task restores (task, emission) arrival order, making the
+                // partition byte-identical to the materialized pass's.
+                blocks.sort_by_key(|&(seq, _, _)| seq);
+                let mut partition: Vec<(M::Key, M::Value)> =
+                    blocks.into_iter().map(|(_, k, v)| (k, v)).collect();
+                distinct_keys[local] = self.reduce_partition(&mut partition, &mut outputs[local]);
+            }
+        }
+        GroupResult {
+            first_partition: lo,
+            records,
+            value_bytes,
+            total_bytes,
+            distinct_keys,
+            outputs,
+            overlap_blocks,
+            finalize_start,
+            finalize_end: epoch.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterConfig, ShuffleMode};
+    use crate::job::CapacityPolicy;
+    use crate::router::{HashRouter, TableRouter};
+    use crate::traits::Emitter;
+
+    struct IdentityMapper;
+    impl Mapper for IdentityMapper {
+        type In = (u64, String);
+        type Key = u64;
+        type Value = String;
+        fn map(&self, input: &(u64, String), emit: &mut Emitter<u64, String>) {
+            emit.emit(input.0, input.1.clone());
+        }
+    }
+
+    /// Order-sensitive reducer: concatenation exposes any block reorder.
+    struct ConcatReducer;
+    impl Reducer for ConcatReducer {
+        type Key = u64;
+        type Value = String;
+        type Out = (u64, String);
+        fn reduce(&self, key: &u64, values: &[String], out: &mut Vec<(u64, String)>) {
+            out.push((*key, values.concat()));
+        }
+    }
+
+    fn inputs(n: u64) -> Vec<(u64, String)> {
+        (0..n).map(|i| (i % 13, format!("v{i}-"))).collect()
+    }
+
+    fn run(
+        shuffle: ShuffleMode,
+        map_threads: usize,
+        depth: usize,
+        n_red: usize,
+    ) -> crate::JobOutput<(u64, String)> {
+        Job::new(
+            IdentityMapper,
+            ConcatReducer,
+            HashRouter::new(),
+            n_red,
+            ClusterConfig {
+                shuffle,
+                map_threads,
+                pipeline_depth: depth,
+                ..ClusterConfig::default()
+            },
+        )
+        .run(&inputs(300))
+        .unwrap()
+    }
+
+    #[test]
+    fn bounded_queue_delivers_fifo_and_signals_close() {
+        let gauge = InflightGauge::default();
+        let queue: BoundedQueue<u32> = BoundedQueue::new(2, 1);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 0..50 {
+                    queue.send(i, &gauge);
+                }
+                queue.close_sender();
+            });
+            let mut seen = Vec::new();
+            while let Some(i) = queue.recv(&gauge) {
+                seen.push(i);
+            }
+            assert_eq!(seen, (0..50).collect::<Vec<_>>());
+        });
+        assert!(
+            gauge.peak.load(Ordering::Relaxed) <= 2,
+            "capacity bounds the gauge"
+        );
+        assert_eq!(gauge.current.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn gauge_peak_respects_summed_capacities() {
+        let gauge = InflightGauge::default();
+        let queues: Vec<BoundedQueue<u32>> = (0..3).map(|_| BoundedQueue::new(2, 2)).collect();
+        std::thread::scope(|scope| {
+            for sender in 0..2 {
+                let queues = &queues;
+                let gauge = &gauge;
+                scope.spawn(move || {
+                    for i in 0..60 {
+                        queues[(i as usize + sender) % 3].send(i, gauge);
+                    }
+                    for q in queues {
+                        q.close_sender();
+                    }
+                });
+            }
+            for q in &queues {
+                let gauge = &gauge;
+                scope.spawn(move || while q.recv(gauge).is_some() {});
+            }
+        });
+        assert!(gauge.peak.load(Ordering::Relaxed) <= 6);
+    }
+
+    #[test]
+    fn pipelined_matches_materialized_bit_for_bit() {
+        let reference = run(ShuffleMode::Materialized, 1, 4, 20);
+        for (threads, depth) in [(1, 1), (2, 1), (4, 3), (3, 8)] {
+            let pipelined = run(ShuffleMode::Pipelined, threads, depth, 20);
+            assert_eq!(
+                reference.outputs, pipelined.outputs,
+                "t={threads} d={depth}"
+            );
+            assert_eq!(
+                reference.metrics.deterministic(),
+                pipelined.metrics.deterministic(),
+                "t={threads} d={depth}"
+            );
+            let p = &pipelined.metrics.pipeline;
+            assert!(p.consumer_groups >= 1);
+            assert!(p.blocks_sent >= 1);
+            assert!(p.peak_inflight_blocks >= 1);
+            assert!(p.peak_inflight_blocks <= depth as u64 * p.consumer_groups);
+        }
+    }
+
+    #[test]
+    fn single_reducer_single_depth_does_not_deadlock() {
+        let reference = run(ShuffleMode::Materialized, 1, 1, 1);
+        let pipelined = run(ShuffleMode::Pipelined, 4, 1, 1);
+        assert_eq!(reference.outputs, pipelined.outputs);
+        assert_eq!(
+            reference.metrics.deterministic(),
+            pipelined.metrics.deterministic()
+        );
+    }
+
+    #[test]
+    fn pipelined_empty_input_runs_cleanly() {
+        let out = Job::new(
+            IdentityMapper,
+            ConcatReducer,
+            HashRouter::new(),
+            4,
+            ClusterConfig {
+                shuffle: ShuffleMode::Pipelined,
+                ..ClusterConfig::default()
+            },
+        )
+        .run(&[])
+        .unwrap();
+        assert!(out.outputs.is_empty());
+        assert_eq!(out.metrics.bytes_shuffled, 0);
+        assert_eq!(out.metrics.pipeline.blocks_sent, 0);
+    }
+
+    /// A routing error mid-pipeline drains cleanly and surfaces the error
+    /// the sequential pass would have hit first: input 7 routes out of
+    /// range, every earlier input is fine.
+    #[test]
+    fn mid_pipeline_route_error_drains_and_matches_pass_modes() {
+        let mut table: Vec<(u64, Vec<usize>)> =
+            (0..13).map(|k| (k, vec![k as usize % 3])).collect();
+        table[7].1 = vec![9]; // out of range for 3 reducers
+        let mk = |shuffle, map_threads| {
+            Job::new(
+                IdentityMapper,
+                ConcatReducer,
+                TableRouter::new(table.clone()),
+                3,
+                ClusterConfig {
+                    shuffle,
+                    map_threads,
+                    pipeline_depth: 1,
+                    ..ClusterConfig::default()
+                },
+            )
+            .run(&inputs(300))
+            .unwrap_err()
+        };
+        let expected = mk(ShuffleMode::Materialized, 1);
+        assert_eq!(
+            expected,
+            SimError::RouteOutOfRange {
+                target: 9,
+                n_reducers: 3
+            }
+        );
+        for threads in [1, 2, 4] {
+            assert_eq!(expected, mk(ShuffleMode::Pipelined, threads));
+            assert_eq!(expected, mk(ShuffleMode::Streaming, threads));
+        }
+    }
+
+    /// A panic in user map code must propagate out of `Job::run` like the
+    /// pass-based modes propagate it — not deadlock the stage graph. The
+    /// test completing at all is the real assertion (a regression hangs
+    /// until the harness timeout); depth 1 with several mappers maximizes
+    /// the chance that peers are blocked on full channels when the panic
+    /// hits.
+    #[test]
+    fn mapper_panic_propagates_instead_of_deadlocking() {
+        struct ExplodingMapper;
+        impl Mapper for ExplodingMapper {
+            type In = (u64, String);
+            type Key = u64;
+            type Value = String;
+            fn map(&self, input: &(u64, String), emit: &mut Emitter<u64, String>) {
+                assert!(input.0 != 7, "synthetic mapper failure");
+                emit.emit(input.0, input.1.clone());
+            }
+        }
+        let job = Job::new(
+            ExplodingMapper,
+            ConcatReducer,
+            HashRouter::new(),
+            4,
+            ClusterConfig {
+                shuffle: ShuffleMode::Pipelined,
+                map_threads: 3,
+                pipeline_depth: 1,
+                ..ClusterConfig::default()
+            },
+        );
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run(&inputs(300))));
+        assert!(result.is_err(), "the mapper panic must surface");
+    }
+
+    /// Same contract for the reduce side: a panicking reducer unwinds
+    /// through the consumer thread and out of `Job::run`.
+    #[test]
+    fn reducer_panic_propagates_instead_of_deadlocking() {
+        struct ExplodingReducer;
+        impl Reducer for ExplodingReducer {
+            type Key = u64;
+            type Value = String;
+            type Out = ();
+            fn reduce(&self, key: &u64, _values: &[String], _out: &mut Vec<()>) {
+                assert!(*key != 3, "synthetic reducer failure");
+            }
+        }
+        let job = Job::new(
+            IdentityMapper,
+            ExplodingReducer,
+            HashRouter::new(),
+            4,
+            ClusterConfig {
+                shuffle: ShuffleMode::Pipelined,
+                map_threads: 2,
+                pipeline_depth: 1,
+                ..ClusterConfig::default()
+            },
+        );
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run(&inputs(300))));
+        assert!(result.is_err(), "the reducer panic must surface");
+    }
+
+    /// Capacity enforcement aborts with the identical error across modes:
+    /// the lowest overloaded reducer, checked after the full accounting.
+    #[test]
+    fn enforce_violation_identical_across_modes() {
+        let mk = |shuffle| {
+            Job::new(
+                IdentityMapper,
+                ConcatReducer,
+                HashRouter::new(),
+                4,
+                ClusterConfig {
+                    shuffle,
+                    map_threads: 2,
+                    ..ClusterConfig::default()
+                },
+            )
+            .capacity(CapacityPolicy::Enforce(10))
+            .run(&inputs(100))
+            .unwrap_err()
+        };
+        let expected = mk(ShuffleMode::Materialized);
+        assert!(matches!(expected, SimError::CapacityExceeded { .. }));
+        assert_eq!(expected, mk(ShuffleMode::Pipelined));
+        assert_eq!(expected, mk(ShuffleMode::Streaming));
+    }
+}

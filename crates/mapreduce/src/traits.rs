@@ -79,8 +79,9 @@ pub trait Reducer: Sync {
     type Key: Ord + Hash + Clone + ByteSized;
     /// Intermediate value (must match the mapper's).
     type Value: Clone + ByteSized;
-    /// Final output record.
-    type Out;
+    /// Final output record. `Send` because the pipelined engine applies
+    /// reduce functions on consumer threads and hands the outputs back.
+    type Out: Send;
 
     /// Reduces one key and its value list, appending results to `out`.
     fn reduce(&self, key: &Self::Key, values: &[Self::Value], out: &mut Vec<Self::Out>);

@@ -1,0 +1,370 @@
+//! The differential oracle for the execution engine: every shuffle mode,
+//! thread count, and capacity policy must produce a bit-identical
+//! [`JobOutput`] — outputs *and* the deterministic metrics subset — on
+//! three structurally different workloads:
+//!
+//! * **word count** — a combiner-bearing aggregation with heavy key reuse,
+//! * **skew join** — two tagged relations with zipf-ish key skew and
+//!   multi-target (replicated) routing,
+//! * **boundary schemas** — `SizeDistribution::Boundary` weights solved
+//!   into an A2A mapping schema and executed via `DirectRouter`, the
+//!   adversarial q/2-straddling family from the paper.
+//!
+//! The reference cell of the matrix is `Materialized × 1 thread`; every
+//! other cell (`{Materialized, Streaming, Pipelined} × threads {1,2,4} ×
+//! {Unlimited, Record, Enforce}`) is compared against it. This is the
+//! harness that pins the overlapped pipeline engine: if its reassembly,
+//! accounting, or error handling drifts by one byte, a cell differs.
+
+use mrassign_core::{a2a, InputSet};
+use mrassign_simmr::{
+    ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, HashRouter, Job, JobOutput,
+    Mapper, Reducer, Router, ShuffleMode, SimError,
+};
+use mrassign_workloads::SizeDistribution;
+
+const MODES: [ShuffleMode; 3] = [
+    ShuffleMode::Materialized,
+    ShuffleMode::Streaming,
+    ShuffleMode::Pipelined,
+];
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn cluster(shuffle: ShuffleMode, map_threads: usize) -> ClusterConfig {
+    ClusterConfig {
+        shuffle,
+        map_threads,
+        // A small streaming block and pipeline depth so multi-block sweeps
+        // and back-pressure are exercised even at test sizes.
+        streaming_reducer_block: 8,
+        pipeline_depth: 2,
+        ..ClusterConfig::default()
+    }
+}
+
+/// Runs one cell and compares it against the reference, asserting output
+/// and deterministic-metric identity (or identical errors).
+fn assert_cell_matches<Out: PartialEq + std::fmt::Debug>(
+    reference: &Result<JobOutput<Out>, SimError>,
+    cell: Result<JobOutput<Out>, SimError>,
+    label: &str,
+) {
+    match (reference, cell) {
+        (Ok(r), Ok(c)) => {
+            assert_eq!(r.outputs, c.outputs, "{label}: outputs diverged");
+            assert_eq!(
+                r.metrics.deterministic(),
+                c.metrics.deterministic(),
+                "{label}: deterministic metrics diverged"
+            );
+        }
+        (Err(r), Err(c)) => assert_eq!(*r, c, "{label}: errors diverged"),
+        (r, c) => panic!("{label}: one mode failed, the other did not: {r:?} vs {c:?}"),
+    }
+}
+
+/// Sweeps the full matrix for one job constructor.
+fn sweep_matrix<Out, F>(policies: &[CapacityPolicy], run: F)
+where
+    Out: PartialEq + std::fmt::Debug,
+    F: Fn(ShuffleMode, usize, CapacityPolicy) -> Result<JobOutput<Out>, SimError>,
+{
+    for &policy in policies {
+        let reference = run(ShuffleMode::Materialized, 1, policy);
+        for mode in MODES {
+            for threads in THREADS {
+                let label = format!("{mode:?} × threads={threads} × {policy:?}");
+                assert_cell_matches(&reference, run(mode, threads, policy), &label);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workload 1: word count (combiner, heavy key reuse)
+// ---------------------------------------------------------------------------
+
+struct Tokenize;
+impl Mapper for Tokenize {
+    type In = String;
+    type Key = String;
+    type Value = u64;
+    fn map(&self, line: &String, emit: &mut Emitter<String, u64>) {
+        for word in line.split_whitespace() {
+            emit.emit(word.to_string(), 1);
+        }
+    }
+    fn combine(&self, _key: &String, values: &[u64]) -> Option<u64> {
+        Some(values.iter().sum())
+    }
+}
+
+struct Count;
+impl Reducer for Count {
+    type Key = String;
+    type Value = u64;
+    type Out = (String, u64);
+    fn reduce(&self, key: &String, values: &[u64], out: &mut Vec<(String, u64)>) {
+        out.push((key.clone(), values.iter().sum()));
+    }
+}
+
+fn word_lines() -> Vec<String> {
+    // Deterministic synthetic text with zipf-flavored word frequencies.
+    (0..240)
+        .map(|i: u64| {
+            let mut words = Vec::new();
+            for j in 0..(3 + i % 9) {
+                let rank = (i * 31 + j * 17) % 97;
+                words.push(format!("w{}", rank * rank % 53));
+            }
+            words.join(" ")
+        })
+        .collect()
+}
+
+#[test]
+fn word_count_identical_across_the_matrix() {
+    let lines = word_lines();
+    sweep_matrix(
+        &[
+            CapacityPolicy::Unlimited,
+            CapacityPolicy::Record(200),
+            CapacityPolicy::Enforce(1_000_000),
+        ],
+        |mode, threads, policy| {
+            Job::new(
+                Tokenize,
+                Count,
+                HashRouter::new(),
+                11,
+                cluster(mode, threads),
+            )
+            .capacity(policy)
+            .run(&lines)
+        },
+    );
+}
+
+#[test]
+fn word_count_enforce_violation_identical_across_the_matrix() {
+    let lines = word_lines();
+    sweep_matrix(&[CapacityPolicy::Enforce(50)], |mode, threads, policy| {
+        Job::new(
+            Tokenize,
+            Count,
+            HashRouter::new(),
+            11,
+            cluster(mode, threads),
+        )
+        .capacity(policy)
+        .run(&lines)
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Workload 2: skew join (tagged relations, replicated routing)
+// ---------------------------------------------------------------------------
+
+/// A tuple of relation X (tag 0) or Y (tag 1).
+#[derive(Clone)]
+struct Tuple {
+    tag: u8,
+    key: u64,
+    payload: String,
+}
+
+impl ByteSized for Tuple {
+    fn size_bytes(&self) -> u64 {
+        1 + 8 + self.payload.len() as u64
+    }
+}
+
+struct TagMapper;
+impl Mapper for TagMapper {
+    type In = Tuple;
+    type Key = u64;
+    type Value = (u8, String);
+    fn map(&self, t: &Tuple, emit: &mut Emitter<u64, (u8, String)>) {
+        emit.emit(t.key, (t.tag, t.payload.clone()));
+    }
+}
+
+struct JoinReducer;
+impl Reducer for JoinReducer {
+    type Key = u64;
+    type Value = (u8, String);
+    type Out = (u64, String, String);
+    fn reduce(&self, key: &u64, values: &[(u8, String)], out: &mut Vec<(u64, String, String)>) {
+        for (_, px) in values.iter().filter(|v| v.0 == 0) {
+            for (_, py) in values.iter().filter(|v| v.0 == 1) {
+                out.push((*key, px.clone(), py.clone()));
+            }
+        }
+    }
+}
+
+/// Replicates each key to two reducers (a miniature mapping schema), so
+/// multi-target routing and deduplicated fan-out are exercised.
+struct SpreadRouter;
+impl Router<u64> for SpreadRouter {
+    fn route(&self, key: &u64, n_reducers: usize, targets: &mut Vec<usize>) {
+        targets.push((*key as usize) % n_reducers);
+        targets.push((*key as usize * 7 + 3) % n_reducers);
+    }
+}
+
+fn skewed_tuples() -> Vec<Tuple> {
+    // Key 0 is a heavy hitter (~1/3 of all tuples), the rest thin out.
+    (0..420)
+        .map(|i: u64| {
+            let key = if i.is_multiple_of(3) { 0 } else { (i * i) % 37 };
+            Tuple {
+                tag: (i % 2) as u8,
+                key,
+                payload: format!("p{i:03}"),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn skew_join_identical_across_the_matrix() {
+    let tuples = skewed_tuples();
+    sweep_matrix(
+        &[
+            CapacityPolicy::Unlimited,
+            CapacityPolicy::Record(2_000),
+            CapacityPolicy::Enforce(1_000_000),
+        ],
+        |mode, threads, policy| {
+            Job::new(
+                TagMapper,
+                JoinReducer,
+                SpreadRouter,
+                9,
+                cluster(mode, threads),
+            )
+            .capacity(policy)
+            .run(&tuples)
+        },
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Workload 3: boundary-distribution mapping schema (the paper's hard case)
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+struct Blob {
+    bytes: u64,
+    targets: Vec<usize>,
+}
+
+impl ByteSized for Blob {
+    fn size_bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[derive(Clone)]
+struct Payload(u64);
+impl ByteSized for Payload {
+    fn size_bytes(&self) -> u64 {
+        self.0
+    }
+}
+
+struct Replicate;
+impl Mapper for Replicate {
+    type In = Blob;
+    type Key = u64;
+    type Value = Payload;
+    fn map(&self, b: &Blob, emit: &mut Emitter<u64, Payload>) {
+        for &t in &b.targets {
+            emit.emit(t as u64, Payload(b.bytes));
+        }
+    }
+}
+
+struct PairCount;
+impl Reducer for PairCount {
+    type Key = u64;
+    type Value = Payload;
+    type Out = (u64, u64);
+    fn reduce(&self, key: &u64, values: &[Payload], out: &mut Vec<(u64, u64)>) {
+        let n = values.len() as u64;
+        out.push((*key, n * n.saturating_sub(1) / 2));
+    }
+}
+
+#[test]
+fn boundary_schema_identical_across_the_matrix() {
+    let q = 40;
+    // Most boundary draws are A2A-infeasible by design (two >q/2 giants);
+    // m = 12 at seed 0 is a feasible member of the family.
+    let weights = SizeDistribution::Boundary { q }.sample_many(12, 0);
+    let inputs = InputSet::from_weights(weights.clone());
+    let schema = a2a::solve(&inputs, q, a2a::A2aAlgorithm::Auto)
+        .expect("boundary seed 0 is feasible at q = 40 for m = 12");
+    let mut routes: Vec<Vec<usize>> = vec![Vec::new(); weights.len()];
+    for (rid, r) in schema.reducers().iter().enumerate() {
+        for &id in r {
+            routes[id as usize].push(rid);
+        }
+    }
+    let blobs: Vec<Blob> = weights
+        .iter()
+        .zip(&routes)
+        .map(|(&bytes, targets)| Blob {
+            bytes,
+            targets: targets.clone(),
+        })
+        .collect();
+    let n_reducers = schema.reducer_count();
+    sweep_matrix(
+        &[
+            CapacityPolicy::Unlimited,
+            CapacityPolicy::Record(q),
+            // A valid schema can never trip enforcement at its own q.
+            CapacityPolicy::Enforce(q),
+        ],
+        |mode, threads, policy| {
+            Job::new(
+                Replicate,
+                PairCount,
+                DirectRouter,
+                n_reducers,
+                cluster(mode, threads),
+            )
+            .capacity(policy)
+            .run(&blobs)
+        },
+    );
+}
+
+/// Acceptance criterion in miniature: the pipelined runs in the matrix
+/// above actually pipelined. This spot-check asserts the engine reported
+/// consumer groups and bounded in-flight blocks on a representative cell.
+#[test]
+fn pipelined_cells_report_bounded_inflight() {
+    let lines = word_lines();
+    let out = Job::new(
+        Tokenize,
+        Count,
+        HashRouter::new(),
+        11,
+        cluster(ShuffleMode::Pipelined, 4),
+    )
+    .run(&lines)
+    .unwrap();
+    let p = &out.metrics.pipeline;
+    assert!(p.consumer_groups >= 1);
+    assert!(p.blocks_sent > 0);
+    assert!(p.peak_inflight_blocks >= 1);
+    assert!(
+        p.peak_inflight_blocks <= 2 * p.consumer_groups,
+        "pipeline_depth = 2 bounds in-flight blocks per group"
+    );
+    assert!(p.wall_seconds >= 0.0);
+}

@@ -97,6 +97,88 @@ proptest! {
         prop_assert_eq!(&materialized.metrics, &streaming.metrics);
     }
 
+    /// Pipeline internals under random shapes: for arbitrary inputs,
+    /// reducer counts, mapper thread counts, and `pipeline_depth` ∈ 1..=8
+    /// the engine (a) terminates — depth 1 is maximal back-pressure, so
+    /// this is the deadlock canary; (b) never reorders a reducer's blocks
+    /// (the concatenating reducer output is order-sensitive and must match
+    /// the materialized pass byte for byte); and (c) respects the
+    /// back-pressure bound `peak_inflight_blocks ≤ pipeline_depth ×
+    /// consumer_groups`.
+    #[test]
+    fn pipelined_is_deadlock_free_order_preserving_and_bounded(
+        inputs in records(),
+        n_red in 1usize..90,
+        threads in 1usize..5,
+        depth in 1usize..9,
+    ) {
+        struct Concat;
+        impl Reducer for Concat {
+            type Key = u64;
+            type Value = String;
+            type Out = (u64, String);
+            fn reduce(&self, key: &u64, values: &[String], out: &mut Vec<(u64, String)>) {
+                out.push((*key, values.join("|")));
+            }
+        }
+        let run = |shuffle, map_threads, pipeline_depth| {
+            Job::new(KvMapper, Concat, HashRouter::new(), n_red, ClusterConfig {
+                shuffle,
+                map_threads,
+                pipeline_depth,
+                ..ClusterConfig::default()
+            })
+            .run(&inputs)
+            .unwrap()
+        };
+        let reference = run(ShuffleMode::Materialized, 1, depth);
+        let pipelined = run(ShuffleMode::Pipelined, threads, depth);
+        prop_assert_eq!(&reference.outputs, &pipelined.outputs);
+        prop_assert_eq!(
+            reference.metrics.deterministic(),
+            pipelined.metrics.deterministic()
+        );
+        let p = &pipelined.metrics.pipeline;
+        prop_assert!(p.consumer_groups >= 1);
+        prop_assert!(
+            p.peak_inflight_blocks <= depth as u64 * p.consumer_groups,
+            "peak {} > depth {} × groups {}",
+            p.peak_inflight_blocks, depth, p.consumer_groups
+        );
+        if inputs.is_empty() {
+            prop_assert_eq!(p.blocks_sent, 0);
+        } else {
+            prop_assert!(p.blocks_sent >= 1);
+            prop_assert!(p.peak_inflight_blocks >= 1);
+        }
+    }
+
+    /// Streaming block/batch knobs are behavior-free: any valid setting
+    /// produces the same `JobOutput` (the knobs only move the
+    /// memory/recomputation tradeoff).
+    #[test]
+    fn streaming_knobs_never_change_results(
+        inputs in records(),
+        n_red in 1usize..90,
+        block in 1usize..100,
+        batch in 1usize..40,
+    ) {
+        let run = |shuffle, streaming_reducer_block, streaming_map_batch| {
+            Job::new(KvMapper, CountBytes, HashRouter::new(), n_red, ClusterConfig {
+                shuffle,
+                streaming_reducer_block,
+                streaming_map_batch,
+                ..ClusterConfig::default()
+            })
+            .run(&inputs)
+            .unwrap()
+        };
+        let materialized = run(ShuffleMode::Materialized, 64, 256);
+        let streaming = run(ShuffleMode::Streaming, block, batch);
+        prop_assert_eq!(&materialized.outputs, &streaming.outputs);
+        prop_assert_eq!(&materialized.metrics, &streaming.metrics);
+    }
+
     #[test]
     fn broadcast_multiplies_exactly_by_reducers(inputs in records(), n_red in 1usize..7) {
         let job = Job::new(KvMapper, CountBytes, BroadcastRouter, n_red, ClusterConfig::default());

@@ -644,6 +644,9 @@ mod tests {
             .unwrap()
         };
         assert_eq!(mk(ShuffleMode::Materialized), mk(ShuffleMode::Streaming));
+        // The overlapped engine too: Plan is built from the simulated
+        // (deterministic) metrics, so pipelining cannot move the frontier.
+        assert_eq!(mk(ShuffleMode::Materialized), mk(ShuffleMode::Pipelined));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! mrassign x2y  --x xs.txt --y ys.txt --q 200 [--algo <x2y solver>] [--budget <nodes>] [--routes]
 //! mrassign plan --weights weights.txt [--workers 16] [--candidates 10]
 //!               [--objective makespan|comm:<slowdown>] [--algo <a2a solver>] [--budget <nodes>]
-//!               [--threads <n>] [--shuffle materialized|streaming]
+//!               [--threads <n>] [--shuffle materialized|streaming|pipelined]
 //! ```
 //!
 //! Solver names come from the registry in `mrassign_core::solver`
@@ -15,7 +15,8 @@
 //! rejected with any other solver) and the summary gains a `search:` line
 //! with the node/prune/memo statistics and whether optimality was
 //! certified. `--threads` fans the plan command's q-frontier sweep across
-//! OS threads and `--shuffle` picks the engine's shuffle mode — neither
+//! OS threads and `--shuffle` picks the engine's shuffle mode
+//! (`pipelined` runs the overlapped stage-graph engine) — neither
 //! changes any output, only wall-clock time and peak memory.
 //!
 //! Weight files hold one integer per line; `#` starts a comment. All
@@ -56,7 +57,7 @@ usage:
   mrassign a2a  --weights <file> --q <n> [--algo <a2a solver>] [--budget <nodes>] [--routes]
   mrassign x2y  --x <file> --y <file> --q <n> [--algo <x2y solver>] [--budget <nodes>] [--routes]
   mrassign plan --weights <file> [--workers <n>] [--candidates <n>] [--objective makespan|comm:<slowdown>]
-                [--algo <a2a solver>] [--budget <nodes>] [--threads <n>] [--shuffle materialized|streaming]
+                [--algo <a2a solver>] [--budget <nodes>] [--threads <n>] [--shuffle materialized|streaming|pipelined]
 
 distribution specs: const:<w> | uniform:<lo>:<hi> | zipf:<ranks>:<exp>:<max> | bimodal:<small>:<big>:<frac> | boundary:<q>
 a2a solvers: auto | one-reducer | grouping | pairing | bigsmall | bigsmall-shared | exact
@@ -603,9 +604,14 @@ mod tests {
         let reference = base(&[]);
         assert_eq!(reference, base(&["--threads", "4"]));
         assert_eq!(reference, base(&["--shuffle", "streaming"]));
+        assert_eq!(reference, base(&["--shuffle", "pipelined"]));
         assert_eq!(
             reference,
             base(&["--threads", "2", "--shuffle", "streaming"])
+        );
+        assert_eq!(
+            reference,
+            base(&["--threads", "4", "--shuffle", "pipelined"])
         );
         std::fs::remove_file(path).unwrap();
     }
@@ -629,7 +635,9 @@ mod tests {
         assert!(parse_x2y_algo("grouping").is_err());
         assert!(parse_shuffle("materialized").is_ok());
         assert!(parse_shuffle("streaming").is_ok());
-        assert!(parse_shuffle("mystery").is_err());
+        assert!(parse_shuffle("pipelined").is_ok());
+        let err = parse_shuffle("mystery").unwrap_err();
+        assert!(err.contains("pipelined"), "{err}");
     }
 
     #[test]

@@ -17,13 +17,17 @@ use mrassign::workloads::{
 };
 
 /// The cluster configuration used by every end-to-end test. CI runs this
-/// suite twice — once per shuffle mode — by setting `MRASSIGN_SHUFFLE`;
-/// results must be identical either way, which
+/// suite three times — once per shuffle mode — by setting
+/// `MRASSIGN_SHUFFLE`; results must be identical every way, which
 /// `shuffle_modes_produce_identical_job_output` asserts directly.
 fn cluster() -> ClusterConfig {
-    let shuffle = match std::env::var("MRASSIGN_SHUFFLE").as_deref() {
-        Ok("streaming") => ShuffleMode::Streaming,
-        _ => ShuffleMode::Materialized,
+    // A typo in the env var must fail loudly, not quietly re-test the
+    // default engine path (same rule as ExecKnobs' flag parsing).
+    let shuffle = match std::env::var("MRASSIGN_SHUFFLE") {
+        Ok(name) => name
+            .parse::<ShuffleMode>()
+            .unwrap_or_else(|e| panic!("MRASSIGN_SHUFFLE: {e}")),
+        Err(_) => ShuffleMode::Materialized,
     };
     ClusterConfig {
         shuffle,
@@ -278,8 +282,16 @@ fn shuffle_modes_produce_identical_job_output() {
     };
     let sim_mat = sim(ShuffleMode::Materialized);
     let sim_str = sim(ShuffleMode::Streaming);
+    let sim_pipe = sim(ShuffleMode::Pipelined);
     assert_eq!(sim_mat.pairs, sim_str.pairs);
     assert_eq!(sim_mat.metrics, sim_str.metrics);
+    assert_eq!(sim_mat.pairs, sim_pipe.pairs);
+    // The pipelined engine's overlap counters are execution-dependent by
+    // design; everything else must be bit-identical.
+    assert_eq!(
+        sim_mat.metrics.deterministic(),
+        sim_pipe.metrics.deterministic()
+    );
 
     // Skew join over a generated relation pair.
     let pair = generate_relation_pair(
@@ -307,8 +319,14 @@ fn shuffle_modes_produce_identical_job_output() {
     };
     let skew_mat = skew(ShuffleMode::Materialized);
     let skew_str = skew(ShuffleMode::Streaming);
+    let skew_pipe = skew(ShuffleMode::Pipelined);
     assert_eq!(skew_mat.output, skew_str.output);
     assert_eq!(skew_mat.metrics, skew_str.metrics);
+    assert_eq!(skew_mat.output, skew_pipe.output);
+    assert_eq!(
+        skew_mat.metrics.deterministic(),
+        skew_pipe.metrics.deterministic()
+    );
 }
 
 /// Acceptance: `plan_a2a`/`plan_x2y` output is identical across
