@@ -1,9 +1,10 @@
 //! Runs every experiment in `docs/EXPERIMENTS.md`'s index and writes all CSVs under
 //! `results/`. Pass `--smoke` for a fast tiny run of everything, and
-//! `--threads <n>` / `--shuffle materialized|streaming|pipelined` to pick
-//! the engine execution knobs for the job-executing figures (the recorded
-//! numbers are identical across knob settings, except fig3's pipelined
-//! overlap diagnostics — CI uses this to exercise every engine path).
+//! `--threads <n>` / `--shuffle materialized|streaming|pipelined` /
+//! `--finalize static|stealing` to pick the engine execution knobs for
+//! the job-executing figures (the recorded numbers are identical across
+//! knob settings, except fig3's pipelined overlap/finalize diagnostics —
+//! CI uses this to exercise every engine path).
 //!
 //! `cargo run --release -p mrassign-bench --bin run_all_experiments`
 

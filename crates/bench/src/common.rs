@@ -7,8 +7,8 @@ use std::path::{Path, PathBuf};
 
 use mrassign_core::MappingSchema;
 use mrassign_simmr::{
-    ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, Job, JobMetrics, Mapper,
-    Reducer, ShuffleMode,
+    ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, FinalizeMode, Job, JobMetrics,
+    Mapper, Reducer, ShuffleMode,
 };
 
 /// Experiment scale: `Smoke` keeps tests fast; `Full` produces the numbers
@@ -32,25 +32,28 @@ impl Scale {
 }
 
 /// Engine knobs shared by every job-executing experiment binary: how many
-/// OS threads the map phase uses and which shuffle mode the engine runs.
-/// Neither changes any recorded number — results and metrics are
-/// deterministic across both — so they are safe to flip in CI to keep both
-/// engine paths exercised.
+/// OS threads the map phase uses, which shuffle mode the engine runs, and
+/// how the pipelined engine schedules its finalize. None of them changes
+/// any recorded number — results and metrics are deterministic across all
+/// three — so they are safe to flip in CI to keep every engine path
+/// exercised.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ExecKnobs {
     /// OS threads for map execution (`0`/`1` = sequential).
     pub map_threads: usize,
     /// Shuffle execution mode.
     pub shuffle: ShuffleMode,
+    /// Finalize scheduling for the pipelined engine (inert otherwise).
+    pub finalize: FinalizeMode,
 }
 
 impl ExecKnobs {
-    /// Parses `--threads <n>` and `--shuffle
-    /// materialized|streaming|pipelined` from a binary's argument list.
-    /// `--smoke` is the experiment binaries' scale flag, so it passes
-    /// through; any *other* `--flag` is rejected rather than silently
-    /// ignored — a typo must not quietly revert CI to the default engine
-    /// path.
+    /// Parses `--threads <n>`, `--shuffle
+    /// materialized|streaming|pipelined`, and `--finalize static|stealing`
+    /// from a binary's argument list. `--smoke` is the experiment
+    /// binaries' scale flag, so it passes through; any *other* `--flag` is
+    /// rejected rather than silently ignored — a typo must not quietly
+    /// revert CI to the default engine path.
     pub fn from_args(args: &[String]) -> Result<ExecKnobs, String> {
         let mut knobs = ExecKnobs::default();
         let mut it = args.iter();
@@ -66,10 +69,14 @@ impl ExecKnobs {
                     let value = it.next().ok_or("--shuffle needs a value")?;
                     knobs.shuffle = value.parse()?;
                 }
+                "--finalize" => {
+                    let value = it.next().ok_or("--finalize needs a value")?;
+                    knobs.finalize = value.parse()?;
+                }
                 "--smoke" => {}
                 other if other.starts_with("--") => {
                     return Err(format!(
-                        "unknown flag `{other}` (expected --smoke, --threads <n>, --shuffle materialized|streaming|pipelined)"
+                        "unknown flag `{other}` (expected --smoke, --threads <n>, --shuffle materialized|streaming|pipelined, --finalize static|stealing)"
                     ));
                 }
                 _ => {}
@@ -82,6 +89,7 @@ impl ExecKnobs {
     pub fn apply(&self, mut cluster: ClusterConfig) -> ClusterConfig {
         cluster.map_threads = self.map_threads.max(1);
         cluster.shuffle = self.shuffle;
+        cluster.finalize_mode = self.finalize;
         cluster
     }
 }
@@ -407,21 +415,32 @@ mod tests {
 
     #[test]
     fn exec_knobs_parse_and_apply() {
-        let args: Vec<String> = ["--smoke", "--threads", "3", "--shuffle", "streaming"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> = [
+            "--smoke",
+            "--threads",
+            "3",
+            "--shuffle",
+            "pipelined",
+            "--finalize",
+            "stealing",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let knobs = ExecKnobs::from_args(&args).unwrap();
         assert_eq!(knobs.map_threads, 3);
-        assert_eq!(knobs.shuffle, ShuffleMode::Streaming);
+        assert_eq!(knobs.shuffle, ShuffleMode::Pipelined);
+        assert_eq!(knobs.finalize, FinalizeMode::Stealing);
         let cluster = knobs.apply(ClusterConfig::default());
         assert_eq!(cluster.map_threads, 3);
-        assert_eq!(cluster.shuffle, ShuffleMode::Streaming);
+        assert_eq!(cluster.shuffle, ShuffleMode::Pipelined);
+        assert_eq!(cluster.finalize_mode, FinalizeMode::Stealing);
         assert_eq!(
             ExecKnobs::from_args(&[]).unwrap(),
             ExecKnobs {
                 map_threads: 0,
-                shuffle: ShuffleMode::Materialized
+                shuffle: ShuffleMode::Materialized,
+                finalize: FinalizeMode::Static
             }
         );
     }
@@ -433,6 +452,9 @@ mod tests {
             vec!["--shuffle=streaming"],
             vec!["--shuffle", "mystery"],
             vec!["--threads"],
+            vec!["--finalize"],
+            vec!["--finalize", "mystery"],
+            vec!["--finalise", "stealing"],
         ] {
             let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
             assert!(ExecKnobs::from_args(&args).is_err(), "{bad:?}");

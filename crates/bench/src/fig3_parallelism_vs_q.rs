@@ -21,12 +21,15 @@ pub fn run(scale: Scale) -> Table {
 }
 
 /// Runs the experiment with explicit engine knobs (map threads / shuffle
-/// mode). The simulated columns are identical across knob settings; the
-/// two trailing columns (`overlap_blk`, `peak_blk`) are execution
-/// diagnostics from the pipelined engine — zero under the pass-based
-/// modes, and legitimately run-dependent under `--shuffle pipelined`,
-/// where they show how much reduce-side work overlapped live map tasks
-/// and how full the bounded channels got.
+/// mode / finalize mode). The simulated columns are identical across knob
+/// settings; the four trailing columns (`overlap_blk`, `peak_blk`,
+/// `stolen`, `fin_imb`) are execution diagnostics from the pipelined
+/// engine — zero under the pass-based modes, and legitimately
+/// run-dependent under `--shuffle pipelined`, where they show how much
+/// reduce-side work overlapped live map tasks, how full the bounded
+/// channels got, how many partition finalizations migrated between
+/// consumer threads under `--finalize stealing`, and how imbalanced the
+/// per-thread finalize spans were (max/mean; 1.0 is perfectly balanced).
 pub fn run_with(scale: Scale, knobs: ExecKnobs) -> Table {
     let m = scale.pick(60, 300);
     let steps = scale.pick(4, 12);
@@ -46,6 +49,8 @@ pub fn run_with(scale: Scale, knobs: ExecKnobs) -> Table {
             "speedup",
             "overlap_blk",
             "peak_blk",
+            "stolen",
+            "fin_imb",
         ],
     );
 
@@ -82,6 +87,8 @@ pub fn run_with(scale: Scale, knobs: ExecKnobs) -> Table {
                 &format!("{:.2}", metrics.speedup()),
                 &metrics.pipeline.map_reduce_overlap_blocks,
                 &metrics.pipeline.peak_inflight_blocks,
+                &metrics.pipeline.stolen_partitions,
+                &format!("{:.2}", metrics.pipeline.finalize_imbalance),
             ]);
         }
     }
@@ -101,18 +108,19 @@ mod tests {
             ExecKnobs {
                 map_threads: 4,
                 shuffle: ShuffleMode::Streaming,
+                ..ExecKnobs::default()
             },
         );
         assert_eq!(base.render(), knobbed.render());
     }
 
     /// Under the pipelined engine the simulated columns stay identical to
-    /// the materialized baseline; only the two trailing diagnostics may
+    /// the materialized baseline; only the four trailing diagnostics may
     /// differ (they are zero under pass-based modes and run-dependent
     /// under pipelining).
     #[test]
     fn pipelined_knobs_keep_simulated_columns_identical() {
-        use mrassign_simmr::ShuffleMode;
+        use mrassign_simmr::{FinalizeMode, ShuffleMode};
         let strip = |table: &Table| -> Vec<String> {
             table
                 .render()
@@ -120,24 +128,31 @@ mod tests {
                 .skip(1)
                 .map(|l| {
                     let cols: Vec<&str> = l.split_whitespace().collect();
-                    cols[..cols.len() - 2].join(" ")
+                    cols[..cols.len() - 4].join(" ")
                 })
                 .collect()
         };
         let base = run(Scale::Smoke);
-        let pipelined = run_with(
-            Scale::Smoke,
-            ExecKnobs {
-                map_threads: 4,
-                shuffle: ShuffleMode::Pipelined,
-            },
-        );
-        assert_eq!(strip(&base), strip(&pipelined));
-        // The baseline's diagnostics are all zero.
+        let stripped_base = strip(&base);
+        for finalize in FinalizeMode::ALL {
+            let pipelined = run_with(
+                Scale::Smoke,
+                ExecKnobs {
+                    map_threads: 4,
+                    shuffle: ShuffleMode::Pipelined,
+                    finalize,
+                },
+            );
+            assert_eq!(stripped_base, strip(&pipelined), "{finalize:?}");
+        }
+        // The baseline's diagnostics are all zero: no overlap, no peak, no
+        // stolen partitions, and no finalize-imbalance measurement.
         for line in base.render().lines().skip(2) {
             let cols: Vec<&str> = line.split_whitespace().collect();
+            assert_eq!(cols[cols.len() - 4], "0");
+            assert_eq!(cols[cols.len() - 3], "0");
             assert_eq!(cols[cols.len() - 2], "0");
-            assert_eq!(cols[cols.len() - 1], "0");
+            assert_eq!(cols[cols.len() - 1], "0.00");
         }
     }
 

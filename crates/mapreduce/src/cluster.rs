@@ -83,6 +83,63 @@ impl std::str::FromStr for ShuffleMode {
     }
 }
 
+/// How the pipelined engine assigns partition finalization (the per
+/// partition run-merge + reduce) to consumer threads once the stage
+/// channels close.
+///
+/// Purely an execution-time choice: outputs and the deterministic metrics
+/// subset are bit-identical across modes (finalized partitions are slotted
+/// by partition index regardless of which thread processed them); only
+/// [`crate::PipelineMetrics`]' finalize counters differ. Ignored by the
+/// pass-based shuffle modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FinalizeMode {
+    /// Each consumer group finalizes exactly the contiguous partition
+    /// range it drained. Under a hot reducer the owning thread serializes
+    /// its whole range while the other consumers idle — the skew
+    /// pathology the paper's load-balancing thesis warns about.
+    #[default]
+    Static,
+    /// Completed partitions go into a shared finalize queue (popped
+    /// largest-bytes-first, LPT-style) that every consumer thread steals
+    /// from, so a hot partition's neighbors migrate to idle threads.
+    Stealing,
+}
+
+impl FinalizeMode {
+    /// Every mode, in the order the `--finalize` grammar lists them.
+    pub const ALL: [FinalizeMode; 2] = [FinalizeMode::Static, FinalizeMode::Stealing];
+
+    /// The name accepted by every `--finalize` flag and the
+    /// `MRASSIGN_FINALIZE` env var; [`std::str::FromStr`] parses and
+    /// reports errors through this list.
+    pub fn name(self) -> &'static str {
+        match self {
+            FinalizeMode::Static => "static",
+            FinalizeMode::Stealing => "stealing",
+        }
+    }
+}
+
+impl std::str::FromStr for FinalizeMode {
+    type Err = String;
+
+    /// Parses the mode names used by every `--finalize` flag, so a typo
+    /// fails loudly instead of silently reverting to the default.
+    fn from_str(name: &str) -> Result<Self, Self::Err> {
+        FinalizeMode::ALL
+            .into_iter()
+            .find(|mode| mode.name() == name)
+            .ok_or_else(|| {
+                let expected: Vec<&str> = FinalizeMode::ALL.map(FinalizeMode::name).to_vec();
+                format!(
+                    "unknown finalize mode `{name}` (expected {})",
+                    expected.join("|")
+                )
+            })
+    }
+}
+
 /// Simulated cluster parameters.
 ///
 /// Rates are bytes per simulated second. Defaults approximate a small
@@ -122,6 +179,9 @@ pub struct ClusterConfig {
     /// memory. Peak in-flight blocks are bounded by
     /// `pipeline_depth × consumer groups`. Must be ≥ 1.
     pub pipeline_depth: usize,
+    /// [`ShuffleMode::Pipelined`]: how completed partitions are assigned
+    /// to consumer threads for finalization. See [`FinalizeMode`].
+    pub finalize_mode: FinalizeMode,
 }
 
 impl Default for ClusterConfig {
@@ -137,6 +197,7 @@ impl Default for ClusterConfig {
             streaming_reducer_block: 64,
             streaming_map_batch: 256,
             pipeline_depth: 4,
+            finalize_mode: FinalizeMode::Static,
         }
     }
 }
@@ -151,12 +212,14 @@ impl ClusterConfig {
         }
     }
 
-    /// Validates the configuration before a run: at least one worker, and
-    /// every block/batch/depth knob at least 1. The knobs are checked
-    /// regardless of the configured [`ShuffleMode`] — a zero value is
-    /// always a misconfiguration (the streaming engine would `step_by(0)`
-    /// and the pipelined engine would build zero-capacity channels), and
-    /// catching it here names the knob instead of panicking mid-job.
+    /// Validates the configuration before a run: at least one worker,
+    /// every block/batch/depth knob at least 1, and every time/rate knob
+    /// finite. The knobs are checked regardless of the configured
+    /// [`ShuffleMode`] — a zero value is always a misconfiguration (the
+    /// streaming engine would `step_by(0)` and the pipelined engine would
+    /// build zero-capacity channels), and a NaN/infinite rate would
+    /// poison every derived task cost — catching either here names the
+    /// knob instead of failing mid-job.
     pub fn validate(&self) -> Result<(), SimError> {
         if self.workers == 0 {
             return Err(SimError::NoWorkers);
@@ -168,6 +231,16 @@ impl ClusterConfig {
         ] {
             if value == 0 {
                 return Err(SimError::InvalidKnob { knob });
+            }
+        }
+        for (knob, value) in [
+            ("map_rate", self.map_rate),
+            ("reduce_rate", self.reduce_rate),
+            ("network_bandwidth", self.network_bandwidth),
+            ("task_overhead", self.task_overhead),
+        ] {
+            if !value.is_finite() {
+                return Err(SimError::NonFiniteKnob { knob });
             }
         }
         Ok(())
@@ -213,8 +286,10 @@ impl Schedule {
     pub fn lpt(tasks: &[TaskCost], workers: usize) -> Schedule {
         assert!(workers > 0, "Schedule::lpt requires at least one worker");
         let mut durations: Vec<f64> = tasks.iter().map(|t| t.0).collect();
-        // Longest first; f64 totals are well-behaved (no NaN by construction).
-        durations.sort_by(|a, b| b.partial_cmp(a).expect("task costs are finite"));
+        // Longest first. `total_cmp` keeps this panic-free even for NaN or
+        // infinite costs (validation rejects the knobs that would produce
+        // them, but a direct caller must get a schedule, not a panic).
+        durations.sort_by(|a, b| b.total_cmp(a));
 
         // Binary heap of (load, worker) would need ordered floats; with the
         // small worker counts used here a linear argmin scan is simpler and
@@ -224,7 +299,7 @@ impl Schedule {
             let (idx, _) = finish
                 .iter()
                 .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite loads"))
+                .min_by(|a, b| a.1.total_cmp(b.1))
                 .expect("at least one worker");
             finish[idx] += d;
         }
@@ -288,6 +363,55 @@ mod tests {
         }
     }
 
+    /// The latent panic this PR closes: a NaN (or infinite) time knob used
+    /// to pass validation and reach `Schedule::lpt`'s
+    /// `partial_cmp(...).expect` as a mid-job panic. Each non-finite knob
+    /// is now rejected by name before the job starts.
+    #[test]
+    fn non_finite_time_knobs_rejected_by_name() {
+        type Setter = fn(&mut ClusterConfig, f64);
+        let cases: [(&str, Setter); 4] = [
+            ("map_rate", |c, v| c.map_rate = v),
+            ("reduce_rate", |c, v| c.reduce_rate = v),
+            ("network_bandwidth", |c, v| c.network_bandwidth = v),
+            ("task_overhead", |c, v| c.task_overhead = v),
+        ];
+        for (knob, set) in cases {
+            for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+                let mut cfg = ClusterConfig::default();
+                set(&mut cfg, bad);
+                assert_eq!(
+                    cfg.validate(),
+                    Err(SimError::NonFiniteKnob { knob }),
+                    "{knob} = {bad}"
+                );
+            }
+        }
+    }
+
+    /// Defense in depth for direct callers: even with a NaN or infinite
+    /// task cost (which validation now keeps out of jobs), `lpt` schedules
+    /// deterministically via `total_cmp` instead of panicking.
+    #[test]
+    fn lpt_tolerates_non_finite_costs_without_panicking() {
+        let tasks = vec![
+            TaskCost(f64::NAN),
+            TaskCost(1.0),
+            TaskCost(f64::INFINITY),
+            TaskCost(2.0),
+        ];
+        let s = Schedule::lpt(&tasks, 2);
+        assert_eq!(s.worker_finish.len(), 2);
+        // `total_cmp` is a total order, so even garbage-in schedules are
+        // bit-for-bit reproducible across calls (NaN propagates into the
+        // loads, hence the bit comparison rather than `==`).
+        let a = Schedule::lpt(&tasks, 2);
+        let bits = |sched: &Schedule| -> Vec<u64> {
+            sched.worker_finish.iter().map(|f| f.to_bits()).collect()
+        };
+        assert_eq!(bits(&s), bits(&a));
+    }
+
     #[test]
     fn shuffle_mode_names_round_trip() {
         for mode in ShuffleMode::ALL {
@@ -296,6 +420,18 @@ mod tests {
         // The error names every accepted mode, straight from `ALL`.
         let err = "mystery".parse::<ShuffleMode>().unwrap_err();
         for mode in ShuffleMode::ALL {
+            assert!(err.contains(mode.name()), "{err}");
+        }
+    }
+
+    #[test]
+    fn finalize_mode_names_round_trip() {
+        for mode in FinalizeMode::ALL {
+            assert_eq!(mode.name().parse::<FinalizeMode>(), Ok(mode));
+        }
+        assert_eq!(FinalizeMode::default(), FinalizeMode::Static);
+        let err = "mystery".parse::<FinalizeMode>().unwrap_err();
+        for mode in FinalizeMode::ALL {
             assert!(err.contains(mode.name()), "{err}");
         }
     }

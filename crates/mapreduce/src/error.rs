@@ -16,6 +16,15 @@ pub enum SimError {
         /// The field name on `ClusterConfig`.
         knob: &'static str,
     },
+    /// A time/rate knob on [`crate::ClusterConfig`] was configured to a
+    /// non-finite value (`map_rate`, `reduce_rate`, `network_bandwidth`,
+    /// or `task_overhead`). A NaN or infinity would poison every derived
+    /// task cost and, before this check existed, reached
+    /// [`crate::Schedule::lpt`] as a mid-job panic.
+    NonFiniteKnob {
+        /// The field name on `ClusterConfig`.
+        knob: &'static str,
+    },
     /// A router returned a reducer index outside `0..n_reducers`.
     RouteOutOfRange {
         /// The offending target index.
@@ -42,6 +51,12 @@ impl fmt::Display for SimError {
             SimError::NoWorkers => write!(f, "cluster configured with zero workers"),
             SimError::InvalidKnob { knob } => {
                 write!(f, "engine knob `{knob}` must be at least 1")
+            }
+            SimError::NonFiniteKnob { knob } => {
+                write!(
+                    f,
+                    "engine knob `{knob}` must be finite (got NaN or an infinity)"
+                )
             }
             SimError::RouteOutOfRange { target, n_reducers } => write!(
                 f,
@@ -78,5 +93,8 @@ mod tests {
             knob: "pipeline_depth",
         };
         assert!(e.to_string().contains("pipeline_depth"));
+        let e = SimError::NonFiniteKnob { knob: "map_rate" };
+        let s = e.to_string();
+        assert!(s.contains("map_rate") && s.contains("finite"));
     }
 }

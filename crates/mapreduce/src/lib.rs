@@ -78,7 +78,7 @@ mod record;
 mod router;
 mod traits;
 
-pub use cluster::{ClusterConfig, Schedule, ShuffleMode, TaskCost};
+pub use cluster::{ClusterConfig, FinalizeMode, Schedule, ShuffleMode, TaskCost};
 pub use error::SimError;
 pub use job::{CapacityPolicy, Job, JobOutput};
 pub use metrics::{JobMetrics, PipelineMetrics};

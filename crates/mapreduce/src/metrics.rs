@@ -24,10 +24,24 @@ pub struct PipelineMetrics {
     pub blocks_sent: u64,
     /// Number of reducer-group consumer threads the run used.
     pub consumer_groups: u64,
+    /// Partitions finalized by a consumer thread that did *not* drain them
+    /// — always zero under
+    /// [`FinalizeMode::Static`](crate::FinalizeMode::Static); under
+    /// [`FinalizeMode::Stealing`](crate::FinalizeMode::Stealing) it counts
+    /// how much finalize work migrated off hot consumer groups.
+    pub stolen_partitions: u64,
     /// Wall-clock span of the map stage (first task start → last task end).
     pub map_wall_seconds: f64,
     /// Wall-clock span of the reduce finalization stage across consumers.
     pub reduce_wall_seconds: f64,
+    /// Per-consumer-thread finalize span (seconds), indexed by consumer
+    /// group. Under a hot reducer with static finalize, one entry dwarfs
+    /// the rest; stealing flattens the profile.
+    pub finalize_group_seconds: Vec<f64>,
+    /// Finalize imbalance: max per-group finalize span over the mean span
+    /// (≥ 1.0 for a pipelined run; 1.0 is perfectly balanced). Zero under
+    /// the pass-based modes, which never finalize concurrently.
+    pub finalize_imbalance: f64,
     /// Wall-clock span of the whole pipelined run.
     pub wall_seconds: f64,
 }
@@ -202,6 +216,9 @@ mod tests {
         a.pipeline.map_reduce_overlap_blocks = 17;
         a.pipeline.peak_inflight_blocks = 4;
         a.pipeline.wall_seconds = 0.25;
+        a.pipeline.stolen_partitions = 3;
+        a.pipeline.finalize_group_seconds = vec![0.5, 0.1];
+        a.pipeline.finalize_imbalance = 1.7;
         b.pipeline.consumer_groups = 2;
         assert_ne!(a, b);
         assert_eq!(a.deterministic(), b.deterministic());

@@ -19,10 +19,11 @@
 //!          │        │        ◄── back-pressure: a full channel blocks
 //!          ▼        ▼            the sender until the consumer drains
 //!   consumer 1 … consumer G               G = min(T, n_reducers)
-//!      │  per-partition byte accounting + seq-ordered block reassembly
-//!      │  (overlaps live map tasks — this is the pipelining)
+//!      │  per-partition byte accounting + incremental reassembly into
+//!      │  seq-ordered runs (overlaps live map tasks — the pipelining)
 //!      │  … channels close when every mapper is done …
-//!      │  sort / group / reduce each owned partition
+//!      │  finalize: k-way merge each partition's runs, group, reduce
+//!      │  (static: own range only; stealing: shared LPT finalize queue)
 //!      ▼
 //!   per-partition outputs, slotted and concatenated in partition order
 //! ```
@@ -47,12 +48,33 @@
 //!
 //! **Determinism.** Mappers pull tasks dynamically, so blocks arrive at a
 //! consumer in arbitrary order — but every block carries the index of the
-//! map task that produced it, and each partition's blocks are re-sorted by
-//! that sequence number before reduction (the same index-slotted trick the
-//! planner's parallel sweep uses). Combined with commutative atomic byte
-//! accounting, the engine produces outputs and a deterministic metrics
-//! subset bit-identical to [`ShuffleMode::Materialized`], for every thread
-//! count and pipeline depth; only [`PipelineMetrics`] varies run to run.
+//! map task that produced it, and each partition is kept as a list of
+//! **sequence-ordered runs** built incrementally while the blocks arrive:
+//! a block whose `seq` extends the tail run is appended in place, an
+//! inversion opens a new run. Since mappers hand out tasks in increasing
+//! order, arrivals are nearly sorted and the run count stays tiny; the
+//! finalize step then restores exact (task, emission) order with a k-way
+//! merge instead of one big sort — the sort work happens inside the
+//! overlap window the engine exists to create. Combined with commutative
+//! atomic byte accounting, the engine produces outputs and a
+//! deterministic metrics subset bit-identical to
+//! [`ShuffleMode::Materialized`], for every thread count, pipeline depth,
+//! and [`FinalizeMode`]; only [`PipelineMetrics`] varies run to run.
+//!
+//! **Finalize scheduling.** Once the channels close, each completed
+//! partition still needs its merge + reduce. Under
+//! [`FinalizeMode::Static`] every consumer finalizes exactly the
+//! contiguous range it drained — which serializes a hot group's whole
+//! range on one thread while its peers idle, precisely the skew pathology
+//! the paper's load-balancing thesis targets. Under
+//! [`FinalizeMode::Stealing`] consumers publish their completed
+//! partitions into a shared `FinalizeQueue` (popped
+//! largest-bytes-first, the LPT rule the simulated scheduler itself
+//! uses) and then *all* consumer threads steal work from it until the
+//! queue is dry. Outputs stay slotted by partition index, so the
+//! `JobOutput` is bit-identical either way; `stolen_partitions` and the
+//! per-group finalize spans in [`PipelineMetrics`] record how much work
+//! migrated.
 //!
 //! **Error paths.** A routing error does not tear the pipeline down
 //! mid-flight: the offending task records its error keyed by task index
@@ -68,12 +90,13 @@
 //! its full channel; the scope join then re-raises the panic, exactly as
 //! the pass-based modes do.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
-use crate::cluster::TaskCost;
+use crate::cluster::{FinalizeMode, TaskCost};
 use crate::error::SimError;
 use crate::job::Job;
 use crate::metrics::{JobMetrics, PipelineMetrics};
@@ -237,6 +260,135 @@ impl<T> Drop for ReceiverGuard<'_, T> {
     }
 }
 
+/// The shared work-stealing finalize queue of [`FinalizeMode::Stealing`]:
+/// consumers publish `(priority, item)` pairs as their channels close and
+/// every consumer thread steals the highest-priority (largest-bytes)
+/// pending item — LPT over finalize tasks, so a hot partition's neighbors
+/// migrate to idle threads instead of queueing behind it.
+///
+/// `steal` blocks while the queue is empty but publishers remain, and
+/// returns `None` once every publisher finished and the queue drained —
+/// or immediately after [`FinalizeQueue::abort`], which a panicking
+/// consumer's [`FinalizePublisherGuard`] triggers so its peers drain out
+/// instead of waiting forever on a publisher that will never arrive.
+struct FinalizeQueue<T> {
+    state: Mutex<FinalizeQueueState<T>>,
+    work_ready: Condvar,
+}
+
+struct FinalizeQueueState<T> {
+    items: Vec<(u64, T)>,
+    publishers: usize,
+    aborted: bool,
+}
+
+impl<T> FinalizeQueue<T> {
+    fn new(publishers: usize) -> Self {
+        FinalizeQueue {
+            state: Mutex::new(FinalizeQueueState {
+                items: Vec::new(),
+                publishers,
+                aborted: false,
+            }),
+            work_ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FinalizeQueueState<T>> {
+        // Tolerate poisoning: the abort path runs mid-unwind and must not
+        // double-panic; normal paths never panic while holding this lock.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn publish(&self, batch: Vec<(u64, T)>) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut state = self.lock();
+        state.items.extend(batch);
+        drop(state);
+        self.work_ready.notify_all();
+    }
+
+    /// Counts one publisher down; the last one wakes every stealer so it
+    /// can observe end-of-work instead of waiting forever.
+    fn finish_publishing(&self) {
+        let mut state = self.lock();
+        state.publishers -= 1;
+        let done = state.publishers == 0;
+        drop(state);
+        if done {
+            self.work_ready.notify_all();
+        }
+    }
+
+    /// Poisons the queue (a consumer is unwinding): stealers drain out
+    /// with `None` immediately. The job re-raises the panic at join.
+    fn abort(&self) {
+        self.lock().aborted = true;
+        self.work_ready.notify_all();
+    }
+
+    fn steal(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if state.aborted {
+                return None;
+            }
+            // Largest priority first; earliest-published wins ties so the
+            // pop order is reproducible for equal-sized partitions.
+            let mut best: Option<(usize, u64)> = None;
+            for (idx, &(priority, _)) in state.items.iter().enumerate() {
+                if best.is_none_or(|(_, b)| priority > b) {
+                    best = Some((idx, priority));
+                }
+            }
+            if let Some((idx, _)) = best {
+                return Some(state.items.swap_remove(idx).1);
+            }
+            if state.publishers == 0 {
+                return None;
+            }
+            state = self
+                .work_ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Ties a consumer thread to the finalize queue for the duration of its
+/// finalize phase. Dropping it *without* [`FinalizePublisherGuard::finish`]
+/// means the consumer is unwinding before it could publish — the guard
+/// aborts the queue so sibling consumers blocked in `steal` drain out
+/// (mirroring what [`ReceiverGuard`] does for the stage channels).
+struct FinalizePublisherGuard<'a, T> {
+    queue: &'a FinalizeQueue<T>,
+    finished: bool,
+}
+
+impl<'a, T> FinalizePublisherGuard<'a, T> {
+    fn new(queue: &'a FinalizeQueue<T>) -> Self {
+        FinalizePublisherGuard {
+            queue,
+            finished: false,
+        }
+    }
+
+    fn finish(&mut self) {
+        self.finished = true;
+        self.queue.finish_publishing();
+    }
+}
+
+impl<T> Drop for FinalizePublisherGuard<'_, T> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.queue.abort();
+        }
+    }
+}
+
 /// A record tagged with its destination reducer partition (mapper side).
 type Tagged<M> = (usize, <M as Mapper>::Key, <M as Mapper>::Value);
 
@@ -252,19 +404,78 @@ struct Block<K, V> {
     records: Vec<(usize, K, V)>,
 }
 
+/// A sequence-ordered run of one partition's records: `seq` never
+/// decreases within a run, and records sharing a `seq` sit contiguously
+/// in emission order (they came from the same block).
+type Run<M> = Vec<Seqed<M>>;
+
+/// One completed partition's drained runs, queued for a (possibly stolen)
+/// finalize. `owner` is the consumer group that drained it, which is what
+/// `stolen_partitions` is counted against.
+struct FinalizeItem<M: Mapper> {
+    partition: usize,
+    owner: usize,
+    runs: Vec<Run<M>>,
+}
+
+/// The merge + reduce result of one partition, slotted back into global
+/// partition order by [`Job::run_pipelined`].
+struct FinalizedPartition<Out> {
+    partition: usize,
+    distinct_keys: u64,
+    outputs: Vec<Out>,
+}
+
 /// Everything one consumer hands back: per owned partition (indexed from
-/// `first_partition`) the byte/record accounting and the reduce results,
-/// plus the group's overlap observation and finalize wall-clock span.
+/// `first_partition`) the byte/record accounting, the partitions this
+/// *thread* finalized (its own under static finalize; whatever it stole
+/// under stealing), plus the group's overlap observation and finalize
+/// wall-clock span.
 struct GroupResult<Out> {
     first_partition: usize,
     records: Vec<u64>,
     value_bytes: Vec<u64>,
     total_bytes: Vec<u64>,
-    distinct_keys: Vec<u64>,
-    outputs: Vec<Vec<Out>>,
+    finalized: Vec<FinalizedPartition<Out>>,
     overlap_blocks: u64,
+    stolen: u64,
     finalize_start: f64,
     finalize_end: f64,
+}
+
+/// K-way merges a partition's sequence-ordered runs back into exact
+/// (task, emission) arrival order — the order the materialized pass
+/// produces — and strips the sequence tags. Each `seq` lives in exactly
+/// one run (a map task emits one block per group), so a min-heap over the
+/// run heads is a total order and ties cannot occur across runs.
+fn merge_runs<K, V>(mut runs: Vec<Vec<(usize, K, V)>>) -> Vec<(K, V)> {
+    if runs.len() <= 1 {
+        return runs
+            .pop()
+            .unwrap_or_default()
+            .into_iter()
+            .map(|(_, k, v)| (k, v))
+            .collect();
+    }
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut merged: Vec<(K, V)> = Vec::with_capacity(total);
+    let mut iters: Vec<std::vec::IntoIter<(usize, K, V)>> =
+        runs.into_iter().map(Vec::into_iter).collect();
+    let mut heads: Vec<Option<(usize, K, V)>> = iters.iter_mut().map(Iterator::next).collect();
+    let mut heap: BinaryHeap<Reverse<(usize, usize)>> = heads
+        .iter()
+        .enumerate()
+        .filter_map(|(run, head)| head.as_ref().map(|&(seq, _, _)| Reverse((seq, run))))
+        .collect();
+    while let Some(Reverse((_, run))) = heap.pop() {
+        let (_, key, value) = heads[run].take().expect("heap entries have a live head");
+        merged.push((key, value));
+        heads[run] = iters[run].next();
+        if let Some(&(seq, _, _)) = heads[run].as_ref() {
+            heap.push(Reverse((seq, run)));
+        }
+    }
+    merged
 }
 
 /// Shared mutable state of one pipelined run (everything the stages
@@ -272,8 +483,10 @@ struct GroupResult<Out> {
 struct Coordination {
     /// Next input index to map — the dynamic task queue.
     next_task: AtomicUsize,
-    /// Map tasks fully processed; `< n_inputs` means the map stage is
-    /// still active, which is what the overlap counter samples.
+    /// Map tasks whose map + route work is complete — incremented
+    /// *before* the task's blocks are sent, so `< n_inputs` means real
+    /// map work is still in flight, which is exactly what the overlap
+    /// counter samples (a final task's own blocks are not overlap).
     tasks_done: AtomicUsize,
     /// Lowest task index that hit a routing error (`usize::MAX` = none);
     /// mappers skip tasks above it so the pipeline drains fast.
@@ -344,6 +557,7 @@ where
         let channels: Vec<BoundedQueue<Block<M::Key, M::Value>>> = (0..n_groups)
             .map(|_| BoundedQueue::new(depth, n_mappers))
             .collect();
+        let finalize_queue: FinalizeQueue<FinalizeItem<M>> = FinalizeQueue::new(n_groups);
         let coord = Coordination::new();
         let epoch = Instant::now();
 
@@ -351,10 +565,19 @@ where
             let consumer_handles: Vec<_> = (0..n_groups)
                 .map(|g| {
                     let channels = &channels;
+                    let finalize_queue = &finalize_queue;
                     let coord = &coord;
                     let job = self;
                     scope.spawn(move || {
-                        job.consume_group(g, per_group, n_inputs, &channels[g], coord, &epoch)
+                        job.consume_group(
+                            g,
+                            per_group,
+                            n_inputs,
+                            &channels[g],
+                            finalize_queue,
+                            coord,
+                            &epoch,
+                        )
                     })
                 })
                 .collect();
@@ -396,8 +619,10 @@ where
         metrics.bytes_shuffled = coord.bytes_shuffled.load(Ordering::Relaxed);
 
         // Reassemble the per-partition results in partition order, exactly
-        // like the materialized pass walks its partitions (groups own
-        // contiguous, disjoint partition ranges, so this is pure slotting).
+        // like the materialized pass walks its partitions. Accounting is
+        // slotted by each group's contiguous drain range; finalized
+        // outputs carry their own partition index because under stealing
+        // any thread may have finalized any partition.
         let mut reducer_value_bytes = vec![0u64; self.n_reducers];
         let mut reducer_total_bytes = vec![0u64; self.n_reducers];
         let mut reducer_records = vec![0u64; self.n_reducers];
@@ -405,19 +630,25 @@ where
             (0..self.n_reducers).map(|_| None).collect();
         let mut slotted_distinct = vec![0u64; self.n_reducers];
         let mut overlap_blocks = 0u64;
+        let mut stolen_partitions = 0u64;
         let mut finalize_start = f64::INFINITY;
         let mut finalize_end = 0.0f64;
+        let mut finalize_group_seconds = Vec::with_capacity(group_results.len());
         for group in group_results {
             overlap_blocks += group.overlap_blocks;
+            stolen_partitions += group.stolen;
             finalize_start = finalize_start.min(group.finalize_start);
             finalize_end = finalize_end.max(group.finalize_end);
-            for (local, out) in group.outputs.into_iter().enumerate() {
+            finalize_group_seconds.push((group.finalize_end - group.finalize_start).max(0.0));
+            for local in 0..group.records.len() {
                 let p = group.first_partition + local;
                 reducer_value_bytes[p] = group.value_bytes[local];
                 reducer_total_bytes[p] = group.total_bytes[local];
                 reducer_records[p] = group.records[local];
-                slotted_distinct[p] = group.distinct_keys[local];
-                slotted_outputs[p] = Some(out);
+            }
+            for part in group.finalized {
+                slotted_distinct[part.partition] = part.distinct_keys;
+                slotted_outputs[part.partition] = Some(part.outputs);
             }
         }
 
@@ -434,16 +665,26 @@ where
             reduce_costs.push(TaskCost(
                 self.config.reduce_task_seconds(reducer_total_bytes[p]),
             ));
-            outputs.extend(slot.expect("every partition slot filled"));
+            outputs.extend(slot.expect("every nonempty partition finalized"));
         }
+        let max_span = finalize_group_seconds.iter().cloned().fold(0.0, f64::max);
+        let mean_span =
+            finalize_group_seconds.iter().sum::<f64>() / finalize_group_seconds.len().max(1) as f64;
         metrics.reducer_value_bytes = reducer_value_bytes;
         metrics.pipeline = PipelineMetrics {
             map_reduce_overlap_blocks: overlap_blocks,
             peak_inflight_blocks: coord.gauge.peak.load(Ordering::Relaxed),
             blocks_sent: coord.blocks_sent.load(Ordering::Relaxed),
             consumer_groups: n_groups as u64,
+            stolen_partitions,
             map_wall_seconds: map_wall,
             reduce_wall_seconds: (finalize_end - finalize_start).max(0.0),
+            finalize_group_seconds,
+            finalize_imbalance: if mean_span > 0.0 {
+                max_span / mean_span
+            } else {
+                1.0
+            },
             wall_seconds: epoch.elapsed().as_secs_f64(),
         };
         Ok((outputs, reduce_costs))
@@ -503,6 +744,13 @@ where
                 .records_shuffled
                 .fetch_add(shuffled, Ordering::Relaxed);
             coord.bytes_shuffled.fetch_add(bytes, Ordering::Relaxed);
+            // This task's *map* work (map + route) is finished; only the
+            // shuffle hand-off remains. Count it done before the sends so
+            // the consumers' overlap sampling stays honest — a block from
+            // the final map task must never count as overlap when no map
+            // work remains. (The increment used to come after the sends,
+            // overcounting exactly those blocks.)
+            coord.tasks_done.fetch_add(1, Ordering::Relaxed);
             if !failed {
                 for (g, records) in per_group_records.into_iter().enumerate() {
                     if records.is_empty() {
@@ -512,14 +760,16 @@ where
                     channels[g].send(Block { seq: task, records }, &coord.gauge);
                 }
             }
-            coord.tasks_done.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// One consumer worker: drain the group's channel (accounting bytes
-    /// and reassembling blocks per owned partition, concurrently with live
-    /// mappers), then — once every mapper detached — sort each partition's
-    /// blocks by sequence number and reduce it.
+    /// and building seq-ordered runs per owned partition, concurrently
+    /// with live mappers), then — once every mapper detached — finalize:
+    /// k-way merge each partition's runs and reduce it, either for the
+    /// owned range only ([`FinalizeMode::Static`]) or by stealing
+    /// completed partitions from the shared queue
+    /// ([`FinalizeMode::Stealing`]).
     #[allow(clippy::too_many_arguments)]
     fn consume_group(
         &self,
@@ -527,6 +777,7 @@ where
         per_group: usize,
         n_inputs: usize,
         channel: &BoundedQueue<Block<M::Key, M::Value>>,
+        finalize_queue: &FinalizeQueue<FinalizeItem<M>>,
         coord: &Coordination,
         epoch: &Instant,
     ) -> GroupResult<R::Out> {
@@ -534,10 +785,16 @@ where
         // reducer or `ByteSized` impl), so mappers blocked on this
         // channel resume instead of deadlocking the scope join.
         let _detach = ReceiverGuard(channel);
+        // Registered *before* the drain: if user code panics while this
+        // consumer is still draining (a `ByteSized` impl), the guard
+        // aborts the finalize queue so sibling consumers stealing from it
+        // drain out instead of waiting forever for this publisher.
+        let mut publisher = (self.config.finalize_mode == FinalizeMode::Stealing)
+            .then(|| FinalizePublisherGuard::new(finalize_queue));
         let lo = group * per_group;
         let hi = (lo + per_group).min(self.n_reducers);
         let n_local = hi - lo;
-        let mut parts: Vec<Vec<Seqed<M>>> = (0..n_local).map(|_| Vec::new()).collect();
+        let mut parts: Vec<Vec<Run<M>>> = (0..n_local).map(|_| Vec::new()).collect();
         let mut records = vec![0u64; n_local];
         let mut value_bytes = vec![0u64; n_local];
         let mut total_bytes = vec![0u64; n_local];
@@ -554,27 +811,75 @@ where
                 let vb = value.size_bytes();
                 value_bytes[local] += vb;
                 total_bytes[local] += key.size_bytes() + vb;
-                parts[local].push((seq, key, value));
+                // Incremental reassembly: mappers hand out tasks in
+                // increasing order, so most blocks extend the tail run in
+                // place; an out-of-order arrival opens a new run. The
+                // sorting effort thus happens here, inside the overlap
+                // window, leaving only a k-way merge for finalize.
+                let runs = &mut parts[local];
+                let extends_tail = runs
+                    .last()
+                    .and_then(|run| run.last())
+                    .is_some_and(|&(tail, _, _)| tail <= seq);
+                if !extends_tail {
+                    runs.push(Vec::new());
+                }
+                runs.last_mut()
+                    .expect("a tail run exists")
+                    .push((seq, key, value));
             }
         }
 
-        // End-of-stream: the map stage is complete. Finalize the owned
-        // partitions (skipped when a routing error is pending — the run
-        // returns that error and discards everything, so reducing would
-        // be wasted work; draining above still happened, which is what
-        // keeps blocked mappers from deadlocking).
+        // End-of-stream: the map stage is complete. Finalize (skipped
+        // when a routing error is pending — the run returns that error
+        // and discards everything, so reducing would be wasted work;
+        // draining above still happened, which is what keeps blocked
+        // mappers from deadlocking). Empty partitions never finalize:
+        // they produce no outputs and no reduce task in any mode.
         let finalize_start = epoch.elapsed().as_secs_f64();
-        let mut distinct_keys = vec![0u64; n_local];
-        let mut outputs: Vec<Vec<R::Out>> = (0..n_local).map(|_| Vec::new()).collect();
-        if coord.error_seq.load(Ordering::Relaxed) == usize::MAX {
-            for (local, mut blocks) in parts.into_iter().enumerate() {
-                // Sequence-numbered reassembly: a stable sort by producing
-                // task restores (task, emission) arrival order, making the
-                // partition byte-identical to the materialized pass's.
-                blocks.sort_by_key(|&(seq, _, _)| seq);
-                let mut partition: Vec<(M::Key, M::Value)> =
-                    blocks.into_iter().map(|(_, k, v)| (k, v)).collect();
-                distinct_keys[local] = self.reduce_partition(&mut partition, &mut outputs[local]);
+        let mut finalized: Vec<FinalizedPartition<R::Out>> = Vec::new();
+        let mut stolen = 0u64;
+        let clean = coord.error_seq.load(Ordering::Relaxed) == usize::MAX;
+        match self.config.finalize_mode {
+            FinalizeMode::Static => {
+                if clean {
+                    for (local, runs) in parts.into_iter().enumerate() {
+                        if records[local] == 0 {
+                            continue;
+                        }
+                        finalized.push(self.finalize_partition(lo + local, runs));
+                    }
+                }
+            }
+            FinalizeMode::Stealing => {
+                let publisher = publisher
+                    .as_mut()
+                    .expect("guard registered for stealing mode before the drain");
+                if clean {
+                    let items: Vec<(u64, FinalizeItem<M>)> = parts
+                        .into_iter()
+                        .enumerate()
+                        .filter(|&(local, _)| records[local] > 0)
+                        .map(|(local, runs)| {
+                            (
+                                total_bytes[local],
+                                FinalizeItem {
+                                    partition: lo + local,
+                                    owner: group,
+                                    runs,
+                                },
+                            )
+                        })
+                        .collect();
+                    finalize_queue.publish(items);
+                }
+                publisher.finish();
+                while let Some(item) = finalize_queue.steal() {
+                    if item.owner != group {
+                        stolen += 1;
+                    }
+                    finalized.push(self.finalize_partition(item.partition, item.runs));
+                }
             }
         }
         GroupResult {
@@ -582,11 +887,28 @@ where
             records,
             value_bytes,
             total_bytes,
-            distinct_keys,
-            outputs,
+            finalized,
             overlap_blocks,
+            stolen,
             finalize_start,
             finalize_end: epoch.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Merges one partition's runs into arrival order and reduces it —
+    /// the unit of work both finalize modes schedule.
+    fn finalize_partition(
+        &self,
+        partition: usize,
+        runs: Vec<Run<M>>,
+    ) -> FinalizedPartition<R::Out> {
+        let mut merged = merge_runs(runs);
+        let mut outputs = Vec::new();
+        let distinct_keys = self.reduce_partition(&mut merged, &mut outputs);
+        FinalizedPartition {
+            partition,
+            distinct_keys,
+            outputs,
         }
     }
 }
@@ -594,7 +916,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cluster::{ClusterConfig, ShuffleMode};
+    use crate::cluster::{ClusterConfig, FinalizeMode, ShuffleMode};
     use crate::job::CapacityPolicy;
     use crate::router::{HashRouter, TableRouter};
     use crate::traits::Emitter;
@@ -644,6 +966,49 @@ mod tests {
         )
         .run(&inputs(300))
         .unwrap()
+    }
+
+    /// `merge_runs` restores exact ascending-seq order (ties contiguous
+    /// within a run, preserved stably) — the same order a stable
+    /// `sort_by_key(seq)` over the concatenation would produce.
+    #[test]
+    fn merge_runs_restores_sequence_order() {
+        let runs: Vec<Vec<(usize, u64, &str)>> = vec![
+            vec![(0, 1, "a"), (2, 2, "b"), (2, 3, "c"), (7, 4, "d")],
+            vec![(1, 5, "e"), (5, 6, "f")],
+            vec![(3, 7, "g")],
+        ];
+        let mut expected: Vec<(usize, u64, &str)> = runs.concat();
+        expected.sort_by_key(|&(seq, _, _)| seq);
+        let expected: Vec<(u64, &str)> = expected.into_iter().map(|(_, k, v)| (k, v)).collect();
+        assert_eq!(merge_runs(runs), expected);
+        assert_eq!(merge_runs(Vec::<Vec<(usize, u64, &str)>>::new()), vec![]);
+        assert_eq!(merge_runs(vec![vec![(4, 9u64, "z")]]), vec![(9, "z")]);
+    }
+
+    /// The finalize queue pops largest-priority first, blocks until the
+    /// last publisher finishes, and signals end-of-work with `None`.
+    #[test]
+    fn finalize_queue_is_lpt_ordered_and_terminates() {
+        let queue: FinalizeQueue<&str> = FinalizeQueue::new(2);
+        queue.publish(vec![(5, "small"), (50, "big")]);
+        queue.finish_publishing();
+        let stolen = std::thread::scope(|scope| {
+            let stealer = scope.spawn(|| {
+                let mut seen = Vec::new();
+                while let Some(item) = queue.steal() {
+                    seen.push(item);
+                }
+                seen
+            });
+            // The stealer drains the first batch and then *waits* for the
+            // second publisher rather than exiting early.
+            queue.publish(vec![(20, "late")]);
+            queue.finish_publishing();
+            stealer.join().unwrap()
+        });
+        assert_eq!(stolen[0], "big", "largest bytes pop first");
+        assert_eq!(stolen.len(), 3);
     }
 
     #[test]
@@ -717,6 +1082,81 @@ mod tests {
         }
     }
 
+    /// The work-stealing finalize is a pure scheduling choice: outputs
+    /// and deterministic metrics stay bit-identical to the materialized
+    /// pass for every thread count and depth, and static finalize never
+    /// reports stolen partitions.
+    #[test]
+    fn stealing_finalize_matches_materialized_bit_for_bit() {
+        let reference = run(ShuffleMode::Materialized, 1, 4, 20);
+        for (threads, depth) in [(1, 1), (2, 1), (4, 3), (3, 8)] {
+            for finalize in FinalizeMode::ALL {
+                let pipelined = Job::new(
+                    IdentityMapper,
+                    ConcatReducer,
+                    HashRouter::new(),
+                    20,
+                    ClusterConfig {
+                        shuffle: ShuffleMode::Pipelined,
+                        map_threads: threads,
+                        pipeline_depth: depth,
+                        finalize_mode: finalize,
+                        ..ClusterConfig::default()
+                    },
+                )
+                .run(&inputs(300))
+                .unwrap();
+                assert_eq!(
+                    reference.outputs, pipelined.outputs,
+                    "t={threads} d={depth} {finalize:?}"
+                );
+                assert_eq!(
+                    reference.metrics.deterministic(),
+                    pipelined.metrics.deterministic(),
+                    "t={threads} d={depth} {finalize:?}"
+                );
+                let p = &pipelined.metrics.pipeline;
+                if finalize == FinalizeMode::Static {
+                    assert_eq!(p.stolen_partitions, 0, "static finalize never steals");
+                }
+                assert_eq!(p.finalize_group_seconds.len() as u64, p.consumer_groups);
+                assert!(p.finalize_imbalance >= 1.0, "max/mean span is at least 1");
+            }
+        }
+    }
+
+    /// PR 5 overlap-counter bugfix, pinned deterministically: a single
+    /// map task's own blocks can never be overlap (its map work is
+    /// complete before the blocks are handed to the shuffle, and no other
+    /// map work exists), so the counter must read exactly zero — at every
+    /// thread count and depth. Before the fix the mapper counted the task
+    /// done only *after* sending, so this block raced to 1.
+    #[test]
+    fn single_task_blocks_never_count_as_overlap() {
+        for (threads, depth) in [(1, 1), (4, 1), (2, 3)] {
+            let out = Job::new(
+                IdentityMapper,
+                ConcatReducer,
+                HashRouter::new(),
+                4,
+                ClusterConfig {
+                    shuffle: ShuffleMode::Pipelined,
+                    map_threads: threads,
+                    pipeline_depth: depth,
+                    ..ClusterConfig::default()
+                },
+            )
+            .run(&inputs(1))
+            .unwrap();
+            let p = &out.metrics.pipeline;
+            assert_eq!(p.blocks_sent, 1, "one task, one key, one block");
+            assert_eq!(
+                p.map_reduce_overlap_blocks, 0,
+                "t={threads} d={depth}: the final (only) task's block is not overlap"
+            );
+        }
+    }
+
     #[test]
     fn single_reducer_single_depth_does_not_deadlock() {
         let reference = run(ShuffleMode::Materialized, 1, 1, 1);
@@ -755,7 +1195,7 @@ mod tests {
         let mut table: Vec<(u64, Vec<usize>)> =
             (0..13).map(|k| (k, vec![k as usize % 3])).collect();
         table[7].1 = vec![9]; // out of range for 3 reducers
-        let mk = |shuffle, map_threads| {
+        let mk = |shuffle, map_threads, finalize_mode| {
             Job::new(
                 IdentityMapper,
                 ConcatReducer,
@@ -765,13 +1205,14 @@ mod tests {
                     shuffle,
                     map_threads,
                     pipeline_depth: 1,
+                    finalize_mode,
                     ..ClusterConfig::default()
                 },
             )
             .run(&inputs(300))
             .unwrap_err()
         };
-        let expected = mk(ShuffleMode::Materialized, 1);
+        let expected = mk(ShuffleMode::Materialized, 1, FinalizeMode::Static);
         assert_eq!(
             expected,
             SimError::RouteOutOfRange {
@@ -780,8 +1221,13 @@ mod tests {
             }
         );
         for threads in [1, 2, 4] {
-            assert_eq!(expected, mk(ShuffleMode::Pipelined, threads));
-            assert_eq!(expected, mk(ShuffleMode::Streaming, threads));
+            for finalize in FinalizeMode::ALL {
+                assert_eq!(expected, mk(ShuffleMode::Pipelined, threads, finalize));
+            }
+            assert_eq!(
+                expected,
+                mk(ShuffleMode::Streaming, threads, FinalizeMode::Static)
+            );
         }
     }
 
@@ -821,7 +1267,11 @@ mod tests {
     }
 
     /// Same contract for the reduce side: a panicking reducer unwinds
-    /// through the consumer thread and out of `Job::run`.
+    /// through the consumer thread and out of `Job::run` — under *both*
+    /// finalize modes. The stealing case is the canary for the
+    /// [`FinalizePublisherGuard`]: the panicking consumer must abort the
+    /// shared queue so its siblings drain out instead of waiting forever
+    /// for a publisher that will never finish.
     #[test]
     fn reducer_panic_propagates_instead_of_deadlocking() {
         struct ExplodingReducer;
@@ -833,21 +1283,84 @@ mod tests {
                 assert!(*key != 3, "synthetic reducer failure");
             }
         }
+        for finalize_mode in FinalizeMode::ALL {
+            let job = Job::new(
+                IdentityMapper,
+                ExplodingReducer,
+                HashRouter::new(),
+                4,
+                ClusterConfig {
+                    shuffle: ShuffleMode::Pipelined,
+                    map_threads: 2,
+                    pipeline_depth: 1,
+                    finalize_mode,
+                    ..ClusterConfig::default()
+                },
+            );
+            let result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run(&inputs(300))));
+            assert!(
+                result.is_err(),
+                "{finalize_mode:?}: the reducer panic must surface"
+            );
+        }
+    }
+
+    /// A panic in a user `ByteSized` impl *while a consumer is still
+    /// draining* must not deadlock the stealing finalize: the panicking
+    /// consumer never publishes, so without the pre-drain
+    /// [`FinalizePublisherGuard`] its siblings would wait on the queue
+    /// forever. Every value is sized once map-side then once
+    /// consumer-side, so the 2N-th sizing call is always consumer-side —
+    /// panicking there pins the drain-phase unwind path deterministically.
+    #[test]
+    fn consumer_drain_panic_aborts_the_stealing_queue() {
+        const N: u64 = 120;
+        static CALLS: AtomicU64 = AtomicU64::new(0);
+
+        #[derive(Clone)]
+        struct CountedPayload;
+        impl crate::record::ByteSized for CountedPayload {
+            fn size_bytes(&self) -> u64 {
+                let call = CALLS.fetch_add(1, Ordering::Relaxed);
+                assert!(call != 2 * N - 1, "synthetic consumer-drain failure");
+                4
+            }
+        }
+
+        struct PayloadMapper;
+        impl Mapper for PayloadMapper {
+            type In = (u64, String);
+            type Key = u64;
+            type Value = CountedPayload;
+            fn map(&self, input: &(u64, String), emit: &mut Emitter<u64, CountedPayload>) {
+                emit.emit(input.0, CountedPayload);
+            }
+        }
+
+        struct NullReducer;
+        impl Reducer for NullReducer {
+            type Key = u64;
+            type Value = CountedPayload;
+            type Out = ();
+            fn reduce(&self, _key: &u64, _values: &[CountedPayload], _out: &mut Vec<()>) {}
+        }
+
         let job = Job::new(
-            IdentityMapper,
-            ExplodingReducer,
+            PayloadMapper,
+            NullReducer,
             HashRouter::new(),
             4,
             ClusterConfig {
                 shuffle: ShuffleMode::Pipelined,
                 map_threads: 2,
                 pipeline_depth: 1,
+                finalize_mode: FinalizeMode::Stealing,
                 ..ClusterConfig::default()
             },
         );
-        let result =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run(&inputs(300))));
-        assert!(result.is_err(), "the reducer panic must surface");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run(&inputs(N))));
+        assert!(result.is_err(), "the drain-phase panic must surface");
     }
 
     /// Capacity enforcement aborts with the identical error across modes:

@@ -1,39 +1,47 @@
 //! The differential oracle for the execution engine: every shuffle mode,
-//! thread count, and capacity policy must produce a bit-identical
-//! [`JobOutput`] — outputs *and* the deterministic metrics subset — on
-//! three structurally different workloads:
+//! finalize mode, thread count, and capacity policy must produce a
+//! bit-identical [`JobOutput`] — outputs *and* the deterministic metrics
+//! subset — on four structurally different workloads:
 //!
 //! * **word count** — a combiner-bearing aggregation with heavy key reuse,
 //! * **skew join** — two tagged relations with zipf-ish key skew and
 //!   multi-target (replicated) routing,
 //! * **boundary schemas** — `SizeDistribution::Boundary` weights solved
 //!   into an A2A mapping schema and executed via `DirectRouter`, the
-//!   adversarial q/2-straddling family from the paper.
+//!   adversarial q/2-straddling family from the paper,
+//! * **hot reducer** — a heavy-hitter key routing ~all bytes to one
+//!   partition (in the spirit of Fan et al.'s key-distribution skew),
+//!   the workload the work-stealing finalize exists for.
 //!
 //! The reference cell of the matrix is `Materialized × 1 thread`; every
-//! other cell (`{Materialized, Streaming, Pipelined} × threads {1,2,4} ×
-//! {Unlimited, Record, Enforce}`) is compared against it. This is the
-//! harness that pins the overlapped pipeline engine: if its reassembly,
-//! accounting, or error handling drifts by one byte, a cell differs.
+//! other cell (`{Materialized, Streaming, Pipelined × {static, stealing}}
+//! × threads {1,2,4} × {Unlimited, Record, Enforce}`) is compared against
+//! it. This is the harness that pins the overlapped pipeline engine: if
+//! its reassembly, finalize scheduling, accounting, or error handling
+//! drifts by one byte, a cell differs.
 
 use mrassign_core::{a2a, InputSet};
 use mrassign_simmr::{
-    ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, HashRouter, Job, JobOutput,
-    Mapper, Reducer, Router, ShuffleMode, SimError,
+    ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, FinalizeMode, HashRouter, Job,
+    JobOutput, Mapper, Reducer, Router, ShuffleMode, SimError,
 };
 use mrassign_workloads::SizeDistribution;
 
-const MODES: [ShuffleMode; 3] = [
-    ShuffleMode::Materialized,
-    ShuffleMode::Streaming,
-    ShuffleMode::Pipelined,
+/// Every engine cell: the pass-based modes (for which the finalize mode
+/// is inert) plus the pipelined engine under both finalize schedulers.
+const CELLS: [(ShuffleMode, FinalizeMode); 4] = [
+    (ShuffleMode::Materialized, FinalizeMode::Static),
+    (ShuffleMode::Streaming, FinalizeMode::Static),
+    (ShuffleMode::Pipelined, FinalizeMode::Static),
+    (ShuffleMode::Pipelined, FinalizeMode::Stealing),
 ];
 const THREADS: [usize; 3] = [1, 2, 4];
 
-fn cluster(shuffle: ShuffleMode, map_threads: usize) -> ClusterConfig {
+fn cluster(shuffle: ShuffleMode, finalize: FinalizeMode, map_threads: usize) -> ClusterConfig {
     ClusterConfig {
         shuffle,
         map_threads,
+        finalize_mode: finalize,
         // A small streaming block and pipeline depth so multi-block sweeps
         // and back-pressure are exercised even at test sizes.
         streaming_reducer_block: 8,
@@ -67,14 +75,14 @@ fn assert_cell_matches<Out: PartialEq + std::fmt::Debug>(
 fn sweep_matrix<Out, F>(policies: &[CapacityPolicy], run: F)
 where
     Out: PartialEq + std::fmt::Debug,
-    F: Fn(ShuffleMode, usize, CapacityPolicy) -> Result<JobOutput<Out>, SimError>,
+    F: Fn(ShuffleMode, FinalizeMode, usize, CapacityPolicy) -> Result<JobOutput<Out>, SimError>,
 {
     for &policy in policies {
-        let reference = run(ShuffleMode::Materialized, 1, policy);
-        for mode in MODES {
+        let reference = run(ShuffleMode::Materialized, FinalizeMode::Static, 1, policy);
+        for (mode, finalize) in CELLS {
             for threads in THREADS {
-                let label = format!("{mode:?} × threads={threads} × {policy:?}");
-                assert_cell_matches(&reference, run(mode, threads, policy), &label);
+                let label = format!("{mode:?}/{finalize:?} × threads={threads} × {policy:?}");
+                assert_cell_matches(&reference, run(mode, finalize, threads, policy), &label);
             }
         }
     }
@@ -132,13 +140,13 @@ fn word_count_identical_across_the_matrix() {
             CapacityPolicy::Record(200),
             CapacityPolicy::Enforce(1_000_000),
         ],
-        |mode, threads, policy| {
+        |mode, finalize, threads, policy| {
             Job::new(
                 Tokenize,
                 Count,
                 HashRouter::new(),
                 11,
-                cluster(mode, threads),
+                cluster(mode, finalize, threads),
             )
             .capacity(policy)
             .run(&lines)
@@ -149,17 +157,20 @@ fn word_count_identical_across_the_matrix() {
 #[test]
 fn word_count_enforce_violation_identical_across_the_matrix() {
     let lines = word_lines();
-    sweep_matrix(&[CapacityPolicy::Enforce(50)], |mode, threads, policy| {
-        Job::new(
-            Tokenize,
-            Count,
-            HashRouter::new(),
-            11,
-            cluster(mode, threads),
-        )
-        .capacity(policy)
-        .run(&lines)
-    });
+    sweep_matrix(
+        &[CapacityPolicy::Enforce(50)],
+        |mode, finalize, threads, policy| {
+            Job::new(
+                Tokenize,
+                Count,
+                HashRouter::new(),
+                11,
+                cluster(mode, finalize, threads),
+            )
+            .capacity(policy)
+            .run(&lines)
+        },
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -237,13 +248,13 @@ fn skew_join_identical_across_the_matrix() {
             CapacityPolicy::Record(2_000),
             CapacityPolicy::Enforce(1_000_000),
         ],
-        |mode, threads, policy| {
+        |mode, finalize, threads, policy| {
             Job::new(
                 TagMapper,
                 JoinReducer,
                 SpreadRouter,
                 9,
-                cluster(mode, threads),
+                cluster(mode, finalize, threads),
             )
             .capacity(policy)
             .run(&tuples)
@@ -329,13 +340,13 @@ fn boundary_schema_identical_across_the_matrix() {
             // A valid schema can never trip enforcement at its own q.
             CapacityPolicy::Enforce(q),
         ],
-        |mode, threads, policy| {
+        |mode, finalize, threads, policy| {
             Job::new(
                 Replicate,
                 PairCount,
                 DirectRouter,
                 n_reducers,
-                cluster(mode, threads),
+                cluster(mode, finalize, threads),
             )
             .capacity(policy)
             .run(&blobs)
@@ -354,7 +365,7 @@ fn pipelined_cells_report_bounded_inflight() {
         Count,
         HashRouter::new(),
         11,
-        cluster(ShuffleMode::Pipelined, 4),
+        cluster(ShuffleMode::Pipelined, FinalizeMode::Static, 4),
     )
     .run(&lines)
     .unwrap();
@@ -367,4 +378,158 @@ fn pipelined_cells_report_bounded_inflight() {
         "pipeline_depth = 2 bounds in-flight blocks per group"
     );
     assert!(p.wall_seconds >= 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Workload 4: hot reducer (heavy-hitter key, ~all bytes to one partition)
+// ---------------------------------------------------------------------------
+
+/// Routes the heavy-hitter key 0 straight to partition 0 and spreads the
+/// thin tail over the remaining partitions — the key-distribution skew of
+/// Fan et al., concentrated enough that one consumer group drains (and,
+/// under static finalize, serializes) almost the entire shuffle.
+struct HotRouter;
+impl Router<u64> for HotRouter {
+    fn route(&self, key: &u64, n_reducers: usize, targets: &mut Vec<usize>) {
+        if *key == 0 {
+            targets.push(0);
+        } else {
+            targets.push(1 + (*key as usize - 1) % (n_reducers - 1));
+        }
+    }
+}
+
+struct HotMapper;
+impl Mapper for HotMapper {
+    type In = (u64, String);
+    type Key = u64;
+    type Value = String;
+    fn map(&self, input: &(u64, String), emit: &mut Emitter<u64, String>) {
+        emit.emit(input.0, input.1.clone());
+    }
+}
+
+/// Order-sensitive: concatenation exposes any reassembly or merge drift.
+struct HotConcat;
+impl Reducer for HotConcat {
+    type Key = u64;
+    type Value = String;
+    type Out = (u64, String);
+    fn reduce(&self, key: &u64, values: &[String], out: &mut Vec<(u64, String)>) {
+        out.push((*key, values.concat()));
+    }
+}
+
+/// ~90% of the records (and bytes) carry the heavy-hitter key 0; the rest
+/// thin out over 20 tail keys.
+fn hot_records(n: u64) -> Vec<(u64, String)> {
+    (0..n)
+        .map(|i| {
+            let key = if i % 10 != 0 { 0 } else { 1 + (i / 10) % 20 };
+            (key, format!("r{i:05}-"))
+        })
+        .collect()
+}
+
+/// The acceptance matrix for the work-stealing finalize: on the workload
+/// it was built for, stealing ≡ static ≡ materialized bit-for-bit across
+/// threads {1,2,4} × depth {1,4}.
+#[test]
+fn hot_reducer_identical_across_the_matrix() {
+    let records = hot_records(600);
+    for depth in [1usize, 4] {
+        sweep_matrix(
+            &[CapacityPolicy::Unlimited, CapacityPolicy::Record(4_000)],
+            |mode, finalize, threads, policy| {
+                let mut config = cluster(mode, finalize, threads);
+                config.pipeline_depth = depth;
+                Job::new(HotMapper, HotConcat, HotRouter, 8, config)
+                    .capacity(policy)
+                    .run(&records)
+            },
+        );
+    }
+}
+
+/// Stealing must actually redistribute the hot group's finalize work: with
+/// 4 consumer threads over 16 partitions, partitions migrate off their
+/// owners (`stolen_partitions > 0`) and the finalize-imbalance ratio
+/// strictly improves over the static schedule, where the hot group
+/// serializes its whole contiguous range while the other threads idle.
+#[test]
+fn stealing_redistributes_hot_reducer_finalize_work() {
+    // Partition 0 is hot (~25% of all bytes, 5× the mean); the 15 tail
+    // partitions carry ~5% each, so under static finalize the hot
+    // partition's owner serializes ~40% of the total work (hot + its 3
+    // contiguous range-mates) while the other threads idle — exactly the
+    // penalty stealing removes. Payloads are long enough that the spans
+    // dwarf scheduler noise.
+    let records: Vec<(u64, String)> = (0..60_000u64)
+        .map(|i| {
+            let key = if i % 4 == 0 { 0 } else { 1 + i % 15 };
+            (key, format!("record-{i:06}-{}", "x".repeat(48)))
+        })
+        .collect();
+    let run = |finalize_mode| {
+        Job::new(
+            HotMapper,
+            HotConcat,
+            HotRouter,
+            16,
+            ClusterConfig {
+                shuffle: ShuffleMode::Pipelined,
+                map_threads: 4,
+                pipeline_depth: 4,
+                finalize_mode,
+                ..ClusterConfig::default()
+            },
+        )
+        .run(&records)
+        .unwrap()
+    };
+    // Wall-clock spans and steal counts depend on OS scheduling, so each
+    // mode is sampled three times: correctness (bit-identity, static
+    // never steals) must hold on *every* run, while the scheduling
+    // claims are asserted against the aggregate — any stealing run must
+    // migrate work, and the *median* imbalance must strictly improve —
+    // so one descheduled thread on a constrained runner cannot flip the
+    // verdict.
+    let static_runs: Vec<_> = (0..3).map(|_| run(FinalizeMode::Static)).collect();
+    let stealing_runs: Vec<_> = (0..3).map(|_| run(FinalizeMode::Stealing)).collect();
+    for sample in static_runs.iter().chain(&stealing_runs) {
+        assert_eq!(static_runs[0].outputs, sample.outputs);
+        assert_eq!(
+            static_runs[0].metrics.deterministic(),
+            sample.metrics.deterministic()
+        );
+    }
+    for sample in &static_runs {
+        assert_eq!(
+            sample.metrics.pipeline.stolen_partitions, 0,
+            "static never steals"
+        );
+    }
+    let max_stolen = stealing_runs
+        .iter()
+        .map(|s| s.metrics.pipeline.stolen_partitions)
+        .max()
+        .unwrap();
+    assert!(
+        max_stolen > 0,
+        "4 threads × 16 partitions with one hot group must migrate work in some run"
+    );
+    let median_imbalance = |runs: &[mrassign_simmr::JobOutput<(u64, String)>]| {
+        let mut samples: Vec<f64> = runs
+            .iter()
+            .map(|s| s.metrics.pipeline.finalize_imbalance)
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+    let st = median_imbalance(&static_runs);
+    let wk = median_imbalance(&stealing_runs);
+    assert!(
+        wk < st,
+        "stealing must flatten the finalize profile: stealing {wk} vs static {st}"
+    );
 }

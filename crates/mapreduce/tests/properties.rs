@@ -3,8 +3,8 @@
 //! across thread counts, and the scheduler respects its analytical bounds.
 
 use mrassign_simmr::{
-    BroadcastRouter, CapacityPolicy, ClusterConfig, Emitter, HashRouter, Job, Mapper, Reducer,
-    Schedule, ShuffleMode, TaskCost,
+    BroadcastRouter, CapacityPolicy, ClusterConfig, Emitter, FinalizeMode, HashRouter, Job, Mapper,
+    Reducer, Schedule, ShuffleMode, TaskCost,
 };
 use proptest::prelude::*;
 
@@ -145,11 +145,69 @@ proptest! {
             "peak {} > depth {} × groups {}",
             p.peak_inflight_blocks, depth, p.consumer_groups
         );
+        // The default finalize mode is static: no partition may ever be
+        // reported as stolen, and every group reports a finalize span.
+        prop_assert_eq!(p.stolen_partitions, 0);
+        prop_assert_eq!(p.finalize_group_seconds.len() as u64, p.consumer_groups);
+        prop_assert!(p.finalize_imbalance >= 1.0);
         if inputs.is_empty() {
             prop_assert_eq!(p.blocks_sent, 0);
         } else {
             prop_assert!(p.blocks_sent >= 1);
             prop_assert!(p.peak_inflight_blocks >= 1);
+        }
+    }
+
+    /// Hot-reducer skew (the work-stealing finalize's reason to exist):
+    /// rewrite ~80% of the keys onto one heavy hitter so one partition
+    /// receives ~all bytes, then require (a) both finalize modes match
+    /// the materialized pass byte for byte with an order-sensitive
+    /// reducer, and (b) `stolen_partitions = 0` whenever
+    /// `finalize_mode = static`.
+    #[test]
+    fn hot_reducer_finalize_modes_agree_and_static_never_steals(
+        inputs in records(),
+        n_red in 2usize..40,
+        threads in 1usize..5,
+        depth in 1usize..5,
+    ) {
+        struct Concat;
+        impl Reducer for Concat {
+            type Key = u64;
+            type Value = String;
+            type Out = (u64, String);
+            fn reduce(&self, key: &u64, values: &[String], out: &mut Vec<(u64, String)>) {
+                out.push((*key, values.join("|")));
+            }
+        }
+        let skewed: Vec<(u64, String)> = inputs
+            .into_iter()
+            .map(|(k, payload)| (if k % 5 != 0 { 0 } else { k }, payload))
+            .collect();
+        let run = |shuffle, finalize_mode| {
+            Job::new(KvMapper, Concat, HashRouter::new(), n_red, ClusterConfig {
+                shuffle,
+                map_threads: threads,
+                pipeline_depth: depth,
+                finalize_mode,
+                ..ClusterConfig::default()
+            })
+            .run(&skewed)
+            .unwrap()
+        };
+        let reference = run(ShuffleMode::Materialized, FinalizeMode::Static);
+        for finalize in FinalizeMode::ALL {
+            let pipelined = run(ShuffleMode::Pipelined, finalize);
+            prop_assert_eq!(&reference.outputs, &pipelined.outputs);
+            prop_assert_eq!(
+                reference.metrics.deterministic(),
+                pipelined.metrics.deterministic()
+            );
+            let p = &pipelined.metrics.pipeline;
+            if finalize == FinalizeMode::Static {
+                prop_assert_eq!(p.stolen_partitions, 0, "static finalize must never steal");
+            }
+            prop_assert!(p.finalize_imbalance >= 1.0);
         }
     }
 

@@ -442,7 +442,7 @@ mod tests {
     use super::*;
     use mrassign_binpack::FitPolicy;
     use mrassign_core::solver;
-    use mrassign_simmr::ShuffleMode;
+    use mrassign_simmr::{FinalizeMode, ShuffleMode};
 
     fn mixed_weights(m: usize) -> Vec<u64> {
         (0..m as u64).map(|i| 50 + (i * 13) % 150).collect()
@@ -630,12 +630,13 @@ mod tests {
     #[test]
     fn shuffle_mode_does_not_change_the_plan() {
         let weights = mixed_weights(80);
-        let mk = |shuffle| {
+        let mk = |shuffle, finalize_mode| {
             plan_a2a(
                 &weights,
                 &PlannerConfig {
                     cluster: ClusterConfig {
                         shuffle,
+                        finalize_mode,
                         ..ClusterConfig::default()
                     },
                     ..PlannerConfig::default()
@@ -643,10 +644,14 @@ mod tests {
             )
             .unwrap()
         };
-        assert_eq!(mk(ShuffleMode::Materialized), mk(ShuffleMode::Streaming));
+        let reference = mk(ShuffleMode::Materialized, FinalizeMode::Static);
+        assert_eq!(reference, mk(ShuffleMode::Streaming, FinalizeMode::Static));
         // The overlapped engine too: Plan is built from the simulated
-        // (deterministic) metrics, so pipelining cannot move the frontier.
-        assert_eq!(mk(ShuffleMode::Materialized), mk(ShuffleMode::Pipelined));
+        // (deterministic) metrics, so neither pipelining nor its finalize
+        // scheduler can move the frontier.
+        for finalize in FinalizeMode::ALL {
+            assert_eq!(reference, mk(ShuffleMode::Pipelined, finalize));
+        }
     }
 
     #[test]

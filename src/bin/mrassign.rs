@@ -7,6 +7,7 @@
 //! mrassign plan --weights weights.txt [--workers 16] [--candidates 10]
 //!               [--objective makespan|comm:<slowdown>] [--algo <a2a solver>] [--budget <nodes>]
 //!               [--threads <n>] [--shuffle materialized|streaming|pipelined]
+//!               [--finalize static|stealing]
 //! ```
 //!
 //! Solver names come from the registry in `mrassign_core::solver`
@@ -15,8 +16,10 @@
 //! rejected with any other solver) and the summary gains a `search:` line
 //! with the node/prune/memo statistics and whether optimality was
 //! certified. `--threads` fans the plan command's q-frontier sweep across
-//! OS threads and `--shuffle` picks the engine's shuffle mode
-//! (`pipelined` runs the overlapped stage-graph engine) — neither
+//! OS threads, `--shuffle` picks the engine's shuffle mode (`pipelined`
+//! runs the overlapped stage-graph engine), and `--finalize` picks the
+//! pipelined engine's finalize scheduler (`stealing` lets idle consumer
+//! threads take completed partitions off hot ones) — none of them
 //! changes any output, only wall-clock time and peak memory.
 //!
 //! Weight files hold one integer per line; `#` starts a comment. All
@@ -33,7 +36,7 @@ use mrassign::core::{
     a2a, bounds, stats::SchemaStats, x2y, AssignmentSolver, InputSet, X2yInstance,
 };
 use mrassign::planner::{plan_a2a_with, Objective, PlannerConfig};
-use mrassign::simmr::{ClusterConfig, ShuffleMode};
+use mrassign::simmr::{ClusterConfig, FinalizeMode, ShuffleMode};
 use mrassign::workloads::SizeDistribution;
 
 fn main() -> ExitCode {
@@ -58,6 +61,7 @@ usage:
   mrassign x2y  --x <file> --y <file> --q <n> [--algo <x2y solver>] [--budget <nodes>] [--routes]
   mrassign plan --weights <file> [--workers <n>] [--candidates <n>] [--objective makespan|comm:<slowdown>]
                 [--algo <a2a solver>] [--budget <nodes>] [--threads <n>] [--shuffle materialized|streaming|pipelined]
+                [--finalize static|stealing]
 
 distribution specs: const:<w> | uniform:<lo>:<hi> | zipf:<ranks>:<exp>:<max> | bimodal:<small>:<big>:<frac> | boundary:<q>
 a2a solvers: auto | one-reducer | grouping | pairing | bigsmall | bigsmall-shared | exact
@@ -177,6 +181,10 @@ fn parse_x2y_algo(name: &str) -> Result<x2y::X2yAlgorithm, String> {
 }
 
 fn parse_shuffle(name: &str) -> Result<ShuffleMode, String> {
+    name.parse()
+}
+
+fn parse_finalize(name: &str) -> Result<FinalizeMode, String> {
     name.parse()
 }
 
@@ -381,6 +389,12 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<String, String> {
             .map(String::as_str)
             .unwrap_or("materialized"),
     )?;
+    let finalize_mode = parse_finalize(
+        flags
+            .get("finalize")
+            .map(String::as_str)
+            .unwrap_or("static"),
+    )?;
     let threads: usize = match flags.get("threads") {
         Some(s) => parse_num(s, "a thread count")?,
         None => PlannerConfig::default().threads,
@@ -393,6 +407,7 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<String, String> {
             cluster: ClusterConfig {
                 workers,
                 shuffle,
+                finalize_mode,
                 ..ClusterConfig::default()
             },
             candidates,
@@ -607,6 +622,11 @@ mod tests {
         assert_eq!(reference, base(&["--shuffle", "pipelined"]));
         assert_eq!(
             reference,
+            base(&["--shuffle", "pipelined", "--finalize", "stealing"])
+        );
+        assert_eq!(reference, base(&["--finalize", "static"]));
+        assert_eq!(
+            reference,
             base(&["--threads", "2", "--shuffle", "streaming"])
         );
         assert_eq!(
@@ -638,6 +658,10 @@ mod tests {
         assert!(parse_shuffle("pipelined").is_ok());
         let err = parse_shuffle("mystery").unwrap_err();
         assert!(err.contains("pipelined"), "{err}");
+        assert!(parse_finalize("static").is_ok());
+        assert!(parse_finalize("stealing").is_ok());
+        let err = parse_finalize("mystery").unwrap_err();
+        assert!(err.contains("stealing"), "{err}");
     }
 
     #[test]

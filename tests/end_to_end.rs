@@ -9,19 +9,20 @@ use mrassign::joins::{
 };
 use mrassign::planner::{plan_a2a, plan_x2y, PlannerConfig};
 use mrassign::simmr::{
-    ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, Job, Mapper, Reducer,
-    ShuffleMode,
+    ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, FinalizeMode, Job, Mapper,
+    Reducer, ShuffleMode,
 };
 use mrassign::workloads::{
     generate_documents, generate_relation_pair, DocumentSpec, RelationSpec, SizeDistribution,
 };
 
 /// The cluster configuration used by every end-to-end test. CI runs this
-/// suite three times — once per shuffle mode — by setting
-/// `MRASSIGN_SHUFFLE`; results must be identical every way, which
+/// suite once per shuffle mode by setting `MRASSIGN_SHUFFLE`, plus once
+/// more under `MRASSIGN_SHUFFLE=pipelined MRASSIGN_FINALIZE=stealing` for
+/// the work-stealing finalize; results must be identical every way, which
 /// `shuffle_modes_produce_identical_job_output` asserts directly.
 fn cluster() -> ClusterConfig {
-    // A typo in the env var must fail loudly, not quietly re-test the
+    // A typo in either env var must fail loudly, not quietly re-test the
     // default engine path (same rule as ExecKnobs' flag parsing).
     let shuffle = match std::env::var("MRASSIGN_SHUFFLE") {
         Ok(name) => name
@@ -29,8 +30,15 @@ fn cluster() -> ClusterConfig {
             .unwrap_or_else(|e| panic!("MRASSIGN_SHUFFLE: {e}")),
         Err(_) => ShuffleMode::Materialized,
     };
+    let finalize_mode = match std::env::var("MRASSIGN_FINALIZE") {
+        Ok(name) => name
+            .parse::<FinalizeMode>()
+            .unwrap_or_else(|e| panic!("MRASSIGN_FINALIZE: {e}")),
+        Err(_) => FinalizeMode::Static,
+    };
     ClusterConfig {
         shuffle,
+        finalize_mode,
         ..ClusterConfig::default()
     }
 }
@@ -257,6 +265,12 @@ fn shuffle_modes_produce_identical_job_output() {
         shuffle,
         ..ClusterConfig::default()
     };
+    let stealing_cluster = || ClusterConfig {
+        shuffle: ShuffleMode::Pipelined,
+        finalize_mode: FinalizeMode::Stealing,
+        map_threads: 4,
+        ..ClusterConfig::default()
+    };
 
     // Similarity join over generated documents.
     let docs = generate_documents(
@@ -268,29 +282,35 @@ fn shuffle_modes_produce_identical_job_output() {
         },
         7,
     );
-    let sim = |shuffle| {
+    let sim = |cluster: ClusterConfig| {
         run_similarity_join(
             &docs,
             &SimJoinConfig {
                 capacity: 800,
                 threshold: 0.25,
                 strategy: SimJoinStrategy::Schema(a2a::A2aAlgorithm::Auto),
-                cluster: mode_cluster(shuffle),
+                cluster,
             },
         )
         .unwrap()
     };
-    let sim_mat = sim(ShuffleMode::Materialized);
-    let sim_str = sim(ShuffleMode::Streaming);
-    let sim_pipe = sim(ShuffleMode::Pipelined);
+    let sim_mat = sim(mode_cluster(ShuffleMode::Materialized));
+    let sim_str = sim(mode_cluster(ShuffleMode::Streaming));
+    let sim_pipe = sim(mode_cluster(ShuffleMode::Pipelined));
+    let sim_steal = sim(stealing_cluster());
     assert_eq!(sim_mat.pairs, sim_str.pairs);
     assert_eq!(sim_mat.metrics, sim_str.metrics);
     assert_eq!(sim_mat.pairs, sim_pipe.pairs);
+    assert_eq!(sim_mat.pairs, sim_steal.pairs);
     // The pipelined engine's overlap counters are execution-dependent by
     // design; everything else must be bit-identical.
     assert_eq!(
         sim_mat.metrics.deterministic(),
         sim_pipe.metrics.deterministic()
+    );
+    assert_eq!(
+        sim_mat.metrics.deterministic(),
+        sim_steal.metrics.deterministic()
     );
 
     // Skew join over a generated relation pair.
@@ -304,7 +324,7 @@ fn shuffle_modes_produce_identical_job_output() {
         },
         13,
     );
-    let skew = |shuffle| {
+    let skew = |cluster: ClusterConfig| {
         run_skew_join(
             &pair,
             &SkewJoinConfig {
@@ -312,20 +332,26 @@ fn shuffle_modes_produce_identical_job_output() {
                 strategy: SkewJoinStrategy::SkewAware {
                     policy: FitPolicy::FirstFitDecreasing,
                 },
-                cluster: mode_cluster(shuffle),
+                cluster,
             },
         )
         .unwrap()
     };
-    let skew_mat = skew(ShuffleMode::Materialized);
-    let skew_str = skew(ShuffleMode::Streaming);
-    let skew_pipe = skew(ShuffleMode::Pipelined);
+    let skew_mat = skew(mode_cluster(ShuffleMode::Materialized));
+    let skew_str = skew(mode_cluster(ShuffleMode::Streaming));
+    let skew_pipe = skew(mode_cluster(ShuffleMode::Pipelined));
+    let skew_steal = skew(stealing_cluster());
     assert_eq!(skew_mat.output, skew_str.output);
     assert_eq!(skew_mat.metrics, skew_str.metrics);
     assert_eq!(skew_mat.output, skew_pipe.output);
+    assert_eq!(skew_mat.output, skew_steal.output);
     assert_eq!(
         skew_mat.metrics.deterministic(),
         skew_pipe.metrics.deterministic()
+    );
+    assert_eq!(
+        skew_mat.metrics.deterministic(),
+        skew_steal.metrics.deterministic()
     );
 }
 

@@ -119,8 +119,13 @@ fn bench_check(args: &[String]) -> Result<(), String> {
 
     let mut regressions = 0usize;
     let mut compared = 0usize;
+    let mut skipped = 0usize;
     for (name, base_median) in &baseline.medians {
-        if !host_matches && parallel_row(name) {
+        // Every skipped row is printed with its reason: a silent skip
+        // would make a CI log claim coverage the gate never had.
+        if let Some(reason) = skip_reason(name, host_matches, fresh.host_cpus, baseline.host_cpus) {
+            skipped += 1;
+            println!("  {:>9}  {name}: {reason}", "SKIPPED");
             continue;
         }
         let Some(&fresh_median) = fresh
@@ -155,7 +160,15 @@ fn bench_check(args: &[String]) -> Result<(), String> {
              --bench {bench}` and commit BENCH_{bench}.json"
         ));
     }
-    println!("bench-check passed: {compared} row(s) within {effective_tolerance:.2}x");
+    println!(
+        "bench-check passed: {compared} row(s) within {effective_tolerance:.2}x\
+         {}",
+        if skipped > 0 {
+            format!(", {skipped} row(s) skipped (host CPU mismatch, see above)")
+        } else {
+            String::new()
+        }
+    );
     Ok(())
 }
 
@@ -166,6 +179,27 @@ fn parallel_row(name: &str) -> bool {
         .and_then(|rest| rest.split(|c: char| !c.is_ascii_digit()).next())
         .and_then(|n| n.parse::<u32>().ok())
         .is_some_and(|n| n > 1)
+}
+
+/// Why a baseline row is excluded from the comparison, if it is: rows
+/// that exercise `threads>1` parallelism are not comparable when the
+/// current host's CPU count differs from the baseline's (a 1-core
+/// container measuring a 4-thread sweep reports scheduling overhead, not
+/// a regression). Returns `None` for rows that must be compared.
+fn skip_reason(
+    name: &str,
+    host_matches: bool,
+    host_cpus: u64,
+    baseline_cpus: u64,
+) -> Option<String> {
+    if !host_matches && parallel_row(name) {
+        Some(format!(
+            "threads>1 row is not comparable across host shapes \
+             (host has {host_cpus} CPUs, baseline recorded on {baseline_cpus})"
+        ))
+    } else {
+        None
+    }
 }
 
 /// The workspace root (one level above this crate's manifest).
@@ -256,6 +290,21 @@ mod tests {
         assert!(parallel_row("planner/frontier/m=100/threads=4"));
         assert!(!parallel_row("planner/frontier/m=100/threads=1"));
         assert!(!parallel_row("binpack/ffd/m=100"));
+    }
+
+    /// Skips happen only for parallel rows on a mismatched host, and the
+    /// reason names both CPU counts so CI logs are auditable.
+    #[test]
+    fn skip_reasons_are_explicit_and_named() {
+        let name = "planner/frontier/m=100/threads=4";
+        assert_eq!(skip_reason(name, true, 4, 4), None);
+        let reason = skip_reason(name, false, 1, 4).expect("mismatched host skips parallel rows");
+        assert!(reason.contains('1') && reason.contains('4'), "{reason}");
+        assert_eq!(
+            skip_reason("planner/frontier/m=100/threads=1", false, 1, 4),
+            None,
+            "serial rows are always compared"
+        );
     }
 
     #[test]
