@@ -1,10 +1,12 @@
 //! Runs every experiment in `docs/EXPERIMENTS.md`'s index and writes all CSVs under
 //! `results/`. Pass `--smoke` for a fast tiny run of everything, and
 //! `--threads <n>` / `--shuffle materialized|streaming|pipelined` /
-//! `--finalize static|stealing` to pick the engine execution knobs for
+//! `--finalize static|stealing` / `--retries <n>` /
+//! `--faults seed:7,rate:0.05` to pick the engine execution knobs for
 //! the job-executing figures (the recorded numbers are identical across
-//! knob settings, except fig3's pipelined overlap/finalize diagnostics —
-//! CI uses this to exercise every engine path).
+//! knob settings — faults included, since retries replay deterministic
+//! tasks — except fig3's trailing pipeline/fault diagnostics — CI uses
+//! this to exercise every engine path).
 //!
 //! `cargo run --release -p mrassign-bench --bin run_all_experiments`
 
@@ -35,10 +37,22 @@ fn main() {
         ("fig2", Box::new(fig2_comm_vs_q::run)),
         (
             "fig3",
-            Box::new(move |s| fig3_parallelism_vs_q::run_with(s, knobs)),
+            Box::new({
+                let knobs = knobs.clone();
+                move |s| fig3_parallelism_vs_q::run_with(s, knobs.clone())
+            }),
         ),
-        ("fig4", Box::new(move |s| fig4_skewjoin::run_with(s, knobs))),
-        ("fig5", Box::new(move |s| fig5_simjoin::run_with(s, knobs))),
+        (
+            "fig4",
+            Box::new({
+                let knobs = knobs.clone();
+                move |s| fig4_skewjoin::run_with(s, knobs.clone())
+            }),
+        ),
+        (
+            "fig5",
+            Box::new(move |s| fig5_simjoin::run_with(s, knobs.clone())),
+        ),
         ("fig6", Box::new(fig6_packing_ablation::run)),
         ("fig7a", Box::new(fig7_split_ablation::run)),
         ("fig7b", Box::new(fig7_split_ablation::run_b)),

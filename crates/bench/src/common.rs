@@ -7,8 +7,8 @@ use std::path::{Path, PathBuf};
 
 use mrassign_core::MappingSchema;
 use mrassign_simmr::{
-    ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, FinalizeMode, Job, JobMetrics,
-    Mapper, Reducer, ShuffleMode,
+    ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, FaultPlan, FinalizeMode, Job,
+    JobMetrics, Mapper, Reducer, ShuffleMode,
 };
 
 /// Experiment scale: `Smoke` keeps tests fast; `Full` produces the numbers
@@ -32,12 +32,14 @@ impl Scale {
 }
 
 /// Engine knobs shared by every job-executing experiment binary: how many
-/// OS threads the map phase uses, which shuffle mode the engine runs, and
-/// how the pipelined engine schedules its finalize. None of them changes
-/// any recorded number — results and metrics are deterministic across all
-/// three — so they are safe to flip in CI to keep every engine path
-/// exercised.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// OS threads the map phase uses, which shuffle mode the engine runs, how
+/// the pipelined engine schedules its finalize, and the fault-injection
+/// pair (retry budget + seeded fault schedule). None of them changes any
+/// recorded number — results and deterministic metrics are identical
+/// across all of them, faults included, because retries replay
+/// deterministic tasks — so they are safe to flip in CI to keep every
+/// engine path exercised.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ExecKnobs {
     /// OS threads for map execution (`0`/`1` = sequential).
     pub map_threads: usize,
@@ -45,15 +47,20 @@ pub struct ExecKnobs {
     pub shuffle: ShuffleMode,
     /// Finalize scheduling for the pipelined engine (inert otherwise).
     pub finalize: FinalizeMode,
+    /// Per-task retry budget override (`None` keeps the engine default).
+    pub retries: Option<u32>,
+    /// Seeded transient-fault schedule to inject (`None` = fault-free).
+    pub faults: Option<FaultPlan>,
 }
 
 impl ExecKnobs {
     /// Parses `--threads <n>`, `--shuffle
-    /// materialized|streaming|pipelined`, and `--finalize static|stealing`
-    /// from a binary's argument list. `--smoke` is the experiment
-    /// binaries' scale flag, so it passes through; any *other* `--flag` is
-    /// rejected rather than silently ignored — a typo must not quietly
-    /// revert CI to the default engine path.
+    /// materialized|streaming|pipelined`, `--finalize static|stealing`,
+    /// `--retries <n>`, and `--faults seed:7,rate:0.05` from a binary's
+    /// argument list. `--smoke` is the experiment binaries' scale flag, so
+    /// it passes through; any *other* `--flag` is rejected rather than
+    /// silently ignored — a typo must not quietly revert CI to the
+    /// default engine path.
     pub fn from_args(args: &[String]) -> Result<ExecKnobs, String> {
         let mut knobs = ExecKnobs::default();
         let mut it = args.iter();
@@ -73,10 +80,22 @@ impl ExecKnobs {
                     let value = it.next().ok_or("--finalize needs a value")?;
                     knobs.finalize = value.parse()?;
                 }
+                "--retries" => {
+                    let value = it.next().ok_or("--retries needs a value")?;
+                    knobs.retries = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("cannot parse `{value}` as a retry budget"))?,
+                    );
+                }
+                "--faults" => {
+                    let value = it.next().ok_or("--faults needs a value")?;
+                    knobs.faults = Some(value.parse()?);
+                }
                 "--smoke" => {}
                 other if other.starts_with("--") => {
                     return Err(format!(
-                        "unknown flag `{other}` (expected --smoke, --threads <n>, --shuffle materialized|streaming|pipelined, --finalize static|stealing)"
+                        "unknown flag `{other}` (expected --smoke, --threads <n>, --shuffle materialized|streaming|pipelined, --finalize static|stealing, --retries <n>, --faults <spec>)"
                     ));
                 }
                 _ => {}
@@ -90,6 +109,10 @@ impl ExecKnobs {
         cluster.map_threads = self.map_threads.max(1);
         cluster.shuffle = self.shuffle;
         cluster.finalize_mode = self.finalize;
+        if let Some(budget) = self.retries {
+            cluster.retry_budget = budget;
+        }
+        cluster.fault_plan = self.faults.clone();
         cluster
     }
 }
@@ -423,6 +446,10 @@ mod tests {
             "pipelined",
             "--finalize",
             "stealing",
+            "--retries",
+            "5",
+            "--faults",
+            "seed:7,rate:0.05",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -431,16 +458,24 @@ mod tests {
         assert_eq!(knobs.map_threads, 3);
         assert_eq!(knobs.shuffle, ShuffleMode::Pipelined);
         assert_eq!(knobs.finalize, FinalizeMode::Stealing);
+        assert_eq!(knobs.retries, Some(5));
         let cluster = knobs.apply(ClusterConfig::default());
         assert_eq!(cluster.map_threads, 3);
         assert_eq!(cluster.shuffle, ShuffleMode::Pipelined);
         assert_eq!(cluster.finalize_mode, FinalizeMode::Stealing);
+        assert_eq!(cluster.retry_budget, 5);
+        let plan = cluster.fault_plan.expect("--faults must apply");
+        assert_eq!(plan.seed, 7);
+        assert!((plan.map_rate - 0.05).abs() < 1e-12);
+        assert!((plan.reduce_rate - 0.05).abs() < 1e-12);
         assert_eq!(
             ExecKnobs::from_args(&[]).unwrap(),
             ExecKnobs {
                 map_threads: 0,
                 shuffle: ShuffleMode::Materialized,
-                finalize: FinalizeMode::Static
+                finalize: FinalizeMode::Static,
+                retries: None,
+                faults: None,
             }
         );
     }
@@ -455,6 +490,12 @@ mod tests {
             vec!["--finalize"],
             vec!["--finalize", "mystery"],
             vec!["--finalise", "stealing"],
+            vec!["--retries"],
+            vec!["--retries", "many"],
+            vec!["--retrys", "3"],
+            vec!["--faults"],
+            vec!["--faults", "seed:7,rat:0.05"],
+            vec!["--fault", "seed:7,rate:0.05"],
         ] {
             let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
             assert!(ExecKnobs::from_args(&args).is_err(), "{bad:?}");

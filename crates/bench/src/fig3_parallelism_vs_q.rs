@@ -21,15 +21,18 @@ pub fn run(scale: Scale) -> Table {
 }
 
 /// Runs the experiment with explicit engine knobs (map threads / shuffle
-/// mode / finalize mode). The simulated columns are identical across knob
-/// settings; the four trailing columns (`overlap_blk`, `peak_blk`,
-/// `stolen`, `fin_imb`) are execution diagnostics from the pipelined
-/// engine — zero under the pass-based modes, and legitimately
-/// run-dependent under `--shuffle pipelined`, where they show how much
-/// reduce-side work overlapped live map tasks, how full the bounded
-/// channels got, how many partition finalizations migrated between
-/// consumer threads under `--finalize stealing`, and how imbalanced the
-/// per-thread finalize spans were (max/mean; 1.0 is perfectly balanced).
+/// mode / finalize mode / fault injection). The simulated columns are
+/// identical across knob settings; the six trailing columns
+/// (`overlap_blk`, `peak_blk`, `stolen`, `fin_imb`, `retries`, `dlq`) are
+/// execution diagnostics — zero under the default pass-based, fault-free
+/// configuration, and legitimately run-dependent otherwise. The pipeline
+/// four show how much reduce-side work overlapped live map tasks, how
+/// full the bounded channels got, how many partition finalizations
+/// migrated between consumer threads under `--finalize stealing`, and how
+/// imbalanced the per-thread finalize spans were (max/mean; 1.0 is
+/// perfectly balanced); `retries` counts injected faults absorbed by the
+/// retry layer under `--faults`, and `dlq` the tasks dead-lettered after
+/// exhausting `--retries`.
 pub fn run_with(scale: Scale, knobs: ExecKnobs) -> Table {
     let m = scale.pick(60, 300);
     let steps = scale.pick(4, 12);
@@ -51,6 +54,8 @@ pub fn run_with(scale: Scale, knobs: ExecKnobs) -> Table {
             "peak_blk",
             "stolen",
             "fin_imb",
+            "retries",
+            "dlq",
         ],
     );
 
@@ -89,6 +94,8 @@ pub fn run_with(scale: Scale, knobs: ExecKnobs) -> Table {
                 &metrics.pipeline.peak_inflight_blocks,
                 &metrics.pipeline.stolen_partitions,
                 &format!("{:.2}", metrics.pipeline.finalize_imbalance),
+                &metrics.faults.retries(),
+                &metrics.faults.dlq_len,
             ]);
         }
     }
@@ -114,13 +121,13 @@ mod tests {
         assert_eq!(base.render(), knobbed.render());
     }
 
-    /// Under the pipelined engine the simulated columns stay identical to
-    /// the materialized baseline; only the four trailing diagnostics may
-    /// differ (they are zero under pass-based modes and run-dependent
-    /// under pipelining).
+    /// Under the pipelined engine (and under fault injection) the
+    /// simulated columns stay identical to the materialized fault-free
+    /// baseline; only the six trailing diagnostics may differ (they are
+    /// zero under the default configuration and run-dependent otherwise).
     #[test]
     fn pipelined_knobs_keep_simulated_columns_identical() {
-        use mrassign_simmr::{FinalizeMode, ShuffleMode};
+        use mrassign_simmr::{FaultPlan, FinalizeMode, ShuffleMode};
         let strip = |table: &Table| -> Vec<String> {
             table
                 .render()
@@ -128,7 +135,7 @@ mod tests {
                 .skip(1)
                 .map(|l| {
                     let cols: Vec<&str> = l.split_whitespace().collect();
-                    cols[..cols.len() - 4].join(" ")
+                    cols[..cols.len() - 6].join(" ")
                 })
                 .collect()
         };
@@ -141,18 +148,42 @@ mod tests {
                     map_threads: 4,
                     shuffle: ShuffleMode::Pipelined,
                     finalize,
+                    ..ExecKnobs::default()
                 },
             );
             assert_eq!(stripped_base, strip(&pipelined), "{finalize:?}");
         }
+        // Injected faults burn retries without moving a recorded number.
+        let faulted = run_with(
+            Scale::Smoke,
+            ExecKnobs {
+                retries: Some(8),
+                faults: Some(FaultPlan::seeded(23, 0.2)),
+                ..ExecKnobs::default()
+            },
+        );
+        assert_eq!(stripped_base, strip(&faulted), "faulted");
+        let total_retries: u64 = faulted
+            .render()
+            .lines()
+            .skip(2)
+            .map(|l| {
+                let cols: Vec<&str> = l.split_whitespace().collect();
+                cols[cols.len() - 2].parse::<u64>().unwrap()
+            })
+            .sum();
+        assert!(total_retries > 0, "seed 23 at rate 0.2 must fire");
         // The baseline's diagnostics are all zero: no overlap, no peak, no
-        // stolen partitions, and no finalize-imbalance measurement.
+        // stolen partitions, no finalize-imbalance measurement, no
+        // retries, and nothing dead-lettered.
         for line in base.render().lines().skip(2) {
             let cols: Vec<&str> = line.split_whitespace().collect();
+            assert_eq!(cols[cols.len() - 6], "0");
+            assert_eq!(cols[cols.len() - 5], "0");
             assert_eq!(cols[cols.len() - 4], "0");
-            assert_eq!(cols[cols.len() - 3], "0");
+            assert_eq!(cols[cols.len() - 3], "0.00");
             assert_eq!(cols[cols.len() - 2], "0");
-            assert_eq!(cols[cols.len() - 1], "0.00");
+            assert_eq!(cols[cols.len() - 1], "0");
         }
     }
 

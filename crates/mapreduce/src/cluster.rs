@@ -12,7 +12,233 @@
 //! about (few big reducers ⇒ long reduce phase; many small reducers ⇒ more
 //! communication but shorter reduce phase) emerge directly.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
 use crate::error::SimError;
+
+/// Which execution stage a fault-injection key refers to: map tasks are
+/// indexed by input position, reduce tasks by reducer partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultStage {
+    /// A map task (index = input position).
+    Map,
+    /// A reduce task (index = reducer partition).
+    Reduce,
+}
+
+impl FaultStage {
+    /// Stable name used in error messages and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultStage::Map => "map",
+            FaultStage::Reduce => "reduce",
+        }
+    }
+}
+
+/// What happens when a task exhausts its retry budget
+/// ([`ClusterConfig::retry_budget`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DlqMode {
+    /// Abort the job with [`SimError::RetriesExhausted`] naming the task —
+    /// the classic "job killed by a poison record" behavior.
+    #[default]
+    Fail,
+    /// Capture the task in the job's dead-letter queue and keep going: the
+    /// job completes, the poisoned task contributes nothing, and
+    /// [`crate::JobOutput::dlq`] reports exactly which tasks died.
+    Capture,
+}
+
+impl DlqMode {
+    /// Every mode, in the order the `--dlq` grammar lists them.
+    pub const ALL: [DlqMode; 2] = [DlqMode::Fail, DlqMode::Capture];
+
+    /// The name accepted by every `--dlq` flag; [`std::str::FromStr`]
+    /// parses and reports errors through this list.
+    pub fn name(self) -> &'static str {
+        match self {
+            DlqMode::Fail => "fail",
+            DlqMode::Capture => "capture",
+        }
+    }
+}
+
+impl std::str::FromStr for DlqMode {
+    type Err = String;
+
+    /// Parses the mode names used by every `--dlq` flag, so a typo fails
+    /// loudly instead of silently reverting to the default.
+    fn from_str(name: &str) -> Result<Self, Self::Err> {
+        DlqMode::ALL
+            .into_iter()
+            .find(|mode| mode.name() == name)
+            .ok_or_else(|| {
+                let expected: Vec<&str> = DlqMode::ALL.map(DlqMode::name).to_vec();
+                format!(
+                    "unknown dlq mode `{name}` (expected {})",
+                    expected.join("|")
+                )
+            })
+    }
+}
+
+/// A deterministic, seeded fault-injection schedule.
+///
+/// Whether a given task *attempt* fails is a pure function of
+/// `(seed, stage, task index, attempt)` — a fresh [`StdRng`] is derived per
+/// key, so replays are exactly reproducible: re-running a failed task sees
+/// the same schedule, and two engines executing the same logical task (in
+/// any order, on any thread) reach the same verdict. That is what lets the
+/// differential suite demand bit-identical [`crate::JobOutput`]s from
+/// faulted runs.
+///
+/// Beyond the rate-based transient faults, a plan can name *poisoned*
+/// tasks (fail on every attempt — the dead-letter-queue workload) and
+/// *straggler* tasks (their primary execution is delayed by
+/// [`FaultPlan::straggle_millis`], giving speculative re-execution
+/// something to win against).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed of the per-(stage, task, attempt) failure schedule.
+    pub seed: u64,
+    /// Probability that a given map task attempt fails. Must be a finite
+    /// probability in `[0, 1]` (validated).
+    pub map_rate: f64,
+    /// Probability that a given reduce task attempt fails. Must be a
+    /// finite probability in `[0, 1]` (validated).
+    pub reduce_rate: f64,
+    /// Map task indices that fail on *every* attempt — poison inputs.
+    pub poison_map_tasks: Vec<usize>,
+    /// Reducer partitions whose reduce fails on every attempt.
+    pub poison_reduce_tasks: Vec<usize>,
+    /// Map tasks whose primary (non-speculative) execution sleeps for
+    /// [`FaultPlan::straggle_millis`] — simulated slow machines.
+    pub straggle_map_tasks: Vec<usize>,
+    /// Reducer partitions whose primary finalize sleeps.
+    pub straggle_reduce_tasks: Vec<usize>,
+    /// Wall-clock delay (milliseconds) applied to straggled primaries.
+    /// Speculative re-executions model a re-run on a healthy machine and
+    /// never sleep.
+    pub straggle_millis: u64,
+}
+
+impl FaultPlan {
+    /// A uniform transient-fault plan: every map and reduce attempt fails
+    /// independently with probability `rate`, under `seed`.
+    pub fn seeded(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            map_rate: rate,
+            reduce_rate: rate,
+            ..FaultPlan::default()
+        }
+    }
+
+    fn poison(&self, stage: FaultStage) -> &[usize] {
+        match stage {
+            FaultStage::Map => &self.poison_map_tasks,
+            FaultStage::Reduce => &self.poison_reduce_tasks,
+        }
+    }
+
+    /// Whether `stage`/`index` is a designated straggler (primary
+    /// executions sleep [`FaultPlan::straggle_millis`]).
+    pub fn straggles(&self, stage: FaultStage, index: usize) -> bool {
+        let list = match stage {
+            FaultStage::Map => &self.straggle_map_tasks,
+            FaultStage::Reduce => &self.straggle_reduce_tasks,
+        };
+        list.contains(&index)
+    }
+
+    /// Whether attempt number `attempt` (0-based) of the given task fails.
+    ///
+    /// Deterministic in `(seed, stage, index, attempt)` alone — independent
+    /// of thread interleaving, shuffle mode, and which engine replays the
+    /// task — which is the property every retry/replay guarantee in this
+    /// crate rests on.
+    pub fn fires(&self, stage: FaultStage, index: usize, attempt: u32) -> bool {
+        if self.poison(stage).contains(&index) {
+            return true;
+        }
+        let rate = match stage {
+            FaultStage::Map => self.map_rate,
+            FaultStage::Reduce => self.reduce_rate,
+        };
+        if rate <= 0.0 {
+            return false;
+        }
+        // Sequential multiply-add combining (not XOR) so no component can
+        // cancel another; SplitMix64 inside `seed_from_u64` finishes the
+        // mixing. One cheap RNG per key keeps draws independent across
+        // (stage, task, attempt) without any shared stream to order.
+        let stage_tag: u64 = match stage {
+            FaultStage::Map => 0x6d61_7000,
+            FaultStage::Reduce => 0x7265_6400,
+        };
+        let mut key = self.seed ^ stage_tag;
+        key = key
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(index as u64);
+        key = key
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(attempt));
+        StdRng::seed_from_u64(key).random_bool(rate)
+    }
+}
+
+impl std::str::FromStr for FaultPlan {
+    type Err = String;
+
+    /// Parses the `--faults` / `MRASSIGN_FAULTS` spec grammar:
+    /// comma-separated `key:value` pairs, e.g. `seed:7,rate:0.05`.
+    /// Accepted keys: `seed`, `rate` (sets both stages), `map-rate`,
+    /// `reduce-rate`. Unknown keys and malformed values fail loudly.
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        const VOCAB: &str = "seed:<u64>, rate:<f64>, map-rate:<f64>, reduce-rate:<f64>";
+        if spec.trim().is_empty() {
+            return Err(format!("empty fault spec (expected {VOCAB})"));
+        }
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',') {
+            let (key, value) = part
+                .split_once(':')
+                .ok_or_else(|| format!("fault spec part `{part}` is not key:value ({VOCAB})"))?;
+            match key {
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|e| format!("fault seed `{value}`: {e}"))?;
+                }
+                "rate" => {
+                    let rate: f64 = value
+                        .parse()
+                        .map_err(|e| format!("fault rate `{value}`: {e}"))?;
+                    plan.map_rate = rate;
+                    plan.reduce_rate = rate;
+                }
+                "map-rate" => {
+                    plan.map_rate = value
+                        .parse()
+                        .map_err(|e| format!("fault map-rate `{value}`: {e}"))?;
+                }
+                "reduce-rate" => {
+                    plan.reduce_rate = value
+                        .parse()
+                        .map_err(|e| format!("fault reduce-rate `{value}`: {e}"))?;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown fault spec key `{other}` (expected {VOCAB})"
+                    ));
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
 
 /// How the engine moves map output into reducer partitions.
 ///
@@ -182,6 +408,27 @@ pub struct ClusterConfig {
     /// [`ShuffleMode::Pipelined`]: how completed partitions are assigned
     /// to consumer threads for finalization. See [`FinalizeMode`].
     pub finalize_mode: FinalizeMode,
+    /// Maximum *retries* per task (attempts = `retry_budget + 1`) when a
+    /// [`FaultPlan`] injects failures. With no plan configured the budget
+    /// is inert. Failed attempts are replayed deterministically — mappers
+    /// and routers are deterministic by contract, so a retried task
+    /// re-emits exactly what the never-failed run would have.
+    pub retry_budget: u32,
+    /// Speculatively re-execute straggler tasks: once the pipelined
+    /// engine's task cursor (map side) or finalize queue (reduce side,
+    /// [`FinalizeMode::Stealing`] only) runs dry, idle threads re-run
+    /// still-in-flight tasks, ranked largest-first by the same LPT rule
+    /// [`Schedule::lpt`] schedules with. First completion wins via a
+    /// per-task resolution slot; since tasks are deterministic, outputs
+    /// are bit-identical whichever copy wins. Ignored by the pass-based
+    /// shuffle modes (they have no idle threads to speculate on).
+    pub speculation: bool,
+    /// What happens when a task exhausts `retry_budget`. See [`DlqMode`].
+    pub dlq_mode: DlqMode,
+    /// The seeded fault-injection schedule; `None` (the default) injects
+    /// nothing and leaves every engine path byte-for-byte on the
+    /// fault-free fast path.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ClusterConfig {
@@ -198,6 +445,10 @@ impl Default for ClusterConfig {
             streaming_map_batch: 256,
             pipeline_depth: 4,
             finalize_mode: FinalizeMode::Static,
+            retry_budget: 0,
+            speculation: false,
+            dlq_mode: DlqMode::Fail,
+            fault_plan: None,
         }
     }
 }
@@ -243,6 +494,19 @@ impl ClusterConfig {
                 return Err(SimError::NonFiniteKnob { knob });
             }
         }
+        if let Some(plan) = &self.fault_plan {
+            for (knob, rate) in [
+                ("fault_plan.map_rate", plan.map_rate),
+                ("fault_plan.reduce_rate", plan.reduce_rate),
+            ] {
+                if !rate.is_finite() {
+                    return Err(SimError::NonFiniteKnob { knob });
+                }
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(SimError::FaultRateOutOfRange { knob });
+                }
+            }
+        }
         Ok(())
     }
 
@@ -285,31 +549,40 @@ impl Schedule {
     /// outcome looks like for independent tasks.
     pub fn lpt(tasks: &[TaskCost], workers: usize) -> Schedule {
         assert!(workers > 0, "Schedule::lpt requires at least one worker");
-        let mut durations: Vec<f64> = tasks.iter().map(|t| t.0).collect();
-        // Longest first. `total_cmp` keeps this panic-free even for NaN or
-        // infinite costs (validation rejects the knobs that would produce
-        // them, but a direct caller must get a schedule, not a panic).
-        durations.sort_by(|a, b| b.total_cmp(a));
+        let order = Schedule::lpt_order(tasks);
 
         // Binary heap of (load, worker) would need ordered floats; with the
         // small worker counts used here a linear argmin scan is simpler and
         // never the bottleneck (tasks dominate).
         let mut finish = vec![0.0f64; workers];
-        for d in &durations {
+        for &t in &order {
             let (idx, _) = finish
                 .iter()
                 .enumerate()
                 .min_by(|a, b| a.1.total_cmp(b.1))
                 .expect("at least one worker");
-            finish[idx] += d;
+            finish[idx] += tasks[t].0;
         }
         let makespan = finish.iter().cloned().fold(0.0, f64::max);
-        let total_work = durations.iter().sum();
+        let total_work = tasks.iter().map(|t| t.0).sum();
         Schedule {
             worker_finish: finish,
             makespan,
             total_work,
         }
+    }
+
+    /// Task indices in the order the LPT rule considers them: longest
+    /// first, lowest index on ties (so the rank is reproducible). This is
+    /// the single ranking both [`Schedule::lpt`] and the pipelined
+    /// engine's speculative re-execution of stragglers schedule by.
+    /// `total_cmp` keeps it panic-free even for NaN or infinite costs
+    /// (validation rejects the knobs that would produce them, but a
+    /// direct caller must get an order, not a panic).
+    pub fn lpt_order(tasks: &[TaskCost]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..tasks.len()).collect();
+        order.sort_by(|&a, &b| tasks[b].0.total_cmp(&tasks[a].0).then(a.cmp(&b)));
+        order
     }
 }
 
@@ -434,6 +707,138 @@ mod tests {
         for mode in FinalizeMode::ALL {
             assert!(err.contains(mode.name()), "{err}");
         }
+    }
+
+    #[test]
+    fn dlq_mode_names_round_trip() {
+        for mode in DlqMode::ALL {
+            assert_eq!(mode.name().parse::<DlqMode>(), Ok(mode));
+        }
+        assert_eq!(DlqMode::default(), DlqMode::Fail);
+        let err = "mystery".parse::<DlqMode>().unwrap_err();
+        for mode in DlqMode::ALL {
+            assert!(err.contains(mode.name()), "{err}");
+        }
+    }
+
+    /// The fault schedule is a pure function of (seed, stage, index,
+    /// attempt): replays agree, seeds decorrelate, and extreme rates
+    /// behave like constants.
+    #[test]
+    fn fault_plan_fires_deterministically() {
+        let plan = FaultPlan::seeded(7, 0.5);
+        for stage in [FaultStage::Map, FaultStage::Reduce] {
+            for index in 0..64 {
+                for attempt in 0..4 {
+                    assert_eq!(
+                        plan.fires(stage, index, attempt),
+                        plan.fires(stage, index, attempt),
+                        "replay must agree: {stage:?} {index} {attempt}"
+                    );
+                }
+            }
+        }
+        let never = FaultPlan::seeded(7, 0.0);
+        let always = FaultPlan::seeded(7, 1.0);
+        for index in 0..64 {
+            assert!(!never.fires(FaultStage::Map, index, 0));
+            assert!(always.fires(FaultStage::Reduce, index, 0));
+        }
+        // The rate is actually a rate: at 0.5, both outcomes occur.
+        let hits = (0..256)
+            .filter(|&i| plan.fires(FaultStage::Map, i, 0))
+            .count();
+        assert!((64..192).contains(&hits), "0.5-rate plan hit {hits}/256");
+        // Attempts draw independently: some task that fails attempt 0
+        // passes attempt 1 (the whole point of a retry).
+        assert!((0..256)
+            .any(|i| { plan.fires(FaultStage::Map, i, 0) && !plan.fires(FaultStage::Map, i, 1) }));
+    }
+
+    #[test]
+    fn fault_plan_poison_and_straggle_lists() {
+        let plan = FaultPlan {
+            poison_map_tasks: vec![3],
+            poison_reduce_tasks: vec![1],
+            straggle_map_tasks: vec![9],
+            straggle_millis: 5,
+            ..FaultPlan::default()
+        };
+        // Poison beats any rate (here zero) on every attempt.
+        for attempt in 0..16 {
+            assert!(plan.fires(FaultStage::Map, 3, attempt));
+            assert!(plan.fires(FaultStage::Reduce, 1, attempt));
+        }
+        assert!(!plan.fires(FaultStage::Map, 4, 0));
+        assert!(plan.straggles(FaultStage::Map, 9));
+        assert!(!plan.straggles(FaultStage::Reduce, 9));
+    }
+
+    #[test]
+    fn fault_spec_parses_and_rejects_typos() {
+        let plan: FaultPlan = "seed:7,rate:0.05".parse().unwrap();
+        assert_eq!(plan.seed, 7);
+        assert!((plan.map_rate - 0.05).abs() < 1e-12);
+        assert!((plan.reduce_rate - 0.05).abs() < 1e-12);
+        let split: FaultPlan = "map-rate:0.1,reduce-rate:0.2".parse().unwrap();
+        assert!((split.map_rate - 0.1).abs() < 1e-12);
+        assert!((split.reduce_rate - 0.2).abs() < 1e-12);
+        for bad in ["", "seed:7,chaos:0.5", "seed", "rate:lots"] {
+            let err = bad.parse::<FaultPlan>().unwrap_err();
+            assert!(err.contains("seed") || err.contains("rate"), "{bad}: {err}");
+        }
+    }
+
+    /// Fault rates are validated like every other knob: by name, before
+    /// the job starts.
+    #[test]
+    fn fault_rates_validated_by_name() {
+        let mk = |map_rate, reduce_rate| ClusterConfig {
+            fault_plan: Some(FaultPlan {
+                map_rate,
+                reduce_rate,
+                ..FaultPlan::default()
+            }),
+            ..ClusterConfig::default()
+        };
+        assert_eq!(
+            mk(f64::NAN, 0.0).validate(),
+            Err(SimError::NonFiniteKnob {
+                knob: "fault_plan.map_rate"
+            })
+        );
+        assert_eq!(
+            mk(0.0, 1.5).validate(),
+            Err(SimError::FaultRateOutOfRange {
+                knob: "fault_plan.reduce_rate"
+            })
+        );
+        assert_eq!(
+            mk(-0.1, 0.0).validate(),
+            Err(SimError::FaultRateOutOfRange {
+                knob: "fault_plan.map_rate"
+            })
+        );
+        mk(0.0, 1.0).validate().unwrap();
+        // The retry/speculation/dlq knobs are valid in every combination.
+        ClusterConfig {
+            retry_budget: 3,
+            speculation: true,
+            dlq_mode: DlqMode::Capture,
+            fault_plan: Some(FaultPlan::seeded(1, 0.5)),
+            ..ClusterConfig::default()
+        }
+        .validate()
+        .unwrap();
+    }
+
+    /// `lpt_order` is the rank `lpt` schedules by: longest first, index
+    /// ascending on ties, and `lpt` built on top of it is unchanged.
+    #[test]
+    fn lpt_order_ranks_longest_first() {
+        let tasks = vec![TaskCost(2.0), TaskCost(5.0), TaskCost(2.0), TaskCost(9.0)];
+        assert_eq!(Schedule::lpt_order(&tasks), vec![3, 1, 0, 2]);
+        assert_eq!(Schedule::lpt_order(&[]), Vec::<usize>::new());
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use crate::cluster::FaultStage;
 use std::fmt;
 
 /// Errors raised while running a simulated MapReduce job.
@@ -32,6 +33,26 @@ pub enum SimError {
         /// The number of reducers configured on the job.
         n_reducers: usize,
     },
+    /// A fault-injection rate on [`crate::FaultPlan`] was outside `[0, 1]`.
+    /// Rates are probabilities; anything else is a configuration typo and
+    /// is rejected before the job starts, naming the offending knob.
+    FaultRateOutOfRange {
+        /// The field name on `FaultPlan`.
+        knob: &'static str,
+    },
+    /// A task kept failing after every retry the budget allowed. Raised
+    /// under [`crate::DlqMode::Fail`]; under [`crate::DlqMode::Capture`]
+    /// the same exhaustion lands the task in the job's dead-letter queue
+    /// instead and the job completes.
+    RetriesExhausted {
+        /// Which stage the exhausted task belonged to.
+        stage: FaultStage,
+        /// The task index within its stage (map task index or reducer
+        /// partition).
+        index: usize,
+        /// Total attempts made (the first run plus every retry).
+        attempts: u32,
+    },
     /// A reducer's summed value size exceeded the configured capacity while
     /// the job ran under [`crate::CapacityPolicy::Enforce`].
     CapacityExceeded {
@@ -58,6 +79,21 @@ impl fmt::Display for SimError {
                     "engine knob `{knob}` must be finite (got NaN or an infinity)"
                 )
             }
+            SimError::FaultRateOutOfRange { knob } => {
+                write!(
+                    f,
+                    "fault knob `{knob}` is a probability and must lie in [0, 1]"
+                )
+            }
+            SimError::RetriesExhausted {
+                stage,
+                index,
+                attempts,
+            } => write!(
+                f,
+                "{} task {index} failed all {attempts} attempts, exhausting the retry budget",
+                stage.name()
+            ),
             SimError::RouteOutOfRange { target, n_reducers } => write!(
                 f,
                 "router targeted reducer {target} but only {n_reducers} reducers exist"
@@ -96,5 +132,20 @@ mod tests {
         let e = SimError::NonFiniteKnob { knob: "map_rate" };
         let s = e.to_string();
         assert!(s.contains("map_rate") && s.contains("finite"));
+        let e = SimError::FaultRateOutOfRange {
+            knob: "fault_plan.map_rate",
+        };
+        let s = e.to_string();
+        assert!(s.contains("fault_plan.map_rate") && s.contains("[0, 1]"));
+        let e = SimError::RetriesExhausted {
+            stage: FaultStage::Reduce,
+            index: 4,
+            attempts: 3,
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("reduce task 4") && s.contains('3') && s.contains("retry budget"),
+            "{s}"
+        );
     }
 }

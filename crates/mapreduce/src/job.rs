@@ -1,8 +1,9 @@
 //! The job runner: map → shuffle → reduce with full accounting.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use crate::cluster::{ClusterConfig, Schedule, ShuffleMode, TaskCost};
+use crate::cluster::{ClusterConfig, DlqMode, FaultStage, Schedule, ShuffleMode, TaskCost};
 use crate::error::SimError;
 use crate::metrics::JobMetrics;
 use crate::record::ByteSized;
@@ -11,6 +12,47 @@ use crate::traits::{Emitter, Mapper, Reducer};
 
 /// Key-value pairs produced by one map invocation.
 pub(crate) type MapOutput<M> = Vec<(<M as Mapper>::Key, <M as Mapper>::Value)>;
+
+/// What every shuffle mode's reduce phase hands back: outputs in
+/// (partition, key, arrival) order, per-nonempty-partition reduce costs,
+/// and the dead-letter queue.
+pub(crate) type ReducePhase<Out> = Result<(Vec<Out>, Vec<TaskCost>, Vec<DlqEntry>), SimError>;
+
+/// One dead-lettered task: a unit of work that exhausted its retry budget
+/// under [`DlqMode::Capture`] and was dropped from the job instead of
+/// failing it. Entries are reported sorted by (stage, index), so the DLQ
+/// itself is deterministic and identical across shuffle modes.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DlqEntry {
+    /// Which stage the exhausted task belonged to.
+    pub stage: FaultStage,
+    /// Map task index (input index) or reducer partition.
+    pub index: usize,
+    /// Total attempts made before giving up (the retry budget plus one).
+    pub attempts: u32,
+}
+
+/// How the fault-injection layer disposed of one task: run it (after
+/// `retries` absorbed failures), drop it to the DLQ, or fail the job.
+pub(crate) enum TaskVerdict {
+    /// Some attempt under the budget survived; run the task for real.
+    Run { retries: u32 },
+    /// Every attempt failed and `dlq_mode` is `Capture`: dead-letter it.
+    Dropped { retries: u32, attempts: u32 },
+    /// Every attempt failed and `dlq_mode` is `Fail`: abort the job.
+    Failed { error: SimError, retries: u32 },
+}
+
+/// Outcome of one map task after the attempt loop.
+pub(crate) enum MapResolution<M: Mapper> {
+    /// The task succeeded (possibly after retries) and emitted `pairs`.
+    Done(MapOutput<M>),
+    /// The task exhausted its budget under `Capture`; its records are
+    /// dropped consistently in every shuffle mode.
+    Dropped { attempts: u32 },
+    /// The task exhausted its budget under `Fail`.
+    Failed(SimError),
+}
 
 /// What to do about the reducer capacity `q`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +75,10 @@ pub struct JobOutput<Out> {
     pub outputs: Vec<Out>,
     /// Byte, record, and simulated-time accounting.
     pub metrics: JobMetrics,
+    /// Dead-letter queue: tasks that exhausted their retry budget under
+    /// [`DlqMode::Capture`], sorted by (stage, index). Empty without a
+    /// fault plan or when every fault was absorbed by a retry.
+    pub dlq: Vec<DlqEntry>,
 }
 
 /// A configured simulated MapReduce job.
@@ -110,12 +156,14 @@ where
             .map(|input| TaskCost(self.config.map_task_seconds(self.mapper.cost_bytes(input))))
             .collect();
 
-        let (outputs, reduce_costs) = match self.config.shuffle {
+        let (outputs, reduce_costs, mut dlq) = match self.config.shuffle {
             ShuffleMode::Materialized => self.run_materialized(inputs, &mut metrics)?,
             ShuffleMode::Streaming => self.run_streaming(inputs, &mut metrics)?,
             ShuffleMode::Pipelined => self.run_pipelined(inputs, &mut metrics)?,
         };
         metrics.outputs = outputs.len();
+        dlq.sort();
+        metrics.faults.dlq_len = dlq.len() as u64;
 
         // ----- Simulated time -----------------------------------------------
         let map_schedule = Schedule::lpt(&map_costs, self.config.workers);
@@ -126,25 +174,174 @@ where
         metrics.serial_seconds =
             map_schedule.total_work + reduce_schedule.total_work + metrics.shuffle_seconds;
 
-        Ok(JobOutput { outputs, metrics })
+        Ok(JobOutput {
+            outputs,
+            metrics,
+            dlq,
+        })
+    }
+
+    /// Disposes of one task under the fault plan: sleeps if the task is an
+    /// injected straggler (primaries only — the speculative copy is the
+    /// one that doesn't straggle), then walks the attempt loop until an
+    /// attempt survives or the retry budget is gone.
+    ///
+    /// Check-first by design: a fault preempts the attempt *before* any
+    /// user code runs, so injected failures flow through `Result` values
+    /// and never unwind — the RAII abort guards in the pipelined engine
+    /// stay reserved for true user-code panics.
+    pub(crate) fn fault_verdict(
+        &self,
+        stage: FaultStage,
+        index: usize,
+        speculative: bool,
+    ) -> TaskVerdict {
+        let Some(plan) = &self.config.fault_plan else {
+            return TaskVerdict::Run { retries: 0 };
+        };
+        if !speculative && plan.straggle_millis > 0 && plan.straggles(stage, index) {
+            std::thread::sleep(std::time::Duration::from_millis(plan.straggle_millis));
+        }
+        let budget = self.config.retry_budget;
+        let mut attempt = 0u32;
+        loop {
+            if !plan.fires(stage, index, attempt) {
+                return TaskVerdict::Run { retries: attempt };
+            }
+            if attempt >= budget {
+                let attempts = budget + 1;
+                return match self.config.dlq_mode {
+                    DlqMode::Capture => TaskVerdict::Dropped {
+                        retries: budget,
+                        attempts,
+                    },
+                    DlqMode::Fail => TaskVerdict::Failed {
+                        error: SimError::RetriesExhausted {
+                            stage,
+                            index,
+                            attempts,
+                        },
+                        retries: budget,
+                    },
+                };
+            }
+            attempt += 1;
+        }
+    }
+
+    /// Runs the attempt loop for one map task and, if an attempt survives,
+    /// the task itself. Returns the resolution plus the retries burned.
+    pub(crate) fn resolve_map_task(&self, index: usize, input: &M::In) -> (MapResolution<M>, u64) {
+        match self.fault_verdict(FaultStage::Map, index, false) {
+            TaskVerdict::Run { retries } => {
+                (MapResolution::Done(self.map_one(input)), u64::from(retries))
+            }
+            TaskVerdict::Dropped { retries, attempts } => {
+                (MapResolution::Dropped { attempts }, u64::from(retries))
+            }
+            TaskVerdict::Failed { error, retries } => {
+                (MapResolution::Failed(error), u64::from(retries))
+            }
+        }
+    }
+
+    /// Fault-aware map phase for the pass-based shuffles: every task at
+    /// global index `base + offset` goes through the attempt loop, then
+    /// (on success) through `map_one`. Slotting by input index keeps
+    /// ordering independent of thread interleaving, exactly like
+    /// [`Job::run_map_phase`]. Returns per-task resolutions plus the total
+    /// retries burned.
+    fn run_map_tasks(&self, inputs: &[M::In], base: usize) -> (Vec<MapResolution<M>>, u64) {
+        if self.config.fault_plan.is_none() {
+            // Fast path: no plan means no verdicts, no retries — reuse the
+            // plain map phase unchanged.
+            let resolutions = self
+                .run_map_phase(inputs)
+                .into_iter()
+                .map(MapResolution::Done)
+                .collect();
+            return (resolutions, 0);
+        }
+        let threads = self.config.map_threads.max(1);
+        if threads == 1 || inputs.len() < 2 {
+            let mut retries = 0u64;
+            let resolutions = inputs
+                .iter()
+                .enumerate()
+                .map(|(off, input)| {
+                    let (resolution, r) = self.resolve_map_task(base + off, input);
+                    retries += r;
+                    resolution
+                })
+                .collect();
+            return (resolutions, retries);
+        }
+
+        let slots: Mutex<Vec<Option<MapResolution<M>>>> =
+            Mutex::new((0..inputs.len()).map(|_| None).collect());
+        let retries = AtomicU64::new(0);
+        let chunk = inputs.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, chunk_inputs) in inputs.chunks(chunk).enumerate() {
+                let slots = &slots;
+                let retries = &retries;
+                let job = &self;
+                scope.spawn(move || {
+                    let chunk_base = t * chunk;
+                    let mut local: Vec<(usize, MapResolution<M>)> =
+                        Vec::with_capacity(chunk_inputs.len());
+                    let mut local_retries = 0u64;
+                    for (off, input) in chunk_inputs.iter().enumerate() {
+                        let (resolution, r) = job.resolve_map_task(base + chunk_base + off, input);
+                        local_retries += r;
+                        local.push((chunk_base + off, resolution));
+                    }
+                    retries.fetch_add(local_retries, Ordering::Relaxed);
+                    let mut guard = slots.lock().expect("map slot lock poisoned");
+                    for (idx, resolution) in local {
+                        guard[idx] = Some(resolution);
+                    }
+                });
+            }
+        });
+        let resolutions = slots
+            .into_inner()
+            .expect("map slot lock poisoned")
+            .into_iter()
+            .map(|slot| slot.expect("every map slot filled"))
+            .collect();
+        (resolutions, retries.into_inner())
     }
 
     /// Classic shuffle: every partition materialized in memory, then reduced
     /// in partition order.
-    fn run_materialized(
-        &self,
-        inputs: &[M::In],
-        metrics: &mut JobMetrics,
-    ) -> Result<(Vec<R::Out>, Vec<TaskCost>), SimError> {
-        let map_results = self.run_map_phase(inputs);
+    fn run_materialized(&self, inputs: &[M::In], metrics: &mut JobMetrics) -> ReducePhase<R::Out> {
+        let (map_results, map_retries) = self.run_map_tasks(inputs, 0);
+        metrics.faults.map_retries = map_retries;
 
         let mut partitions: Vec<Vec<(M::Key, M::Value)>> =
             (0..self.n_reducers).map(|_| Vec::new()).collect();
         let mut reducer_value_bytes = vec![0u64; self.n_reducers];
         let mut reducer_total_bytes = vec![0u64; self.n_reducers];
         let mut targets: Vec<usize> = Vec::new();
+        let mut dlq: Vec<DlqEntry> = Vec::new();
 
-        for pairs in map_results {
+        // Walking resolutions in task order keeps error precedence
+        // identical across modes: the lowest task with either an exhausted
+        // budget or a routing error decides the job's error.
+        for (index, resolution) in map_results.into_iter().enumerate() {
+            let pairs = match resolution {
+                MapResolution::Done(pairs) => pairs,
+                MapResolution::Dropped { attempts } => {
+                    dlq.push(DlqEntry {
+                        stage: FaultStage::Map,
+                        index,
+                        attempts,
+                    });
+                    continue;
+                }
+                MapResolution::Failed(error) => return Err(error),
+            };
             for (key, value) in pairs {
                 metrics.records_emitted += 1;
                 self.route_into(&key, &mut targets)?;
@@ -169,13 +366,32 @@ where
                 continue;
             }
             metrics.nonempty_reducers += 1;
-            reduce_costs.push(TaskCost(
-                self.config.reduce_task_seconds(reducer_total_bytes[r]),
-            ));
-            metrics.distinct_keys += self.reduce_partition(&mut partition, &mut outputs);
+            match self.fault_verdict(FaultStage::Reduce, r, false) {
+                TaskVerdict::Run { retries } => {
+                    metrics.faults.reduce_retries += u64::from(retries);
+                    reduce_costs.push(TaskCost(
+                        self.config.reduce_task_seconds(reducer_total_bytes[r]),
+                    ));
+                    metrics.distinct_keys += self.reduce_partition(&mut partition, &mut outputs);
+                }
+                TaskVerdict::Dropped { retries, attempts } => {
+                    // Dead-lettered partitions stay nonempty (data reached
+                    // them) but contribute no cost, keys, or outputs.
+                    metrics.faults.reduce_retries += u64::from(retries);
+                    dlq.push(DlqEntry {
+                        stage: FaultStage::Reduce,
+                        index: r,
+                        attempts,
+                    });
+                }
+                TaskVerdict::Failed { error, retries } => {
+                    metrics.faults.reduce_retries += u64::from(retries);
+                    return Err(error);
+                }
+            }
         }
         metrics.reducer_value_bytes = reducer_value_bytes;
-        Ok((outputs, reduce_costs))
+        Ok((outputs, reduce_costs, dlq))
     }
 
     /// Streaming shuffle: an accounting pass that stores nothing, then a
@@ -185,19 +401,37 @@ where
     /// map outputs (batches use `map_threads` like the materialized path);
     /// results and metrics are identical to the materialized path because
     /// mappers and routers are deterministic by contract.
-    fn run_streaming(
-        &self,
-        inputs: &[M::In],
-        metrics: &mut JobMetrics,
-    ) -> Result<(Vec<R::Out>, Vec<TaskCost>), SimError> {
+    fn run_streaming(&self, inputs: &[M::In], metrics: &mut JobMetrics) -> ReducePhase<R::Out> {
         let mut reducer_value_bytes = vec![0u64; self.n_reducers];
         let mut reducer_total_bytes = vec![0u64; self.n_reducers];
         let mut reducer_records = vec![0u64; self.n_reducers];
         let mut targets: Vec<usize> = Vec::new();
+        let mut dlq: Vec<DlqEntry> = Vec::new();
+        // Which map tasks survived pass 1 — pass 2 replays exactly these.
+        let mut task_ok = vec![true; inputs.len()];
 
         // ----- Pass 1: byte accounting; records are dropped as they flow.
+        // The attempt loop runs here, once per task: pass 2 is a *replay*
+        // of the attempts that already succeeded, not a new attempt, so it
+        // consumes no fault schedule and burns no retries.
+        let mut base = 0usize;
         for batch in inputs.chunks(self.config.streaming_map_batch) {
-            for pairs in self.run_map_phase(batch) {
+            let (resolutions, batch_retries) = self.run_map_tasks(batch, base);
+            metrics.faults.map_retries += batch_retries;
+            for (off, resolution) in resolutions.into_iter().enumerate() {
+                let pairs = match resolution {
+                    MapResolution::Done(pairs) => pairs,
+                    MapResolution::Dropped { attempts } => {
+                        task_ok[base + off] = false;
+                        dlq.push(DlqEntry {
+                            stage: FaultStage::Map,
+                            index: base + off,
+                            attempts,
+                        });
+                        continue;
+                    }
+                    MapResolution::Failed(error) => return Err(error),
+                };
                 for (key, value) in pairs {
                     metrics.records_emitted += 1;
                     self.route_into(&key, &mut targets)?;
@@ -212,6 +446,7 @@ where
                     }
                 }
             }
+            base += batch.len();
         }
 
         self.account_capacity(metrics, &reducer_value_bytes)?;
@@ -232,8 +467,12 @@ where
                 .map(|&n| Vec::with_capacity(n as usize))
                 .collect();
             let mut collected = 0u64;
+            let mut sweep_base = 0usize;
             'sweep: for batch in inputs.chunks(self.config.streaming_map_batch) {
-                for pairs in self.run_map_phase(batch) {
+                for (off, pairs) in self.run_map_phase(batch).into_iter().enumerate() {
+                    if !task_ok[sweep_base + off] {
+                        continue;
+                    }
                     for (key, value) in pairs {
                         self.route_into(&key, &mut targets)?;
                         for &t in &targets {
@@ -244,6 +483,7 @@ where
                         }
                     }
                 }
+                sweep_base += batch.len();
                 if collected == expected {
                     break 'sweep;
                 }
@@ -253,15 +493,33 @@ where
                     continue;
                 }
                 metrics.nonempty_reducers += 1;
-                reduce_costs
-                    .push(TaskCost(self.config.reduce_task_seconds(
-                        reducer_total_bytes[block_start + offset],
-                    )));
-                metrics.distinct_keys += self.reduce_partition(&mut partition, &mut outputs);
+                let r = block_start + offset;
+                match self.fault_verdict(FaultStage::Reduce, r, false) {
+                    TaskVerdict::Run { retries } => {
+                        metrics.faults.reduce_retries += u64::from(retries);
+                        reduce_costs.push(TaskCost(
+                            self.config.reduce_task_seconds(reducer_total_bytes[r]),
+                        ));
+                        metrics.distinct_keys +=
+                            self.reduce_partition(&mut partition, &mut outputs);
+                    }
+                    TaskVerdict::Dropped { retries, attempts } => {
+                        metrics.faults.reduce_retries += u64::from(retries);
+                        dlq.push(DlqEntry {
+                            stage: FaultStage::Reduce,
+                            index: r,
+                            attempts,
+                        });
+                    }
+                    TaskVerdict::Failed { error, retries } => {
+                        metrics.faults.reduce_retries += u64::from(retries);
+                        return Err(error);
+                    }
+                }
             }
         }
         metrics.reducer_value_bytes = reducer_value_bytes;
-        Ok((outputs, reduce_costs))
+        Ok((outputs, reduce_costs, dlq))
     }
 
     /// Routes `key`, leaving the sorted, deduplicated, range-checked target

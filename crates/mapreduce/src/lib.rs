@@ -26,12 +26,21 @@
 //! * an overlapped [`ShuffleMode::Pipelined`] engine (see [`pipeline`])
 //!   whose mapper and consumer stages run concurrently over bounded
 //!   channels, reporting how much map/shuffle/reduce overlap a run
-//!   achieved in [`PipelineMetrics`].
+//!   achieved in [`PipelineMetrics`],
+//! * a fault-tolerance layer: a seeded, deterministic [`FaultPlan`]
+//!   injects per-(stage, task, attempt) transient failures; per-task
+//!   retry budgets replay the deterministic tasks; stragglers are
+//!   speculatively re-executed largest-first via the scheduler's own LPT
+//!   rule; and tasks that exhaust the budget land in a dead-letter queue
+//!   ([`JobOutput::dlq`]) under [`DlqMode::Capture`] instead of failing
+//!   the job.
 //!
 //! Everything is deterministic: same inputs, same config ⇒ bit-identical
-//! outputs and metrics, regardless of thread count. (The one carve-out is
-//! [`JobMetrics::pipeline`], which measures *how* the pipelined engine
-//! executed — compare [`JobMetrics::deterministic`] across modes.)
+//! outputs and metrics, regardless of thread count — and, because retries
+//! replay deterministic tasks, regardless of injected faults. (The
+//! carve-outs are [`JobMetrics::pipeline`] and [`JobMetrics::faults`],
+//! which measure *how* a run executed — compare
+//! [`JobMetrics::deterministic`] across modes.)
 //!
 //! # Example: word count with capacity accounting
 //!
@@ -78,10 +87,12 @@ mod record;
 mod router;
 mod traits;
 
-pub use cluster::{ClusterConfig, FinalizeMode, Schedule, ShuffleMode, TaskCost};
+pub use cluster::{
+    ClusterConfig, DlqMode, FaultPlan, FaultStage, FinalizeMode, Schedule, ShuffleMode, TaskCost,
+};
 pub use error::SimError;
-pub use job::{CapacityPolicy, Job, JobOutput};
-pub use metrics::{JobMetrics, PipelineMetrics};
+pub use job::{CapacityPolicy, DlqEntry, Job, JobOutput};
+pub use metrics::{FaultMetrics, JobMetrics, PipelineMetrics};
 pub use record::ByteSized;
 pub use router::{BroadcastRouter, DirectRouter, HashRouter, Router, TableRouter};
 pub use traits::{Emitter, Mapper, Reducer};

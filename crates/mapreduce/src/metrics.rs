@@ -46,6 +46,42 @@ pub struct PipelineMetrics {
     pub wall_seconds: f64,
 }
 
+/// Fault-tolerance counters: retries burned, speculation outcomes, and
+/// dead-letter-queue size.
+///
+/// Like [`PipelineMetrics`], these quantify *how* a run executed rather
+/// than *what* it computed: the whole point of the retry/speculation
+/// machinery is that a faulted run's [`JobMetrics::deterministic`] stays
+/// bit-identical to the fault-free run, so every counter here is masked
+/// out of that comparison. (Retry counts also legitimately differ between
+/// shuffle modes: streaming's second pass replays only known-good
+/// attempts, so it burns each retry once, while counting conventions are
+/// per-mode.)
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultMetrics {
+    /// Injected map-task faults that were absorbed by a retry.
+    pub map_retries: u64,
+    /// Injected reduce-task faults that were absorbed by a retry.
+    pub reduce_retries: u64,
+    /// Speculative task copies launched against stragglers (pipelined
+    /// mode with [`crate::ClusterConfig::speculation`] enabled).
+    pub speculative_launches: u64,
+    /// Speculative copies that resolved their task before the primary —
+    /// the wins the LPT-ranked speculation exists to create.
+    pub speculative_wins: u64,
+    /// Entries in the job's dead-letter queue (equals
+    /// `JobOutput::dlq.len()`; only nonzero under
+    /// [`crate::DlqMode::Capture`]).
+    pub dlq_len: u64,
+}
+
+impl FaultMetrics {
+    /// Total injected faults absorbed by retries across both stages.
+    pub fn retries(&self) -> u64 {
+        self.map_retries + self.reduce_retries
+    }
+}
+
 /// Metrics collected while running one simulated job.
 ///
 /// * **Communication cost** (`bytes_shuffled`) is the paper's central
@@ -97,16 +133,22 @@ pub struct JobMetrics {
     /// under the pass-based modes; execution-dependent, see
     /// [`PipelineMetrics`]).
     pub pipeline: PipelineMetrics,
+    /// Retry/speculation/DLQ counters from the fault-tolerance layer
+    /// (all zero without a [`crate::FaultPlan`]; execution-dependent,
+    /// see [`FaultMetrics`]).
+    pub faults: FaultMetrics,
 }
 
 impl JobMetrics {
     /// The deterministic subset of the metrics: everything except the
-    /// execution-dependent [`PipelineMetrics`]. This is the value that is
-    /// bit-identical across shuffle modes, thread counts, and runs — the
-    /// contract the differential test harness pins.
+    /// execution-dependent [`PipelineMetrics`] and [`FaultMetrics`]. This
+    /// is the value that is bit-identical across shuffle modes, thread
+    /// counts, fault schedules, and runs — the contract the differential
+    /// test harness pins.
     pub fn deterministic(&self) -> JobMetrics {
         JobMetrics {
             pipeline: PipelineMetrics::default(),
+            faults: FaultMetrics::default(),
             ..self.clone()
         }
     }
@@ -184,6 +226,7 @@ mod tests {
             reduce_makespan: 0.5,
             serial_seconds: 6.0,
             pipeline: PipelineMetrics::default(),
+            faults: FaultMetrics::default(),
         }
     }
 
@@ -225,6 +268,30 @@ mod tests {
         // Everything else still participates in equality.
         b.bytes_shuffled += 1;
         assert_ne!(a.deterministic(), b.deterministic());
+    }
+
+    /// The cross-mode contract stays metric-stable under fault injection:
+    /// every fault/retry counter is excluded from `deterministic()`, so a
+    /// faulted run compares equal to the fault-free run even though it
+    /// burned retries, launched speculative copies, or dead-lettered
+    /// tasks.
+    #[test]
+    fn deterministic_masks_the_fault_counters() {
+        let mut faulted = sample();
+        let clean = sample();
+        faulted.faults = FaultMetrics {
+            map_retries: 5,
+            reduce_retries: 2,
+            speculative_launches: 3,
+            speculative_wins: 1,
+            dlq_len: 4,
+        };
+        assert_eq!(faulted.faults.retries(), 7);
+        assert_ne!(faulted, clean);
+        assert_eq!(faulted.deterministic(), clean.deterministic());
+        // Masking faults must not hide a genuine output divergence.
+        faulted.distinct_keys += 1;
+        assert_ne!(faulted.deterministic(), clean.deterministic());
     }
 
     #[test]

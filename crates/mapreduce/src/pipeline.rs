@@ -89,16 +89,31 @@
 //! end-of-stream and an unwinding consumer unblocks any sender stuck on
 //! its full channel; the scope join then re-raises the panic, exactly as
 //! the pass-based modes do.
+//!
+//! **Fault tolerance.** With a [`crate::FaultPlan`] configured, every map
+//! task and finalize runs the fault-layer attempt loop first
+//! (`Job::fault_verdict`): injected faults are *check-first* — they
+//! preempt the attempt before any user code runs and flow through
+//! `Result` values, never unwinding — so the RAII abort guards above stay
+//! reserved for true user-code panics. A task that exhausts its budget is
+//! dead-lettered (capture mode) or recorded as the job error keyed by the
+//! lowest task index / partition, matching the sequential pass. With
+//! [`crate::ClusterConfig::speculation`] on, idle mappers re-execute the
+//! largest claimed-but-unresolved map tasks and idle consumers re-execute
+//! the largest in-flight finalize items (both ranked by the scheduler's
+//! own LPT order); a compare-and-swap per task picks exactly one winner,
+//! and since both copies compute identical results, outputs stay
+//! bit-identical no matter who wins.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
-use crate::cluster::{FinalizeMode, TaskCost};
+use crate::cluster::{FaultStage, FinalizeMode, Schedule, TaskCost};
 use crate::error::SimError;
-use crate::job::Job;
+use crate::job::{DlqEntry, Job, ReducePhase, TaskVerdict};
 use crate::metrics::{JobMetrics, PipelineMetrics};
 use crate::record::ByteSized;
 use crate::router::Router;
@@ -278,15 +293,23 @@ struct FinalizeQueue<T> {
 
 struct FinalizeQueueState<T> {
     items: Vec<(u64, T)>,
+    /// Items popped by `steal` but not yet resolved — the candidate pool
+    /// for speculative re-execution. Tracked only when the run has
+    /// speculation enabled (the items are `Arc`-shared there, so a clone
+    /// is a pointer bump); empty otherwise.
+    in_progress: Vec<(u64, T)>,
+    track_in_progress: bool,
     publishers: usize,
     aborted: bool,
 }
 
 impl<T> FinalizeQueue<T> {
-    fn new(publishers: usize) -> Self {
+    fn new(publishers: usize, track_in_progress: bool) -> Self {
         FinalizeQueue {
             state: Mutex::new(FinalizeQueueState {
                 items: Vec::new(),
+                in_progress: Vec::new(),
+                track_in_progress,
                 publishers,
                 aborted: false,
             }),
@@ -328,7 +351,9 @@ impl<T> FinalizeQueue<T> {
         self.lock().aborted = true;
         self.work_ready.notify_all();
     }
+}
 
+impl<T: Clone> FinalizeQueue<T> {
     fn steal(&self) -> Option<T> {
         let mut state = self.lock();
         loop {
@@ -344,7 +369,11 @@ impl<T> FinalizeQueue<T> {
                 }
             }
             if let Some((idx, _)) = best {
-                return Some(state.items.swap_remove(idx).1);
+                let (priority, item) = state.items.swap_remove(idx);
+                if state.track_in_progress {
+                    state.in_progress.push((priority, item.clone()));
+                }
+                return Some(item);
             }
             if state.publishers == 0 {
                 return None;
@@ -354,6 +383,17 @@ impl<T> FinalizeQueue<T> {
                 .wait(state)
                 .unwrap_or_else(PoisonError::into_inner);
         }
+    }
+
+    /// Snapshot of the in-flight items, largest priority first — the LPT
+    /// rank a consumer speculates in once the queue itself is dry. The
+    /// caller filters out items whose partition has already resolved.
+    fn speculation_candidates(&self) -> Vec<T> {
+        let state = self.lock();
+        let mut entries: Vec<(u64, T)> = state.in_progress.to_vec();
+        drop(state);
+        entries.sort_by_key(|entry| std::cmp::Reverse(entry.0));
+        entries.into_iter().map(|(_, item)| item).collect()
     }
 }
 
@@ -419,11 +459,20 @@ struct FinalizeItem<M: Mapper> {
 }
 
 /// The merge + reduce result of one partition, slotted back into global
-/// partition order by [`Job::run_pipelined`].
+/// partition order by [`Job::run_pipelined`]. Carries the fault-layer
+/// disposition too: a dead-lettered partition has `dlq_attempts` set (and
+/// no outputs), an exhausted one under `Fail` carries `failed`.
 struct FinalizedPartition<Out> {
     partition: usize,
     distinct_keys: u64,
     outputs: Vec<Out>,
+    /// `Some(attempts)` when the partition exhausted its retry budget
+    /// under [`crate::DlqMode::Capture`].
+    dlq_attempts: Option<u32>,
+    /// The `RetriesExhausted` error under [`crate::DlqMode::Fail`].
+    failed: Option<SimError>,
+    /// Injected faults this partition's winning finalize absorbed.
+    retries: u64,
 }
 
 /// Everything one consumer hands back: per owned partition (indexed from
@@ -478,6 +527,14 @@ fn merge_runs<K, V>(mut runs: Vec<Vec<(usize, K, V)>>) -> Vec<(K, V)> {
     merged
 }
 
+/// Per-map-task resolution states for speculative re-execution: a task is
+/// `PENDING` until a primary mapper claims it, `CLAIMED` while (at least)
+/// the primary executes it, and `RESOLVED` once one copy — primary or
+/// speculative — won the compare-and-swap and published its results.
+const TASK_PENDING: u8 = 0;
+const TASK_CLAIMED: u8 = 1;
+const TASK_RESOLVED: u8 = 2;
+
 /// Shared mutable state of one pipelined run (everything the stages
 /// coordinate through besides the channels themselves).
 struct Coordination {
@@ -488,29 +545,57 @@ struct Coordination {
     /// map work is still in flight, which is exactly what the overlap
     /// counter samples (a final task's own blocks are not overlap).
     tasks_done: AtomicUsize,
-    /// Lowest task index that hit a routing error (`usize::MAX` = none);
-    /// mappers skip tasks above it so the pipeline drains fast.
+    /// Lowest task index that hit a routing error or exhausted its retry
+    /// budget (`usize::MAX` = none); mappers skip tasks above it so the
+    /// pipeline drains fast.
     error_seq: AtomicUsize,
     /// The error carried by `error_seq`'s task.
     first_error: Mutex<Option<SimError>>,
+    /// Lowest reducer partition whose finalize exhausted its retry budget
+    /// under `Fail` mode — checked after the map error and capacity, the
+    /// same precedence the sequential pass applies.
+    reduce_error: Mutex<Option<(usize, SimError)>>,
     records_emitted: AtomicU64,
     records_shuffled: AtomicU64,
     bytes_shuffled: AtomicU64,
     blocks_sent: AtomicU64,
+    map_retries: AtomicU64,
+    reduce_retries: AtomicU64,
+    spec_launches: AtomicU64,
+    spec_wins: AtomicU64,
+    /// Map-stage dead-letter entries (reduce-stage ones travel through
+    /// [`FinalizedPartition`] so they stay slotted by partition).
+    dlq: Mutex<Vec<DlqEntry>>,
+    /// Per-map-task `TASK_*` resolution slots; the winner of the
+    /// compare-and-swap to `TASK_RESOLVED` is the only copy that counts
+    /// metrics, sends blocks, or records errors for its task.
+    task_state: Vec<AtomicU8>,
+    /// Per-partition finalize resolution slots (used by the stealing
+    /// finalize so a primary and a speculative copy publish exactly one
+    /// result per partition).
+    finalize_resolved: Vec<AtomicBool>,
     gauge: InflightGauge,
 }
 
 impl Coordination {
-    fn new() -> Self {
+    fn new(n_inputs: usize, n_reducers: usize) -> Self {
         Coordination {
             next_task: AtomicUsize::new(0),
             tasks_done: AtomicUsize::new(0),
             error_seq: AtomicUsize::new(usize::MAX),
             first_error: Mutex::new(None),
+            reduce_error: Mutex::new(None),
             records_emitted: AtomicU64::new(0),
             records_shuffled: AtomicU64::new(0),
             bytes_shuffled: AtomicU64::new(0),
             blocks_sent: AtomicU64::new(0),
+            map_retries: AtomicU64::new(0),
+            reduce_retries: AtomicU64::new(0),
+            spec_launches: AtomicU64::new(0),
+            spec_wins: AtomicU64::new(0),
+            dlq: Mutex::new(Vec::new()),
+            task_state: (0..n_inputs).map(|_| AtomicU8::new(TASK_PENDING)).collect(),
+            finalize_resolved: (0..n_reducers).map(|_| AtomicBool::new(false)).collect(),
             gauge: InflightGauge::default(),
         }
     }
@@ -524,6 +609,20 @@ impl Coordination {
             *slot = Some(error);
         }
         self.error_seq.fetch_min(task, Ordering::Relaxed);
+    }
+
+    /// Records a reduce-stage exhaustion, keeping the lowest partition —
+    /// the error the sequential pass, walking partitions in ascending
+    /// order, would have reported first.
+    fn record_reduce_error(&self, partition: usize, error: SimError) {
+        let mut slot = self
+            .reduce_error
+            .lock()
+            .expect("reduce error slot poisoned");
+        match &*slot {
+            Some((current, _)) if *current <= partition => {}
+            _ => *slot = Some((partition, error)),
+        }
     }
 }
 
@@ -543,7 +642,7 @@ where
         &self,
         inputs: &[M::In],
         metrics: &mut JobMetrics,
-    ) -> Result<(Vec<R::Out>, Vec<TaskCost>), SimError> {
+    ) -> ReducePhase<R::Out> {
         let n_inputs = inputs.len();
         let n_mappers = self.config.map_threads.max(1);
         // Groups own contiguous partition ranges of `per_group`. The
@@ -557,8 +656,9 @@ where
         let channels: Vec<BoundedQueue<Block<M::Key, M::Value>>> = (0..n_groups)
             .map(|_| BoundedQueue::new(depth, n_mappers))
             .collect();
-        let finalize_queue: FinalizeQueue<FinalizeItem<M>> = FinalizeQueue::new(n_groups);
-        let coord = Coordination::new();
+        let finalize_queue: FinalizeQueue<Arc<FinalizeItem<M>>> =
+            FinalizeQueue::new(n_groups, self.config.speculation);
+        let coord = Coordination::new(n_inputs, self.n_reducers);
         let epoch = Instant::now();
 
         let (map_wall, group_results) = std::thread::scope(|scope| {
@@ -629,6 +729,7 @@ where
         let mut slotted_outputs: Vec<Option<Vec<R::Out>>> =
             (0..self.n_reducers).map(|_| None).collect();
         let mut slotted_distinct = vec![0u64; self.n_reducers];
+        let mut slotted_dlq: Vec<Option<u32>> = vec![None; self.n_reducers];
         let mut overlap_blocks = 0u64;
         let mut stolen_partitions = 0u64;
         let mut finalize_start = f64::INFINITY;
@@ -648,12 +749,26 @@ where
             }
             for part in group.finalized {
                 slotted_distinct[part.partition] = part.distinct_keys;
+                slotted_dlq[part.partition] = part.dlq_attempts;
                 slotted_outputs[part.partition] = Some(part.outputs);
             }
         }
 
         self.account_capacity(metrics, &reducer_value_bytes)?;
 
+        // Reduce-stage exhaustion under `Fail` mode: checked after the map
+        // error and capacity, lowest partition first — the precedence the
+        // sequential pass applies by construction.
+        if let Some((_, error)) = coord
+            .reduce_error
+            .lock()
+            .expect("reduce error slot poisoned")
+            .take()
+        {
+            return Err(error);
+        }
+
+        let mut dlq = std::mem::take(&mut *coord.dlq.lock().expect("dlq slot poisoned"));
         let mut outputs: Vec<R::Out> = Vec::new();
         let mut reduce_costs: Vec<TaskCost> = Vec::new();
         for (p, slot) in slotted_outputs.into_iter().enumerate() {
@@ -661,6 +776,17 @@ where
                 continue;
             }
             metrics.nonempty_reducers += 1;
+            if let Some(attempts) = slotted_dlq[p] {
+                // Dead-lettered partition: counted nonempty (data reached
+                // it) but contributes no cost, keys, or outputs — exactly
+                // like the pass-based modes.
+                dlq.push(DlqEntry {
+                    stage: FaultStage::Reduce,
+                    index: p,
+                    attempts,
+                });
+                continue;
+            }
             metrics.distinct_keys += slotted_distinct[p];
             reduce_costs.push(TaskCost(
                 self.config.reduce_task_seconds(reducer_total_bytes[p]),
@@ -687,7 +813,11 @@ where
             },
             wall_seconds: epoch.elapsed().as_secs_f64(),
         };
-        Ok((outputs, reduce_costs))
+        metrics.faults.map_retries = coord.map_retries.load(Ordering::Relaxed);
+        metrics.faults.reduce_retries = coord.reduce_retries.load(Ordering::Relaxed);
+        metrics.faults.speculative_launches = coord.spec_launches.load(Ordering::Relaxed);
+        metrics.faults.speculative_wins = coord.spec_wins.load(Ordering::Relaxed);
+        Ok((outputs, reduce_costs, dlq))
     }
 
     /// One mapper worker: pull tasks from the shared cursor, map and route
@@ -705,7 +835,6 @@ where
         // map/route/size code: either way the consumers observe
         // end-of-stream instead of blocking forever.
         let _detach = SenderGuard(channels);
-        let mut targets: Vec<usize> = Vec::new();
         loop {
             let task = coord.next_task.fetch_add(1, Ordering::Relaxed);
             if task >= inputs.len() {
@@ -717,48 +846,161 @@ where
                 coord.tasks_done.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
-            let pairs = self.map_one(&inputs[task]);
-            let mut per_group_records: Vec<Vec<Tagged<M>>> =
-                (0..channels.len()).map(|_| Vec::new()).collect();
-            let mut emitted = 0u64;
-            let mut shuffled = 0u64;
-            let mut bytes = 0u64;
-            let mut failed = false;
-            for (key, value) in pairs {
-                emitted += 1;
-                if let Err(error) = self.route_into(&key, &mut targets) {
-                    coord.record_error(task, error);
-                    failed = true;
-                    break;
+            coord.task_state[task].store(TASK_CLAIMED, Ordering::Release);
+            self.execute_map_task(task, inputs, per_group, channels, coord, false);
+        }
+        // Cursor exhausted: this mapper is idle while peers may still be
+        // stuck on stragglers. With speculation on, help them —
+        // re-executing the largest claimed-but-unresolved tasks.
+        if self.config.speculation {
+            self.speculate_map_stragglers(inputs, per_group, channels, coord);
+        }
+    }
+
+    /// Speculative re-execution of in-flight map tasks, ranked
+    /// largest-simulated-cost-first via the same LPT order the cluster
+    /// scheduler uses. Each pass resolves at least one claimed task (ours
+    /// or the primary's finish), so the loop terminates once every task
+    /// is resolved; mappers and speculators compute identical results, so
+    /// whoever wins the resolution race publishes the same blocks.
+    fn speculate_map_stragglers(
+        &self,
+        inputs: &[M::In],
+        per_group: usize,
+        channels: &[BoundedQueue<Block<M::Key, M::Value>>],
+        coord: &Coordination,
+    ) {
+        loop {
+            let claimed: Vec<usize> = (0..inputs.len())
+                .filter(|&t| coord.task_state[t].load(Ordering::Acquire) == TASK_CLAIMED)
+                .collect();
+            if claimed.is_empty() {
+                return;
+            }
+            let costs: Vec<TaskCost> = claimed
+                .iter()
+                .map(|&t| {
+                    TaskCost(
+                        self.config
+                            .map_task_seconds(self.mapper.cost_bytes(&inputs[t])),
+                    )
+                })
+                .collect();
+            let task = claimed[Schedule::lpt_order(&costs)[0]];
+            coord.spec_launches.fetch_add(1, Ordering::Relaxed);
+            self.execute_map_task(task, inputs, per_group, channels, coord, true);
+        }
+    }
+
+    /// Runs one map task end to end: the fault-layer attempt loop, then
+    /// (if an attempt survives) map + route. Both a primary and a
+    /// speculative copy may execute concurrently; the compare-and-swap to
+    /// `TASK_RESOLVED` picks exactly one winner, and only the winner
+    /// counts metrics, records errors, dead-letters the task, or sends
+    /// blocks — the loser discards everything it computed.
+    fn execute_map_task(
+        &self,
+        task: usize,
+        inputs: &[M::In],
+        per_group: usize,
+        channels: &[BoundedQueue<Block<M::Key, M::Value>>],
+        coord: &Coordination,
+        speculative: bool,
+    ) {
+        let resolve = || {
+            let won = coord.task_state[task]
+                .compare_exchange(
+                    TASK_CLAIMED,
+                    TASK_RESOLVED,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok();
+            if won && speculative {
+                coord.spec_wins.fetch_add(1, Ordering::Relaxed);
+            }
+            won
+        };
+        match self.fault_verdict(FaultStage::Map, task, speculative) {
+            TaskVerdict::Run { retries } => {
+                let pairs = self.map_one(&inputs[task]);
+                let mut targets: Vec<usize> = Vec::new();
+                let mut per_group_records: Vec<Vec<Tagged<M>>> =
+                    (0..channels.len()).map(|_| Vec::new()).collect();
+                let mut emitted = 0u64;
+                let mut shuffled = 0u64;
+                let mut bytes = 0u64;
+                let mut route_error: Option<SimError> = None;
+                for (key, value) in pairs {
+                    emitted += 1;
+                    if let Err(error) = self.route_into(&key, &mut targets) {
+                        route_error = Some(error);
+                        break;
+                    }
+                    let key_bytes = key.size_bytes();
+                    let value_bytes = value.size_bytes();
+                    for &t in &targets {
+                        shuffled += 1;
+                        bytes += key_bytes + value_bytes;
+                        per_group_records[t / per_group].push((t, key.clone(), value.clone()));
+                    }
                 }
-                let key_bytes = key.size_bytes();
-                let value_bytes = value.size_bytes();
-                for &t in &targets {
-                    shuffled += 1;
-                    bytes += key_bytes + value_bytes;
-                    per_group_records[t / per_group].push((t, key.clone(), value.clone()));
+                if !resolve() {
+                    return;
+                }
+                coord
+                    .map_retries
+                    .fetch_add(u64::from(retries), Ordering::Relaxed);
+                coord.records_emitted.fetch_add(emitted, Ordering::Relaxed);
+                coord
+                    .records_shuffled
+                    .fetch_add(shuffled, Ordering::Relaxed);
+                coord.bytes_shuffled.fetch_add(bytes, Ordering::Relaxed);
+                let failed = if let Some(error) = route_error {
+                    coord.record_error(task, error);
+                    true
+                } else {
+                    false
+                };
+                // This task's *map* work (map + route) is finished; only
+                // the shuffle hand-off remains. Count it done before the
+                // sends so the consumers' overlap sampling stays honest —
+                // a block from the final map task must never count as
+                // overlap when no map work remains.
+                coord.tasks_done.fetch_add(1, Ordering::Relaxed);
+                if !failed {
+                    for (g, records) in per_group_records.into_iter().enumerate() {
+                        if records.is_empty() {
+                            continue;
+                        }
+                        coord.blocks_sent.fetch_add(1, Ordering::Relaxed);
+                        channels[g].send(Block { seq: task, records }, &coord.gauge);
+                    }
                 }
             }
-            coord.records_emitted.fetch_add(emitted, Ordering::Relaxed);
-            coord
-                .records_shuffled
-                .fetch_add(shuffled, Ordering::Relaxed);
-            coord.bytes_shuffled.fetch_add(bytes, Ordering::Relaxed);
-            // This task's *map* work (map + route) is finished; only the
-            // shuffle hand-off remains. Count it done before the sends so
-            // the consumers' overlap sampling stays honest — a block from
-            // the final map task must never count as overlap when no map
-            // work remains. (The increment used to come after the sends,
-            // overcounting exactly those blocks.)
-            coord.tasks_done.fetch_add(1, Ordering::Relaxed);
-            if !failed {
-                for (g, records) in per_group_records.into_iter().enumerate() {
-                    if records.is_empty() {
-                        continue;
-                    }
-                    coord.blocks_sent.fetch_add(1, Ordering::Relaxed);
-                    channels[g].send(Block { seq: task, records }, &coord.gauge);
+            TaskVerdict::Dropped { retries, attempts } => {
+                if !resolve() {
+                    return;
                 }
+                coord
+                    .map_retries
+                    .fetch_add(u64::from(retries), Ordering::Relaxed);
+                coord.dlq.lock().expect("dlq slot poisoned").push(DlqEntry {
+                    stage: FaultStage::Map,
+                    index: task,
+                    attempts,
+                });
+                coord.tasks_done.fetch_add(1, Ordering::Relaxed);
+            }
+            TaskVerdict::Failed { error, retries } => {
+                if !resolve() {
+                    return;
+                }
+                coord
+                    .map_retries
+                    .fetch_add(u64::from(retries), Ordering::Relaxed);
+                coord.record_error(task, error);
+                coord.tasks_done.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -777,7 +1019,7 @@ where
         per_group: usize,
         n_inputs: usize,
         channel: &BoundedQueue<Block<M::Key, M::Value>>,
-        finalize_queue: &FinalizeQueue<FinalizeItem<M>>,
+        finalize_queue: &FinalizeQueue<Arc<FinalizeItem<M>>>,
         coord: &Coordination,
         epoch: &Instant,
     ) -> GroupResult<R::Out> {
@@ -847,7 +1089,14 @@ where
                         if records[local] == 0 {
                             continue;
                         }
-                        finalized.push(self.finalize_partition(lo + local, runs));
+                        let part = self.finalize_partition(lo + local, runs, false);
+                        coord
+                            .reduce_retries
+                            .fetch_add(part.retries, Ordering::Relaxed);
+                        if let Some(error) = part.failed.clone() {
+                            coord.record_reduce_error(lo + local, error);
+                        }
+                        finalized.push(part);
                     }
                 }
             }
@@ -856,18 +1105,18 @@ where
                     .as_mut()
                     .expect("guard registered for stealing mode before the drain");
                 if clean {
-                    let items: Vec<(u64, FinalizeItem<M>)> = parts
+                    let items: Vec<(u64, Arc<FinalizeItem<M>>)> = parts
                         .into_iter()
                         .enumerate()
                         .filter(|&(local, _)| records[local] > 0)
                         .map(|(local, runs)| {
                             (
                                 total_bytes[local],
-                                FinalizeItem {
+                                Arc::new(FinalizeItem {
                                     partition: lo + local,
                                     owner: group,
                                     runs,
-                                },
+                                }),
                             )
                         })
                         .collect();
@@ -875,10 +1124,38 @@ where
                 }
                 publisher.finish();
                 while let Some(item) = finalize_queue.steal() {
-                    if item.owner != group {
-                        stolen += 1;
+                    let owner = item.owner;
+                    if let Some(part) = self.finalize_shared(item, coord, false) {
+                        if owner != group {
+                            stolen += 1;
+                        }
+                        finalized.push(part);
                     }
-                    finalized.push(self.finalize_partition(item.partition, item.runs));
+                }
+                // The queue is dry but peers may still be finalizing
+                // stragglers: speculate on the largest in-flight items.
+                // Every pass resolves at least one partition (ours or the
+                // primary's finish), so this terminates.
+                if self.config.speculation && clean {
+                    loop {
+                        let candidate =
+                            finalize_queue
+                                .speculation_candidates()
+                                .into_iter()
+                                .find(|item| {
+                                    !coord.finalize_resolved[item.partition].load(Ordering::Acquire)
+                                });
+                        let Some(item) = candidate else { break };
+                        let owner = item.owner;
+                        coord.spec_launches.fetch_add(1, Ordering::Relaxed);
+                        if let Some(part) = self.finalize_shared(item, coord, true) {
+                            coord.spec_wins.fetch_add(1, Ordering::Relaxed);
+                            if owner != group {
+                                stolen += 1;
+                            }
+                            finalized.push(part);
+                        }
+                    }
                 }
             }
         }
@@ -896,27 +1173,88 @@ where
     }
 
     /// Merges one partition's runs into arrival order and reduces it —
-    /// the unit of work both finalize modes schedule.
+    /// the unit of work both finalize modes schedule — after running the
+    /// fault-layer attempt loop. Pure: all side effects (retry counters,
+    /// error recording) are applied by the caller, and under the stealing
+    /// finalize only by the resolution winner.
     fn finalize_partition(
         &self,
         partition: usize,
         runs: Vec<Run<M>>,
+        speculative: bool,
     ) -> FinalizedPartition<R::Out> {
-        let mut merged = merge_runs(runs);
-        let mut outputs = Vec::new();
-        let distinct_keys = self.reduce_partition(&mut merged, &mut outputs);
-        FinalizedPartition {
-            partition,
-            distinct_keys,
-            outputs,
+        match self.fault_verdict(FaultStage::Reduce, partition, speculative) {
+            TaskVerdict::Run { retries } => {
+                let mut merged = merge_runs(runs);
+                let mut outputs = Vec::new();
+                let distinct_keys = self.reduce_partition(&mut merged, &mut outputs);
+                FinalizedPartition {
+                    partition,
+                    distinct_keys,
+                    outputs,
+                    dlq_attempts: None,
+                    failed: None,
+                    retries: u64::from(retries),
+                }
+            }
+            TaskVerdict::Dropped { retries, attempts } => FinalizedPartition {
+                partition,
+                distinct_keys: 0,
+                outputs: Vec::new(),
+                dlq_attempts: Some(attempts),
+                failed: None,
+                retries: u64::from(retries),
+            },
+            TaskVerdict::Failed { error, retries } => FinalizedPartition {
+                partition,
+                distinct_keys: 0,
+                outputs: Vec::new(),
+                dlq_attempts: None,
+                failed: Some(error),
+                retries: u64::from(retries),
+            },
         }
+    }
+
+    /// Finalizes an `Arc`-shared queue item (stealing mode): does the
+    /// work, then races the compare-and-swap on the partition's
+    /// resolution slot. Returns `Some` — and applies the retry/error side
+    /// effects — only for the winner; the loser's work is discarded.
+    fn finalize_shared(
+        &self,
+        item: Arc<FinalizeItem<M>>,
+        coord: &Coordination,
+        speculative: bool,
+    ) -> Option<FinalizedPartition<R::Out>> {
+        let partition = item.partition;
+        if coord.finalize_resolved[partition].load(Ordering::Acquire) {
+            return None;
+        }
+        let runs = match Arc::try_unwrap(item) {
+            Ok(owned) => owned.runs,
+            Err(shared) => shared.runs.clone(),
+        };
+        let part = self.finalize_partition(partition, runs, speculative);
+        if coord.finalize_resolved[partition]
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return None;
+        }
+        coord
+            .reduce_retries
+            .fetch_add(part.retries, Ordering::Relaxed);
+        if let Some(error) = part.failed.clone() {
+            coord.record_reduce_error(partition, error);
+        }
+        Some(part)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cluster::{ClusterConfig, FinalizeMode, ShuffleMode};
+    use crate::cluster::{ClusterConfig, DlqMode, FaultPlan, FinalizeMode, ShuffleMode};
     use crate::job::CapacityPolicy;
     use crate::router::{HashRouter, TableRouter};
     use crate::traits::Emitter;
@@ -990,7 +1328,7 @@ mod tests {
     /// last publisher finishes, and signals end-of-work with `None`.
     #[test]
     fn finalize_queue_is_lpt_ordered_and_terminates() {
-        let queue: FinalizeQueue<&str> = FinalizeQueue::new(2);
+        let queue: FinalizeQueue<&str> = FinalizeQueue::new(2, false);
         queue.publish(vec![(5, "small"), (50, "big")]);
         queue.finish_publishing();
         let stolen = std::thread::scope(|scope| {
@@ -1361,6 +1699,254 @@ mod tests {
         );
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run(&inputs(N))));
         assert!(result.is_err(), "the drain-phase panic must surface");
+    }
+
+    /// Satellite-c regression: a *retryable* injected reduce fault flows
+    /// through `fault_verdict` as a value, never unwinds, and therefore
+    /// must not trip the [`FinalizePublisherGuard`] abort path the way a
+    /// true user panic does. Before the check-first design, an injected
+    /// fault that unwound through a stealing consumer aborted the shared
+    /// queue and poisoned its siblings; here the run must complete
+    /// cleanly, bit-identical to the fault-free reference, with the
+    /// retries visible only in the masked fault counters.
+    #[test]
+    fn injected_reduce_faults_do_not_trip_the_publisher_guard() {
+        let reference = run(ShuffleMode::Materialized, 1, 4, 8);
+        for finalize_mode in FinalizeMode::ALL {
+            for threads in [1, 2, 4] {
+                let out = Job::new(
+                    IdentityMapper,
+                    ConcatReducer,
+                    HashRouter::new(),
+                    8,
+                    ClusterConfig {
+                        shuffle: ShuffleMode::Pipelined,
+                        map_threads: threads,
+                        pipeline_depth: 1,
+                        finalize_mode,
+                        retry_budget: 8,
+                        fault_plan: Some(FaultPlan {
+                            reduce_rate: 0.5,
+                            ..FaultPlan::seeded(11, 0.0)
+                        }),
+                        ..ClusterConfig::default()
+                    },
+                )
+                .run(&inputs(300))
+                .unwrap_or_else(|e| panic!("{finalize_mode:?} t={threads}: {e}"));
+                assert_eq!(
+                    reference.outputs, out.outputs,
+                    "{finalize_mode:?} t={threads}"
+                );
+                assert_eq!(
+                    reference.metrics.deterministic(),
+                    out.metrics.deterministic(),
+                    "{finalize_mode:?} t={threads}"
+                );
+                assert!(
+                    out.metrics.faults.reduce_retries > 0,
+                    "{finalize_mode:?} t={threads}: seed 11 at rate 0.5 must fire"
+                );
+                assert!(out.dlq.is_empty(), "budget 8 absorbs every fault");
+            }
+        }
+    }
+
+    /// Exhausting the retry budget in [`DlqMode::Fail`] surfaces a clean
+    /// `SimError::RetriesExhausted` naming the task — a `Result`, not a
+    /// panic — and the error is identical across every shuffle and
+    /// finalize mode, like the other cross-mode error-precedence
+    /// contracts.
+    #[test]
+    fn exhausted_retries_fail_cleanly_not_via_panic() {
+        let plan = FaultPlan {
+            poison_reduce_tasks: vec![2],
+            ..FaultPlan::default()
+        };
+        let mk = |shuffle, threads, finalize_mode| {
+            let job = Job::new(
+                IdentityMapper,
+                ConcatReducer,
+                HashRouter::new(),
+                4,
+                ClusterConfig {
+                    shuffle,
+                    map_threads: threads,
+                    pipeline_depth: 1,
+                    finalize_mode,
+                    retry_budget: 2,
+                    fault_plan: Some(plan.clone()),
+                    ..ClusterConfig::default()
+                },
+            );
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run(&inputs(300))))
+                .expect("retry exhaustion must be an error value, not a panic")
+                .unwrap_err()
+        };
+        let expected = SimError::RetriesExhausted {
+            stage: crate::cluster::FaultStage::Reduce,
+            index: 2,
+            attempts: 3,
+        };
+        assert_eq!(
+            expected,
+            mk(ShuffleMode::Materialized, 1, FinalizeMode::Static)
+        );
+        assert_eq!(
+            expected,
+            mk(ShuffleMode::Streaming, 2, FinalizeMode::Static)
+        );
+        for finalize in FinalizeMode::ALL {
+            for threads in [1, 2, 4] {
+                assert_eq!(expected, mk(ShuffleMode::Pipelined, threads, finalize));
+            }
+        }
+    }
+
+    /// LPT-ranked speculation beats an injected map straggler: the primary
+    /// claims task 0 and stalls, an idle mapper re-executes it without the
+    /// stall and wins the resolution CAS. The output stays bit-identical
+    /// because both copies compute the same deterministic result — only
+    /// the masked `speculative_*` counters show the race happened.
+    #[test]
+    fn speculation_wins_against_an_injected_map_straggler() {
+        let reference = run(ShuffleMode::Materialized, 1, 4, 8);
+        let out = Job::new(
+            IdentityMapper,
+            ConcatReducer,
+            HashRouter::new(),
+            8,
+            ClusterConfig {
+                shuffle: ShuffleMode::Pipelined,
+                map_threads: 2,
+                pipeline_depth: 4,
+                speculation: true,
+                fault_plan: Some(FaultPlan {
+                    straggle_map_tasks: vec![0],
+                    straggle_millis: 200,
+                    ..FaultPlan::default()
+                }),
+                ..ClusterConfig::default()
+            },
+        )
+        .run(&inputs(300))
+        .unwrap();
+        assert_eq!(reference.outputs, out.outputs);
+        assert_eq!(
+            reference.metrics.deterministic(),
+            out.metrics.deterministic()
+        );
+        assert!(out.metrics.faults.speculative_launches >= 1);
+        assert!(
+            out.metrics.faults.speculative_wins >= 1,
+            "the non-stalled copy must resolve task 0 first"
+        );
+    }
+
+    /// Same for the reduce side under the stealing finalize: a stalled
+    /// finalize shows up in the queue's in-progress registry, an idle
+    /// consumer re-runs it from the `Arc`-shared runs without the stall,
+    /// and the winner CAS keeps outputs exactly-once and bit-identical.
+    #[test]
+    fn speculation_wins_against_an_injected_finalize_straggler() {
+        let reference = run(ShuffleMode::Materialized, 1, 4, 4);
+        let out = Job::new(
+            IdentityMapper,
+            ConcatReducer,
+            HashRouter::new(),
+            4,
+            ClusterConfig {
+                shuffle: ShuffleMode::Pipelined,
+                map_threads: 2,
+                pipeline_depth: 4,
+                finalize_mode: FinalizeMode::Stealing,
+                speculation: true,
+                fault_plan: Some(FaultPlan {
+                    straggle_reduce_tasks: vec![0],
+                    straggle_millis: 200,
+                    ..FaultPlan::default()
+                }),
+                ..ClusterConfig::default()
+            },
+        )
+        .run(&inputs(300))
+        .unwrap();
+        assert_eq!(reference.outputs, out.outputs);
+        assert_eq!(
+            reference.metrics.deterministic(),
+            out.metrics.deterministic()
+        );
+        assert!(out.metrics.faults.speculative_launches >= 1);
+        assert!(
+            out.metrics.faults.speculative_wins >= 1,
+            "the non-stalled finalize copy must resolve partition 0 first"
+        );
+    }
+
+    /// Poisoned tasks land in the dead-letter queue under
+    /// [`DlqMode::Capture`] — exactly the poisoned tasks, in every mode,
+    /// with the same sorted entries — and the rest of the job completes.
+    #[test]
+    fn capture_mode_dead_letters_identically_across_modes() {
+        let plan = FaultPlan {
+            poison_map_tasks: vec![5],
+            poison_reduce_tasks: vec![2],
+            ..FaultPlan::default()
+        };
+        let mk = |shuffle, threads, finalize_mode| {
+            Job::new(
+                IdentityMapper,
+                ConcatReducer,
+                HashRouter::new(),
+                4,
+                ClusterConfig {
+                    shuffle,
+                    map_threads: threads,
+                    pipeline_depth: 1,
+                    finalize_mode,
+                    retry_budget: 2,
+                    dlq_mode: DlqMode::Capture,
+                    fault_plan: Some(plan.clone()),
+                    ..ClusterConfig::default()
+                },
+            )
+            .run(&inputs(300))
+            .unwrap()
+        };
+        let reference = mk(ShuffleMode::Materialized, 1, FinalizeMode::Static);
+        let entries: Vec<_> = reference
+            .dlq
+            .iter()
+            .map(|e| (e.stage, e.index, e.attempts))
+            .collect();
+        assert_eq!(
+            entries,
+            vec![
+                (crate::cluster::FaultStage::Map, 5, 3),
+                (crate::cluster::FaultStage::Reduce, 2, 3),
+            ]
+        );
+        assert_eq!(reference.metrics.faults.dlq_len, 2);
+        for threads in [1, 2, 4] {
+            for finalize in FinalizeMode::ALL {
+                let out = mk(ShuffleMode::Pipelined, threads, finalize);
+                assert_eq!(reference.dlq, out.dlq, "t={threads} {finalize:?}");
+                assert_eq!(reference.outputs, out.outputs, "t={threads} {finalize:?}");
+                assert_eq!(
+                    reference.metrics.deterministic(),
+                    out.metrics.deterministic(),
+                    "t={threads} {finalize:?}"
+                );
+            }
+            let out = mk(ShuffleMode::Streaming, threads, FinalizeMode::Static);
+            assert_eq!(reference.dlq, out.dlq, "streaming t={threads}");
+            assert_eq!(reference.outputs, out.outputs, "streaming t={threads}");
+            assert_eq!(
+                reference.metrics.deterministic(),
+                out.metrics.deterministic(),
+                "streaming t={threads}"
+            );
+        }
     }
 
     /// Capacity enforcement aborts with the identical error across modes:

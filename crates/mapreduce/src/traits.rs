@@ -41,10 +41,12 @@ impl<K, V> Emitter<K, V> {
 pub trait Mapper: Sync {
     /// Input record type.
     type In: ByteSized + Sync;
-    /// Intermediate key.
-    type Key: Ord + Hash + Clone + Send + ByteSized;
-    /// Intermediate value.
-    type Value: Clone + Send + ByteSized;
+    /// Intermediate key. `Send + Sync` because the pipelined engine moves
+    /// records across stage threads and `Arc`-shares completed partitions
+    /// between a primary and a speculative finalize.
+    type Key: Ord + Hash + Clone + Send + Sync + ByteSized;
+    /// Intermediate value. `Send + Sync` for the same reason as the key.
+    type Value: Clone + Send + Sync + ByteSized;
 
     /// Produces intermediate pairs for `input`.
     fn map(&self, input: &Self::In, emit: &mut Emitter<Self::Key, Self::Value>);

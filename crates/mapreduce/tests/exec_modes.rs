@@ -22,8 +22,8 @@
 
 use mrassign_core::{a2a, InputSet};
 use mrassign_simmr::{
-    ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, FinalizeMode, HashRouter, Job,
-    JobOutput, Mapper, Reducer, Router, ShuffleMode, SimError,
+    ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, FaultPlan, FinalizeMode,
+    HashRouter, Job, JobOutput, Mapper, Reducer, Router, ShuffleMode, SimError,
 };
 use mrassign_workloads::SizeDistribution;
 
@@ -84,6 +84,46 @@ where
                 let label = format!("{mode:?}/{finalize:?} × threads={threads} × {policy:?}");
                 assert_cell_matches(&reference, run(mode, finalize, threads, policy), &label);
             }
+        }
+    }
+}
+
+/// The seeded transient-fault schedule the fault sweeps inject. At rate
+/// 0.2 with a budget of 8 retries, the chance any single task burns
+/// through the whole budget is 0.2⁹ ≈ 5·10⁻⁷ — so every sweep completes —
+/// while the schedule itself is a pure function of the seed, so whether
+/// (and where) faults fire is reproducible, not probabilistic.
+fn sweep_fault_plan() -> FaultPlan {
+    FaultPlan::seeded(23, 0.2)
+}
+
+/// Sweeps every engine cell *under injected faults* against the fault-free
+/// single-threaded materialized reference: the retry layer must replay the
+/// deterministic tasks until outputs and the deterministic metrics subset
+/// are bit-identical to a run where nothing ever failed, and the masked
+/// fault counters must show the faults actually fired.
+fn sweep_faulted<Out, F>(run: F)
+where
+    Out: PartialEq + std::fmt::Debug,
+    F: Fn(ShuffleMode, FinalizeMode, usize, Option<FaultPlan>) -> Result<JobOutput<Out>, SimError>,
+{
+    let reference = run(ShuffleMode::Materialized, FinalizeMode::Static, 1, None);
+    assert!(
+        reference.is_ok(),
+        "the fault sweep workloads are all clean-run feasible"
+    );
+    for (mode, finalize) in CELLS {
+        for threads in THREADS {
+            let label = format!("faulted {mode:?}/{finalize:?} × threads={threads}");
+            let cell = run(mode, finalize, threads, Some(sweep_fault_plan()));
+            if let Ok(out) = &cell {
+                assert!(
+                    out.metrics.faults.retries() > 0,
+                    "{label}: seed 23 at rate 0.2 must inject at least one fault"
+                );
+                assert!(out.dlq.is_empty(), "{label}: budget 8 absorbs every fault");
+            }
+            assert_cell_matches(&reference, cell, &label);
         }
     }
 }
@@ -448,6 +488,145 @@ fn hot_reducer_identical_across_the_matrix() {
                     .run(&records)
             },
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault sweeps: every workload, every cell, under a seeded transient-fault
+// schedule — the acceptance criterion for the retry layer. The reference
+// is always the *fault-free* run, so bit-identity here proves retries are
+// invisible to the determinism contract, not merely mode-consistent.
+// ---------------------------------------------------------------------------
+
+fn faulted_cluster(
+    mode: ShuffleMode,
+    finalize: FinalizeMode,
+    threads: usize,
+    plan: Option<FaultPlan>,
+) -> ClusterConfig {
+    ClusterConfig {
+        retry_budget: 8,
+        fault_plan: plan,
+        ..cluster(mode, finalize, threads)
+    }
+}
+
+#[test]
+fn word_count_survives_the_fault_sweep_bit_identically() {
+    let lines = word_lines();
+    sweep_faulted(|mode, finalize, threads, plan| {
+        Job::new(
+            Tokenize,
+            Count,
+            HashRouter::new(),
+            11,
+            faulted_cluster(mode, finalize, threads, plan),
+        )
+        .run(&lines)
+    });
+}
+
+#[test]
+fn skew_join_survives_the_fault_sweep_bit_identically() {
+    let tuples = skewed_tuples();
+    sweep_faulted(|mode, finalize, threads, plan| {
+        Job::new(
+            TagMapper,
+            JoinReducer,
+            SpreadRouter,
+            9,
+            faulted_cluster(mode, finalize, threads, plan),
+        )
+        .run(&tuples)
+    });
+}
+
+#[test]
+fn boundary_schema_survives_the_fault_sweep_bit_identically() {
+    let q = 40;
+    let weights = SizeDistribution::Boundary { q }.sample_many(12, 0);
+    let inputs = InputSet::from_weights(weights.clone());
+    let schema = a2a::solve(&inputs, q, a2a::A2aAlgorithm::Auto)
+        .expect("boundary seed 0 is feasible at q = 40 for m = 12");
+    let mut routes: Vec<Vec<usize>> = vec![Vec::new(); weights.len()];
+    for (rid, r) in schema.reducers().iter().enumerate() {
+        for &id in r {
+            routes[id as usize].push(rid);
+        }
+    }
+    let blobs: Vec<Blob> = weights
+        .iter()
+        .zip(&routes)
+        .map(|(&bytes, targets)| Blob {
+            bytes,
+            targets: targets.clone(),
+        })
+        .collect();
+    let n_reducers = schema.reducer_count();
+    sweep_faulted(|mode, finalize, threads, plan| {
+        Job::new(
+            Replicate,
+            PairCount,
+            DirectRouter,
+            n_reducers,
+            faulted_cluster(mode, finalize, threads, plan),
+        )
+        .run(&blobs)
+    });
+}
+
+#[test]
+fn hot_reducer_survives_the_fault_sweep_bit_identically() {
+    let records = hot_records(600);
+    sweep_faulted(|mode, finalize, threads, plan| {
+        Job::new(
+            HotMapper,
+            HotConcat,
+            HotRouter,
+            8,
+            faulted_cluster(mode, finalize, threads, plan),
+        )
+        .run(&records)
+    });
+}
+
+/// Speculation layered on top of the fault sweep stays bit-identical too:
+/// the LPT-ranked speculative copies compute the same deterministic
+/// results as the primaries they race, so turning speculation on is
+/// invisible to everything but the masked counters.
+#[test]
+fn hot_reducer_fault_sweep_with_speculation_stays_bit_identical() {
+    let records = hot_records(600);
+    let reference = Job::new(
+        HotMapper,
+        HotConcat,
+        HotRouter,
+        8,
+        cluster(ShuffleMode::Materialized, FinalizeMode::Static, 1),
+    )
+    .run(&records)
+    .unwrap();
+    for finalize in [FinalizeMode::Static, FinalizeMode::Stealing] {
+        for threads in THREADS {
+            let mut config = faulted_cluster(
+                ShuffleMode::Pipelined,
+                finalize,
+                threads,
+                Some(sweep_fault_plan()),
+            );
+            config.speculation = true;
+            let out = Job::new(HotMapper, HotConcat, HotRouter, 8, config)
+                .run(&records)
+                .unwrap();
+            let label = format!("speculative {finalize:?} × threads={threads}");
+            assert_eq!(reference.outputs, out.outputs, "{label}");
+            assert_eq!(
+                reference.metrics.deterministic(),
+                out.metrics.deterministic(),
+                "{label}"
+            );
+            assert!(out.metrics.faults.retries() > 0, "{label}");
+        }
     }
 }
 

@@ -3,8 +3,9 @@
 //! across thread counts, and the scheduler respects its analytical bounds.
 
 use mrassign_simmr::{
-    BroadcastRouter, CapacityPolicy, ClusterConfig, Emitter, FinalizeMode, HashRouter, Job, Mapper,
-    Reducer, Schedule, ShuffleMode, TaskCost,
+    BroadcastRouter, CapacityPolicy, ClusterConfig, DlqEntry, DlqMode, Emitter, FaultPlan,
+    FaultStage, FinalizeMode, HashRouter, Job, Mapper, Reducer, Router, Schedule, ShuffleMode,
+    SimError, TaskCost,
 };
 use proptest::prelude::*;
 
@@ -38,6 +39,26 @@ impl Reducer for CountBytes {
 
 fn records() -> impl Strategy<Value = Vec<(u64, String)>> {
     proptest::collection::vec((0u64..40, "[a-z]{0,12}"), 0..80)
+}
+
+/// The partition [`HashRouter`] sends `key` to, recomputed outside the
+/// engine so the fault properties can derive expected DLQ contents and
+/// surviving outputs independently of the code under test.
+fn hash_partition(key: u64, n_reducers: usize) -> usize {
+    let mut targets = Vec::new();
+    HashRouter::new().route(&key, n_reducers, &mut targets);
+    targets[0]
+}
+
+/// Reducer partitions that receive at least one record from `inputs`
+/// under [`HashRouter`] — the partitions whose reduce task actually runs
+/// (and can therefore be poisoned).
+fn nonempty_partitions(inputs: &[(u64, String)], n_reducers: usize) -> Vec<usize> {
+    let mut hit = vec![false; n_reducers];
+    for (key, _) in inputs {
+        hit[hash_partition(*key, n_reducers)] = true;
+    }
+    (0..n_reducers).filter(|&p| hit[p]).collect()
 }
 
 proptest! {
@@ -304,6 +325,204 @@ proptest! {
         // LPT guarantee: makespan ≤ (4/3 − 1/3w)·OPT ≤ 4/3·(LB + longest).
         prop_assert!(s.makespan <= lower * 4.0 / 3.0 + longest + 1e-9);
         prop_assert!((s.total_work - total).abs() < 1e-6);
+    }
+
+    /// Random transient-fault schedules that stay under the retry budget
+    /// are invisible: the engine never deadlocks (pipeline depth 1 is the
+    /// maximal back-pressure canary), never reorders (the concatenating
+    /// comparison in deterministic metrics + outputs), and never drops a
+    /// record — every mode matches the fault-free materialized reference
+    /// bit for bit, with the faults showing only in the masked counters.
+    /// Rates are capped at 0.3 against a budget of 12, so the chance any
+    /// task exhausts the budget is ≤ 0.3¹³ ≈ 1.6·10⁻⁷ per task.
+    #[test]
+    fn bounded_fault_schedules_never_deadlock_or_reorder(
+        inputs in records(),
+        seed in any::<u64>(),
+        map_rate in 0.0f64..0.3,
+        reduce_rate in 0.0f64..0.3,
+        threads in 1usize..5,
+    ) {
+        let run = |shuffle, finalize_mode, plan: Option<FaultPlan>| {
+            Job::new(KvMapper, CountBytes, HashRouter::new(), 5, ClusterConfig {
+                shuffle,
+                map_threads: threads,
+                pipeline_depth: 1,
+                finalize_mode,
+                retry_budget: 12,
+                fault_plan: plan,
+                ..ClusterConfig::default()
+            })
+            .run(&inputs)
+            .unwrap()
+        };
+        let plan = FaultPlan {
+            map_rate,
+            reduce_rate,
+            ..FaultPlan::seeded(seed, 0.0)
+        };
+        let reference = run(ShuffleMode::Materialized, FinalizeMode::Static, None);
+        for shuffle in [ShuffleMode::Materialized, ShuffleMode::Streaming] {
+            let faulted = run(shuffle, FinalizeMode::Static, Some(plan.clone()));
+            prop_assert_eq!(&reference.outputs, &faulted.outputs);
+            prop_assert_eq!(reference.metrics.deterministic(), faulted.metrics.deterministic());
+            prop_assert!(faulted.dlq.is_empty());
+        }
+        for finalize in FinalizeMode::ALL {
+            let faulted = run(ShuffleMode::Pipelined, finalize, Some(plan.clone()));
+            prop_assert_eq!(&reference.outputs, &faulted.outputs);
+            prop_assert_eq!(reference.metrics.deterministic(), faulted.metrics.deterministic());
+            prop_assert!(faulted.dlq.is_empty());
+        }
+    }
+
+    /// Poison schedules that exceed the budget surface a *named*
+    /// [`SimError::RetriesExhausted`] under [`DlqMode::Fail`], following
+    /// the engine's cross-mode error precedence: the lowest poisoned map
+    /// task wins; otherwise the lowest poisoned partition that actually
+    /// receives records. Out-of-range poison entries and empty partitions
+    /// never fire. Every mode reports the identical error.
+    #[test]
+    fn over_budget_poison_names_the_task_in_fail_mode(
+        inputs in records(),
+        raw_poison_map in proptest::collection::vec(0usize..90, 0..4),
+        raw_poison_reduce in proptest::collection::vec(0usize..5, 0..3),
+        budget in 0u32..4,
+    ) {
+        let mut poison_map = raw_poison_map;
+        poison_map.sort_unstable();
+        poison_map.dedup();
+        let mut poison_reduce = raw_poison_reduce;
+        poison_reduce.sort_unstable();
+        poison_reduce.dedup();
+        let plan = FaultPlan {
+            poison_map_tasks: poison_map.clone(),
+            poison_reduce_tasks: poison_reduce.clone(),
+            ..FaultPlan::default()
+        };
+        let run = |shuffle, finalize_mode| {
+            Job::new(KvMapper, CountBytes, HashRouter::new(), 5, ClusterConfig {
+                shuffle,
+                map_threads: 2,
+                pipeline_depth: 1,
+                finalize_mode,
+                retry_budget: budget,
+                fault_plan: Some(plan.clone()),
+                ..ClusterConfig::default()
+            })
+            .run(&inputs)
+        };
+        let first_map = poison_map.iter().copied().find(|&t| t < inputs.len());
+        let nonempty = nonempty_partitions(&inputs, 5);
+        let first_reduce = poison_reduce.iter().copied().find(|p| nonempty.contains(p));
+        let expected = match (first_map, first_reduce) {
+            (Some(index), _) => Some(SimError::RetriesExhausted {
+                stage: FaultStage::Map, index, attempts: budget + 1,
+            }),
+            (None, Some(index)) => Some(SimError::RetriesExhausted {
+                stage: FaultStage::Reduce, index, attempts: budget + 1,
+            }),
+            (None, None) => None,
+        };
+        for (shuffle, finalize) in [
+            (ShuffleMode::Materialized, FinalizeMode::Static),
+            (ShuffleMode::Streaming, FinalizeMode::Static),
+            (ShuffleMode::Pipelined, FinalizeMode::Static),
+            (ShuffleMode::Pipelined, FinalizeMode::Stealing),
+        ] {
+            let label = format!("{shuffle:?}/{finalize:?}");
+            match (&expected, run(shuffle, finalize)) {
+                (Some(want), Err(got)) => prop_assert_eq!(want, &got, "{}", label),
+                (None, Ok(_)) => {}
+                (want, got) => panic!("{label}: expected {want:?}, got {got:?}"),
+            }
+        }
+    }
+
+    /// Under [`DlqMode::Capture`] exactly the poisoned work lands in the
+    /// dead-letter queue — never a silent drop, never an extra entry —
+    /// and everything unpoisoned is preserved: the outputs equal a clean
+    /// run over the surviving inputs, filtered to the surviving
+    /// partitions. Identical in every mode.
+    #[test]
+    fn capture_mode_dead_letters_exactly_the_poisoned_work(
+        inputs in records(),
+        raw_poison_map in proptest::collection::vec(0usize..90, 0..4),
+        raw_poison_reduce in proptest::collection::vec(0usize..5, 0..3),
+        budget in 0u32..4,
+    ) {
+        let mut poison_map = raw_poison_map;
+        poison_map.sort_unstable();
+        poison_map.dedup();
+        let mut poison_reduce = raw_poison_reduce;
+        poison_reduce.sort_unstable();
+        poison_reduce.dedup();
+        let plan = FaultPlan {
+            poison_map_tasks: poison_map.clone(),
+            poison_reduce_tasks: poison_reduce.clone(),
+            ..FaultPlan::default()
+        };
+        let run = |shuffle, finalize_mode| {
+            Job::new(KvMapper, CountBytes, HashRouter::new(), 5, ClusterConfig {
+                shuffle,
+                map_threads: 2,
+                pipeline_depth: 1,
+                finalize_mode,
+                retry_budget: budget,
+                dlq_mode: DlqMode::Capture,
+                fault_plan: Some(plan.clone()),
+                ..ClusterConfig::default()
+            })
+            .run(&inputs)
+            .unwrap()
+        };
+        // Derive the expected DLQ and outputs independently: drop the
+        // poisoned map tasks, see which partitions still receive records,
+        // and re-run the engine fault-free on the survivors.
+        let surviving: Vec<(u64, String)> = inputs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !poison_map.contains(i))
+            .map(|(_, r)| r.clone())
+            .collect();
+        let mut expected_dlq: Vec<DlqEntry> = poison_map
+            .iter()
+            .copied()
+            .filter(|&t| t < inputs.len())
+            .map(|index| DlqEntry { stage: FaultStage::Map, index, attempts: budget + 1 })
+            .collect();
+        let nonempty = nonempty_partitions(&surviving, 5);
+        expected_dlq.extend(
+            poison_reduce
+                .iter()
+                .copied()
+                .filter(|p| nonempty.contains(p))
+                .map(|index| DlqEntry { stage: FaultStage::Reduce, index, attempts: budget + 1 }),
+        );
+        let clean = Job::new(KvMapper, CountBytes, HashRouter::new(), 5, ClusterConfig::default())
+            .run(&surviving)
+            .unwrap();
+        let expected_outputs: Vec<(u64, u64, u64)> = clean
+            .outputs
+            .into_iter()
+            .filter(|(key, _, _)| !poison_reduce.contains(&hash_partition(*key, 5)))
+            .collect();
+        for (shuffle, finalize) in [
+            (ShuffleMode::Materialized, FinalizeMode::Static),
+            (ShuffleMode::Streaming, FinalizeMode::Static),
+            (ShuffleMode::Pipelined, FinalizeMode::Static),
+            (ShuffleMode::Pipelined, FinalizeMode::Stealing),
+        ] {
+            let label = format!("{shuffle:?}/{finalize:?}");
+            let out = run(shuffle, finalize);
+            prop_assert_eq!(&expected_dlq, &out.dlq, "{}: DLQ mismatch", label);
+            prop_assert_eq!(&expected_outputs, &out.outputs, "{}: outputs mismatch", label);
+            prop_assert_eq!(
+                out.metrics.faults.dlq_len,
+                expected_dlq.len() as u64,
+                "{}: dlq_len mismatch", label
+            );
+        }
     }
 
     #[test]

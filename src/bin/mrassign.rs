@@ -7,7 +7,7 @@
 //! mrassign plan --weights weights.txt [--workers 16] [--candidates 10]
 //!               [--objective makespan|comm:<slowdown>] [--algo <a2a solver>] [--budget <nodes>]
 //!               [--threads <n>] [--shuffle materialized|streaming|pipelined]
-//!               [--finalize static|stealing]
+//!               [--finalize static|stealing] [--retries <n>] [--faults seed:7,rate:0.05]
 //! ```
 //!
 //! Solver names come from the registry in `mrassign_core::solver`
@@ -20,7 +20,12 @@
 //! runs the overlapped stage-graph engine), and `--finalize` picks the
 //! pipelined engine's finalize scheduler (`stealing` lets idle consumer
 //! threads take completed partitions off hot ones) — none of them
-//! changes any output, only wall-clock time and peak memory.
+//! changes any output, only wall-clock time and peak memory. `--faults`
+//! injects a seeded transient-fault schedule (keys: `seed`, `rate`,
+//! `map-rate`, `reduce-rate`) and `--retries` sets the per-task retry
+//! budget; because retries replay deterministic tasks, these don't
+//! change the plan either — they exist to smoke the fault-tolerance
+//! layer end to end.
 //!
 //! Weight files hold one integer per line; `#` starts a comment. All
 //! commands print a human-readable summary; `--routes` additionally dumps
@@ -36,7 +41,7 @@ use mrassign::core::{
     a2a, bounds, stats::SchemaStats, x2y, AssignmentSolver, InputSet, X2yInstance,
 };
 use mrassign::planner::{plan_a2a_with, Objective, PlannerConfig};
-use mrassign::simmr::{ClusterConfig, FinalizeMode, ShuffleMode};
+use mrassign::simmr::{ClusterConfig, FaultPlan, FinalizeMode, ShuffleMode};
 use mrassign::workloads::SizeDistribution;
 
 fn main() -> ExitCode {
@@ -61,12 +66,13 @@ usage:
   mrassign x2y  --x <file> --y <file> --q <n> [--algo <x2y solver>] [--budget <nodes>] [--routes]
   mrassign plan --weights <file> [--workers <n>] [--candidates <n>] [--objective makespan|comm:<slowdown>]
                 [--algo <a2a solver>] [--budget <nodes>] [--threads <n>] [--shuffle materialized|streaming|pipelined]
-                [--finalize static|stealing]
+                [--finalize static|stealing] [--retries <n>] [--faults <spec>]
 
 distribution specs: const:<w> | uniform:<lo>:<hi> | zipf:<ranks>:<exp>:<max> | bimodal:<small>:<big>:<frac> | boundary:<q>
 a2a solvers: auto | one-reducer | grouping | pairing | bigsmall | bigsmall-shared | exact
 x2y solvers: auto | one-reducer | grid | grid-optimized | bighandling | exact
---budget applies to --algo exact only: positive branch-and-bound node cap, e.g. --budget 2000000";
+--budget applies to --algo exact only: positive branch-and-bound node cap, e.g. --budget 2000000
+--faults injects seeded transient faults: comma-separated seed:<u64>, rate:<f64>, map-rate:<f64>, reduce-rate:<f64>";
 
 /// Executes a parsed command line; returns the printable result.
 fn run(args: &[String]) -> Result<String, String> {
@@ -399,17 +405,29 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<String, String> {
         Some(s) => parse_num(s, "a thread count")?,
         None => PlannerConfig::default().threads,
     };
+    let retry_budget: u32 = match flags.get("retries") {
+        Some(s) => parse_num(s, "a retry budget")?,
+        None => ClusterConfig::default().retry_budget,
+    };
+    let fault_plan: Option<FaultPlan> = flags.get("faults").map(|s| s.parse()).transpose()?;
+
+    let cluster = ClusterConfig {
+        workers,
+        shuffle,
+        finalize_mode,
+        retry_budget,
+        fault_plan,
+        ..ClusterConfig::default()
+    };
+    // Reject bad knob combinations (e.g. a fault rate outside [0, 1])
+    // here, where they map to a flag error, rather than mid-plan.
+    cluster.validate().map_err(|e| e.to_string())?;
 
     let plan = plan_a2a_with(
         algo,
         &weights,
         &PlannerConfig {
-            cluster: ClusterConfig {
-                workers,
-                shuffle,
-                finalize_mode,
-                ..ClusterConfig::default()
-            },
+            cluster,
             candidates,
             objective,
             threads,
@@ -633,6 +651,63 @@ mod tests {
             reference,
             base(&["--threads", "4", "--shuffle", "pipelined"])
         );
+        std::fs::remove_file(path).unwrap();
+    }
+
+    /// The fault-injection knobs never change the plan: retries replay
+    /// deterministic tasks until the faulted run is bit-identical to the
+    /// clean one, so the q-frontier (which is derived from job metrics)
+    /// must not move — under either engine. Typos in either flag fail
+    /// loudly instead of silently planning fault-free.
+    #[test]
+    fn plan_under_injected_faults_matches_the_clean_plan() {
+        let dir = std::env::temp_dir().join("mrassign-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan-faults-weights.txt");
+        let body: String = (0..50).map(|i| format!("{}\n", 30 + i % 20)).collect();
+        std::fs::write(&path, body).unwrap();
+        let base = |extra: &[&str]| {
+            let mut args: Vec<String> = [
+                "plan",
+                "--weights",
+                path.to_str().unwrap(),
+                "--candidates",
+                "5",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            args.extend(extra.iter().map(|s| s.to_string()));
+            run(&args)
+        };
+        let reference = base(&[]).unwrap();
+        assert_eq!(
+            reference,
+            base(&["--retries", "3", "--faults", "seed:7,rate:0.05"]).unwrap()
+        );
+        assert_eq!(
+            reference,
+            base(&[
+                "--shuffle",
+                "pipelined",
+                "--finalize",
+                "stealing",
+                "--retries",
+                "8",
+                "--faults",
+                "seed:23,rate:0.2",
+            ])
+            .unwrap()
+        );
+        let err = base(&["--faults", "seed:7,rat:0.05"]).unwrap_err();
+        assert!(err.contains("rat"), "typoed key must be named: {err}");
+        let err = base(&["--faults", "seed:7,rate:1.5"]).unwrap_err();
+        assert!(
+            err.contains("[0, 1]"),
+            "out-of-range rate must be rejected: {err}"
+        );
+        let err = base(&["--retries", "many"]).unwrap_err();
+        assert!(err.contains("retry budget"), "{err}");
         std::fs::remove_file(path).unwrap();
     }
 

@@ -9,8 +9,8 @@ use mrassign::joins::{
 };
 use mrassign::planner::{plan_a2a, plan_x2y, PlannerConfig};
 use mrassign::simmr::{
-    ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, FinalizeMode, Job, Mapper,
-    Reducer, ShuffleMode,
+    ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, FaultPlan, FinalizeMode, Job,
+    Mapper, Reducer, ShuffleMode,
 };
 use mrassign::workloads::{
     generate_documents, generate_relation_pair, DocumentSpec, RelationSpec, SizeDistribution,
@@ -19,10 +19,12 @@ use mrassign::workloads::{
 /// The cluster configuration used by every end-to-end test. CI runs this
 /// suite once per shuffle mode by setting `MRASSIGN_SHUFFLE`, plus once
 /// more under `MRASSIGN_SHUFFLE=pipelined MRASSIGN_FINALIZE=stealing` for
-/// the work-stealing finalize; results must be identical every way, which
-/// `shuffle_modes_produce_identical_job_output` asserts directly.
+/// the work-stealing finalize, plus once under seeded fault injection via
+/// `MRASSIGN_FAULTS`/`MRASSIGN_RETRIES`; results must be identical every
+/// way, which `shuffle_modes_produce_identical_job_output` asserts
+/// directly.
 fn cluster() -> ClusterConfig {
-    // A typo in either env var must fail loudly, not quietly re-test the
+    // A typo in any env var must fail loudly, not quietly re-test the
     // default engine path (same rule as ExecKnobs' flag parsing).
     let shuffle = match std::env::var("MRASSIGN_SHUFFLE") {
         Ok(name) => name
@@ -36,9 +38,24 @@ fn cluster() -> ClusterConfig {
             .unwrap_or_else(|e| panic!("MRASSIGN_FINALIZE: {e}")),
         Err(_) => FinalizeMode::Static,
     };
+    let retry_budget = match std::env::var("MRASSIGN_RETRIES") {
+        Ok(value) => value.parse::<u32>().unwrap_or_else(|e| {
+            panic!("MRASSIGN_RETRIES: cannot parse `{value}` as a retry budget: {e}")
+        }),
+        Err(_) => ClusterConfig::default().retry_budget,
+    };
+    let fault_plan = match std::env::var("MRASSIGN_FAULTS") {
+        Ok(spec) => Some(
+            spec.parse::<FaultPlan>()
+                .unwrap_or_else(|e| panic!("MRASSIGN_FAULTS: {e}")),
+        ),
+        Err(_) => None,
+    };
     ClusterConfig {
         shuffle,
         finalize_mode,
+        retry_budget,
+        fault_plan,
         ..ClusterConfig::default()
     }
 }
@@ -261,15 +278,19 @@ fn exact_heuristic_bound_sandwich() {
 /// end-to-end pipelines.
 #[test]
 fn shuffle_modes_produce_identical_job_output() {
+    // Pin the shuffle/finalize cells explicitly (this test sweeps them
+    // itself) but inherit the fault knobs from the environment, so the CI
+    // fault-injection leg also proves cross-mode identity under faults.
     let mode_cluster = |shuffle| ClusterConfig {
         shuffle,
-        ..ClusterConfig::default()
+        finalize_mode: FinalizeMode::Static,
+        ..cluster()
     };
     let stealing_cluster = || ClusterConfig {
         shuffle: ShuffleMode::Pipelined,
         finalize_mode: FinalizeMode::Stealing,
         map_threads: 4,
-        ..ClusterConfig::default()
+        ..cluster()
     };
 
     // Similarity join over generated documents.
