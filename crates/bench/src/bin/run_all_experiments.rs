@@ -2,11 +2,13 @@
 //! `results/`. Pass `--smoke` for a fast tiny run of everything, and
 //! `--threads <n>` / `--shuffle materialized|streaming|pipelined` /
 //! `--finalize static|stealing` / `--retries <n>` /
-//! `--faults seed:7,rate:0.05` to pick the engine execution knobs for
-//! the job-executing figures (the recorded numbers are identical across
-//! knob settings — faults included, since retries replay deterministic
-//! tasks — except fig3's trailing pipeline/fault diagnostics — CI uses
-//! this to exercise every engine path).
+//! `--faults seed:7,rate:0.05` / `--memory-budget <bytes>` to pick the
+//! engine execution knobs for the job-executing figures (the recorded
+//! numbers are identical across knob settings — faults and out-of-core
+//! spilling included, since retries replay deterministic tasks and the
+//! external merge preserves run order — except fig3's trailing
+//! pipeline/fault/spill diagnostics — CI uses this to exercise every
+//! engine path).
 //!
 //! `cargo run --release -p mrassign-bench --bin run_all_experiments`
 

@@ -8,7 +8,7 @@ use std::path::{Path, PathBuf};
 use mrassign_core::MappingSchema;
 use mrassign_simmr::{
     ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, FaultPlan, FinalizeMode, Job,
-    JobMetrics, Mapper, Reducer, ShuffleMode,
+    JobMetrics, Mapper, Reducer, ShuffleMode, SpillCodec,
 };
 
 /// Experiment scale: `Smoke` keeps tests fast; `Full` produces the numbers
@@ -51,16 +51,20 @@ pub struct ExecKnobs {
     pub retries: Option<u32>,
     /// Seeded transient-fault schedule to inject (`None` = fault-free).
     pub faults: Option<FaultPlan>,
+    /// Per-consumer-group byte budget for buffered shuffle runs; above it
+    /// the pipelined engine spills sorted runs to disk (`None` =
+    /// unbounded, never spills).
+    pub memory_budget: Option<u64>,
 }
 
 impl ExecKnobs {
     /// Parses `--threads <n>`, `--shuffle
     /// materialized|streaming|pipelined`, `--finalize static|stealing`,
-    /// `--retries <n>`, and `--faults seed:7,rate:0.05` from a binary's
-    /// argument list. `--smoke` is the experiment binaries' scale flag, so
-    /// it passes through; any *other* `--flag` is rejected rather than
-    /// silently ignored — a typo must not quietly revert CI to the
-    /// default engine path.
+    /// `--retries <n>`, `--faults seed:7,rate:0.05`, and
+    /// `--memory-budget <bytes>` from a binary's argument list. `--smoke`
+    /// is the experiment binaries' scale flag, so it passes through; any
+    /// *other* `--flag` is rejected rather than silently ignored — a typo
+    /// must not quietly revert CI to the default engine path.
     pub fn from_args(args: &[String]) -> Result<ExecKnobs, String> {
         let mut knobs = ExecKnobs::default();
         let mut it = args.iter();
@@ -92,10 +96,18 @@ impl ExecKnobs {
                     let value = it.next().ok_or("--faults needs a value")?;
                     knobs.faults = Some(value.parse()?);
                 }
+                "--memory-budget" => {
+                    let value = it.next().ok_or("--memory-budget needs a value")?;
+                    knobs.memory_budget = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("cannot parse `{value}` as a byte budget"))?,
+                    );
+                }
                 "--smoke" => {}
                 other if other.starts_with("--") => {
                     return Err(format!(
-                        "unknown flag `{other}` (expected --smoke, --threads <n>, --shuffle materialized|streaming|pipelined, --finalize static|stealing, --retries <n>, --faults <spec>)"
+                        "unknown flag `{other}` (expected --smoke, --threads <n>, --shuffle materialized|streaming|pipelined, --finalize static|stealing, --retries <n>, --faults <spec>, --memory-budget <bytes>)"
                     ));
                 }
                 _ => {}
@@ -113,6 +125,7 @@ impl ExecKnobs {
             cluster.retry_budget = budget;
         }
         cluster.fault_plan = self.faults.clone();
+        cluster.memory_budget = self.memory_budget;
         cluster
     }
 }
@@ -307,6 +320,19 @@ impl ByteSized for BlobPayload {
     }
 }
 
+impl SpillCodec for BlobPayload {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.id.encode(buf);
+        self.bytes.encode(buf);
+    }
+    fn decode(bytes: &mut &[u8]) -> Option<Self> {
+        Some(BlobPayload {
+            id: u32::decode(bytes)?,
+            bytes: u64::decode(bytes)?,
+        })
+    }
+}
+
 struct ReplicateBlobs;
 
 impl Mapper for ReplicateBlobs {
@@ -450,6 +476,8 @@ mod tests {
             "5",
             "--faults",
             "seed:7,rate:0.05",
+            "--memory-budget",
+            "4096",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -459,11 +487,13 @@ mod tests {
         assert_eq!(knobs.shuffle, ShuffleMode::Pipelined);
         assert_eq!(knobs.finalize, FinalizeMode::Stealing);
         assert_eq!(knobs.retries, Some(5));
+        assert_eq!(knobs.memory_budget, Some(4096));
         let cluster = knobs.apply(ClusterConfig::default());
         assert_eq!(cluster.map_threads, 3);
         assert_eq!(cluster.shuffle, ShuffleMode::Pipelined);
         assert_eq!(cluster.finalize_mode, FinalizeMode::Stealing);
         assert_eq!(cluster.retry_budget, 5);
+        assert_eq!(cluster.memory_budget, Some(4096));
         let plan = cluster.fault_plan.expect("--faults must apply");
         assert_eq!(plan.seed, 7);
         assert!((plan.map_rate - 0.05).abs() < 1e-12);
@@ -476,6 +506,7 @@ mod tests {
                 finalize: FinalizeMode::Static,
                 retries: None,
                 faults: None,
+                memory_budget: None,
             }
         );
     }
@@ -496,6 +527,9 @@ mod tests {
             vec!["--faults"],
             vec!["--faults", "seed:7,rat:0.05"],
             vec!["--fault", "seed:7,rate:0.05"],
+            vec!["--memory-budget"],
+            vec!["--memory-budget", "lots"],
+            vec!["--memory-budgets", "4096"],
         ] {
             let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
             assert!(ExecKnobs::from_args(&args).is_err(), "{bad:?}");

@@ -21,18 +21,21 @@ pub fn run(scale: Scale) -> Table {
 }
 
 /// Runs the experiment with explicit engine knobs (map threads / shuffle
-/// mode / finalize mode / fault injection). The simulated columns are
-/// identical across knob settings; the six trailing columns
-/// (`overlap_blk`, `peak_blk`, `stolen`, `fin_imb`, `retries`, `dlq`) are
-/// execution diagnostics — zero under the default pass-based, fault-free
-/// configuration, and legitimately run-dependent otherwise. The pipeline
-/// four show how much reduce-side work overlapped live map tasks, how
-/// full the bounded channels got, how many partition finalizations
-/// migrated between consumer threads under `--finalize stealing`, and how
-/// imbalanced the per-thread finalize spans were (max/mean; 1.0 is
-/// perfectly balanced); `retries` counts injected faults absorbed by the
-/// retry layer under `--faults`, and `dlq` the tasks dead-lettered after
-/// exhausting `--retries`.
+/// mode / finalize mode / fault injection / memory budget). The simulated
+/// columns are identical across knob settings; the eight trailing columns
+/// (`overlap_blk`, `peak_blk`, `stolen`, `fin_imb`, `retries`, `dlq`,
+/// `spill`, `peak_mb`) are execution diagnostics — zero under the default
+/// pass-based, fault-free, unbudgeted configuration, and legitimately
+/// run-dependent otherwise. The pipeline four show how much reduce-side
+/// work overlapped live map tasks, how full the bounded channels got, how
+/// many partition finalizations migrated between consumer threads under
+/// `--finalize stealing`, and how imbalanced the per-thread finalize
+/// spans were (max/mean; 1.0 is perfectly balanced); `retries` counts
+/// injected faults absorbed by the retry layer under `--faults`, and
+/// `dlq` the tasks dead-lettered after exhausting `--retries`. The
+/// out-of-core pair show `spill` — how many sorted runs `--memory-budget`
+/// forced to disk — and `peak_mb`, the peak buffered run bytes in MiB
+/// (always ≤ the budget when one is set).
 pub fn run_with(scale: Scale, knobs: ExecKnobs) -> Table {
     let m = scale.pick(60, 300);
     let steps = scale.pick(4, 12);
@@ -56,6 +59,8 @@ pub fn run_with(scale: Scale, knobs: ExecKnobs) -> Table {
             "fin_imb",
             "retries",
             "dlq",
+            "spill",
+            "peak_mb",
         ],
     );
 
@@ -96,6 +101,11 @@ pub fn run_with(scale: Scale, knobs: ExecKnobs) -> Table {
                 &format!("{:.2}", metrics.pipeline.finalize_imbalance),
                 &metrics.faults.retries(),
                 &metrics.faults.dlq_len,
+                &metrics.pipeline.spilled_runs,
+                &format!(
+                    "{:.2}",
+                    metrics.pipeline.peak_buffered_bytes as f64 / (1024.0 * 1024.0)
+                ),
             ]);
         }
     }
@@ -121,10 +131,11 @@ mod tests {
         assert_eq!(base.render(), knobbed.render());
     }
 
-    /// Under the pipelined engine (and under fault injection) the
-    /// simulated columns stay identical to the materialized fault-free
-    /// baseline; only the six trailing diagnostics may differ (they are
-    /// zero under the default configuration and run-dependent otherwise).
+    /// Under the pipelined engine (under fault injection, and under a
+    /// tight memory budget) the simulated columns stay identical to the
+    /// materialized fault-free unbudgeted baseline; only the eight
+    /// trailing diagnostics may differ (they are zero under the default
+    /// configuration and run-dependent otherwise).
     #[test]
     fn pipelined_knobs_keep_simulated_columns_identical() {
         use mrassign_simmr::{FaultPlan, FinalizeMode, ShuffleMode};
@@ -135,7 +146,7 @@ mod tests {
                 .skip(1)
                 .map(|l| {
                     let cols: Vec<&str> = l.split_whitespace().collect();
-                    cols[..cols.len() - 6].join(" ")
+                    cols[..cols.len() - 8].join(" ")
                 })
                 .collect()
         };
@@ -169,21 +180,47 @@ mod tests {
             .skip(2)
             .map(|l| {
                 let cols: Vec<&str> = l.split_whitespace().collect();
-                cols[cols.len() - 2].parse::<u64>().unwrap()
+                cols[cols.len() - 4].parse::<u64>().unwrap()
             })
             .sum();
         assert!(total_retries > 0, "seed 23 at rate 0.2 must fire");
+        // A tight memory budget forces the pipelined engine out of core
+        // without moving a recorded number, and the spill column proves
+        // the out-of-core path actually ran.
+        let budgeted = run_with(
+            Scale::Smoke,
+            ExecKnobs {
+                map_threads: 4,
+                shuffle: ShuffleMode::Pipelined,
+                finalize: FinalizeMode::Stealing,
+                memory_budget: Some(4096),
+                ..ExecKnobs::default()
+            },
+        );
+        assert_eq!(stripped_base, strip(&budgeted), "budgeted");
+        let total_spills: u64 = budgeted
+            .render()
+            .lines()
+            .skip(2)
+            .map(|l| {
+                let cols: Vec<&str> = l.split_whitespace().collect();
+                cols[cols.len() - 2].parse::<u64>().unwrap()
+            })
+            .sum();
+        assert!(total_spills > 0, "a 4 KiB budget must spill at this scale");
         // The baseline's diagnostics are all zero: no overlap, no peak, no
         // stolen partitions, no finalize-imbalance measurement, no
-        // retries, and nothing dead-lettered.
+        // retries, nothing dead-lettered, no spills, nothing buffered.
         for line in base.render().lines().skip(2) {
             let cols: Vec<&str> = line.split_whitespace().collect();
+            assert_eq!(cols[cols.len() - 8], "0");
+            assert_eq!(cols[cols.len() - 7], "0");
             assert_eq!(cols[cols.len() - 6], "0");
-            assert_eq!(cols[cols.len() - 5], "0");
+            assert_eq!(cols[cols.len() - 5], "0.00");
             assert_eq!(cols[cols.len() - 4], "0");
-            assert_eq!(cols[cols.len() - 3], "0.00");
+            assert_eq!(cols[cols.len() - 3], "0");
             assert_eq!(cols[cols.len() - 2], "0");
-            assert_eq!(cols[cols.len() - 1], "0");
+            assert_eq!(cols[cols.len() - 1], "0.00");
         }
     }
 

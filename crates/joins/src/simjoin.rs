@@ -17,7 +17,7 @@
 use mrassign_core::{a2a, stats::SchemaStats, InputSet, MappingSchema};
 use mrassign_simmr::{
     ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, Job, JobMetrics, Mapper,
-    Reducer,
+    Reducer, SpillCodec,
 };
 use mrassign_workloads::Document;
 
@@ -82,6 +82,21 @@ impl ByteSized for ShippedDoc {
         // 4 bytes per token — matches Document::size_bytes, so the engine's
         // capacity accounting agrees with the schema's weight model.
         self.tokens.len() as u64 * 4
+    }
+}
+
+// Lets similarity-join runs execute under a `memory_budget` (documents
+// spill to disk mid-shuffle and stream back through the finalize merge).
+impl SpillCodec for ShippedDoc {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.id.encode(buf);
+        self.tokens.encode(buf);
+    }
+    fn decode(bytes: &mut &[u8]) -> Option<Self> {
+        Some(ShippedDoc {
+            id: u32::decode(bytes)?,
+            tokens: Vec::decode(bytes)?,
+        })
     }
 }
 

@@ -27,7 +27,7 @@ use mrassign_binpack::FitPolicy;
 use mrassign_core::{x2y, X2yInstance};
 use mrassign_simmr::{
     ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, Job, JobMetrics, Mapper,
-    Reducer,
+    Reducer, SpillCodec,
 };
 use mrassign_workloads::RelationPair;
 
@@ -102,6 +102,25 @@ struct TaggedTuple {
 impl ByteSized for TaggedTuple {
     fn size_bytes(&self) -> u64 {
         TUPLE_HEADER_BYTES + self.payload.len() as u64
+    }
+}
+
+// Lets skew-join runs execute under a `memory_budget` (tuples spill to
+// disk mid-shuffle and stream back through the finalize merge).
+impl SpillCodec for TaggedTuple {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.is_x.encode(buf);
+        self.b.encode(buf);
+        self.other.encode(buf);
+        self.payload.encode(buf);
+    }
+    fn decode(bytes: &mut &[u8]) -> Option<Self> {
+        Some(TaggedTuple {
+            is_x: bool::decode(bytes)?,
+            b: u64::decode(bytes)?,
+            other: u64::decode(bytes)?,
+            payload: String::decode(bytes)?,
+        })
     }
 }
 

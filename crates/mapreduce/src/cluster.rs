@@ -408,6 +408,26 @@ pub struct ClusterConfig {
     /// [`ShuffleMode::Pipelined`]: how completed partitions are assigned
     /// to consumer threads for finalization. See [`FinalizeMode`].
     pub finalize_mode: FinalizeMode,
+    /// [`ShuffleMode::Pipelined`]: out-of-core memory budget, in
+    /// [`ByteSized`](crate::ByteSized) bytes of buffered run data **per
+    /// consumer group** (total residency is therefore bounded by
+    /// `budget × consumer groups`). When a group's buffered runs exceed
+    /// the budget after a block lands, it seals and spills its largest
+    /// runs to length-prefixed temp files until back under budget, and
+    /// finalize streams the spilled runs through an external k-way merge.
+    /// `None` (the default) keeps every run in memory; `Some(0)` is
+    /// rejected by [`ClusterConfig::validate`]. Outputs are bit-identical
+    /// at any budget — only wall-clock and the spill counters in
+    /// [`crate::PipelineMetrics`] change. The budget is enforced at block
+    /// granularity (a block is never split across runs, which is what
+    /// keeps the merge deterministic), so a single oversized block may
+    /// transiently exceed it before being spilled whole.
+    pub memory_budget: Option<u64>,
+    /// Directory spill temp files are created in; `None` (the default)
+    /// uses the OS temp dir. Files are named uniquely per process and
+    /// deleted when the last holder drops — on success, error, and panic
+    /// unwinds alike.
+    pub spill_dir: Option<std::path::PathBuf>,
     /// Maximum *retries* per task (attempts = `retry_budget + 1`) when a
     /// [`FaultPlan`] injects failures. With no plan configured the budget
     /// is inert. Failed attempts are replayed deterministically — mappers
@@ -445,6 +465,8 @@ impl Default for ClusterConfig {
             streaming_map_batch: 256,
             pipeline_depth: 4,
             finalize_mode: FinalizeMode::Static,
+            memory_budget: None,
+            spill_dir: None,
             retry_budget: 0,
             speculation: false,
             dlq_mode: DlqMode::Fail,
@@ -483,6 +505,13 @@ impl ClusterConfig {
             if value == 0 {
                 return Err(SimError::InvalidKnob { knob });
             }
+        }
+        if self.memory_budget == Some(0) {
+            // A zero budget would demand spilling every block before it
+            // can even be buffered; `None` is the way to say "unbounded".
+            return Err(SimError::InvalidKnob {
+                knob: "memory_budget",
+            });
         }
         for (knob, value) in [
             ("map_rate", self.map_rate),
@@ -634,6 +663,29 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// `Some(0)` is a contradiction (spill everything before buffering
+    /// anything); `None` is how "unbounded" is spelled. Rejected by name,
+    /// like the other zero knobs; any positive budget validates.
+    #[test]
+    fn zero_memory_budget_rejected_by_name() {
+        let cfg = ClusterConfig {
+            memory_budget: Some(0),
+            ..ClusterConfig::default()
+        };
+        assert_eq!(
+            cfg.validate(),
+            Err(SimError::InvalidKnob {
+                knob: "memory_budget"
+            })
+        );
+        let cfg = ClusterConfig {
+            memory_budget: Some(1),
+            ..ClusterConfig::default()
+        };
+        assert_eq!(cfg.validate(), Ok(()));
+        assert_eq!(ClusterConfig::default().memory_budget, None);
     }
 
     /// The latent panic this PR closes: a NaN (or infinite) time knob used

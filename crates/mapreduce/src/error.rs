@@ -53,6 +53,21 @@ pub enum SimError {
         /// Total attempts made (the first run plus every retry).
         attempts: u32,
     },
+    /// Spilling a run to disk (or streaming it back during the finalize
+    /// merge) failed with an I/O or decode error while the job ran under
+    /// a [`crate::ClusterConfig::memory_budget`]. Keyed by the lowest
+    /// affected reducer partition — the same precedence every other
+    /// reduce-stage error follows — so the error is identical no matter
+    /// which consumer thread hit the disk first.
+    SpillIo {
+        /// The reducer partition whose run was being spilled or re-read.
+        partition: usize,
+        /// The temp file involved.
+        path: String,
+        /// The underlying I/O or decode failure, as text (kept as a
+        /// `String` so the error stays `Clone + PartialEq + Eq`).
+        source: String,
+    },
     /// A reducer's summed value size exceeded the configured capacity while
     /// the job ran under [`crate::CapacityPolicy::Enforce`].
     CapacityExceeded {
@@ -97,6 +112,14 @@ impl fmt::Display for SimError {
             SimError::RouteOutOfRange { target, n_reducers } => write!(
                 f,
                 "router targeted reducer {target} but only {n_reducers} reducers exist"
+            ),
+            SimError::SpillIo {
+                partition,
+                path,
+                source,
+            } => write!(
+                f,
+                "spill for reducer partition {partition} failed at `{path}`: {source}"
             ),
             SimError::CapacityExceeded {
                 reducer,
@@ -145,6 +168,18 @@ mod tests {
         let s = e.to_string();
         assert!(
             s.contains("reduce task 4") && s.contains('3') && s.contains("retry budget"),
+            "{s}"
+        );
+        let e = SimError::SpillIo {
+            partition: 6,
+            path: "/tmp/mrassign-spill-1-2.run".to_string(),
+            source: "permission denied".to_string(),
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("partition 6")
+                && s.contains("/tmp/mrassign-spill-1-2.run")
+                && s.contains("permission denied"),
             "{s}"
         );
     }

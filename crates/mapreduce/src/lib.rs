@@ -27,6 +27,12 @@
 //!   whose mapper and consumer stages run concurrently over bounded
 //!   channels, reporting how much map/shuffle/reduce overlap a run
 //!   achieved in [`PipelineMetrics`],
+//! * an out-of-core path for the pipelined shuffle: under a validated
+//!   [`ClusterConfig::memory_budget`] each consumer group seals and
+//!   spills its largest sorted runs to length-prefixed temp files (see
+//!   [`SpillCodec`]) and finalize becomes an external k-way merge over
+//!   in-memory and on-disk runs — outputs stay bit-identical to the
+//!   unbounded run at any budget,
 //! * a fault-tolerance layer: a seeded, deterministic [`FaultPlan`]
 //!   injects per-(stage, task, attempt) transient failures; per-task
 //!   retry budgets replay the deterministic tasks; stragglers are
@@ -85,6 +91,7 @@ mod metrics;
 pub mod pipeline;
 mod record;
 mod router;
+mod spill;
 mod traits;
 
 pub use cluster::{
@@ -95,4 +102,5 @@ pub use job::{CapacityPolicy, DlqEntry, Job, JobOutput};
 pub use metrics::{FaultMetrics, JobMetrics, PipelineMetrics};
 pub use record::ByteSized;
 pub use router::{BroadcastRouter, DirectRouter, HashRouter, Router, TableRouter};
+pub use spill::{SpillCodec, SpilledRun};
 pub use traits::{Emitter, Mapper, Reducer};

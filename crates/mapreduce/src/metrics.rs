@@ -44,6 +44,22 @@ pub struct PipelineMetrics {
     pub finalize_imbalance: f64,
     /// Wall-clock span of the whole pipelined run.
     pub wall_seconds: f64,
+    /// Runs sealed and spilled to disk under
+    /// [`ClusterConfig::memory_budget`](crate::ClusterConfig::memory_budget)
+    /// (zero when unbudgeted or nothing exceeded the budget).
+    pub spilled_runs: u64,
+    /// Total [`ByteSized`](crate::ByteSized) bytes of spilled run data —
+    /// the budget's own accounting unit, not physical file bytes.
+    pub spilled_bytes: u64,
+    /// Highest buffered run residency any single consumer group reached
+    /// *after* budget enforcement — always `≤ memory_budget` when one is
+    /// set (a block may transiently exceed the budget before being
+    /// spilled whole; this counter samples the steady state the group
+    /// settles back to).
+    pub peak_buffered_bytes: u64,
+    /// Largest number of runs (in-memory + spilled) any single
+    /// partition's finalize merged — the external merge's fan-in.
+    pub merge_fanin: u64,
 }
 
 /// Fault-tolerance counters: retries burned, speculation outcomes, and
@@ -262,6 +278,10 @@ mod tests {
         a.pipeline.stolen_partitions = 3;
         a.pipeline.finalize_group_seconds = vec![0.5, 0.1];
         a.pipeline.finalize_imbalance = 1.7;
+        a.pipeline.spilled_runs = 2;
+        a.pipeline.spilled_bytes = 9_000;
+        a.pipeline.peak_buffered_bytes = 4_096;
+        a.pipeline.merge_fanin = 5;
         b.pipeline.consumer_groups = 2;
         assert_ne!(a, b);
         assert_eq!(a.deterministic(), b.deterministic());

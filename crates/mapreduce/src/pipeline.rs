@@ -117,6 +117,7 @@ use crate::job::{DlqEntry, Job, ReducePhase, TaskVerdict};
 use crate::metrics::{JobMetrics, PipelineMetrics};
 use crate::record::ByteSized;
 use crate::router::Router;
+use crate::spill::{self, SpillCodec, SpillError, SpillReader, SpilledRun};
 use crate::traits::{Mapper, Reducer};
 
 #[cfg(doc)]
@@ -451,11 +452,28 @@ type Run<M> = Vec<Seqed<M>>;
 
 /// One completed partition's drained runs, queued for a (possibly stolen)
 /// finalize. `owner` is the consumer group that drained it, which is what
-/// `stolen_partitions` is counted against.
+/// `stolen_partitions` is counted against. Under a memory budget some of
+/// the partition's runs live on disk: the [`SpilledRun`] handles travel
+/// with the item (cloning one is an `Arc` bump), so stolen and
+/// speculative finalizes stream the same temp files the owner sealed.
 struct FinalizeItem<M: Mapper> {
     partition: usize,
     owner: usize,
     runs: Vec<Run<M>>,
+    spilled: Vec<SpilledRun>,
+}
+
+/// One partition's buffered state while its consumer drains: the resident
+/// seq-ordered runs (with per-run `ByteSized` totals, the spill policy's
+/// ranking key) plus the runs already sealed to disk. Only resident runs
+/// grow; a spilled run is immutable — the next block for its partition
+/// simply opens (or extends) a resident run, and since every `seq` still
+/// lives in exactly one run, resident or spilled, the finalize merge stays
+/// a total order.
+struct PartitionBuffer<M: Mapper> {
+    runs: Vec<Run<M>>,
+    run_bytes: Vec<u64>,
+    spilled: Vec<SpilledRun>,
 }
 
 /// The merge + reduce result of one partition, slotted back into global
@@ -469,10 +487,14 @@ struct FinalizedPartition<Out> {
     /// `Some(attempts)` when the partition exhausted its retry budget
     /// under [`crate::DlqMode::Capture`].
     dlq_attempts: Option<u32>,
-    /// The `RetriesExhausted` error under [`crate::DlqMode::Fail`].
+    /// The `RetriesExhausted` error under [`crate::DlqMode::Fail`], or a
+    /// [`SimError::SpillIo`] from streaming a spilled run back.
     failed: Option<SimError>,
     /// Injected faults this partition's winning finalize absorbed.
     retries: u64,
+    /// Runs (in-memory + spilled) this partition's merge consumed — the
+    /// external merge's fan-in.
+    fanin: u64,
 }
 
 /// Everything one consumer hands back: per owned partition (indexed from
@@ -490,6 +512,11 @@ struct GroupResult<Out> {
     stolen: u64,
     finalize_start: f64,
     finalize_end: f64,
+    spilled_runs: u64,
+    spilled_bytes: u64,
+    /// Highest buffered residency this group reached after each block's
+    /// budget enforcement (the per-group bound `memory_budget` states).
+    peak_buffered: u64,
 }
 
 /// K-way merges a partition's sequence-ordered runs back into exact
@@ -525,6 +552,65 @@ fn merge_runs<K, V>(mut runs: Vec<Vec<(usize, K, V)>>) -> Vec<(K, V)> {
         }
     }
     merged
+}
+
+/// One run feeding the external merge: either resident records or a
+/// streaming reader over a spilled temp file. Disk sources yield the
+/// records the owner sealed, in the same seq order, so the merge cannot
+/// tell (and the output cannot reflect) where a run lived.
+enum RunSource<K, V> {
+    Mem(std::vec::IntoIter<(usize, K, V)>),
+    Disk(SpillReader<K, V>),
+}
+
+impl<K: SpillCodec, V: SpillCodec> RunSource<K, V> {
+    fn next_record(&mut self) -> Result<Option<(usize, K, V)>, SpillError> {
+        match self {
+            RunSource::Mem(iter) => Ok(iter.next()),
+            RunSource::Disk(reader) => reader.next_record().transpose(),
+        }
+    }
+}
+
+/// The external k-way merge: identical order contract to [`merge_runs`]
+/// (each `seq` lives in exactly one run, so the min-heap over run heads
+/// is a total order), but run heads stream from a mix of in-memory and
+/// on-disk runs — at most one resident record per spilled run. Disk
+/// errors surface as values for the caller to lift into
+/// [`SimError::SpillIo`].
+fn merge_mixed<K: SpillCodec, V: SpillCodec>(
+    runs: Vec<Vec<(usize, K, V)>>,
+    spilled: &[SpilledRun],
+) -> Result<Vec<(K, V)>, SpillError> {
+    if spilled.is_empty() {
+        return Ok(merge_runs(runs));
+    }
+    let total: usize = runs.iter().map(Vec::len).sum::<usize>()
+        + spilled.iter().map(|s| s.records as usize).sum::<usize>();
+    let mut sources: Vec<RunSource<K, V>> = Vec::with_capacity(runs.len() + spilled.len());
+    sources.extend(runs.into_iter().map(|run| RunSource::Mem(run.into_iter())));
+    for run in spilled {
+        sources.push(RunSource::Disk(SpillReader::open(run)?));
+    }
+    let mut heads: Vec<Option<(usize, K, V)>> = Vec::with_capacity(sources.len());
+    for source in &mut sources {
+        heads.push(source.next_record()?);
+    }
+    let mut heap: BinaryHeap<Reverse<(usize, usize)>> = heads
+        .iter()
+        .enumerate()
+        .filter_map(|(src, head)| head.as_ref().map(|&(seq, _, _)| Reverse((seq, src))))
+        .collect();
+    let mut merged: Vec<(K, V)> = Vec::with_capacity(total);
+    while let Some(Reverse((_, src))) = heap.pop() {
+        let (_, key, value) = heads[src].take().expect("heap entries have a live head");
+        merged.push((key, value));
+        heads[src] = sources[src].next_record()?;
+        if let Some(&(seq, _, _)) = heads[src].as_ref() {
+            heap.push(Reverse((seq, src)));
+        }
+    }
+    Ok(merged)
 }
 
 /// Per-map-task resolution states for speculative re-execution: a task is
@@ -735,12 +821,21 @@ where
         let mut finalize_start = f64::INFINITY;
         let mut finalize_end = 0.0f64;
         let mut finalize_group_seconds = Vec::with_capacity(group_results.len());
+        let mut spilled_runs = 0u64;
+        let mut spilled_bytes = 0u64;
+        // The budget is per consumer group, so the metric is the worst
+        // single group's residency — the value the bound is stated over.
+        let mut peak_buffered_bytes = 0u64;
+        let mut merge_fanin = 0u64;
         for group in group_results {
             overlap_blocks += group.overlap_blocks;
             stolen_partitions += group.stolen;
             finalize_start = finalize_start.min(group.finalize_start);
             finalize_end = finalize_end.max(group.finalize_end);
             finalize_group_seconds.push((group.finalize_end - group.finalize_start).max(0.0));
+            spilled_runs += group.spilled_runs;
+            spilled_bytes += group.spilled_bytes;
+            peak_buffered_bytes = peak_buffered_bytes.max(group.peak_buffered);
             for local in 0..group.records.len() {
                 let p = group.first_partition + local;
                 reducer_value_bytes[p] = group.value_bytes[local];
@@ -748,6 +843,7 @@ where
                 reducer_records[p] = group.records[local];
             }
             for part in group.finalized {
+                merge_fanin = merge_fanin.max(part.fanin);
                 slotted_distinct[part.partition] = part.distinct_keys;
                 slotted_dlq[part.partition] = part.dlq_attempts;
                 slotted_outputs[part.partition] = Some(part.outputs);
@@ -812,6 +908,10 @@ where
                 1.0
             },
             wall_seconds: epoch.elapsed().as_secs_f64(),
+            spilled_runs,
+            spilled_bytes,
+            peak_buffered_bytes,
+            merge_fanin,
         };
         metrics.faults.map_retries = coord.map_retries.load(Ordering::Relaxed);
         metrics.faults.reduce_retries = coord.reduce_retries.load(Ordering::Relaxed);
@@ -1036,11 +1136,30 @@ where
         let lo = group * per_group;
         let hi = (lo + per_group).min(self.n_reducers);
         let n_local = hi - lo;
-        let mut parts: Vec<Vec<Run<M>>> = (0..n_local).map(|_| Vec::new()).collect();
+        let mut parts: Vec<PartitionBuffer<M>> = (0..n_local)
+            .map(|_| PartitionBuffer {
+                runs: Vec::new(),
+                run_bytes: Vec::new(),
+                spilled: Vec::new(),
+            })
+            .collect();
         let mut records = vec![0u64; n_local];
         let mut value_bytes = vec![0u64; n_local];
         let mut total_bytes = vec![0u64; n_local];
         let mut overlap_blocks = 0u64;
+        // Out-of-core accounting: `buffered` is the group's resident run
+        // bytes (`ByteSized`, the budget's unit), enforced at block
+        // granularity so a `seq` is never split across runs. A spill
+        // failure records its `SpillIo` (lowest partition wins, like
+        // every reduce-stage error) and falls back to unbounded buffering
+        // so the pipeline still drains — the job is failing anyway.
+        let budget = self.config.memory_budget;
+        let spill_dir = spill::resolve_dir(self.config.spill_dir.as_deref());
+        let mut buffered = 0u64;
+        let mut peak_buffered = 0u64;
+        let mut spilled_runs = 0u64;
+        let mut spilled_bytes = 0u64;
+        let mut spill_failed = false;
 
         while let Some(block) = channel.recv(&coord.gauge) {
             if coord.tasks_done.load(Ordering::Relaxed) < n_inputs {
@@ -1050,26 +1169,72 @@ where
             for (p, key, value) in block.records {
                 let local = p - lo;
                 records[local] += 1;
+                let kb = key.size_bytes();
                 let vb = value.size_bytes();
                 value_bytes[local] += vb;
-                total_bytes[local] += key.size_bytes() + vb;
+                total_bytes[local] += kb + vb;
+                buffered += kb + vb;
                 // Incremental reassembly: mappers hand out tasks in
                 // increasing order, so most blocks extend the tail run in
                 // place; an out-of-order arrival opens a new run. The
                 // sorting effort thus happens here, inside the overlap
                 // window, leaving only a k-way merge for finalize.
-                let runs = &mut parts[local];
-                let extends_tail = runs
+                let buf = &mut parts[local];
+                let extends_tail = buf
+                    .runs
                     .last()
                     .and_then(|run| run.last())
                     .is_some_and(|&(tail, _, _)| tail <= seq);
                 if !extends_tail {
-                    runs.push(Vec::new());
+                    buf.runs.push(Vec::new());
+                    buf.run_bytes.push(0);
                 }
-                runs.last_mut()
+                buf.runs
+                    .last_mut()
                     .expect("a tail run exists")
                     .push((seq, key, value));
+                *buf.run_bytes.last_mut().expect("a tail run exists") += kb + vb;
             }
+            // Seal-and-spill: largest resident run first (fewest files
+            // for the most relief), repeating until back under budget.
+            while !spill_failed && budget.is_some_and(|b| buffered > b) {
+                let mut largest: Option<(usize, usize, u64)> = None;
+                for (local, buf) in parts.iter().enumerate() {
+                    for (idx, &bytes) in buf.run_bytes.iter().enumerate() {
+                        if largest.is_none_or(|(_, _, top)| bytes > top) {
+                            largest = Some((local, idx, bytes));
+                        }
+                    }
+                }
+                let Some((local, idx, bytes)) = largest.filter(|&(_, _, b)| b > 0) else {
+                    break;
+                };
+                match spill::write_run(&spill_dir, &parts[local].runs[idx], bytes) {
+                    Ok(sealed) => {
+                        buffered -= bytes;
+                        spilled_runs += 1;
+                        spilled_bytes += bytes;
+                        let buf = &mut parts[local];
+                        buf.spilled.push(sealed);
+                        // Plain `remove`, not `swap_remove`: the tail run
+                        // must stay last so later blocks keep extending it.
+                        buf.runs.remove(idx);
+                        buf.run_bytes.remove(idx);
+                    }
+                    Err(error) => {
+                        coord.record_reduce_error(
+                            lo + local,
+                            SimError::SpillIo {
+                                partition: lo + local,
+                                path: error.path,
+                                source: error.source,
+                            },
+                        );
+                        spill_failed = true;
+                    }
+                }
+            }
+            peak_buffered = peak_buffered.max(buffered);
         }
 
         // End-of-stream: the map stage is complete. Finalize (skipped
@@ -1085,11 +1250,12 @@ where
         match self.config.finalize_mode {
             FinalizeMode::Static => {
                 if clean {
-                    for (local, runs) in parts.into_iter().enumerate() {
+                    for (local, buf) in parts.into_iter().enumerate() {
                         if records[local] == 0 {
                             continue;
                         }
-                        let part = self.finalize_partition(lo + local, runs, false);
+                        let part =
+                            self.finalize_partition(lo + local, buf.runs, buf.spilled, false);
                         coord
                             .reduce_retries
                             .fetch_add(part.retries, Ordering::Relaxed);
@@ -1109,13 +1275,14 @@ where
                         .into_iter()
                         .enumerate()
                         .filter(|&(local, _)| records[local] > 0)
-                        .map(|(local, runs)| {
+                        .map(|(local, buf)| {
                             (
                                 total_bytes[local],
                                 Arc::new(FinalizeItem {
                                     partition: lo + local,
                                     owner: group,
-                                    runs,
+                                    runs: buf.runs,
+                                    spilled: buf.spilled,
                                 }),
                             )
                         })
@@ -1169,6 +1336,9 @@ where
             stolen,
             finalize_start,
             finalize_end: epoch.elapsed().as_secs_f64(),
+            spilled_runs,
+            spilled_bytes,
+            peak_buffered,
         }
     }
 
@@ -1181,20 +1351,43 @@ where
         &self,
         partition: usize,
         runs: Vec<Run<M>>,
+        spilled: Vec<SpilledRun>,
         speculative: bool,
     ) -> FinalizedPartition<R::Out> {
         match self.fault_verdict(FaultStage::Reduce, partition, speculative) {
             TaskVerdict::Run { retries } => {
-                let mut merged = merge_runs(runs);
-                let mut outputs = Vec::new();
-                let distinct_keys = self.reduce_partition(&mut merged, &mut outputs);
-                FinalizedPartition {
-                    partition,
-                    distinct_keys,
-                    outputs,
-                    dlq_attempts: None,
-                    failed: None,
-                    retries: u64::from(retries),
+                let fanin = (runs.len() + spilled.len()) as u64;
+                match merge_mixed(runs, &spilled) {
+                    Ok(mut merged) => {
+                        let mut outputs = Vec::new();
+                        let distinct_keys = self.reduce_partition(&mut merged, &mut outputs);
+                        FinalizedPartition {
+                            partition,
+                            distinct_keys,
+                            outputs,
+                            dlq_attempts: None,
+                            failed: None,
+                            retries: u64::from(retries),
+                            fanin,
+                        }
+                    }
+                    // A disk or decode failure streaming a spilled run
+                    // back is an infrastructure error, not a task fault:
+                    // it bypasses the DLQ and surfaces as the job error
+                    // (lowest partition wins, applied by the caller).
+                    Err(error) => FinalizedPartition {
+                        partition,
+                        distinct_keys: 0,
+                        outputs: Vec::new(),
+                        dlq_attempts: None,
+                        failed: Some(SimError::SpillIo {
+                            partition,
+                            path: error.path,
+                            source: error.source,
+                        }),
+                        retries: u64::from(retries),
+                        fanin,
+                    },
                 }
             }
             TaskVerdict::Dropped { retries, attempts } => FinalizedPartition {
@@ -1204,6 +1397,7 @@ where
                 dlq_attempts: Some(attempts),
                 failed: None,
                 retries: u64::from(retries),
+                fanin: 0,
             },
             TaskVerdict::Failed { error, retries } => FinalizedPartition {
                 partition,
@@ -1212,6 +1406,7 @@ where
                 dlq_attempts: None,
                 failed: Some(error),
                 retries: u64::from(retries),
+                fanin: 0,
             },
         }
     }
@@ -1230,11 +1425,15 @@ where
         if coord.finalize_resolved[partition].load(Ordering::Acquire) {
             return None;
         }
-        let runs = match Arc::try_unwrap(item) {
-            Ok(owned) => owned.runs,
-            Err(shared) => shared.runs.clone(),
+        // Owned when this thread holds the last reference; under
+        // speculation the item stays shared, so the runs are cloned and
+        // the spilled handles `Arc`-bumped — both finalize copies stream
+        // the same temp files through independent readers.
+        let (runs, spilled) = match Arc::try_unwrap(item) {
+            Ok(owned) => (owned.runs, owned.spilled),
+            Err(shared) => (shared.runs.clone(), shared.spilled.clone()),
         };
-        let part = self.finalize_partition(partition, runs, speculative);
+        let part = self.finalize_partition(partition, runs, spilled, speculative);
         if coord.finalize_resolved[partition]
             .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
             .is_err()
@@ -1665,6 +1864,12 @@ mod tests {
                 4
             }
         }
+        impl SpillCodec for CountedPayload {
+            fn encode(&self, _buf: &mut Vec<u8>) {}
+            fn decode(_bytes: &mut &[u8]) -> Option<Self> {
+                Some(CountedPayload)
+            }
+        }
 
         struct PayloadMapper;
         impl Mapper for PayloadMapper {
@@ -1946,6 +2151,124 @@ mod tests {
                 out.metrics.deterministic(),
                 "streaming t={threads}"
             );
+        }
+    }
+
+    /// The tentpole contract: a tight memory budget forces runs to disk
+    /// (`spilled_runs > 0`, residency capped at the budget) yet outputs
+    /// and deterministic metrics stay bit-identical to the unbounded
+    /// materialized pass — for every finalize mode and thread count, and
+    /// with speculation racing two readers over the same spilled files.
+    #[test]
+    fn tight_budget_spills_and_stays_bit_identical() {
+        let reference = run(ShuffleMode::Materialized, 1, 4, 8);
+        for finalize_mode in FinalizeMode::ALL {
+            for threads in [1, 2, 4] {
+                for speculation in [false, true] {
+                    let out = Job::new(
+                        IdentityMapper,
+                        ConcatReducer,
+                        HashRouter::new(),
+                        8,
+                        ClusterConfig {
+                            shuffle: ShuffleMode::Pipelined,
+                            map_threads: threads,
+                            pipeline_depth: 4,
+                            finalize_mode,
+                            speculation,
+                            memory_budget: Some(64),
+                            ..ClusterConfig::default()
+                        },
+                    )
+                    .run(&inputs(300))
+                    .unwrap();
+                    let label = format!("{finalize_mode:?} t={threads} spec={speculation}");
+                    assert_eq!(reference.outputs, out.outputs, "{label}");
+                    assert_eq!(
+                        reference.metrics.deterministic(),
+                        out.metrics.deterministic(),
+                        "{label}"
+                    );
+                    let p = &out.metrics.pipeline;
+                    assert!(p.spilled_runs > 0, "{label}: 64 bytes must force spills");
+                    assert!(p.spilled_bytes > 0, "{label}");
+                    assert!(
+                        p.peak_buffered_bytes <= 64,
+                        "{label}: residency {} exceeds the budget",
+                        p.peak_buffered_bytes
+                    );
+                    assert!(p.merge_fanin >= 1, "{label}");
+                }
+            }
+        }
+    }
+
+    /// An unbudgeted run never spills and reports its true residency —
+    /// and a budget larger than that residency behaves identically.
+    #[test]
+    fn generous_budget_never_spills() {
+        let unbounded = run(ShuffleMode::Pipelined, 2, 4, 8);
+        let p = &unbounded.metrics.pipeline;
+        assert_eq!(p.spilled_runs, 0);
+        assert_eq!(p.spilled_bytes, 0);
+        assert!(p.peak_buffered_bytes > 0, "residency is tracked unbudgeted");
+        let roomy = Job::new(
+            IdentityMapper,
+            ConcatReducer,
+            HashRouter::new(),
+            8,
+            ClusterConfig {
+                shuffle: ShuffleMode::Pipelined,
+                map_threads: 1,
+                pipeline_depth: 4,
+                memory_budget: Some(u64::MAX),
+                ..ClusterConfig::default()
+            },
+        )
+        .run(&inputs(300))
+        .unwrap();
+        assert_eq!(roomy.metrics.pipeline.spilled_runs, 0);
+        assert_eq!(unbounded.outputs, roomy.outputs);
+    }
+
+    /// An unwritable spill directory surfaces as `SimError::SpillIo`
+    /// naming the lowest affected partition — an error value, never a
+    /// panic — and the pipeline still drains (no deadlock) under both
+    /// finalize modes.
+    #[test]
+    fn unwritable_spill_dir_fails_with_spill_io() {
+        let dir = std::path::PathBuf::from("/nonexistent-mrassign-spill-dir/sub");
+        for finalize_mode in FinalizeMode::ALL {
+            let job = Job::new(
+                IdentityMapper,
+                ConcatReducer,
+                HashRouter::new(),
+                8,
+                ClusterConfig {
+                    shuffle: ShuffleMode::Pipelined,
+                    map_threads: 2,
+                    pipeline_depth: 2,
+                    finalize_mode,
+                    memory_budget: Some(64),
+                    spill_dir: Some(dir.clone()),
+                    ..ClusterConfig::default()
+                },
+            );
+            let error =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run(&inputs(300))))
+                    .expect("spill failures are error values, not panics")
+                    .unwrap_err();
+            match error {
+                SimError::SpillIo {
+                    path, source: _, ..
+                } => {
+                    assert!(
+                        path.contains("mrassign-spill-"),
+                        "{finalize_mode:?}: {path}"
+                    );
+                }
+                other => panic!("{finalize_mode:?}: expected SpillIo, got {other:?}"),
+            }
         }
     }
 

@@ -4,6 +4,7 @@
 use std::hash::Hash;
 
 use crate::record::ByteSized;
+use crate::spill::SpillCodec;
 
 /// Collects the key-value pairs produced by one map invocation.
 ///
@@ -43,10 +44,14 @@ pub trait Mapper: Sync {
     type In: ByteSized + Sync;
     /// Intermediate key. `Send + Sync` because the pipelined engine moves
     /// records across stage threads and `Arc`-shares completed partitions
-    /// between a primary and a speculative finalize.
-    type Key: Ord + Hash + Clone + Send + Sync + ByteSized;
-    /// Intermediate value. `Send + Sync` for the same reason as the key.
-    type Value: Clone + Send + Sync + ByteSized;
+    /// between a primary and a speculative finalize; [`SpillCodec`]
+    /// because under a [`memory_budget`](crate::ClusterConfig::memory_budget)
+    /// the engine seals runs of `(key, value)` records to temp files and
+    /// streams them back through the finalize merge.
+    type Key: Ord + Hash + Clone + Send + Sync + ByteSized + SpillCodec;
+    /// Intermediate value. `Send + Sync + SpillCodec` for the same
+    /// reasons as the key.
+    type Value: Clone + Send + Sync + ByteSized + SpillCodec;
 
     /// Produces intermediate pairs for `input`.
     fn map(&self, input: &Self::In, emit: &mut Emitter<Self::Key, Self::Value>);

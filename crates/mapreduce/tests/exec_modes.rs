@@ -23,7 +23,7 @@
 use mrassign_core::{a2a, InputSet};
 use mrassign_simmr::{
     ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, FaultPlan, FinalizeMode,
-    HashRouter, Job, JobOutput, Mapper, Reducer, Router, ShuffleMode, SimError,
+    HashRouter, Job, JobOutput, Mapper, Reducer, Router, ShuffleMode, SimError, SpillCodec,
 };
 use mrassign_workloads::SizeDistribution;
 
@@ -323,6 +323,14 @@ struct Payload(u64);
 impl ByteSized for Payload {
     fn size_bytes(&self) -> u64 {
         self.0
+    }
+}
+impl SpillCodec for Payload {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+    fn decode(bytes: &mut &[u8]) -> Option<Self> {
+        Some(Payload(u64::decode(bytes)?))
     }
 }
 
@@ -628,6 +636,185 @@ fn hot_reducer_fault_sweep_with_speculation_stays_bit_identical() {
             assert!(out.metrics.faults.retries() > 0, "{label}");
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Budgeted cells: the out-of-core spill path must be invisible to the
+// determinism contract. A per-group memory budget tight enough that every
+// sweep workload overflows it forces consumers to seal and spill runs to
+// disk; finalize then external-merges disk and memory runs — and the
+// outputs, the deterministic metrics subset, and the DLQ must all match
+// the unbudgeted materialized reference bit for bit, faults included.
+// ---------------------------------------------------------------------------
+
+/// Small enough that both budgeted workloads overflow it many times over
+/// (the hot partition alone buffers kilobytes), so every budgeted cell
+/// actually exercises the spill path rather than vacuously passing.
+const TIGHT_BUDGET: u64 = 256;
+
+fn budgeted_cluster(
+    finalize: FinalizeMode,
+    threads: usize,
+    plan: Option<FaultPlan>,
+) -> ClusterConfig {
+    ClusterConfig {
+        memory_budget: Some(TIGHT_BUDGET),
+        ..faulted_cluster(ShuffleMode::Pipelined, finalize, threads, plan)
+    }
+}
+
+/// Asserts one budgeted cell: bit-identical to the reference, empty DLQ,
+/// and the spill counters prove the out-of-core path actually ran.
+fn assert_budgeted_cell<Out: PartialEq + std::fmt::Debug>(
+    reference: &JobOutput<Out>,
+    cell: JobOutput<Out>,
+    label: &str,
+) {
+    assert_eq!(reference.outputs, cell.outputs, "{label}: outputs diverged");
+    assert_eq!(
+        reference.metrics.deterministic(),
+        cell.metrics.deterministic(),
+        "{label}: deterministic metrics diverged"
+    );
+    assert!(cell.dlq.is_empty(), "{label}: nothing may dead-letter");
+    let p = &cell.metrics.pipeline;
+    assert!(p.spilled_runs > 0, "{label}: a tight budget must spill");
+    assert!(p.spilled_bytes > 0, "{label}: spilled runs carry bytes");
+    assert!(
+        p.peak_buffered_bytes <= TIGHT_BUDGET,
+        "{label}: peak buffered {} exceeds the budget {TIGHT_BUDGET}",
+        p.peak_buffered_bytes
+    );
+    assert!(
+        p.merge_fanin >= 2,
+        "{label}: spilling implies a multi-run merge"
+    );
+}
+
+/// Tight budget × {static, stealing} × threads {1,2,4} × {fault-free, the
+/// PR 6 seeded fault sweep} on word count: identical to the unbudgeted
+/// materialized reference in every cell, with real spill activity.
+#[test]
+fn word_count_budgeted_cells_spill_and_stay_bit_identical() {
+    let lines = word_lines();
+    let reference = Job::new(
+        Tokenize,
+        Count,
+        HashRouter::new(),
+        11,
+        cluster(ShuffleMode::Materialized, FinalizeMode::Static, 1),
+    )
+    .run(&lines)
+    .unwrap();
+    for plan in [None, Some(sweep_fault_plan())] {
+        for finalize in [FinalizeMode::Static, FinalizeMode::Stealing] {
+            for threads in THREADS {
+                let label = format!(
+                    "budgeted {finalize:?} × threads={threads} × faulted={}",
+                    plan.is_some()
+                );
+                let cell = Job::new(
+                    Tokenize,
+                    Count,
+                    HashRouter::new(),
+                    11,
+                    budgeted_cluster(finalize, threads, plan.clone()),
+                )
+                .run(&lines)
+                .unwrap();
+                if plan.is_some() {
+                    assert!(
+                        cell.metrics.faults.retries() > 0,
+                        "{label}: faults must fire"
+                    );
+                }
+                assert_budgeted_cell(&reference, cell, &label);
+            }
+        }
+    }
+}
+
+/// The same budgeted sweep on the hot-reducer workload — the one whose
+/// single hot partition most exceeds the budget — with speculation layered
+/// on for the stealing cells, so spilled runs provably survive the
+/// `Arc`-shared finalize copies racing each other.
+#[test]
+fn hot_reducer_budgeted_cells_spill_and_stay_bit_identical() {
+    let records = hot_records(600);
+    let reference = Job::new(
+        HotMapper,
+        HotConcat,
+        HotRouter,
+        8,
+        cluster(ShuffleMode::Materialized, FinalizeMode::Static, 1),
+    )
+    .run(&records)
+    .unwrap();
+    for plan in [None, Some(sweep_fault_plan())] {
+        for finalize in [FinalizeMode::Static, FinalizeMode::Stealing] {
+            for threads in THREADS {
+                let label = format!(
+                    "budgeted hot {finalize:?} × threads={threads} × faulted={}",
+                    plan.is_some()
+                );
+                let mut config = budgeted_cluster(finalize, threads, plan.clone());
+                config.speculation = finalize == FinalizeMode::Stealing;
+                let cell = Job::new(HotMapper, HotConcat, HotRouter, 8, config)
+                    .run(&records)
+                    .unwrap();
+                assert_budgeted_cell(&reference, cell, &label);
+            }
+        }
+    }
+}
+
+/// DLQ behavior under spill: poisoning the hot (spilling) partition under
+/// [`DlqMode::Capture`] dead-letters exactly the same entries and keeps
+/// exactly the same surviving outputs as the unbudgeted run — spilled
+/// state is re-derived deterministically across the retries that burn the
+/// budget, and the temp files for the dead partition are still cleaned up
+/// (covered by the properties suite).
+#[test]
+fn budgeted_capture_mode_dead_letters_like_unbudgeted() {
+    use mrassign_simmr::DlqMode;
+    let records = hot_records(600);
+    let plan = FaultPlan {
+        poison_reduce_tasks: vec![0],
+        ..FaultPlan::default()
+    };
+    let run = |memory_budget| {
+        Job::new(
+            HotMapper,
+            HotConcat,
+            HotRouter,
+            8,
+            ClusterConfig {
+                memory_budget,
+                retry_budget: 2,
+                dlq_mode: DlqMode::Capture,
+                fault_plan: Some(plan.clone()),
+                ..cluster(ShuffleMode::Pipelined, FinalizeMode::Stealing, 4)
+            },
+        )
+        .run(&records)
+        .unwrap()
+    };
+    let unbudgeted = run(None);
+    let budgeted = run(Some(TIGHT_BUDGET));
+    assert_eq!(unbudgeted.dlq, budgeted.dlq, "DLQ diverged under spill");
+    assert_eq!(
+        unbudgeted.outputs, budgeted.outputs,
+        "surviving outputs diverged under spill"
+    );
+    assert_eq!(
+        budgeted.dlq.len(),
+        1,
+        "the poisoned hot partition dead-letters"
+    );
+    assert!(
+        budgeted.metrics.pipeline.spilled_runs > 0,
+        "the poisoned run must actually have spilled"
+    );
 }
 
 /// Stealing must actually redistribute the hot group's finalize work: with

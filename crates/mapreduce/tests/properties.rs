@@ -539,3 +539,215 @@ proptest! {
         prop_assert_eq!(result.metrics.capacity_violations.len(), nonzero_loads);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Out-of-core spill properties: for arbitrary workloads, budgets, thread
+// counts, and pipeline depths the budget is a hard bound on buffered run
+// bytes, spilling never changes a byte of output, and the spill directory
+// is empty again after success, error, and user-panic runs alike.
+// ---------------------------------------------------------------------------
+
+/// Nonempty record sets for the spill properties (an empty workload cannot
+/// spill, which would make the forcing properties vacuous).
+fn nonempty_records() -> impl Strategy<Value = Vec<(u64, String)>> {
+    proptest::collection::vec((0u64..40, "[a-z]{0,12}"), 1..80)
+}
+
+/// A fresh scratch directory per case so concurrent proptest cases cannot
+/// see each other's temp files.
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "mrassign-props-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("scratch dir must be creatable");
+    dir
+}
+
+/// Asserts the scratch directory holds no leftover spill files, then
+/// removes it.
+fn assert_empty_and_remove(dir: &std::path::Path, context: &str) {
+    let leftovers: Vec<_> = std::fs::read_dir(dir)
+        .expect("scratch dir must be readable")
+        .map(|e| e.expect("dir entry must be readable").file_name())
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "{context}: spill files leaked: {leftovers:?}"
+    );
+    std::fs::remove_dir_all(dir).expect("scratch dir must be removable");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The budget is a hard bound: whatever the workload, thread count,
+    /// pipeline depth, finalize mode, and budget, the engine never reports
+    /// more buffered run bytes than it was allowed — and the output still
+    /// matches the unbudgeted materialized reference bit for bit.
+    #[test]
+    fn peak_buffered_never_exceeds_the_budget(
+        inputs in records(),
+        n_red in 1usize..40,
+        threads in 1usize..5,
+        depth in 1usize..5,
+        budget in 1u64..600,
+    ) {
+        let reference = Job::new(KvMapper, CountBytes, HashRouter::new(), n_red, ClusterConfig::default())
+            .run(&inputs)
+            .unwrap();
+        for finalize_mode in FinalizeMode::ALL {
+            let out = Job::new(KvMapper, CountBytes, HashRouter::new(), n_red, ClusterConfig {
+                shuffle: ShuffleMode::Pipelined,
+                map_threads: threads,
+                pipeline_depth: depth,
+                finalize_mode,
+                memory_budget: Some(budget),
+                ..ClusterConfig::default()
+            })
+            .run(&inputs)
+            .unwrap();
+            prop_assert_eq!(&reference.outputs, &out.outputs);
+            prop_assert_eq!(
+                reference.metrics.deterministic(),
+                out.metrics.deterministic()
+            );
+            let p = &out.metrics.pipeline;
+            prop_assert!(
+                p.peak_buffered_bytes <= budget,
+                "peak {} > budget {} ({:?})",
+                p.peak_buffered_bytes, budget, finalize_mode
+            );
+        }
+    }
+
+    /// A budget strictly above the unbounded run's peak never spills: the
+    /// budget only bites when buffered bytes would actually exceed it.
+    /// (`map_threads = 1` keeps block arrival order — and therefore the
+    /// unbounded peak — deterministic, so the derived budget is exact.)
+    #[test]
+    fn budget_above_the_unbounded_peak_never_spills(
+        inputs in records(),
+        n_red in 1usize..40,
+        depth in 1usize..5,
+    ) {
+        let run = |memory_budget| {
+            Job::new(KvMapper, CountBytes, HashRouter::new(), n_red, ClusterConfig {
+                shuffle: ShuffleMode::Pipelined,
+                map_threads: 1,
+                pipeline_depth: depth,
+                memory_budget,
+                ..ClusterConfig::default()
+            })
+            .run(&inputs)
+            .unwrap()
+        };
+        let unbounded = run(None);
+        prop_assert_eq!(unbounded.metrics.pipeline.spilled_runs, 0);
+        let peak = unbounded.metrics.pipeline.peak_buffered_bytes;
+        let bounded = run(Some(peak + 1));
+        prop_assert_eq!(
+            bounded.metrics.pipeline.spilled_runs, 0,
+            "budget {} above peak {} must never spill", peak + 1, peak
+        );
+        prop_assert_eq!(bounded.metrics.pipeline.spilled_bytes, 0);
+        prop_assert_eq!(&unbounded.outputs, &bounded.outputs);
+    }
+
+    /// A one-byte budget cannot hold even a single record (every key alone
+    /// is 8 bytes), so any nonempty workload is forced out of core — and
+    /// the output still matches the materialized reference exactly.
+    #[test]
+    fn tiny_budget_forces_spills_without_changing_output(
+        inputs in nonempty_records(),
+        n_red in 1usize..40,
+        threads in 1usize..5,
+    ) {
+        let reference = Job::new(KvMapper, CountBytes, HashRouter::new(), n_red, ClusterConfig::default())
+            .run(&inputs)
+            .unwrap();
+        for finalize_mode in FinalizeMode::ALL {
+            let out = Job::new(KvMapper, CountBytes, HashRouter::new(), n_red, ClusterConfig {
+                shuffle: ShuffleMode::Pipelined,
+                map_threads: threads,
+                finalize_mode,
+                memory_budget: Some(1),
+                ..ClusterConfig::default()
+            })
+            .run(&inputs)
+            .unwrap();
+            let p = &out.metrics.pipeline;
+            prop_assert!(p.spilled_runs > 0, "a 1-byte budget must spill ({finalize_mode:?})");
+            prop_assert!(p.spilled_bytes > 0);
+            prop_assert!(p.peak_buffered_bytes <= 1);
+            prop_assert_eq!(&reference.outputs, &out.outputs);
+            prop_assert_eq!(
+                reference.metrics.deterministic(),
+                out.metrics.deterministic()
+            );
+        }
+    }
+
+    /// Spill temp files never outlive the job. After a successful spilling
+    /// run, after a run that fails with a named error, and after a run the
+    /// user's own reducer panics out of, the configured spill directory is
+    /// empty again — the RAII guards hold on every exit path.
+    #[test]
+    fn spill_dir_is_empty_after_success_error_and_panic(
+        inputs in nonempty_records(),
+        threads in 1usize..5,
+    ) {
+        let base = ClusterConfig {
+            shuffle: ShuffleMode::Pipelined,
+            map_threads: threads,
+            memory_budget: Some(1),
+            ..ClusterConfig::default()
+        };
+
+        // Success path.
+        let dir = scratch_dir("ok");
+        let out = Job::new(KvMapper, CountBytes, HashRouter::new(), 5, ClusterConfig {
+            spill_dir: Some(dir.clone()),
+            ..base.clone()
+        })
+        .run(&inputs)
+        .unwrap();
+        prop_assert!(out.metrics.pipeline.spilled_runs > 0);
+        assert_empty_and_remove(&dir, "success");
+
+        // Error path: zero-capacity enforcement names an error after the
+        // pipeline (and its spills) already ran.
+        let dir = scratch_dir("err");
+        let result = Job::new(KvMapper, CountBytes, HashRouter::new(), 5, ClusterConfig {
+            spill_dir: Some(dir.clone()),
+            ..base.clone()
+        })
+        .capacity(CapacityPolicy::Enforce(0))
+        .run(&inputs);
+        prop_assert!(result.is_err(), "zero capacity must fail on nonempty input");
+        assert_empty_and_remove(&dir, "error");
+
+        // Panic path: the user's reducer panics mid-finalize, after runs
+        // have spilled; unwinding must still drop every temp file.
+        struct PanickingReducer;
+        impl Reducer for PanickingReducer {
+            type Key = u64;
+            type Value = String;
+            type Out = ();
+            fn reduce(&self, _: &u64, _: &[String], _: &mut Vec<()>) {
+                panic!("user reducer panic (injected by test)");
+            }
+        }
+        let dir = scratch_dir("panic");
+        let job = Job::new(KvMapper, PanickingReducer, HashRouter::new(), 5, ClusterConfig {
+            spill_dir: Some(dir.clone()),
+            ..base
+        });
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run(&inputs)));
+        prop_assert!(result.is_err(), "the injected reducer panic must surface");
+        assert_empty_and_remove(&dir, "panic");
+    }
+}

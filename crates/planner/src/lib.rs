@@ -44,7 +44,7 @@ use mrassign_core::x2y::X2yAlgorithm;
 use mrassign_core::{bounds, InputSet, MappingSchema, SchemaError, Weight, X2yInstance, X2ySchema};
 use mrassign_simmr::{
     ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, Job, JobMetrics, Mapper,
-    Reducer,
+    Reducer, SpillCodec,
 };
 
 /// What "best capacity" means.
@@ -387,6 +387,15 @@ struct SizedPayload(u64);
 impl ByteSized for SizedPayload {
     fn size_bytes(&self) -> u64 {
         self.0
+    }
+}
+
+impl SpillCodec for SizedPayload {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+    fn decode(bytes: &mut &[u8]) -> Option<Self> {
+        Some(SizedPayload(u64::decode(bytes)?))
     }
 }
 

@@ -10,6 +10,7 @@
 use mrassign::core::{a2a, bounds, stats::SchemaStats, InputSet};
 use mrassign::simmr::{
     ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, Job, Mapper, Reducer,
+    SpillCodec,
 };
 use mrassign::workloads::{geometric_steps, SizeDistribution};
 
@@ -39,6 +40,19 @@ struct Payload {
 impl ByteSized for Payload {
     fn size_bytes(&self) -> u64 {
         self.bytes
+    }
+}
+
+impl SpillCodec for Payload {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.id.encode(buf);
+        self.bytes.encode(buf);
+    }
+    fn decode(bytes: &mut &[u8]) -> Option<Self> {
+        Some(Payload {
+            id: u32::decode(bytes)?,
+            bytes: u64::decode(bytes)?,
+        })
     }
 }
 

@@ -8,6 +8,7 @@
 //!               [--objective makespan|comm:<slowdown>] [--algo <a2a solver>] [--budget <nodes>]
 //!               [--threads <n>] [--shuffle materialized|streaming|pipelined]
 //!               [--finalize static|stealing] [--retries <n>] [--faults seed:7,rate:0.05]
+//!               [--memory-budget <bytes>]
 //! ```
 //!
 //! Solver names come from the registry in `mrassign_core::solver`
@@ -25,7 +26,10 @@
 //! `map-rate`, `reduce-rate`) and `--retries` sets the per-task retry
 //! budget; because retries replay deterministic tasks, these don't
 //! change the plan either — they exist to smoke the fault-tolerance
-//! layer end to end.
+//! layer end to end. `--memory-budget` caps the bytes of sorted run data
+//! each pipelined consumer group may buffer before sealing runs to disk
+//! (the out-of-core shuffle path); like every engine knob it trades
+//! memory for I/O without changing a single output byte.
 //!
 //! Weight files hold one integer per line; `#` starts a comment. All
 //! commands print a human-readable summary; `--routes` additionally dumps
@@ -67,12 +71,14 @@ usage:
   mrassign plan --weights <file> [--workers <n>] [--candidates <n>] [--objective makespan|comm:<slowdown>]
                 [--algo <a2a solver>] [--budget <nodes>] [--threads <n>] [--shuffle materialized|streaming|pipelined]
                 [--finalize static|stealing] [--retries <n>] [--faults <spec>]
+                [--memory-budget <bytes>]
 
 distribution specs: const:<w> | uniform:<lo>:<hi> | zipf:<ranks>:<exp>:<max> | bimodal:<small>:<big>:<frac> | boundary:<q>
 a2a solvers: auto | one-reducer | grouping | pairing | bigsmall | bigsmall-shared | exact
 x2y solvers: auto | one-reducer | grid | grid-optimized | bighandling | exact
 --budget applies to --algo exact only: positive branch-and-bound node cap, e.g. --budget 2000000
---faults injects seeded transient faults: comma-separated seed:<u64>, rate:<f64>, map-rate:<f64>, reduce-rate:<f64>";
+--faults injects seeded transient faults: comma-separated seed:<u64>, rate:<f64>, map-rate:<f64>, reduce-rate:<f64>
+--memory-budget caps buffered shuffle bytes per consumer group (pipelined engine spills sorted runs to disk above it)";
 
 /// Executes a parsed command line; returns the printable result.
 fn run(args: &[String]) -> Result<String, String> {
@@ -410,6 +416,10 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<String, String> {
         None => ClusterConfig::default().retry_budget,
     };
     let fault_plan: Option<FaultPlan> = flags.get("faults").map(|s| s.parse()).transpose()?;
+    let memory_budget: Option<u64> = flags
+        .get("memory-budget")
+        .map(|s| parse_num(s, "a memory budget in bytes"))
+        .transpose()?;
 
     let cluster = ClusterConfig {
         workers,
@@ -417,6 +427,7 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<String, String> {
         finalize_mode,
         retry_budget,
         fault_plan,
+        memory_budget,
         ..ClusterConfig::default()
     };
     // Reject bad knob combinations (e.g. a fault rate outside [0, 1])
@@ -651,6 +662,53 @@ mod tests {
             reference,
             base(&["--threads", "4", "--shuffle", "pipelined"])
         );
+        std::fs::remove_file(path).unwrap();
+    }
+
+    /// `--memory-budget` forces the pipelined engine out of core but, like
+    /// every engine knob, never moves the plan; a zero or unparsable
+    /// budget is rejected with the knob named.
+    #[test]
+    fn plan_honors_memory_budget_flag() {
+        let dir = std::env::temp_dir().join("mrassign-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan-memory-weights.txt");
+        let body: String = (0..50).map(|i| format!("{}\n", 30 + i % 20)).collect();
+        std::fs::write(&path, body).unwrap();
+        let base = |extra: &[&str]| {
+            let mut args: Vec<String> = [
+                "plan",
+                "--weights",
+                path.to_str().unwrap(),
+                "--candidates",
+                "5",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            args.extend(extra.iter().map(|s| s.to_string()));
+            run(&args)
+        };
+        let reference = base(&[]).unwrap();
+        // A tight budget on the pipelined engine spills heavily and still
+        // produces the identical q-frontier.
+        assert_eq!(
+            reference,
+            base(&[
+                "--shuffle",
+                "pipelined",
+                "--finalize",
+                "stealing",
+                "--memory-budget",
+                "256",
+            ])
+            .unwrap()
+        );
+        assert_eq!(reference, base(&["--memory-budget", "1048576"]).unwrap());
+        let err = base(&["--memory-budget", "0"]).unwrap_err();
+        assert!(err.contains("memory_budget"), "{err}");
+        let err = base(&["--memory-budget", "lots"]).unwrap_err();
+        assert!(err.contains("memory budget"), "{err}");
         std::fs::remove_file(path).unwrap();
     }
 

@@ -10,7 +10,7 @@ use mrassign::joins::{
 use mrassign::planner::{plan_a2a, plan_x2y, PlannerConfig};
 use mrassign::simmr::{
     ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, FaultPlan, FinalizeMode, Job,
-    Mapper, Reducer, ShuffleMode,
+    Mapper, Reducer, ShuffleMode, SpillCodec,
 };
 use mrassign::workloads::{
     generate_documents, generate_relation_pair, DocumentSpec, RelationSpec, SizeDistribution,
@@ -20,9 +20,10 @@ use mrassign::workloads::{
 /// suite once per shuffle mode by setting `MRASSIGN_SHUFFLE`, plus once
 /// more under `MRASSIGN_SHUFFLE=pipelined MRASSIGN_FINALIZE=stealing` for
 /// the work-stealing finalize, plus once under seeded fault injection via
-/// `MRASSIGN_FAULTS`/`MRASSIGN_RETRIES`; results must be identical every
-/// way, which `shuffle_modes_produce_identical_job_output` asserts
-/// directly.
+/// `MRASSIGN_FAULTS`/`MRASSIGN_RETRIES`, plus once with a tight
+/// `MRASSIGN_MEMORY` byte budget to force the spill-to-disk path; results
+/// must be identical every way, which
+/// `shuffle_modes_produce_identical_job_output` asserts directly.
 fn cluster() -> ClusterConfig {
     // A typo in any env var must fail loudly, not quietly re-test the
     // default engine path (same rule as ExecKnobs' flag parsing).
@@ -51,11 +52,18 @@ fn cluster() -> ClusterConfig {
         ),
         Err(_) => None,
     };
+    let memory_budget = match std::env::var("MRASSIGN_MEMORY") {
+        Ok(value) => Some(value.parse::<u64>().unwrap_or_else(|e| {
+            panic!("MRASSIGN_MEMORY: cannot parse `{value}` as a byte budget: {e}")
+        })),
+        Err(_) => None,
+    };
     ClusterConfig {
         shuffle,
         finalize_mode,
         retry_budget,
         fault_plan,
+        memory_budget,
         ..ClusterConfig::default()
     }
 }
@@ -80,6 +88,14 @@ fn schema_loads_match_engine_loads() {
     impl ByteSized for P {
         fn size_bytes(&self) -> u64 {
             self.0
+        }
+    }
+    impl SpillCodec for P {
+        fn encode(&self, buf: &mut Vec<u8>) {
+            self.0.encode(buf);
+        }
+        fn decode(bytes: &mut &[u8]) -> Option<Self> {
+            Some(P(u64::decode(bytes)?))
         }
     }
     struct M;
