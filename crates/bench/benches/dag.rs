@@ -1,0 +1,92 @@
+//! Criterion bench for the DAG scheduler — the tracked perf baseline
+//! (`BENCH_dag.json` at the workspace root).
+//!
+//! Three angles on the same question — what does staging chained rounds
+//! on the scheduler cost over chaining them by hand?
+//!
+//! * `chained` — the two marginals rounds run back to back with plain
+//!   `Job::run`, the floor the scheduler is measured against;
+//! * `graph` — the identical rounds as a `StageGraph` on a single-worker
+//!   pool, so the delta over `chained` is pure scheduler overhead
+//!   (admission, readiness tracking, dispatch, payload downcasts);
+//! * `server` — four jobs from two tenants sharing one two-worker
+//!   `JobServer`, the multi-tenant point that also exercises fair-share
+//!   picking under contention.
+//!
+//! A regression in the dispatch path, payload plumbing, or fair-share
+//! bookkeeping shows up against the committed baseline via
+//! `cargo xtask bench-check --bench dag`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrassign_dag::marginals::{
+    marginals_graph, run_marginals_chained, run_marginals_dag, MarginalsConfig,
+};
+use mrassign_dag::JobServer;
+use mrassign_workloads::cube::{generate_cube, CubeSpec, CubeTuple};
+use std::hint::black_box;
+
+fn cube(n: usize) -> Vec<CubeTuple> {
+    generate_cube(
+        &CubeSpec {
+            n_tuples: n,
+            dims: 3,
+            cardinality: 8,
+            skew: 0.9,
+            max_measure: 50,
+        },
+        29,
+    )
+}
+
+fn cfg() -> MarginalsConfig {
+    MarginalsConfig {
+        dims: 3,
+        ..MarginalsConfig::default()
+    }
+}
+
+/// One group holds every point (the vendored criterion stub writes one
+/// `BENCH_dag.json` per `finish()`).
+fn bench_dag(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag");
+    for &n in &[500usize, 2_000] {
+        let tuples = cube(n);
+        group.bench_with_input(
+            BenchmarkId::new("marginals/chained", format!("n={n}")),
+            &tuples,
+            |b, tuples| {
+                b.iter(|| run_marginals_chained(black_box(tuples), &cfg()).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("marginals/graph", format!("n={n}")),
+            &tuples,
+            |b, tuples| {
+                b.iter(|| run_marginals_dag(black_box(tuples), &cfg()).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("marginals/server", format!("n={n}")),
+            &tuples,
+            |b, tuples| {
+                b.iter(|| {
+                    let server = JobServer::new(2);
+                    let handles: Vec<_> = (0..4)
+                        .map(|i| {
+                            let (graph, sink) = marginals_graph(black_box(tuples), &cfg());
+                            let tenant = if i % 2 == 0 { "alice" } else { "bob" };
+                            server.submit(tenant, i % 2, graph, &sink)
+                        })
+                        .collect();
+                    let outputs: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+                    server.shutdown();
+                    outputs
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dag);
+criterion_main!(benches);

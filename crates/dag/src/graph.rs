@@ -1,0 +1,428 @@
+//! The stage graph: typed edges over type-erased payloads.
+//!
+//! A [`StageGraph`] describes a multi-round MapReduce computation as a DAG
+//! of **stages**. Each stage is either a *source* (a value materialized at
+//! build time) or a *task* (a closure from its dependencies' outputs to its
+//! own output, usually wrapping one [`Job::run`] round via
+//! [`StageCtx::run_job`]). Edges are typed at the API surface — a
+//! [`StageHandle<T>`] can only be wired into a stage whose closure takes
+//! `&T` — while the runtime representation is a type-erased
+//! `Arc<dyn Any + Send + Sync>` so heterogeneous rounds (tuples → key
+//! statistics → routed tuples → join output) coexist in one graph.
+//!
+//! Readiness rule: a task stage becomes *ready* the moment every
+//! dependency's output is materialized; sources are materialized at
+//! submission. The scheduler (see [`crate::server`]) dispatches ready
+//! stages onto the shared cluster pool; a stage boundary is therefore just
+//! a materialized output set, exactly like the engine's finalized
+//! partitions — no stage ever observes a partial upstream result.
+//!
+//! Every engine knob applies *per stage*: each `run_job` call carries its
+//! own [`mrassign_simmr::ClusterConfig`] (shuffle mode, finalize mode,
+//! memory budget, fault plan, retries, speculation, DLQ), and the stage's
+//! engine metrics and dead-letter entries are recorded under the stage's
+//! name in [`DagMetrics`] / [`StageDlqEntry`].
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mrassign_simmr::{
+    DlqEntry, Job, JobMetrics, JobOutput, Mapper, Reducer, Router, SimError, SpillCodec,
+};
+
+use crate::metrics::DagMetrics;
+use crate::server::JobServer;
+
+/// Type-erased stage output flowing along graph edges.
+pub(crate) type Payload = Arc<dyn Any + Send + Sync>;
+
+/// Distinguishes handles from different graphs; wiring a handle into a
+/// graph it does not belong to is a programming error caught at build time.
+static NEXT_GRAPH_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A typed reference to one stage's output within a [`StageGraph`].
+///
+/// Obtained from [`StageGraph::source`] / [`StageGraph::stage`] /
+/// [`StageGraph::stage2`] and consumed by later `stage*` calls or as the
+/// sink of [`StageGraph::run`]. The type parameter is compile-time only;
+/// handles are `Copy`.
+#[derive(Debug)]
+pub struct StageHandle<T> {
+    pub(crate) graph: u64,
+    pub(crate) index: usize,
+    marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for StageHandle<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for StageHandle<T> {}
+
+/// Why a stage failed: an engine error from a [`Job::run`] round, or an
+/// arbitrary stage-level failure (planning, validation, ...). Stage
+/// closures return this; the scheduler attaches the stage name and
+/// surfaces a [`DagError`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StageFailure {
+    /// The simulated engine failed inside the stage.
+    Sim(SimError),
+    /// The stage failed outside the engine; carried as text so
+    /// [`DagError`] stays `Clone + PartialEq` across arbitrary stage
+    /// logic.
+    Message(String),
+}
+
+impl From<SimError> for StageFailure {
+    fn from(e: SimError) -> Self {
+        StageFailure::Sim(e)
+    }
+}
+
+impl From<String> for StageFailure {
+    fn from(message: String) -> Self {
+        StageFailure::Message(message)
+    }
+}
+
+impl From<&str> for StageFailure {
+    fn from(message: &str) -> Self {
+        StageFailure::Message(message.to_string())
+    }
+}
+
+/// A DAG run failed. The stage *name* identifies which round died — the
+/// contract the fault-composition property tests pin (`RetriesExhausted`
+/// from round 2 must blame round 2, not the graph).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DagError {
+    /// A stage's engine round failed with `source`.
+    Stage {
+        /// Name of the failed stage.
+        stage: String,
+        /// The engine error.
+        source: SimError,
+    },
+    /// A stage failed outside the engine (planning, validation, ...).
+    StageFailed {
+        /// Name of the failed stage.
+        stage: String,
+        /// Failure description.
+        message: String,
+    },
+}
+
+impl DagError {
+    /// The name of the stage that failed.
+    pub fn stage(&self) -> &str {
+        match self {
+            DagError::Stage { stage, .. } | DagError::StageFailed { stage, .. } => stage,
+        }
+    }
+
+    /// Wraps a stage's [`StageFailure`] under its stage name — what the
+    /// scheduler does when a stage body errors. Public so hand-chained
+    /// referees can produce errors that compare equal to the DAG's.
+    pub fn from_failure(stage: &str, failure: StageFailure) -> Self {
+        match failure {
+            StageFailure::Sim(source) => DagError::Stage {
+                stage: stage.to_string(),
+                source,
+            },
+            StageFailure::Message(message) => DagError::StageFailed {
+                stage: stage.to_string(),
+                message,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for DagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DagError::Stage { stage, source } => write!(f, "stage `{stage}` failed: {source}"),
+            DagError::StageFailed { stage, message } => {
+                write!(f, "stage `{stage}` failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DagError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DagError::Stage { source, .. } => Some(source),
+            DagError::StageFailed { .. } => None,
+        }
+    }
+}
+
+/// A dead-letter entry attributed to the stage whose engine round dropped
+/// the task — the DAG-level analogue of [`mrassign_simmr::JobOutput::dlq`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageDlqEntry {
+    /// The stage whose round dead-lettered the task.
+    pub stage: String,
+    /// The engine's entry (task stage, index, attempts).
+    pub entry: DlqEntry,
+}
+
+/// Per-stage execution context handed to task closures.
+///
+/// Stages run engine rounds through [`StageCtx::run_job`] /
+/// [`StageCtx::run_job_full`] so the round's [`JobMetrics`] and
+/// dead-letter entries are recorded under the stage's name; everything the
+/// closure computes without the context (pure transforms like planning)
+/// needs no bookkeeping.
+pub struct StageCtx {
+    pub(crate) stage: String,
+    pub(crate) jobs: Vec<JobMetrics>,
+    pub(crate) dlq: Vec<StageDlqEntry>,
+}
+
+impl StageCtx {
+    pub(crate) fn new(stage: &str) -> Self {
+        StageCtx {
+            stage: stage.to_string(),
+            jobs: Vec::new(),
+            dlq: Vec::new(),
+        }
+    }
+
+    /// Runs one engine round inside this stage and returns its outputs.
+    ///
+    /// The round's metrics land in
+    /// [`StageMetrics::jobs`](crate::StageMetrics::jobs) and its DLQ
+    /// entries are re-attributed to this stage; an engine error becomes
+    /// [`DagError::Stage`] naming this stage.
+    pub fn run_job<M, R, Rt>(
+        &mut self,
+        job: &Job<M, R, Rt>,
+        inputs: &[M::In],
+    ) -> Result<Vec<R::Out>, StageFailure>
+    where
+        M: Mapper + Sync,
+        M::Key: Ord + std::hash::Hash + Clone + Send + Sync + SpillCodec,
+        M::Value: Clone + Send + Sync + SpillCodec,
+        M::In: Sync,
+        R: Reducer<Key = M::Key, Value = M::Value> + Sync,
+        R::Out: Send,
+        Rt: Router<M::Key>,
+    {
+        self.run_job_full(job, inputs).map(|out| out.outputs)
+    }
+
+    /// Like [`StageCtx::run_job`] but returns the whole [`JobOutput`], so a
+    /// stage can thread the round's metrics into its own output value (the
+    /// differential harness compares those against the hand-chained runs).
+    pub fn run_job_full<M, R, Rt>(
+        &mut self,
+        job: &Job<M, R, Rt>,
+        inputs: &[M::In],
+    ) -> Result<JobOutput<R::Out>, StageFailure>
+    where
+        M: Mapper + Sync,
+        M::Key: Ord + std::hash::Hash + Clone + Send + Sync + SpillCodec,
+        M::Value: Clone + Send + Sync + SpillCodec,
+        M::In: Sync,
+        R: Reducer<Key = M::Key, Value = M::Value> + Sync,
+        R::Out: Send,
+        Rt: Router<M::Key>,
+    {
+        let out = job.run(inputs)?;
+        self.jobs.push(out.metrics.clone());
+        self.dlq.extend(out.dlq.iter().map(|entry| StageDlqEntry {
+            stage: self.stage.clone(),
+            entry: entry.clone(),
+        }));
+        Ok(out)
+    }
+}
+
+/// A task stage's executable body.
+pub(crate) type StageFn =
+    Arc<dyn Fn(&mut StageCtx, &[Payload]) -> Result<Payload, StageFailure> + Send + Sync>;
+
+pub(crate) enum StageKind {
+    /// Materialized at submission; never dispatched.
+    Source(Payload),
+    /// Dispatched once every dependency is materialized.
+    Task(StageFn),
+}
+
+pub(crate) struct StageNode {
+    pub(crate) name: String,
+    pub(crate) deps: Vec<usize>,
+    pub(crate) kind: StageKind,
+}
+
+/// A DAG of chained MapReduce rounds (and pure transforms between them).
+///
+/// Build stages with [`StageGraph::source`] / [`StageGraph::stage`] /
+/// [`StageGraph::stage2`]; run the whole graph locally with
+/// [`StageGraph::run`] or submit it to a shared
+/// [`JobServer`]. Cycles are impossible by construction:
+/// a stage can only depend on handles that already exist.
+pub struct StageGraph {
+    pub(crate) id: u64,
+    pub(crate) stages: Vec<StageNode>,
+}
+
+impl Default for StageGraph {
+    fn default() -> Self {
+        StageGraph::new()
+    }
+}
+
+impl StageGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        StageGraph {
+            id: NEXT_GRAPH_ID.fetch_add(1, Ordering::Relaxed),
+            stages: Vec::new(),
+        }
+    }
+
+    /// Number of stages (sources included).
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the graph has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Stage names in definition (= topological) order.
+    pub fn stage_names(&self) -> Vec<String> {
+        self.stages.iter().map(|s| s.name.clone()).collect()
+    }
+
+    fn handle<T>(&self, index: usize) -> StageHandle<T> {
+        StageHandle {
+            graph: self.id,
+            index,
+            marker: PhantomData,
+        }
+    }
+
+    fn check_dep(&self, dep_graph: u64, dep_index: usize) {
+        assert_eq!(
+            dep_graph, self.id,
+            "stage handle belongs to a different StageGraph"
+        );
+        assert!(dep_index < self.stages.len(), "stage handle out of range");
+    }
+
+    /// Adds a source stage: a value materialized the moment the graph is
+    /// submitted (round-0 input data).
+    pub fn source<T: Send + Sync + 'static>(&mut self, name: &str, value: T) -> StageHandle<T> {
+        self.stages.push(StageNode {
+            name: name.to_string(),
+            deps: Vec::new(),
+            kind: StageKind::Source(Arc::new(value)),
+        });
+        self.handle(self.stages.len() - 1)
+    }
+
+    /// Adds a task stage with one dependency. `f` runs once `dep`'s output
+    /// is materialized; its engine rounds go through the [`StageCtx`].
+    pub fn stage<A, O, F>(&mut self, name: &str, dep: &StageHandle<A>, f: F) -> StageHandle<O>
+    where
+        A: Send + Sync + 'static,
+        O: Send + Sync + 'static,
+        F: Fn(&mut StageCtx, &A) -> Result<O, StageFailure> + Send + Sync + 'static,
+    {
+        self.check_dep(dep.graph, dep.index);
+        let run: StageFn = Arc::new(move |ctx, inputs| {
+            let a = inputs[0]
+                .downcast_ref::<A>()
+                .expect("typed stage handle guarantees the payload type");
+            f(ctx, a).map(|out| Arc::new(out) as Payload)
+        });
+        self.stages.push(StageNode {
+            name: name.to_string(),
+            deps: vec![dep.index],
+            kind: StageKind::Task(run),
+        });
+        self.handle(self.stages.len() - 1)
+    }
+
+    /// Adds a task stage joining two dependencies (e.g. the original
+    /// tuples plus the statistics round's output).
+    pub fn stage2<A, B, O, F>(
+        &mut self,
+        name: &str,
+        dep_a: &StageHandle<A>,
+        dep_b: &StageHandle<B>,
+        f: F,
+    ) -> StageHandle<O>
+    where
+        A: Send + Sync + 'static,
+        B: Send + Sync + 'static,
+        O: Send + Sync + 'static,
+        F: Fn(&mut StageCtx, &A, &B) -> Result<O, StageFailure> + Send + Sync + 'static,
+    {
+        self.check_dep(dep_a.graph, dep_a.index);
+        self.check_dep(dep_b.graph, dep_b.index);
+        let run: StageFn = Arc::new(move |ctx, inputs| {
+            let a = inputs[0]
+                .downcast_ref::<A>()
+                .expect("typed stage handle guarantees the payload type");
+            let b = inputs[1]
+                .downcast_ref::<B>()
+                .expect("typed stage handle guarantees the payload type");
+            f(ctx, a, b).map(|out| Arc::new(out) as Payload)
+        });
+        self.stages.push(StageNode {
+            name: name.to_string(),
+            deps: vec![dep_a.index, dep_b.index],
+            kind: StageKind::Task(run),
+        });
+        self.handle(self.stages.len() - 1)
+    }
+
+    /// Runs the whole graph on a private single-thread pool and returns
+    /// the sink stage's output. Shorthand for [`StageGraph::run_on`].
+    pub fn run<T: Send + Sync + 'static>(
+        self,
+        sink: &StageHandle<T>,
+    ) -> Result<DagOutput<T>, DagError> {
+        self.run_on(1, sink)
+    }
+
+    /// Runs the whole graph on a private pool of `threads` workers. The
+    /// pool governs *stage-level* concurrency; each engine round still
+    /// parallelizes internally per its own `ClusterConfig::map_threads`.
+    pub fn run_on<T: Send + Sync + 'static>(
+        self,
+        threads: usize,
+        sink: &StageHandle<T>,
+    ) -> Result<DagOutput<T>, DagError> {
+        let server = JobServer::new(threads);
+        let handle = server.submit("local", 0, self, sink);
+        let result = handle.join();
+        server.shutdown();
+        result
+    }
+}
+
+/// Everything a completed DAG run returns: the sink stage's value, the
+/// DAG-level metrics, and the dead-letter entries of every stage.
+#[derive(Debug, Clone)]
+pub struct DagOutput<T> {
+    /// The sink stage's output value.
+    pub output: T,
+    /// Stage wall-clocks, queue waits, dispatch accounting, and each
+    /// stage's engine metrics. Execution-dependent (like
+    /// [`mrassign_simmr::PipelineMetrics`]): never part of cross-mode
+    /// bit-identity comparisons.
+    pub metrics: DagMetrics,
+    /// Dead-letter entries across all stages, sorted by (stage index,
+    /// task stage, task index) so the order is deterministic whatever the
+    /// dispatch interleaving was.
+    pub dlq: Vec<StageDlqEntry>,
+}

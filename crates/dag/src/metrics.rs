@@ -1,0 +1,145 @@
+//! DAG- and server-level accounting: stage wall-clocks, queue waits,
+//! dispatch slots, and per-tenant fair-share spans.
+//!
+//! Everything here is **execution-dependent** — wall-clock times and
+//! dispatch interleavings vary run to run by design, exactly like the
+//! engine's [`mrassign_simmr::PipelineMetrics`]. The differential
+//! harness therefore compares stage *outputs* and each stage's
+//! [`JobMetrics::deterministic`] subset, never these timings.
+
+use mrassign_simmr::JobMetrics;
+
+/// Accounting for one executed task stage.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StageMetrics {
+    /// The stage's name.
+    pub stage: String,
+    /// Seconds between the stage becoming ready (all inputs materialized)
+    /// and a pool worker dispatching it.
+    pub queue_wait_seconds: f64,
+    /// Seconds the stage's body ran on its pool worker.
+    pub wall_seconds: f64,
+    /// Value of the server's global dispatch counter when the stage became
+    /// ready.
+    pub ready_slot: u64,
+    /// Value of the counter when the stage was dispatched (1-based; the
+    /// dispatch that ran this stage). `dispatch_slot - ready_slot - 1` is
+    /// how many *other* stages the server ran while this one waited — the
+    /// bounded-wait quantity the fair-share property test asserts on.
+    pub dispatch_slot: u64,
+    /// Engine metrics of every [`Job::run`](mrassign_simmr::Job::run)
+    /// round the stage executed, in execution order.
+    pub jobs: Vec<JobMetrics>,
+}
+
+impl StageMetrics {
+    /// How many stages of *other* jobs/tenants the server dispatched
+    /// between this stage becoming ready and running it.
+    pub fn dispatch_gap(&self) -> u64 {
+        self.dispatch_slot.saturating_sub(self.ready_slot + 1)
+    }
+}
+
+/// Accounting for one completed DAG job.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DagMetrics {
+    /// The submitting tenant.
+    pub tenant: String,
+    /// The job's priority (higher dispatches first within a fair-share
+    /// level).
+    pub priority: i32,
+    /// Per-stage accounting in stage (= topological definition) order;
+    /// source stages are never dispatched and carry no entry.
+    pub stages: Vec<StageMetrics>,
+    /// Seconds between submission and completion.
+    pub wall_seconds: f64,
+}
+
+impl DagMetrics {
+    /// Total seconds the job's stages spent waiting in the ready queue.
+    pub fn queue_wait_seconds(&self) -> f64 {
+        self.stages.iter().map(|s| s.queue_wait_seconds).sum()
+    }
+
+    /// The largest [`StageMetrics::dispatch_gap`] across the job's stages.
+    pub fn max_dispatch_gap(&self) -> u64 {
+        self.stages
+            .iter()
+            .map(StageMetrics::dispatch_gap)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The named stage's accounting, if it ran.
+    pub fn stage(&self, name: &str) -> Option<&StageMetrics> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
+}
+
+/// One tenant's fair-share span on a [`crate::JobServer`]: how much pool
+/// service it has consumed. The scheduler always favors the tenant with
+/// the smallest span, which is what bounds any tenant's queue wait
+/// regardless of competing priorities.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TenantShare {
+    /// Tenant name as passed to [`crate::JobServer::submit`].
+    pub tenant: String,
+    /// Seconds of pool time consumed by the tenant's stages.
+    pub service_seconds: f64,
+    /// Stages dispatched for the tenant (the tie-breaker when service
+    /// times are equal, e.g. before any stage has finished).
+    pub stages_dispatched: u64,
+    /// Jobs the tenant has submitted.
+    pub jobs_submitted: u64,
+    /// Jobs that have completed (successfully or not).
+    pub jobs_completed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_gap_counts_interleaved_stages() {
+        let s = StageMetrics {
+            ready_slot: 3,
+            dispatch_slot: 7,
+            ..StageMetrics::default()
+        };
+        // Dispatches 4, 5, 6 belonged to other stages; 7 is ours.
+        assert_eq!(s.dispatch_gap(), 3);
+        let immediate = StageMetrics {
+            ready_slot: 3,
+            dispatch_slot: 4,
+            ..StageMetrics::default()
+        };
+        assert_eq!(immediate.dispatch_gap(), 0);
+    }
+
+    #[test]
+    fn dag_metrics_aggregate_over_stages() {
+        let m = DagMetrics {
+            stages: vec![
+                StageMetrics {
+                    stage: "a".into(),
+                    queue_wait_seconds: 0.5,
+                    ready_slot: 0,
+                    dispatch_slot: 1,
+                    ..StageMetrics::default()
+                },
+                StageMetrics {
+                    stage: "b".into(),
+                    queue_wait_seconds: 0.25,
+                    ready_slot: 1,
+                    dispatch_slot: 5,
+                    ..StageMetrics::default()
+                },
+            ],
+            ..DagMetrics::default()
+        };
+        assert!((m.queue_wait_seconds() - 0.75).abs() < 1e-12);
+        assert_eq!(m.max_dispatch_gap(), 3);
+        assert_eq!(m.stage("b").unwrap().dispatch_slot, 5);
+        assert!(m.stage("c").is_none());
+    }
+}

@@ -1,0 +1,542 @@
+//! The job server: a multi-tenant admission queue over one cluster pool.
+//!
+//! A [`JobServer`] owns a fixed pool of worker threads. Tenants submit
+//! [`StageGraph`]s concurrently; each submission is admitted immediately
+//! (its source stages materialize, its first task stages enter the ready
+//! queue) and returns a [`JobHandle`] to join on. Workers repeatedly pick
+//! the best *ready* stage — a stage is ready exactly when every dependency
+//! output is materialized — run it, and feed newly ready stages back into
+//! the queue, so independent stages of one job and stages of different
+//! jobs genuinely share the pool.
+//!
+//! **Scheduling order.** Among ready stages the pool picks by
+//!
+//! 1. smallest tenant fair-share span (consumed pool seconds, then stages
+//!    dispatched as the cold-start tie-breaker),
+//! 2. highest job priority,
+//! 3. admission order (FIFO).
+//!
+//! Fair share dominating priority is what makes priority inversion
+//! harmless: a tenant flooding the queue with high-priority jobs only
+//! raises its own span, so a quiet tenant's next stage is dispatched after
+//! at most a bounded number of foreign stages (asserted by the starvation
+//! property test via [`StageMetrics::dispatch_gap`]).
+//!
+//! Scheduling never changes results: stages are deterministic functions of
+//! their inputs, so outputs are bit-identical whatever the interleaving —
+//! the DAG≡chained differential harness pins exactly that.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::graph::{
+    DagError, DagOutput, Payload, StageCtx, StageDlqEntry, StageFn, StageGraph, StageHandle,
+    StageKind,
+};
+use crate::metrics::{DagMetrics, StageMetrics, TenantShare};
+
+/// One ready-to-run stage waiting for a pool worker.
+struct ReadyEntry {
+    job: Arc<JobShared>,
+    stage: usize,
+    tenant: String,
+    priority: i32,
+    seq: u64,
+    ready_at: Instant,
+    ready_slot: u64,
+}
+
+#[derive(Default)]
+struct TenantState {
+    service_seconds: f64,
+    stages_dispatched: u64,
+    jobs_submitted: u64,
+    jobs_completed: u64,
+}
+
+struct ServerState {
+    shutdown: bool,
+    /// Global dispatch counter; slots stamped onto [`StageMetrics`].
+    dispatch_seq: u64,
+    /// Admission-order counter (FIFO tie-breaker).
+    next_seq: u64,
+    ready: Vec<ReadyEntry>,
+    running: usize,
+    tenants: HashMap<String, TenantState>,
+}
+
+struct ServerInner {
+    state: Mutex<ServerState>,
+    work: Condvar,
+}
+
+/// Per-job execution state shared between the pool and the [`JobHandle`].
+struct JobShared {
+    /// Set the moment any stage fails; later dispatches of this job are
+    /// discarded without running.
+    failed: AtomicBool,
+    state: Mutex<JobInner>,
+    done: Condvar,
+}
+
+struct JobInner {
+    tenant: String,
+    priority: i32,
+    names: Vec<String>,
+    bodies: Vec<Option<StageFn>>,
+    values: Vec<Option<Payload>>,
+    /// Unmaterialized-dependency count per stage.
+    pending: Vec<usize>,
+    dependents: Vec<Vec<usize>>,
+    deps: Vec<Vec<usize>>,
+    /// Task stages that have finished executing (successfully).
+    finished: usize,
+    task_count: usize,
+    /// Task stages currently executing on a pool worker.
+    inflight: usize,
+    failures: Vec<(usize, DagError)>,
+    completed: bool,
+    stage_metrics: Vec<Option<StageMetrics>>,
+    dlq: Vec<(usize, StageDlqEntry)>,
+    submitted_at: Instant,
+    wall_seconds: f64,
+}
+
+impl JobInner {
+    /// Marks the job complete if nothing can or should still run.
+    /// Caller must notify `done` when this returns true.
+    fn try_complete(&mut self, failed: bool) -> bool {
+        if self.completed {
+            return false;
+        }
+        let done = if failed {
+            self.inflight == 0
+        } else {
+            self.finished == self.task_count
+        };
+        if done {
+            self.completed = true;
+            self.wall_seconds = self.submitted_at.elapsed().as_secs_f64();
+            // Deterministic DLQ order whatever the dispatch interleaving:
+            // stage index, then the engine's (task stage, index) order.
+            self.dlq.sort_by(|a, b| {
+                (a.0, a.1.entry.stage, a.1.entry.index).cmp(&(
+                    b.0,
+                    b.1.entry.stage,
+                    b.1.entry.index,
+                ))
+            });
+            self.failures.sort_by_key(|(stage, _)| *stage);
+        }
+        done
+    }
+}
+
+/// A handle to one submitted job; [`JobHandle::join`] blocks until the
+/// job completes and returns its [`DagOutput`] (or the failing stage's
+/// [`DagError`]).
+pub struct JobHandle<T> {
+    job: Arc<JobShared>,
+    sink: usize,
+    marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Send + Sync + 'static> JobHandle<T> {
+    /// Blocks until the job completes.
+    ///
+    /// On failure the error of the **lowest-indexed** failed stage is
+    /// returned, so concurrently failing stages report deterministically.
+    pub fn join(self) -> Result<DagOutput<T>, DagError> {
+        let mut st = self.job.state.lock().expect("job state poisoned");
+        while !st.completed {
+            st = self.job.done.wait(st).expect("job state poisoned");
+        }
+        if let Some((_, error)) = st.failures.first() {
+            return Err(error.clone());
+        }
+        let payload = st.values[self.sink]
+            .take()
+            .expect("completed job materializes every stage");
+        let stages: Vec<StageMetrics> = st.stage_metrics.iter().flatten().cloned().collect();
+        let metrics = DagMetrics {
+            tenant: st.tenant.clone(),
+            priority: st.priority,
+            stages,
+            wall_seconds: st.wall_seconds,
+        };
+        let dlq: Vec<StageDlqEntry> = st.dlq.iter().map(|(_, e)| e.clone()).collect();
+        drop(st);
+        let arc = payload
+            .downcast::<T>()
+            .expect("typed sink handle guarantees the payload type");
+        let output = match Arc::try_unwrap(arc) {
+            Ok(value) => value,
+            Err(_) => panic!("sink output still shared after completion"),
+        };
+        Ok(DagOutput {
+            output,
+            metrics,
+            dlq,
+        })
+    }
+}
+
+/// The multi-tenant job server. See the module docs for the scheduling
+/// contract.
+pub struct JobServer {
+    inner: Arc<ServerInner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl JobServer {
+    /// Starts a server with `threads` pool workers.
+    ///
+    /// # Panics
+    /// With `threads == 0` — a pool with no workers could never run
+    /// anything, so this is rejected loudly at construction.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "JobServer needs at least one worker thread");
+        let inner = Arc::new(ServerInner {
+            state: Mutex::new(ServerState {
+                shutdown: false,
+                dispatch_seq: 0,
+                next_seq: 0,
+                ready: Vec::new(),
+                running: 0,
+                tenants: HashMap::new(),
+            }),
+            work: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        JobServer {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Admits `graph` for `tenant` at `priority` and returns a handle on
+    /// the `sink` stage's output. Admission never blocks on the pool.
+    ///
+    /// # Panics
+    /// If `sink` belongs to a different graph, the graph is empty, or the
+    /// server is already shut down.
+    pub fn submit<T: Send + Sync + 'static>(
+        &self,
+        tenant: &str,
+        priority: i32,
+        graph: StageGraph,
+        sink: &StageHandle<T>,
+    ) -> JobHandle<T> {
+        assert_eq!(
+            sink.graph, graph.id,
+            "sink handle belongs to a different StageGraph"
+        );
+        assert!(!graph.is_empty(), "cannot submit an empty StageGraph");
+
+        let n = graph.stages.len();
+        let mut names = Vec::with_capacity(n);
+        let mut bodies: Vec<Option<StageFn>> = Vec::with_capacity(n);
+        let mut values: Vec<Option<Payload>> = Vec::with_capacity(n);
+        let mut deps = Vec::with_capacity(n);
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut task_count = 0;
+        for (idx, node) in graph.stages.into_iter().enumerate() {
+            names.push(node.name);
+            for &d in &node.deps {
+                dependents[d].push(idx);
+            }
+            deps.push(node.deps);
+            match node.kind {
+                StageKind::Source(value) => {
+                    bodies.push(None);
+                    values.push(Some(value));
+                }
+                StageKind::Task(body) => {
+                    task_count += 1;
+                    bodies.push(Some(body));
+                    values.push(None);
+                }
+            }
+        }
+        let pending: Vec<usize> = deps
+            .iter()
+            .map(|d| d.iter().filter(|&&i| values[i].is_none()).count())
+            .collect();
+        let initially_ready: Vec<usize> = (0..n)
+            .filter(|&i| bodies[i].is_some() && pending[i] == 0)
+            .collect();
+
+        let mut inner = JobInner {
+            tenant: tenant.to_string(),
+            priority,
+            names,
+            bodies,
+            values,
+            pending,
+            dependents,
+            deps,
+            finished: 0,
+            task_count,
+            inflight: 0,
+            failures: Vec::new(),
+            completed: false,
+            stage_metrics: vec![None; n],
+            dlq: Vec::new(),
+            submitted_at: Instant::now(),
+            wall_seconds: 0.0,
+        };
+        // A source-only graph has nothing to dispatch: complete on admission.
+        let complete_on_admission = inner.try_complete(false);
+        let job = Arc::new(JobShared {
+            failed: AtomicBool::new(false),
+            state: Mutex::new(inner),
+            done: Condvar::new(),
+        });
+
+        {
+            let mut st = self.inner.state.lock().expect("server state poisoned");
+            assert!(!st.shutdown, "cannot submit to a shut-down JobServer");
+            let t = st.tenants.entry(tenant.to_string()).or_default();
+            t.jobs_submitted += 1;
+            if complete_on_admission {
+                t.jobs_completed += 1;
+            }
+            let ready_slot = st.dispatch_seq;
+            let now = Instant::now();
+            for stage in initially_ready {
+                let seq = st.next_seq;
+                st.next_seq += 1;
+                st.ready.push(ReadyEntry {
+                    job: Arc::clone(&job),
+                    stage,
+                    tenant: tenant.to_string(),
+                    priority,
+                    seq,
+                    ready_at: now,
+                    ready_slot,
+                });
+            }
+            self.inner.work.notify_all();
+        }
+
+        JobHandle {
+            job,
+            sink: sink.index,
+            marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Per-tenant fair-share spans, sorted by tenant name.
+    pub fn fair_share(&self) -> Vec<TenantShare> {
+        let st = self.inner.state.lock().expect("server state poisoned");
+        let mut shares: Vec<TenantShare> = st
+            .tenants
+            .iter()
+            .map(|(tenant, t)| TenantShare {
+                tenant: tenant.clone(),
+                service_seconds: t.service_seconds,
+                stages_dispatched: t.stages_dispatched,
+                jobs_submitted: t.jobs_submitted,
+                jobs_completed: t.jobs_completed,
+            })
+            .collect();
+        shares.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        shares
+    }
+
+    /// Stops admission, drains every already-admitted job, and joins the
+    /// pool. Idempotent; also invoked on drop.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.inner.state.lock().expect("server state poisoned");
+            st.shutdown = true;
+            self.inner.work.notify_all();
+        }
+        let mut workers = self.workers.lock().expect("worker list poisoned");
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for JobServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Index of the best ready entry under the fair-share order, or `None`.
+fn pick_best(st: &ServerState) -> Option<usize> {
+    let key = |e: &ReadyEntry| -> (f64, u64, i32, u64) {
+        let t = st.tenants.get(&e.tenant);
+        (
+            t.map_or(0.0, |t| t.service_seconds),
+            t.map_or(0, |t| t.stages_dispatched),
+            e.priority,
+            e.seq,
+        )
+    };
+    let mut best: Option<(usize, (f64, u64, i32, u64))> = None;
+    for (idx, entry) in st.ready.iter().enumerate() {
+        let k = key(entry);
+        let replace = match &best {
+            None => true,
+            Some((_, b)) => {
+                k.0.total_cmp(&b.0)
+                    .then(k.1.cmp(&b.1))
+                    .then(b.2.cmp(&k.2)) // higher priority wins
+                    .then(k.3.cmp(&b.3))
+                    .is_lt()
+            }
+        };
+        if replace {
+            best = Some((idx, k));
+        }
+    }
+    best.map(|(idx, _)| idx)
+}
+
+fn worker_loop(inner: &ServerInner) {
+    loop {
+        // Acquire one dispatched entry (or exit on drained shutdown).
+        let (entry, dispatch_slot) = {
+            let mut st = inner.state.lock().expect("server state poisoned");
+            loop {
+                if let Some(idx) = pick_best(&st) {
+                    let entry = st.ready.swap_remove(idx);
+                    // A failed job's queued stages are discarded without
+                    // counting as dispatches.
+                    if entry.job.failed.load(Ordering::Acquire) {
+                        continue;
+                    }
+                    st.dispatch_seq += 1;
+                    let slot = st.dispatch_seq;
+                    st.running += 1;
+                    if let Some(t) = st.tenants.get_mut(&entry.tenant) {
+                        t.stages_dispatched += 1;
+                    }
+                    {
+                        let mut job = entry.job.state.lock().expect("job state poisoned");
+                        job.inflight += 1;
+                    }
+                    break (entry, slot);
+                }
+                if st.shutdown && st.ready.is_empty() && st.running == 0 {
+                    return;
+                }
+                st = inner.work.wait(st).expect("server state poisoned");
+            }
+        };
+
+        let queue_wait = entry.ready_at.elapsed().as_secs_f64();
+        let (name, body, input_payloads) = {
+            let job = entry.job.state.lock().expect("job state poisoned");
+            let name = job.names[entry.stage].clone();
+            let body = job.bodies[entry.stage]
+                .as_ref()
+                .map(Arc::clone)
+                .expect("only task stages are enqueued");
+            let inputs: Vec<Payload> = job.deps[entry.stage]
+                .iter()
+                .map(|&d| {
+                    Arc::clone(
+                        job.values[d]
+                            .as_ref()
+                            .expect("ready stage has materialized deps"),
+                    )
+                })
+                .collect();
+            (name, body, inputs)
+        };
+
+        // Run the stage body outside every lock.
+        let started = Instant::now();
+        let mut ctx = StageCtx::new(&name);
+        let result = body(&mut ctx, &input_payloads);
+        drop(input_payloads);
+        let wall = started.elapsed().as_secs_f64();
+
+        // Record the outcome on the job and feed the server, in one
+        // critical section with the canonical server→job lock order: the
+        // job must not become observably complete before the fair-share
+        // table accounts for it, or a `join()`er could read stale shares.
+        let completed = {
+            let mut st = inner.state.lock().expect("server state poisoned");
+            let (newly_ready, completed, job_failed) = {
+                let mut job = entry.job.state.lock().expect("job state poisoned");
+                job.stage_metrics[entry.stage] = Some(StageMetrics {
+                    stage: name.clone(),
+                    queue_wait_seconds: queue_wait,
+                    wall_seconds: wall,
+                    ready_slot: entry.ready_slot,
+                    dispatch_slot,
+                    jobs: std::mem::take(&mut ctx.jobs),
+                });
+                job.dlq.extend(ctx.dlq.drain(..).map(|e| (entry.stage, e)));
+                job.inflight -= 1;
+                let mut newly_ready = Vec::new();
+                match result {
+                    Ok(payload) => {
+                        job.values[entry.stage] = Some(payload);
+                        job.finished += 1;
+                        if !entry.job.failed.load(Ordering::Acquire) {
+                            for i in 0..job.dependents[entry.stage].len() {
+                                let dep = job.dependents[entry.stage][i];
+                                job.pending[dep] -= 1;
+                                if job.pending[dep] == 0 {
+                                    newly_ready.push(dep);
+                                }
+                            }
+                        }
+                    }
+                    Err(failure) => {
+                        let error = DagError::from_failure(&name, failure);
+                        job.failures.push((entry.stage, error));
+                        entry.job.failed.store(true, Ordering::Release);
+                    }
+                }
+                let failed = entry.job.failed.load(Ordering::Acquire);
+                let completed = job.try_complete(failed);
+                (newly_ready, completed, failed)
+            };
+
+            st.running -= 1;
+            {
+                let t = st.tenants.entry(entry.tenant.clone()).or_default();
+                t.service_seconds += wall;
+                if completed {
+                    t.jobs_completed += 1;
+                }
+            }
+            if !job_failed {
+                let ready_slot = st.dispatch_seq;
+                let now = Instant::now();
+                for stage in newly_ready {
+                    let seq = st.next_seq;
+                    st.next_seq += 1;
+                    st.ready.push(ReadyEntry {
+                        job: Arc::clone(&entry.job),
+                        stage,
+                        tenant: entry.tenant.clone(),
+                        priority: entry.priority,
+                        seq,
+                        ready_at: now,
+                        ready_slot,
+                    });
+                }
+            }
+            inner.work.notify_all();
+            completed
+        };
+        if completed {
+            entry.job.done.notify_all();
+        }
+    }
+}

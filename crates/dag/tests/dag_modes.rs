@@ -1,0 +1,315 @@
+//! The DAG differential harness: every DAG workload's final output must be
+//! bit-identical to the hand-chained `Job::run` sequence, in every engine
+//! cell — mirroring the `exec_modes` referee pattern one level up.
+//!
+//! Matrix: `{Materialized, Streaming, Pipelined × {static, stealing}}` ×
+//! map threads `{1, 2, 4}` × `{unbounded, tight}` memory budget (the tight
+//! budget only in pipelined cells, where the out-of-core spill path
+//! exists), plus the seeded fault sweep and stage-naming error cases. In
+//! each cell both rounds of both workloads (marginals, skew join) run with
+//! the cell's `ClusterConfig`, once through the [`StageGraph`] scheduler
+//! and once chained by hand — outputs, deterministic metrics, DLQs, and
+//! errors must agree exactly.
+
+use mrassign_dag::marginals::{
+    marginals_oracle, run_marginals_chained, run_marginals_dag, MarginalsConfig,
+};
+use mrassign_dag::DagError;
+use mrassign_joins::{run_skew_join, run_skew_join_chained, run_skew_join_dag, SkewDagConfig};
+use mrassign_joins::{SkewJoinConfig, SkewJoinStrategy};
+use mrassign_simmr::{
+    ClusterConfig, DlqMode, FaultPlan, FinalizeMode, JobMetrics, ShuffleMode, SimError,
+};
+use mrassign_workloads::cube::{generate_cube, CubeSpec, CubeTuple};
+use mrassign_workloads::{generate_relation_pair, RelationPair, RelationSpec, SizeDistribution};
+
+const CELLS: [(ShuffleMode, FinalizeMode); 4] = [
+    (ShuffleMode::Materialized, FinalizeMode::Static),
+    (ShuffleMode::Streaming, FinalizeMode::Static),
+    (ShuffleMode::Pipelined, FinalizeMode::Static),
+    (ShuffleMode::Pipelined, FinalizeMode::Stealing),
+];
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Small enough that both workloads' shuffles overflow it, so budgeted
+/// cells exercise the spill path rather than vacuously passing.
+const TIGHT_BUDGET: u64 = 256;
+
+fn cluster(
+    mode: ShuffleMode,
+    finalize: FinalizeMode,
+    threads: usize,
+    budget: Option<u64>,
+) -> ClusterConfig {
+    ClusterConfig {
+        shuffle: mode,
+        map_threads: threads,
+        finalize_mode: finalize,
+        streaming_reducer_block: 8,
+        pipeline_depth: 2,
+        memory_budget: budget,
+        ..ClusterConfig::default()
+    }
+}
+
+/// Budgets to sweep in a cell: the tight budget exists only where the
+/// out-of-core path does (the pipelined shuffle).
+fn budgets(mode: ShuffleMode) -> &'static [Option<u64>] {
+    if mode == ShuffleMode::Pipelined {
+        &[None, Some(TIGHT_BUDGET)]
+    } else {
+        &[None]
+    }
+}
+
+fn small_cube() -> Vec<CubeTuple> {
+    generate_cube(
+        &CubeSpec {
+            n_tuples: 300,
+            dims: 3,
+            cardinality: 5,
+            skew: 0.9,
+            max_measure: 25,
+        },
+        17,
+    )
+}
+
+fn skewed_pair() -> RelationPair {
+    generate_relation_pair(
+        &RelationSpec {
+            x_tuples: 350,
+            y_tuples: 350,
+            n_keys: 25,
+            skew: 1.1,
+            payload: SizeDistribution::Uniform { lo: 8, hi: 40 },
+        },
+        21,
+    )
+}
+
+fn marginals_cfg(cell: ClusterConfig) -> MarginalsConfig {
+    MarginalsConfig {
+        dims: 3,
+        first_reducers: 7,
+        second_reducers: 5,
+        first_cluster: cell.clone(),
+        second_cluster: cell,
+    }
+}
+
+fn skew_cfg(cell: ClusterConfig) -> SkewDagConfig {
+    SkewDagConfig {
+        capacity: 4_000,
+        stats_reducers: 6,
+        stats_cluster: cell.clone(),
+        join_cluster: cell,
+        ..SkewDagConfig::default()
+    }
+}
+
+fn deterministic(jobs: &[JobMetrics]) -> Vec<impl PartialEq + std::fmt::Debug + '_> {
+    jobs.iter().map(JobMetrics::deterministic).collect()
+}
+
+#[test]
+fn marginals_dag_matches_chain_in_every_cell() {
+    let tuples = small_cube();
+    let oracle = marginals_oracle(&tuples, 3);
+    let reference = run_marginals_chained(
+        &tuples,
+        &marginals_cfg(cluster(CELLS[0].0, CELLS[0].1, 1, None)),
+    )
+    .unwrap();
+    assert_eq!(reference.marginals, oracle, "referee vs brute force");
+
+    for (mode, finalize) in CELLS {
+        for threads in THREADS {
+            for &budget in budgets(mode) {
+                let label = format!("{mode:?}/{finalize:?} × threads={threads} × {budget:?}");
+                let cfg = marginals_cfg(cluster(mode, finalize, threads, budget));
+                let dag = run_marginals_dag(&tuples, &cfg).unwrap();
+                let chained = run_marginals_chained(&tuples, &cfg).unwrap();
+                assert_eq!(dag.output, chained.marginals, "{label}: dag vs chain");
+                assert_eq!(dag.output, oracle, "{label}: dag vs oracle");
+                let dag_jobs: Vec<JobMetrics> = dag
+                    .metrics
+                    .stages
+                    .iter()
+                    .flat_map(|s| s.jobs.iter().cloned())
+                    .collect();
+                assert_eq!(
+                    deterministic(&dag_jobs),
+                    deterministic(&chained.round_metrics),
+                    "{label}: round metrics"
+                );
+                assert_eq!(dag.dlq, chained.dlq, "{label}: dlq");
+            }
+        }
+    }
+}
+
+#[test]
+fn skew_join_dag_matches_chain_in_every_cell() {
+    let pair = skewed_pair();
+    // Reference: the single-round skew-aware path on the default cluster.
+    let single = run_skew_join(
+        &pair,
+        &SkewJoinConfig {
+            capacity: 4_000,
+            strategy: SkewJoinStrategy::SkewAware {
+                policy: SkewDagConfig::default().policy,
+            },
+            cluster: ClusterConfig::default(),
+        },
+    )
+    .unwrap();
+    assert!(single.heavy_keys > 0, "skew 1.1 must create heavy hitters");
+
+    for (mode, finalize) in CELLS {
+        for threads in THREADS {
+            for &budget in budgets(mode) {
+                let label = format!("{mode:?}/{finalize:?} × threads={threads} × {budget:?}");
+                let cfg = skew_cfg(cluster(mode, finalize, threads, budget));
+                let dag = run_skew_join_dag(&pair, &cfg).unwrap();
+                let (chained, chained_dlq) = run_skew_join_chained(&pair, &cfg).unwrap();
+                assert_eq!(dag.output.output, chained.output, "{label}: dag vs chain");
+                assert_eq!(dag.output.output, single.output, "{label}: dag vs 1-round");
+                assert_eq!(dag.output.heavy_keys, single.heavy_keys, "{label}");
+                assert_eq!(dag.output.reducers, single.reducers, "{label}");
+                assert_eq!(
+                    dag.output.stats_metrics.deterministic(),
+                    chained.stats_metrics.deterministic(),
+                    "{label}: stats metrics"
+                );
+                assert_eq!(
+                    dag.output.join_metrics.deterministic(),
+                    chained.join_metrics.deterministic(),
+                    "{label}: join metrics"
+                );
+                assert_eq!(dag.dlq, chained_dlq, "{label}: dlq");
+            }
+        }
+    }
+}
+
+/// The exec_modes seeded fault sweep, one level up: with retry budget 8
+/// every injected fault is absorbed, and each cell's DAG output stays
+/// bit-identical to the fault-free chained reference.
+#[test]
+fn faulted_cells_stay_bit_identical() {
+    let tuples = small_cube();
+    let clean = run_marginals_chained(
+        &tuples,
+        &marginals_cfg(cluster(
+            ShuffleMode::Materialized,
+            FinalizeMode::Static,
+            1,
+            None,
+        )),
+    )
+    .unwrap();
+
+    for (mode, finalize) in CELLS {
+        for threads in THREADS {
+            let label = format!("faulted {mode:?}/{finalize:?} × threads={threads}");
+            let faulted = ClusterConfig {
+                retry_budget: 8,
+                fault_plan: Some(FaultPlan::seeded(23, 0.2)),
+                ..cluster(mode, finalize, threads, None)
+            };
+            let cfg = marginals_cfg(faulted);
+            let dag = run_marginals_dag(&tuples, &cfg).unwrap();
+            assert_eq!(dag.output, clean.marginals, "{label}: outputs");
+            assert!(dag.dlq.is_empty(), "{label}: budget 8 absorbs every fault");
+            let retries: u64 = dag
+                .metrics
+                .stages
+                .iter()
+                .flat_map(|s| &s.jobs)
+                .map(|j| j.faults.retries())
+                .sum();
+            assert!(retries > 0, "{label}: seed 23 at rate 0.2 must fire");
+        }
+    }
+}
+
+/// Per-stage fault plans compose: a poison task in round 2 only. Under
+/// `DlqMode::Capture` the dropped task is dead-lettered under the *second*
+/// round's stage name; under `DlqMode::Fail` the error names that stage —
+/// and the DAG agrees with the chain in both regimes.
+#[test]
+fn stage_scoped_faults_name_the_right_stage() {
+    let tuples = small_cube();
+    let poisoned = |dlq_mode| ClusterConfig {
+        fault_plan: Some(FaultPlan {
+            poison_reduce_tasks: vec![0],
+            ..FaultPlan::default()
+        }),
+        retry_budget: 1,
+        dlq_mode,
+        ..ClusterConfig::default()
+    };
+
+    // Capture: the job completes, the DLQ entry is attributed to round 2.
+    let cfg = MarginalsConfig {
+        second_cluster: poisoned(DlqMode::Capture),
+        ..marginals_cfg(ClusterConfig::default())
+    };
+    let dag = run_marginals_dag(&tuples, &cfg).unwrap();
+    let chained = run_marginals_chained(&tuples, &cfg).unwrap();
+    assert!(!dag.dlq.is_empty(), "poison task must dead-letter");
+    assert!(dag.dlq.iter().all(|e| e.stage == "second-order"));
+    assert_eq!(dag.dlq, chained.dlq);
+    assert_eq!(dag.output, chained.marginals);
+
+    // Fail: the error names round 2, identically on both paths.
+    let cfg = MarginalsConfig {
+        second_cluster: poisoned(DlqMode::Fail),
+        ..marginals_cfg(ClusterConfig::default())
+    };
+    let dag_err = run_marginals_dag(&tuples, &cfg).unwrap_err();
+    let chained_err = run_marginals_chained(&tuples, &cfg).unwrap_err();
+    assert_eq!(dag_err, chained_err);
+    assert_eq!(dag_err.stage(), "second-order");
+    assert!(matches!(
+        dag_err,
+        DagError::Stage {
+            source: SimError::RetriesExhausted { .. },
+            ..
+        }
+    ));
+}
+
+/// An invalid knob on round 1 fails the DAG with round 1's name before
+/// round 2 ever runs — also bit-identical to the chain.
+#[test]
+fn first_round_config_errors_name_the_first_stage() {
+    let tuples = small_cube();
+    let cfg = MarginalsConfig {
+        first_cluster: ClusterConfig {
+            memory_budget: Some(0),
+            ..ClusterConfig::default()
+        },
+        ..marginals_cfg(ClusterConfig::default())
+    };
+    let dag_err = run_marginals_dag(&tuples, &cfg).unwrap_err();
+    let chained_err = run_marginals_chained(&tuples, &cfg).unwrap_err();
+    assert_eq!(dag_err, chained_err);
+    assert_eq!(dag_err.stage(), "first-order");
+}
+
+/// The stage-pool size never changes results: the same graph on 1, 2, and
+/// 4 pool workers (with concurrent-ready sibling stages) is bit-identical.
+#[test]
+fn pool_size_is_invisible_to_outputs() {
+    let tuples = small_cube();
+    let cfg = marginals_cfg(ClusterConfig::default());
+    let reference = run_marginals_dag(&tuples, &cfg).unwrap();
+    for pool in [1usize, 2, 4] {
+        let (graph, sink) = mrassign_dag::marginals::marginals_graph(&tuples, &cfg);
+        let out = graph.run_on(pool, &sink).unwrap();
+        assert_eq!(out.output, reference.output, "pool={pool}");
+        assert_eq!(out.dlq, reference.dlq, "pool={pool}");
+    }
+}

@@ -1,0 +1,201 @@
+//! Property tests for the multi-tenant [`JobServer`]:
+//!
+//! * **no deadlock, no interference** — N random concurrent jobs from
+//!   random tenants at random priorities all complete, and each job's
+//!   output is bit-identical to running the same graph solo;
+//! * **fault plans compose per stage** — a random seeded fault plan on a
+//!   random round, absorbed by a generous retry budget, leaves the DAG
+//!   output bit-identical to the fault-free run (and poison faults name
+//!   the right stage — the deterministic cases live in `dag_modes.rs`);
+//! * **no starvation under priority inversion** — on a one-worker pool, a
+//!   quiet tenant's low-priority job is dispatched after a *bounded*
+//!   number of foreign stages however many high-priority jobs a noisy
+//!   tenant floods in, because fair share dominates priority.
+
+use mrassign_dag::marginals::{marginals_graph, run_marginals_dag, MarginalsConfig};
+use mrassign_dag::JobServer;
+use mrassign_simmr::{ClusterConfig, FaultPlan};
+use mrassign_workloads::cube::{generate_cube, CubeSpec, CubeTuple};
+use proptest::prelude::*;
+
+/// A small random cube: enough rows to shuffle, small enough to run many
+/// jobs per property case.
+fn cube_strategy() -> impl Strategy<Value = Vec<CubeTuple>> {
+    (40usize..120, 2usize..4, 3u32..5, 0u64..1_000).prop_map(|(n, dims, card, seed)| {
+        generate_cube(
+            &CubeSpec {
+                n_tuples: n,
+                dims,
+                cardinality: card,
+                skew: 0.7,
+                max_measure: 20,
+            },
+            seed,
+        )
+    })
+}
+
+fn cfg_for(tuples: &[CubeTuple]) -> MarginalsConfig {
+    MarginalsConfig {
+        dims: tuples[0].coords.len(),
+        first_reducers: 5,
+        second_reducers: 4,
+        first_cluster: ClusterConfig::default(),
+        second_cluster: ClusterConfig::default(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Concurrent jobs on one shared pool: all complete (join returning at
+    /// all is the no-deadlock property — a lost wakeup or dependency cycle
+    /// would hang here), and each output equals its solo run.
+    #[test]
+    fn concurrent_jobs_complete_and_match_solo_runs(
+        cubes in proptest::collection::vec(cube_strategy(), 2..5),
+        pool in 1usize..4,
+        priorities in proptest::collection::vec((0u32..5).prop_map(|p| p as i32 - 2), 4),
+    ) {
+        let server = JobServer::new(pool);
+        let handles: Vec<_> = cubes
+            .iter()
+            .enumerate()
+            .map(|(i, tuples)| {
+                let (graph, sink) = marginals_graph(tuples, &cfg_for(tuples));
+                let tenant = if i % 2 == 0 { "alice" } else { "bob" };
+                (i, server.submit(tenant, priorities[i % priorities.len()], graph, &sink))
+            })
+            .collect();
+        for (i, handle) in handles {
+            let shared = handle.join().unwrap();
+            let solo = run_marginals_dag(&cubes[i], &cfg_for(&cubes[i])).unwrap();
+            prop_assert_eq!(&shared.output, &solo.output, "job {}", i);
+            prop_assert!(shared.dlq.is_empty());
+        }
+        let shares = server.fair_share();
+        prop_assert_eq!(shares.len(), 2.min(cubes.len()));
+        prop_assert_eq!(
+            shares.iter().map(|s| s.jobs_submitted).sum::<u64>(),
+            cubes.len() as u64
+        );
+        prop_assert_eq!(
+            shares.iter().map(|s| s.jobs_completed).sum::<u64>(),
+            cubes.len() as u64
+        );
+        server.shutdown();
+    }
+
+    /// A seeded fault plan on one random round, absorbed by retries, is
+    /// invisible in the output: bit-identical to the fault-free run.
+    #[test]
+    fn absorbed_stage_faults_keep_outputs_identical(
+        tuples in cube_strategy(),
+        seed in 0u64..10_000,
+        fault_second in any::<bool>(),
+    ) {
+        let clean = run_marginals_dag(&tuples, &cfg_for(&tuples)).unwrap();
+        let faulted_cluster = ClusterConfig {
+            retry_budget: 10,
+            fault_plan: Some(FaultPlan::seeded(seed, 0.2)),
+            ..ClusterConfig::default()
+        };
+        let mut cfg = cfg_for(&tuples);
+        if fault_second {
+            cfg.second_cluster = faulted_cluster;
+        } else {
+            cfg.first_cluster = faulted_cluster;
+        }
+        let faulted = run_marginals_dag(&tuples, &cfg).unwrap();
+        prop_assert_eq!(faulted.output, clean.output);
+        prop_assert!(faulted.dlq.is_empty(), "budget 10 absorbs rate-0.2 faults");
+    }
+
+    /// Priority inversion cannot starve a tenant: on a one-worker pool a
+    /// noisy tenant floods high-priority jobs, yet the quiet tenant's
+    /// low-priority job waits at most a bounded number of foreign
+    /// dispatches per stage. The bound: the scheduler favors the smallest
+    /// fair-share span, so between two dispatches of the quiet tenant the
+    /// noisy tenant can be chosen only while its span is smaller — at most
+    /// one catch-up dispatch per ready quiet stage plus the stage running
+    /// when the job arrived.
+    #[test]
+    fn fair_share_bounds_the_quiet_tenants_wait(
+        noisy_jobs in 2usize..6,
+        quiet_priority in (0u32..3).prop_map(|p| -(p as i32) - 1),
+        noisy_priority in (5u32..8).prop_map(|p| p as i32),
+    ) {
+        let tuples = generate_cube(
+            &CubeSpec {
+                n_tuples: 80,
+                dims: 3,
+                cardinality: 4,
+                skew: 0.7,
+                max_measure: 20,
+            },
+            99,
+        );
+        let cfg = cfg_for(&tuples);
+        let server = JobServer::new(1);
+        let noisy: Vec<_> = (0..noisy_jobs)
+            .map(|_| {
+                let (graph, sink) = marginals_graph(&tuples, &cfg);
+                server.submit("noisy", noisy_priority, graph, &sink)
+            })
+            .collect();
+        let (graph, sink) = marginals_graph(&tuples, &cfg);
+        let quiet = server.submit("quiet", quiet_priority, graph, &sink);
+
+        let quiet_out = quiet.join().unwrap();
+        for handle in noisy {
+            handle.join().unwrap();
+        }
+        // Each noisy job has 3 task stages; unbounded starvation would show
+        // gaps that scale with noisy_jobs × 3. Fair share caps the gap per
+        // quiet stage at a small constant independent of noisy_jobs.
+        let gap = quiet_out.metrics.max_dispatch_gap();
+        prop_assert!(
+            gap <= 3,
+            "quiet tenant waited {} foreign dispatches (noisy_jobs={})",
+            gap,
+            noisy_jobs
+        );
+        server.shutdown();
+    }
+}
+
+/// Deterministic companion to the starvation property: the quiet tenant's
+/// service share is visible in the fair-share table.
+#[test]
+fn fair_share_table_accounts_both_tenants() {
+    let tuples = generate_cube(
+        &CubeSpec {
+            n_tuples: 60,
+            dims: 2,
+            cardinality: 4,
+            skew: 0.5,
+            max_measure: 10,
+        },
+        5,
+    );
+    let cfg = MarginalsConfig {
+        dims: 2,
+        ..MarginalsConfig::default()
+    };
+    let server = JobServer::new(2);
+    let (g1, s1) = marginals_graph(&tuples, &cfg);
+    let (g2, s2) = marginals_graph(&tuples, &cfg);
+    let h1 = server.submit("noisy", 5, g1, &s1);
+    let h2 = server.submit("quiet", -1, g2, &s2);
+    h1.join().unwrap();
+    h2.join().unwrap();
+    let shares = server.fair_share();
+    assert_eq!(shares.len(), 2);
+    for share in &shares {
+        assert_eq!(share.jobs_submitted, 1, "{}", share.tenant);
+        assert_eq!(share.jobs_completed, 1, "{}", share.tenant);
+        assert_eq!(share.stages_dispatched, 3, "{}", share.tenant);
+        assert!(share.service_seconds > 0.0, "{}", share.tenant);
+    }
+    server.shutdown();
+}

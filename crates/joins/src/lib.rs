@@ -13,6 +13,9 @@
 //!   while light keys are bin-packed into capacity-safe partitions.
 //!   Baselines (naive hash partitioning and broadcast join) run on the
 //!   same engine for comparison.
+//! * [`skewdag`] — the skew join's statistics and join rounds staged as a
+//!   `StageGraph` on the DAG scheduler, with a hand-chained referee for
+//!   differential testing.
 //!
 //! Both applications return real outputs *and* the engine's metrics, so
 //! the experiments can report correctness and cost from one run.
@@ -20,10 +23,14 @@
 mod error;
 
 pub mod simjoin;
+pub mod skewdag;
 pub mod skewjoin;
 
 pub use error::JoinError;
 pub use simjoin::{
     run_similarity_join, SimJoinConfig, SimJoinResult, SimJoinStrategy, SimilarPair,
+};
+pub use skewdag::{
+    run_skew_join_chained, run_skew_join_dag, skew_join_graph, SkewDagConfig, SkewJoinRounds,
 };
 pub use skewjoin::{run_skew_join, SkewJoinConfig, SkewJoinResult, SkewJoinStrategy};

@@ -88,15 +88,16 @@ pub struct SkewJoinResult {
     pub reducers: usize,
 }
 
-/// A tuple as shipped through the shuffle.
+/// A tuple as shipped through the shuffle. Shared with the DAG port in
+/// [`crate::skewdag`], which stages the same rounds on a `StageGraph`.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct TaggedTuple {
+pub(crate) struct TaggedTuple {
     /// True for X-side tuples.
-    is_x: bool,
-    b: u64,
+    pub(crate) is_x: bool,
+    pub(crate) b: u64,
     /// `A` for X tuples, `C` for Y tuples.
-    other: u64,
-    payload: String,
+    pub(crate) other: u64,
+    pub(crate) payload: String,
 }
 
 impl ByteSized for TaggedTuple {
@@ -125,9 +126,9 @@ impl SpillCodec for TaggedTuple {
 }
 
 /// Engine input: a tagged tuple plus its precomputed reducer targets.
-struct RoutedTuple {
-    tuple: TaggedTuple,
-    targets: Vec<usize>,
+pub(crate) struct RoutedTuple {
+    pub(crate) tuple: TaggedTuple,
+    pub(crate) targets: Vec<usize>,
 }
 
 impl ByteSized for RoutedTuple {
@@ -136,7 +137,7 @@ impl ByteSized for RoutedTuple {
     }
 }
 
-struct RouteMapper;
+pub(crate) struct RouteMapper;
 
 impl Mapper for RouteMapper {
     type In = RoutedTuple;
@@ -150,7 +151,7 @@ impl Mapper for RouteMapper {
     }
 }
 
-struct JoinReducer;
+pub(crate) struct JoinReducer;
 
 impl Reducer for JoinReducer {
     type Key = u64;
@@ -184,23 +185,7 @@ pub fn run_skew_join(
     pair: &RelationPair,
     config: &SkewJoinConfig,
 ) -> Result<SkewJoinResult, JoinError> {
-    // Tag all tuples; X first, then Y.
-    let tagged: Vec<TaggedTuple> = pair
-        .x
-        .iter()
-        .map(|t| TaggedTuple {
-            is_x: true,
-            b: t.b,
-            other: t.a,
-            payload: t.payload.clone(),
-        })
-        .chain(pair.y.iter().map(|t| TaggedTuple {
-            is_x: false,
-            b: t.b,
-            other: t.c,
-            payload: t.payload.clone(),
-        }))
-        .collect();
+    let tagged = tag_pair(pair);
 
     let (routes, n_reducers, heavy_keys, capacity_policy) = match config.strategy {
         SkewJoinStrategy::NaiveHash { reducers } => plan_hash(&tagged, reducers, config.capacity)?,
@@ -248,6 +233,50 @@ pub fn run_skew_join(
 }
 
 type Plan = (Vec<Vec<usize>>, usize, usize, CapacityPolicy);
+
+/// Tags both relations into one shuffle-ready list: X first, then Y, each
+/// side in relation order. The DAG port relies on this order being stable
+/// (indices into the list identify tuples across rounds).
+pub(crate) fn tag_pair(pair: &RelationPair) -> Vec<TaggedTuple> {
+    pair.x
+        .iter()
+        .map(|t| TaggedTuple {
+            is_x: true,
+            b: t.b,
+            other: t.a,
+            payload: t.payload.clone(),
+        })
+        .chain(pair.y.iter().map(|t| TaggedTuple {
+            is_x: false,
+            b: t.b,
+            other: t.c,
+            payload: t.payload.clone(),
+        }))
+        .collect()
+}
+
+/// Per-joinable-key tuple index lists (X side, Y side), ascending.
+pub(crate) type PerKey = std::collections::BTreeMap<u64, (Vec<usize>, Vec<usize>)>;
+
+/// Groups `tagged` indices by join key, keeping only joinable keys — the
+/// inline statistics pass of [`run_skew_join`]; the DAG port computes the
+/// same map with a dedicated statistics *round* instead.
+pub(crate) fn collect_per_key(tagged: &[TaggedTuple]) -> PerKey {
+    let joinable = joinable_keys(tagged);
+    let mut per_key = PerKey::new();
+    for (idx, t) in tagged.iter().enumerate() {
+        if !joinable.contains(&t.b) {
+            continue;
+        }
+        let entry: &mut (Vec<usize>, Vec<usize>) = per_key.entry(t.b).or_default();
+        if t.is_x {
+            entry.0.push(idx);
+        } else {
+            entry.1.push(idx);
+        }
+    }
+    per_key
+}
 
 /// Keys that appear on both sides (only these can produce output). All
 /// strategies prune one-sided keys so their capacity/communication numbers
@@ -303,26 +332,27 @@ fn plan_broadcast(tagged: &[TaggedTuple], reducers: usize, q: u64) -> Result<Pla
 }
 
 fn plan_skew_aware(tagged: &[TaggedTuple], q: u64, policy: FitPolicy) -> Result<Plan, JoinError> {
-    let joinable = joinable_keys(tagged);
+    let per_key = collect_per_key(tagged);
+    plan_from_per_key(tagged, &per_key, q, policy)
+}
 
-    // Per-key tuple lists (indices into `tagged`), X and Y separately.
-    let mut per_key: std::collections::BTreeMap<u64, (Vec<usize>, Vec<usize>)> =
-        std::collections::BTreeMap::new();
-    for (idx, t) in tagged.iter().enumerate() {
-        if !joinable.contains(&t.b) {
-            continue;
-        }
-        let entry = per_key.entry(t.b).or_default();
-        if t.is_x {
-            entry.0.push(idx);
-        } else {
-            entry.1.push(idx);
-        }
-        if t.size_bytes() > q {
-            return Err(JoinError::TupleTooLarge {
-                size: t.size_bytes(),
-                capacity: q,
-            });
+/// The skew-aware routing plan proper: heavy keys get per-key X2Y schemas,
+/// light keys are FFD-packed whole. Factored out of [`plan_skew_aware`] so
+/// the DAG port can feed it a `per_key` computed by its statistics round.
+pub(crate) fn plan_from_per_key(
+    tagged: &[TaggedTuple],
+    per_key: &PerKey,
+    q: u64,
+    policy: FitPolicy,
+) -> Result<Plan, JoinError> {
+    for (xs, ys) in per_key.values() {
+        for &i in xs.iter().chain(ys.iter()) {
+            if tagged[i].size_bytes() > q {
+                return Err(JoinError::TupleTooLarge {
+                    size: tagged[i].size_bytes(),
+                    capacity: q,
+                });
+            }
         }
     }
 
@@ -334,7 +364,7 @@ fn plan_skew_aware(tagged: &[TaggedTuple], q: u64, policy: FitPolicy) -> Result<
     let mut light_keys: Vec<u64> = Vec::new();
     let mut light_weights: Vec<u64> = Vec::new();
 
-    for (&b, (xs, ys)) in &per_key {
+    for (&b, (xs, ys)) in per_key {
         let key_weight: u64 = xs
             .iter()
             .chain(ys.iter())

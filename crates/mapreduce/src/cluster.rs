@@ -195,17 +195,26 @@ impl std::str::FromStr for FaultPlan {
     /// Parses the `--faults` / `MRASSIGN_FAULTS` spec grammar:
     /// comma-separated `key:value` pairs, e.g. `seed:7,rate:0.05`.
     /// Accepted keys: `seed`, `rate` (sets both stages), `map-rate`,
-    /// `reduce-rate`. Unknown keys and malformed values fail loudly.
+    /// `reduce-rate`. Unknown keys, malformed values, and a key repeated
+    /// by name fail loudly — silently letting the last duplicate win
+    /// would hide typos in long specs. (`rate` alongside `map-rate` /
+    /// `reduce-rate` is *not* a duplicate: the later key refines one
+    /// stage, a documented layering.)
     fn from_str(spec: &str) -> Result<Self, Self::Err> {
         const VOCAB: &str = "seed:<u64>, rate:<f64>, map-rate:<f64>, reduce-rate:<f64>";
         if spec.trim().is_empty() {
             return Err(format!("empty fault spec (expected {VOCAB})"));
         }
         let mut plan = FaultPlan::default();
+        let mut seen: Vec<&str> = Vec::new();
         for part in spec.split(',') {
             let (key, value) = part
                 .split_once(':')
                 .ok_or_else(|| format!("fault spec part `{part}` is not key:value ({VOCAB})"))?;
+            if seen.contains(&key) {
+                return Err(format!("duplicate fault spec key `{key}` ({VOCAB})"));
+            }
+            seen.push(key);
             match key {
                 "seed" => {
                     plan.seed = value
@@ -839,6 +848,26 @@ mod tests {
             let err = bad.parse::<FaultPlan>().unwrap_err();
             assert!(err.contains("seed") || err.contains("rate"), "{bad}: {err}");
         }
+    }
+
+    /// A repeated key is a typo, not a request for last-wins semantics.
+    #[test]
+    fn fault_spec_rejects_duplicate_keys() {
+        for dup in [
+            "seed:1,seed:2",
+            "rate:0.1,rate:0.2",
+            "map-rate:0.1,rate:0.2,map-rate:0.3",
+            "seed:1,reduce-rate:0.1,reduce-rate:0.1",
+        ] {
+            let err = dup.parse::<FaultPlan>().unwrap_err();
+            assert!(err.contains("duplicate"), "{dup}: {err}");
+        }
+        // `rate` plus a stage-specific refinement is layering, not a
+        // duplicate: `rate` seeds both stages, `map-rate` then overrides
+        // one of them.
+        let plan: FaultPlan = "rate:0.1,map-rate:0.3".parse().unwrap();
+        assert!((plan.map_rate - 0.3).abs() < 1e-12);
+        assert!((plan.reduce_rate - 0.1).abs() < 1e-12);
     }
 
     /// Fault rates are validated like every other knob: by name, before

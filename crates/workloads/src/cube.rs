@@ -1,0 +1,121 @@
+//! Seeded data-cube generator for the marginals workload.
+//!
+//! "Computing Marginals Using MapReduce" (Afrati, Sharma, Ullman) computes,
+//! for a fact table with `d` dimensions, the aggregate of the measure over
+//! every subset of dimensions — here the first- and second-order marginals,
+//! chained as two MapReduce rounds on the DAG scheduler. This module only
+//! generates the fact table: `n_tuples` rows whose coordinate in each
+//! dimension is Zipf-skewed (skew concentrates marginal mass on few
+//! coordinate values, the different-sized-inputs regime of the main paper).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::sizes::ZipfTable;
+
+/// One fact-table row: a coordinate per dimension plus an integer measure.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CubeTuple {
+    /// Coordinate in each dimension, `coords.len() == dims`.
+    pub coords: Vec<u32>,
+    /// The measure being aggregated.
+    pub measure: u64,
+}
+
+/// Parameters of a generated data cube.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CubeSpec {
+    /// Number of fact rows.
+    pub n_tuples: usize,
+    /// Number of dimensions (the marginals rounds need at least 2).
+    pub dims: usize,
+    /// Distinct coordinate values per dimension.
+    pub cardinality: u32,
+    /// Zipf exponent of each dimension's coordinate distribution
+    /// (0 = uniform).
+    pub skew: f64,
+    /// Measures are drawn uniformly from `1..=max_measure`.
+    pub max_measure: u64,
+}
+
+impl Default for CubeSpec {
+    fn default() -> Self {
+        CubeSpec {
+            n_tuples: 10_000,
+            dims: 3,
+            cardinality: 16,
+            skew: 1.0,
+            max_measure: 100,
+        }
+    }
+}
+
+/// Generates a data cube deterministically from `seed`.
+///
+/// # Panics
+/// If `dims == 0`, `cardinality == 0`, or `max_measure == 0` — an empty
+/// coordinate space or zero measures make every marginal degenerate.
+pub fn generate_cube(spec: &CubeSpec, seed: u64) -> Vec<CubeTuple> {
+    assert!(spec.dims > 0, "cube needs at least one dimension");
+    assert!(spec.cardinality > 0, "cube needs a nonzero cardinality");
+    assert!(spec.max_measure > 0, "cube needs a nonzero measure range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let table = ZipfTable::new(spec.cardinality, spec.skew);
+    (0..spec.n_tuples)
+        .map(|_| {
+            let coords = (0..spec.dims).map(|_| table.sample(&mut rng) - 1).collect();
+            let measure = rng.random_range(1..=spec.max_measure);
+            CubeTuple { coords, measure }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(skew: f64) -> CubeSpec {
+        CubeSpec {
+            n_tuples: 2_000,
+            dims: 3,
+            cardinality: 10,
+            skew,
+            max_measure: 50,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_cube(&small_spec(1.0), 7);
+        let b = generate_cube(&small_spec(1.0), 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tuples_match_spec() {
+        let cube = generate_cube(&small_spec(0.5), 1);
+        assert_eq!(cube.len(), 2_000);
+        assert!(cube.iter().all(|t| t.coords.len() == 3));
+        assert!(cube.iter().all(|t| t.coords.iter().all(|&c| c < 10)));
+        assert!(cube.iter().all(|t| (1..=50).contains(&t.measure)));
+    }
+
+    #[test]
+    fn skew_concentrates_coordinates() {
+        let count_top = |cube: &[CubeTuple]| {
+            let mut counts = [0u32; 10];
+            for t in cube {
+                counts[t.coords[0] as usize] += 1;
+            }
+            *counts.iter().max().unwrap()
+        };
+        let uniform = generate_cube(&small_spec(0.0), 3);
+        let skewed = generate_cube(&small_spec(1.3), 3);
+        assert!(
+            count_top(&skewed) > 2 * count_top(&uniform),
+            "skewed top {} vs uniform top {}",
+            count_top(&skewed),
+            count_top(&uniform)
+        );
+    }
+}

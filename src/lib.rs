@@ -23,6 +23,8 @@
 //! * [`workloads`] *(crate `mrassign-workloads`)* — seeded generators;
 //! * [`joins`] *(crate `mrassign-joins`)* — end-to-end similarity join and
 //!   skew join with baselines;
+//! * [`dag`] *(crate `mrassign-dag`)* — chained MR rounds as a scheduled
+//!   stage graph, plus a multi-tenant job server sharing one cluster pool;
 //! * [`planner`] *(crate `mrassign-planner`)* — the capacity planner: a
 //!   multi-threaded q-frontier sweep choosing `q` under a user objective.
 //!
@@ -54,6 +56,7 @@
 
 pub use mrassign_binpack as binpack;
 pub use mrassign_core as core;
+pub use mrassign_dag as dag;
 pub use mrassign_joins as joins;
 pub use mrassign_planner as planner;
 pub use mrassign_simmr as simmr;

@@ -3,6 +3,10 @@
 
 use mrassign::binpack::FitPolicy;
 use mrassign::core::{a2a, bounds, exact, stats::SchemaStats, x2y, InputSet, X2yInstance};
+use mrassign::dag::marginals::{
+    marginals_graph, run_marginals_chained, run_marginals_dag, MarginalsConfig,
+};
+use mrassign::dag::JobServer;
 use mrassign::joins::{
     run_similarity_join, run_skew_join, SimJoinConfig, SimJoinStrategy, SkewJoinConfig,
     SkewJoinStrategy,
@@ -12,6 +16,7 @@ use mrassign::simmr::{
     ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, FaultPlan, FinalizeMode, Job,
     Mapper, Reducer, ShuffleMode, SpillCodec,
 };
+use mrassign::workloads::cube::{generate_cube, CubeSpec};
 use mrassign::workloads::{
     generate_documents, generate_relation_pair, DocumentSpec, RelationSpec, SizeDistribution,
 };
@@ -390,6 +395,45 @@ fn shuffle_modes_produce_identical_job_output() {
         skew_mat.metrics.deterministic(),
         skew_steal.metrics.deterministic()
     );
+}
+
+/// A chained two-round workload staged on the DAG scheduler, under
+/// whatever engine the environment selects (CI re-runs this leg per
+/// shuffle mode, under fault injection, and under a tight memory budget):
+/// the scheduled graph, the hand-chained referee, and a two-tenant shared
+/// pool must all produce bit-identical outputs.
+#[test]
+fn dag_workload_matches_chain_under_env_cluster() {
+    let tuples = generate_cube(
+        &CubeSpec {
+            n_tuples: 250,
+            dims: 3,
+            cardinality: 6,
+            skew: 0.9,
+            max_measure: 30,
+        },
+        47,
+    );
+    let cfg = MarginalsConfig {
+        dims: 3,
+        first_cluster: cluster(),
+        second_cluster: cluster(),
+        ..MarginalsConfig::default()
+    };
+    let dag = run_marginals_dag(&tuples, &cfg).unwrap();
+    let chained = run_marginals_chained(&tuples, &cfg).unwrap();
+    assert_eq!(dag.output, chained.marginals);
+    assert_eq!(dag.dlq, chained.dlq);
+
+    // Two tenants sharing one two-worker pool see the same bytes.
+    let server = JobServer::new(2);
+    let (g1, s1) = marginals_graph(&tuples, &cfg);
+    let (g2, s2) = marginals_graph(&tuples, &cfg);
+    let h1 = server.submit("alice", 1, g1, &s1);
+    let h2 = server.submit("bob", -1, g2, &s2);
+    assert_eq!(h1.join().unwrap().output, chained.marginals);
+    assert_eq!(h2.join().unwrap().output, chained.marginals);
+    server.shutdown();
 }
 
 /// Acceptance: `plan_a2a`/`plan_x2y` output is identical across
