@@ -289,7 +289,7 @@ pub fn finish(table: &Table, csv_name: &str) {
 
 /// A sized, routed input blob; the payload is simulated (only its size
 /// travels), which is exactly what byte accounting needs.
-#[derive(Clone)]
+#[derive(Clone, Hash)]
 pub struct Blob {
     /// Input id.
     pub id: u32,

@@ -114,6 +114,27 @@ impl ByteSized for Marginal {
     }
 }
 
+// Reducer outputs must be codec-able so a `checkpoint_dir` can persist
+// and resume finalized partitions.
+impl SpillCodec for Marginal {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.dropped.encode(buf);
+        self.coords.encode(buf);
+        self.total.encode(buf);
+    }
+
+    fn decode(bytes: &mut &[u8]) -> Option<Self> {
+        let dropped = Vec::<u8>::decode(bytes)?;
+        let coords = Vec::<u32>::decode(bytes)?;
+        let total = u64::decode(bytes)?;
+        Some(Marginal {
+            dropped,
+            coords,
+            total,
+        })
+    }
+}
+
 /// Round-1 mapper: each row contributes to `dims` first-order marginals.
 struct FirstOrderMapper {
     dims: usize,
@@ -228,6 +249,20 @@ impl Default for MarginalsConfig {
             first_cluster: ClusterConfig::default(),
             second_cluster: ClusterConfig::default(),
         }
+    }
+}
+
+impl MarginalsConfig {
+    /// Points both rounds at per-stage checkpoint subdirectories of
+    /// `base` (builder style), making the whole chain resumable: if the
+    /// second-order round is killed mid-run, a re-run replays the
+    /// first-order round entirely from its checkpoints (bit-identical
+    /// outputs, so round 2's job fingerprint still matches) and then
+    /// finishes only round 2's missing partitions.
+    pub fn with_checkpoint_base(mut self, base: &std::path::Path) -> Self {
+        self.first_cluster.checkpoint_dir = Some(base.join("first-order"));
+        self.second_cluster.checkpoint_dir = Some(base.join("second-order"));
+        self
     }
 }
 
@@ -459,6 +494,41 @@ mod tests {
             .map(JobMetrics::deterministic)
             .collect();
         assert_eq!(dag_jobs, chained_jobs);
+    }
+
+    #[test]
+    fn checkpointed_rerun_resumes_both_rounds() {
+        let tuples = small_cube();
+        let fresh = run_marginals_dag(&tuples, &MarginalsConfig::default()).unwrap();
+
+        let base = std::env::temp_dir().join(format!(
+            "mrassign-dag-ckpt-marginals-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&base);
+        let cfg = MarginalsConfig::default().with_checkpoint_base(&base);
+
+        // First checkpointed run: cold — every partition is a miss.
+        let cold = run_marginals_dag(&tuples, &cfg).unwrap();
+        assert_eq!(cold.output, fresh.output);
+        for stage in ["first-order", "second-order"] {
+            let job = &cold.metrics.stage(stage).unwrap().jobs[0];
+            assert_eq!(job.pipeline.checkpoint_hits, 0, "{stage} cold run");
+            assert!(job.pipeline.checkpoint_misses > 0, "{stage} cold run");
+        }
+
+        // Re-run against the same base: both rounds replay entirely from
+        // their checkpoints (round 1's resumed output is bit-identical,
+        // so round 2's fingerprint still matches), bit-identical to the
+        // uncheckpointed run.
+        let resumed = run_marginals_dag(&tuples, &cfg).unwrap();
+        assert_eq!(resumed.output, fresh.output);
+        for stage in ["first-order", "second-order"] {
+            let job = &resumed.metrics.stage(stage).unwrap().jobs[0];
+            assert!(job.pipeline.checkpoint_hits > 0, "{stage} resumed");
+            assert_eq!(job.pipeline.checkpoint_misses, 0, "{stage} resumed");
+        }
+        std::fs::remove_dir_all(&base).unwrap();
     }
 
     #[test]

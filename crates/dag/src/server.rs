@@ -372,9 +372,25 @@ impl Drop for JobServer {
     }
 }
 
+/// The fair-share dispatch key of one ready entry: (tenant service
+/// seconds, tenant stages dispatched, job priority, admission seq).
+type DispatchKey = (f64, u64, i32, u64);
+
+/// Whether key `k` dispatches before key `b` under the fair-share order.
+/// Uses `total_cmp` on the float span so the order stays total (and the
+/// scan deterministic) even if a non-finite span ever slipped into the
+/// share table.
+fn dispatches_before(k: &DispatchKey, b: &DispatchKey) -> bool {
+    k.0.total_cmp(&b.0)
+        .then(k.1.cmp(&b.1))
+        .then(b.2.cmp(&k.2)) // higher priority wins
+        .then(k.3.cmp(&b.3))
+        .is_lt()
+}
+
 /// Index of the best ready entry under the fair-share order, or `None`.
 fn pick_best(st: &ServerState) -> Option<usize> {
-    let key = |e: &ReadyEntry| -> (f64, u64, i32, u64) {
+    let key = |e: &ReadyEntry| -> DispatchKey {
         let t = st.tenants.get(&e.tenant);
         (
             t.map_or(0.0, |t| t.service_seconds),
@@ -383,18 +399,12 @@ fn pick_best(st: &ServerState) -> Option<usize> {
             e.seq,
         )
     };
-    let mut best: Option<(usize, (f64, u64, i32, u64))> = None;
+    let mut best: Option<(usize, DispatchKey)> = None;
     for (idx, entry) in st.ready.iter().enumerate() {
         let k = key(entry);
         let replace = match &best {
             None => true,
-            Some((_, b)) => {
-                k.0.total_cmp(&b.0)
-                    .then(k.1.cmp(&b.1))
-                    .then(b.2.cmp(&k.2)) // higher priority wins
-                    .then(k.3.cmp(&b.3))
-                    .is_lt()
-            }
+            Some((_, b)) => dispatches_before(&k, b),
         };
         if replace {
             best = Some((idx, k));
@@ -510,7 +520,13 @@ fn worker_loop(inner: &ServerInner) {
             st.running -= 1;
             {
                 let t = st.tenants.entry(entry.tenant.clone()).or_default();
-                t.service_seconds += wall;
+                // A non-finite wall-clock would poison the tenant's span —
+                // under `total_cmp` a NaN span sorts *after* every finite
+                // one, permanently starving the tenant — so reject it from
+                // accounting instead of accumulating it.
+                if wall.is_finite() {
+                    t.service_seconds += wall;
+                }
                 if completed {
                     t.jobs_completed += 1;
                 }
@@ -538,5 +554,37 @@ fn worker_loop(inner: &ServerInner) {
         if completed {
             entry.job.done.notify_all();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_order_is_total_even_with_nan_spans() {
+        // The fair-share scan must stay deterministic if a NaN span ever
+        // reaches a dispatch key: total_cmp places NaN after +inf, so a
+        // NaN-span tenant loses to every finite-span tenant and the scan
+        // never flip-flops on comparison direction.
+        let nan: DispatchKey = (f64::NAN, 0, 0, 0);
+        let finite: DispatchKey = (1e12, 0, 0, 1);
+        assert!(dispatches_before(&finite, &nan));
+        assert!(!dispatches_before(&nan, &finite));
+        // NaN vs NaN falls through to the integer tie-breakers.
+        let nan2: DispatchKey = (f64::NAN, 0, 0, 1);
+        assert!(dispatches_before(&nan, &nan2));
+        assert!(!dispatches_before(&nan2, &nan));
+    }
+
+    #[test]
+    fn dispatch_order_prefers_small_span_then_priority_then_fifo() {
+        let a: DispatchKey = (1.0, 5, 0, 9);
+        let b: DispatchKey = (2.0, 0, 100, 0);
+        assert!(dispatches_before(&a, &b), "smaller span beats priority");
+        let hi: DispatchKey = (1.0, 5, 3, 9);
+        assert!(dispatches_before(&hi, &a), "priority breaks span ties");
+        let early: DispatchKey = (1.0, 5, 0, 2);
+        assert!(dispatches_before(&early, &a), "FIFO breaks full ties");
     }
 }

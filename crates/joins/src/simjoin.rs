@@ -59,6 +59,24 @@ pub struct SimilarPair {
     pub similarity: f64,
 }
 
+// Reducer outputs must be codec-able so a `checkpoint_dir` can persist
+// and resume finalized partitions; the similarity travels as its exact
+// bit pattern, so persisted pairs decode bit-identically.
+impl SpillCodec for SimilarPair {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.a.encode(buf);
+        self.b.encode(buf);
+        self.similarity.encode(buf);
+    }
+
+    fn decode(bytes: &mut &[u8]) -> Option<Self> {
+        let a = u32::decode(bytes)?;
+        let b = u32::decode(bytes)?;
+        let similarity = f64::decode(bytes)?;
+        Some(SimilarPair { a, b, similarity })
+    }
+}
+
 /// Everything a similarity-join run returns.
 #[derive(Debug, Clone)]
 pub struct SimJoinResult {
@@ -71,7 +89,7 @@ pub struct SimJoinResult {
 }
 
 /// A document as shipped through the shuffle: id plus token payload.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct ShippedDoc {
     id: u32,
     tokens: Vec<u32>,
@@ -101,6 +119,7 @@ impl SpillCodec for ShippedDoc {
 }
 
 /// Input wrapper: the document plus its schema targets.
+#[derive(Hash)]
 struct RoutedDoc {
     doc: ShippedDoc,
     targets: Vec<usize>,

@@ -28,7 +28,7 @@ use mrassign_binpack::FitPolicy;
 use mrassign_dag::{DagError, DagOutput, StageDlqEntry, StageFailure, StageGraph, StageHandle};
 use mrassign_simmr::{
     ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, HashRouter, Job, JobMetrics,
-    Mapper, Reducer,
+    Mapper, Reducer, SpillCodec,
 };
 use mrassign_workloads::RelationPair;
 
@@ -38,6 +38,7 @@ use crate::skewjoin::{
 
 /// Statistics-round input: a tagged tuple plus its index in the tagged
 /// list, so the plan stage can route the original tuples by index.
+#[derive(Hash)]
 struct IndexedTuple {
     idx: u64,
     tuple: TaggedTuple,
@@ -68,6 +69,23 @@ struct KeyStats {
     b: u64,
     xs: Vec<u64>,
     ys: Vec<u64>,
+}
+
+// Reducer outputs must be codec-able so a `checkpoint_dir` can persist
+// and resume finalized partitions.
+impl SpillCodec for KeyStats {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.b.encode(buf);
+        self.xs.encode(buf);
+        self.ys.encode(buf);
+    }
+
+    fn decode(bytes: &mut &[u8]) -> Option<Self> {
+        let b = u64::decode(bytes)?;
+        let xs = Vec::<u64>::decode(bytes)?;
+        let ys = Vec::<u64>::decode(bytes)?;
+        Some(KeyStats { b, xs, ys })
+    }
 }
 
 /// Statistics reducer: splits a key's entries by side and prunes keys that
@@ -142,6 +160,18 @@ impl Default for SkewDagConfig {
             stats_cluster: ClusterConfig::default(),
             join_cluster: ClusterConfig::default(),
         }
+    }
+}
+
+impl SkewDagConfig {
+    /// Points both rounds at per-stage checkpoint subdirectories of
+    /// `base` (builder style): a job killed in the join round resumes
+    /// with the statistics round served from its checkpoints and only
+    /// the join round's missing partitions re-executed.
+    pub fn with_checkpoint_base(mut self, base: &std::path::Path) -> Self {
+        self.stats_cluster.checkpoint_dir = Some(base.join("stats"));
+        self.join_cluster.checkpoint_dir = Some(base.join("join"));
+        self
     }
 }
 

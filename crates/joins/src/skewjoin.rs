@@ -90,7 +90,7 @@ pub struct SkewJoinResult {
 
 /// A tuple as shipped through the shuffle. Shared with the DAG port in
 /// [`crate::skewdag`], which stages the same rounds on a `StageGraph`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct TaggedTuple {
     /// True for X-side tuples.
     pub(crate) is_x: bool,
@@ -126,6 +126,7 @@ impl SpillCodec for TaggedTuple {
 }
 
 /// Engine input: a tagged tuple plus its precomputed reducer targets.
+#[derive(Hash)]
 pub(crate) struct RoutedTuple {
     pub(crate) tuple: TaggedTuple,
     pub(crate) targets: Vec<usize>,

@@ -1,0 +1,822 @@
+//! Checkpoint/resume for finalized reducer partitions.
+//!
+//! When [`ClusterConfig::checkpoint_dir`](crate::ClusterConfig::checkpoint_dir)
+//! is set, the engine persists every successfully finalized partition's
+//! outputs under `<dir>/job-<fingerprint>/` and records it in a small
+//! versioned, checksummed manifest. A later run of the *same job* (same
+//! output-affecting config, same workload signature — see
+//! [`Fingerprint`]) finds the manifest, verifies it, and replays only the
+//! partitions that are missing; checkpointed partitions are merged back
+//! bit-identically, in the same (partition, key, arrival) order a fresh
+//! run produces.
+//!
+//! Failure philosophy: checkpointing is an accelerator, never a
+//! correctness dependency. Only *initialization* (creating the job
+//! directory, opening the manifest) can fail the job — everything after
+//! that degrades: a torn or bit-flipped manifest keeps its valid prefix
+//! and re-executes the rest with a named warning; a corrupt partition
+//! file is re-executed and rewritten; a failed checkpoint write warns and
+//! continues. Every degradation is counted in
+//! [`PipelineMetrics::checkpoint_invalid`](crate::PipelineMetrics::checkpoint_invalid)
+//! so it is observable, and all checkpoint counters are masked from
+//! [`JobMetrics::deterministic`](crate::JobMetrics::deterministic) so
+//! resumed and fresh runs stay comparable.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <checkpoint_dir>/job-<fingerprint:016x>/
+//!   manifest.bin               header + fixed-size checksummed entries
+//!   part-<partition>.ckpt      one file per finalized partition
+//!   part-<p>.ckpt.tmp-<pid>-<seq>   in-flight writes (renamed on commit)
+//! ```
+//!
+//! The write protocol per partition is: encode → write tmp → fsync →
+//! rename over the final name → append + flush the manifest entry. A
+//! crash at any point leaves either no entry (the partition re-executes)
+//! or a committed file + entry (the partition is skipped) — never a
+//! half-trusted state, because the manifest entry carries the file's
+//! length and FNV-64 content hash and both are re-verified at load.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::hash::{Hash, Hasher};
+use std::io::{Seek, SeekFrom, Write};
+use std::marker::PhantomData;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::cluster::ClusterConfig;
+use crate::error::SimError;
+use crate::job::CapacityPolicy;
+use crate::metrics::PipelineMetrics;
+use crate::record::ByteSized;
+use crate::spill::SpillCodec;
+
+const MANIFEST_MAGIC: [u8; 8] = *b"MRCKPT\0\0";
+const MANIFEST_VERSION: u32 = 1;
+/// magic (8) + version (4) + fingerprint (8).
+const HEADER_LEN: usize = 20;
+/// partition, records, distinct_keys, file_bytes, file_hash (5 × u64),
+/// then the FNV-64 of those 40 bytes.
+const ENTRY_LEN: usize = 48;
+
+/// Monotonic discriminator for in-flight checkpoint tmp files, so
+/// concurrent consumer threads (and concurrent tests in one process)
+/// never collide.
+static CKPT_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// FNV-1a over `bytes` — the same dependency-free 64-bit hash the rest
+/// of the crate-family uses where collision resistance is not the threat
+/// model (here: detecting torn writes and bit rot, not adversaries).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a as a [`std::hash::Hasher`], so input *content* (via `Hash`)
+/// folds into the job fingerprint. Std's `DefaultHasher` would work
+/// today but its algorithm is not guaranteed stable across releases,
+/// and a silent fingerprint shift orphans every existing checkpoint.
+struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Deterministic identity of a job's *output-affecting* configuration
+/// plus its workload signature. Two runs with equal fingerprints produce
+/// bit-identical `JobOutput.outputs`, so one may safely consume the
+/// other's checkpoints.
+///
+/// Included: the job's type names (mapper/reducer/router), reducer
+/// count, capacity policy, retry budget, DLQ mode, the fault plan's
+/// seed/rates/poison lists, and the workload (input count plus each
+/// input's byte size *and content hash*, in order — size alone is not
+/// enough: two jobs over equal-record-size inputs with different
+/// contents must not share a checkpoint session, or one would replay
+/// the other's partitions as its own).
+///
+/// Deliberately **excluded**: execution-only knobs that the differential
+/// suite proves never change outputs (workers, threads, shuffle mode,
+/// finalize mode, pipeline depth, memory budget, speculation, rates and
+/// overheads that only shape simulated time) — and the fault plan's
+/// *kill* and *straggle* lists, which affect whether a run survives, not
+/// what it outputs. Excluding the kill list is what lets a resume run
+/// drop `kill-reduce:…` from its fault spec and still match the
+/// checkpoints the killed run left behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Fingerprint(pub(crate) u64);
+
+impl Fingerprint {
+    pub(crate) fn compute<'a, I>(
+        config: &ClusterConfig,
+        n_reducers: usize,
+        capacity: &CapacityPolicy,
+        job_types: &str,
+        inputs: impl Iterator<Item = &'a I>,
+    ) -> Fingerprint
+    where
+        I: Hash + ByteSized + 'a,
+    {
+        let mut buf = Vec::with_capacity(256);
+        buf.extend_from_slice(&MANIFEST_MAGIC);
+        buf.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        buf.extend_from_slice(job_types.as_bytes());
+        buf.push(0);
+        buf.extend_from_slice(&(n_reducers as u64).to_le_bytes());
+        match capacity {
+            CapacityPolicy::Unlimited => buf.push(0),
+            CapacityPolicy::Enforce(q) => {
+                buf.push(1);
+                buf.extend_from_slice(&q.to_le_bytes());
+            }
+            CapacityPolicy::Record(q) => {
+                buf.push(2);
+                buf.extend_from_slice(&q.to_le_bytes());
+            }
+        }
+        buf.extend_from_slice(&config.retry_budget.to_le_bytes());
+        buf.push(match config.dlq_mode {
+            crate::cluster::DlqMode::Capture => 0,
+            crate::cluster::DlqMode::Fail => 1,
+        });
+        match &config.fault_plan {
+            None => buf.push(0),
+            Some(plan) => {
+                buf.push(1);
+                buf.extend_from_slice(&plan.seed.to_le_bytes());
+                buf.extend_from_slice(&plan.map_rate.to_bits().to_le_bytes());
+                buf.extend_from_slice(&plan.reduce_rate.to_bits().to_le_bytes());
+                for list in [&plan.poison_map_tasks, &plan.poison_reduce_tasks] {
+                    buf.extend_from_slice(&(list.len() as u64).to_le_bytes());
+                    for &idx in list {
+                        buf.extend_from_slice(&(idx as u64).to_le_bytes());
+                    }
+                }
+            }
+        }
+        let mut h = fnv1a(&buf);
+        // Workload signature, streamed so huge input sets never
+        // materialize a second buffer.
+        let mut count = 0u64;
+        for input in inputs {
+            count += 1;
+            h ^= input.size_bytes();
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            let mut content = FnvHasher(0xcbf2_9ce4_8422_2325);
+            input.hash(&mut content);
+            h ^= content.finish();
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= count;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        Fingerprint(h)
+    }
+}
+
+/// One committed partition as the manifest records it.
+#[derive(Debug, Clone, Copy)]
+struct ManifestEntry {
+    partition: u64,
+    records: u64,
+    distinct_keys: u64,
+    file_bytes: u64,
+    file_hash: u64,
+}
+
+impl ManifestEntry {
+    fn encode(&self) -> [u8; ENTRY_LEN] {
+        let mut out = [0u8; ENTRY_LEN];
+        out[0..8].copy_from_slice(&self.partition.to_le_bytes());
+        out[8..16].copy_from_slice(&self.records.to_le_bytes());
+        out[16..24].copy_from_slice(&self.distinct_keys.to_le_bytes());
+        out[24..32].copy_from_slice(&self.file_bytes.to_le_bytes());
+        out[32..40].copy_from_slice(&self.file_hash.to_le_bytes());
+        let sum = fnv1a(&out[..40]);
+        out[40..48].copy_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8; ENTRY_LEN]) -> Option<ManifestEntry> {
+        let u64_at =
+            |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8-byte slice"));
+        if fnv1a(&bytes[..40]) != u64_at(40) {
+            return None;
+        }
+        Some(ManifestEntry {
+            partition: u64_at(0),
+            records: u64_at(8),
+            distinct_keys: u64_at(16),
+            file_bytes: u64_at(24),
+            file_hash: u64_at(32),
+        })
+    }
+}
+
+/// Why a manifest (or manifest prefix) was rejected — surfaced verbatim
+/// in the named warning so a failed resume is diagnosable from stderr.
+fn warn(path: &Path, what: &str) {
+    eprintln!(
+        "mrassign: checkpoint warning: {what} at `{}`; affected partitions re-execute",
+        path.display()
+    );
+}
+
+/// One job's live checkpoint state: the verified manifest loaded at open
+/// plus the append handle new commits go through. Shared by reference
+/// across consumer threads; `lookup` and `record` are thread-safe.
+#[derive(Debug)]
+pub(crate) struct CheckpointSession<Out> {
+    dir: PathBuf,
+    manifest_path: PathBuf,
+    manifest: Mutex<File>,
+    /// Partitions the manifest's valid prefix committed, keyed by
+    /// partition index (a later duplicate entry wins — that is how a
+    /// re-executed partition's rewrite supersedes a corrupt file).
+    completed: HashMap<usize, ManifestEntry>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalid: AtomicU64,
+    _out: PhantomData<fn() -> Out>,
+}
+
+impl<Out: SpillCodec> CheckpointSession<Out> {
+    /// Opens (or creates) the session for `fingerprint` under `base`.
+    ///
+    /// Any defect in an existing manifest — truncated or wrong-magic
+    /// header, unsupported version, fingerprint mismatch, torn tail,
+    /// bit-flipped entry — is counted, warned about by name, and healed
+    /// by truncating back to the longest valid prefix (possibly nothing).
+    /// Only a real I/O failure creating the directory or opening the
+    /// manifest is an error.
+    pub(crate) fn open(
+        base: &Path,
+        fingerprint: Fingerprint,
+        n_reducers: usize,
+    ) -> Result<CheckpointSession<Out>, SimError> {
+        let dir = base.join(format!("job-{:016x}", fingerprint.0));
+        let io = |path: &Path| {
+            let path = path.display().to_string();
+            move |e: std::io::Error| SimError::CheckpointIo {
+                path,
+                source: e.to_string(),
+            }
+        };
+        fs::create_dir_all(&dir).map_err(io(&dir))?;
+        let manifest_path = dir.join("manifest.bin");
+
+        let mut completed = HashMap::new();
+        let mut invalid = 0u64;
+        // Byte offset up to which the existing manifest is trustworthy;
+        // everything past it is truncated away before appending.
+        let mut valid_len = 0usize;
+        let mut header_ok = false;
+        if let Ok(bytes) = fs::read(&manifest_path) {
+            if bytes.len() < HEADER_LEN {
+                if !bytes.is_empty() {
+                    warn(&manifest_path, "manifest header truncated");
+                    invalid += 1;
+                }
+            } else if bytes[..8] != MANIFEST_MAGIC {
+                warn(
+                    &manifest_path,
+                    "manifest magic mismatch (not a checkpoint manifest)",
+                );
+                invalid += 1;
+            } else if bytes[8..12] != MANIFEST_VERSION.to_le_bytes() {
+                warn(&manifest_path, "manifest version unsupported");
+                invalid += 1;
+            } else if bytes[12..20] != fingerprint.0.to_le_bytes() {
+                warn(
+                    &manifest_path,
+                    "manifest fingerprint mismatch (different job or corrupted header)",
+                );
+                invalid += 1;
+            } else {
+                header_ok = true;
+                valid_len = HEADER_LEN;
+                let body = &bytes[HEADER_LEN..];
+                for chunk in body.chunks(ENTRY_LEN) {
+                    let whole: Option<&[u8; ENTRY_LEN]> = chunk.try_into().ok();
+                    let entry = whole.and_then(ManifestEntry::decode);
+                    let Some(entry) = entry.filter(|e| e.partition < n_reducers as u64) else {
+                        // First bad entry: a torn tail (short chunk), a
+                        // flipped bit (checksum), or an out-of-range
+                        // partition. Keep the valid prefix, drop the rest.
+                        warn(&manifest_path, "manifest entry corrupt or torn");
+                        invalid += 1;
+                        break;
+                    };
+                    completed.insert(entry.partition as usize, entry);
+                    valid_len += ENTRY_LEN;
+                }
+            }
+        }
+
+        let mut manifest = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(&manifest_path)
+            .map_err(io(&manifest_path))?;
+        if header_ok {
+            manifest
+                .set_len(valid_len as u64)
+                .map_err(io(&manifest_path))?;
+        } else {
+            manifest.set_len(0).map_err(io(&manifest_path))?;
+            let mut header = Vec::with_capacity(HEADER_LEN);
+            header.extend_from_slice(&MANIFEST_MAGIC);
+            header.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+            header.extend_from_slice(&fingerprint.0.to_le_bytes());
+            manifest.write_all(&header).map_err(io(&manifest_path))?;
+        }
+        manifest
+            .seek(SeekFrom::End(0))
+            .map_err(io(&manifest_path))?;
+
+        Ok(CheckpointSession {
+            dir,
+            manifest_path,
+            manifest: Mutex::new(manifest),
+            completed,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalid: AtomicU64::new(invalid),
+            _out: PhantomData,
+        })
+    }
+
+    fn partition_path(&self, partition: usize) -> PathBuf {
+        self.dir.join(format!("part-{partition}.ckpt"))
+    }
+
+    /// Fetches `partition`'s checkpointed outputs, fully re-verified
+    /// (length, content hash, record count, clean decode) against the
+    /// manifest entry. A missing entry is a miss; a present-but-corrupt
+    /// file is a named warning plus a miss, never an error — the caller
+    /// re-executes the partition either way.
+    pub(crate) fn lookup(&self, partition: usize) -> Option<(Vec<Out>, u64)> {
+        let Some(entry) = self.completed.get(&partition) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        match self.load(partition, entry) {
+            Ok(loaded) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(loaded)
+            }
+            Err(reason) => {
+                warn(&self.partition_path(partition), &reason);
+                self.invalid.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn load(&self, partition: usize, entry: &ManifestEntry) -> Result<(Vec<Out>, u64), String> {
+        let bytes = fs::read(self.partition_path(partition))
+            .map_err(|e| format!("checkpointed partition unreadable: {e}"))?;
+        if bytes.len() as u64 != entry.file_bytes {
+            return Err(format!(
+                "checkpointed partition is {} bytes, manifest committed {}",
+                bytes.len(),
+                entry.file_bytes
+            ));
+        }
+        if fnv1a(&bytes) != entry.file_hash {
+            return Err("checkpointed partition content hash mismatch".to_string());
+        }
+        let mut cursor = &bytes[..];
+        let count = u64::decode(&mut cursor)
+            .filter(|&c| c == entry.records)
+            .ok_or_else(|| "checkpointed partition record count mismatch".to_string())?;
+        let distinct_keys = u64::decode(&mut cursor)
+            .filter(|&d| d == entry.distinct_keys)
+            .ok_or_else(|| "checkpointed partition distinct-key count mismatch".to_string())?;
+        let mut outputs = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let len = u32::decode(&mut cursor)
+                .ok_or_else(|| "checkpointed record length truncated".to_string())?;
+            let (mut record, rest) = cursor
+                .split_at_checked(len as usize)
+                .ok_or_else(|| "checkpointed record body truncated".to_string())?;
+            cursor = rest;
+            let out = Out::decode(&mut record)
+                .filter(|_| record.is_empty())
+                .ok_or_else(|| "checkpointed record failed to decode".to_string())?;
+            outputs.push(out);
+        }
+        if !cursor.is_empty() {
+            return Err("checkpointed partition has trailing bytes".to_string());
+        }
+        Ok((outputs, distinct_keys))
+    }
+
+    /// Commits `partition`'s finalized outputs: tmp write → fsync →
+    /// rename → manifest append. Best-effort by contract — a failure
+    /// warns and returns, leaving the partition to re-execute next run.
+    pub(crate) fn record(&self, partition: usize, outputs: &[Out], distinct_keys: u64) {
+        if let Err(reason) = self.try_record(partition, outputs, distinct_keys) {
+            warn(
+                &self.partition_path(partition),
+                &format!("checkpoint write failed ({reason}); continuing without"),
+            );
+        }
+    }
+
+    fn try_record(
+        &self,
+        partition: usize,
+        outputs: &[Out],
+        distinct_keys: u64,
+    ) -> Result<(), String> {
+        let mut body = Vec::new();
+        (outputs.len() as u64).encode(&mut body);
+        distinct_keys.encode(&mut body);
+        let mut record = Vec::new();
+        for out in outputs {
+            record.clear();
+            out.encode(&mut record);
+            let len = u32::try_from(record.len())
+                .map_err(|_| "output record exceeds the u32 length prefix".to_string())?;
+            len.encode(&mut body);
+            body.extend_from_slice(&record);
+        }
+        let entry = ManifestEntry {
+            partition: partition as u64,
+            records: outputs.len() as u64,
+            distinct_keys,
+            file_bytes: body.len() as u64,
+            file_hash: fnv1a(&body),
+        };
+
+        let tmp = self.dir.join(format!(
+            "part-{partition}.ckpt.tmp-{}-{}",
+            std::process::id(),
+            CKPT_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let write = || -> std::io::Result<()> {
+            let mut file = File::create(&tmp)?;
+            file.write_all(&body)?;
+            file.sync_all()?;
+            fs::rename(&tmp, self.partition_path(partition))
+        };
+        if let Err(e) = write() {
+            // The tmp file may linger; the orphan sweep reclaims it.
+            let _ = fs::remove_file(&tmp);
+            return Err(e.to_string());
+        }
+
+        let mut manifest = self.manifest.lock().expect("manifest lock poisoned");
+        manifest
+            .write_all(&entry.encode())
+            .and_then(|()| manifest.sync_data())
+            .map_err(|e| {
+                format!(
+                    "manifest append failed: {e} at `{}`",
+                    self.manifest_path.display()
+                )
+            })
+    }
+
+    /// Number of partitions the verified manifest had committed when the
+    /// session opened — what a resume run can skip.
+    pub(crate) fn committed(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Folds the session's counters into the job's pipeline metrics
+    /// (additive, so the pipelined engine's own assembly is preserved).
+    pub(crate) fn fold_into(&self, pipeline: &mut PipelineMetrics) {
+        pipeline.checkpoint_hits += self.hits.load(Ordering::Relaxed);
+        pipeline.checkpoint_misses += self.misses.load(Ordering::Relaxed);
+        pipeline.checkpoint_invalid += self.invalid.load(Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Orphan sweep
+// ---------------------------------------------------------------------------
+
+/// Extracts the owning PID from a temp-file name this crate family
+/// creates: `mrassign-spill-<pid>-<seq>.run` spill runs and
+/// `part-<p>.ckpt.tmp-<pid>-<seq>` in-flight checkpoint writes. `None`
+/// means the file is not ours to touch.
+fn orphan_owner(name: &str) -> Option<u32> {
+    let pid_prefix =
+        |rest: &str| -> Option<u32> { rest.split('-').next().and_then(|p| p.parse().ok()) };
+    if let Some(rest) = name.strip_prefix("mrassign-spill-") {
+        return pid_prefix(rest);
+    }
+    if let Some((_, rest)) = name.split_once(".ckpt.tmp-") {
+        return pid_prefix(rest);
+    }
+    None
+}
+
+/// Whether `pid` is a live process. On Linux this is a `/proc` probe;
+/// elsewhere we conservatively report alive, leaving reclamation to the
+/// age check.
+fn pid_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new("/proc").join(pid.to_string()).exists()
+    } else {
+        true
+    }
+}
+
+/// Removes orphaned spill/checkpoint temp files under `dir` (descending
+/// into `job-*` subdirectories): files whose embedded PID is provably
+/// dead, plus files older than `max_age` whose owner cannot be confirmed
+/// live-and-current. Files owned by *this* process are never touched.
+/// Returns the number of files reclaimed.
+///
+/// This is the fix for the RAII gap: `SpillFile`'s delete-on-drop only
+/// runs on in-process exits, so a killed worker leaked its temp files
+/// forever. The sweep runs at job start whenever a checkpoint dir is
+/// configured — exactly the setup in which kills are expected.
+pub(crate) fn sweep_orphans(dir: &Path, max_age: Duration) -> u64 {
+    let mut reclaimed = 0u64;
+    sweep_dir(dir, max_age, 0, &mut reclaimed);
+    reclaimed
+}
+
+fn sweep_dir(dir: &Path, max_age: Duration, depth: u8, reclaimed: &mut u64) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let self_pid = std::process::id();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Ok(file_type) = entry.file_type() else {
+            continue;
+        };
+        if file_type.is_dir() {
+            // Job directories sit one level down; cap the recursion so a
+            // mispointed sweep can never walk a whole filesystem.
+            if depth == 0 && entry.file_name().to_string_lossy().starts_with("job-") {
+                sweep_dir(&path, max_age, depth + 1, reclaimed);
+            }
+            continue;
+        }
+        let name = entry.file_name();
+        let Some(pid) = orphan_owner(&name.to_string_lossy()) else {
+            continue;
+        };
+        if pid == self_pid {
+            continue;
+        }
+        let dead = !pid_alive(pid);
+        let stale = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| t.elapsed().ok())
+            .is_some_and(|age| age > max_age);
+        if (dead || stale) && fs::remove_file(&path).is_ok() {
+            *reclaimed += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mrassign-ckpt-test-{tag}-{}-{}",
+            std::process::id(),
+            CKPT_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).expect("create test dir");
+        dir
+    }
+
+    fn fp(seed: u64) -> Fingerprint {
+        Fingerprint(seed)
+    }
+
+    #[test]
+    fn record_then_lookup_roundtrips() {
+        let base = unique_dir("roundtrip");
+        let session: CheckpointSession<(u64, String)> =
+            CheckpointSession::open(&base, fp(7), 8).unwrap();
+        assert_eq!(session.committed(), 0);
+        let outputs = vec![(1u64, "aa".to_string()), (2, "b".to_string())];
+        session.record(3, &outputs, 2);
+        assert_eq!(session.lookup(3), None, "same session never self-hits");
+
+        // A second session (a resume) sees the commit.
+        let resumed: CheckpointSession<(u64, String)> =
+            CheckpointSession::open(&base, fp(7), 8).unwrap();
+        assert_eq!(resumed.committed(), 1);
+        assert_eq!(resumed.lookup(3), Some((outputs, 2)));
+        assert_eq!(resumed.lookup(4), None);
+        assert_eq!(resumed.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(resumed.misses.load(Ordering::Relaxed), 1);
+        fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_starts_fresh_with_warning_counter() {
+        let base = unique_dir("fp-mismatch");
+        let session: CheckpointSession<u64> = CheckpointSession::open(&base, fp(1), 4).unwrap();
+        session.record(0, &[42], 1);
+        drop(session);
+        // Overwrite the manifest with one for a different fingerprint by
+        // opening under the same job dir name (simulating header rot).
+        let dir = base.join(format!("job-{:016x}", 1));
+        let manifest = dir.join("manifest.bin");
+        let mut bytes = fs::read(&manifest).unwrap();
+        bytes[12] ^= 0xFF; // flip a fingerprint byte in the header
+        fs::write(&manifest, &bytes).unwrap();
+        let resumed: CheckpointSession<u64> = CheckpointSession::open(&base, fp(1), 4).unwrap();
+        assert_eq!(resumed.committed(), 0, "mismatched manifest is discarded");
+        assert_eq!(resumed.invalid.load(Ordering::Relaxed), 1);
+        // And the healed manifest works again.
+        resumed.record(1, &[7], 1);
+        drop(resumed);
+        let third: CheckpointSession<u64> = CheckpointSession::open(&base, fp(1), 4).unwrap();
+        assert_eq!(third.lookup(1), Some((vec![7], 1)));
+        fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn torn_manifest_tail_keeps_the_valid_prefix() {
+        let base = unique_dir("torn");
+        let session: CheckpointSession<u64> = CheckpointSession::open(&base, fp(9), 8).unwrap();
+        session.record(0, &[10], 1);
+        session.record(1, &[20], 1);
+        drop(session);
+        let manifest = base.join(format!("job-{:016x}", 9)).join("manifest.bin");
+        let bytes = fs::read(&manifest).unwrap();
+        // Tear mid-way through the second entry.
+        fs::write(&manifest, &bytes[..bytes.len() - 17]).unwrap();
+        let resumed: CheckpointSession<u64> = CheckpointSession::open(&base, fp(9), 8).unwrap();
+        assert_eq!(resumed.committed(), 1, "first entry survives the tear");
+        assert_eq!(resumed.lookup(0), Some((vec![10], 1)));
+        assert_eq!(resumed.lookup(1), None, "torn entry re-executes");
+        assert_eq!(resumed.invalid.load(Ordering::Relaxed), 1);
+        fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn bit_flipped_entry_and_corrupt_partition_fall_back() {
+        let base = unique_dir("bitflip");
+        let session: CheckpointSession<u64> = CheckpointSession::open(&base, fp(5), 8).unwrap();
+        session.record(2, &[1, 2, 3], 3);
+        drop(session);
+        let dir = base.join(format!("job-{:016x}", 5));
+        // Flip a bit inside the entry payload: checksum catches it.
+        let manifest = dir.join("manifest.bin");
+        let mut bytes = fs::read(&manifest).unwrap();
+        bytes[HEADER_LEN + 3] ^= 0x01;
+        fs::write(&manifest, &bytes).unwrap();
+        let resumed: CheckpointSession<u64> = CheckpointSession::open(&base, fp(5), 8).unwrap();
+        assert_eq!(resumed.committed(), 0);
+        assert_eq!(resumed.invalid.load(Ordering::Relaxed), 1);
+        drop(resumed);
+
+        // Re-commit, then corrupt the partition *file*: the manifest is
+        // fine but lookup's content hash rejects the data.
+        let again: CheckpointSession<u64> = CheckpointSession::open(&base, fp(5), 8).unwrap();
+        again.record(2, &[1, 2, 3], 3);
+        drop(again);
+        let part = dir.join("part-2.ckpt");
+        let mut data = fs::read(&part).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0x80;
+        fs::write(&part, &data).unwrap();
+        let reread: CheckpointSession<u64> = CheckpointSession::open(&base, fp(5), 8).unwrap();
+        assert_eq!(reread.committed(), 1);
+        assert_eq!(reread.lookup(2), None, "corrupt data must not be served");
+        assert_eq!(reread.invalid.load(Ordering::Relaxed), 1);
+        fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_starts_fresh() {
+        let base = unique_dir("version");
+        let session: CheckpointSession<u64> = CheckpointSession::open(&base, fp(3), 4).unwrap();
+        session.record(0, &[5], 1);
+        drop(session);
+        let manifest = base.join(format!("job-{:016x}", 3)).join("manifest.bin");
+        let mut bytes = fs::read(&manifest).unwrap();
+        bytes[8] = 0xEE; // future version
+        fs::write(&manifest, &bytes).unwrap();
+        let resumed: CheckpointSession<u64> = CheckpointSession::open(&base, fp(3), 4).unwrap();
+        assert_eq!(resumed.committed(), 0);
+        assert_eq!(resumed.invalid.load(Ordering::Relaxed), 1);
+        fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_ignores_execution_knobs_but_not_workload() {
+        use crate::cluster::{FinalizeMode, ShuffleMode};
+        let base_cfg = ClusterConfig::default();
+        let f = |cfg: &ClusterConfig, inputs: &[u64]| {
+            Fingerprint::compute(
+                cfg,
+                4,
+                &CapacityPolicy::Unlimited,
+                "job<M,R,Rt>",
+                inputs.iter(),
+            )
+        };
+        let a = f(&base_cfg, &[10, 20]);
+        let mut exec = base_cfg.clone();
+        exec.shuffle = ShuffleMode::Pipelined;
+        exec.finalize_mode = FinalizeMode::Stealing;
+        exec.map_threads = 8;
+        exec.workers = 3;
+        exec.memory_budget = Some(64);
+        assert_eq!(a, f(&exec, &[10, 20]), "execution-only knobs are excluded");
+
+        let mut killed = base_cfg.clone();
+        killed.fault_plan = Some(crate::cluster::FaultPlan {
+            kill_reduce_tasks: vec![3],
+            ..Default::default()
+        });
+        let mut plain = base_cfg.clone();
+        plain.fault_plan = Some(crate::cluster::FaultPlan::default());
+        assert_eq!(
+            f(&killed, &[10, 20]),
+            f(&plain, &[10, 20]),
+            "kill lists are excluded so a resume can drop them"
+        );
+
+        // u64 inputs are all 8 ByteSized bytes, so this distinguishes by
+        // *content*, not size — the collision that once let two concurrent
+        // same-shape jobs share (and clobber) one checkpoint session.
+        assert_ne!(a, f(&base_cfg, &[10, 21]), "workload content is included");
+        assert_ne!(a, f(&base_cfg, &[10, 20, 30]), "workload count is included");
+        let mut poisoned = base_cfg.clone();
+        poisoned.fault_plan = Some(crate::cluster::FaultPlan {
+            poison_reduce_tasks: vec![1],
+            ..Default::default()
+        });
+        assert_ne!(a, f(&poisoned, &[10, 20]), "poison lists are included");
+    }
+
+    /// Satellite regression: a fabricated orphan from a dead process is
+    /// reclaimed; this process's own files and foreign files survive.
+    #[test]
+    fn sweep_reclaims_dead_pid_files_only() {
+        let base = unique_dir("sweep");
+        let job_dir = base.join("job-00000000000000aa");
+        fs::create_dir_all(&job_dir).unwrap();
+
+        // Find a PID that is provably not alive.
+        let dead_pid = (2..u32::MAX)
+            .rev()
+            .find(|&p| !pid_alive(p))
+            .expect("some pid is free");
+        let orphan_spill = base.join(format!("mrassign-spill-{dead_pid}-0.run"));
+        let orphan_tmp = job_dir.join(format!("part-3.ckpt.tmp-{dead_pid}-1"));
+        let own_spill = base.join(format!("mrassign-spill-{}-0.run", std::process::id()));
+        let foreign = base.join("unrelated.txt");
+        for p in [&orphan_spill, &orphan_tmp, &own_spill, &foreign] {
+            fs::write(p, b"x").unwrap();
+        }
+
+        let reclaimed = sweep_orphans(&base, Duration::from_secs(24 * 3600));
+        assert_eq!(reclaimed, 2, "both dead-pid files go");
+        assert!(!orphan_spill.exists());
+        assert!(!orphan_tmp.exists());
+        assert!(own_spill.exists(), "live-process files survive");
+        assert!(foreign.exists(), "files we did not create survive");
+
+        // Age-based fallback: a live-pid file older than max_age is
+        // reclaimed once the age window is zero... but never our own.
+        assert_eq!(sweep_orphans(&base, Duration::ZERO), 0);
+        fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn orphan_owner_parses_both_shapes() {
+        assert_eq!(orphan_owner("mrassign-spill-1234-7.run"), Some(1234));
+        assert_eq!(orphan_owner("part-9.ckpt.tmp-88-3"), Some(88));
+        assert_eq!(orphan_owner("part-9.ckpt"), None);
+        assert_eq!(orphan_owner("manifest.bin"), None);
+        assert_eq!(orphan_owner("mrassign-spill-x-7.run"), None);
+    }
+}

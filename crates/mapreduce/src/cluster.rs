@@ -122,6 +122,16 @@ pub struct FaultPlan {
     /// Speculative re-executions model a re-run on a healthy machine and
     /// never sleep.
     pub straggle_millis: u64,
+    /// Map task indices whose first attempt *kills the worker process
+    /// model*: the verdict path panics instead of returning, simulating a
+    /// machine death mid-task. The panic unwinds through the engine's RAII
+    /// guards (no deadlock) and surfaces at the thread join — the job dies
+    /// the way a real job tracker sees a lost worker. Pair with
+    /// [`crate::ClusterConfig::checkpoint_dir`] to test kill-and-resume.
+    pub kill_map_tasks: Vec<usize>,
+    /// Reducer partitions whose finalize kills the worker. See
+    /// [`FaultPlan::kill_map_tasks`].
+    pub kill_reduce_tasks: Vec<usize>,
 }
 
 impl FaultPlan {
@@ -149,6 +159,16 @@ impl FaultPlan {
         let list = match stage {
             FaultStage::Map => &self.straggle_map_tasks,
             FaultStage::Reduce => &self.straggle_reduce_tasks,
+        };
+        list.contains(&index)
+    }
+
+    /// Whether `stage`/`index` is on a kill list — its next primary
+    /// attempt must take the worker down instead of failing softly.
+    pub fn kills(&self, stage: FaultStage, index: usize) -> bool {
+        let list = match stage {
+            FaultStage::Map => &self.kill_map_tasks,
+            FaultStage::Reduce => &self.kill_reduce_tasks,
         };
         list.contains(&index)
     }
@@ -195,13 +215,25 @@ impl std::str::FromStr for FaultPlan {
     /// Parses the `--faults` / `MRASSIGN_FAULTS` spec grammar:
     /// comma-separated `key:value` pairs, e.g. `seed:7,rate:0.05`.
     /// Accepted keys: `seed`, `rate` (sets both stages), `map-rate`,
-    /// `reduce-rate`. Unknown keys, malformed values, and a key repeated
-    /// by name fail loudly — silently letting the last duplicate win
-    /// would hide typos in long specs. (`rate` alongside `map-rate` /
-    /// `reduce-rate` is *not* a duplicate: the later key refines one
-    /// stage, a documented layering.)
+    /// `reduce-rate`, and the process-kill lists `kill-map` /
+    /// `kill-reduce` (`+`-separated task indices, e.g. `kill-reduce:2+5`).
+    /// Unknown keys, malformed values, and a key repeated by name fail
+    /// loudly — silently letting the last duplicate win would hide typos
+    /// in long specs. (`rate` alongside `map-rate` / `reduce-rate` is
+    /// *not* a duplicate: the later key refines one stage, a documented
+    /// layering.)
     fn from_str(spec: &str) -> Result<Self, Self::Err> {
-        const VOCAB: &str = "seed:<u64>, rate:<f64>, map-rate:<f64>, reduce-rate:<f64>";
+        const VOCAB: &str = "seed:<u64>, rate:<f64>, map-rate:<f64>, reduce-rate:<f64>, \
+                             kill-map:<idx[+idx…]>, kill-reduce:<idx[+idx…]>";
+        fn kill_list(key: &str, value: &str) -> Result<Vec<usize>, String> {
+            value
+                .split('+')
+                .map(|idx| {
+                    idx.parse()
+                        .map_err(|e| format!("fault {key} index `{idx}`: {e}"))
+                })
+                .collect()
+        }
         if spec.trim().is_empty() {
             return Err(format!("empty fault spec (expected {VOCAB})"));
         }
@@ -238,6 +270,8 @@ impl std::str::FromStr for FaultPlan {
                         .parse()
                         .map_err(|e| format!("fault reduce-rate `{value}`: {e}"))?;
                 }
+                "kill-map" => plan.kill_map_tasks = kill_list(key, value)?,
+                "kill-reduce" => plan.kill_reduce_tasks = kill_list(key, value)?,
                 other => {
                     return Err(format!(
                         "unknown fault spec key `{other}` (expected {VOCAB})"
@@ -437,6 +471,21 @@ pub struct ClusterConfig {
     /// deleted when the last holder drops — on success, error, and panic
     /// unwinds alike.
     pub spill_dir: Option<std::path::PathBuf>,
+    /// Checkpoint/resume root. `None` (the default) disables
+    /// checkpointing. When set, every finalized reducer partition's output
+    /// is persisted under this directory (partition files in the spill
+    /// record format, committed tmp-write → fsync → rename, then recorded
+    /// in a versioned, checksummed manifest keyed by a deterministic job
+    /// fingerprint of config + workload). A later run of the *same* job
+    /// over the same inputs detects the manifest, verifies it, replays
+    /// only the missing partitions, and merges the checkpointed outputs
+    /// bit-identically into [`crate::JobOutput`] — a corrupt or
+    /// mismatched manifest falls back to a fresh run with a warning,
+    /// never a panic. `checkpoint_hits`/`checkpoint_misses` in
+    /// [`crate::PipelineMetrics`] report what was skipped. On job start
+    /// the directory is swept for orphaned temp files left by killed
+    /// processes (dead PID in the filename, or stale by age).
+    pub checkpoint_dir: Option<std::path::PathBuf>,
     /// Maximum *retries* per task (attempts = `retry_budget + 1`) when a
     /// [`FaultPlan`] injects failures. With no plan configured the budget
     /// is inert. Failed attempts are replayed deterministically — mappers
@@ -476,6 +525,7 @@ impl Default for ClusterConfig {
             finalize_mode: FinalizeMode::Static,
             memory_budget: None,
             spill_dir: None,
+            checkpoint_dir: None,
             retry_budget: 0,
             speculation: false,
             dlq_mode: DlqMode::Fail,
@@ -520,6 +570,17 @@ impl ClusterConfig {
             // can even be buffered; `None` is the way to say "unbounded".
             return Err(SimError::InvalidKnob {
                 knob: "memory_budget",
+            });
+        }
+        if self
+            .checkpoint_dir
+            .as_deref()
+            .is_some_and(|dir| dir.as_os_str().is_empty())
+        {
+            // `Some("")` is a flag-plumbing bug, not a request for the
+            // current directory; `None` is how "no checkpointing" is said.
+            return Err(SimError::InvalidKnob {
+                knob: "checkpoint_dir",
             });
         }
         for (knob, value) in [
@@ -848,6 +909,45 @@ mod tests {
             let err = bad.parse::<FaultPlan>().unwrap_err();
             assert!(err.contains("seed") || err.contains("rate"), "{bad}: {err}");
         }
+    }
+
+    /// The kill lists ride the same spec grammar as every other fault
+    /// knob, with `+`-separated indices (the comma is taken by the pair
+    /// separator), and `kills()` consults exactly the right list.
+    #[test]
+    fn fault_spec_parses_kill_lists() {
+        let plan: FaultPlan = "seed:7,kill-map:3,kill-reduce:2+5".parse().unwrap();
+        assert_eq!(plan.kill_map_tasks, vec![3]);
+        assert_eq!(plan.kill_reduce_tasks, vec![2, 5]);
+        assert!(plan.kills(FaultStage::Map, 3));
+        assert!(!plan.kills(FaultStage::Reduce, 3));
+        assert!(plan.kills(FaultStage::Reduce, 5));
+        let err = "kill-map:banana".parse::<FaultPlan>().unwrap_err();
+        assert!(err.contains("kill-map"), "{err}");
+        let err = "kill-map:1,kill-map:2".parse::<FaultPlan>().unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    /// An empty checkpoint path is a plumbing bug (`Some("")` from a flag
+    /// with a missing value), rejected by name like every other knob.
+    #[test]
+    fn empty_checkpoint_dir_rejected_by_name() {
+        let cfg = ClusterConfig {
+            checkpoint_dir: Some(std::path::PathBuf::new()),
+            ..ClusterConfig::default()
+        };
+        assert_eq!(
+            cfg.validate(),
+            Err(SimError::InvalidKnob {
+                knob: "checkpoint_dir"
+            })
+        );
+        let cfg = ClusterConfig {
+            checkpoint_dir: Some(std::path::PathBuf::from("ckpt")),
+            ..ClusterConfig::default()
+        };
+        assert_eq!(cfg.validate(), Ok(()));
+        assert_eq!(ClusterConfig::default().checkpoint_dir, None);
     }
 
     /// A repeated key is a typo, not a request for last-wins semantics.

@@ -68,6 +68,19 @@ pub enum SimError {
         /// `String` so the error stays `Clone + PartialEq + Eq`).
         source: String,
     },
+    /// The checkpoint directory configured via
+    /// [`crate::ClusterConfig::checkpoint_dir`] could not be initialized
+    /// (created, or its manifest opened for writing). Raised before any
+    /// map work runs; per-partition checkpoint read/write failures are
+    /// deliberately *not* errors — they degrade to re-execution with a
+    /// warning so a flaky checkpoint disk can never corrupt or fail a job.
+    CheckpointIo {
+        /// The checkpoint path involved.
+        path: String,
+        /// The underlying I/O failure, as text (kept as a `String` so the
+        /// error stays `Clone + PartialEq + Eq`).
+        source: String,
+    },
     /// A reducer's summed value size exceeded the configured capacity while
     /// the job ran under [`crate::CapacityPolicy::Enforce`].
     CapacityExceeded {
@@ -120,6 +133,10 @@ impl fmt::Display for SimError {
             } => write!(
                 f,
                 "spill for reducer partition {partition} failed at `{path}`: {source}"
+            ),
+            SimError::CheckpointIo { path, source } => write!(
+                f,
+                "checkpoint directory could not be initialized at `{path}`: {source}"
             ),
             SimError::CapacityExceeded {
                 reducer,
@@ -180,6 +197,15 @@ mod tests {
             s.contains("partition 6")
                 && s.contains("/tmp/mrassign-spill-1-2.run")
                 && s.contains("permission denied"),
+            "{s}"
+        );
+        let e = SimError::CheckpointIo {
+            path: "/ckpt/job-00ff".to_string(),
+            source: "read-only file system".to_string(),
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("/ckpt/job-00ff") && s.contains("read-only file system"),
             "{s}"
         );
     }

@@ -3,6 +3,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use crate::checkpoint::{self, CheckpointSession, Fingerprint};
 use crate::cluster::{ClusterConfig, DlqMode, FaultStage, Schedule, ShuffleMode, TaskCost};
 use crate::error::SimError;
 use crate::metrics::JobMetrics;
@@ -141,6 +142,38 @@ where
             return Err(SimError::NoReducers);
         }
 
+        // Checkpointing: sweep crash leftovers, then open (or resume) the
+        // session for this job's fingerprint. Everything output-affecting
+        // goes into the fingerprint; see `checkpoint::Fingerprint`.
+        let mut orphans_reclaimed = 0u64;
+        let ckpt_session: Option<CheckpointSession<R::Out>> = match &self.config.checkpoint_dir {
+            Some(base) => {
+                const ORPHAN_MAX_AGE: std::time::Duration =
+                    std::time::Duration::from_secs(24 * 60 * 60);
+                orphans_reclaimed += checkpoint::sweep_orphans(base, ORPHAN_MAX_AGE);
+                if let Some(spill_dir) = &self.config.spill_dir {
+                    orphans_reclaimed += checkpoint::sweep_orphans(spill_dir, ORPHAN_MAX_AGE);
+                }
+                let fingerprint = Fingerprint::compute(
+                    &self.config,
+                    self.n_reducers,
+                    &self.capacity,
+                    std::any::type_name::<(M, R, Rt)>(),
+                    inputs.iter(),
+                );
+                let session = CheckpointSession::open(base, fingerprint, self.n_reducers)?;
+                if session.committed() > 0 {
+                    eprintln!(
+                        "mrassign: resuming from checkpoint: {} partition(s) already committed",
+                        session.committed()
+                    );
+                }
+                Some(session)
+            }
+            None => None,
+        };
+        let ckpt = ckpt_session.as_ref();
+
         let mut metrics = JobMetrics {
             inputs: inputs.len(),
             input_bytes: inputs.iter().map(ByteSized::size_bytes).sum(),
@@ -157,10 +190,16 @@ where
             .collect();
 
         let (outputs, reduce_costs, mut dlq) = match self.config.shuffle {
-            ShuffleMode::Materialized => self.run_materialized(inputs, &mut metrics)?,
-            ShuffleMode::Streaming => self.run_streaming(inputs, &mut metrics)?,
-            ShuffleMode::Pipelined => self.run_pipelined(inputs, &mut metrics)?,
+            ShuffleMode::Materialized => self.run_materialized(inputs, &mut metrics, ckpt)?,
+            ShuffleMode::Streaming => self.run_streaming(inputs, &mut metrics, ckpt)?,
+            ShuffleMode::Pipelined => self.run_pipelined(inputs, &mut metrics, ckpt)?,
         };
+        // Folded after the dispatch because the pipelined engine rebuilds
+        // `metrics.pipeline` wholesale.
+        if let Some(session) = ckpt {
+            session.fold_into(&mut metrics.pipeline);
+        }
+        metrics.pipeline.orphans_reclaimed += orphans_reclaimed;
         metrics.outputs = outputs.len();
         dlq.sort();
         metrics.faults.dlq_len = dlq.len() as u64;
@@ -199,6 +238,21 @@ where
         let Some(plan) = &self.config.fault_plan else {
             return TaskVerdict::Run { retries: 0 };
         };
+        // Process-level fault injection: a kill is worker *death*, not a
+        // transient task failure — it unwinds instead of flowing through
+        // `Result`, exactly like a real crash, and the pipelined engine's
+        // RAII guards (SenderGuard / ReceiverGuard / the finalize
+        // publisher) absorb it so sibling threads drain instead of
+        // deadlocking. Primaries only: the speculative copy is the one
+        // that survives. Tests kill a job mid-run, then re-run the same
+        // checkpoint dir without the kill list (the job fingerprint
+        // excludes it) to prove resume skips the completed partitions.
+        if !speculative && plan.kills(stage, index) {
+            panic!(
+                "fault injection: worker killed during {} task {index}",
+                stage.name()
+            );
+        }
         if !speculative && plan.straggle_millis > 0 && plan.straggles(stage, index) {
             std::thread::sleep(std::time::Duration::from_millis(plan.straggle_millis));
         }
@@ -315,7 +369,12 @@ where
 
     /// Classic shuffle: every partition materialized in memory, then reduced
     /// in partition order.
-    fn run_materialized(&self, inputs: &[M::In], metrics: &mut JobMetrics) -> ReducePhase<R::Out> {
+    fn run_materialized(
+        &self,
+        inputs: &[M::In],
+        metrics: &mut JobMetrics,
+        ckpt: Option<&CheckpointSession<R::Out>>,
+    ) -> ReducePhase<R::Out> {
         let (map_results, map_retries) = self.run_map_tasks(inputs, 0);
         metrics.faults.map_retries = map_retries;
 
@@ -366,13 +425,31 @@ where
                 continue;
             }
             metrics.nonempty_reducers += 1;
+            // Checkpoint hit: the partition was finalized by an earlier
+            // run of this fingerprint. Skip the fault verdict (a kill
+            // must not re-fire for work that is already done) and the
+            // reduce itself; the persisted outputs splice in at exactly
+            // the position a fresh reduce would have appended them.
+            if let Some((cached, distinct)) = ckpt.and_then(|s| s.lookup(r)) {
+                reduce_costs.push(TaskCost(
+                    self.config.reduce_task_seconds(reducer_total_bytes[r]),
+                ));
+                metrics.distinct_keys += distinct;
+                outputs.extend(cached);
+                continue;
+            }
             match self.fault_verdict(FaultStage::Reduce, r, false) {
                 TaskVerdict::Run { retries } => {
                     metrics.faults.reduce_retries += u64::from(retries);
                     reduce_costs.push(TaskCost(
                         self.config.reduce_task_seconds(reducer_total_bytes[r]),
                     ));
-                    metrics.distinct_keys += self.reduce_partition(&mut partition, &mut outputs);
+                    let first = outputs.len();
+                    let distinct = self.reduce_partition(&mut partition, &mut outputs);
+                    metrics.distinct_keys += distinct;
+                    if let Some(session) = ckpt {
+                        session.record(r, &outputs[first..], distinct);
+                    }
                 }
                 TaskVerdict::Dropped { retries, attempts } => {
                     // Dead-lettered partitions stay nonempty (data reached
@@ -401,7 +478,12 @@ where
     /// map outputs (batches use `map_threads` like the materialized path);
     /// results and metrics are identical to the materialized path because
     /// mappers and routers are deterministic by contract.
-    fn run_streaming(&self, inputs: &[M::In], metrics: &mut JobMetrics) -> ReducePhase<R::Out> {
+    fn run_streaming(
+        &self,
+        inputs: &[M::In],
+        metrics: &mut JobMetrics,
+        ckpt: Option<&CheckpointSession<R::Out>>,
+    ) -> ReducePhase<R::Out> {
         let mut reducer_value_bytes = vec![0u64; self.n_reducers];
         let mut reducer_total_bytes = vec![0u64; self.n_reducers];
         let mut reducer_records = vec![0u64; self.n_reducers];
@@ -494,14 +576,28 @@ where
                 }
                 metrics.nonempty_reducers += 1;
                 let r = block_start + offset;
+                // Same hit short-circuit as the materialized pass: done
+                // work is spliced in, the fault verdict never re-fires.
+                if let Some((cached, distinct)) = ckpt.and_then(|s| s.lookup(r)) {
+                    reduce_costs.push(TaskCost(
+                        self.config.reduce_task_seconds(reducer_total_bytes[r]),
+                    ));
+                    metrics.distinct_keys += distinct;
+                    outputs.extend(cached);
+                    continue;
+                }
                 match self.fault_verdict(FaultStage::Reduce, r, false) {
                     TaskVerdict::Run { retries } => {
                         metrics.faults.reduce_retries += u64::from(retries);
                         reduce_costs.push(TaskCost(
                             self.config.reduce_task_seconds(reducer_total_bytes[r]),
                         ));
-                        metrics.distinct_keys +=
-                            self.reduce_partition(&mut partition, &mut outputs);
+                        let first = outputs.len();
+                        let distinct = self.reduce_partition(&mut partition, &mut outputs);
+                        metrics.distinct_keys += distinct;
+                        if let Some(session) = ckpt {
+                            session.record(r, &outputs[first..], distinct);
+                        }
                     }
                     TaskVerdict::Dropped { retries, attempts } => {
                         metrics.faults.reduce_retries += u64::from(retries);

@@ -39,7 +39,16 @@
 //!   speculatively re-executed largest-first via the scheduler's own LPT
 //!   rule; and tasks that exhaust the budget land in a dead-letter queue
 //!   ([`JobOutput::dlq`]) under [`DlqMode::Capture`] instead of failing
-//!   the job.
+//!   the job,
+//! * checkpoint/resume: under a validated
+//!   [`ClusterConfig::checkpoint_dir`] every finalized partition's
+//!   outputs are persisted (tmp write → fsync → rename → checksummed
+//!   manifest append) keyed by a deterministic job fingerprint, and a
+//!   restarted job — including one killed mid-run by the [`FaultPlan`]'s
+//!   process-level `kill-map:`/`kill-reduce:` verdicts — verifies the
+//!   manifest and replays only the missing partitions, merging
+//!   checkpointed outputs back bit-identically
+//!   ([`PipelineMetrics::checkpoint_hits`] counts the skips).
 //!
 //! Everything is deterministic: same inputs, same config ⇒ bit-identical
 //! outputs and metrics, regardless of thread count — and, because retries
@@ -84,6 +93,7 @@
 //! assert!(result.metrics.bytes_shuffled > 0);
 //! ```
 
+mod checkpoint;
 mod cluster;
 mod error;
 mod job;

@@ -60,6 +60,27 @@ pub struct PipelineMetrics {
     /// Largest number of runs (in-memory + spilled) any single
     /// partition's finalize merged — the external merge's fan-in.
     pub merge_fanin: u64,
+    /// Reducer partitions whose finalize was *skipped* because a valid
+    /// checkpoint from an earlier run of the same job supplied their
+    /// outputs (see
+    /// [`ClusterConfig::checkpoint_dir`](crate::ClusterConfig::checkpoint_dir)).
+    /// Zero when checkpointing is off or the run started cold.
+    pub checkpoint_hits: u64,
+    /// Reducer partitions executed (and persisted) while checkpointing
+    /// was enabled — the work a crash right now would *not* lose again.
+    pub checkpoint_misses: u64,
+    /// Checkpoint manifests found but rejected (truncated, bit-flipped,
+    /// version- or fingerprint-mismatched). Each rejection falls back to
+    /// a fresh run with a warning on stderr; this counter makes the
+    /// fallback observable to tests and dashboards.
+    pub checkpoint_invalid: u64,
+    /// Spill/checkpoint temp files whose RAII delete failed (the engine
+    /// keeps going — a vanished temp dir must not turn cleanup into a
+    /// second failure — but a leak is now observable, not invisible).
+    pub spill_delete_errors: u64,
+    /// Orphaned spill/checkpoint temp files from dead processes reclaimed
+    /// by the startup sweep of the checkpoint directory.
+    pub orphans_reclaimed: u64,
 }
 
 /// Fault-tolerance counters: retries burned, speculation outcomes, and
@@ -282,6 +303,11 @@ mod tests {
         a.pipeline.spilled_bytes = 9_000;
         a.pipeline.peak_buffered_bytes = 4_096;
         a.pipeline.merge_fanin = 5;
+        a.pipeline.checkpoint_hits = 3;
+        a.pipeline.checkpoint_misses = 1;
+        a.pipeline.checkpoint_invalid = 1;
+        a.pipeline.spill_delete_errors = 2;
+        a.pipeline.orphans_reclaimed = 1;
         b.pipeline.consumer_groups = 2;
         assert_ne!(a, b);
         assert_eq!(a.deterministic(), b.deterministic());

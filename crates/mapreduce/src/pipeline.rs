@@ -111,6 +111,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
+use crate::checkpoint::CheckpointSession;
 use crate::cluster::{FaultStage, FinalizeMode, Schedule, TaskCost};
 use crate::error::SimError;
 use crate::job::{DlqEntry, Job, ReducePhase, TaskVerdict};
@@ -495,6 +496,9 @@ struct FinalizedPartition<Out> {
     /// Runs (in-memory + spilled) this partition's merge consumed — the
     /// external merge's fan-in.
     fanin: u64,
+    /// The outputs came from a verified checkpoint rather than a fresh
+    /// merge + reduce; the caller must not re-record such a partition.
+    from_checkpoint: bool,
 }
 
 /// Everything one consumer hands back: per owned partition (indexed from
@@ -728,6 +732,7 @@ where
         &self,
         inputs: &[M::In],
         metrics: &mut JobMetrics,
+        ckpt: Option<&CheckpointSession<R::Out>>,
     ) -> ReducePhase<R::Out> {
         let n_inputs = inputs.len();
         let n_mappers = self.config.map_threads.max(1);
@@ -745,6 +750,10 @@ where
         let finalize_queue: FinalizeQueue<Arc<FinalizeItem<M>>> =
             FinalizeQueue::new(n_groups, self.config.speculation);
         let coord = Coordination::new(n_inputs, self.n_reducers);
+        // Spill temp files report failed RAII deletes here; sampled into
+        // `PipelineMetrics::spill_delete_errors` once every run (and its
+        // readers) has dropped — which the scope join guarantees.
+        let delete_errors = Arc::new(AtomicU64::new(0));
         let epoch = Instant::now();
 
         let (map_wall, group_results) = std::thread::scope(|scope| {
@@ -753,6 +762,7 @@ where
                     let channels = &channels;
                     let finalize_queue = &finalize_queue;
                     let coord = &coord;
+                    let delete_errors = &delete_errors;
                     let job = self;
                     scope.spawn(move || {
                         job.consume_group(
@@ -763,6 +773,8 @@ where
                             finalize_queue,
                             coord,
                             &epoch,
+                            ckpt,
+                            delete_errors,
                         )
                     })
                 })
@@ -912,6 +924,13 @@ where
             spilled_bytes,
             peak_buffered_bytes,
             merge_fanin,
+            // Checkpoint counters live on the session and are folded in
+            // by `Job::run` after this literal, uniformly across modes.
+            checkpoint_hits: 0,
+            checkpoint_misses: 0,
+            checkpoint_invalid: 0,
+            spill_delete_errors: delete_errors.load(Ordering::Relaxed),
+            orphans_reclaimed: 0,
         };
         metrics.faults.map_retries = coord.map_retries.load(Ordering::Relaxed);
         metrics.faults.reduce_retries = coord.reduce_retries.load(Ordering::Relaxed);
@@ -1122,6 +1141,8 @@ where
         finalize_queue: &FinalizeQueue<Arc<FinalizeItem<M>>>,
         coord: &Coordination,
         epoch: &Instant,
+        ckpt: Option<&CheckpointSession<R::Out>>,
+        delete_errors: &Arc<AtomicU64>,
     ) -> GroupResult<R::Out> {
         // Mark the receiver dead if this thread unwinds (a panicking
         // reducer or `ByteSized` impl), so mappers blocked on this
@@ -1209,7 +1230,12 @@ where
                 let Some((local, idx, bytes)) = largest.filter(|&(_, _, b)| b > 0) else {
                     break;
                 };
-                match spill::write_run(&spill_dir, &parts[local].runs[idx], bytes) {
+                match spill::write_run(
+                    &spill_dir,
+                    &parts[local].runs[idx],
+                    bytes,
+                    Some(Arc::clone(delete_errors)),
+                ) {
                     Ok(sealed) => {
                         buffered -= bytes;
                         spilled_runs += 1;
@@ -1255,13 +1281,14 @@ where
                             continue;
                         }
                         let part =
-                            self.finalize_partition(lo + local, buf.runs, buf.spilled, false);
+                            self.finalize_partition(lo + local, buf.runs, buf.spilled, false, ckpt);
                         coord
                             .reduce_retries
                             .fetch_add(part.retries, Ordering::Relaxed);
                         if let Some(error) = part.failed.clone() {
                             coord.record_reduce_error(lo + local, error);
                         }
+                        self.checkpoint_finalized(&part, ckpt);
                         finalized.push(part);
                     }
                 }
@@ -1292,7 +1319,7 @@ where
                 publisher.finish();
                 while let Some(item) = finalize_queue.steal() {
                     let owner = item.owner;
-                    if let Some(part) = self.finalize_shared(item, coord, false) {
+                    if let Some(part) = self.finalize_shared(item, coord, false, ckpt) {
                         if owner != group {
                             stolen += 1;
                         }
@@ -1315,7 +1342,7 @@ where
                         let Some(item) = candidate else { break };
                         let owner = item.owner;
                         coord.spec_launches.fetch_add(1, Ordering::Relaxed);
-                        if let Some(part) = self.finalize_shared(item, coord, true) {
+                        if let Some(part) = self.finalize_shared(item, coord, true, ckpt) {
                             coord.spec_wins.fetch_add(1, Ordering::Relaxed);
                             if owner != group {
                                 stolen += 1;
@@ -1353,7 +1380,25 @@ where
         runs: Vec<Run<M>>,
         spilled: Vec<SpilledRun>,
         speculative: bool,
+        ckpt: Option<&CheckpointSession<R::Out>>,
     ) -> FinalizedPartition<R::Out> {
+        // Checkpoint hit: a previous run of this fingerprint already
+        // finalized the partition. Checked *before* the fault verdict so
+        // an injected kill never re-fires for finished work; the buffered
+        // and spilled runs are simply dropped (the RAII guards delete the
+        // temp files) in favor of the verified persisted outputs.
+        if let Some((outputs, distinct_keys)) = ckpt.and_then(|s| s.lookup(partition)) {
+            return FinalizedPartition {
+                partition,
+                distinct_keys,
+                outputs,
+                dlq_attempts: None,
+                failed: None,
+                retries: 0,
+                fanin: 0,
+                from_checkpoint: true,
+            };
+        }
         match self.fault_verdict(FaultStage::Reduce, partition, speculative) {
             TaskVerdict::Run { retries } => {
                 let fanin = (runs.len() + spilled.len()) as u64;
@@ -1369,6 +1414,7 @@ where
                             failed: None,
                             retries: u64::from(retries),
                             fanin,
+                            from_checkpoint: false,
                         }
                     }
                     // A disk or decode failure streaming a spilled run
@@ -1387,6 +1433,7 @@ where
                         }),
                         retries: u64::from(retries),
                         fanin,
+                        from_checkpoint: false,
                     },
                 }
             }
@@ -1398,6 +1445,7 @@ where
                 failed: None,
                 retries: u64::from(retries),
                 fanin: 0,
+                from_checkpoint: false,
             },
             TaskVerdict::Failed { error, retries } => FinalizedPartition {
                 partition,
@@ -1407,6 +1455,7 @@ where
                 failed: Some(error),
                 retries: u64::from(retries),
                 fanin: 0,
+                from_checkpoint: false,
             },
         }
     }
@@ -1415,11 +1464,27 @@ where
     /// work, then races the compare-and-swap on the partition's
     /// resolution slot. Returns `Some` — and applies the retry/error side
     /// effects — only for the winner; the loser's work is discarded.
+    /// Commits one winning finalize to the checkpoint session (when one
+    /// is active): successful fresh work only — dead-lettered, failed,
+    /// and already-checkpointed partitions are not (re)persisted.
+    fn checkpoint_finalized(
+        &self,
+        part: &FinalizedPartition<R::Out>,
+        ckpt: Option<&CheckpointSession<R::Out>>,
+    ) {
+        if let Some(session) = ckpt {
+            if !part.from_checkpoint && part.failed.is_none() && part.dlq_attempts.is_none() {
+                session.record(part.partition, &part.outputs, part.distinct_keys);
+            }
+        }
+    }
+
     fn finalize_shared(
         &self,
         item: Arc<FinalizeItem<M>>,
         coord: &Coordination,
         speculative: bool,
+        ckpt: Option<&CheckpointSession<R::Out>>,
     ) -> Option<FinalizedPartition<R::Out>> {
         let partition = item.partition;
         if coord.finalize_resolved[partition].load(Ordering::Acquire) {
@@ -1433,7 +1498,7 @@ where
             Ok(owned) => (owned.runs, owned.spilled),
             Err(shared) => (shared.runs.clone(), shared.spilled.clone()),
         };
-        let part = self.finalize_partition(partition, runs, spilled, speculative);
+        let part = self.finalize_partition(partition, runs, spilled, speculative, ckpt);
         if coord.finalize_resolved[partition]
             .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
             .is_err()
@@ -1446,6 +1511,9 @@ where
         if let Some(error) = part.failed.clone() {
             coord.record_reduce_error(partition, error);
         }
+        // Resolution winner only: exactly one checkpoint commit per
+        // partition, no matter how many copies raced.
+        self.checkpoint_finalized(&part, ckpt);
         Some(part)
     }
 }

@@ -88,6 +88,18 @@ macro_rules! int_codec {
 
 int_codec!(u8, u16, u32, u64, i32, i64);
 
+impl SpillCodec for f64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        // Bit pattern, not value: NaN payloads and signed zeros survive
+        // the roundtrip, so a checkpointed output is bit-identical to the
+        // freshly computed one.
+        self.to_bits().encode(buf);
+    }
+    fn decode(bytes: &mut &[u8]) -> Option<Self> {
+        Some(f64::from_bits(u64::decode(bytes)?))
+    }
+}
+
 impl SpillCodec for usize {
     fn encode(&self, buf: &mut Vec<u8>) {
         // Fixed 8-byte encoding regardless of platform width.
@@ -225,9 +237,22 @@ impl<A: SpillCodec, B: SpillCodec, C: SpillCodec> SpillCodec for (A, B, C) {
 #[derive(Debug)]
 pub struct SpillFile {
     path: PathBuf,
+    /// Shared tally of failed deletes, sampled into
+    /// [`PipelineMetrics::spill_delete_errors`](crate::PipelineMetrics::spill_delete_errors)
+    /// when the owning job wires one in (`None` for standalone holders).
+    delete_errors: Option<Arc<AtomicU64>>,
 }
 
 impl SpillFile {
+    /// Takes ownership of `path`, deleting it on drop. Failed deletes are
+    /// counted into `delete_errors` when provided.
+    pub(crate) fn new(path: PathBuf, delete_errors: Option<Arc<AtomicU64>>) -> Self {
+        SpillFile {
+            path,
+            delete_errors,
+        }
+    }
+
     /// The temp file's location (diagnostic; travels in
     /// [`SimError::SpillIo`](crate::SimError::SpillIo)).
     pub fn path(&self) -> &Path {
@@ -238,8 +263,16 @@ impl SpillFile {
 impl Drop for SpillFile {
     fn drop(&mut self) {
         // Best effort: a vanished temp dir must not turn cleanup into a
-        // second failure.
-        let _ = std::fs::remove_file(&self.path);
+        // second failure. But a *leak* must be observable — a delete that
+        // fails for any reason other than the file already being gone is
+        // tallied for PipelineMetrics::spill_delete_errors.
+        if let Err(error) = std::fs::remove_file(&self.path) {
+            if error.kind() != std::io::ErrorKind::NotFound {
+                if let Some(counter) = &self.delete_errors {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
     }
 }
 
@@ -294,13 +327,14 @@ pub(crate) fn write_run<K: SpillCodec, V: SpillCodec>(
     dir: &Path,
     run: &[(usize, K, V)],
     bytes: u64,
+    delete_errors: Option<Arc<AtomicU64>>,
 ) -> Result<SpilledRun, SpillError> {
     let discriminator = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
     let path = dir.join(format!(
         "mrassign-spill-{}-{discriminator}.run",
         std::process::id()
     ));
-    let guard = SpillFile { path };
+    let guard = SpillFile::new(path, delete_errors);
     let fail = |source: std::io::Error| SpillError {
         path: guard.path().display().to_string(),
         source: source.to_string(),
@@ -474,7 +508,7 @@ mod tests {
         let run: Vec<(usize, u64, String)> = (0..100)
             .map(|i| (i, i as u64 * 3, format!("value-{i}")))
             .collect();
-        let spilled = write_run(&dir, &run, 4_096).expect("spill writes");
+        let spilled = write_run(&dir, &run, 4_096, None).expect("spill writes");
         assert_eq!(spilled.records, 100);
         assert_eq!(spilled.bytes, 4_096);
         assert!(spilled.path().exists());
@@ -510,17 +544,55 @@ mod tests {
     fn unwritable_directory_fails_cleanly_without_litter() {
         let dir = unique_temp_dir("missing").join("does-not-exist");
         let run: Vec<(usize, u64, u64)> = vec![(0, 1, 2)];
-        let err = write_run(&dir, &run, 16).expect_err("missing dir cannot be written");
+        let err = write_run(&dir, &run, 16, None).expect_err("missing dir cannot be written");
         assert!(err.path.contains("mrassign-spill-"), "{}", err.path);
         assert!(!err.source.is_empty());
         assert!(!dir.exists(), "no partial file appears");
+    }
+
+    /// Satellite: `SpillFile::drop` used to swallow delete errors silently.
+    /// A delete that fails (other than file-already-gone) must bump the
+    /// shared counter; a clean delete, or a file someone else already
+    /// removed, must not.
+    #[test]
+    fn drop_counts_failed_deletes_but_not_vanished_files() {
+        let dir = unique_temp_dir("delete-errors");
+        let counter = Arc::new(AtomicU64::new(0));
+
+        // Clean delete: no error counted.
+        let run: Vec<(usize, u64, u64)> = vec![(0, 1, 2)];
+        let spilled = write_run(&dir, &run, 16, Some(Arc::clone(&counter))).expect("spill writes");
+        drop(spilled);
+        assert_eq!(counter.load(Ordering::Relaxed), 0);
+
+        // Already-gone file: NotFound is not a leak, so still no error.
+        let spilled = write_run(&dir, &run, 16, Some(Arc::clone(&counter))).expect("spill writes");
+        std::fs::remove_file(spilled.path()).expect("steal the file out from under the guard");
+        drop(spilled);
+        assert_eq!(counter.load(Ordering::Relaxed), 0);
+
+        // Genuine failure: the path is a non-empty directory, which
+        // remove_file cannot delete on any platform.
+        let blocked = dir.join("blocked.run");
+        std::fs::create_dir(&blocked).expect("create blocking dir");
+        std::fs::write(blocked.join("occupant"), b"x").expect("occupy it");
+        drop(SpillFile::new(blocked.clone(), Some(Arc::clone(&counter))));
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            1,
+            "failed delete is tallied"
+        );
+
+        std::fs::remove_file(blocked.join("occupant")).unwrap();
+        std::fs::remove_dir(&blocked).unwrap();
+        std::fs::remove_dir(&dir).expect("test dir is empty again");
     }
 
     #[test]
     fn corrupt_header_count_is_a_read_error() {
         let dir = unique_temp_dir("corrupt");
         let run: Vec<(usize, u64, u64)> = (0..4).map(|i| (i, i as u64, 0)).collect();
-        let mut spilled = write_run(&dir, &run, 64).expect("spill writes");
+        let mut spilled = write_run(&dir, &run, 64, None).expect("spill writes");
         spilled.records += 1; // sealed count no longer matches the header
         let Err(err) = SpillReader::<u64, u64>::open(&spilled) else {
             panic!("mismatch must be detected");

@@ -40,8 +40,11 @@ impl<K, V> Emitter<K, V> {
 /// them from worker threads, and determinism is what keeps metrics
 /// reproducible). `Sync` is required for the same reason.
 pub trait Mapper: Sync {
-    /// Input record type.
-    type In: ByteSized + Sync;
+    /// Input record type. `Hash` because the checkpoint fingerprint
+    /// (see [`ClusterConfig::checkpoint_dir`](crate::ClusterConfig::checkpoint_dir))
+    /// folds input *content* into the job identity — equal sizes with
+    /// different contents must not share a checkpoint session.
+    type In: ByteSized + Hash + Sync;
     /// Intermediate key. `Send + Sync` because the pipelined engine moves
     /// records across stage threads and `Arc`-shares completed partitions
     /// between a primary and a speculative finalize; [`SpillCodec`]
@@ -87,8 +90,12 @@ pub trait Reducer: Sync {
     /// Intermediate value (must match the mapper's).
     type Value: Clone + ByteSized;
     /// Final output record. `Send` because the pipelined engine applies
-    /// reduce functions on consumer threads and hands the outputs back.
-    type Out: Send;
+    /// reduce functions on consumer threads and hands the outputs back;
+    /// [`SpillCodec`] because under a
+    /// [`checkpoint_dir`](crate::ClusterConfig::checkpoint_dir) the engine
+    /// persists each finalized partition's outputs to disk and decodes
+    /// them back on resume.
+    type Out: Send + SpillCodec;
 
     /// Reduces one key and its value list, appending results to `out`.
     fn reduce(&self, key: &Self::Key, values: &[Self::Value], out: &mut Vec<Self::Out>);

@@ -218,7 +218,7 @@ fn word_count_enforce_violation_identical_across_the_matrix() {
 // ---------------------------------------------------------------------------
 
 /// A tuple of relation X (tag 0) or Y (tag 1).
-#[derive(Clone)]
+#[derive(Clone, Hash)]
 struct Tuple {
     tag: u8,
     key: u64,
@@ -306,7 +306,7 @@ fn skew_join_identical_across_the_matrix() {
 // Workload 3: boundary-distribution mapping schema (the paper's hard case)
 // ---------------------------------------------------------------------------
 
-#[derive(Clone)]
+#[derive(Clone, Hash)]
 struct Blob {
     bytes: u64,
     targets: Vec<usize>,
@@ -898,4 +898,302 @@ fn stealing_redistributes_hot_reducer_finalize_work() {
         wk < st,
         "stealing must flatten the finalize profile: stealing {wk} vs static {st}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/resume cells: a `checkpoint_dir` must be invisible to the
+// determinism contract. A cold checkpointed run matches the uncheckpointed
+// reference bit for bit; a second run against the same directory replays
+// every partition from disk (hits == partitions, misses == 0) and still
+// matches; a run killed mid-finalize by a `kill-reduce:` fault verdict
+// resumes re-executing strictly fewer partitions than a fresh run would.
+// ---------------------------------------------------------------------------
+
+/// A fresh private checkpoint directory per cell, so parallel tests and
+/// repeated cells never share manifests.
+fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "mrassign-exec-ckpt-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+    dir
+}
+
+/// Word count has 11 reducers in this suite; every checkpoint assertion
+/// below counts against this.
+const WC_PARTITIONS: u64 = 11;
+
+fn wc_job(config: ClusterConfig) -> Job<Tokenize, Count, HashRouter> {
+    Job::new(
+        Tokenize,
+        Count,
+        HashRouter::new(),
+        WC_PARTITIONS as usize,
+        config,
+    )
+}
+
+/// Cold + resumed checkpointed runs across shuffle × finalize × threads ×
+/// {unbudgeted, tight-budget} × {fault-free, seeded-fault} cells, all
+/// pinned to the uncheckpointed materialized reference.
+#[test]
+fn checkpointed_rerun_is_bit_identical_across_the_matrix() {
+    let lines = word_lines();
+    let reference = wc_job(cluster(ShuffleMode::Materialized, FinalizeMode::Static, 1))
+        .run(&lines)
+        .unwrap();
+    for (mode, finalize) in CELLS {
+        for threads in THREADS {
+            for memory_budget in [None, Some(TIGHT_BUDGET)] {
+                if memory_budget.is_some() && mode != ShuffleMode::Pipelined {
+                    continue;
+                }
+                for plan in [None, Some(sweep_fault_plan())] {
+                    let label = format!(
+                        "checkpointed {mode:?}/{finalize:?} × threads={threads} × \
+                         budgeted={} × faulted={}",
+                        memory_budget.is_some(),
+                        plan.is_some()
+                    );
+                    let dir = ckpt_dir("matrix");
+                    let config = ClusterConfig {
+                        checkpoint_dir: Some(dir.clone()),
+                        memory_budget,
+                        retry_budget: 8,
+                        fault_plan: plan.clone(),
+                        ..cluster(mode, finalize, threads)
+                    };
+
+                    let cold = wc_job(config.clone()).run(&lines).unwrap();
+                    assert_eq!(reference.outputs, cold.outputs, "{label}: cold outputs");
+                    assert_eq!(
+                        reference.metrics.deterministic(),
+                        cold.metrics.deterministic(),
+                        "{label}: cold deterministic metrics"
+                    );
+                    assert_eq!(cold.metrics.pipeline.checkpoint_hits, 0, "{label}: cold");
+                    // The executed-partition count is mode-shaped (the
+                    // pass-based engines skip empty partitions before the
+                    // checkpoint lookup; the pipelined engine finalizes
+                    // all of them), so calibrate from the cold run.
+                    let executed = cold.metrics.pipeline.checkpoint_misses;
+                    assert!(executed > 0, "{label}: cold misses every partition");
+
+                    let resumed = wc_job(config).run(&lines).unwrap();
+                    assert_eq!(
+                        reference.outputs, resumed.outputs,
+                        "{label}: resumed outputs"
+                    );
+                    assert_eq!(
+                        reference.metrics.deterministic(),
+                        resumed.metrics.deterministic(),
+                        "{label}: resumed deterministic metrics"
+                    );
+                    assert_eq!(
+                        resumed.metrics.pipeline.checkpoint_hits, executed,
+                        "{label}: resume replays every partition from disk"
+                    );
+                    assert_eq!(
+                        resumed.metrics.pipeline.checkpoint_misses, 0,
+                        "{label}: resume re-executes nothing"
+                    );
+                    std::fs::remove_dir_all(&dir).unwrap();
+                }
+            }
+        }
+    }
+}
+
+/// The recovery path end to end, per cell: a `kill-reduce:` verdict
+/// panics the job with every partition but the last one committed;
+/// re-running the same job (kill list dropped — it is execution-only and
+/// outside the fingerprint) against the same directory finishes
+/// bit-identical to the fresh reference while re-executing exactly the
+/// one killed partition.
+#[test]
+fn killed_job_resumes_reexecuting_strictly_fewer_partitions() {
+    let lines = word_lines();
+    let reference = wc_job(cluster(ShuffleMode::Materialized, FinalizeMode::Static, 1))
+        .run(&lines)
+        .unwrap();
+    for (mode, finalize) in CELLS {
+        // How many partitions this engine shape actually executes (the
+        // pass-based engines skip empty ones): a throwaway checkpointed
+        // run, with the same inert fault-plan skeleton the resume uses so
+        // its fingerprint matches the counts being calibrated.
+        let probe_dir = ckpt_dir("kill-probe");
+        let probe = wc_job(ClusterConfig {
+            checkpoint_dir: Some(probe_dir.clone()),
+            fault_plan: Some(FaultPlan::default()),
+            ..cluster(mode, FinalizeMode::Static, 1)
+        })
+        .run(&lines)
+        .unwrap();
+        let executed = probe.metrics.pipeline.checkpoint_misses;
+        std::fs::remove_dir_all(&probe_dir).unwrap();
+        assert!(executed > 1, "calibration run must execute partitions");
+
+        for threads in THREADS {
+            let label = format!("killed {mode:?}/{finalize:?} × threads={threads}");
+            let dir = ckpt_dir("kill");
+            // The kill run is single-threaded under static finalize so
+            // partitions commit strictly in order before the verdict for
+            // the last partition fires — making the resume accounting
+            // exact. (Work-stealing finalize commits out of order, which
+            // is fine for recovery but not for exact-count assertions;
+            // both knobs are execution-only and outside the fingerprint,
+            // so the resume cell below still matches.)
+            let kill_config = ClusterConfig {
+                checkpoint_dir: Some(dir.clone()),
+                fault_plan: Some(FaultPlan {
+                    kill_reduce_tasks: vec![WC_PARTITIONS as usize - 1],
+                    ..FaultPlan::default()
+                }),
+                ..cluster(mode, FinalizeMode::Static, 1)
+            };
+            let killed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                wc_job(kill_config).run(&lines)
+            }));
+            assert!(
+                killed.is_err(),
+                "{label}: the kill verdict must panic the run"
+            );
+
+            // Resume in the actual cell shape: thread count, like every
+            // execution-only knob, is outside the fingerprint. The kill
+            // list is dropped but the (semantically inert) plan skeleton
+            // stays, keeping the fingerprint's fault signature equal.
+            let resume_config = ClusterConfig {
+                checkpoint_dir: Some(dir.clone()),
+                fault_plan: Some(FaultPlan::default()),
+                ..cluster(mode, finalize, threads)
+            };
+            let resumed = wc_job(resume_config).run(&lines).unwrap();
+            assert_eq!(reference.outputs, resumed.outputs, "{label}: outputs");
+            assert_eq!(
+                reference.metrics.deterministic(),
+                resumed.metrics.deterministic(),
+                "{label}: deterministic metrics"
+            );
+            assert_eq!(
+                resumed.metrics.pipeline.checkpoint_hits,
+                executed - 1,
+                "{label}: every partition committed before the kill is skipped"
+            );
+            assert_eq!(
+                resumed.metrics.pipeline.checkpoint_misses, 1,
+                "{label}: only the killed partition re-executes"
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}
+
+/// Damaged checkpoint state must degrade to re-execution with a named
+/// warning — never to a panic, and never to a wrong byte: a torn manifest
+/// tail, a bit-flipped manifest entry, a version-bumped header, and a
+/// corrupted partition file each leave the resumed run bit-identical to
+/// the reference with `checkpoint_invalid` counting the damage.
+#[test]
+fn corrupt_checkpoints_fall_back_to_fresh_execution() {
+    let lines = word_lines();
+    let reference = wc_job(cluster(ShuffleMode::Materialized, FinalizeMode::Static, 1))
+        .run(&lines)
+        .unwrap();
+    type Corruption = (&'static str, fn(&std::path::Path));
+    let corruptions: [Corruption; 4] = [
+        ("torn manifest tail", |job_dir| {
+            let manifest = job_dir.join("manifest.bin");
+            let len = std::fs::metadata(&manifest).unwrap().len();
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&manifest)
+                .unwrap();
+            file.set_len(len - 10).unwrap();
+        }),
+        ("bit-flipped manifest entry", |job_dir| {
+            let manifest = job_dir.join("manifest.bin");
+            let mut bytes = std::fs::read(&manifest).unwrap();
+            let idx = bytes.len() - 20; // inside the last entry's payload
+            bytes[idx] ^= 0x40;
+            std::fs::write(&manifest, bytes).unwrap();
+        }),
+        ("version-bumped header", |job_dir| {
+            let manifest = job_dir.join("manifest.bin");
+            let mut bytes = std::fs::read(&manifest).unwrap();
+            bytes[8] = bytes[8].wrapping_add(1); // u32 version little-endian
+            std::fs::write(&manifest, bytes).unwrap();
+        }),
+        ("corrupted partition file", |job_dir| {
+            let part = job_dir.join("part-3.ckpt");
+            let mut bytes = std::fs::read(&part).unwrap();
+            let idx = bytes.len() / 2;
+            bytes[idx] ^= 0xFF;
+            std::fs::write(&part, bytes).unwrap();
+        }),
+    ];
+    for (what, corrupt) in corruptions {
+        let dir = ckpt_dir("corrupt");
+        let config = ClusterConfig {
+            checkpoint_dir: Some(dir.clone()),
+            ..cluster(ShuffleMode::Pipelined, FinalizeMode::Static, 2)
+        };
+        wc_job(config.clone()).run(&lines).unwrap();
+        let job_dir = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.path())
+            .find(|p| {
+                p.file_name()
+                    .is_some_and(|n| n.to_string_lossy().starts_with("job-"))
+            })
+            .expect("the cold run committed a job directory");
+        corrupt(&job_dir);
+
+        let resumed = wc_job(config).run(&lines).unwrap();
+        assert_eq!(reference.outputs, resumed.outputs, "{what}: outputs");
+        assert_eq!(
+            reference.metrics.deterministic(),
+            resumed.metrics.deterministic(),
+            "{what}: deterministic metrics"
+        );
+        assert!(
+            resumed.metrics.pipeline.checkpoint_invalid > 0,
+            "{what}: the damage must be counted"
+        );
+        assert!(
+            resumed.metrics.pipeline.checkpoint_misses > 0,
+            "{what}: damaged partitions re-execute"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// The startup sweep reclaims temp files a killed process left behind: a
+/// fabricated spill run owned by an impossible (hence provably dead) PID
+/// disappears during the next checkpointed run and is counted.
+#[test]
+fn startup_sweep_reclaims_dead_process_orphans() {
+    let lines = word_lines();
+    let dir = ckpt_dir("orphan");
+    // u32::MAX is far above every Linux pid_max, so this owner can never
+    // be alive and the sweep must treat the file as a dead orphan.
+    let orphan = dir.join(format!("mrassign-spill-{}-0.run", u32::MAX));
+    std::fs::write(&orphan, b"leftover sorted run bytes").unwrap();
+    let out = wc_job(ClusterConfig {
+        checkpoint_dir: Some(dir.clone()),
+        ..cluster(ShuffleMode::Pipelined, FinalizeMode::Static, 1)
+    })
+    .run(&lines)
+    .unwrap();
+    assert!(!orphan.exists(), "the sweep must delete the orphan");
+    assert!(
+        out.metrics.pipeline.orphans_reclaimed >= 1,
+        "reclaimed orphans are counted"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -369,7 +369,7 @@ fn select(frontier: Vec<CandidatePlan>, objective: Objective) -> Result<Plan, Sc
 
 // --- blob execution (composition of core + simmr) -------------------------
 
-#[derive(Clone)]
+#[derive(Clone, Hash)]
 struct Blob {
     bytes: u64,
     targets: Vec<usize>,

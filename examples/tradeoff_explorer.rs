@@ -16,7 +16,7 @@ use mrassign::workloads::{geometric_steps, SizeDistribution};
 
 /// A sized blob standing in for any opaque input; the payload is simulated
 /// (we carry only its size), which is all byte accounting needs.
-#[derive(Clone)]
+#[derive(Clone, Hash)]
 struct Blob {
     id: u32,
     bytes: u64,

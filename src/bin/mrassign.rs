@@ -32,6 +32,13 @@
 //! each pipelined consumer group may buffer before sealing runs to disk
 //! (the out-of-core shuffle path); like every engine knob it trades
 //! memory for I/O without changing a single output byte.
+//! `--checkpoint-dir` makes the engine persist every finalized reduce
+//! partition under the given directory, keyed by a fingerprint of the
+//! job's semantic configuration and workload; re-running the same
+//! command against the same directory resumes, replaying committed
+//! partitions from disk bit-identically and re-executing only the
+//! rest — the recovery path for `--faults` kill lists (`kill-map:`,
+//! `kill-reduce:`), which panic a worker mid-task.
 //!
 //! `mrassign dag` drives the multi-round stage-graph scheduler: it
 //! submits `--jobs` copies of a chained-MapReduce workload (`marginals`
@@ -48,6 +55,7 @@
 //! submitter.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use mrassign::core::exact::{self, SearchBudget, SearchOptions, SearchStats};
@@ -86,17 +94,21 @@ usage:
   mrassign plan --weights <file> [--workers <n>] [--candidates <n>] [--objective makespan|comm:<slowdown>]
                 [--algo <a2a solver>] [--budget <nodes>] [--threads <n>] [--shuffle materialized|streaming|pipelined]
                 [--finalize static|stealing] [--retries <n>] [--faults <spec>]
-                [--memory-budget <bytes>]
+                [--memory-budget <bytes>] [--checkpoint-dir <dir>]
   mrassign dag  [--workload marginals|skewjoin] [--jobs <n>] [--tenants <n>] [--pool <n>] [--rows <n>]
                 [--seed <s>] [--threads <n>] [--shuffle materialized|streaming|pipelined]
                 [--finalize static|stealing] [--retries <n>] [--faults <spec>] [--memory-budget <bytes>]
+                [--checkpoint-dir <dir>]
 
 distribution specs: const:<w> | uniform:<lo>:<hi> | zipf:<ranks>:<exp>:<max> | bimodal:<small>:<big>:<frac> | boundary:<q>
 a2a solvers: auto | one-reducer | grouping | pairing | bigsmall | bigsmall-shared | exact
 x2y solvers: auto | one-reducer | grid | grid-optimized | bighandling | exact
 --budget applies to --algo exact only: positive branch-and-bound node cap, e.g. --budget 2000000
---faults injects seeded transient faults: comma-separated seed:<u64>, rate:<f64>, map-rate:<f64>, reduce-rate:<f64>
---memory-budget caps buffered shuffle bytes per consumer group (pipelined engine spills sorted runs to disk above it)";
+--faults injects seeded transient faults: comma-separated seed:<u64>, rate:<f64>, map-rate:<f64>, reduce-rate:<f64>,
+         kill-map:<i[+i...]>, kill-reduce:<i[+i...]> (kill lists abort the process mid-task to exercise resume)
+--memory-budget caps buffered shuffle bytes per consumer group (pipelined engine spills sorted runs to disk above it)
+--checkpoint-dir persists each finalized reduce partition; re-running the same job against the same dir
+         resumes, re-executing only partitions that never committed";
 
 /// Executes a parsed command line; returns the printable result.
 fn run(args: &[String]) -> Result<String, String> {
@@ -439,6 +451,7 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<String, String> {
         .get("memory-budget")
         .map(|s| parse_num(s, "a memory budget in bytes"))
         .transpose()?;
+    let checkpoint_dir: Option<PathBuf> = flags.get("checkpoint-dir").map(PathBuf::from);
 
     let cluster = ClusterConfig {
         workers,
@@ -447,6 +460,7 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<String, String> {
         retry_budget,
         fault_plan,
         memory_budget,
+        checkpoint_dir,
         ..ClusterConfig::default()
     };
     // Reject bad knob combinations (e.g. a fault rate outside [0, 1])
@@ -513,6 +527,7 @@ fn parse_engine_cluster(flags: &HashMap<String, String>) -> Result<ClusterConfig
         .get("memory-budget")
         .map(|s| parse_num(s, "a memory budget in bytes"))
         .transpose()?;
+    let checkpoint_dir: Option<PathBuf> = flags.get("checkpoint-dir").map(PathBuf::from);
     let cluster = ClusterConfig {
         shuffle,
         finalize_mode,
@@ -520,6 +535,7 @@ fn parse_engine_cluster(flags: &HashMap<String, String>) -> Result<ClusterConfig
         retry_budget,
         fault_plan,
         memory_budget,
+        checkpoint_dir,
         ..ClusterConfig::default()
     };
     cluster.validate().map_err(|e| e.to_string())?;

@@ -26,8 +26,10 @@ use mrassign::workloads::{
 /// more under `MRASSIGN_SHUFFLE=pipelined MRASSIGN_FINALIZE=stealing` for
 /// the work-stealing finalize, plus once under seeded fault injection via
 /// `MRASSIGN_FAULTS`/`MRASSIGN_RETRIES`, plus once with a tight
-/// `MRASSIGN_MEMORY` byte budget to force the spill-to-disk path; results
-/// must be identical every way, which
+/// `MRASSIGN_MEMORY` byte budget to force the spill-to-disk path, plus
+/// once under `MRASSIGN_CHECKPOINT=<dir>` so every job checkpoints its
+/// finalized partitions (and any job repeated within a test resumes from
+/// them); results must be identical every way, which
 /// `shuffle_modes_produce_identical_job_output` asserts directly.
 fn cluster() -> ClusterConfig {
     // A typo in any env var must fail loudly, not quietly re-test the
@@ -63,12 +65,20 @@ fn cluster() -> ClusterConfig {
         })),
         Err(_) => None,
     };
+    let checkpoint_dir = match std::env::var("MRASSIGN_CHECKPOINT") {
+        Ok(dir) => {
+            assert!(!dir.is_empty(), "MRASSIGN_CHECKPOINT: empty path");
+            Some(std::path::PathBuf::from(dir))
+        }
+        Err(_) => None,
+    };
     ClusterConfig {
         shuffle,
         finalize_mode,
         retry_budget,
         fault_plan,
         memory_budget,
+        checkpoint_dir,
         ..ClusterConfig::default()
     }
 }
@@ -77,7 +87,7 @@ fn cluster() -> ClusterConfig {
 /// schema's own load computation — the two accounting systems agree.
 #[test]
 fn schema_loads_match_engine_loads() {
-    #[derive(Clone)]
+    #[derive(Clone, Hash)]
     struct Blob {
         id: u32,
         bytes: u64,
@@ -294,6 +304,19 @@ fn exact_heuristic_bound_sandwich() {
     }
 }
 
+/// Raw metric identity for the pass-based modes — relaxed to the
+/// deterministic subset under the checkpointing leg, where a later mode
+/// legitimately *resumes* from an earlier mode's commits (shuffle mode is
+/// outside the job fingerprint by design) and the masked checkpoint
+/// hit/miss counters therefore differ.
+fn assert_pass_metrics_match(a: &mrassign::simmr::JobMetrics, b: &mrassign::simmr::JobMetrics) {
+    if std::env::var_os("MRASSIGN_CHECKPOINT").is_none() {
+        assert_eq!(a, b);
+    } else {
+        assert_eq!(a.deterministic(), b.deterministic());
+    }
+}
+
 /// Acceptance: `ShuffleMode::Materialized` and `ShuffleMode::Streaming`
 /// produce identical `JobOutput`s (outputs *and* metrics) on the real
 /// end-to-end pipelines.
@@ -341,7 +364,7 @@ fn shuffle_modes_produce_identical_job_output() {
     let sim_pipe = sim(mode_cluster(ShuffleMode::Pipelined));
     let sim_steal = sim(stealing_cluster());
     assert_eq!(sim_mat.pairs, sim_str.pairs);
-    assert_eq!(sim_mat.metrics, sim_str.metrics);
+    assert_pass_metrics_match(&sim_mat.metrics, &sim_str.metrics);
     assert_eq!(sim_mat.pairs, sim_pipe.pairs);
     assert_eq!(sim_mat.pairs, sim_steal.pairs);
     // The pipelined engine's overlap counters are execution-dependent by
@@ -384,7 +407,7 @@ fn shuffle_modes_produce_identical_job_output() {
     let skew_pipe = skew(mode_cluster(ShuffleMode::Pipelined));
     let skew_steal = skew(stealing_cluster());
     assert_eq!(skew_mat.output, skew_str.output);
-    assert_eq!(skew_mat.metrics, skew_str.metrics);
+    assert_pass_metrics_match(&skew_mat.metrics, &skew_str.metrics);
     assert_eq!(skew_mat.output, skew_pipe.output);
     assert_eq!(skew_mat.output, skew_steal.output);
     assert_eq!(
