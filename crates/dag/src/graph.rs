@@ -25,11 +25,13 @@
 
 use std::any::Any;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Mutex};
 
 use mrassign_simmr::{
-    DlqEntry, Job, JobMetrics, JobOutput, Mapper, Reducer, Router, SimError, SpillCodec,
+    decode_partition, encode_partition, DlqEntry, Job, JobMetrics, JobOutput, Mapper,
+    PartitionSink, Reducer, Router, SimError, SpillCodec,
 };
 
 use crate::metrics::DagMetrics;
@@ -181,6 +183,8 @@ pub struct StageCtx {
     pub(crate) stage: String,
     pub(crate) jobs: Vec<JobMetrics>,
     pub(crate) dlq: Vec<StageDlqEntry>,
+    pub(crate) stream_batches: u64,
+    pub(crate) stream_batches_early: u64,
 }
 
 impl StageCtx {
@@ -189,6 +193,8 @@ impl StageCtx {
             stage: stage.to_string(),
             jobs: Vec::new(),
             dlq: Vec::new(),
+            stream_batches: 0,
+            stream_batches_early: 0,
         }
     }
 
@@ -240,11 +246,132 @@ impl StageCtx {
         }));
         Ok(out)
     }
+
+    /// Like [`StageCtx::run_job_full`] but hands every finalized reduce
+    /// partition to `sink` as it commits — the producer half of a streamed
+    /// edge passes the edge's [`StreamTx`] here, so the downstream stage
+    /// consumes partitions while this round is still finalizing later
+    /// ones. Bookkeeping is identical to [`StageCtx::run_job_full`].
+    pub fn run_job_streamed<M, R, Rt>(
+        &mut self,
+        job: &Job<M, R, Rt>,
+        inputs: &[M::In],
+        sink: &dyn PartitionSink<R::Out>,
+    ) -> Result<JobOutput<R::Out>, StageFailure>
+    where
+        M: Mapper + Sync,
+        M::Key: Ord + std::hash::Hash + Clone + Send + Sync + SpillCodec,
+        M::Value: Clone + Send + Sync + SpillCodec,
+        M::In: Sync,
+        R: Reducer<Key = M::Key, Value = M::Value> + Sync,
+        R::Out: Send,
+        Rt: Router<M::Key>,
+    {
+        let out = job.run_with_sink(inputs, sink)?;
+        self.jobs.push(out.metrics.clone());
+        self.dlq.extend(out.dlq.iter().map(|entry| StageDlqEntry {
+            stage: self.stage.clone(),
+            entry: entry.clone(),
+        }));
+        Ok(out)
+    }
+}
+
+/// Bounded hand-off depth of a streamed edge: how many committed
+/// partition batches may sit between producer and consumer before the
+/// producer's next commit blocks. The small bound is what *forces*
+/// overlap — with `P` nonempty partitions streamed, the consumer must
+/// have received at least `P - STREAM_DEPTH` of them before the producer
+/// could finish, which is the deterministic floor the streaming tests
+/// assert through [`crate::StageMetrics::stream_batches_early`].
+pub const STREAM_DEPTH: usize = 2;
+
+/// Shared accounting of one streamed edge.
+#[derive(Default)]
+struct StreamShared {
+    /// Set by the producer after its round returns, before the commit
+    /// value is published — batches received while this is still `false`
+    /// provably overlapped the upstream round.
+    closed: AtomicBool,
+    batches: AtomicU64,
+    early: AtomicU64,
+}
+
+/// The producer-side handle of a streamed edge: a [`PartitionSink`] that
+/// encodes each committed partition with the engine's shared
+/// [`SpillCodec`] framing (the same bytes a checkpoint would persist) and
+/// hands it downstream over a bounded channel.
+///
+/// The producer half of [`StageGraph::streamed_stage`] receives one of
+/// these and typically passes it straight to
+/// [`StageCtx::run_job_streamed`].
+pub struct StreamTx<T> {
+    tx: Mutex<Option<SyncSender<Vec<u8>>>>,
+    /// First encode failure, surfaced as the producer stage's failure —
+    /// the sink trait itself is infallible.
+    error: Mutex<Option<String>>,
+    marker: PhantomData<fn(T)>,
+}
+
+impl<T> StreamTx<T> {
+    /// Drops the sender so the consumer's receive loop terminates.
+    fn close(&self) {
+        self.tx.lock().expect("stream sender poisoned").take();
+    }
+
+    fn take_error(&self) -> Option<String> {
+        self.error
+            .lock()
+            .expect("stream error slot poisoned")
+            .take()
+    }
+}
+
+impl<T: SpillCodec> PartitionSink<T> for StreamTx<T> {
+    fn partition(&self, _partition: usize, outputs: &[T], distinct_keys: u64) {
+        let bytes = match encode_partition(outputs, distinct_keys) {
+            Ok(bytes) => bytes,
+            Err(reason) => {
+                let mut slot = self.error.lock().expect("stream error slot poisoned");
+                slot.get_or_insert(reason);
+                return;
+            }
+        };
+        // A send error means the consumer is gone (it failed and dropped
+        // its receiver); the producer keeps running and its own result
+        // stands — the consumer stage reports the failure.
+        if let Some(tx) = self.tx.lock().expect("stream sender poisoned").as_ref() {
+            let _ = tx.send(bytes);
+        }
+    }
+}
+
+/// What the consumer thread hands back to the consumer stage.
+struct ConsumerDone<O> {
+    output: O,
+    jobs: Vec<JobMetrics>,
+    dlq: Vec<StageDlqEntry>,
+}
+
+/// The consumer thread's join handle on a streamed edge.
+type ConsumerHandle<O> = std::thread::JoinHandle<Result<ConsumerDone<O>, StageFailure>>;
+
+/// The producer stage's payload on a streamed edge: the running consumer
+/// thread plus the edge's overlap counters. Never cacheable — it is a
+/// one-shot live handle, which is why streamed producers contribute key
+/// material to the stage-key chain without being servable themselves.
+struct StreamLink<O> {
+    handle: Mutex<Option<ConsumerHandle<O>>>,
+    shared: Arc<StreamShared>,
 }
 
 /// A task stage's executable body.
 pub(crate) type StageFn =
     Arc<dyn Fn(&mut StageCtx, &[Payload]) -> Result<Payload, StageFailure> + Send + Sync>;
+
+/// Measures a stage's type-erased payload in bytes for the intermediate
+/// store's capacity accounting.
+pub(crate) type SizeFn = Arc<dyn Fn(&Payload) -> u64 + Send + Sync>;
 
 pub(crate) enum StageKind {
     /// Materialized at submission; never dispatched.
@@ -257,6 +384,17 @@ pub(crate) struct StageNode {
     pub(crate) name: String,
     pub(crate) deps: Vec<usize>,
     pub(crate) kind: StageKind,
+    /// Stage-local key material folded into the stage-key chain. `None`
+    /// makes this stage — and everything downstream — keyless, so a graph
+    /// is only cacheable along edges that declared their identity.
+    pub(crate) key_seed: Option<u64>,
+    /// Whether a server's intermediate store may serve and admit this
+    /// stage's payload. Keyed-but-uncacheable stages exist: the producer
+    /// half of a streamed edge contributes its key material to the chain
+    /// while its own payload (a live stream handle) must never be reused.
+    pub(crate) cacheable: bool,
+    /// Sizer for capacity accounting; present exactly when `cacheable`.
+    pub(crate) sizer: Option<SizeFn>,
 }
 
 /// A DAG of chained MapReduce rounds (and pure transforms between them).
@@ -324,6 +462,32 @@ impl StageGraph {
             name: name.to_string(),
             deps: Vec::new(),
             kind: StageKind::Source(Arc::new(value)),
+            key_seed: None,
+            cacheable: false,
+            sizer: None,
+        });
+        self.handle(self.stages.len() - 1)
+    }
+
+    /// Like [`StageGraph::source`], but declares the source's content
+    /// identity: `content_key` (typically
+    /// [`mrassign_simmr::input_content_hash`] over the value) seeds the
+    /// stage-key chain, making downstream cache-marked stages addressable
+    /// in a server's intermediate store. Two graphs built over sources
+    /// with equal content keys share cached intermediates.
+    pub fn source_hashed<T: Send + Sync + 'static>(
+        &mut self,
+        name: &str,
+        value: T,
+        content_key: u64,
+    ) -> StageHandle<T> {
+        self.stages.push(StageNode {
+            name: name.to_string(),
+            deps: Vec::new(),
+            kind: StageKind::Source(Arc::new(value)),
+            key_seed: Some(content_key),
+            cacheable: false,
+            sizer: None,
         });
         self.handle(self.stages.len() - 1)
     }
@@ -347,6 +511,9 @@ impl StageGraph {
             name: name.to_string(),
             deps: vec![dep.index],
             kind: StageKind::Task(run),
+            key_seed: None,
+            cacheable: false,
+            sizer: None,
         });
         self.handle(self.stages.len() - 1)
     }
@@ -381,6 +548,217 @@ impl StageGraph {
             name: name.to_string(),
             deps: vec![dep_a.index, dep_b.index],
             kind: StageKind::Task(run),
+            key_seed: None,
+            cacheable: false,
+            sizer: None,
+        });
+        self.handle(self.stages.len() - 1)
+    }
+
+    /// Declares a task stage's output cacheable in a server's intermediate
+    /// store (see [`crate::JobServer::with_stage_cache`]).
+    ///
+    /// `key_material` is the stage's own identity contribution — fold in
+    /// everything the stage's body depends on besides its graph inputs
+    /// (engine config via [`mrassign_simmr::job_semantic_hash`], workload
+    /// parameters, …). The server derives the stage's full key by chaining
+    /// the stage name, this material, and every dependency's key; a stage
+    /// whose dependency chain contains an undeclared (keyless) stage stays
+    /// uncacheable. `size` measures the output for capacity accounting.
+    ///
+    /// The caller asserts the stage body is a pure, deterministic function
+    /// of its dependencies and `key_material`; the store trusts that
+    /// assertion, exactly like the engine's checkpoint fingerprint trusts
+    /// [`mrassign_simmr::ClusterConfig`] to describe the job. A stage
+    /// submitted as a job's **sink** is never served or admitted (its
+    /// output must be uniquely owned for the join to unwrap), so marking
+    /// the sink is allowed but has no effect.
+    ///
+    /// # Panics
+    /// If the handle belongs to a different graph or names a source stage
+    /// (sources declare identity via [`StageGraph::source_hashed`]).
+    pub fn mark_cached<T, F>(&mut self, handle: &StageHandle<T>, key_material: u64, size: F)
+    where
+        T: Send + Sync + 'static,
+        F: Fn(&T) -> u64 + Send + Sync + 'static,
+    {
+        self.check_dep(handle.graph, handle.index);
+        let node = &mut self.stages[handle.index];
+        assert!(
+            matches!(node.kind, StageKind::Task(_)),
+            "mark_cached targets task stages; sources declare identity via source_hashed"
+        );
+        node.key_seed = Some(key_material);
+        node.cacheable = true;
+        node.sizer = Some(Arc::new(move |payload: &Payload| {
+            let value = payload
+                .downcast_ref::<T>()
+                .expect("typed stage handle guarantees the payload type");
+            size(value)
+        }));
+    }
+
+    /// Adds a **streamed edge**: a producer/consumer stage pair whose
+    /// hand-off is incremental instead of materialized-then-dispatched.
+    ///
+    /// The producer runs on the pool like any task stage; `produce`
+    /// receives the dependency's value and a [`StreamTx`] and typically
+    /// drives one engine round through [`StageCtx::run_job_streamed`], so
+    /// every finalized reduce partition is encoded (engine [`SpillCodec`]
+    /// framing — the same bytes a checkpoint would persist) and handed
+    /// downstream the moment it commits, over a channel bounded at
+    /// [`STREAM_DEPTH`] batches. A dedicated consumer thread — started at
+    /// producer dispatch, i.e. *before* the producer's round completes —
+    /// decodes and accumulates batches as they land, then applies
+    /// `consume` to the producer's committed value `P` and the records
+    /// (in partition order, bit-identical to the producer round's own
+    /// output order). The consumer *stage* joins that thread, re-homes
+    /// its engine metrics and DLQ entries under `consumer_name`, and
+    /// reports the overlap in
+    /// [`StageMetrics::stream_batches`](crate::StageMetrics) /
+    /// [`stream_batches_early`](crate::StageMetrics::stream_batches_early).
+    ///
+    /// Failure is attributed precisely: a `produce` failure names the
+    /// producer stage and the consumer thread ends without a commit; a
+    /// `consume` (or decode) failure names the consumer stage while the
+    /// producer's success stands. Neither side can deadlock — dropping
+    /// either channel end unblocks the other.
+    ///
+    /// `producer_key` optionally declares the producer's identity in the
+    /// stage-key chain (see [`StageGraph::mark_cached`]); the producer's
+    /// own payload is a live stream handle and is never cached, but its
+    /// key material lets a cache-marked consumer be served — in which
+    /// case the producer is never dispatched at all.
+    pub fn streamed_stage<A, T, P, O, FP, FC>(
+        &mut self,
+        producer_name: &str,
+        consumer_name: &str,
+        dep: &StageHandle<A>,
+        producer_key: Option<u64>,
+        produce: FP,
+        consume: FC,
+    ) -> StageHandle<O>
+    where
+        A: Send + Sync + 'static,
+        T: SpillCodec + Send + 'static,
+        P: Send + 'static,
+        O: Send + Sync + 'static,
+        FP: Fn(&mut StageCtx, &A, &StreamTx<T>) -> Result<P, StageFailure> + Send + Sync + 'static,
+        FC: Fn(&mut StageCtx, P, Vec<T>) -> Result<O, StageFailure> + Send + Sync + 'static,
+    {
+        self.check_dep(dep.graph, dep.index);
+        let consume = Arc::new(consume);
+        let consumer = consumer_name.to_string();
+        let producer_body: StageFn = Arc::new(move |ctx, inputs| {
+            let a = inputs[0]
+                .downcast_ref::<A>()
+                .expect("typed stage handle guarantees the payload type");
+            let (tx, rx) = sync_channel::<Vec<u8>>(STREAM_DEPTH);
+            let shared = Arc::new(StreamShared::default());
+            let commit: Arc<Mutex<Option<P>>> = Arc::new(Mutex::new(None));
+            let stream_tx = StreamTx {
+                tx: Mutex::new(Some(tx)),
+                error: Mutex::new(None),
+                marker: PhantomData,
+            };
+            let thread = {
+                let shared = Arc::clone(&shared);
+                let commit = Arc::clone(&commit);
+                let consume = Arc::clone(&consume);
+                let consumer = consumer.clone();
+                std::thread::spawn(move || -> Result<ConsumerDone<O>, StageFailure> {
+                    let mut records: Vec<T> = Vec::new();
+                    while let Ok(bytes) = rx.recv() {
+                        shared.batches.fetch_add(1, Ordering::Relaxed);
+                        if !shared.closed.load(Ordering::Acquire) {
+                            shared.early.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // An Err return drops `rx`, which unblocks any
+                        // in-flight producer send — no deadlock.
+                        let (mut batch, _distinct) = decode_partition::<T>(&bytes)
+                            .map_err(|r| StageFailure::Message(format!("streamed batch {r}")))?;
+                        records.append(&mut batch);
+                    }
+                    let value = commit
+                        .lock()
+                        .expect("stream commit slot poisoned")
+                        .take()
+                        .ok_or_else(|| {
+                            StageFailure::Message(
+                                "upstream producer failed before committing its stream".to_string(),
+                            )
+                        })?;
+                    let mut cctx = StageCtx::new(&consumer);
+                    let output = consume(&mut cctx, value, records)?;
+                    Ok(ConsumerDone {
+                        output,
+                        jobs: cctx.jobs,
+                        dlq: cctx.dlq,
+                    })
+                })
+            };
+            match produce(ctx, a, &stream_tx) {
+                Ok(value) => {
+                    if let Some(reason) = stream_tx.take_error() {
+                        stream_tx.close();
+                        return Err(StageFailure::Message(reason));
+                    }
+                    // Close order matters: flag first, then the commit
+                    // value, then the channel — the consumer drains the
+                    // channel before reading the commit slot.
+                    shared.closed.store(true, Ordering::Release);
+                    *commit.lock().expect("stream commit slot poisoned") = Some(value);
+                    stream_tx.close();
+                    Ok(Arc::new(StreamLink {
+                        handle: Mutex::new(Some(thread)),
+                        shared,
+                    }) as Payload)
+                }
+                Err(failure) => {
+                    // No commit: the consumer thread ends with its own
+                    // "producer failed" error, which nobody will join —
+                    // this stage's failure already fails the job.
+                    stream_tx.close();
+                    Err(failure)
+                }
+            }
+        });
+        self.stages.push(StageNode {
+            name: producer_name.to_string(),
+            deps: vec![dep.index],
+            kind: StageKind::Task(producer_body),
+            key_seed: producer_key,
+            cacheable: false,
+            sizer: None,
+        });
+        let producer_index = self.stages.len() - 1;
+
+        let consumer_body: StageFn = Arc::new(move |ctx, inputs| {
+            let link = inputs[0]
+                .downcast_ref::<StreamLink<O>>()
+                .expect("streamed consumer's sole dependency is its producer");
+            let thread = link
+                .handle
+                .lock()
+                .expect("stream link poisoned")
+                .take()
+                .expect("a streamed edge is consumed exactly once");
+            let done = thread
+                .join()
+                .map_err(|_| StageFailure::Message("streamed consumer panicked".to_string()))??;
+            ctx.jobs.extend(done.jobs);
+            ctx.dlq.extend(done.dlq);
+            ctx.stream_batches = link.shared.batches.load(Ordering::Relaxed);
+            ctx.stream_batches_early = link.shared.early.load(Ordering::Relaxed);
+            Ok(Arc::new(done.output) as Payload)
+        });
+        self.stages.push(StageNode {
+            name: consumer_name.to_string(),
+            deps: vec![producer_index],
+            kind: StageKind::Task(consumer_body),
+            key_seed: None,
+            cacheable: false,
+            sizer: None,
         });
         self.handle(self.stages.len() - 1)
     }

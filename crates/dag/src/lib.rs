@@ -17,6 +17,22 @@
 //! * [`DagMetrics`] — per-stage wall-clocks, queue waits, and dispatch
 //!   slots ([`StageMetrics::dispatch_gap`] is the bounded-wait quantity
 //!   the starvation property test asserts on);
+//! * a fingerprint-keyed **intermediate stage store**
+//!   ([`JobServer::with_stage_cache`]) — stages opted in via
+//!   [`StageGraph::mark_cached`] are admitted into a capacity-bounded,
+//!   LRU-evicted per-server cache keyed by the engine's deterministic
+//!   fingerprint chain extended with stage identity; a repeat submission
+//!   over identical sources is served from the store and executes
+//!   strictly fewer stages, bit-identically, without billing the tenant's
+//!   fair-share span ([`TenantShare::stages_from_cache`]);
+//! * **streaming edges** ([`StageGraph::streamed_stage`]) — the upstream
+//!   round hands finalized reduce partitions to the downstream stage as
+//!   they commit (via the engine's
+//!   [`PartitionSink`](mrassign_simmr::PartitionSink)), over a bounded
+//!   channel of [`STREAM_DEPTH`] encoded batches;
+//!   [`StageMetrics::stream_batches_early`] counts batches the consumer
+//!   popped before the producer committed — direct evidence the
+//!   downstream stage started before the upstream one finished;
 //! * [`marginals`] — the two-round marginals workload (Afrati, Sharma,
 //!   Ullman, "Computing Marginals Using MapReduce") ported onto the DAG,
 //!   with a hand-chained referee for differential testing. The skew join's
@@ -32,9 +48,12 @@ pub mod graph;
 pub mod marginals;
 pub mod metrics;
 pub mod server;
+pub mod store;
 
 pub use graph::{
-    DagError, DagOutput, StageCtx, StageDlqEntry, StageFailure, StageGraph, StageHandle,
+    DagError, DagOutput, StageCtx, StageDlqEntry, StageFailure, StageGraph, StageHandle, StreamTx,
+    STREAM_DEPTH,
 };
 pub use metrics::{DagMetrics, StageMetrics, TenantShare};
 pub use server::{JobHandle, JobServer};
+pub use store::StoreStats;

@@ -9,8 +9,8 @@
 //! module runs exactly that chain as a [`StageGraph`]:
 //!
 //! ```text
-//!   cube ──► first-order ──► second-order ──► collect
-//!                └────────────────────────────────┘
+//!   cube ──► first-order ══► second-order ──► collect
+//!                      (streamed edge)
 //! ```
 //!
 //! * **first-order** — one engine round: each row emits `d` pairs, one per
@@ -18,10 +18,20 @@
 //! * **second-order** — a second round over the first round's *output*:
 //!   the marginal that dropped `a` re-aggregates over each remaining
 //!   dimension `b > a`. Requiring `b > a` gives every pair `{a, b}` exactly
-//!   one provenance, so nothing is double-counted;
+//!   one provenance, so nothing is double-counted. The edge between the
+//!   rounds is a **streamed edge** ([`StageGraph::streamed_stage`]): round
+//!   1 hands each finalized reduce partition to round 2's stage as it
+//!   commits, instead of materializing the full intermediate first —
+//!   [`crate::StageMetrics::stream_batches_early`] records how many
+//!   partitions crossed before round 1 finished;
 //! * **collect** — a pure transform joining both rounds' outputs into one
-//!   canonically sorted list (no engine work; demonstrates a two-input
-//!   stage and a diamond-shaped readiness frontier).
+//!   canonically sorted list (no engine work).
+//!
+//! The second-order stage is also **cache-marked**
+//! ([`StageGraph::mark_cached`]): submitted to a
+//! [`crate::JobServer::with_stage_cache`] server, a repeat of the same
+//! cube under the same configs is served from the intermediate store and
+//! only re-runs `collect`.
 //!
 //! Each round carries its own [`ClusterConfig`], so shuffle mode, memory
 //! budget, fault plan, retries, speculation, and DLQ mode are all
@@ -33,11 +43,12 @@
 use std::collections::BTreeMap;
 
 use mrassign_simmr::{
-    ByteSized, ClusterConfig, Emitter, HashRouter, Job, JobMetrics, Mapper, Reducer, SpillCodec,
+    fold_hash, input_content_hash, job_semantic_hash, ByteSized, CapacityPolicy, ClusterConfig,
+    Emitter, HashRouter, Job, JobMetrics, Mapper, Reducer, SpillCodec,
 };
 use mrassign_workloads::cube::CubeTuple;
 
-use crate::graph::{DagError, DagOutput, StageDlqEntry, StageGraph, StageHandle};
+use crate::graph::{DagError, DagOutput, StageDlqEntry, StageGraph, StageHandle, StreamTx};
 
 /// A fact row inside the engine: the [`CubeTuple`] fields plus the byte
 /// accounting the engine requires of its input records.
@@ -296,7 +307,10 @@ pub fn marginals_graph(
     let rows: Vec<CubeRow> = tuples.iter().map(CubeRow::from).collect();
 
     let mut graph = StageGraph::new();
-    let cube = graph.source("cube", rows);
+    // Content-hashed source: the root of the stage-key chain, so two
+    // submissions over byte-identical cubes derive identical stage keys.
+    let rows_key = input_content_hash(rows.iter());
+    let cube = graph.source_hashed("cube", rows, rows_key);
 
     let first_job = Job::new(
         FirstOrderMapper { dims: cfg.dims },
@@ -305,10 +319,6 @@ pub fn marginals_graph(
         cfg.first_reducers,
         cfg.first_cluster.clone(),
     );
-    let first = graph.stage("first-order", &cube, move |ctx, rows: &Vec<CubeRow>| {
-        ctx.run_job(&first_job, rows)
-    });
-
     let second_job = Job::new(
         SecondOrderMapper { dims: cfg.dims },
         SumReducer,
@@ -316,17 +326,61 @@ pub fn marginals_graph(
         cfg.second_reducers,
         cfg.second_cluster.clone(),
     );
-    let second = graph.stage(
-        "second-order",
-        &first,
-        move |ctx, firsts: &Vec<Marginal>| ctx.run_job(&second_job, firsts),
+
+    // Per-round key material: the engine's semantic job fingerprint plus
+    // the dimension count (which parameterizes the mappers).
+    let first_seed = fold_hash(
+        job_semantic_hash(
+            &cfg.first_cluster,
+            cfg.first_reducers,
+            &CapacityPolicy::Unlimited,
+            "marginals/first-order",
+        ),
+        cfg.dims as u64,
+    );
+    let second_seed = fold_hash(
+        job_semantic_hash(
+            &cfg.second_cluster,
+            cfg.second_reducers,
+            &CapacityPolicy::Unlimited,
+            "marginals/second-order",
+        ),
+        cfg.dims as u64,
     );
 
-    let collect = graph.stage2(
+    // Streamed edge: round 1 pushes each finalized partition into the
+    // channel as it commits; round 2's stage reconstructs the first-order
+    // marginals from the stream (bit-identical to the materialized list)
+    // and runs the second round over them.
+    let orders = graph.streamed_stage(
+        "first-order",
+        "second-order",
+        &cube,
+        Some(first_seed),
+        move |ctx, rows: &Vec<CubeRow>, tx: &StreamTx<Marginal>| {
+            ctx.run_job_streamed(&first_job, rows, tx).map(|_| ())
+        },
+        move |ctx, (), firsts: Vec<Marginal>| {
+            let seconds = ctx.run_job(&second_job, &firsts)?;
+            Ok((firsts, seconds))
+        },
+    );
+    graph.mark_cached(
+        &orders,
+        second_seed,
+        |out: &(Vec<Marginal>, Vec<Marginal>)| {
+            out.0
+                .iter()
+                .chain(out.1.iter())
+                .map(ByteSized::size_bytes)
+                .sum()
+        },
+    );
+
+    let collect = graph.stage(
         "collect",
-        &first,
-        &second,
-        |_ctx, firsts: &Vec<Marginal>, seconds: &Vec<Marginal>| {
+        &orders,
+        |_ctx, (firsts, seconds): &(Vec<Marginal>, Vec<Marginal>)| {
             let mut all = Vec::with_capacity(firsts.len() + seconds.len());
             all.extend(firsts.iter().cloned());
             all.extend(seconds.iter().cloned());

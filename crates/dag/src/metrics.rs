@@ -30,6 +30,16 @@ pub struct StageMetrics {
     /// Engine metrics of every [`Job::run`](mrassign_simmr::Job::run)
     /// round the stage executed, in execution order.
     pub jobs: Vec<JobMetrics>,
+    /// For the consumer half of a streamed edge
+    /// ([`StageGraph::streamed_stage`](crate::StageGraph::streamed_stage)):
+    /// how many committed partition batches it received from upstream.
+    /// Zero for ordinary stages.
+    pub stream_batches: u64,
+    /// How many of those batches the consumer received *before* the
+    /// upstream producer committed its stream — a nonzero value is direct
+    /// evidence the downstream stage started consuming while the upstream
+    /// round was still finalizing later partitions.
+    pub stream_batches_early: u64,
 }
 
 impl StageMetrics {
@@ -49,10 +59,21 @@ pub struct DagMetrics {
     /// level).
     pub priority: i32,
     /// Per-stage accounting in stage (= topological definition) order;
-    /// source stages are never dispatched and carry no entry.
+    /// source stages are never dispatched and carry no entry — and neither
+    /// do stages served from the server's intermediate store, which is why
+    /// a cached repeat submission reports strictly fewer entries here.
     pub stages: Vec<StageMetrics>,
     /// Seconds between submission and completion.
     pub wall_seconds: f64,
+    /// Stages of this job served from the server's intermediate stage
+    /// store at admission instead of executing.
+    pub cache_hits: u64,
+    /// Cache-marked stages of this job that had to execute because their
+    /// stage key was absent from the store.
+    pub cache_misses: u64,
+    /// Store entries evicted while this job's stages were being admitted
+    /// into the store.
+    pub cache_evictions: u64,
 }
 
 impl DagMetrics {
@@ -89,6 +110,11 @@ pub struct TenantShare {
     /// Stages dispatched for the tenant (the tie-breaker when service
     /// times are equal, e.g. before any stage has finished).
     pub stages_dispatched: u64,
+    /// Stages served to the tenant from the server's intermediate store.
+    /// Cached work is never billed: it adds nothing to `service_seconds`
+    /// or `stages_dispatched`, so a tenant re-submitting cached jobs keeps
+    /// its fair-share span — and therefore its scheduling preference.
+    pub stages_from_cache: u64,
     /// Jobs the tenant has submitted.
     pub jobs_submitted: u64,
     /// Jobs that have completed (successfully or not).

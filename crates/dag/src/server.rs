@@ -27,15 +27,19 @@
 //! the DAG≡chained differential harness pins exactly that.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
+use mrassign_simmr::{fnv1a, fold_hash};
+
 use crate::graph::{
-    DagError, DagOutput, Payload, StageCtx, StageDlqEntry, StageFn, StageGraph, StageHandle,
-    StageKind,
+    DagError, DagOutput, Payload, SizeFn, StageCtx, StageDlqEntry, StageFailure, StageFn,
+    StageGraph, StageHandle, StageKind,
 };
 use crate::metrics::{DagMetrics, StageMetrics, TenantShare};
+use crate::store::{StageStore, StoreStats, StoredStage};
 
 /// One ready-to-run stage waiting for a pool worker.
 struct ReadyEntry {
@@ -52,6 +56,7 @@ struct ReadyEntry {
 struct TenantState {
     service_seconds: f64,
     stages_dispatched: u64,
+    stages_from_cache: u64,
     jobs_submitted: u64,
     jobs_completed: u64,
 }
@@ -70,6 +75,17 @@ struct ServerState {
 struct ServerInner {
     state: Mutex<ServerState>,
     work: Condvar,
+    /// The fingerprint-keyed intermediate store, present when the server
+    /// was built with [`JobServer::with_stage_cache`].
+    store: Option<StageStore>,
+}
+
+/// How one stage participates in the intermediate store: its derived
+/// stage key and the sizer for capacity accounting.
+#[derive(Clone)]
+pub(crate) struct CacheSpec {
+    key: u64,
+    sizer: SizeFn,
 }
 
 /// Per-job execution state shared between the pool and the [`JobHandle`].
@@ -100,6 +116,13 @@ struct JobInner {
     completed: bool,
     stage_metrics: Vec<Option<StageMetrics>>,
     dlq: Vec<(usize, StageDlqEntry)>,
+    /// Per-stage store participation (`None`: unkeyed, uncacheable, not
+    /// needed this run, or the sink — the sink's output must stay uniquely
+    /// owned for [`JobHandle::join`] to unwrap it).
+    cache_specs: Vec<Option<CacheSpec>>,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
     submitted_at: Instant,
     wall_seconds: f64,
 }
@@ -120,10 +143,14 @@ impl JobInner {
             self.completed = true;
             self.wall_seconds = self.submitted_at.elapsed().as_secs_f64();
             // Deterministic DLQ order whatever the dispatch interleaving:
-            // stage index, then the engine's (task stage, index) order.
+            // stage index, then the attributed stage name (entries served
+            // from the intermediate store all carry the *served* stage's
+            // index but keep their original names), then the engine's
+            // (task stage, index) order.
             self.dlq.sort_by(|a, b| {
-                (a.0, a.1.entry.stage, a.1.entry.index).cmp(&(
+                (a.0, &a.1.stage, a.1.entry.stage, a.1.entry.index).cmp(&(
                     b.0,
+                    &b.1.stage,
                     b.1.entry.stage,
                     b.1.entry.index,
                 ))
@@ -165,6 +192,9 @@ impl<T: Send + Sync + 'static> JobHandle<T> {
             priority: st.priority,
             stages,
             wall_seconds: st.wall_seconds,
+            cache_hits: st.cache_hits,
+            cache_misses: st.cache_misses,
+            cache_evictions: st.cache_evictions,
         };
         let dlq: Vec<StageDlqEntry> = st.dlq.iter().map(|(_, e)| e.clone()).collect();
         drop(st);
@@ -191,12 +221,30 @@ pub struct JobServer {
 }
 
 impl JobServer {
-    /// Starts a server with `threads` pool workers.
+    /// Starts a server with `threads` pool workers and no intermediate
+    /// store: every submitted stage executes.
     ///
     /// # Panics
     /// With `threads == 0` — a pool with no workers could never run
     /// anything, so this is rejected loudly at construction.
     pub fn new(threads: usize) -> Self {
+        JobServer::build(threads, None)
+    }
+
+    /// Starts a server with `threads` pool workers and a
+    /// `capacity_bytes`-bounded intermediate store. Cache-marked stages of
+    /// submitted graphs (see [`StageGraph::mark_cached`]) are admitted
+    /// into the store on success and served from it on later submissions
+    /// with the same stage key — the repeat executes strictly fewer
+    /// stages, bit-identically.
+    ///
+    /// # Panics
+    /// With `threads == 0`, as for [`JobServer::new`].
+    pub fn with_stage_cache(threads: usize, capacity_bytes: u64) -> Self {
+        JobServer::build(threads, Some(StageStore::new(capacity_bytes)))
+    }
+
+    fn build(threads: usize, store: Option<StageStore>) -> Self {
         assert!(threads >= 1, "JobServer needs at least one worker thread");
         let inner = Arc::new(ServerInner {
             state: Mutex::new(ServerState {
@@ -208,6 +256,7 @@ impl JobServer {
                 tenants: HashMap::new(),
             }),
             work: Condvar::new(),
+            store,
         });
         let workers = (0..threads)
             .map(|_| {
@@ -245,32 +294,130 @@ impl JobServer {
         let mut bodies: Vec<Option<StageFn>> = Vec::with_capacity(n);
         let mut values: Vec<Option<Payload>> = Vec::with_capacity(n);
         let mut deps = Vec::with_capacity(n);
-        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut task_count = 0;
-        for (idx, node) in graph.stages.into_iter().enumerate() {
+        let mut key_seeds = Vec::with_capacity(n);
+        let mut cacheables = Vec::with_capacity(n);
+        let mut sizers: Vec<Option<SizeFn>> = Vec::with_capacity(n);
+        for node in graph.stages {
             names.push(node.name);
-            for &d in &node.deps {
-                dependents[d].push(idx);
-            }
             deps.push(node.deps);
+            key_seeds.push(node.key_seed);
+            cacheables.push(node.cacheable);
+            sizers.push(node.sizer);
             match node.kind {
                 StageKind::Source(value) => {
                     bodies.push(None);
                     values.push(Some(value));
                 }
                 StageKind::Task(body) => {
-                    task_count += 1;
                     bodies.push(Some(body));
                     values.push(None);
                 }
             }
         }
-        let pending: Vec<usize> = deps
-            .iter()
-            .map(|d| d.iter().filter(|&&i| values[i].is_none()).count())
-            .collect();
+
+        // Stage keys: the engine's fingerprint chain extended with stage
+        // identity — fold (stage name, own key material, every dependency's
+        // key) down the topological order. Any keyless link makes the
+        // stages above it keyless too, so a key can only match when the
+        // whole upstream lineage matched.
+        let mut keys: Vec<Option<u64>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let key = key_seeds[i].and_then(|seed| {
+                let mut h = fold_hash(fnv1a(names[i].as_bytes()), seed);
+                for &d in &deps[i] {
+                    h = fold_hash(h, keys[d]?);
+                }
+                Some(h)
+            });
+            keys.push(key);
+        }
+
+        // Peek store candidates without committing counters yet: serving a
+        // downstream stage prunes its upstream chain, and a pruned stage's
+        // candidate must count as nothing at all.
+        let mut candidates: Vec<Option<StoredStage>> = vec![None; n];
+        if let Some(store) = &self.inner.store {
+            for i in 0..n {
+                if i == sink.index || !cacheables[i] || bodies[i].is_none() {
+                    continue;
+                }
+                if let Some(key) = keys[i] {
+                    candidates[i] = store.peek(key);
+                }
+            }
+        }
+
+        // Neededness: walk back from the sink; a source or a served stage
+        // satisfies its subtree, so nothing behind it is enqueued (or even
+        // counted in `task_count` — a cached repeat genuinely executes
+        // fewer stages, it does not skip them at dispatch time).
+        let mut needs_run = vec![false; n];
+        let mut served = vec![false; n];
+        {
+            let mut visited = vec![false; n];
+            let mut stack = vec![sink.index];
+            while let Some(i) = stack.pop() {
+                if visited[i] {
+                    continue;
+                }
+                visited[i] = true;
+                if values[i].is_some() {
+                    continue;
+                }
+                if candidates[i].is_some() {
+                    served[i] = true;
+                    continue;
+                }
+                needs_run[i] = true;
+                stack.extend(deps[i].iter().copied());
+            }
+        }
+
+        let mut dlq: Vec<(usize, StageDlqEntry)> = Vec::new();
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        let mut cache_specs: Vec<Option<CacheSpec>> = vec![None; n];
+        if let Some(store) = &self.inner.store {
+            for i in 0..n {
+                if served[i] {
+                    let stored = candidates[i].take().expect("served implies a candidate");
+                    store.note_hit(keys[i].expect("served implies a key"));
+                    // The stored DLQ replays the skipped chain's entries
+                    // under this stage's index; its internal order is
+                    // already the canonical (stage, task) order.
+                    dlq.extend(stored.dlq.into_iter().map(|e| (i, e)));
+                    values[i] = Some(stored.payload);
+                    cache_hits += 1;
+                } else if needs_run[i] && cacheables[i] && i != sink.index {
+                    if let Some(key) = keys[i] {
+                        store.note_miss();
+                        cache_misses += 1;
+                        cache_specs[i] = Some(CacheSpec {
+                            key,
+                            sizer: sizers[i].clone().expect("cacheable implies a sizer"),
+                        });
+                    }
+                }
+            }
+        }
+
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut pending = vec![0usize; n];
+        let mut task_count = 0;
+        for i in 0..n {
+            if !needs_run[i] {
+                continue;
+            }
+            task_count += 1;
+            for &d in &deps[i] {
+                if needs_run[d] {
+                    dependents[d].push(i);
+                    pending[i] += 1;
+                }
+            }
+        }
         let initially_ready: Vec<usize> = (0..n)
-            .filter(|&i| bodies[i].is_some() && pending[i] == 0)
+            .filter(|&i| needs_run[i] && pending[i] == 0)
             .collect();
 
         let mut inner = JobInner {
@@ -288,7 +435,11 @@ impl JobServer {
             failures: Vec::new(),
             completed: false,
             stage_metrics: vec![None; n],
-            dlq: Vec::new(),
+            dlq,
+            cache_specs,
+            cache_hits,
+            cache_misses,
+            cache_evictions: 0,
             submitted_at: Instant::now(),
             wall_seconds: 0.0,
         };
@@ -305,6 +456,7 @@ impl JobServer {
             assert!(!st.shutdown, "cannot submit to a shut-down JobServer");
             let t = st.tenants.entry(tenant.to_string()).or_default();
             t.jobs_submitted += 1;
+            t.stages_from_cache += cache_hits;
             if complete_on_admission {
                 t.jobs_completed += 1;
             }
@@ -343,12 +495,19 @@ impl JobServer {
                 tenant: tenant.clone(),
                 service_seconds: t.service_seconds,
                 stages_dispatched: t.stages_dispatched,
+                stages_from_cache: t.stages_from_cache,
                 jobs_submitted: t.jobs_submitted,
                 jobs_completed: t.jobs_completed,
             })
             .collect();
         shares.sort_by(|a, b| a.tenant.cmp(&b.tenant));
         shares
+    }
+
+    /// Point-in-time counters of the server's intermediate stage store, or
+    /// `None` for a server built without one ([`JobServer::new`]).
+    pub fn stage_cache_stats(&self) -> Option<StoreStats> {
+        self.inner.store.as_ref().map(StageStore::stats)
     }
 
     /// Stops admission, drains every already-admitted job, and joins the
@@ -413,6 +572,18 @@ fn pick_best(st: &ServerState) -> Option<usize> {
     best.map(|(idx, _)| idx)
 }
 
+/// Best-effort text of a caught panic payload (the two shapes `panic!`
+/// actually produces, then a generic fallback).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "stage body panicked".to_string()
+    }
+}
+
 fn worker_loop(inner: &ServerInner) {
     loop {
         // Acquire one dispatched entry (or exit on drained shutdown).
@@ -446,7 +617,7 @@ fn worker_loop(inner: &ServerInner) {
         };
 
         let queue_wait = entry.ready_at.elapsed().as_secs_f64();
-        let (name, body, input_payloads) = {
+        let (name, body, input_payloads, spec) = {
             let job = entry.job.state.lock().expect("job state poisoned");
             let name = job.names[entry.stage].clone();
             let body = job.bodies[entry.stage]
@@ -463,13 +634,18 @@ fn worker_loop(inner: &ServerInner) {
                     )
                 })
                 .collect();
-            (name, body, inputs)
+            let spec = job.cache_specs[entry.stage].clone();
+            (name, body, inputs, spec)
         };
 
-        // Run the stage body outside every lock.
+        // Run the stage body outside every lock. A panicking body — e.g. a
+        // `kill-*` fault verdict aborting a simulated engine process — must
+        // not take the pool worker (and with it the whole server) down: it
+        // is caught here and fails *that job* like any other stage error.
         let started = Instant::now();
         let mut ctx = StageCtx::new(&name);
-        let result = body(&mut ctx, &input_payloads);
+        let result = catch_unwind(AssertUnwindSafe(|| body(&mut ctx, &input_payloads)))
+            .unwrap_or_else(|panic| Err(StageFailure::Message(panic_message(panic.as_ref()))));
         drop(input_payloads);
         let wall = started.elapsed().as_secs_f64();
 
@@ -488,12 +664,48 @@ fn worker_loop(inner: &ServerInner) {
                     ready_slot: entry.ready_slot,
                     dispatch_slot,
                     jobs: std::mem::take(&mut ctx.jobs),
+                    stream_batches: ctx.stream_batches,
+                    stream_batches_early: ctx.stream_batches_early,
                 });
                 job.dlq.extend(ctx.dlq.drain(..).map(|e| (entry.stage, e)));
                 job.inflight -= 1;
                 let mut newly_ready = Vec::new();
                 match result {
                     Ok(payload) => {
+                        if let (Some(spec), Some(store)) = (&spec, inner.store.as_ref()) {
+                            // Store this stage's output together with the
+                            // DLQ entries of its whole upstream chain
+                            // (every dependency completed before us), so a
+                            // future served hit reproduces the skipped
+                            // chain's dead letters bit-identically.
+                            let mut in_chain = vec![false; job.deps.len()];
+                            let mut stack = vec![entry.stage];
+                            while let Some(i) = stack.pop() {
+                                if in_chain[i] {
+                                    continue;
+                                }
+                                in_chain[i] = true;
+                                stack.extend(job.deps[i].iter().copied());
+                            }
+                            let mut chain_dlq: Vec<(usize, StageDlqEntry)> = job
+                                .dlq
+                                .iter()
+                                .filter(|(i, _)| in_chain[*i])
+                                .cloned()
+                                .collect();
+                            chain_dlq.sort_by(|a, b| {
+                                (a.0, &a.1.stage, a.1.entry.stage, a.1.entry.index).cmp(&(
+                                    b.0,
+                                    &b.1.stage,
+                                    b.1.entry.stage,
+                                    b.1.entry.index,
+                                ))
+                            });
+                            let stored_dlq = chain_dlq.into_iter().map(|(_, e)| e).collect();
+                            let bytes = (spec.sizer)(&payload);
+                            job.cache_evictions +=
+                                store.insert(spec.key, Arc::clone(&payload), bytes, stored_dlq);
+                        }
                         job.values[entry.stage] = Some(payload);
                         job.finished += 1;
                         if !entry.job.failed.load(Ordering::Acquire) {

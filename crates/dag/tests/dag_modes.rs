@@ -12,10 +12,12 @@
 //! errors must agree exactly.
 
 use mrassign_dag::marginals::{
-    marginals_oracle, run_marginals_chained, run_marginals_dag, MarginalsConfig,
+    marginals_graph, marginals_oracle, run_marginals_chained, run_marginals_dag, MarginalsConfig,
 };
-use mrassign_dag::DagError;
-use mrassign_joins::{run_skew_join, run_skew_join_chained, run_skew_join_dag, SkewDagConfig};
+use mrassign_dag::{DagError, JobServer, STREAM_DEPTH};
+use mrassign_joins::{
+    run_skew_join, run_skew_join_chained, run_skew_join_dag, skew_join_graph, SkewDagConfig,
+};
 use mrassign_joins::{SkewJoinConfig, SkewJoinStrategy};
 use mrassign_simmr::{
     ClusterConfig, DlqMode, FaultPlan, FinalizeMode, JobMetrics, ShuffleMode, SimError,
@@ -297,6 +299,209 @@ fn first_round_config_errors_name_the_first_stage() {
     let chained_err = run_marginals_chained(&tuples, &cfg).unwrap_err();
     assert_eq!(dag_err, chained_err);
     assert_eq!(dag_err.stage(), "first-order");
+}
+
+/// The cached-vs-cold differential sweep: in every engine cell, a repeat
+/// submission of the identical graph to a stage-cached server is served
+/// from the intermediate store — `cache_hits > 0`, strictly fewer stages
+/// executed — and its output and DLQ are bit-identical to the cold run.
+#[test]
+fn cached_repeat_is_bit_identical_in_every_cell() {
+    let tuples = small_cube();
+    let pair = skewed_pair();
+    for (mode, finalize) in CELLS {
+        for threads in THREADS {
+            for &budget in budgets(mode) {
+                let label = format!("{mode:?}/{finalize:?} × threads={threads} × {budget:?}");
+                let cell = cluster(mode, finalize, threads, budget);
+
+                let server = JobServer::with_stage_cache(2, 1 << 22);
+                let mcfg = marginals_cfg(cell.clone());
+                let (g, sink) = marginals_graph(&tuples, &mcfg);
+                let cold = server.submit("a", 0, g, &sink).join().unwrap();
+                let (g, sink) = marginals_graph(&tuples, &mcfg);
+                let warm = server.submit("a", 0, g, &sink).join().unwrap();
+                assert_eq!(warm.output, cold.output, "{label}: marginals output");
+                assert_eq!(warm.dlq, cold.dlq, "{label}: marginals dlq");
+                assert_eq!(cold.metrics.cache_hits, 0, "{label}");
+                assert_eq!(cold.metrics.cache_misses, 1, "{label}");
+                assert!(warm.metrics.cache_hits > 0, "{label}");
+                assert_eq!(warm.metrics.cache_misses, 0, "{label}");
+                assert!(
+                    warm.metrics.stages.len() < cold.metrics.stages.len(),
+                    "{label}: served run must execute strictly fewer stages \
+                     ({} vs {})",
+                    warm.metrics.stages.len(),
+                    cold.metrics.stages.len()
+                );
+
+                let scfg = skew_cfg(cell);
+                let (g, sink) = skew_join_graph(&pair, &scfg);
+                let cold = server.submit("a", 0, g, &sink).join().unwrap();
+                let (g, sink) = skew_join_graph(&pair, &scfg);
+                let warm = server.submit("a", 0, g, &sink).join().unwrap();
+                assert_eq!(
+                    warm.output.output, cold.output.output,
+                    "{label}: join output"
+                );
+                assert_eq!(warm.dlq, cold.dlq, "{label}: join dlq");
+                assert!(warm.metrics.cache_hits > 0, "{label}");
+                assert!(
+                    warm.metrics.stages.len() < cold.metrics.stages.len(),
+                    "{label}: served join run executes fewer stages"
+                );
+
+                let stats = server.stage_cache_stats().expect("cached server");
+                assert!(stats.hits >= 2, "{label}: both repeats served");
+                // Cached work is never billed to the tenant's span.
+                let share = &server.fair_share()[0];
+                assert_eq!(share.stages_from_cache, stats.hits, "{label}");
+            }
+        }
+    }
+}
+
+/// A cached repeat replays the skipped rounds' dead letters: the stored
+/// entry carries the producing run's DLQ, so the served submission's
+/// `DagOutput` — values *and* DLQ — matches the cold run bit-for-bit.
+#[test]
+fn cached_repeat_replays_the_dead_letter_queue() {
+    let tuples = small_cube();
+    let cfg = MarginalsConfig {
+        second_cluster: ClusterConfig {
+            fault_plan: Some(FaultPlan {
+                poison_reduce_tasks: vec![0],
+                ..FaultPlan::default()
+            }),
+            retry_budget: 1,
+            dlq_mode: DlqMode::Capture,
+            ..ClusterConfig::default()
+        },
+        ..marginals_cfg(ClusterConfig::default())
+    };
+    let server = JobServer::with_stage_cache(2, 1 << 22);
+    let (g, sink) = marginals_graph(&tuples, &cfg);
+    let cold = server.submit("a", 0, g, &sink).join().unwrap();
+    assert!(!cold.dlq.is_empty(), "poison task must dead-letter");
+
+    let (g, sink) = marginals_graph(&tuples, &cfg);
+    let warm = server.submit("a", 0, g, &sink).join().unwrap();
+    assert!(warm.metrics.cache_hits > 0, "repeat must be served");
+    assert_eq!(warm.output, cold.output);
+    assert_eq!(warm.dlq, cold.dlq, "served run replays the stored DLQ");
+}
+
+/// A too-small store degrades to recomputation, never to wrong output:
+/// two configs with distinct stage keys but equal payload sizes fight
+/// over a one-entry store, so every repeat misses, re-executes, and still
+/// matches bit-identically.
+#[test]
+fn tiny_cache_evicts_and_recomputes_identically() {
+    let tuples = small_cube();
+    let cfg_a = marginals_cfg(ClusterConfig::default());
+    let cfg_b = MarginalsConfig {
+        second_reducers: 6,
+        ..marginals_cfg(ClusterConfig::default())
+    };
+
+    // Measure one entry's stored size on a roomy server.
+    let sizing = JobServer::with_stage_cache(1, 1 << 22);
+    let (g, sink) = marginals_graph(&tuples, &cfg_a);
+    let reference = sizing.submit("a", 0, g, &sink).join().unwrap();
+    let entry_bytes = sizing.stage_cache_stats().unwrap().used_bytes;
+    assert!(entry_bytes > 0);
+
+    // Both configs compute the same marginals (reducer counts never
+    // change results), so their entries have identical stored sizes and
+    // a store of exactly one entry thrashes deterministically.
+    let server = JobServer::with_stage_cache(2, entry_bytes);
+    for cfg in [&cfg_a, &cfg_b, &cfg_a, &cfg_b] {
+        let (g, sink) = marginals_graph(&tuples, cfg);
+        let out = server.submit("a", 0, g, &sink).join().unwrap();
+        assert_eq!(out.output, reference.output, "evicted repeat recomputes");
+        assert_eq!(out.metrics.cache_hits, 0, "one-entry store cannot serve");
+        assert_eq!(out.metrics.cache_misses, 1);
+    }
+    let stats = server.stage_cache_stats().unwrap();
+    assert_eq!(stats.hits, 0);
+    assert_eq!(stats.misses, 4);
+    assert!(stats.evictions >= 3, "alternating keys evict every round");
+    assert_eq!(stats.entries, 1, "capacity holds exactly one entry");
+}
+
+/// The streamed first→second edge genuinely overlaps the rounds: with
+/// `P` nonempty partitions streamed over a depth-[`STREAM_DEPTH`]
+/// channel, the consumer must have received at least `P - STREAM_DEPTH`
+/// of them before the producer could commit — so `stream_batches_early`
+/// has a deterministic positive floor, direct evidence the downstream
+/// stage started before the upstream one finished.
+#[test]
+fn streamed_edge_overlaps_rounds() {
+    let tuples = small_cube();
+    let cfg = marginals_cfg(ClusterConfig::default());
+    let (graph, sink) = marginals_graph(&tuples, &cfg);
+    let out = graph.run(&sink).unwrap();
+    let second = out.metrics.stage("second-order").expect("consumer ran");
+    assert!(second.stream_batches > 0, "partitions crossed the channel");
+    let floor = second.stream_batches.saturating_sub(STREAM_DEPTH as u64);
+    assert!(
+        second.stream_batches_early >= floor,
+        "bounded channel forces early consumption: {} early of {} total",
+        second.stream_batches_early,
+        second.stream_batches
+    );
+    assert!(
+        second.stream_batches_early > 0,
+        "7 reducers over a depth-2 channel must overlap"
+    );
+    // Ordinary stages report no stream traffic.
+    let collect = out.metrics.stage("collect").unwrap();
+    assert_eq!(collect.stream_batches, 0);
+}
+
+/// A `kill-*` fault verdict panics the stage body; the server's pool
+/// worker must absorb it — failing that job with the stage's name — and
+/// keep serving: the same server then completes a clean job.
+#[test]
+fn killed_stage_fails_its_job_not_the_pool() {
+    let tuples = small_cube();
+    let server = JobServer::new(2);
+
+    // Kill in round 1: the panic unwinds out of the producer body on the
+    // pool worker itself and is caught there.
+    let cfg = MarginalsConfig {
+        first_cluster: ClusterConfig {
+            fault_plan: Some("kill-reduce:0".parse().unwrap()),
+            ..ClusterConfig::default()
+        },
+        ..marginals_cfg(ClusterConfig::default())
+    };
+    let (g, sink) = marginals_graph(&tuples, &cfg);
+    let err = server.submit("a", 0, g, &sink).join().unwrap_err();
+    assert_eq!(err.stage(), "first-order");
+    assert!(
+        err.to_string().contains("fault injection"),
+        "panic text survives: {err}"
+    );
+
+    // Kill in round 2: the panic happens on the streamed consumer thread
+    // and is reported through the consumer stage.
+    let cfg = MarginalsConfig {
+        second_cluster: ClusterConfig {
+            fault_plan: Some("kill-reduce:0".parse().unwrap()),
+            ..ClusterConfig::default()
+        },
+        ..marginals_cfg(ClusterConfig::default())
+    };
+    let (g, sink) = marginals_graph(&tuples, &cfg);
+    let err = server.submit("a", 0, g, &sink).join().unwrap_err();
+    assert_eq!(err.stage(), "second-order");
+
+    // Both panics were absorbed: the same pool still completes clean work.
+    let clean = marginals_cfg(ClusterConfig::default());
+    let (g, sink) = marginals_graph(&tuples, &clean);
+    let out = server.submit("a", 0, g, &sink).join().unwrap();
+    assert_eq!(out.output, marginals_oracle(&tuples, 3));
 }
 
 /// The stage-pool size never changes results: the same graph on 1, 2, and

@@ -7,8 +7,8 @@
 //! and the join round consumes the plan — all wired as a [`StageGraph`]:
 //!
 //! ```text
-//!   tuples ──► stats ──► plan ──► join
-//!      └────────────────┘
+//!   tuples ──► stats ══► plan ──► join
+//!                  (streamed edge)
 //! ```
 //!
 //! * **stats** — one engine round grouping tuple indices by join key and
@@ -16,7 +16,12 @@
 //! * **plan** — rebuilds the per-key map from the statistics round's
 //!   output and runs the *same* `plan_from_per_key` planning code the
 //!   single-round path uses: X2Y schemas for heavy hitters, FFD packing
-//!   for light keys;
+//!   for light keys. The stats→plan edge is **streamed**
+//!   ([`StageGraph::streamed_stage`]): each finalized statistics
+//!   partition is handed to the plan stage as it commits, and the plan
+//!   stage is **cache-marked** ([`StageGraph::mark_cached`]) so a
+//!   [`mrassign_dag::JobServer`] with a stage cache serves repeats of the
+//!   same pair/config without re-running either round;
 //! * **join** — the routed join round under `Enforce(q)`.
 //!
 //! [`run_skew_join_chained`] is the hand-chained referee: the same rounds
@@ -25,10 +30,12 @@
 //! errors between the DAG and the chain.
 
 use mrassign_binpack::FitPolicy;
-use mrassign_dag::{DagError, DagOutput, StageDlqEntry, StageFailure, StageGraph, StageHandle};
+use mrassign_dag::{
+    DagError, DagOutput, StageDlqEntry, StageFailure, StageGraph, StageHandle, StreamTx,
+};
 use mrassign_simmr::{
-    ByteSized, CapacityPolicy, ClusterConfig, DirectRouter, Emitter, HashRouter, Job, JobMetrics,
-    Mapper, Reducer, SpillCodec,
+    fold_hash, input_content_hash, job_semantic_hash, ByteSized, CapacityPolicy, ClusterConfig,
+    DirectRouter, Emitter, HashRouter, Job, JobMetrics, Mapper, Reducer, SpillCodec,
 };
 use mrassign_workloads::RelationPair;
 
@@ -298,26 +305,48 @@ pub fn skew_join_graph(
     let tagged = tag_pair(pair);
 
     let mut graph = StageGraph::new();
-    let tuples = graph.source("tuples", tagged);
+    // Content-hashed source: the root of the stage-key chain, so repeat
+    // submissions over a byte-identical pair derive identical stage keys.
+    let tagged_key = input_content_hash(tagged.iter());
+    let tagged_for_plan = tagged.clone();
+    let tuples = graph.source_hashed("tuples", tagged, tagged_key);
 
+    // Per-round key material: the stats round's semantic fingerprint, and
+    // the planner knobs (capacity, fit policy) the plan stage folds in.
+    let stats_seed = job_semantic_hash(
+        &cfg.stats_cluster,
+        cfg.stats_reducers,
+        &CapacityPolicy::Unlimited,
+        "skewjoin/stats",
+    );
+    let plan_seed = fold_hash(fold_hash(0, cfg.capacity), cfg.policy as u64);
+
+    // Streamed edge: the statistics round pushes each finalized partition
+    // to the plan stage as it commits; the plan stage reconstructs the
+    // pruned per-key lists from the stream (bit-identical to the
+    // materialized output) and plans from them.
     let stats_cfg = cfg.clone();
-    let stats = graph.stage("stats", &tuples, move |ctx, tagged: &Vec<TaggedTuple>| {
-        let out = ctx.run_job_full(&stats_job(&stats_cfg), &index_tuples(tagged))?;
-        Ok(StatsOut {
-            keys: out.outputs,
-            metrics: out.metrics,
-        })
-    });
-
     let plan_cfg = cfg.clone();
-    let plan = graph.stage2(
+    let plan = graph.streamed_stage(
+        "stats",
         "plan",
         &tuples,
-        &stats,
-        move |_ctx, tagged: &Vec<TaggedTuple>, stats: &StatsOut| {
-            plan_stage(tagged, stats, &plan_cfg)
+        Some(stats_seed),
+        move |ctx, tagged: &Vec<TaggedTuple>, tx: &StreamTx<KeyStats>| {
+            let out = ctx.run_job_streamed(&stats_job(&stats_cfg), &index_tuples(tagged), tx)?;
+            Ok(out.metrics)
+        },
+        move |_ctx, stats_metrics: JobMetrics, keys: Vec<KeyStats>| {
+            let stats = StatsOut {
+                keys,
+                metrics: stats_metrics,
+            };
+            plan_stage(&tagged_for_plan, &stats, &plan_cfg)
         },
     );
+    graph.mark_cached(&plan, plan_seed, |p: &PlanOut| {
+        p.inputs.iter().map(ByteSized::size_bytes).sum()
+    });
 
     let join_cfg = cfg.clone();
     let join = graph.stage("join", &plan, move |ctx, plan: &PlanOut| {

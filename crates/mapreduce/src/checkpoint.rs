@@ -41,18 +41,18 @@
 use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::hash::{Hash, Hasher};
-use std::io::{Seek, SeekFrom, Write};
+use std::io::{ErrorKind, Write};
 use std::marker::PhantomData;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant, SystemTime};
 
-use crate::cluster::ClusterConfig;
+use crate::cluster::{CheckpointRetain, ClusterConfig};
 use crate::error::SimError;
 use crate::job::CapacityPolicy;
 use crate::metrics::PipelineMetrics;
 use crate::record::ByteSized;
+use crate::sink::{decode_partition, encode_partition};
 use crate::spill::SpillCodec;
 
 const MANIFEST_MAGIC: [u8; 8] = *b"MRCKPT\0\0";
@@ -71,13 +71,21 @@ static CKPT_SEQ: AtomicU64 = AtomicU64::new(0);
 /// FNV-1a over `bytes` — the same dependency-free 64-bit hash the rest
 /// of the crate-family uses where collision resistance is not the threat
 /// model (here: detecting torn writes and bit rot, not adversaries).
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+/// Public so the DAG layer derives stage-store keys from the identical
+/// algorithm (a divergent hash would silently partition the cache).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// Folds one 64-bit word into an FNV-1a chain: the primitive both the
+/// job fingerprint and the DAG stage keys are built from.
+pub fn fold_hash(h: u64, word: u64) -> u64 {
+    (h ^ word).wrapping_mul(0x0000_0100_0000_01b3)
 }
 
 /// FNV-1a as a [`std::hash::Hasher`], so input *content* (via `Hash`)
@@ -133,60 +141,95 @@ impl Fingerprint {
     where
         I: Hash + ByteSized + 'a,
     {
-        let mut buf = Vec::with_capacity(256);
-        buf.extend_from_slice(&MANIFEST_MAGIC);
-        buf.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
-        buf.extend_from_slice(job_types.as_bytes());
-        buf.push(0);
-        buf.extend_from_slice(&(n_reducers as u64).to_le_bytes());
-        match capacity {
-            CapacityPolicy::Unlimited => buf.push(0),
-            CapacityPolicy::Enforce(q) => {
-                buf.push(1);
-                buf.extend_from_slice(&q.to_le_bytes());
-            }
-            CapacityPolicy::Record(q) => {
-                buf.push(2);
-                buf.extend_from_slice(&q.to_le_bytes());
-            }
+        let h = job_semantic_hash(config, n_reducers, capacity, job_types);
+        Fingerprint(fold_inputs(h, inputs))
+    }
+}
+
+/// Hash of a job's *output-affecting* configuration — the config half of
+/// the checkpoint fingerprint, factored out so the DAG stage store
+/// keys cache entries by the identical semantics. Includes the job type
+/// names, reducer count, capacity policy, retry budget, DLQ mode, and
+/// the fault plan's seed/rates/poison lists; excludes every
+/// execution-only knob (workers, threads, shuffle/finalize mode, depth,
+/// memory budget, speculation, checkpoint and retention paths) and the
+/// fault plan's kill/straggle lists. Two configs with equal semantic
+/// hashes over identical inputs produce bit-identical outputs, which is
+/// exactly what makes a cached stage safe to serve across engine modes.
+pub fn job_semantic_hash(
+    config: &ClusterConfig,
+    n_reducers: usize,
+    capacity: &CapacityPolicy,
+    job_types: &str,
+) -> u64 {
+    let mut buf = Vec::with_capacity(256);
+    buf.extend_from_slice(&MANIFEST_MAGIC);
+    buf.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+    buf.extend_from_slice(job_types.as_bytes());
+    buf.push(0);
+    buf.extend_from_slice(&(n_reducers as u64).to_le_bytes());
+    match capacity {
+        CapacityPolicy::Unlimited => buf.push(0),
+        CapacityPolicy::Enforce(q) => {
+            buf.push(1);
+            buf.extend_from_slice(&q.to_le_bytes());
         }
-        buf.extend_from_slice(&config.retry_budget.to_le_bytes());
-        buf.push(match config.dlq_mode {
-            crate::cluster::DlqMode::Capture => 0,
-            crate::cluster::DlqMode::Fail => 1,
-        });
-        match &config.fault_plan {
-            None => buf.push(0),
-            Some(plan) => {
-                buf.push(1);
-                buf.extend_from_slice(&plan.seed.to_le_bytes());
-                buf.extend_from_slice(&plan.map_rate.to_bits().to_le_bytes());
-                buf.extend_from_slice(&plan.reduce_rate.to_bits().to_le_bytes());
-                for list in [&plan.poison_map_tasks, &plan.poison_reduce_tasks] {
-                    buf.extend_from_slice(&(list.len() as u64).to_le_bytes());
-                    for &idx in list {
-                        buf.extend_from_slice(&(idx as u64).to_le_bytes());
-                    }
+        CapacityPolicy::Record(q) => {
+            buf.push(2);
+            buf.extend_from_slice(&q.to_le_bytes());
+        }
+    }
+    buf.extend_from_slice(&config.retry_budget.to_le_bytes());
+    buf.push(match config.dlq_mode {
+        crate::cluster::DlqMode::Capture => 0,
+        crate::cluster::DlqMode::Fail => 1,
+    });
+    match &config.fault_plan {
+        None => buf.push(0),
+        Some(plan) => {
+            buf.push(1);
+            buf.extend_from_slice(&plan.seed.to_le_bytes());
+            buf.extend_from_slice(&plan.map_rate.to_bits().to_le_bytes());
+            buf.extend_from_slice(&plan.reduce_rate.to_bits().to_le_bytes());
+            for list in [&plan.poison_map_tasks, &plan.poison_reduce_tasks] {
+                buf.extend_from_slice(&(list.len() as u64).to_le_bytes());
+                for &idx in list {
+                    buf.extend_from_slice(&(idx as u64).to_le_bytes());
                 }
             }
         }
-        let mut h = fnv1a(&buf);
-        // Workload signature, streamed so huge input sets never
-        // materialize a second buffer.
-        let mut count = 0u64;
-        for input in inputs {
-            count += 1;
-            h ^= input.size_bytes();
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            let mut content = FnvHasher(0xcbf2_9ce4_8422_2325);
-            input.hash(&mut content);
-            h ^= content.finish();
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        h ^= count;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        Fingerprint(h)
     }
+    fnv1a(&buf)
+}
+
+/// Folds a workload signature (input count plus each input's byte size
+/// *and* content hash, in order) into `h`, streamed so huge input sets
+/// never materialize a second buffer. The workload half of the
+/// [`Fingerprint`].
+fn fold_inputs<'a, I>(mut h: u64, inputs: impl Iterator<Item = &'a I>) -> u64
+where
+    I: Hash + ByteSized + 'a,
+{
+    let mut count = 0u64;
+    for input in inputs {
+        count += 1;
+        h = fold_hash(h, input.size_bytes());
+        let mut content = FnvHasher(0xcbf2_9ce4_8422_2325);
+        input.hash(&mut content);
+        h = fold_hash(h, content.finish());
+    }
+    fold_hash(h, count)
+}
+
+/// Content hash of an input set, standing alone: what a DAG source
+/// contributes to its descendants' stage-store keys. Distinguishes by
+/// content and count, not just size — the same property the job
+/// fingerprint relies on.
+pub fn input_content_hash<'a, I>(inputs: impl Iterator<Item = &'a I>) -> u64
+where
+    I: Hash + ByteSized + 'a,
+{
+    fold_inputs(0xcbf2_9ce4_8422_2325, inputs)
 }
 
 /// One committed partition as the manifest records it.
@@ -237,14 +280,91 @@ fn warn(path: &Path, what: &str) {
     );
 }
 
-/// One job's live checkpoint state: the verified manifest loaded at open
-/// plus the append handle new commits go through. Shared by reference
-/// across consumer threads; `lookup` and `record` are thread-safe.
+/// Cross-process (and cross-session-in-process) mutual exclusion for one
+/// job directory's manifest, via an atomically-created `manifest.lock`
+/// holding the owner's PID.
+///
+/// Two same-fingerprint writers used to interleave appends through
+/// independent seek-to-end handles — each handle's cursor was positioned
+/// before the other's appends landed, so the second writer silently
+/// overwrote the first's entries (healed only later, by valid-prefix
+/// truncation, losing committed work). The lock serializes every
+/// manifest mutation: `open`'s heal/truncate and each entry append.
+///
+/// Failure philosophy matches the rest of the module: the lock is an
+/// integrity aid, not a correctness dependency. A lock held by a dead
+/// PID is stolen; a lock held live for longer than [`LOCK_WAIT`] (or a
+/// filesystem that cannot create the file) degrades to proceeding
+/// unlocked with a named warning — the manifest checksums still bound
+/// the damage to re-execution.
+struct SessionLock {
+    path: PathBuf,
+}
+
+/// How long a writer waits for a live holder before giving up on the
+/// lock. Generous next to real commit latency (microseconds), small
+/// enough that a leaked-but-live holder cannot wedge a job.
+const LOCK_WAIT: Duration = Duration::from_secs(10);
+
+impl SessionLock {
+    fn acquire(dir: &Path) -> Option<SessionLock> {
+        let path = dir.join("manifest.lock");
+        let deadline = Instant::now() + LOCK_WAIT;
+        loop {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut file) => {
+                    // Best-effort PID stamp; an unreadable stamp just
+                    // means no one can steal this lock early.
+                    let _ = file.write_all(std::process::id().to_string().as_bytes());
+                    let _ = file.sync_all();
+                    return Some(SessionLock { path });
+                }
+                Err(e) if e.kind() == ErrorKind::AlreadyExists => {
+                    let holder: Option<u32> = fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse().ok());
+                    if let Some(pid) = holder.filter(|&pid| pid != std::process::id()) {
+                        if !pid_alive(pid) {
+                            // Stale lock from a killed writer: steal it.
+                            // The remove can race another stealer; the
+                            // next create_new round decides the winner.
+                            let _ = fs::remove_file(&path);
+                            continue;
+                        }
+                    }
+                    if Instant::now() >= deadline {
+                        warn(&path, "manifest lock held too long; proceeding unlocked");
+                        return None;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(_) => {
+                    // Cannot create lock files here at all (read-only
+                    // dir raced with removal, exotic fs): degrade.
+                    warn(&path, "manifest lock unavailable; proceeding unlocked");
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for SessionLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// One job's live checkpoint state: the verified manifest loaded at
+/// open. Commits reopen the manifest in append mode under the session
+/// lock, so concurrent same-fingerprint sessions (same process or not)
+/// interleave whole entries instead of clobbering each other's bytes.
+/// Shared by reference across consumer threads; `lookup` and `record`
+/// are thread-safe.
 #[derive(Debug)]
 pub(crate) struct CheckpointSession<Out> {
     dir: PathBuf,
     manifest_path: PathBuf,
-    manifest: Mutex<File>,
     /// Partitions the manifest's valid prefix committed, keyed by
     /// partition index (a later duplicate entry wins — that is how a
     /// re-executed partition's rewrite supersedes a corrupt file).
@@ -279,6 +399,9 @@ impl<Out: SpillCodec> CheckpointSession<Out> {
         };
         fs::create_dir_all(&dir).map_err(io(&dir))?;
         let manifest_path = dir.join("manifest.bin");
+        // Healing truncates; without the lock it could shear off an
+        // entry a concurrent same-fingerprint session just appended.
+        let _lock = SessionLock::acquire(&dir);
 
         let mut completed = HashMap::new();
         let mut invalid = 0u64;
@@ -347,14 +470,13 @@ impl<Out: SpillCodec> CheckpointSession<Out> {
             header.extend_from_slice(&fingerprint.0.to_le_bytes());
             manifest.write_all(&header).map_err(io(&manifest_path))?;
         }
-        manifest
-            .seek(SeekFrom::End(0))
-            .map_err(io(&manifest_path))?;
+        // No append handle survives `open`: commits reopen in append
+        // mode under the lock, so the cursor can never go stale.
+        drop(manifest);
 
         Ok(CheckpointSession {
             dir,
             manifest_path,
-            manifest: Mutex::new(manifest),
             completed,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -404,28 +526,13 @@ impl<Out: SpillCodec> CheckpointSession<Out> {
         if fnv1a(&bytes) != entry.file_hash {
             return Err("checkpointed partition content hash mismatch".to_string());
         }
-        let mut cursor = &bytes[..];
-        let count = u64::decode(&mut cursor)
-            .filter(|&c| c == entry.records)
-            .ok_or_else(|| "checkpointed partition record count mismatch".to_string())?;
-        let distinct_keys = u64::decode(&mut cursor)
-            .filter(|&d| d == entry.distinct_keys)
-            .ok_or_else(|| "checkpointed partition distinct-key count mismatch".to_string())?;
-        let mut outputs = Vec::with_capacity(count as usize);
-        for _ in 0..count {
-            let len = u32::decode(&mut cursor)
-                .ok_or_else(|| "checkpointed record length truncated".to_string())?;
-            let (mut record, rest) = cursor
-                .split_at_checked(len as usize)
-                .ok_or_else(|| "checkpointed record body truncated".to_string())?;
-            cursor = rest;
-            let out = Out::decode(&mut record)
-                .filter(|_| record.is_empty())
-                .ok_or_else(|| "checkpointed record failed to decode".to_string())?;
-            outputs.push(out);
+        let (outputs, distinct_keys) = decode_partition::<Out>(&bytes)
+            .map_err(|reason| format!("checkpointed partition {reason}"))?;
+        if outputs.len() as u64 != entry.records {
+            return Err("checkpointed partition record count mismatch".to_string());
         }
-        if !cursor.is_empty() {
-            return Err("checkpointed partition has trailing bytes".to_string());
+        if distinct_keys != entry.distinct_keys {
+            return Err("checkpointed partition distinct-key count mismatch".to_string());
         }
         Ok((outputs, distinct_keys))
     }
@@ -448,18 +555,9 @@ impl<Out: SpillCodec> CheckpointSession<Out> {
         outputs: &[Out],
         distinct_keys: u64,
     ) -> Result<(), String> {
-        let mut body = Vec::new();
-        (outputs.len() as u64).encode(&mut body);
-        distinct_keys.encode(&mut body);
-        let mut record = Vec::new();
-        for out in outputs {
-            record.clear();
-            out.encode(&mut record);
-            let len = u32::try_from(record.len())
-                .map_err(|_| "output record exceeds the u32 length prefix".to_string())?;
-            len.encode(&mut body);
-            body.extend_from_slice(&record);
-        }
+        // The shared sink encoding: what goes to disk here is the same
+        // byte stream a streaming edge would hand downstream.
+        let body = encode_partition(outputs, distinct_keys)?;
         let entry = ManifestEntry {
             partition: partition as u64,
             records: outputs.len() as u64,
@@ -485,7 +583,15 @@ impl<Out: SpillCodec> CheckpointSession<Out> {
             return Err(e.to_string());
         }
 
-        let mut manifest = self.manifest.lock().expect("manifest lock poisoned");
+        // Serialize the append against every other writer — this
+        // session's sibling threads and concurrent same-fingerprint
+        // sessions alike — and open at the *real* end of the file, so a
+        // peer's entries committed since `open` are never overwritten.
+        let _lock = SessionLock::acquire(&self.dir);
+        let mut manifest = OpenOptions::new()
+            .append(true)
+            .open(&self.manifest_path)
+            .map_err(|e| format!("manifest reopen failed: {e}"))?;
         manifest
             .write_all(&entry.encode())
             .and_then(|()| manifest.sync_data())
@@ -595,6 +701,71 @@ fn sweep_dir(dir: &Path, max_age: Duration, depth: u8, reclaimed: &mut u64) {
             *reclaimed += 1;
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Session GC
+// ---------------------------------------------------------------------------
+
+/// Prunes old `job-*` checkpoint session directories under `base`
+/// according to `retain`, never touching the directory belonging to
+/// `keep` (the job currently running). Returns the number of session
+/// directories removed; the caller surfaces it as
+/// [`PipelineMetrics::checkpoint_pruned`].
+///
+/// Two independent criteria, both best-effort:
+/// - **age**: a session whose manifest was last written more than
+///   `max_age` ago is removed;
+/// - **count**: sessions beyond the newest `max_sessions` (the current
+///   job's own directory counts toward the quota) are removed,
+///   oldest-first.
+///
+/// Recency is the manifest's mtime — every commit touches it, so an
+/// actively-resumed session stays young even if it was created long
+/// ago. A dir without a readable manifest mtime falls back to the dir's
+/// own mtime, and failing that is treated as oldest (epoch), since an
+/// unreadable session cannot be resumed anyway.
+pub(crate) fn prune_sessions(base: &Path, retain: &CheckpointRetain, keep: Fingerprint) -> u64 {
+    let keep_name = format!("job-{:016x}", keep.0);
+    let Ok(entries) = fs::read_dir(base) else {
+        return 0;
+    };
+    let mut sessions: Vec<(PathBuf, SystemTime)> = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if !name.starts_with("job-") || name == keep_name {
+            continue;
+        }
+        if !entry.file_type().map(|t| t.is_dir()).unwrap_or(false) {
+            continue;
+        }
+        let path = entry.path();
+        let mtime = fs::metadata(path.join("manifest.bin"))
+            .and_then(|m| m.modified())
+            .or_else(|_| entry.metadata().and_then(|m| m.modified()))
+            .unwrap_or(SystemTime::UNIX_EPOCH);
+        sessions.push((path, mtime));
+    }
+    // Newest first, path as a deterministic tiebreak for equal mtimes.
+    sessions.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+    let now = SystemTime::now();
+    let mut pruned = 0u64;
+    for (rank, (path, mtime)) in sessions.iter().enumerate() {
+        let too_old = retain
+            .max_age
+            .is_some_and(|max_age| now.duration_since(*mtime).is_ok_and(|age| age > max_age));
+        // The current job's directory occupies one quota slot, so only
+        // `max_sessions - 1` *other* sessions survive the count check.
+        let over_count = retain
+            .max_sessions
+            .is_some_and(|max| rank + 1 >= max.max(1));
+        if (too_old || over_count) && fs::remove_dir_all(path).is_ok() {
+            pruned += 1;
+        }
+    }
+    pruned
 }
 
 #[cfg(test)]
@@ -808,6 +979,97 @@ mod tests {
         // Age-based fallback: a live-pid file older than max_age is
         // reclaimed once the age window is zero... but never our own.
         assert_eq!(sweep_orphans(&base, Duration::ZERO), 0);
+        fs::remove_dir_all(&base).unwrap();
+    }
+
+    /// Satellite regression: two same-fingerprint sessions committing
+    /// concurrently used to clobber each other's manifest entries via
+    /// stale seek-to-end cursors; the session lock serializes them.
+    #[test]
+    fn concurrent_same_fingerprint_writers_do_not_clobber() {
+        let base = unique_dir("concurrent");
+        let writer = |offset: usize| {
+            let base = base.clone();
+            std::thread::spawn(move || {
+                let session: CheckpointSession<u64> =
+                    CheckpointSession::open(&base, fp(42), 16).unwrap();
+                for p in (offset..16).step_by(2) {
+                    session.record(p, &[p as u64 * 10], 1);
+                }
+            })
+        };
+        let even = writer(0);
+        let odd = writer(1);
+        even.join().unwrap();
+        odd.join().unwrap();
+
+        let merged: CheckpointSession<u64> = CheckpointSession::open(&base, fp(42), 16).unwrap();
+        assert_eq!(merged.committed(), 16, "no append was lost to a peer");
+        for p in 0..16 {
+            assert_eq!(merged.lookup(p), Some((vec![p as u64 * 10], 1)));
+        }
+        let lock = base.join(format!("job-{:016x}", 42)).join("manifest.lock");
+        assert!(!lock.exists(), "lock file is released on drop");
+        fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn stale_lock_from_dead_pid_is_stolen() {
+        let base = unique_dir("stale-lock");
+        let dir = base.join(format!("job-{:016x}", 6));
+        fs::create_dir_all(&dir).unwrap();
+        let dead_pid = (2..u32::MAX)
+            .rev()
+            .find(|&p| !pid_alive(p))
+            .expect("some pid is free");
+        fs::write(dir.join("manifest.lock"), dead_pid.to_string()).unwrap();
+
+        let session: CheckpointSession<u64> = CheckpointSession::open(&base, fp(6), 4).unwrap();
+        session.record(0, &[1], 1);
+        drop(session);
+        let resumed: CheckpointSession<u64> = CheckpointSession::open(&base, fp(6), 4).unwrap();
+        assert_eq!(resumed.lookup(0), Some((vec![1], 1)));
+        fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn prune_sessions_enforces_count_and_age_but_spares_current() {
+        let base = unique_dir("prune");
+        let mk = |seed: u64| {
+            let session: CheckpointSession<u64> =
+                CheckpointSession::open(&base, fp(seed), 4).unwrap();
+            session.record(0, &[seed], 1);
+            // Distinct manifest mtimes so recency ordering is stable.
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        mk(1);
+        mk(2);
+        mk(3);
+        mk(4); // fingerprint 4 plays the currently-running job
+
+        // Count: quota 3 total = current + the 2 newest others.
+        let retain = CheckpointRetain {
+            max_sessions: Some(3),
+            max_age: None,
+        };
+        assert_eq!(prune_sessions(&base, &retain, fp(4)), 1);
+        assert!(!base.join(format!("job-{:016x}", 1)).exists());
+        for survivor in [2u64, 3, 4] {
+            assert!(base.join(format!("job-{:016x}", survivor)).exists());
+        }
+
+        // Age: with a zero window every other session is stale, but the
+        // current job's directory is never touched.
+        std::thread::sleep(Duration::from_millis(10));
+        let retain = CheckpointRetain {
+            max_sessions: None,
+            max_age: Some(Duration::ZERO),
+        };
+        assert_eq!(prune_sessions(&base, &retain, fp(4)), 2);
+        assert!(
+            base.join(format!("job-{:016x}", 4)).exists(),
+            "current session is never pruned"
+        );
         fs::remove_dir_all(&base).unwrap();
     }
 

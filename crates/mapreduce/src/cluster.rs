@@ -507,6 +507,35 @@ pub struct ClusterConfig {
     /// nothing and leaves every engine path byte-for-byte on the
     /// fault-free fast path.
     pub fault_plan: Option<FaultPlan>,
+    /// Garbage collection for old checkpoint sessions. `None` (the
+    /// default) never prunes — the pre-GC behaviour, where `job-*`
+    /// session directories accumulate under
+    /// [`checkpoint_dir`](ClusterConfig::checkpoint_dir) forever. When
+    /// set (requires a checkpoint dir), stale sibling sessions are
+    /// removed at job start, after this job's own session opens; the
+    /// running job's directory is never pruned. Prune counts surface in
+    /// [`crate::PipelineMetrics::checkpoint_pruned`]. Execution-only:
+    /// retention does not affect outputs and is excluded from the job
+    /// fingerprint.
+    pub checkpoint_retain: Option<CheckpointRetain>,
+}
+
+/// Retention policy for checkpoint session directories — see
+/// [`ClusterConfig::checkpoint_retain`]. At least one criterion must be
+/// set; [`ClusterConfig::validate`] rejects the all-`None` policy as a
+/// plumbing bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckpointRetain {
+    /// Keep at most this many sessions, *including* the currently
+    /// running job's own session; the oldest (by manifest mtime) beyond
+    /// the quota are removed. `Some(0)` is rejected by validation — it
+    /// would claim to retain nothing, yet the current session always
+    /// survives.
+    pub max_sessions: Option<usize>,
+    /// Remove sessions whose manifest was last written longer than this
+    /// ago. Resuming a session refreshes its manifest, so actively
+    /// shared checkpoints stay young.
+    pub max_age: Option<std::time::Duration>,
 }
 
 impl Default for ClusterConfig {
@@ -530,6 +559,7 @@ impl Default for ClusterConfig {
             speculation: false,
             dlq_mode: DlqMode::Fail,
             fault_plan: None,
+            checkpoint_retain: None,
         }
     }
 }
@@ -582,6 +612,27 @@ impl ClusterConfig {
             return Err(SimError::InvalidKnob {
                 knob: "checkpoint_dir",
             });
+        }
+        if let Some(retain) = &self.checkpoint_retain {
+            if self.checkpoint_dir.is_none() {
+                // Retention without a checkpoint dir has nothing to
+                // prune; asking for it is a plumbing bug worth naming.
+                return Err(SimError::InvalidKnob {
+                    knob: "checkpoint_retain",
+                });
+            }
+            if retain.max_sessions == Some(0) {
+                // "Retain zero sessions" contradicts the invariant that
+                // the running job's own session always survives.
+                return Err(SimError::InvalidKnob {
+                    knob: "checkpoint_retain.max_sessions",
+                });
+            }
+            if retain.max_sessions.is_none() && retain.max_age.is_none() {
+                return Err(SimError::InvalidKnob {
+                    knob: "checkpoint_retain",
+                });
+            }
         }
         for (knob, value) in [
             ("map_rate", self.map_rate),
@@ -756,6 +807,62 @@ mod tests {
         };
         assert_eq!(cfg.validate(), Ok(()));
         assert_eq!(ClusterConfig::default().memory_budget, None);
+    }
+
+    /// Retention is only meaningful next to a checkpoint dir, and a
+    /// policy with no criterion (or a zero-session quota) is a plumbing
+    /// bug — each contradiction is rejected by name.
+    #[test]
+    fn checkpoint_retain_contradictions_rejected_by_name() {
+        let retain_without_dir = ClusterConfig {
+            checkpoint_retain: Some(CheckpointRetain {
+                max_sessions: Some(4),
+                max_age: None,
+            }),
+            ..ClusterConfig::default()
+        };
+        assert_eq!(
+            retain_without_dir.validate(),
+            Err(SimError::InvalidKnob {
+                knob: "checkpoint_retain"
+            })
+        );
+
+        let base = ClusterConfig {
+            checkpoint_dir: Some(std::env::temp_dir()),
+            ..ClusterConfig::default()
+        };
+        let zero_quota = ClusterConfig {
+            checkpoint_retain: Some(CheckpointRetain {
+                max_sessions: Some(0),
+                max_age: None,
+            }),
+            ..base.clone()
+        };
+        assert_eq!(
+            zero_quota.validate(),
+            Err(SimError::InvalidKnob {
+                knob: "checkpoint_retain.max_sessions"
+            })
+        );
+        let no_criterion = ClusterConfig {
+            checkpoint_retain: Some(CheckpointRetain::default()),
+            ..base.clone()
+        };
+        assert_eq!(
+            no_criterion.validate(),
+            Err(SimError::InvalidKnob {
+                knob: "checkpoint_retain"
+            })
+        );
+        let ok = ClusterConfig {
+            checkpoint_retain: Some(CheckpointRetain {
+                max_sessions: Some(2),
+                max_age: Some(std::time::Duration::from_secs(3600)),
+            }),
+            ..base
+        };
+        assert_eq!(ok.validate(), Ok(()));
     }
 
     /// The latent panic this PR closes: a NaN (or infinite) time knob used

@@ -9,6 +9,7 @@ use crate::error::SimError;
 use crate::metrics::JobMetrics;
 use crate::record::ByteSized;
 use crate::router::Router;
+use crate::sink::{NullSink, PartitionSink};
 use crate::traits::{Emitter, Mapper, Reducer};
 
 /// Key-value pairs produced by one map invocation.
@@ -137,6 +138,20 @@ where
     /// arrival order), metrics are identical across runs, thread counts,
     /// and [`ShuffleMode`]s.
     pub fn run(&self, inputs: &[M::In]) -> Result<JobOutput<R::Out>, SimError> {
+        self.run_with_sink(inputs, &NullSink)
+    }
+
+    /// Runs the job, additionally announcing each finalized reduce
+    /// partition through `sink` the moment it commits (ascending
+    /// partition order — see [`PartitionSink`] for the full contract).
+    /// The returned [`JobOutput`] is bit-identical to [`Job::run`]'s:
+    /// the sink is a tap on the intermediate-data path, not a fork in
+    /// it.
+    pub fn run_with_sink(
+        &self,
+        inputs: &[M::In],
+        sink: &dyn PartitionSink<R::Out>,
+    ) -> Result<JobOutput<R::Out>, SimError> {
         self.config.validate()?;
         if self.n_reducers == 0 {
             return Err(SimError::NoReducers);
@@ -146,6 +161,7 @@ where
         // session for this job's fingerprint. Everything output-affecting
         // goes into the fingerprint; see `checkpoint::Fingerprint`.
         let mut orphans_reclaimed = 0u64;
+        let mut checkpoint_pruned = 0u64;
         let ckpt_session: Option<CheckpointSession<R::Out>> = match &self.config.checkpoint_dir {
             Some(base) => {
                 const ORPHAN_MAX_AGE: std::time::Duration =
@@ -167,6 +183,12 @@ where
                         "mrassign: resuming from checkpoint: {} partition(s) already committed",
                         session.committed()
                     );
+                }
+                // GC stale sibling sessions *after* this job's session
+                // opens, so the freshly-touched manifest marks it newest
+                // and the retention quota counts it.
+                if let Some(retain) = &self.config.checkpoint_retain {
+                    checkpoint_pruned += checkpoint::prune_sessions(base, retain, fingerprint);
                 }
                 Some(session)
             }
@@ -190,9 +212,9 @@ where
             .collect();
 
         let (outputs, reduce_costs, mut dlq) = match self.config.shuffle {
-            ShuffleMode::Materialized => self.run_materialized(inputs, &mut metrics, ckpt)?,
-            ShuffleMode::Streaming => self.run_streaming(inputs, &mut metrics, ckpt)?,
-            ShuffleMode::Pipelined => self.run_pipelined(inputs, &mut metrics, ckpt)?,
+            ShuffleMode::Materialized => self.run_materialized(inputs, &mut metrics, ckpt, sink)?,
+            ShuffleMode::Streaming => self.run_streaming(inputs, &mut metrics, ckpt, sink)?,
+            ShuffleMode::Pipelined => self.run_pipelined(inputs, &mut metrics, ckpt, sink)?,
         };
         // Folded after the dispatch because the pipelined engine rebuilds
         // `metrics.pipeline` wholesale.
@@ -200,6 +222,7 @@ where
             session.fold_into(&mut metrics.pipeline);
         }
         metrics.pipeline.orphans_reclaimed += orphans_reclaimed;
+        metrics.pipeline.checkpoint_pruned += checkpoint_pruned;
         metrics.outputs = outputs.len();
         dlq.sort();
         metrics.faults.dlq_len = dlq.len() as u64;
@@ -374,6 +397,7 @@ where
         inputs: &[M::In],
         metrics: &mut JobMetrics,
         ckpt: Option<&CheckpointSession<R::Out>>,
+        sink: &dyn PartitionSink<R::Out>,
     ) -> ReducePhase<R::Out> {
         let (map_results, map_retries) = self.run_map_tasks(inputs, 0);
         metrics.faults.map_retries = map_retries;
@@ -435,6 +459,9 @@ where
                     self.config.reduce_task_seconds(reducer_total_bytes[r]),
                 ));
                 metrics.distinct_keys += distinct;
+                // Resumed partitions stream too — a downstream consumer
+                // must not be able to tell a resume from a fresh run.
+                sink.partition(r, &cached, distinct);
                 outputs.extend(cached);
                 continue;
             }
@@ -450,6 +477,7 @@ where
                     if let Some(session) = ckpt {
                         session.record(r, &outputs[first..], distinct);
                     }
+                    sink.partition(r, &outputs[first..], distinct);
                 }
                 TaskVerdict::Dropped { retries, attempts } => {
                     // Dead-lettered partitions stay nonempty (data reached
@@ -483,6 +511,7 @@ where
         inputs: &[M::In],
         metrics: &mut JobMetrics,
         ckpt: Option<&CheckpointSession<R::Out>>,
+        sink: &dyn PartitionSink<R::Out>,
     ) -> ReducePhase<R::Out> {
         let mut reducer_value_bytes = vec![0u64; self.n_reducers];
         let mut reducer_total_bytes = vec![0u64; self.n_reducers];
@@ -583,6 +612,7 @@ where
                         self.config.reduce_task_seconds(reducer_total_bytes[r]),
                     ));
                     metrics.distinct_keys += distinct;
+                    sink.partition(r, &cached, distinct);
                     outputs.extend(cached);
                     continue;
                 }
@@ -598,6 +628,7 @@ where
                         if let Some(session) = ckpt {
                             session.record(r, &outputs[first..], distinct);
                         }
+                        sink.partition(r, &outputs[first..], distinct);
                     }
                     TaskVerdict::Dropped { retries, attempts } => {
                         metrics.faults.reduce_retries += u64::from(retries);

@@ -101,16 +101,20 @@ mod metrics;
 pub mod pipeline;
 mod record;
 mod router;
+pub mod sink;
 mod spill;
 mod traits;
 
+pub use checkpoint::{fnv1a, fold_hash, input_content_hash, job_semantic_hash};
 pub use cluster::{
-    ClusterConfig, DlqMode, FaultPlan, FaultStage, FinalizeMode, Schedule, ShuffleMode, TaskCost,
+    CheckpointRetain, ClusterConfig, DlqMode, FaultPlan, FaultStage, FinalizeMode, Schedule,
+    ShuffleMode, TaskCost,
 };
 pub use error::SimError;
 pub use job::{CapacityPolicy, DlqEntry, Job, JobOutput};
 pub use metrics::{FaultMetrics, JobMetrics, PipelineMetrics};
 pub use record::ByteSized;
 pub use router::{BroadcastRouter, DirectRouter, HashRouter, Router, TableRouter};
+pub use sink::{decode_partition, encode_partition, NullSink, PartitionSink};
 pub use spill::{SpillCodec, SpilledRun};
 pub use traits::{Emitter, Mapper, Reducer};

@@ -81,6 +81,11 @@ pub struct PipelineMetrics {
     /// Orphaned spill/checkpoint temp files from dead processes reclaimed
     /// by the startup sweep of the checkpoint directory.
     pub orphans_reclaimed: u64,
+    /// Stale `job-*` checkpoint session directories removed by the
+    /// retention policy
+    /// ([`ClusterConfig::checkpoint_retain`](crate::ClusterConfig::checkpoint_retain))
+    /// at job start. Zero when retention is off or nothing was stale.
+    pub checkpoint_pruned: u64,
 }
 
 /// Fault-tolerance counters: retries burned, speculation outcomes, and
@@ -308,6 +313,7 @@ mod tests {
         a.pipeline.checkpoint_invalid = 1;
         a.pipeline.spill_delete_errors = 2;
         a.pipeline.orphans_reclaimed = 1;
+        a.pipeline.checkpoint_pruned = 2;
         b.pipeline.consumer_groups = 2;
         assert_ne!(a, b);
         assert_eq!(a.deterministic(), b.deterministic());

@@ -118,6 +118,7 @@ use crate::job::{DlqEntry, Job, ReducePhase, TaskVerdict};
 use crate::metrics::{JobMetrics, PipelineMetrics};
 use crate::record::ByteSized;
 use crate::router::Router;
+use crate::sink::PartitionSink;
 use crate::spill::{self, SpillCodec, SpillError, SpillReader, SpilledRun};
 use crate::traits::{Mapper, Reducer};
 
@@ -733,6 +734,7 @@ where
         inputs: &[M::In],
         metrics: &mut JobMetrics,
         ckpt: Option<&CheckpointSession<R::Out>>,
+        sink: &dyn PartitionSink<R::Out>,
     ) -> ReducePhase<R::Out> {
         let n_inputs = inputs.len();
         let n_mappers = self.config.map_threads.max(1);
@@ -899,7 +901,12 @@ where
             reduce_costs.push(TaskCost(
                 self.config.reduce_task_seconds(reducer_total_bytes[p]),
             ));
-            outputs.extend(slot.expect("every nonempty partition finalized"));
+            let part_outputs = slot.expect("every nonempty partition finalized");
+            // The sink contract promises ascending partition order, so
+            // delivery happens here — during deterministic reassembly —
+            // not at the consumer threads' out-of-order finalize times.
+            sink.partition(p, &part_outputs, slotted_distinct[p]);
+            outputs.extend(part_outputs);
         }
         let max_span = finalize_group_seconds.iter().cloned().fold(0.0, f64::max);
         let mean_span =
@@ -931,6 +938,7 @@ where
             checkpoint_invalid: 0,
             spill_delete_errors: delete_errors.load(Ordering::Relaxed),
             orphans_reclaimed: 0,
+            checkpoint_pruned: 0,
         };
         metrics.faults.map_retries = coord.map_retries.load(Ordering::Relaxed);
         metrics.faults.reduce_retries = coord.reduce_retries.load(Ordering::Relaxed);

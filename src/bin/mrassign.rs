@@ -10,7 +10,8 @@
 //!               [--finalize static|stealing] [--retries <n>] [--faults seed:7,rate:0.05]
 //!               [--memory-budget <bytes>]
 //! mrassign dag  [--workload marginals|skewjoin] [--jobs 4] [--tenants 2] [--pool 2]
-//!               [--rows 200] [--seed 42] [engine knobs as for plan]
+//!               [--rows 200] [--seed 42] [--repeat 1] [--stage-cache <bytes>]
+//!               [engine knobs as for plan]
 //! ```
 //!
 //! Solver names come from the registry in `mrassign_core::solver`
@@ -47,7 +48,13 @@
 //! tenants to one shared `--pool`-worker job server, re-runs every job
 //! hand-chained as a referee, verifies the outputs are bit-identical,
 //! and prints per-job stage metrics plus the fair-share table. All the
-//! engine knobs above apply to every stage of every round.
+//! engine knobs above apply to every stage of every round. `--repeat`
+//! submits every job graph that many times; with `--stage-cache <bytes>`
+//! (or the `MRASSIGN_STAGE_CACHE` environment variable — the flag wins)
+//! the server keeps a fingerprint-keyed intermediate store of that
+//! capacity, so repeat rounds are served from cache, execute strictly
+//! fewer stages, and still verify bit-identical against the referee; the
+//! summary then ends with a `stage cache: hits …` line.
 //!
 //! Weight files hold one integer per line; `#` starts a comment. All
 //! commands print a human-readable summary; `--routes` additionally dumps
@@ -96,9 +103,9 @@ usage:
                 [--finalize static|stealing] [--retries <n>] [--faults <spec>]
                 [--memory-budget <bytes>] [--checkpoint-dir <dir>]
   mrassign dag  [--workload marginals|skewjoin] [--jobs <n>] [--tenants <n>] [--pool <n>] [--rows <n>]
-                [--seed <s>] [--threads <n>] [--shuffle materialized|streaming|pipelined]
-                [--finalize static|stealing] [--retries <n>] [--faults <spec>] [--memory-budget <bytes>]
-                [--checkpoint-dir <dir>]
+                [--seed <s>] [--repeat <n>] [--stage-cache <bytes>] [--threads <n>]
+                [--shuffle materialized|streaming|pipelined] [--finalize static|stealing]
+                [--retries <n>] [--faults <spec>] [--memory-budget <bytes>] [--checkpoint-dir <dir>]
 
 distribution specs: const:<w> | uniform:<lo>:<hi> | zipf:<ranks>:<exp>:<max> | bimodal:<small>:<big>:<frac> | boundary:<q>
 a2a solvers: auto | one-reducer | grouping | pairing | bigsmall | bigsmall-shared | exact
@@ -108,7 +115,10 @@ x2y solvers: auto | one-reducer | grid | grid-optimized | bighandling | exact
          kill-map:<i[+i...]>, kill-reduce:<i[+i...]> (kill lists abort the process mid-task to exercise resume)
 --memory-budget caps buffered shuffle bytes per consumer group (pipelined engine spills sorted runs to disk above it)
 --checkpoint-dir persists each finalized reduce partition; re-running the same job against the same dir
-         resumes, re-executing only partitions that never committed";
+         resumes, re-executing only partitions that never committed
+--stage-cache gives the dag job server a fingerprint-keyed intermediate store of that many bytes
+         (MRASSIGN_STAGE_CACHE is the env fallback; the flag wins) and --repeat resubmits every dag
+         job that many times, so repeat rounds are served from the store instead of re-executing";
 
 /// Executes a parsed command line; returns the printable result.
 fn run(args: &[String]) -> Result<String, String> {
@@ -550,9 +560,14 @@ fn render_dag_job(i: usize, tenant: &str, outputs: usize, what: &str, m: &DagMet
         .iter()
         .map(|s| format!("{} {:.4}s", s.stage, s.wall_seconds))
         .collect();
+    let cached = if m.cache_hits > 0 {
+        format!(", {} stage(s) from cache", m.cache_hits)
+    } else {
+        String::new()
+    };
     format!(
         "job {i} [{tenant}, prio {:+}]: {outputs} {what}, wall {:.4}s, queue wait {:.4}s, \
-         max dispatch gap {} | {}\n",
+         max dispatch gap {}{cached} | {}\n",
         m.priority,
         m.wall_seconds,
         m.queue_wait_seconds(),
@@ -591,23 +606,49 @@ fn cmd_dag(flags: &HashMap<String, String>) -> Result<String, String> {
         .map(|s| parse_num(s, "a seed"))
         .transpose()?
         .unwrap_or(42);
+    let repeat: usize = flags
+        .get("repeat")
+        .map(|s| parse_num(s, "a repeat count"))
+        .transpose()?
+        .unwrap_or(1);
     for (flag, value) in [
         ("jobs", jobs),
         ("tenants", tenants),
         ("pool", pool),
         ("rows", rows),
+        ("repeat", repeat),
     ] {
         if value == 0 {
             return Err(format!("--{flag} must be at least 1"));
         }
     }
+    // The stage cache: `--stage-cache <bytes>` wins over the
+    // MRASSIGN_STAGE_CACHE environment variable; absent both, the server
+    // runs store-less and every submission executes.
+    let stage_cache: Option<u64> = match flags.get("stage-cache") {
+        Some(s) => Some(parse_num(s, "a stage-cache capacity in bytes")?),
+        None => match std::env::var("MRASSIGN_STAGE_CACHE") {
+            Ok(v) if !v.is_empty() => Some(
+                v.parse()
+                    .map_err(|_| format!("MRASSIGN_STAGE_CACHE must be a byte count, got `{v}`"))?,
+            ),
+            _ => None,
+        },
+    };
     let cluster = parse_engine_cluster(flags)?;
 
     let mut out = format!(
-        "DAG: workload = {workload}, {jobs} job(s) from {tenants} tenant(s) \
-         on a {pool}-worker pool\n"
+        "DAG: workload = {workload}, {jobs} job(s) × {repeat} round(s) from {tenants} tenant(s) \
+         on a {pool}-worker pool{}\n",
+        match stage_cache {
+            Some(bytes) => format!(", stage cache {bytes} bytes"),
+            None => String::new(),
+        }
     );
-    let server = JobServer::new(pool);
+    let server = match stage_cache {
+        Some(bytes) => JobServer::with_stage_cache(pool, bytes),
+        None => JobServer::new(pool),
+    };
     let tenant_of = |i: usize| format!("tenant-{}", i % tenants);
     // Rotate priorities so the fair-share scheduler has something to
     // weigh against data readiness.
@@ -631,32 +672,35 @@ fn cmd_dag(flags: &HashMap<String, String>) -> Result<String, String> {
                     )
                 })
                 .collect();
-            let handles: Vec<_> = inputs
-                .iter()
-                .enumerate()
-                .map(|(i, tuples)| {
-                    let (graph, sink) = marginals_graph(tuples, &cfg);
-                    (
-                        i,
-                        server.submit(&tenant_of(i), priority_of(i), graph, &sink),
-                    )
-                })
-                .collect();
-            for (i, handle) in handles {
-                let result = handle.join().map_err(|e| e.to_string())?;
-                let referee = run_marginals_chained(&inputs[i], &cfg).map_err(|e| e.to_string())?;
-                if result.output != referee.marginals {
-                    return Err(format!(
-                        "job {i}: DAG output diverged from the hand-chained referee"
+            for round in 0..repeat {
+                let handles: Vec<_> = inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, tuples)| {
+                        let (graph, sink) = marginals_graph(tuples, &cfg);
+                        (
+                            i,
+                            server.submit(&tenant_of(i), priority_of(i), graph, &sink),
+                        )
+                    })
+                    .collect();
+                for (i, handle) in handles {
+                    let result = handle.join().map_err(|e| e.to_string())?;
+                    let referee =
+                        run_marginals_chained(&inputs[i], &cfg).map_err(|e| e.to_string())?;
+                    if result.output != referee.marginals {
+                        return Err(format!(
+                            "job {i} round {round}: DAG output diverged from the referee"
+                        ));
+                    }
+                    out.push_str(&render_dag_job(
+                        round * jobs + i,
+                        &tenant_of(i),
+                        result.output.len(),
+                        "marginals",
+                        &result.metrics,
                     ));
                 }
-                out.push_str(&render_dag_job(
-                    i,
-                    &tenant_of(i),
-                    result.output.len(),
-                    "marginals",
-                    &result.metrics,
-                ));
             }
         }
         "skewjoin" => {
@@ -679,36 +723,38 @@ fn cmd_dag(flags: &HashMap<String, String>) -> Result<String, String> {
                     )
                 })
                 .collect();
-            let handles: Vec<_> = inputs
-                .iter()
-                .enumerate()
-                .map(|(i, pair)| {
-                    let (graph, sink) = skew_join_graph(pair, &cfg);
-                    (
-                        i,
-                        server.submit(&tenant_of(i), priority_of(i), graph, &sink),
-                    )
-                })
-                .collect();
-            for (i, handle) in handles {
-                let result = handle.join().map_err(|e| e.to_string())?;
-                let (referee, _) =
-                    run_skew_join_chained(&inputs[i], &cfg).map_err(|e| e.to_string())?;
-                if result.output.output != referee.output {
-                    return Err(format!(
-                        "job {i}: DAG output diverged from the hand-chained referee"
+            for round in 0..repeat {
+                let handles: Vec<_> = inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, pair)| {
+                        let (graph, sink) = skew_join_graph(pair, &cfg);
+                        (
+                            i,
+                            server.submit(&tenant_of(i), priority_of(i), graph, &sink),
+                        )
+                    })
+                    .collect();
+                for (i, handle) in handles {
+                    let result = handle.join().map_err(|e| e.to_string())?;
+                    let (referee, _) =
+                        run_skew_join_chained(&inputs[i], &cfg).map_err(|e| e.to_string())?;
+                    if result.output.output != referee.output {
+                        return Err(format!(
+                            "job {i} round {round}: DAG output diverged from the referee"
+                        ));
+                    }
+                    out.push_str(&render_dag_job(
+                        round * jobs + i,
+                        &tenant_of(i),
+                        result.output.output.len(),
+                        &format!(
+                            "joined triples ({} heavy keys, {} reducers)",
+                            result.output.heavy_keys, result.output.reducers
+                        ),
+                        &result.metrics,
                     ));
                 }
-                out.push_str(&render_dag_job(
-                    i,
-                    &tenant_of(i),
-                    result.output.output.len(),
-                    &format!(
-                        "joined triples ({} heavy keys, {} reducers)",
-                        result.output.heavy_keys, result.output.reducers
-                    ),
-                    &result.metrics,
-                ));
             }
         }
         other => {
@@ -719,16 +765,37 @@ fn cmd_dag(flags: &HashMap<String, String>) -> Result<String, String> {
     }
 
     let shares = server.fair_share();
+    let cache_stats = server.stage_cache_stats();
     server.shutdown();
-    out.push_str("\nfair share:\ntenant          submitted  completed  stages  service_s\n");
+    out.push_str(
+        "\nfair share:\ntenant          submitted  completed  stages  cached  service_s\n",
+    );
     for s in &shares {
         out.push_str(&format!(
-            "{:<15} {:<10} {:<10} {:<7} {:.4}\n",
-            s.tenant, s.jobs_submitted, s.jobs_completed, s.stages_dispatched, s.service_seconds
+            "{:<15} {:<10} {:<10} {:<7} {:<7} {:.4}\n",
+            s.tenant,
+            s.jobs_submitted,
+            s.jobs_completed,
+            s.stages_dispatched,
+            s.stages_from_cache,
+            s.service_seconds
         ));
     }
+    if let Some(stats) = cache_stats {
+        out.push_str(&format!(
+            "\nstage cache: hits {}, misses {}, evictions {} \
+             ({} entries, {}/{} bytes)\n",
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+            stats.entries,
+            stats.used_bytes,
+            stats.capacity_bytes
+        ));
+    }
+    let total = jobs * repeat;
     out.push_str(&format!(
-        "\nverified: all {jobs} DAG output(s) bit-identical to the hand-chained referee"
+        "\nverified: all {total} DAG output(s) bit-identical to the hand-chained referee"
     ));
     Ok(out)
 }
@@ -1242,6 +1309,47 @@ mod tests {
         assert!(err.contains("--jobs"), "{err}");
         let err = base(&["--faults", "seed:7,seed:9"]).unwrap_err();
         assert!(err.contains("duplicate"), "{err}");
+    }
+
+    /// `--repeat` with `--stage-cache` serves repeat rounds from the
+    /// intermediate store: the summary reports the hit counter, the
+    /// cached job lines say so, and every round still verifies
+    /// bit-identical against the hand-chained referee.
+    #[test]
+    fn dag_command_repeat_hits_the_stage_cache() {
+        for workload in ["marginals", "skewjoin"] {
+            let args: Vec<String> = [
+                "dag",
+                "--jobs",
+                "2",
+                "--rows",
+                "60",
+                "--repeat",
+                "2",
+                "--stage-cache",
+                "4194304",
+                "--workload",
+                workload,
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            let out = run(&args).unwrap();
+            assert!(
+                out.contains("verified: all 4 DAG output(s)"),
+                "{workload}: {out}"
+            );
+            assert!(out.contains("stage cache: hits 2"), "{workload}: {out}");
+            assert!(out.contains("from cache"), "{workload}: {out}");
+        }
+        // Without a store, repeats re-execute and no cache line prints.
+        let args: Vec<String> = ["dag", "--jobs", "1", "--rows", "60", "--repeat", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let out = run(&args).unwrap();
+        assert!(!out.contains("stage cache:"), "{out}");
+        assert!(out.contains("verified: all 2 DAG output(s)"), "{out}");
     }
 
     #[test]

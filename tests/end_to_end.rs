@@ -448,14 +448,42 @@ fn dag_workload_matches_chain_under_env_cluster() {
     assert_eq!(dag.output, chained.marginals);
     assert_eq!(dag.dlq, chained.dlq);
 
-    // Two tenants sharing one two-worker pool see the same bytes.
-    let server = JobServer::new(2);
+    // Two tenants sharing one two-worker pool see the same bytes. With
+    // MRASSIGN_STAGE_CACHE set (the CI cached leg), the server also keeps
+    // a fingerprint-keyed intermediate store of that many bytes.
+    let stage_cache: Option<u64> = std::env::var("MRASSIGN_STAGE_CACHE")
+        .ok()
+        .filter(|v| !v.is_empty())
+        .map(|v| {
+            v.parse()
+                .expect("MRASSIGN_STAGE_CACHE must be a byte count")
+        });
+    let server = match stage_cache {
+        Some(bytes) => JobServer::with_stage_cache(2, bytes),
+        None => JobServer::new(2),
+    };
     let (g1, s1) = marginals_graph(&tuples, &cfg);
     let (g2, s2) = marginals_graph(&tuples, &cfg);
     let h1 = server.submit("alice", 1, g1, &s1);
     let h2 = server.submit("bob", -1, g2, &s2);
-    assert_eq!(h1.join().unwrap().output, chained.marginals);
+    let cold = h1.join().unwrap();
+    assert_eq!(cold.output, chained.marginals);
     assert_eq!(h2.join().unwrap().output, chained.marginals);
+
+    // A repeat submission after the concurrent pair has completed must be
+    // served from the store when one is configured (capacities in CI are
+    // generous enough for one marginals entry) — bit-identically, running
+    // strictly fewer stages.
+    if stage_cache.is_some() {
+        let (g3, s3) = marginals_graph(&tuples, &cfg);
+        let warm = server.submit("alice", 1, g3, &s3).join().unwrap();
+        assert_eq!(warm.output, chained.marginals);
+        assert_eq!(warm.dlq, chained.dlq);
+        assert!(warm.metrics.cache_hits > 0, "repeat must hit the store");
+        assert!(warm.metrics.stages.len() < cold.metrics.stages.len());
+        let stats = server.stage_cache_stats().expect("cached server");
+        assert!(stats.hits > 0);
+    }
     server.shutdown();
 }
 
